@@ -1,0 +1,180 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments [--small] [fig2|table1|fig5|table2|fig6|table3|table4|ablation|sensitivity|stats|export|query <text>|all]
+//! ```
+
+use sqe_bench::{figures, tables, timing, ExperimentContext};
+
+fn print_stats(ctx: &ExperimentContext) {
+    let stats = ctx.bed.kb.graph.stats();
+    println!("=== Test-bed statistics ===");
+    println!(
+        "KB: {} articles, {} categories, {} article links, {} memberships, {} category links, {} reciprocal pairs",
+        stats.num_articles,
+        stats.num_categories,
+        stats.num_article_links,
+        stats.num_membership_links,
+        stats.num_category_links,
+        stats.num_reciprocal_pairs
+    );
+    for d in ["imageclef", "chic2012", "chic2013"] {
+        let ds = ctx.bed.dataset(d);
+        let coll = ctx.bed.collection_of(ds);
+        println!(
+            "{d}: {} docs, {} queries, avg relevant/query {:.2}, zero-relevant queries {}",
+            coll.docs.len(),
+            ds.queries.len(),
+            ds.avg_relevant_per_query(),
+            ds.num_zero_relevant()
+        );
+        println!(
+            "  linker precision (≥1 true target linked): {:.1}%",
+            ctx.linker_precision(d) * 100.0
+        );
+    }
+}
+
+fn debug_top(ctx: &ExperimentContext, dataset: &str, nqueries: usize) {
+    let r = ctx.runner(dataset);
+    let ds = r.dataset();
+    let p = r.pipeline();
+    for q in ds.queries.iter().take(nqueries) {
+        let nodes = r.manual_nodes(q);
+        println!("--- {}: '{}' targets={:?}", q.id, q.text, nodes);
+        let (hits, qg) = p.rank_sqe(&q.text, &nodes, true, true);
+        println!("    expansions: {}", qg.num_expansions());
+        let rel = &ds.relevant[&q.id];
+        for h in hits.iter().take(10) {
+            let id = p.index().external_id(h.doc);
+            let coll = ctx.bed.collection_of(ds);
+            let doc = coll.docs.iter().find(|d| d.id == id).unwrap();
+            println!(
+                "    {:.3} {} rel={} about={:?} | {}",
+                h.score,
+                id,
+                rel.contains(id),
+                doc.about,
+                doc.text
+            );
+        }
+    }
+}
+
+/// Runs an ad-hoc query through the whole pipeline: entity linking,
+/// expansion with both motifs, retrieval — the interactive demo path.
+fn adhoc_query(ctx: &ExperimentContext, text: &str) {
+    let r = ctx.runner("imageclef");
+    let p = r.pipeline();
+    let links = ctx.linker.link(text);
+    println!("query: \"{text}\"");
+    if links.is_empty() {
+        println!("no entities linked; retrieval falls back to the raw keywords");
+    }
+    let nodes: Vec<kbgraph::ArticleId> = links.iter().take(3).map(|l| l.article).collect();
+    for l in &links {
+        println!(
+            "  linked '{}' → \"{}\" (commonness {:.2}{})",
+            l.surface,
+            ctx.bed.kb.graph.article_title(l.article),
+            l.commonness,
+            if l.from_fallback { ", fallback" } else { "" }
+        );
+    }
+    let expanded = p.expand(text, &nodes, true, true);
+    println!("expansion features ({}):", expanded.query_graph.num_expansions());
+    for &(a, m) in expanded.query_graph.expansions.iter().take(10) {
+        println!("  {} (|m_a| = {m})", ctx.bed.kb.graph.article_title(a));
+    }
+    let (hits, _) = p.rank_sqe(text, &nodes, true, true);
+    println!("top documents:");
+    for h in hits.iter().take(10) {
+        println!("  {:>9.3}  {}", h.score, p.index().external_id(h.doc));
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let small = args.iter().any(|a| a == "--small");
+    let what: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    // `query <text...>`: everything after the keyword is the query.
+    if what.first() == Some(&"query") {
+        let text = what[1..].join(" ");
+        let ctx = if small {
+            ExperimentContext::small()
+        } else {
+            ExperimentContext::full()
+        };
+        adhoc_query(&ctx, &text);
+        return;
+    }
+    let what = if what.is_empty() { vec!["all"] } else { what };
+
+    eprintln!(
+        "building {} test bed (generation + indexing)...",
+        if small { "small" } else { "full" }
+    );
+    let start = std::time::Instant::now();
+    let ctx = if small {
+        ExperimentContext::small()
+    } else {
+        ExperimentContext::full()
+    };
+    eprintln!("ready in {:.1}s", start.elapsed().as_secs_f64());
+
+    for w in what {
+        match w {
+            "stats" => print_stats(&ctx),
+            "debug" => debug_top(&ctx, "imageclef", 4),
+            "export" => {
+                for d in ["imageclef", "chic2012", "chic2013"] {
+                    let dir = std::path::PathBuf::from("export").join(d);
+                    match sqe_bench::export::export_dataset(&ctx, d, &dir) {
+                        Ok(files) => eprintln!("wrote {} files to {}", files.len(), dir.display()),
+                        Err(e) => eprintln!("export {d} failed: {e}"),
+                    }
+                }
+            }
+            "fig2" => print!("{}", figures::figure2(&ctx)),
+            "table1" => print!("{}", tables::table1(&ctx)),
+            "fig5" => print!("{}", figures::figure5(&ctx)),
+            "table2" => print!("{}", tables::table2_all(&ctx)),
+            "fig6" => print!("{}", figures::figure6_all(&ctx)),
+            "table3" => print!("{}", tables::table3_all(&ctx)),
+            "table4" => print!("{}", timing::table4(&ctx)),
+            "ablation" => print!("{}", tables::ablation(&ctx)),
+            "sensitivity" => {
+                print!("{}", tables::sensitivity(&ctx));
+                print!("{}", tables::mu_sweep(&ctx));
+            }
+            "all" => {
+                print_stats(&ctx);
+                println!();
+                print!("{}", figures::figure2(&ctx));
+                println!();
+                print!("{}", tables::table1(&ctx));
+                println!();
+                print!("{}", figures::figure5(&ctx));
+                println!();
+                print!("{}", tables::table2_all(&ctx));
+                print!("{}", figures::figure6_all(&ctx));
+                print!("{}", tables::table3_all(&ctx));
+                print!("{}", timing::table4(&ctx));
+                println!();
+                print!("{}", tables::ablation(&ctx));
+                println!();
+                print!("{}", tables::sensitivity(&ctx));
+                print!("{}", tables::mu_sweep(&ctx));
+            }
+            other => {
+                eprintln!("unknown experiment '{other}'");
+                eprintln!("usage: experiments [--small] [fig2|table1|fig5|table2|fig6|table3|table4|ablation|sensitivity|stats|export|query <text>|all]");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Structural analysis of ground-truth query graphs (Section 2.1).
+//!
+//! Given a query's query nodes and its *optimal* expansion nodes (from the
+//! ground truth), this module enumerates the short mixed cycles that pass
+//! through a query node and contain at least one expansion node, and
+//! aggregates per-cycle-length statistics:
+//!
+//! * how many such cycles exist (are short cycles the carrier of the
+//!   optimal expansions at all?),
+//! * the ratio of category nodes per cycle (Figure 2b — ≈⅓ in Wikipedia),
+//! * the density of extra edges (Figure 2c — denser cycles matter more),
+//! * which expansion nodes each cycle length *reaches* (feeding the
+//!   contribution experiment of Figure 2a, where retrieval is run with
+//!   only the nodes reached by one length).
+
+use kbgraph::{ArticleId, CycleFinder, CycleLimits, KbGraph, Node};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// Aggregated statistics of one cycle length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LengthStats {
+    /// The cycle length (3, 4 or 5).
+    pub length: usize,
+    /// Number of (query-node-anchored) cycles of this length containing
+    /// at least one expansion node.
+    pub cycles: usize,
+    /// Mean fraction of category nodes per cycle.
+    pub category_ratio: f64,
+    /// Mean density of extra edges per cycle.
+    pub extra_edge_density: f64,
+}
+
+/// The structural analysis of one query graph.
+#[derive(Debug, Clone, Default)]
+pub struct CycleAnalysis {
+    /// Per-length aggregates (lengths without cycles are omitted).
+    pub per_length: Vec<LengthStats>,
+    /// Expansion articles reached by cycles of each length.
+    pub reached: FxHashMap<usize, Vec<ArticleId>>,
+}
+
+impl CycleAnalysis {
+    /// The stats of a specific length, if any cycles of it were found.
+    pub fn stats(&self, length: usize) -> Option<&LengthStats> {
+        self.per_length.iter().find(|s| s.length == length)
+    }
+
+    /// Expansion articles on cycles of `length` (empty slice if none).
+    pub fn reached_by(&self, length: usize) -> &[ArticleId] {
+        self.reached.get(&length).map_or(&[], |v| v.as_slice())
+    }
+}
+
+/// Analyzes the cycles connecting `query_nodes` to `expansion_nodes`.
+pub fn analyze_query_graph(
+    graph: &KbGraph,
+    query_nodes: &[ArticleId],
+    expansion_nodes: &[ArticleId],
+    limits: CycleLimits,
+) -> CycleAnalysis {
+    let expansion_set: FxHashSet<ArticleId> = expansion_nodes.iter().copied().collect();
+    let mut agg: FxHashMap<usize, (usize, f64, f64)> = FxHashMap::default();
+    let mut reached: FxHashMap<usize, FxHashSet<ArticleId>> = FxHashMap::default();
+    let mut finder = CycleFinder::new(graph, limits);
+    for &qn in query_nodes {
+        finder.visit_cycles(Node::Article(qn), |cycle| {
+            // Expansion nodes present in this cycle.
+            let hits: Vec<ArticleId> = cycle
+                .nodes
+                .iter()
+                .filter_map(|n| match n {
+                    Node::Article(a) if expansion_set.contains(a) => Some(*a),
+                    _ => None,
+                })
+                .collect();
+            if hits.is_empty() {
+                return;
+            }
+            let entry = agg.entry(cycle.len()).or_insert((0, 0.0, 0.0));
+            entry.0 += 1;
+            entry.1 += cycle.category_ratio();
+            entry.2 += cycle.extra_edge_density();
+            reached.entry(cycle.len()).or_default().extend(hits);
+        });
+    }
+    let mut per_length: Vec<LengthStats> = agg
+        .into_iter()
+        .map(|(length, (n, cr, ed))| LengthStats {
+            length,
+            cycles: n,
+            category_ratio: cr / n as f64,
+            extra_edge_density: ed / n as f64,
+        })
+        .collect();
+    per_length.sort_by_key(|s| s.length);
+    let reached = reached
+        .into_iter()
+        .map(|(l, set)| {
+            let mut v: Vec<ArticleId> = set.into_iter().collect();
+            v.sort_unstable();
+            (l, v)
+        })
+        .collect();
+    CycleAnalysis {
+        per_length,
+        reached,
+    }
+}
+
+/// Averages per-length statistics over many queries' analyses (weighting
+/// each query equally, as the paper's figures do).
+pub fn average_analyses(analyses: &[CycleAnalysis]) -> Vec<LengthStats> {
+    let mut acc: FxHashMap<usize, (usize, f64, f64, usize)> = FxHashMap::default();
+    for a in analyses {
+        for s in &a.per_length {
+            let e = acc.entry(s.length).or_insert((0, 0.0, 0.0, 0));
+            e.0 += s.cycles;
+            e.1 += s.category_ratio;
+            e.2 += s.extra_edge_density;
+            e.3 += 1;
+        }
+    }
+    let mut out: Vec<LengthStats> = acc
+        .into_iter()
+        .map(|(length, (cycles, cr, ed, n))| LengthStats {
+            length,
+            cycles,
+            category_ratio: cr / n as f64,
+            extra_edge_density: ed / n as f64,
+        })
+        .collect();
+    out.sort_by_key(|s| s.length);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kbgraph::GraphBuilder;
+
+    /// q and e doubly linked sharing category c (a 3-cycle), plus e2 on a
+    /// 4-cycle via the category hierarchy.
+    fn world() -> (KbGraph, ArticleId, ArticleId, ArticleId) {
+        let mut b = GraphBuilder::new();
+        let q = b.add_article("q");
+        let e = b.add_article("e");
+        let e2 = b.add_article("e2");
+        let c = b.add_category("c");
+        let sub = b.add_category("sub");
+        b.add_mutual_link(q, e);
+        b.add_membership(q, c);
+        b.add_membership(e, c);
+        b.add_mutual_link(q, e2);
+        b.add_membership(e2, sub);
+        b.add_subcategory(sub, c);
+        (b.build(), q, e, e2)
+    }
+
+    fn limits() -> CycleLimits {
+        CycleLimits {
+            max_len: 5,
+            max_expand_degree: 64,
+            max_cycles: 10_000,
+        }
+    }
+
+    #[test]
+    fn finds_cycles_of_both_lengths() {
+        let (g, q, e, e2) = world();
+        let a = analyze_query_graph(&g, &[q], &[e, e2], limits());
+        assert!(a.stats(3).is_some(), "triangle present");
+        assert!(a.stats(4).is_some(), "square present");
+        assert!(a.reached_by(3).contains(&e));
+        assert!(a.reached_by(4).contains(&e2));
+    }
+
+    #[test]
+    fn cycles_without_expansion_nodes_ignored() {
+        let (g, q, e, _) = world();
+        // Pretend only e2... pass empty expansion set: nothing counted.
+        let a = analyze_query_graph(&g, &[q], &[], limits());
+        assert!(a.per_length.is_empty());
+        let _ = e;
+    }
+
+    #[test]
+    fn category_ratio_of_triangle_is_one_third() {
+        let (g, q, e, _) = world();
+        let a = analyze_query_graph(&g, &[q], &[e], limits());
+        let s3 = a.stats(3).unwrap();
+        assert!((s3.category_ratio - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn averaging_across_queries() {
+        let (g, q, e, e2) = world();
+        let a1 = analyze_query_graph(&g, &[q], &[e, e2], limits());
+        let a2 = a1.clone();
+        let avg = average_analyses(&[a1, a2]);
+        let s3 = avg.iter().find(|s| s.length == 3).unwrap();
+        assert!((s3.category_ratio - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(s3.cycles, 2, "cycle counts accumulate");
+    }
+
+    #[test]
+    fn reached_by_unknown_length_is_empty() {
+        let (g, q, e, _) = world();
+        let a = analyze_query_graph(
+            &g,
+            &[q],
+            &[e],
+            CycleLimits {
+                max_len: 3,
+                ..limits()
+            },
+        );
+        assert!(a.reached_by(4).is_empty());
+        assert!(a.reached_by(5).is_empty());
+    }
+
+    #[test]
+    fn multiple_query_nodes_accumulate() {
+        let (g, q, e, e2) = world();
+        // Use e as a second query node: the same triangle is found from
+        // both anchors, doubling the 3-cycle count.
+        let a1 = analyze_query_graph(&g, &[q], &[e, e2], limits());
+        let a2 = analyze_query_graph(&g, &[q, e2], &[e], limits());
+        assert!(a2.stats(3).map_or(0, |s| s.cycles) >= a1.stats(3).map_or(0, |s| s.cycles));
+    }
+}

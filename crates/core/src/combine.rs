@@ -1,0 +1,153 @@
+//! SQE_C: rank-range combination of several result lists.
+//!
+//! Section 2.2.1 / 4.1: "we have configured SQE_C combining the results
+//! achieved by the executions of SQE_T, SQE_T&S and SQE_S in a way that
+//! the first five results come from SQE_T, the next 195 results come from
+//! SQE_T&S and the rest of the results come from SQE_S."
+
+/// One segment of the combined ranking: take results from `run` until the
+/// combined list reaches `until_rank` (1-based, inclusive). The last
+/// segment should use `usize::MAX` to absorb the tail.
+#[derive(Debug, Clone)]
+pub struct RankSegment<'a> {
+    /// The source ranking (document ids, best first).
+    pub run: &'a [String],
+    /// Fill the combined list up to this rank with this source.
+    pub until_rank: usize,
+}
+
+/// Stitches ranked lists by rank range, skipping documents already taken
+/// by an earlier segment. Sources shorter than their range simply yield
+/// fewer documents; later segments continue the fill.
+pub fn combine_rankings(segments: &[RankSegment<'_>]) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    let mut seen: rustc_hash::FxHashSet<&str> = rustc_hash::FxHashSet::default();
+    for seg in segments {
+        let mut source = seg.run.iter();
+        while out.len() < seg.until_rank {
+            match source.next() {
+                Some(doc) => {
+                    if seen.insert(doc.as_str()) {
+                        out.push(doc.clone());
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+    out
+}
+
+/// The paper's SQE_C configuration: ranks 1–5 from `sqe_t`, 6–200 from
+/// `sqe_ts`, the rest (up to `depth`) from `sqe_s`.
+pub fn sqe_c(
+    sqe_t: &[String],
+    sqe_ts: &[String],
+    sqe_s: &[String],
+    depth: usize,
+) -> Vec<String> {
+    combine_rankings(&[
+        RankSegment {
+            run: sqe_t,
+            until_rank: 5.min(depth),
+        },
+        RankSegment {
+            run: sqe_ts,
+            until_rank: 200.min(depth),
+        },
+        RankSegment {
+            run: sqe_s,
+            until_rank: depth,
+        },
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn docs(prefix: &str, n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("{prefix}{i}")).collect()
+    }
+
+    #[test]
+    fn segments_fill_their_ranges() {
+        let a = docs("a", 10);
+        let b = docs("b", 10);
+        let combined = combine_rankings(&[
+            RankSegment {
+                run: &a,
+                until_rank: 3,
+            },
+            RankSegment {
+                run: &b,
+                until_rank: 6,
+            },
+        ]);
+        assert_eq!(combined, vec!["a0", "a1", "a2", "b0", "b1", "b2"]);
+    }
+
+    #[test]
+    fn duplicates_across_segments_skipped() {
+        let a = vec!["x".to_owned(), "y".to_owned()];
+        let b = vec!["y".to_owned(), "z".to_owned(), "w".to_owned()];
+        let combined = combine_rankings(&[
+            RankSegment {
+                run: &a,
+                until_rank: 2,
+            },
+            RankSegment {
+                run: &b,
+                until_rank: 4,
+            },
+        ]);
+        assert_eq!(combined, vec!["x", "y", "z", "w"]);
+    }
+
+    #[test]
+    fn short_source_passes_to_next_segment() {
+        let a = vec!["only".to_owned()];
+        let b = docs("b", 5);
+        let combined = combine_rankings(&[
+            RankSegment {
+                run: &a,
+                until_rank: 3,
+            },
+            RankSegment {
+                run: &b,
+                until_rank: 5,
+            },
+        ]);
+        assert_eq!(combined.len(), 5);
+        assert_eq!(combined[0], "only");
+        assert_eq!(combined[1], "b0");
+    }
+
+    #[test]
+    fn paper_configuration_ranges() {
+        let t = docs("t", 300);
+        let ts = docs("m", 300);
+        let s = docs("s", 300);
+        let combined = sqe_c(&t, &ts, &s, 1000);
+        // 5 from T, 195 from T&S, then all 300 of S (none seen before).
+        assert_eq!(combined.len(), 5 + 195 + 300);
+        assert!(combined[..5].iter().all(|d| d.starts_with('t')));
+        assert!(combined[5..200].iter().all(|d| d.starts_with('m')));
+        assert!(combined[200..].iter().all(|d| d.starts_with('s')));
+    }
+
+    #[test]
+    fn depth_truncates_all_segments() {
+        let t = docs("t", 300);
+        let ts = docs("m", 300);
+        let s = docs("s", 300);
+        let combined = sqe_c(&t, &ts, &s, 3);
+        assert_eq!(combined, vec!["t0", "t1", "t2"]);
+    }
+
+    #[test]
+    fn empty_sources_yield_empty() {
+        let combined = sqe_c(&[], &[], &[], 100);
+        assert!(combined.is_empty());
+    }
+}

@@ -1,0 +1,291 @@
+//! The triangular and square expansion motifs.
+//!
+//! Both motifs are anchored at a **query node** (an article) and identify
+//! **expansion nodes** (other articles) through local structure only:
+//!
+//! * **Triangular** (length-3 cycle, Figure 3a): the query node and the
+//!   expansion node are *doubly linked* (each hyperlinks the other) and
+//!   the expansion node belongs to **at least the same categories** as the
+//!   query node. Every category shared this way closes one triangle, so
+//!   the motif count of an expansion node is the number of such triangles.
+//!
+//! * **Square** (length-4 cycle, Figure 3b): the pair is doubly linked and
+//!   **some category of one is inside some category of the other** (a
+//!   direct sub-category edge, in either direction). Every such category
+//!   pair closes one square.
+//!
+//! The paper deliberately avoids length-5 cycles for performance; the
+//! [`Motif`] trait keeps the design open for other knowledge bases (the
+//! paper's future work).
+
+use kbgraph::{ArticleId, CategoryId, KbGraph};
+
+/// Identifies a motif implementation (for configs and display).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MotifKind {
+    /// The length-3 cycle motif.
+    Triangular,
+    /// The length-4 cycle motif.
+    Square,
+}
+
+impl MotifKind {
+    /// Short display name as used in the paper's tables (T / S).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            MotifKind::Triangular => "T",
+            MotifKind::Square => "S",
+        }
+    }
+}
+
+/// A structural expansion motif: maps a query node to expansion articles,
+/// each with the number of motif instances it closes.
+pub trait Motif: Send + Sync {
+    /// Which motif this is.
+    fn kind(&self) -> MotifKind;
+
+    /// Enumerates `(expansion article, instance count)` pairs for
+    /// `query_node`. Counts are ≥ 1; articles absent from the result
+    /// close no instance of this motif with the query node.
+    fn expansions(&self, graph: &KbGraph, query_node: ArticleId) -> Vec<(ArticleId, u32)>;
+}
+
+/// The triangular motif (Figure 3a).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Triangular;
+
+impl Motif for Triangular {
+    fn kind(&self) -> MotifKind {
+        MotifKind::Triangular
+    }
+
+    fn expansions(&self, graph: &KbGraph, query_node: ArticleId) -> Vec<(ArticleId, u32)> {
+        let query_cats = graph.categories_of(query_node);
+        if query_cats.is_empty() {
+            // No category evidence ⇒ no triangles.
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for cand in graph.mutual_links(query_node) {
+            if graph.categories_superset(query_node, cand) {
+                // cats(cand) ⊇ cats(query): each shared category (i.e.
+                // every category of the query node) closes one triangle.
+                out.push((cand, query_cats.len() as u32));
+            }
+        }
+        out
+    }
+}
+
+/// The square motif (Figure 3b).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Square;
+
+impl Motif for Square {
+    fn kind(&self) -> MotifKind {
+        MotifKind::Square
+    }
+
+    fn expansions(&self, graph: &KbGraph, query_node: ArticleId) -> Vec<(ArticleId, u32)> {
+        let query_cats = graph.categories_of(query_node);
+        if query_cats.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for cand in graph.mutual_links(query_node) {
+            let cand_cats = graph.categories_of(cand);
+            if cand_cats.is_empty() {
+                continue;
+            }
+            let mut squares = 0u32;
+            for &cq in query_cats {
+                for &cc in cand_cats {
+                    if cq != cc
+                        && graph
+                            .category_adjacent(CategoryId::new(cq), CategoryId::new(cc))
+                    {
+                        squares += 1;
+                    }
+                }
+            }
+            if squares > 0 {
+                out.push((cand, squares));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kbgraph::GraphBuilder;
+
+    /// Paper's Figure 4a example: "cable car" ↔ "funicular", both in the
+    /// same categories ⇒ triangular expansion.
+    #[test]
+    fn triangular_fires_on_figure_4a() {
+        let mut b = GraphBuilder::new();
+        let cable = b.add_article("cable car");
+        let funi = b.add_article("funicular");
+        let rail = b.add_category("rail transport");
+        let mountain = b.add_category("mountain transport");
+        b.add_mutual_link(cable, funi);
+        b.add_membership(cable, rail);
+        b.add_membership(funi, rail);
+        b.add_membership(cable, mountain);
+        b.add_membership(funi, mountain);
+        let g = b.build();
+        let exp = Triangular.expansions(&g, cable);
+        assert_eq!(exp, vec![(funi, 2)], "two shared categories, two triangles");
+    }
+
+    #[test]
+    fn triangular_requires_double_link() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_article("a");
+        let x = b.add_article("x");
+        let c = b.add_category("c");
+        b.add_article_link(a, x); // one-way only
+        b.add_membership(a, c);
+        b.add_membership(x, c);
+        let g = b.build();
+        assert!(Triangular.expansions(&g, a).is_empty());
+    }
+
+    #[test]
+    fn triangular_requires_category_superset() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_article("a");
+        let x = b.add_article("x");
+        let c1 = b.add_category("c1");
+        let c2 = b.add_category("c2");
+        b.add_mutual_link(a, x);
+        b.add_membership(a, c1);
+        b.add_membership(a, c2);
+        b.add_membership(x, c1); // missing c2 ⇒ not a superset
+        let g = b.build();
+        assert!(Triangular.expansions(&g, a).is_empty());
+        // From x's perspective a IS a superset partner.
+        assert_eq!(Triangular.expansions(&g, x), vec![(a, 1)]);
+    }
+
+    #[test]
+    fn triangular_expansion_may_have_extra_categories() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_article("a");
+        let x = b.add_article("x");
+        let c1 = b.add_category("c1");
+        let c2 = b.add_category("c2");
+        b.add_mutual_link(a, x);
+        b.add_membership(a, c1);
+        b.add_membership(x, c1);
+        b.add_membership(x, c2);
+        let g = b.build();
+        assert_eq!(Triangular.expansions(&g, a), vec![(x, 1)]);
+    }
+
+    #[test]
+    fn uncategorized_query_node_yields_nothing() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_article("a");
+        let x = b.add_article("x");
+        b.add_mutual_link(a, x);
+        let g = b.build();
+        assert!(Triangular.expansions(&g, a).is_empty());
+        assert!(Square.expansions(&g, a).is_empty());
+    }
+
+    /// Paper's Figure 4b example: "graffiti" ↔ "Banksy": query node in
+    /// "street art", Banksy in "graffiti artists", and one category is
+    /// inside the other ⇒ square expansion.
+    #[test]
+    fn square_fires_on_figure_4b() {
+        let mut b = GraphBuilder::new();
+        let graffiti = b.add_article("graffiti");
+        let banksy = b.add_article("banksy");
+        let street_art = b.add_category("street art");
+        let artists = b.add_category("graffiti artists");
+        b.add_mutual_link(graffiti, banksy);
+        b.add_membership(graffiti, street_art);
+        b.add_membership(banksy, artists);
+        b.add_subcategory(artists, street_art);
+        let g = b.build();
+        assert_eq!(Square.expansions(&g, graffiti), vec![(banksy, 1)]);
+        // The motif is symmetric ("or vice versa").
+        assert_eq!(Square.expansions(&g, banksy), vec![(graffiti, 1)]);
+    }
+
+    #[test]
+    fn square_requires_double_link() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_article("a");
+        let x = b.add_article("x");
+        let c1 = b.add_category("c1");
+        let c2 = b.add_category("c2");
+        b.add_article_link(a, x);
+        b.add_membership(a, c1);
+        b.add_membership(x, c2);
+        b.add_subcategory(c2, c1);
+        let g = b.build();
+        assert!(Square.expansions(&g, a).is_empty());
+    }
+
+    #[test]
+    fn square_requires_category_adjacency() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_article("a");
+        let x = b.add_article("x");
+        let c1 = b.add_category("c1");
+        let c2 = b.add_category("c2");
+        b.add_mutual_link(a, x);
+        b.add_membership(a, c1);
+        b.add_membership(x, c2);
+        // c1 and c2 unrelated ⇒ no square.
+        let g = b.build();
+        assert!(Square.expansions(&g, a).is_empty());
+    }
+
+    #[test]
+    fn square_counts_each_category_pair() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_article("a");
+        let x = b.add_article("x");
+        let c1 = b.add_category("c1");
+        let c2 = b.add_category("c2");
+        let d1 = b.add_category("d1");
+        let d2 = b.add_category("d2");
+        b.add_mutual_link(a, x);
+        b.add_membership(a, c1);
+        b.add_membership(a, d1);
+        b.add_membership(x, c2);
+        b.add_membership(x, d2);
+        b.add_subcategory(c2, c1);
+        b.add_subcategory(d1, d2);
+        let g = b.build();
+        assert_eq!(Square.expansions(&g, a), vec![(x, 2)]);
+    }
+
+    #[test]
+    fn square_ignores_shared_identical_category() {
+        // A shared category is the *triangular* pattern, not a square:
+        // the square needs two distinct, hierarchy-adjacent categories.
+        let mut b = GraphBuilder::new();
+        let a = b.add_article("a");
+        let x = b.add_article("x");
+        let c = b.add_category("c");
+        b.add_mutual_link(a, x);
+        b.add_membership(a, c);
+        b.add_membership(x, c);
+        let g = b.build();
+        assert!(Square.expansions(&g, a).is_empty());
+        assert_eq!(Triangular.expansions(&g, a), vec![(x, 1)]);
+    }
+
+    #[test]
+    fn motif_kinds_and_names() {
+        assert_eq!(Triangular.kind().short_name(), "T");
+        assert_eq!(Square.kind().short_name(), "S");
+    }
+}

@@ -1,0 +1,349 @@
+//! End-to-end SQE retrieval pipeline.
+//!
+//! Binds a KB graph and a document index and exposes every retrieval
+//! configuration of the paper's evaluation: the `QL` baselines, the three
+//! motif configurations, the combined `SQE_C`, and the ground-truth upper
+//! bound `SQE^UB`.
+
+use kbgraph::{ArticleId, KbGraph};
+use searchlite::ql::{self, QlParams, SearchHit};
+use searchlite::{Index, Query};
+
+use crate::combine;
+use crate::expand::{self, ExpandConfig, ExpandedQuery};
+use crate::query_graph::{QueryGraph, QueryGraphBuilder};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SqeConfig {
+    /// Query-part weights.
+    pub expand: ExpandConfig,
+    /// Retrieval-model parameters.
+    pub ql: QlParams,
+    /// Ranked-list depth (trec_eval evaluates down to P@1000).
+    pub depth: usize,
+}
+
+impl Default for SqeConfig {
+    fn default() -> Self {
+        SqeConfig {
+            expand: ExpandConfig::default(),
+            ql: QlParams::default(),
+            depth: 1000,
+        }
+    }
+}
+
+/// The SQE pipeline over one KB and one collection index.
+pub struct SqePipeline<'a> {
+    graph: &'a KbGraph,
+    index: &'a Index,
+    cfg: SqeConfig,
+}
+
+impl<'a> SqePipeline<'a> {
+    /// Creates a pipeline.
+    pub fn new(graph: &'a KbGraph, index: &'a Index, cfg: SqeConfig) -> Self {
+        SqePipeline { graph, index, cfg }
+    }
+
+    /// The pipeline's configuration.
+    pub fn config(&self) -> &SqeConfig {
+        &self.cfg
+    }
+
+    /// The KB graph.
+    pub fn graph(&self) -> &KbGraph {
+        self.graph
+    }
+
+    /// The document index.
+    pub fn index(&self) -> &Index {
+        self.index
+    }
+
+    fn rank(&self, query: &Query) -> Vec<SearchHit> {
+        ql::rank(self.index, query, self.cfg.ql, self.cfg.depth)
+    }
+
+    /// Converts hits to external document ids.
+    pub fn external_ids(&self, hits: &[SearchHit]) -> Vec<String> {
+        hits.iter()
+            .map(|h| self.index.external_id(h.doc).to_owned())
+            .collect()
+    }
+
+    // ------------------------------------------------------ baselines --
+
+    /// `QL_Q`: the user's keywords only.
+    pub fn rank_user(&self, text: &str) -> Vec<SearchHit> {
+        let q = expand::user_part(text, self.index.analyzer());
+        self.rank(&q)
+    }
+
+    /// `QL_E`: the query-entity titles only, as a keyword bag (the
+    /// baseline runs titles through plain query likelihood).
+    pub fn rank_entities(&self, nodes: &[ArticleId]) -> Vec<SearchHit> {
+        let q = expand::entities_bag_part(self.graph, nodes, self.index.analyzer());
+        self.rank(&q)
+    }
+
+    /// `QL_Q&E`: user keywords and entity-title keywords, equally
+    /// weighted.
+    pub fn rank_user_entities(&self, text: &str, nodes: &[ArticleId]) -> Vec<SearchHit> {
+        let user = expand::user_part(text, self.index.analyzer());
+        let ents = expand::entities_bag_part(self.graph, nodes, self.index.analyzer());
+        let q = Query::combine(&[(user, 0.5), (ents, 0.5)]);
+        self.rank(&q)
+    }
+
+    /// `QL_X`: the expansion features alone (used in Figure 6 to show
+    /// that isolated expansion features *hurt*).
+    pub fn rank_expansion_only(&self, qg: &QueryGraph) -> Vec<SearchHit> {
+        let q = expand::expansion_part(
+            self.graph,
+            qg,
+            self.index.analyzer(),
+            self.cfg.expand.max_expansions,
+        );
+        self.rank(&q)
+    }
+
+    // ------------------------------------------------------------ SQE --
+
+    /// Builds the query graph for the given motif configuration.
+    pub fn build_query_graph(
+        &self,
+        nodes: &[ArticleId],
+        triangular: bool,
+        square: bool,
+    ) -> QueryGraph {
+        QueryGraphBuilder::with_config(self.graph, triangular, square).build(nodes)
+    }
+
+    /// Expands a query with the given motif configuration.
+    pub fn expand(
+        &self,
+        text: &str,
+        nodes: &[ArticleId],
+        triangular: bool,
+        square: bool,
+    ) -> ExpandedQuery {
+        let qg = self.build_query_graph(nodes, triangular, square);
+        expand::build_expanded_query(
+            self.graph,
+            text,
+            &qg,
+            self.index.analyzer(),
+            &self.cfg.expand,
+        )
+    }
+
+    /// `SQE_T` / `SQE_S` / `SQE_T&S` retrieval (per the flags).
+    pub fn rank_sqe(
+        &self,
+        text: &str,
+        nodes: &[ArticleId],
+        triangular: bool,
+        square: bool,
+    ) -> (Vec<SearchHit>, QueryGraph) {
+        let eq = self.expand(text, nodes, triangular, square);
+        (self.rank(&eq.query), eq.query_graph)
+    }
+
+    /// `SQE^UB`: expansion from externally supplied (ground-truth)
+    /// expansion nodes instead of motif traversal.
+    pub fn rank_with_expansions(
+        &self,
+        text: &str,
+        nodes: &[ArticleId],
+        expansions: &[(ArticleId, u32)],
+    ) -> Vec<SearchHit> {
+        let qg = QueryGraph {
+            query_nodes: nodes.to_vec(),
+            expansions: expansions.to_vec(),
+        };
+        let eq = expand::build_expanded_query(
+            self.graph,
+            text,
+            &qg,
+            self.index.analyzer(),
+            &self.cfg.expand,
+        );
+        self.rank(&eq.query)
+    }
+
+    /// Batch `SQE` retrieval over many queries, spread across `threads`
+    /// workers (the parallelization the paper's Section 4.4 suggests
+    /// would trivially reduce its expansion times). Results keep input
+    /// order; each entry is the ranked hit list of the corresponding
+    /// `(text, nodes)` pair.
+    pub fn rank_sqe_many(
+        &self,
+        queries: &[(String, Vec<ArticleId>)],
+        triangular: bool,
+        square: bool,
+        threads: usize,
+    ) -> Vec<Vec<SearchHit>> {
+        if threads <= 1 || queries.len() <= 1 {
+            return queries
+                .iter()
+                .map(|(text, nodes)| self.rank_sqe(text, nodes, triangular, square).0)
+                .collect();
+        }
+        let mut out: Vec<Option<Vec<SearchHit>>> = (0..queries.len()).map(|_| None).collect();
+        let chunk = queries.len().div_ceil(threads);
+        crossbeam::thread::scope(|s| {
+            for (qchunk, ochunk) in queries.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                s.spawn(move |_| {
+                    for ((text, nodes), slot) in qchunk.iter().zip(ochunk.iter_mut()) {
+                        *slot = Some(self.rank_sqe(text, nodes, triangular, square).0);
+                    }
+                });
+            }
+        })
+        .expect("worker panicked");
+        out.into_iter().map(|h| h.expect("filled")).collect()
+    }
+
+    /// `SQE_C`: the paper's rank-range combination — ranks 1–5 from
+    /// `SQE_T`, 6–200 from `SQE_T&S`, the rest from `SQE_S`. Returns
+    /// external document ids (the form trec_eval consumes).
+    pub fn rank_sqe_c(&self, text: &str, nodes: &[ArticleId]) -> Vec<String> {
+        let (t, _) = self.rank_sqe(text, nodes, true, false);
+        let (ts, _) = self.rank_sqe(text, nodes, true, true);
+        let (s, _) = self.rank_sqe(text, nodes, false, true);
+        combine::sqe_c(
+            &self.external_ids(&t),
+            &self.external_ids(&ts),
+            &self.external_ids(&s),
+            self.cfg.depth,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kbgraph::GraphBuilder;
+    use searchlite::{Analyzer, IndexBuilder};
+
+    /// A miniature world: two doubly-linked articles in one category;
+    /// documents about each; the expansion should pull in funicular docs
+    /// for a cable-car query.
+    fn world() -> (KbGraph, Index, ArticleId) {
+        let mut b = GraphBuilder::new();
+        let cable = b.add_article("cable car");
+        let funi = b.add_article("funicular");
+        let cat = b.add_category("mountain railways");
+        b.add_mutual_link(cable, funi);
+        b.add_membership(cable, cat);
+        b.add_membership(funi, cat);
+        let graph = b.build();
+
+        let mut ib = IndexBuilder::new(Analyzer::plain());
+        ib.add_document("d-cable-0", "cable car climbing the peak");
+        ib.add_document("d-funi-0", "old funicular near the village");
+        ib.add_document("d-funi-1", "the funicular station entrance");
+        ib.add_document("d-noise-0", "a market square with fruit");
+        let index = ib.build();
+        (graph, index, cable)
+    }
+
+    #[test]
+    fn baseline_misses_expansion_docs() {
+        let (graph, index, cable) = world();
+        let p = SqePipeline::new(&graph, &index, SqeConfig::default());
+        let hits = p.rank_user("cable car");
+        let ids = p.external_ids(&hits);
+        assert!(ids.contains(&"d-cable-0".to_owned()));
+        assert!(!ids.contains(&"d-funi-0".to_owned()));
+        let _ = cable;
+    }
+
+    #[test]
+    fn sqe_t_reaches_funicular_documents() {
+        let (graph, index, cable) = world();
+        let p = SqePipeline::new(&graph, &index, SqeConfig::default());
+        let (hits, qg) = p.rank_sqe("cable car", &[cable], true, false);
+        assert_eq!(qg.num_expansions(), 1);
+        let ids = p.external_ids(&hits);
+        assert!(ids.contains(&"d-funi-0".to_owned()));
+        assert!(ids.contains(&"d-funi-1".to_owned()));
+        assert!(!ids.contains(&"d-noise-0".to_owned()));
+    }
+
+    #[test]
+    fn square_motif_finds_nothing_here() {
+        let (graph, index, cable) = world();
+        let p = SqePipeline::new(&graph, &index, SqeConfig::default());
+        let qg = p.build_query_graph(&[cable], false, true);
+        assert_eq!(qg.num_expansions(), 0, "shared category is not a square");
+    }
+
+    #[test]
+    fn expansion_only_ranks_only_expansion_docs_on_top() {
+        let (graph, index, cable) = world();
+        let p = SqePipeline::new(&graph, &index, SqeConfig::default());
+        let qg = p.build_query_graph(&[cable], true, false);
+        let hits = p.rank_expansion_only(&qg);
+        let ids = p.external_ids(&hits);
+        assert!(ids[0].starts_with("d-funi"));
+    }
+
+    #[test]
+    fn ground_truth_expansion_api() {
+        let (graph, index, cable) = world();
+        let p = SqePipeline::new(&graph, &index, SqeConfig::default());
+        let funi = graph.find_article_by_title("funicular").unwrap();
+        let hits = p.rank_with_expansions("cable car", &[cable], &[(funi, 2)]);
+        let ids = p.external_ids(&hits);
+        assert!(ids.contains(&"d-funi-0".to_owned()));
+    }
+
+    #[test]
+    fn sqe_c_combines_and_dedups() {
+        let (graph, index, cable) = world();
+        let p = SqePipeline::new(&graph, &index, SqeConfig::default());
+        let ids = p.rank_sqe_c("cable car", &[cable]);
+        let set: std::collections::HashSet<&String> = ids.iter().collect();
+        assert_eq!(set.len(), ids.len(), "no duplicates");
+        assert!(!ids.is_empty());
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential() {
+        let (graph, index, cable) = world();
+        let p = SqePipeline::new(&graph, &index, SqeConfig::default());
+        let queries: Vec<(String, Vec<ArticleId>)> = vec![
+            ("cable car".into(), vec![cable]),
+            ("funicular station".into(), vec![cable]),
+            ("market fruit".into(), vec![]),
+        ];
+        let seq = p.rank_sqe_many(&queries, true, true, 1);
+        let par = p.rank_sqe_many(&queries, true, true, 4);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(par.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn entities_baseline_uses_phrase() {
+        let (graph, index, cable) = world();
+        let p = SqePipeline::new(&graph, &index, SqeConfig::default());
+        let hits = p.rank_entities(&[cable]);
+        let ids = p.external_ids(&hits);
+        assert_eq!(ids[0], "d-cable-0");
+    }
+
+    #[test]
+    fn user_entities_baseline_combines() {
+        let (graph, index, cable) = world();
+        let p = SqePipeline::new(&graph, &index, SqeConfig::default());
+        let hits = p.rank_user_entities("peak climbing", &[cable]);
+        assert!(!hits.is_empty());
+        let ids = p.external_ids(&hits);
+        assert_eq!(ids[0], "d-cable-0");
+    }
+}

@@ -1,0 +1,273 @@
+//! Query graph construction.
+//!
+//! "SQE consists in, given the query nodes as a starting point, identify
+//! all the nodes of the Wikipedia graph that are part of a motif and add
+//! them to the query graph. At the same time, while the motifs are being
+//! traversed, we build a set of pairs ⟨a, |m_a|⟩, where a is an article
+//! that has appeared among the expansion nodes, and |m_a| is the number of
+//! motifs in which it has appeared." (Section 2.2)
+
+use kbgraph::{ArticleId, KbGraph};
+use rustc_hash::FxHashMap;
+
+use crate::motif::Motif;
+
+/// The query graph: query nodes plus weighted expansion nodes.
+#[derive(Debug, Clone, Default)]
+pub struct QueryGraph {
+    /// The articles the user's query was linked to.
+    pub query_nodes: Vec<ArticleId>,
+    /// Expansion articles with their motif multiplicities `|m_a|`,
+    /// sorted by descending multiplicity then article id.
+    pub expansions: Vec<(ArticleId, u32)>,
+}
+
+impl QueryGraph {
+    /// Number of expansion nodes.
+    pub fn num_expansions(&self) -> usize {
+        self.expansions.len()
+    }
+
+    /// The multiplicity of an expansion article, 0 if absent.
+    pub fn multiplicity(&self, a: ArticleId) -> u32 {
+        self.expansions
+            .iter()
+            .find(|&&(x, _)| x == a)
+            .map_or(0, |&(_, m)| m)
+    }
+
+    /// Keeps only the `n` highest-multiplicity expansions.
+    pub fn truncate(&mut self, n: usize) {
+        self.expansions.truncate(n);
+    }
+
+    /// Renders the query graph (query nodes, expansion nodes, and their
+    /// categories) as Graphviz DOT in the style of the paper's Figures
+    /// 3–4: black round query nodes, white round expansion nodes, square
+    /// categories.
+    pub fn to_dot(&self, graph: &KbGraph, name: &str) -> String {
+        use kbgraph::dot::{to_dot, NodeRole};
+        use kbgraph::{CategoryId, Node};
+        let mut nodes: Vec<(Node, NodeRole)> = Vec::new();
+        let mut cats: Vec<u32> = Vec::new();
+        for &qn in &self.query_nodes {
+            nodes.push((Node::Article(qn), NodeRole::Query));
+            cats.extend_from_slice(graph.categories_of(qn));
+        }
+        for &(a, _) in &self.expansions {
+            nodes.push((Node::Article(a), NodeRole::Expansion));
+            cats.extend_from_slice(graph.categories_of(a));
+        }
+        cats.sort_unstable();
+        cats.dedup();
+        for c in cats {
+            nodes.push((Node::Category(CategoryId::new(c)), NodeRole::Context));
+        }
+        to_dot(graph, &nodes, name)
+    }
+}
+
+/// Builds query graphs by running a motif set from every query node.
+pub struct QueryGraphBuilder<'g> {
+    graph: &'g KbGraph,
+    motifs: Vec<Box<dyn Motif>>,
+}
+
+impl<'g> QueryGraphBuilder<'g> {
+    /// Creates a builder over the KB with the given motif set.
+    pub fn new(graph: &'g KbGraph, motifs: Vec<Box<dyn Motif>>) -> Self {
+        QueryGraphBuilder { graph, motifs }
+    }
+
+    /// Convenience constructor for the paper's three configurations:
+    /// `SQE_T` (triangular only), `SQE_S` (square only), `SQE_T&S` (both).
+    pub fn with_config(graph: &'g KbGraph, triangular: bool, square: bool) -> Self {
+        let mut motifs: Vec<Box<dyn Motif>> = Vec::new();
+        if triangular {
+            motifs.push(Box::new(crate::motif::Triangular));
+        }
+        if square {
+            motifs.push(Box::new(crate::motif::Square));
+        }
+        QueryGraphBuilder::new(graph, motifs)
+    }
+
+    /// The underlying KB graph.
+    pub fn graph(&self) -> &KbGraph {
+        self.graph
+    }
+
+    /// Builds the query graph of a set of query nodes: the union of all
+    /// motif expansions over all query nodes, with `|m_a|` summed across
+    /// motifs *and* query nodes. Query nodes never appear among their own
+    /// expansions.
+    pub fn build(&self, query_nodes: &[ArticleId]) -> QueryGraph {
+        let mut counts: FxHashMap<ArticleId, u32> = FxHashMap::default();
+        for &qn in query_nodes {
+            for motif in &self.motifs {
+                for (a, m) in motif.expansions(self.graph, qn) {
+                    if !query_nodes.contains(&a) {
+                        *counts.entry(a).or_insert(0) += m;
+                    }
+                }
+            }
+        }
+        let mut expansions: Vec<(ArticleId, u32)> = counts.into_iter().collect();
+        expansions.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        QueryGraph {
+            query_nodes: query_nodes.to_vec(),
+            expansions,
+        }
+    }
+
+    /// Builds query graphs for many queries, spreading query-node motif
+    /// traversals over `threads` workers (the parallelization the paper's
+    /// Section 4.4 suggests). Results keep input order.
+    pub fn build_many(&self, queries: &[Vec<ArticleId>], threads: usize) -> Vec<QueryGraph> {
+        if threads <= 1 || queries.len() <= 1 {
+            return queries.iter().map(|q| self.build(q)).collect();
+        }
+        let mut out: Vec<Option<QueryGraph>> = (0..queries.len()).map(|_| None).collect();
+        let chunk = queries.len().div_ceil(threads);
+        crossbeam::thread::scope(|s| {
+            for (qchunk, ochunk) in queries.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                s.spawn(move |_| {
+                    for (q, slot) in qchunk.iter().zip(ochunk.iter_mut()) {
+                        *slot = Some(self.build(q));
+                    }
+                });
+            }
+        })
+        .expect("worker panicked");
+        out.into_iter().map(|g| g.expect("filled")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kbgraph::GraphBuilder;
+
+    /// Two query nodes sharing one expansion partner (via triangles) and
+    /// each having a private square partner.
+    fn toy() -> (KbGraph, Vec<ArticleId>, ArticleId) {
+        let mut b = GraphBuilder::new();
+        let q1 = b.add_article("q1");
+        let q2 = b.add_article("q2");
+        let shared = b.add_article("shared");
+        let c = b.add_category("c");
+        b.add_membership(q1, c);
+        b.add_membership(q2, c);
+        b.add_membership(shared, c);
+        b.add_mutual_link(q1, shared);
+        b.add_mutual_link(q2, shared);
+        (b.build(), vec![q1, q2], shared)
+    }
+
+    #[test]
+    fn multiplicity_sums_over_query_nodes() {
+        let (g, qns, shared) = toy();
+        let builder = QueryGraphBuilder::with_config(&g, true, false);
+        let qg = builder.build(&qns);
+        assert_eq!(qg.num_expansions(), 1);
+        // One triangle from q1 and one from q2.
+        assert_eq!(qg.multiplicity(shared), 2);
+    }
+
+    #[test]
+    fn query_nodes_excluded_from_expansions() {
+        let mut b = GraphBuilder::new();
+        let q1 = b.add_article("q1");
+        let q2 = b.add_article("q2");
+        let c = b.add_category("c");
+        b.add_membership(q1, c);
+        b.add_membership(q2, c);
+        b.add_mutual_link(q1, q2);
+        let g = b.build();
+        let builder = QueryGraphBuilder::with_config(&g, true, true);
+        let qg = builder.build(&[q1, q2]);
+        assert_eq!(
+            qg.num_expansions(),
+            0,
+            "query nodes expand each other but must not be expansion nodes"
+        );
+    }
+
+    #[test]
+    fn empty_motif_set_builds_empty_graph() {
+        let (g, qns, _) = toy();
+        let builder = QueryGraphBuilder::new(&g, Vec::new());
+        let qg = builder.build(&qns);
+        assert!(qg.expansions.is_empty());
+        assert_eq!(qg.query_nodes, qns);
+    }
+
+    #[test]
+    fn both_motifs_sum_multiplicities() {
+        // A pair that closes one triangle AND one square.
+        let mut b = GraphBuilder::new();
+        let q = b.add_article("q");
+        let x = b.add_article("x");
+        let c = b.add_category("c");
+        let sub = b.add_category("sub");
+        b.add_membership(q, c);
+        b.add_membership(x, c);
+        b.add_membership(x, sub);
+        b.add_subcategory(sub, c);
+        b.add_mutual_link(q, x);
+        let g = b.build();
+        let t = QueryGraphBuilder::with_config(&g, true, false).build(&[q]);
+        let s = QueryGraphBuilder::with_config(&g, false, true).build(&[q]);
+        let ts = QueryGraphBuilder::with_config(&g, true, true).build(&[q]);
+        assert_eq!(ts.multiplicity(x), t.multiplicity(x) + s.multiplicity(x));
+    }
+
+    #[test]
+    fn expansions_sorted_by_multiplicity() {
+        let (g, qns, _) = toy();
+        let builder = QueryGraphBuilder::with_config(&g, true, true);
+        let qg = builder.build(&qns);
+        for w in qg.expansions.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn truncate_keeps_top() {
+        let mut qg = QueryGraph {
+            query_nodes: vec![],
+            expansions: vec![
+                (ArticleId::new(1), 5),
+                (ArticleId::new(2), 3),
+                (ArticleId::new(3), 1),
+            ],
+        };
+        qg.truncate(2);
+        assert_eq!(qg.num_expansions(), 2);
+        assert_eq!(qg.multiplicity(ArticleId::new(3)), 0);
+    }
+
+    #[test]
+    fn dot_rendering_includes_roles() {
+        let (g, qns, shared) = toy();
+        let qg = QueryGraphBuilder::with_config(&g, true, false).build(&qns);
+        let dot = qg.to_dot(&g, "test");
+        assert!(dot.contains("fillcolor=black"), "query nodes black");
+        assert!(dot.contains("fillcolor=white"), "expansion nodes white");
+        assert!(dot.contains("shape=box"), "categories as boxes");
+        let _ = shared;
+    }
+
+    #[test]
+    fn build_many_matches_sequential() {
+        let (g, qns, _) = toy();
+        let builder = QueryGraphBuilder::with_config(&g, true, true);
+        let queries: Vec<Vec<ArticleId>> = vec![qns.clone(), vec![qns[0]], vec![qns[1]]];
+        let seq = builder.build_many(&queries, 1);
+        let par = builder.build_many(&queries, 4);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(par.iter()) {
+            assert_eq!(a.expansions, b.expansions);
+        }
+    }
+}

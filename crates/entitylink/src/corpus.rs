@@ -1,0 +1,158 @@
+//! Corpus annotation and anchor-statistics commonness.
+//!
+//! Dexter's commonness prior is estimated from anchor text: how often a
+//! surface form refers to each article across a corpus. This module
+//! provides the same loop for any document collection: spot dictionary
+//! mentions in every document, optionally resolve them against known
+//! document topics, and re-estimate per-sense commonness from the counts.
+
+use kbgraph::ArticleId;
+use rustc_hash::FxHashMap;
+
+use crate::dictionary::Dictionary;
+use crate::spotter::{self, Mention};
+
+/// Mentions found in one document.
+#[derive(Debug, Clone)]
+pub struct DocAnnotations {
+    /// Index of the document in the input order.
+    pub doc: usize,
+    /// The spotted mentions.
+    pub mentions: Vec<Mention>,
+}
+
+/// Spots dictionary mentions in every document of a corpus.
+pub fn annotate_corpus<'a, I>(dict: &Dictionary, docs: I) -> Vec<DocAnnotations>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let analyzer = dict.analyzer().clone();
+    docs.into_iter()
+        .enumerate()
+        .map(|(doc, text)| {
+            let tokens = analyzer.analyze(text);
+            DocAnnotations {
+                doc,
+                mentions: spotter::spot(dict, &tokens),
+            }
+        })
+        .collect()
+}
+
+/// Accumulates `(surface, article)` reference counts — the raw material
+/// of the commonness prior. Counts come from *labelled* examples: a
+/// document known to be about `article` that contains `surface`.
+#[derive(Debug, Default)]
+pub struct AnchorStats {
+    counts: FxHashMap<(String, ArticleId), u64>,
+    surface_totals: FxHashMap<String, u64>,
+}
+
+impl AnchorStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        AnchorStats::default()
+    }
+
+    /// Records that `surface` referred to `article` once. The surface
+    /// must already be normalized (see [`Dictionary::normalize`]).
+    pub fn record(&mut self, surface: &str, article: ArticleId) {
+        *self
+            .counts
+            .entry((surface.to_owned(), article))
+            .or_insert(0) += 1;
+        *self.surface_totals.entry(surface.to_owned()).or_insert(0) += 1;
+    }
+
+    /// Number of recorded references of a surface form.
+    pub fn surface_count(&self, surface: &str) -> u64 {
+        self.surface_totals.get(surface).copied().unwrap_or(0)
+    }
+
+    /// The estimated commonness `P(article | surface)`, or `None` when
+    /// the surface was never observed.
+    pub fn commonness(&self, surface: &str, article: ArticleId) -> Option<f64> {
+        let total = *self.surface_totals.get(surface)?;
+        if total == 0 {
+            return None;
+        }
+        let c = self
+            .counts
+            .get(&(surface.to_owned(), article))
+            .copied()
+            .unwrap_or(0);
+        Some(c as f64 / total as f64)
+    }
+
+    /// Re-estimates the commonness of every observed `(surface, sense)`
+    /// pair in the dictionary. Unobserved pairs keep their prior (Dexter
+    /// behaves the same: the anchor prior only covers attested usage).
+    pub fn apply_to(&self, dict: &mut Dictionary) {
+        for (surface, article) in self.counts.keys() {
+            if let Some(commonness) = self.commonness(surface, *article) {
+                dict.set_commonness(surface, *article, commonness);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dict() -> Dictionary {
+        let mut d = Dictionary::new();
+        d.add("mercury", ArticleId::new(1), 0.5); // planet
+        d.add("mercury", ArticleId::new(2), 0.5); // element
+        d.add("cable car", ArticleId::new(3), 1.0);
+        d
+    }
+
+    #[test]
+    fn annotate_finds_mentions_per_document() {
+        let d = dict();
+        let docs = ["mercury in the sky", "a cable car ride", "nothing here"];
+        let ann = annotate_corpus(&d, docs);
+        assert_eq!(ann.len(), 3);
+        assert_eq!(ann[0].mentions.len(), 1);
+        assert_eq!(ann[1].mentions[0].surface, "cable car");
+        assert!(ann[2].mentions.is_empty());
+    }
+
+    #[test]
+    fn anchor_stats_estimate_commonness() {
+        let mut stats = AnchorStats::new();
+        for _ in 0..3 {
+            stats.record("mercury", ArticleId::new(1));
+        }
+        stats.record("mercury", ArticleId::new(2));
+        assert_eq!(stats.surface_count("mercury"), 4);
+        assert!((stats.commonness("mercury", ArticleId::new(1)).unwrap() - 0.75).abs() < 1e-12);
+        assert!((stats.commonness("mercury", ArticleId::new(2)).unwrap() - 0.25).abs() < 1e-12);
+        assert!(stats.commonness("venus", ArticleId::new(1)).is_none());
+    }
+
+    #[test]
+    fn applying_stats_reorders_senses() {
+        let mut d = dict();
+        let mut stats = AnchorStats::new();
+        // The element dominates usage in this corpus.
+        for _ in 0..9 {
+            stats.record("mercury", ArticleId::new(2));
+        }
+        stats.record("mercury", ArticleId::new(1));
+        stats.apply_to(&mut d);
+        let senses = d.lookup("mercury").unwrap();
+        assert_eq!(senses[0].article, ArticleId::new(2), "element now first");
+        assert!((senses[0].commonness - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unobserved_senses_keep_prior() {
+        let mut d = dict();
+        let stats = AnchorStats::new();
+        stats.apply_to(&mut d);
+        let senses = d.lookup("cable car").unwrap();
+        assert!((senses[0].commonness - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,46 @@
+//! Entity-linker substrate (Dexter/Alchemy-like).
+//!
+//! Section 3 of the paper links query text to Wikipedia articles with
+//! Dexter (dictionary-based entity linking) and falls back to
+//! Alchemy-style entity *recognition* when Dexter finds nothing, reaching
+//! "more than 80% precision in identifying and linking the entities".
+//!
+//! This crate reproduces that architecture:
+//!
+//! * [`Dictionary`] — surface form → candidate senses with commonness
+//!   priors (the article most often meant by that surface form wins);
+//! * [`spotter`] — greedy longest-match n-gram mention
+//!   detection over analyzed query tokens (the Dexter stage);
+//! * a *fallback* containment index — when no dictionary surface matches,
+//!   single tokens are matched against article titles containing them
+//!   (the Alchemy stage);
+//! * [`noise`] — an optional error channel (miss / mislink probabilities)
+//!   for studying linking-quality sensitivity, on top of the *intrinsic*
+//!   ambiguity already created by colliding aliases;
+//! * [`corpus`] — corpus annotation and anchor-statistics commonness
+//!   re-estimation (how Dexter actually obtains its prior).
+//!
+//! # Example
+//!
+//! ```
+//! use entitylink::{Dictionary, EntityLinker, LinkerConfig};
+//! use kbgraph::ArticleId;
+//!
+//! let mut dict = Dictionary::new();
+//! dict.add("cable car", ArticleId::new(0), 1.0);
+//! dict.add("tram", ArticleId::new(1), 0.9);
+//! let linker = EntityLinker::new(dict, LinkerConfig::default());
+//! let links = linker.link("historic cable car photos");
+//! assert_eq!(links[0].article, ArticleId::new(0));
+//! ```
+
+pub mod corpus;
+pub mod dictionary;
+pub mod linker;
+pub mod noise;
+pub mod spotter;
+
+pub use corpus::{annotate_corpus, AnchorStats};
+pub use dictionary::{Dictionary, Sense};
+pub use linker::{EntityLinker, LinkedEntity, LinkerConfig};
+pub use noise::NoiseModel;

@@ -1,0 +1,255 @@
+//! The two-stage entity linker.
+
+use kbgraph::ArticleId;
+
+use crate::dictionary::Dictionary;
+use crate::noise::{NoiseModel, NoiseRng};
+use crate::spotter;
+
+/// Linker behaviour knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkerConfig {
+    /// Minimum commonness for a sense to be accepted at all.
+    pub min_commonness: f64,
+    /// Enable the Alchemy-style fallback (token-containment matching)
+    /// when the Dexter stage finds nothing.
+    pub fallback: bool,
+    /// Extrinsic error channel.
+    pub noise: NoiseModel,
+}
+
+impl Default for LinkerConfig {
+    fn default() -> Self {
+        LinkerConfig {
+            min_commonness: 0.0,
+            fallback: true,
+            noise: NoiseModel::none(),
+        }
+    }
+}
+
+/// One linked entity in a piece of text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkedEntity {
+    /// The resolved article.
+    pub article: ArticleId,
+    /// The surface form that produced the link.
+    pub surface: String,
+    /// The commonness of the winning sense.
+    pub commonness: f64,
+    /// True when the link came from the fallback stage.
+    pub from_fallback: bool,
+}
+
+/// Dictionary spotting + commonness disambiguation + containment fallback.
+#[derive(Debug)]
+pub struct EntityLinker {
+    dict: Dictionary,
+    cfg: LinkerConfig,
+}
+
+impl EntityLinker {
+    /// Creates a linker over a dictionary.
+    pub fn new(dict: Dictionary, cfg: LinkerConfig) -> Self {
+        EntityLinker { dict, cfg }
+    }
+
+    /// The underlying dictionary.
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// Links entities in `text`. The primary (Dexter) stage spots
+    /// longest-match dictionary mentions and resolves each to its most
+    /// common sense; if *nothing* is spotted and the fallback is enabled,
+    /// individual tokens are matched against titles containing them (the
+    /// Alchemy stage). Results are deduplicated by article, best
+    /// commonness first.
+    pub fn link(&self, text: &str) -> Vec<LinkedEntity> {
+        let tokens = self.dict.analyzer().analyze(text);
+        let mut rng = NoiseRng::from_text(text);
+        let mut out: Vec<LinkedEntity> = Vec::new();
+
+        let mentions = spotter::spot(&self.dict, &tokens);
+        for m in &mentions {
+            let senses = self.dict.lookup(&m.surface).expect("spotted ⇒ present");
+            self.resolve(&m.surface, senses, false, &mut rng, &mut out);
+        }
+        if out.is_empty() && self.cfg.fallback {
+            for tok in &tokens {
+                if let Some(senses) = self.dict.lookup_containing(tok) {
+                    self.resolve(tok, senses, true, &mut rng, &mut out);
+                }
+            }
+        }
+        // Dedup by article keeping the best-commonness occurrence.
+        out.sort_by(|a, b| {
+            a.article.cmp(&b.article).then(
+                b.commonness
+                    .partial_cmp(&a.commonness)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+        });
+        out.dedup_by_key(|l| l.article);
+        out.sort_by(|a, b| {
+            b.commonness
+                .partial_cmp(&a.commonness)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.article.cmp(&b.article))
+        });
+        out
+    }
+
+    fn resolve(
+        &self,
+        surface: &str,
+        senses: &[crate::dictionary::Sense],
+        from_fallback: bool,
+        rng: &mut NoiseRng,
+        out: &mut Vec<LinkedEntity>,
+    ) {
+        let eligible: Vec<_> = senses
+            .iter()
+            .filter(|s| s.commonness >= self.cfg.min_commonness)
+            .collect();
+        if eligible.is_empty() {
+            return;
+        }
+        if rng.chance(self.cfg.noise.p_miss) {
+            return;
+        }
+        let mut pick = 0usize;
+        if eligible.len() > 1 && rng.chance(self.cfg.noise.p_mislink) {
+            pick = 1;
+        }
+        let s = eligible[pick];
+        out.push(LinkedEntity {
+            article: s.article,
+            surface: surface.to_owned(),
+            commonness: s.commonness,
+            from_fallback,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dict() -> Dictionary {
+        let mut d = Dictionary::new();
+        d.add("cable car", ArticleId::new(1), 1.0);
+        d.add("banksy", ArticleId::new(2), 0.9);
+        d.add("mercury", ArticleId::new(3), 0.7); // planet
+        d.add("mercury", ArticleId::new(4), 0.3); // element
+        d.add("street art", ArticleId::new(5), 1.0);
+        d
+    }
+
+    #[test]
+    fn links_exact_mentions() {
+        let l = EntityLinker::new(dict(), LinkerConfig::default());
+        let links = l.link("graffiti street art on walls");
+        assert_eq!(links.len(), 1);
+        assert_eq!(links[0].article, ArticleId::new(5));
+        assert!(!links[0].from_fallback);
+    }
+
+    #[test]
+    fn ambiguity_resolved_by_commonness() {
+        let l = EntityLinker::new(dict(), LinkerConfig::default());
+        let links = l.link("mercury probe");
+        assert_eq!(links[0].article, ArticleId::new(3), "planet is more common");
+    }
+
+    #[test]
+    fn fallback_matches_partial_titles() {
+        let l = EntityLinker::new(dict(), LinkerConfig::default());
+        let links = l.link("historic cable photos");
+        assert_eq!(links.len(), 1);
+        assert_eq!(links[0].article, ArticleId::new(1));
+        assert!(links[0].from_fallback);
+    }
+
+    #[test]
+    fn fallback_not_used_when_primary_hits() {
+        let l = EntityLinker::new(dict(), LinkerConfig::default());
+        // "banksy" hits directly; "cable" alone must not fall back.
+        let links = l.link("banksy cable");
+        assert_eq!(links.len(), 1);
+        assert_eq!(links[0].article, ArticleId::new(2));
+    }
+
+    #[test]
+    fn fallback_can_be_disabled() {
+        let cfg = LinkerConfig {
+            fallback: false,
+            ..LinkerConfig::default()
+        };
+        let l = EntityLinker::new(dict(), cfg);
+        assert!(l.link("historic cable photos").is_empty());
+    }
+
+    #[test]
+    fn min_commonness_filters_senses() {
+        let cfg = LinkerConfig {
+            min_commonness: 0.8,
+            ..LinkerConfig::default()
+        };
+        let l = EntityLinker::new(dict(), cfg);
+        assert!(l.link("mercury rising").is_empty());
+        assert_eq!(l.link("banksy works").len(), 1);
+    }
+
+    #[test]
+    fn full_miss_noise_drops_everything() {
+        let cfg = LinkerConfig {
+            noise: NoiseModel {
+                p_miss: 1.0,
+                p_mislink: 0.0,
+            },
+            ..LinkerConfig::default()
+        };
+        let l = EntityLinker::new(dict(), cfg);
+        assert!(l.link("banksy street art").is_empty());
+    }
+
+    #[test]
+    fn full_mislink_noise_picks_second_sense() {
+        let cfg = LinkerConfig {
+            noise: NoiseModel {
+                p_miss: 0.0,
+                p_mislink: 1.0,
+            },
+            ..LinkerConfig::default()
+        };
+        let l = EntityLinker::new(dict(), cfg);
+        let links = l.link("mercury");
+        assert_eq!(links[0].article, ArticleId::new(4), "second sense chosen");
+        // Unambiguous mentions are unaffected (no second sense to swap to).
+        let links = l.link("banksy");
+        assert_eq!(links[0].article, ArticleId::new(2));
+    }
+
+    #[test]
+    fn linking_is_deterministic() {
+        let cfg = LinkerConfig {
+            noise: NoiseModel {
+                p_miss: 0.3,
+                p_mislink: 0.3,
+            },
+            ..LinkerConfig::default()
+        };
+        let l = EntityLinker::new(dict(), cfg);
+        let a = l.link("mercury banksy street art");
+        let b = l.link("mercury banksy street art");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn duplicate_mentions_dedup_by_article() {
+        let l = EntityLinker::new(dict(), LinkerConfig::default());
+        let links = l.link("banksy and banksy again");
+        assert_eq!(links.len(), 1);
+    }
+}

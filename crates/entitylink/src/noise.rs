@@ -1,0 +1,132 @@
+//! Deterministic linking-error channel.
+//!
+//! The synthetic aliases already create *intrinsic* ambiguity (the wrong
+//! but more common sense wins). This channel adds *extrinsic* error on
+//! top — missed mentions and mislinks — so experiments can sweep linking
+//! quality, as the paper's discussion of Figure 6 suggests ("improving
+//! the techniques used in our system would improve the results").
+
+/// Miss / mislink probabilities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    /// Probability that a detected mention is dropped entirely.
+    pub p_miss: f64,
+    /// Probability that a resolved mention is swapped to the next-best
+    /// sense (when one exists; otherwise dropped).
+    pub p_mislink: f64,
+}
+
+impl NoiseModel {
+    /// The noiseless channel.
+    pub fn none() -> Self {
+        NoiseModel {
+            p_miss: 0.0,
+            p_mislink: 0.0,
+        }
+    }
+
+    /// True when the channel never alters anything.
+    pub fn is_none(&self) -> bool {
+        self.p_miss <= 0.0 && self.p_mislink <= 0.0
+    }
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        NoiseModel::none()
+    }
+}
+
+/// A tiny deterministic PRNG (splitmix64) so noise decisions are a pure
+/// function of (seed, draw index) — links never change across runs.
+#[derive(Debug, Clone)]
+pub struct NoiseRng {
+    state: u64,
+}
+
+impl NoiseRng {
+    /// Seeds the generator; the same seed yields the same decisions.
+    pub fn new(seed: u64) -> Self {
+        NoiseRng { state: seed }
+    }
+
+    /// Seeds from arbitrary text (e.g. the query string) via FNV-1a.
+    pub fn from_text(text: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in text.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        NoiseRng::new(h)
+    }
+
+    /// Next uniform value in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Bernoulli draw.
+    pub fn chance(&mut self, p: f64) -> bool {
+        p > 0.0 && self.next_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_channel_is_none() {
+        assert!(NoiseModel::none().is_none());
+        assert!(NoiseModel::default().is_none());
+        assert!(!NoiseModel {
+            p_miss: 0.1,
+            p_mislink: 0.0
+        }
+        .is_none());
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = NoiseRng::new(7);
+        let mut b = NoiseRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_f64(), b.next_f64());
+        }
+    }
+
+    #[test]
+    fn rng_from_text_stable() {
+        let mut a = NoiseRng::from_text("cable cars");
+        let mut b = NoiseRng::from_text("cable cars");
+        assert_eq!(a.next_f64(), b.next_f64());
+        let mut c = NoiseRng::from_text("other");
+        assert_ne!(a.next_f64(), c.next_f64());
+    }
+
+    #[test]
+    fn values_in_unit_interval_and_spread() {
+        let mut r = NoiseRng::new(42);
+        let mut low = 0;
+        for _ in 0..1000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+            if v < 0.5 {
+                low += 1;
+            }
+        }
+        assert!((350..=650).contains(&low), "roughly balanced: {low}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = NoiseRng::new(1);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+}

@@ -1,0 +1,101 @@
+//! Greedy longest-match mention spotting.
+
+use crate::dictionary::Dictionary;
+
+/// A detected mention: a token span with dictionary hits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mention {
+    /// Token offset of the mention start.
+    pub start: usize,
+    /// Number of tokens covered.
+    pub len: usize,
+    /// The normalized surface form (dictionary key).
+    pub surface: String,
+}
+
+/// Spots dictionary mentions in analyzed tokens, greedily preferring the
+/// longest match at each position (Dexter's spotting strategy). Spans do
+/// not overlap.
+pub fn spot(dict: &Dictionary, tokens: &[String]) -> Vec<Mention> {
+    let mut mentions = Vec::new();
+    let max = dict.max_tokens().max(1);
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut matched = false;
+        let upper = (tokens.len() - i).min(max);
+        for len in (1..=upper).rev() {
+            let key = tokens[i..i + len].join(" ");
+            if dict.lookup(&key).is_some() {
+                mentions.push(Mention {
+                    start: i,
+                    len,
+                    surface: key,
+                });
+                i += len;
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            i += 1;
+        }
+    }
+    mentions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kbgraph::ArticleId;
+
+    fn dict() -> Dictionary {
+        let mut d = Dictionary::new();
+        d.add("cable car", ArticleId::new(1), 1.0);
+        d.add("car", ArticleId::new(2), 0.8);
+        d.add("street art", ArticleId::new(3), 1.0);
+        d
+    }
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split(' ').map(|t| t.to_owned()).collect()
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        let m = spot(&dict(), &toks("historic cable car photos"));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].surface, "cable car");
+        assert_eq!((m[0].start, m[0].len), (1, 2));
+    }
+
+    #[test]
+    fn shorter_match_when_longer_absent() {
+        let m = spot(&dict(), &toks("red car race"));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].surface, "car");
+    }
+
+    #[test]
+    fn multiple_non_overlapping_mentions() {
+        let m = spot(&dict(), &toks("cable car near street art"));
+        let surfaces: Vec<&str> = m.iter().map(|x| x.surface.as_str()).collect();
+        assert_eq!(surfaces, vec!["cable car", "street art"]);
+    }
+
+    #[test]
+    fn no_mentions_in_unknown_text() {
+        assert!(spot(&dict(), &toks("quiet mountain village")).is_empty());
+    }
+
+    #[test]
+    fn empty_tokens() {
+        assert!(spot(&dict(), &[]).is_empty());
+    }
+
+    #[test]
+    fn consumed_span_not_reused() {
+        // "car" inside "cable car" must not produce a second mention.
+        let m = spot(&dict(), &toks("cable car"));
+        assert_eq!(m.len(), 1);
+    }
+}

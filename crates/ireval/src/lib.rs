@@ -1,0 +1,41 @@
+//! trec_eval-style evaluation for the SQE reproduction.
+//!
+//! The paper evaluates "the system's precision for the default tops in
+//! TrecEval" and establishes significance with a paired t-test at
+//! `p < 0.05`. This crate provides:
+//!
+//! * [`qrels`] — relevance judgments,
+//! * [`run`] — ranked retrieval results per query,
+//! * [`precision`] — P@k at the default trec_eval cutoffs
+//!   (5, 10, 15, 20, 30, 100, 200, 500, 1000), plus average precision,
+//! * [`stats`] — the paired Student t-test (two-sided), with an exact
+//!   t-distribution CDF via the regularized incomplete beta function,
+//! * [`trec`] — reading/writing trec_eval's qrels and run file formats
+//!   for interop with the real evaluation toolchain.
+//!
+//! # Example
+//!
+//! ```
+//! use ireval::{Qrels, Run, precision::precision_at};
+//!
+//! let mut qrels = Qrels::new();
+//! qrels.add_judgment("q1", "d1");
+//! qrels.add_judgment("q1", "d3");
+//!
+//! let mut run = Run::new("demo");
+//! run.set_ranking("q1", vec!["d1".into(), "d2".into(), "d3".into()]);
+//!
+//! let p2 = precision_at(run.ranking("q1").unwrap(), qrels.relevant("q1"), 2);
+//! assert_eq!(p2, 0.5);
+//! ```
+
+pub mod precision;
+pub mod qrels;
+pub mod run;
+pub mod stats;
+pub mod trec;
+
+pub use precision::{PrecisionTable, TREC_CUTOFFS};
+pub use qrels::Qrels;
+pub use run::Run;
+pub use stats::{paired_t_test, TTestResult};

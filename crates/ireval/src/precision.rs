@@ -1,0 +1,299 @@
+//! Precision at cutoffs and average precision.
+
+use rustc_hash::FxHashSet;
+
+use crate::qrels::Qrels;
+use crate::run::Run;
+
+/// The default trec_eval precision cutoffs the paper reports.
+pub const TREC_CUTOFFS: [usize; 9] = [5, 10, 15, 20, 30, 100, 200, 500, 1000];
+
+/// Precision at `k`: fraction of the top-`k` ranked documents that are
+/// relevant. Rankings shorter than `k` are padded with non-relevant
+/// results (trec_eval semantics — the denominator is always `k`).
+pub fn precision_at(ranking: &[String], relevant: &FxHashSet<String>, k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let hits = ranking
+        .iter()
+        .take(k)
+        .filter(|d| relevant.contains(d.as_str()))
+        .count();
+    hits as f64 / k as f64
+}
+
+/// Average precision of one ranking (the mean of precision values at every
+/// relevant document's rank, divided by the total number of relevant
+/// documents). Zero when the query has no relevant documents.
+pub fn average_precision(ranking: &[String], relevant: &FxHashSet<String>) -> f64 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut sum = 0.0;
+    for (i, d) in ranking.iter().enumerate() {
+        if relevant.contains(d.as_str()) {
+            hits += 1;
+            sum += hits as f64 / (i + 1) as f64;
+        }
+    }
+    sum / relevant.len() as f64
+}
+
+/// Recall at `k`: fraction of the relevant documents found in the top-`k`
+/// (0 when the query has no relevant documents, per trec_eval).
+pub fn recall_at(ranking: &[String], relevant: &FxHashSet<String>, k: usize) -> f64 {
+    if relevant.is_empty() || k == 0 {
+        return 0.0;
+    }
+    let hits = ranking
+        .iter()
+        .take(k)
+        .filter(|d| relevant.contains(d.as_str()))
+        .count();
+    hits as f64 / relevant.len() as f64
+}
+
+/// Reciprocal rank: `1/rank` of the first relevant document, 0 if none
+/// is retrieved.
+pub fn reciprocal_rank(ranking: &[String], relevant: &FxHashSet<String>) -> f64 {
+    for (i, d) in ranking.iter().enumerate() {
+        if relevant.contains(d.as_str()) {
+            return 1.0 / (i + 1) as f64;
+        }
+    }
+    0.0
+}
+
+/// Mean reciprocal rank of a run over all qrels queries.
+pub fn mean_reciprocal_rank(run: &Run, qrels: &Qrels) -> f64 {
+    let queries = qrels.queries();
+    if queries.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = queries
+        .iter()
+        .map(|q| match run.ranking(q) {
+            Some(r) => reciprocal_rank(r, qrels.relevant(q)),
+            None => 0.0,
+        })
+        .sum();
+    sum / queries.len() as f64
+}
+
+/// Per-query precision values of one run at one cutoff, in sorted query
+/// order of `qrels`. Queries missing from the run contribute 0 (trec_eval
+/// treats them as empty rankings).
+pub fn per_query_precision(run: &Run, qrels: &Qrels, k: usize) -> Vec<f64> {
+    qrels
+        .queries()
+        .iter()
+        .map(|q| match run.ranking(q) {
+            Some(r) => precision_at(r, qrels.relevant(q), k),
+            None => 0.0,
+        })
+        .collect()
+}
+
+/// Mean precision of a run at a cutoff over all qrels queries.
+pub fn mean_precision(run: &Run, qrels: &Qrels, k: usize) -> f64 {
+    let per = per_query_precision(run, qrels, k);
+    if per.is_empty() {
+        0.0
+    } else {
+        per.iter().sum::<f64>() / per.len() as f64
+    }
+}
+
+/// Mean average precision of a run.
+pub fn mean_average_precision(run: &Run, qrels: &Qrels) -> f64 {
+    let queries = qrels.queries();
+    if queries.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = queries
+        .iter()
+        .map(|q| match run.ranking(q) {
+            Some(r) => average_precision(r, qrels.relevant(q)),
+            None => 0.0,
+        })
+        .sum();
+    sum / queries.len() as f64
+}
+
+/// A row of mean precisions at every default cutoff — one table row of the
+/// paper's Tables 1–3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrecisionTable {
+    /// Run name the row describes.
+    pub name: String,
+    /// `values[i]` is mean P@`TREC_CUTOFFS[i]`.
+    pub values: [f64; TREC_CUTOFFS.len()],
+}
+
+impl PrecisionTable {
+    /// Evaluates a run against qrels at all default cutoffs.
+    pub fn evaluate(run: &Run, qrels: &Qrels) -> Self {
+        let mut values = [0.0; TREC_CUTOFFS.len()];
+        for (i, &k) in TREC_CUTOFFS.iter().enumerate() {
+            values[i] = mean_precision(run, qrels, k);
+        }
+        PrecisionTable {
+            name: run.name().to_owned(),
+            values,
+        }
+    }
+
+    /// Value at a specific cutoff (must be one of [`TREC_CUTOFFS`]).
+    pub fn at(&self, k: usize) -> f64 {
+        let i = TREC_CUTOFFS
+            .iter()
+            .position(|&c| c == k)
+            .unwrap_or_else(|| panic!("{k} is not a default trec_eval cutoff"));
+        self.values[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(docs: &[&str]) -> FxHashSet<String> {
+        docs.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn rank(docs: &[&str]) -> Vec<String> {
+        docs.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn precision_at_basic() {
+        let r = rank(&["a", "b", "c", "d"]);
+        let q = rel(&["a", "c"]);
+        assert_eq!(precision_at(&r, &q, 1), 1.0);
+        assert_eq!(precision_at(&r, &q, 2), 0.5);
+        assert_eq!(precision_at(&r, &q, 4), 0.5);
+    }
+
+    #[test]
+    fn short_ranking_pads_denominator() {
+        let r = rank(&["a"]);
+        let q = rel(&["a"]);
+        assert_eq!(precision_at(&r, &q, 5), 0.2);
+    }
+
+    #[test]
+    fn zero_k_and_no_relevant() {
+        let r = rank(&["a"]);
+        assert_eq!(precision_at(&r, &rel(&[]), 5), 0.0);
+        assert_eq!(precision_at(&r, &rel(&["a"]), 0), 0.0);
+    }
+
+    #[test]
+    fn average_precision_known_value() {
+        // Relevant at ranks 1 and 3 of {a,b,c}; R = 2.
+        let r = rank(&["a", "b", "c"]);
+        let q = rel(&["a", "c"]);
+        let expected = (1.0 / 1.0 + 2.0 / 3.0) / 2.0;
+        assert!((average_precision(&r, &q) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_precision_counts_unretrieved_relevant() {
+        let r = rank(&["a"]);
+        let q = rel(&["a", "zzz"]);
+        assert!((average_precision(&r, &q) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_precision_averages_over_all_queries() {
+        let mut qrels = Qrels::new();
+        qrels.add_judgment("q1", "a");
+        qrels.add_query("q2"); // zero-relevant query drags the mean down
+        let mut run = Run::new("t");
+        run.set_ranking("q1", rank(&["a"]));
+        run.set_ranking("q2", rank(&["x"]));
+        assert!((mean_precision(&run, &qrels, 1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_query_counts_as_zero() {
+        let mut qrels = Qrels::new();
+        qrels.add_judgment("q1", "a");
+        qrels.add_judgment("q2", "b");
+        let mut run = Run::new("t");
+        run.set_ranking("q1", rank(&["a"]));
+        assert!((mean_precision(&run, &qrels, 1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_table_covers_all_cutoffs() {
+        let mut qrels = Qrels::new();
+        qrels.add_judgment("q", "a");
+        let mut run = Run::new("t");
+        run.set_ranking("q", rank(&["a"]));
+        let table = PrecisionTable::evaluate(&run, &qrels);
+        assert!((table.at(5) - 0.2).abs() < 1e-12);
+        assert!((table.at(1000) - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a default")]
+    fn precision_table_rejects_unknown_cutoff() {
+        let table = PrecisionTable {
+            name: "t".into(),
+            values: [0.0; 9],
+        };
+        table.at(7);
+    }
+
+    #[test]
+    fn map_zero_when_no_queries() {
+        let qrels = Qrels::new();
+        let run = Run::new("t");
+        assert_eq!(mean_average_precision(&run, &qrels), 0.0);
+    }
+
+    #[test]
+    fn recall_at_counts_fraction_of_relevant() {
+        let r = rank(&["a", "b", "c"]);
+        let q = rel(&["a", "c", "zzz"]);
+        assert!((recall_at(&r, &q, 2) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((recall_at(&r, &q, 3) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(recall_at(&r, &rel(&[]), 3), 0.0);
+        assert_eq!(recall_at(&r, &q, 0), 0.0);
+    }
+
+    #[test]
+    fn reciprocal_rank_of_first_hit() {
+        let q = rel(&["c"]);
+        assert!((reciprocal_rank(&rank(&["a", "b", "c"]), &q) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(reciprocal_rank(&rank(&["a", "b"]), &q), 0.0);
+        assert_eq!(reciprocal_rank(&rank(&["c"]), &q), 1.0);
+    }
+
+    #[test]
+    fn mrr_averages_over_queries() {
+        let mut qrels = Qrels::new();
+        qrels.add_judgment("q1", "a");
+        qrels.add_judgment("q2", "b");
+        let mut run = Run::new("t");
+        run.set_ranking("q1", rank(&["a"])); // RR 1
+        run.set_ranking("q2", rank(&["x", "b"])); // RR 0.5
+        assert!((mean_reciprocal_rank(&run, &qrels) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_monotone_property_smoke() {
+        // hits(k) is non-decreasing, so P@k * k is non-decreasing in k.
+        let r = rank(&["a", "x", "b", "y", "c"]);
+        let q = rel(&["a", "b", "c"]);
+        let mut prev_hits = 0.0;
+        for k in 1..=5 {
+            let hits = precision_at(&r, &q, k) * k as f64;
+            assert!(hits + 1e-12 >= prev_hits);
+            prev_hits = hits;
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Relevance judgments (qrels).
+
+use rustc_hash::{FxHashMap, FxHashSet};
+use serde::{Deserialize, Serialize};
+
+/// Binary relevance judgments: for each query id, the set of relevant
+/// document ids. Queries with zero relevant documents may still be
+/// registered (CHiC 2012 has 14 of them), which matters for averaging —
+/// trec_eval averages over *all* queries in the run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Qrels {
+    judgments: FxHashMap<String, FxHashSet<String>>,
+}
+
+impl Qrels {
+    /// Creates empty judgments.
+    pub fn new() -> Self {
+        Qrels::default()
+    }
+
+    /// Registers a query with no judgments yet (keeps zero-relevant
+    /// queries visible to the evaluator).
+    pub fn add_query(&mut self, query: &str) {
+        self.judgments.entry(query.to_owned()).or_default();
+    }
+
+    /// Marks `doc` relevant for `query`.
+    pub fn add_judgment(&mut self, query: &str, doc: &str) {
+        self.judgments
+            .entry(query.to_owned())
+            .or_default()
+            .insert(doc.to_owned());
+    }
+
+    /// The relevant set of a query (empty set if unknown).
+    pub fn relevant(&self, query: &str) -> &FxHashSet<String> {
+        static EMPTY: std::sync::OnceLock<FxHashSet<String>> = std::sync::OnceLock::new();
+        self.judgments
+            .get(query)
+            .unwrap_or_else(|| EMPTY.get_or_init(FxHashSet::default))
+    }
+
+    /// Number of relevant documents for a query.
+    pub fn num_relevant(&self, query: &str) -> usize {
+        self.judgments.get(query).map_or(0, |s| s.len())
+    }
+
+    /// True if `doc` is relevant for `query`.
+    pub fn is_relevant(&self, query: &str, doc: &str) -> bool {
+        self.judgments.get(query).is_some_and(|s| s.contains(doc))
+    }
+
+    /// All registered query ids, sorted for determinism.
+    pub fn queries(&self) -> Vec<&str> {
+        let mut q: Vec<&str> = self.judgments.keys().map(|s| s.as_str()).collect();
+        q.sort_unstable();
+        q
+    }
+
+    /// Number of registered queries.
+    pub fn num_queries(&self) -> usize {
+        self.judgments.len()
+    }
+
+    /// Mean number of relevant documents per registered query (the paper
+    /// reports 68.8 / 31.32 / 50.6 for its three datasets).
+    pub fn avg_relevant_per_query(&self) -> f64 {
+        if self.judgments.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.judgments.values().map(|s| s.len()).sum();
+        total as f64 / self.judgments.len() as f64
+    }
+
+    /// Number of queries with no relevant documents at all.
+    pub fn num_zero_relevant_queries(&self) -> usize {
+        self.judgments.values().filter(|s| s.is_empty()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_judgments() {
+        let mut q = Qrels::new();
+        q.add_judgment("q1", "d1");
+        q.add_judgment("q1", "d2");
+        q.add_judgment("q2", "d1");
+        assert_eq!(q.num_relevant("q1"), 2);
+        assert!(q.is_relevant("q1", "d1"));
+        assert!(!q.is_relevant("q2", "d2"));
+        assert_eq!(q.num_queries(), 2);
+    }
+
+    #[test]
+    fn unknown_query_is_empty() {
+        let q = Qrels::new();
+        assert_eq!(q.num_relevant("nope"), 0);
+        assert!(q.relevant("nope").is_empty());
+    }
+
+    #[test]
+    fn zero_relevant_queries_are_counted() {
+        let mut q = Qrels::new();
+        q.add_query("empty1");
+        q.add_query("empty2");
+        q.add_judgment("full", "d1");
+        assert_eq!(q.num_queries(), 3);
+        assert_eq!(q.num_zero_relevant_queries(), 2);
+        assert!((q.avg_relevant_per_query() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_judgments_collapse() {
+        let mut q = Qrels::new();
+        q.add_judgment("q", "d");
+        q.add_judgment("q", "d");
+        assert_eq!(q.num_relevant("q"), 1);
+    }
+
+    #[test]
+    fn queries_sorted() {
+        let mut q = Qrels::new();
+        q.add_query("b");
+        q.add_query("a");
+        assert_eq!(q.queries(), vec!["a", "b"]);
+    }
+}

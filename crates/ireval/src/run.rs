@@ -1,0 +1,85 @@
+//! Ranked retrieval results.
+
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// A named run: one ranked document list per query.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Run {
+    name: String,
+    rankings: FxHashMap<String, Vec<String>>,
+}
+
+impl Run {
+    /// Creates an empty run with a display name (e.g. `"SQE_T"`).
+    pub fn new(name: &str) -> Self {
+        Run {
+            name: name.to_owned(),
+            rankings: FxHashMap::default(),
+        }
+    }
+
+    /// The run's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Installs the ranked document ids for a query (best first).
+    /// Duplicate documents are removed keeping the first (best) position,
+    /// matching trec_eval's requirement of unique docs per query.
+    pub fn set_ranking(&mut self, query: &str, ranked_docs: Vec<String>) {
+        let mut seen = rustc_hash::FxHashSet::default();
+        let deduped: Vec<String> = ranked_docs
+            .into_iter()
+            .filter(|d| seen.insert(d.clone()))
+            .collect();
+        self.rankings.insert(query.to_owned(), deduped);
+    }
+
+    /// The ranking of a query, if present.
+    pub fn ranking(&self, query: &str) -> Option<&[String]> {
+        self.rankings.get(query).map(|v| v.as_slice())
+    }
+
+    /// All query ids in the run, sorted.
+    pub fn queries(&self) -> Vec<&str> {
+        let mut q: Vec<&str> = self.rankings.keys().map(|s| s.as_str()).collect();
+        q.sort_unstable();
+        q
+    }
+
+    /// Number of queries with rankings.
+    pub fn num_queries(&self) -> usize {
+        self.rankings.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_get() {
+        let mut r = Run::new("test");
+        r.set_ranking("q1", vec!["a".into(), "b".into()]);
+        assert_eq!(r.ranking("q1").unwrap(), &["a", "b"]);
+        assert!(r.ranking("q2").is_none());
+        assert_eq!(r.name(), "test");
+    }
+
+    #[test]
+    fn duplicates_keep_first() {
+        let mut r = Run::new("t");
+        r.set_ranking("q", vec!["a".into(), "b".into(), "a".into(), "c".into()]);
+        assert_eq!(r.ranking("q").unwrap(), &["a", "b", "c"]);
+    }
+
+    #[test]
+    fn queries_sorted() {
+        let mut r = Run::new("t");
+        r.set_ranking("z", vec![]);
+        r.set_ranking("a", vec![]);
+        assert_eq!(r.queries(), vec!["a", "z"]);
+        assert_eq!(r.num_queries(), 2);
+    }
+}

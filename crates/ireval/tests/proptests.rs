@@ -1,0 +1,140 @@
+//! Property-based tests for the evaluation substrate.
+
+use ireval::precision::{average_precision, precision_at};
+use ireval::stats::{incomplete_beta, ln_gamma, two_sided_p};
+use ireval::{paired_t_test, Qrels, Run};
+use proptest::prelude::*;
+use rustc_hash::FxHashSet;
+
+fn ranking() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec(0u32..40, 0..40).prop_map(|v| {
+        let mut seen = FxHashSet::default();
+        v.into_iter()
+            .filter(|d| seen.insert(*d))
+            .map(|d| format!("d{d}"))
+            .collect()
+    })
+}
+
+fn relevant() -> impl Strategy<Value = FxHashSet<String>> {
+    prop::collection::btree_set(0u32..40, 0..20)
+        .prop_map(|s| s.into_iter().map(|d| format!("d{d}")).collect())
+}
+
+proptest! {
+    /// P@k is always within [0, 1] and the hit count k·P@k is integral
+    /// and non-decreasing in k.
+    #[test]
+    fn precision_bounds_and_monotone_hits(r in ranking(), q in relevant()) {
+        let mut prev_hits = 0.0;
+        for k in 1..=30usize {
+            let p = precision_at(&r, &q, k);
+            prop_assert!((0.0..=1.0).contains(&p));
+            let hits = p * k as f64;
+            prop_assert!((hits - hits.round()).abs() < 1e-9);
+            prop_assert!(hits + 1e-9 >= prev_hits);
+            prev_hits = hits;
+        }
+    }
+
+    /// P@k is bounded by |relevant| / k.
+    #[test]
+    fn precision_bounded_by_relevant_count(r in ranking(), q in relevant(), k in 1usize..40) {
+        let p = precision_at(&r, &q, k);
+        prop_assert!(p <= q.len() as f64 / k as f64 + 1e-12);
+    }
+
+    /// Average precision lies in [0, 1]; a perfect prefix ranking of all
+    /// relevant documents achieves exactly 1.
+    #[test]
+    fn average_precision_bounds(r in ranking(), q in relevant()) {
+        let ap = average_precision(&r, &q);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&ap));
+        if !q.is_empty() {
+            let perfect: Vec<String> = q.iter().cloned().collect();
+            prop_assert!((average_precision(&perfect, &q) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// The paired t-test is antisymmetric: swapping treatment and
+    /// baseline negates t and preserves p.
+    #[test]
+    fn t_test_antisymmetric(diffs in prop::collection::vec(-1.0f64..1.0, 3..30)) {
+        let base: Vec<f64> = vec![0.5; diffs.len()];
+        let treat: Vec<f64> = diffs.iter().map(|d| 0.5 + d).collect();
+        match (paired_t_test(&treat, &base), paired_t_test(&base, &treat)) {
+            (Some(a), Some(b)) => {
+                prop_assert!((a.t + b.t).abs() < 1e-9);
+                prop_assert!((a.p_value - b.p_value).abs() < 1e-9);
+                prop_assert!(!(a.significant_improvement(0.05) && b.significant_improvement(0.05)));
+            }
+            (None, None) => {}
+            _ => prop_assert!(false, "asymmetric degeneracy"),
+        }
+    }
+
+    /// p-values live in [0, 1] and shrink as |t| grows.
+    #[test]
+    fn p_value_monotone_in_t(df in 1.0f64..100.0, t in 0.0f64..8.0) {
+        let p1 = two_sided_p(t, df);
+        let p2 = two_sided_p(t + 0.5, df);
+        prop_assert!((0.0..=1.0).contains(&p1));
+        prop_assert!(p2 <= p1 + 1e-12);
+    }
+
+    /// The regularized incomplete beta is monotone in x and hits its
+    /// boundary values.
+    #[test]
+    fn incomplete_beta_monotone(a in 0.2f64..10.0, b in 0.2f64..10.0, x in 0.01f64..0.98) {
+        let i1 = incomplete_beta(a, b, x);
+        let i2 = incomplete_beta(a, b, x + 0.01);
+        prop_assert!((0.0..=1.0).contains(&i1));
+        prop_assert!(i2 + 1e-9 >= i1);
+        prop_assert_eq!(incomplete_beta(a, b, 0.0), 0.0);
+        prop_assert_eq!(incomplete_beta(a, b, 1.0), 1.0);
+    }
+
+    /// ln Γ satisfies the recurrence Γ(x+1) = x·Γ(x).
+    #[test]
+    fn gamma_recurrence(x in 0.5f64..20.0) {
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = x.ln() + ln_gamma(x);
+        prop_assert!((lhs - rhs).abs() < 1e-8, "x={x}: {lhs} vs {rhs}");
+    }
+
+    /// Run rankings deduplicate while preserving first-occurrence order.
+    #[test]
+    fn run_dedup_preserves_order(docs in prop::collection::vec(0u32..10, 0..30)) {
+        let mut run = Run::new("t");
+        let input: Vec<String> = docs.iter().map(|d| format!("d{d}")).collect();
+        run.set_ranking("q", input.clone());
+        let stored = run.ranking("q").unwrap();
+        // Deduplicated.
+        let mut seen = FxHashSet::default();
+        prop_assert!(stored.iter().all(|d| seen.insert(d.clone())));
+        // Subsequence of the input in order of first occurrence.
+        let mut expected: Vec<String> = Vec::new();
+        let mut s2 = FxHashSet::default();
+        for d in input {
+            if s2.insert(d.clone()) {
+                expected.push(d);
+            }
+        }
+        prop_assert_eq!(stored, &expected[..]);
+    }
+
+    /// Qrels averaging counts zero-relevant queries in the denominator.
+    #[test]
+    fn qrels_average_includes_empty_queries(n_empty in 0usize..5, n_full in 1usize..5) {
+        let mut q = Qrels::new();
+        for i in 0..n_empty {
+            q.add_query(&format!("e{i}"));
+        }
+        for i in 0..n_full {
+            q.add_judgment(&format!("f{i}"), "d");
+        }
+        let avg = q.avg_relevant_per_query();
+        let expected = n_full as f64 / (n_empty + n_full) as f64;
+        prop_assert!((avg - expected).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,213 @@
+//! Incremental construction of a [`KbGraph`].
+
+use rustc_hash::FxHashMap;
+
+use crate::csr::Csr;
+use crate::graph::KbGraph;
+use crate::ids::{ArticleId, CategoryId};
+
+/// Builds a [`KbGraph`] incrementally.
+///
+/// Titles are deduplicated: adding an article (or category) with a title
+/// that already exists returns the existing id. Edges may be added in any
+/// order and duplicated freely; the final CSRs are sorted and deduplicated.
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    article_titles: Vec<String>,
+    category_titles: Vec<String>,
+    article_index: FxHashMap<String, ArticleId>,
+    category_index: FxHashMap<String, CategoryId>,
+    article_links: Vec<(u32, u32)>,
+    memberships: Vec<(u32, u32)>,
+    subcategories: Vec<(u32, u32)>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder with capacity hints for the expected graph size.
+    pub fn with_capacity(articles: usize, categories: usize, links: usize) -> Self {
+        GraphBuilder {
+            article_titles: Vec::with_capacity(articles),
+            category_titles: Vec::with_capacity(categories),
+            article_index: FxHashMap::default(),
+            category_index: FxHashMap::default(),
+            article_links: Vec::with_capacity(links),
+            memberships: Vec::with_capacity(links / 2),
+            subcategories: Vec::with_capacity(categories),
+        }
+    }
+
+    /// Adds (or finds) an article by title.
+    pub fn add_article(&mut self, title: &str) -> ArticleId {
+        if let Some(&id) = self.article_index.get(title) {
+            return id;
+        }
+        let id = ArticleId::new(self.article_titles.len() as u32);
+        self.article_titles.push(title.to_owned());
+        self.article_index.insert(title.to_owned(), id);
+        id
+    }
+
+    /// Adds (or finds) a category by title.
+    pub fn add_category(&mut self, title: &str) -> CategoryId {
+        if let Some(&id) = self.category_index.get(title) {
+            return id;
+        }
+        let id = CategoryId::new(self.category_titles.len() as u32);
+        self.category_titles.push(title.to_owned());
+        self.category_index.insert(title.to_owned(), id);
+        id
+    }
+
+    /// Looks up an article id by exact title without inserting.
+    pub fn find_article(&self, title: &str) -> Option<ArticleId> {
+        self.article_index.get(title).copied()
+    }
+
+    /// Looks up a category id by exact title without inserting.
+    pub fn find_category(&self, title: &str) -> Option<CategoryId> {
+        self.category_index.get(title).copied()
+    }
+
+    /// Adds a directed hyperlink `from → to` between articles. Self-links
+    /// are ignored (Wikipedia articles do not meaningfully link to
+    /// themselves for expansion purposes).
+    pub fn add_article_link(&mut self, from: ArticleId, to: ArticleId) {
+        if from != to {
+            self.article_links.push((from.raw(), to.raw()));
+        }
+    }
+
+    /// Adds a reciprocal pair of hyperlinks between two articles.
+    pub fn add_mutual_link(&mut self, a: ArticleId, b: ArticleId) {
+        self.add_article_link(a, b);
+        self.add_article_link(b, a);
+    }
+
+    /// Declares that `article` belongs to `category`.
+    pub fn add_membership(&mut self, article: ArticleId, category: CategoryId) {
+        self.memberships.push((article.raw(), category.raw()));
+    }
+
+    /// Declares that `child` is a sub-category of `parent`. Self-loops are
+    /// ignored.
+    pub fn add_subcategory(&mut self, child: CategoryId, parent: CategoryId) {
+        if child != parent {
+            self.subcategories.push((child.raw(), parent.raw()));
+        }
+    }
+
+    /// Number of articles added so far.
+    pub fn num_articles(&self) -> usize {
+        self.article_titles.len()
+    }
+
+    /// Number of categories added so far.
+    pub fn num_categories(&self) -> usize {
+        self.category_titles.len()
+    }
+
+    /// Finalizes the graph: builds all forward and reverse CSRs.
+    pub fn build(self) -> KbGraph {
+        let a = self.article_titles.len();
+        let c = self.category_titles.len();
+        let article_links = Csr::from_edges(a, &self.article_links);
+        let article_links_rev = article_links.reversed(a);
+        let memberships = Csr::from_edges(a, &self.memberships);
+        let members = memberships.reversed(c);
+        let subcats = Csr::from_edges(c, &self.subcategories);
+        let subcats_rev = subcats.reversed(c);
+        KbGraph::from_parts(
+            self.article_titles,
+            self.category_titles,
+            article_links,
+            article_links_rev,
+            memberships,
+            members,
+            subcats,
+            subcats_rev,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedups_titles() {
+        let mut b = GraphBuilder::new();
+        let a1 = b.add_article("cable car");
+        let a2 = b.add_article("cable car");
+        assert_eq!(a1, a2);
+        assert_eq!(b.num_articles(), 1);
+    }
+
+    #[test]
+    fn find_without_insert() {
+        let mut b = GraphBuilder::new();
+        assert!(b.find_article("x").is_none());
+        let id = b.add_article("x");
+        assert_eq!(b.find_article("x"), Some(id));
+        assert!(b.find_category("x").is_none());
+        let c = b.add_category("x");
+        assert_eq!(b.find_category("x"), Some(c));
+    }
+
+    #[test]
+    fn self_links_dropped() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_article("a");
+        b.add_article_link(a, a);
+        let g = b.build();
+        assert_eq!(g.article_links().num_edges(), 0);
+    }
+
+    #[test]
+    fn mutual_link_adds_both_directions() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_article("a");
+        let x = b.add_article("x");
+        b.add_mutual_link(a, x);
+        let g = b.build();
+        assert!(g.links_to(a, x));
+        assert!(g.links_to(x, a));
+        assert!(g.doubly_linked(a, x));
+    }
+
+    #[test]
+    fn membership_has_reverse() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_article("a");
+        let c = b.add_category("c");
+        b.add_membership(a, c);
+        let g = b.build();
+        assert_eq!(g.categories_of(a), &[c.raw()]);
+        assert_eq!(g.members_of(c), &[a.raw()]);
+    }
+
+    #[test]
+    fn subcategory_self_loop_dropped() {
+        let mut b = GraphBuilder::new();
+        let c = b.add_category("c");
+        b.add_subcategory(c, c);
+        let g = b.build();
+        assert!(g.parents_of(c).is_empty());
+    }
+
+    #[test]
+    fn articles_and_categories_share_titles_independently() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_article("transport");
+        let c = b.add_category("transport");
+        assert_eq!(a.index(), 0);
+        assert_eq!(c.index(), 0);
+        let g = b.build();
+        assert_eq!(g.article_title(a), "transport");
+        assert_eq!(g.category_title(c), "transport");
+    }
+}

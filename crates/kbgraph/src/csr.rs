@@ -1,0 +1,195 @@
+//! Compressed sparse row adjacency.
+//!
+//! `Csr` stores one sorted, deduplicated neighbour list per source node in
+//! two flat arrays (offsets + targets). This is the struct-of-arrays layout
+//! recommended for graph workloads: one allocation per edge set, cache-local
+//! scans, and binary-search membership tests.
+
+use serde::{Deserialize, Serialize};
+
+/// Immutable CSR adjacency over `u32` node indices.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+}
+
+impl Csr {
+    /// Builds a CSR from an edge list. `num_sources` fixes the number of
+    /// rows; every `(src, dst)` pair must satisfy `src < num_sources`.
+    /// Duplicate edges are collapsed; neighbour lists come out sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any source index is out of range.
+    pub fn from_edges(num_sources: usize, edges: &[(u32, u32)]) -> Self {
+        let mut degree = vec![0u32; num_sources];
+        for &(s, _) in edges {
+            degree[s as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(num_sources + 1);
+        offsets.push(0u32);
+        let mut acc = 0u32;
+        for &d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut targets = vec![0u32; edges.len()];
+        let mut cursor: Vec<u32> = offsets[..num_sources].to_vec();
+        for &(s, d) in edges {
+            let c = &mut cursor[s as usize];
+            targets[*c as usize] = d;
+            *c += 1;
+        }
+        // Sort and dedup each row, then recompact.
+        let mut out = Csr {
+            offsets: Vec::with_capacity(num_sources + 1),
+            targets: Vec::with_capacity(edges.len()),
+        };
+        out.offsets.push(0);
+        for row in 0..num_sources {
+            let lo = offsets[row] as usize;
+            let hi = offsets[row + 1] as usize;
+            let slice = &mut targets[lo..hi];
+            slice.sort_unstable();
+            let mut prev: Option<u32> = None;
+            for &t in slice.iter() {
+                if prev != Some(t) {
+                    out.targets.push(t);
+                    prev = Some(t);
+                }
+            }
+            out.offsets.push(out.targets.len() as u32);
+        }
+        out
+    }
+
+    /// Number of rows (source nodes).
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Total number of (deduplicated) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// The sorted neighbour list of `src`.
+    #[inline]
+    pub fn neighbors(&self, src: u32) -> &[u32] {
+        let lo = self.offsets[src as usize] as usize;
+        let hi = self.offsets[src as usize + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Out-degree of `src`.
+    #[inline]
+    pub fn degree(&self, src: u32) -> usize {
+        self.neighbors(src).len()
+    }
+
+    /// True if the edge `src → dst` exists (binary search).
+    #[inline]
+    pub fn contains(&self, src: u32, dst: u32) -> bool {
+        self.neighbors(src).binary_search(&dst).is_ok()
+    }
+
+    /// Builds the reverse adjacency (`dst → src`) with `num_targets` rows.
+    pub fn reversed(&self, num_targets: usize) -> Csr {
+        let mut edges = Vec::with_capacity(self.targets.len());
+        for src in 0..self.num_rows() as u32 {
+            for &dst in self.neighbors(src) {
+                edges.push((dst, src));
+            }
+        }
+        Csr::from_edges(num_targets, &edges)
+    }
+
+    /// Iterates over all edges as `(src, dst)` pairs.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.num_rows() as u32)
+            .flat_map(move |src| self.neighbors(src).iter().map(move |&dst| (src, dst)))
+    }
+
+    /// Maximum out-degree over all rows (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_rows() as u32)
+            .map(|s| self.degree(s))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let c = Csr::from_edges(0, &[]);
+        assert_eq!(c.num_rows(), 0);
+        assert_eq!(c.num_edges(), 0);
+        assert_eq!(c.max_degree(), 0);
+    }
+
+    #[test]
+    fn rows_without_edges() {
+        let c = Csr::from_edges(3, &[]);
+        assert_eq!(c.num_rows(), 3);
+        assert!(c.neighbors(0).is_empty());
+        assert!(c.neighbors(2).is_empty());
+    }
+
+    #[test]
+    fn builds_sorted_rows() {
+        let c = Csr::from_edges(2, &[(0, 3), (0, 1), (0, 2), (1, 0)]);
+        assert_eq!(c.neighbors(0), &[1, 2, 3]);
+        assert_eq!(c.neighbors(1), &[0]);
+        assert_eq!(c.num_edges(), 4);
+    }
+
+    #[test]
+    fn dedups_parallel_edges() {
+        let c = Csr::from_edges(1, &[(0, 5), (0, 5), (0, 5)]);
+        assert_eq!(c.neighbors(0), &[5]);
+        assert_eq!(c.num_edges(), 1);
+    }
+
+    #[test]
+    fn contains_uses_binary_search() {
+        let c = Csr::from_edges(1, &[(0, 2), (0, 4), (0, 8)]);
+        assert!(c.contains(0, 4));
+        assert!(!c.contains(0, 3));
+    }
+
+    #[test]
+    fn reverse_roundtrip() {
+        let c = Csr::from_edges(3, &[(0, 1), (1, 2), (2, 0), (0, 2)]);
+        let r = c.reversed(3);
+        assert_eq!(r.neighbors(1), &[0]);
+        assert_eq!(r.neighbors(2), &[0, 1]);
+        assert_eq!(r.neighbors(0), &[2]);
+        // Reversing twice recovers the original edge set.
+        let rr = r.reversed(3);
+        assert_eq!(rr, c);
+    }
+
+    #[test]
+    fn iter_edges_covers_all() {
+        let edges = [(0u32, 1u32), (1, 2), (2, 0)];
+        let c = Csr::from_edges(3, &edges);
+        let mut got: Vec<(u32, u32)> = c.iter_edges().collect();
+        got.sort_unstable();
+        let mut want = edges.to_vec();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn max_degree_is_max_row_len() {
+        let c = Csr::from_edges(3, &[(0, 1), (0, 2), (1, 2)]);
+        assert_eq!(c.max_degree(), 2);
+    }
+}

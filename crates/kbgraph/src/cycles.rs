@@ -1,0 +1,358 @@
+//! Anchored enumeration of short mixed cycles.
+//!
+//! Section 2.1 of the paper defines cycles as "a closed sequence of nodes,
+//! either articles or categories, with at least one edge among each pair of
+//! consecutive nodes". Direction is irrelevant for connectivity, but the
+//! *number* of edges between consecutive nodes (1 or 2) feeds the
+//! "density of extra edges" statistic of Figure 2c.
+//!
+//! [`CycleFinder`] enumerates every simple cycle of length 3–5 that passes
+//! through an anchor node, reporting each undirected cycle exactly once.
+
+use crate::graph::KbGraph;
+use crate::ids::Node;
+
+/// A simple cycle through an anchor node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cycle {
+    /// The cycle's nodes, starting at the anchor. Consecutive nodes (and
+    /// the last/first pair) are connected by at least one edge.
+    pub nodes: Vec<Node>,
+    /// Total number of directed edges over all consecutive pairs
+    /// (each pair contributes 1 or 2).
+    pub edges: u32,
+}
+
+impl Cycle {
+    /// Cycle length (number of nodes).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True for the (impossible in practice) empty cycle; present to keep
+    /// clippy's `len_without_is_empty` contract.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of category nodes in the cycle.
+    pub fn category_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_category()).count()
+    }
+
+    /// Fraction of the cycle's nodes that are categories (Figure 2b).
+    pub fn category_ratio(&self) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        self.category_count() as f64 / self.nodes.len() as f64
+    }
+
+    /// Density of extra edges (Figure 2c): the number of edges beyond the
+    /// minimum needed to close the cycle, normalized by the maximum number
+    /// of possible edges (two per consecutive pair).
+    pub fn extra_edge_density(&self) -> f64 {
+        let l = self.nodes.len() as f64;
+        if l == 0.0 {
+            return 0.0;
+        }
+        (self.edges as f64 - l) / (2.0 * l)
+    }
+}
+
+/// Caps that bound the enumeration on hub-heavy graphs.
+#[derive(Debug, Clone, Copy)]
+pub struct CycleLimits {
+    /// Maximum cycle length to enumerate (inclusive). The paper analyzes
+    /// lengths 3–5.
+    pub max_len: usize,
+    /// Nodes whose undirected degree exceeds this are not *expanded*
+    /// (they may still terminate a cycle). Protects against hub blow-up,
+    /// mirroring how the paper restricts itself to short local structures.
+    pub max_expand_degree: usize,
+    /// Hard cap on the number of cycles reported per anchor.
+    pub max_cycles: usize,
+}
+
+impl Default for CycleLimits {
+    fn default() -> Self {
+        CycleLimits {
+            max_len: 5,
+            max_expand_degree: 512,
+            max_cycles: 200_000,
+        }
+    }
+}
+
+/// Reusable enumerator of anchored simple cycles.
+pub struct CycleFinder<'g> {
+    graph: &'g KbGraph,
+    limits: CycleLimits,
+    /// One neighbour buffer per DFS depth, reused across calls.
+    neighbor_bufs: Vec<Vec<Node>>,
+}
+
+impl<'g> CycleFinder<'g> {
+    /// Creates a finder with the given limits.
+    pub fn new(graph: &'g KbGraph, limits: CycleLimits) -> Self {
+        let neighbor_bufs = (0..limits.max_len).map(|_| Vec::new()).collect();
+        CycleFinder {
+            graph,
+            limits,
+            neighbor_bufs,
+        }
+    }
+
+    /// Enumerates all simple cycles of length `3..=max_len` through
+    /// `anchor`, each reported once (direction-deduplicated).
+    pub fn cycles_through(&mut self, anchor: Node) -> Vec<Cycle> {
+        let mut out = Vec::new();
+        self.visit_cycles(anchor, |c| out.push(c.clone()));
+        out
+    }
+
+    /// Visitor-based enumeration; avoids materializing all cycles when the
+    /// caller only accumulates statistics.
+    pub fn visit_cycles<F: FnMut(&Cycle)>(&mut self, anchor: Node, mut f: F) {
+        let mut path: Vec<Node> = Vec::with_capacity(self.limits.max_len);
+        path.push(anchor);
+        let mut emitted = 0usize;
+        // Take the buffers out to appease the borrow checker; restored after.
+        let mut bufs = std::mem::take(&mut self.neighbor_bufs);
+        Self::dfs(
+            self.graph,
+            &self.limits,
+            anchor,
+            &mut path,
+            &mut bufs,
+            &mut emitted,
+            &mut f,
+        );
+        self.neighbor_bufs = bufs;
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs<F: FnMut(&Cycle)>(
+        graph: &KbGraph,
+        limits: &CycleLimits,
+        anchor: Node,
+        path: &mut Vec<Node>,
+        bufs: &mut [Vec<Node>],
+        emitted: &mut usize,
+        f: &mut F,
+    ) {
+        if *emitted >= limits.max_cycles {
+            return;
+        }
+        let depth = path.len();
+        let current = *path.last().expect("path never empty");
+        // Close the cycle if long enough and an edge back to anchor exists.
+        if depth >= 3 && graph.connected(current, anchor) {
+            // Direction dedup: require path[1] < path[last].
+            if path[1] < path[depth - 1] {
+                let mut edges = 0u32;
+                for w in path.windows(2) {
+                    edges += graph.edge_multiplicity(w[0], w[1]);
+                }
+                edges += graph.edge_multiplicity(current, anchor);
+                let cycle = Cycle {
+                    nodes: path.clone(),
+                    edges,
+                };
+                *emitted += 1;
+                f(&cycle);
+                if *emitted >= limits.max_cycles {
+                    return;
+                }
+            }
+        }
+        if depth == limits.max_len {
+            return;
+        }
+        let (buf, rest) = bufs.split_first_mut().expect("buffer per depth");
+        graph.undirected_neighbors(current, buf);
+        if buf.len() > limits.max_expand_degree && depth > 1 {
+            return;
+        }
+        #[allow(clippy::needless_range_loop)] // buf is re-borrowed via rest in the recursion
+        for i in 0..buf.len() {
+            let next = buf[i];
+            if next == anchor || path.contains(&next) {
+                continue;
+            }
+            path.push(next);
+            Self::dfs(graph, limits, anchor, path, rest, emitted, f);
+            path.pop();
+            if *emitted >= limits.max_cycles {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::ids::{ArticleId, CategoryId};
+
+    /// Triangle: a ↔ x, both members of category c.
+    fn triangle_graph() -> (KbGraph, ArticleId, ArticleId, CategoryId) {
+        let mut b = GraphBuilder::new();
+        let a = b.add_article("a");
+        let x = b.add_article("x");
+        let c = b.add_category("c");
+        b.add_mutual_link(a, x);
+        b.add_membership(a, c);
+        b.add_membership(x, c);
+        (b.build(), a, x, c)
+    }
+
+    #[test]
+    fn finds_triangle_once() {
+        let (g, a, x, c) = triangle_graph();
+        let mut finder = CycleFinder::new(&g, CycleLimits::default());
+        let cycles = finder.cycles_through(Node::Article(a));
+        assert_eq!(cycles.len(), 1);
+        let cy = &cycles[0];
+        assert_eq!(cy.len(), 3);
+        let nodes: Vec<Node> = cy.nodes.clone();
+        assert!(nodes.contains(&Node::Article(a)));
+        assert!(nodes.contains(&Node::Article(x)));
+        assert!(nodes.contains(&Node::Category(c)));
+    }
+
+    #[test]
+    fn triangle_edge_count_counts_double_link() {
+        let (g, a, _, _) = triangle_graph();
+        let mut finder = CycleFinder::new(&g, CycleLimits::default());
+        let cycles = finder.cycles_through(Node::Article(a));
+        // a↔x contributes 2, two memberships contribute 1 each → 4 edges.
+        assert_eq!(cycles[0].edges, 4);
+        // density = (4 - 3) / (2*3)
+        assert!((cycles[0].extra_edge_density() - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn category_ratio_of_triangle() {
+        let (g, a, _, _) = triangle_graph();
+        let mut finder = CycleFinder::new(&g, CycleLimits::default());
+        let cycles = finder.cycles_through(Node::Article(a));
+        assert!((cycles[0].category_ratio() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    /// Square: a ↔ x articles; a∈c1, x∈c2, c1 subcat of c2.
+    #[test]
+    fn finds_square_cycle() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_article("a");
+        let x = b.add_article("x");
+        let c1 = b.add_category("c1");
+        let c2 = b.add_category("c2");
+        b.add_mutual_link(a, x);
+        b.add_membership(a, c1);
+        b.add_membership(x, c2);
+        b.add_subcategory(c1, c2);
+        let g = b.build();
+        let mut finder = CycleFinder::new(&g, CycleLimits::default());
+        let cycles = finder.cycles_through(Node::Article(a));
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].len(), 4);
+        assert_eq!(cycles[0].category_count(), 2);
+    }
+
+    #[test]
+    fn no_cycles_in_tree() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_article("a");
+        let x = b.add_article("x");
+        let y = b.add_article("y");
+        b.add_article_link(a, x);
+        b.add_article_link(a, y);
+        let g = b.build();
+        let mut finder = CycleFinder::new(&g, CycleLimits::default());
+        assert!(finder.cycles_through(Node::Article(a)).is_empty());
+    }
+
+    #[test]
+    fn double_link_alone_is_not_a_cycle() {
+        // A pair a ↔ x has 2 edges but only 2 nodes; the paper's cycles
+        // start at length 3.
+        let mut b = GraphBuilder::new();
+        let a = b.add_article("a");
+        let x = b.add_article("x");
+        b.add_mutual_link(a, x);
+        let g = b.build();
+        let mut finder = CycleFinder::new(&g, CycleLimits::default());
+        assert!(finder.cycles_through(Node::Article(a)).is_empty());
+    }
+
+    #[test]
+    fn respects_max_len() {
+        // Pentagon of articles (single links, undirected connectivity).
+        let mut b = GraphBuilder::new();
+        let ids: Vec<ArticleId> = (0..5).map(|i| b.add_article(&format!("n{i}"))).collect();
+        for i in 0..5 {
+            b.add_article_link(ids[i], ids[(i + 1) % 5]);
+        }
+        let g = b.build();
+        let mut f5 = CycleFinder::new(
+            &g,
+            CycleLimits {
+                max_len: 5,
+                ..CycleLimits::default()
+            },
+        );
+        assert_eq!(f5.cycles_through(Node::Article(ids[0])).len(), 1);
+        let mut f4 = CycleFinder::new(
+            &g,
+            CycleLimits {
+                max_len: 4,
+                ..CycleLimits::default()
+            },
+        );
+        assert!(f4.cycles_through(Node::Article(ids[0])).is_empty());
+    }
+
+    #[test]
+    fn max_cycles_cap_is_respected() {
+        // Complete-ish graph to generate many cycles.
+        let mut b = GraphBuilder::new();
+        let ids: Vec<ArticleId> = (0..8).map(|i| b.add_article(&format!("n{i}"))).collect();
+        for i in 0..8 {
+            for j in 0..8 {
+                if i != j {
+                    b.add_article_link(ids[i], ids[j]);
+                }
+            }
+        }
+        let g = b.build();
+        let mut finder = CycleFinder::new(
+            &g,
+            CycleLimits {
+                max_len: 5,
+                max_expand_degree: 512,
+                max_cycles: 10,
+            },
+        );
+        let cycles = finder.cycles_through(Node::Article(ids[0]));
+        assert_eq!(cycles.len(), 10);
+    }
+
+    #[test]
+    fn each_cycle_reported_once() {
+        // Square of articles with all mutual links along the square only.
+        let mut b = GraphBuilder::new();
+        let ids: Vec<ArticleId> = (0..4).map(|i| b.add_article(&format!("n{i}"))).collect();
+        for i in 0..4 {
+            b.add_mutual_link(ids[i], ids[(i + 1) % 4]);
+        }
+        let g = b.build();
+        let mut finder = CycleFinder::new(&g, CycleLimits::default());
+        let cycles = finder.cycles_through(Node::Article(ids[0]));
+        let squares: Vec<_> = cycles.iter().filter(|c| c.len() == 4).collect();
+        assert_eq!(squares.len(), 1, "square cycle must be deduplicated");
+    }
+}

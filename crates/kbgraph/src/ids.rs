@@ -1,0 +1,146 @@
+//! Strongly-typed node identifiers.
+//!
+//! Articles and categories live in separate id spaces; mixing them up is a
+//! compile error. Ids are plain `u32` indices internally (per the Rust
+//! performance guidance on small integer ids), dense from zero in insertion
+//! order.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an article node (a Wikipedia article in the paper's KB).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ArticleId(pub(crate) u32);
+
+/// Identifier of a category node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CategoryId(pub(crate) u32);
+
+impl ArticleId {
+    /// Creates an id from a raw dense index.
+    #[inline]
+    pub fn new(index: u32) -> Self {
+        ArticleId(index)
+    }
+
+    /// The dense index of this article, suitable for indexing parallel arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u32` value.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl CategoryId {
+    /// Creates an id from a raw dense index.
+    #[inline]
+    pub fn new(index: u32) -> Self {
+        CategoryId(index)
+    }
+
+    /// The dense index of this category, suitable for indexing parallel arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u32` value.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// A node of the mixed article/category graph.
+///
+/// The paper's cycles (Section 2.1) run over both node types, so cycle
+/// enumeration works on this unified reference type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Node {
+    /// An article node.
+    Article(ArticleId),
+    /// A category node.
+    Category(CategoryId),
+}
+
+impl Node {
+    /// True if this node is a category.
+    #[inline]
+    pub fn is_category(self) -> bool {
+        matches!(self, Node::Category(_))
+    }
+
+    /// True if this node is an article.
+    #[inline]
+    pub fn is_article(self) -> bool {
+        matches!(self, Node::Article(_))
+    }
+
+    /// Packs the node into a single `u32` key: articles keep their index,
+    /// categories are offset by `num_articles`. Useful for visited sets.
+    #[inline]
+    pub fn packed(self, num_articles: u32) -> u32 {
+        match self {
+            Node::Article(a) => a.0,
+            Node::Category(c) => num_articles + c.0,
+        }
+    }
+}
+
+impl From<ArticleId> for Node {
+    fn from(a: ArticleId) -> Self {
+        Node::Article(a)
+    }
+}
+
+impl From<CategoryId> for Node {
+    fn from(c: CategoryId) -> Self {
+        Node::Category(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn article_id_roundtrip() {
+        let a = ArticleId::new(17);
+        assert_eq!(a.index(), 17);
+        assert_eq!(a.raw(), 17);
+    }
+
+    #[test]
+    fn category_id_roundtrip() {
+        let c = CategoryId::new(3);
+        assert_eq!(c.index(), 3);
+        assert_eq!(c.raw(), 3);
+    }
+
+    #[test]
+    fn node_kind_predicates() {
+        let a: Node = ArticleId::new(0).into();
+        let c: Node = CategoryId::new(0).into();
+        assert!(a.is_article() && !a.is_category());
+        assert!(c.is_category() && !c.is_article());
+    }
+
+    #[test]
+    fn packed_separates_spaces() {
+        let a: Node = ArticleId::new(5).into();
+        let c: Node = CategoryId::new(5).into();
+        assert_eq!(a.packed(10), 5);
+        assert_eq!(c.packed(10), 15);
+        assert_ne!(a.packed(10), c.packed(10));
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(ArticleId::new(1) < ArticleId::new(2));
+        assert!(CategoryId::new(0) < CategoryId::new(9));
+    }
+}

@@ -1,0 +1,113 @@
+//! Whole-graph statistics.
+//!
+//! Section 3 of the paper characterizes its Wikipedia dump by the counts
+//! reported here (articles, categories, and the three link families). The
+//! same statistics let tests assert that the synthetic KB generator is
+//! structurally calibrated.
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::KbGraph;
+
+/// Structural summary of a [`KbGraph`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Number of article nodes.
+    pub num_articles: usize,
+    /// Number of category nodes.
+    pub num_categories: usize,
+    /// Directed article → article hyperlinks.
+    pub num_article_links: usize,
+    /// Article → category membership links.
+    pub num_membership_links: usize,
+    /// Category → category (sub-category) links.
+    pub num_category_links: usize,
+    /// Number of unordered article pairs linked in both directions.
+    pub num_reciprocal_pairs: usize,
+    /// Mean article out-degree (hyperlinks).
+    pub avg_article_out_degree: f64,
+    /// Maximum article out-degree.
+    pub max_article_out_degree: usize,
+    /// Mean number of categories per article.
+    pub avg_categories_per_article: f64,
+}
+
+impl GraphStats {
+    /// Computes statistics for a graph.
+    pub fn compute(g: &KbGraph) -> Self {
+        let num_articles = g.num_articles();
+        let num_categories = g.num_categories();
+        let num_article_links = g.article_links().num_edges();
+        let num_membership_links = g.memberships().num_edges();
+        let num_category_links = g.subcategories().num_edges();
+        let mut num_reciprocal_pairs = 0usize;
+        for a in g.articles() {
+            for &t in g.out_links(a) {
+                // Count each unordered pair once.
+                if t > a.raw() && g.links_to(crate::ids::ArticleId::new(t), a) {
+                    num_reciprocal_pairs += 1;
+                }
+            }
+        }
+        let avg_article_out_degree = if num_articles == 0 {
+            0.0
+        } else {
+            num_article_links as f64 / num_articles as f64
+        };
+        let avg_categories_per_article = if num_articles == 0 {
+            0.0
+        } else {
+            num_membership_links as f64 / num_articles as f64
+        };
+        GraphStats {
+            num_articles,
+            num_categories,
+            num_article_links,
+            num_membership_links,
+            num_category_links,
+            num_reciprocal_pairs,
+            avg_article_out_degree,
+            max_article_out_degree: g.article_links().max_degree(),
+            avg_categories_per_article,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = GraphBuilder::new().build();
+        let s = g.stats();
+        assert_eq!(s.num_articles, 0);
+        assert_eq!(s.avg_article_out_degree, 0.0);
+        assert_eq!(s.num_reciprocal_pairs, 0);
+    }
+
+    #[test]
+    fn counts_match_toy_graph() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_article("a");
+        let x = b.add_article("x");
+        let y = b.add_article("y");
+        let c = b.add_category("c");
+        let d = b.add_category("d");
+        b.add_mutual_link(a, x); // 2 links, 1 reciprocal pair
+        b.add_article_link(a, y); // 1 link
+        b.add_membership(a, c);
+        b.add_membership(x, c);
+        b.add_subcategory(c, d);
+        let s = b.build().stats();
+        assert_eq!(s.num_articles, 3);
+        assert_eq!(s.num_categories, 2);
+        assert_eq!(s.num_article_links, 3);
+        assert_eq!(s.num_membership_links, 2);
+        assert_eq!(s.num_category_links, 1);
+        assert_eq!(s.num_reciprocal_pairs, 1);
+        assert_eq!(s.max_article_out_degree, 2);
+        assert!((s.avg_article_out_degree - 1.0).abs() < 1e-12);
+        assert!((s.avg_categories_per_article - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for the graph substrate.
+
+use kbgraph::{ArticleId, Csr, CycleFinder, CycleLimits, GraphBuilder, Node};
+use proptest::prelude::*;
+
+/// Arbitrary edge list over a bounded node count.
+fn edges(n: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0..n, 0..n), 0..max_edges)
+}
+
+proptest! {
+    /// CSR construction preserves the edge *set* (sorted, deduplicated).
+    #[test]
+    fn csr_preserves_edge_set(edge_list in edges(24, 200)) {
+        let csr = Csr::from_edges(24, &edge_list);
+        let mut expected: Vec<(u32, u32)> = edge_list.clone();
+        expected.sort_unstable();
+        expected.dedup();
+        let mut got: Vec<(u32, u32)> = csr.iter_edges().collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Every row of a CSR is sorted and duplicate-free.
+    #[test]
+    fn csr_rows_sorted_unique(edge_list in edges(16, 150)) {
+        let csr = Csr::from_edges(16, &edge_list);
+        for src in 0..16u32 {
+            let row = csr.neighbors(src);
+            for w in row.windows(2) {
+                prop_assert!(w[0] < w[1], "row {src} not strictly sorted: {row:?}");
+            }
+        }
+    }
+
+    /// `contains` agrees with a linear scan.
+    #[test]
+    fn csr_contains_agrees_with_scan(edge_list in edges(12, 100), src in 0..12u32, dst in 0..12u32) {
+        let csr = Csr::from_edges(12, &edge_list);
+        let expected = csr.neighbors(src).contains(&dst);
+        prop_assert_eq!(csr.contains(src, dst), expected);
+    }
+
+    /// Double reversal is the identity.
+    #[test]
+    fn csr_double_reverse_identity(edge_list in edges(20, 150)) {
+        let csr = Csr::from_edges(20, &edge_list);
+        let back = csr.reversed(20).reversed(20);
+        prop_assert_eq!(csr, back);
+    }
+
+    /// `doubly_linked` is symmetric, and `mutual_links` agrees with it.
+    #[test]
+    fn mutual_links_symmetric(edge_list in edges(14, 120)) {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<ArticleId> = (0..14).map(|i| b.add_article(&format!("a{i}"))).collect();
+        for &(s, d) in &edge_list {
+            if s != d {
+                b.add_article_link(ids[s as usize], ids[d as usize]);
+            }
+        }
+        let g = b.build();
+        for &a in &ids {
+            for &m in &g.mutual_links(a) {
+                prop_assert!(g.doubly_linked(a, m));
+                prop_assert!(g.doubly_linked(m, a));
+                prop_assert!(g.mutual_links(m).contains(&a));
+            }
+        }
+    }
+
+    /// `categories_superset` is reflexive for categorized articles and
+    /// transitive across triples.
+    #[test]
+    fn superset_reflexive_and_transitive(memberships in prop::collection::vec((0..6u32, 0..5u32), 1..24)) {
+        let mut b = GraphBuilder::new();
+        let arts: Vec<ArticleId> = (0..6).map(|i| b.add_article(&format!("a{i}"))).collect();
+        let cats: Vec<_> = (0..5).map(|i| b.add_category(&format!("c{i}"))).collect();
+        for &(a, c) in &memberships {
+            b.add_membership(arts[a as usize], cats[c as usize]);
+        }
+        let g = b.build();
+        for &a in &arts {
+            if !g.categories_of(a).is_empty() {
+                prop_assert!(g.categories_superset(a, a));
+            }
+        }
+        for &a in &arts {
+            for &x in &arts {
+                for &y in &arts {
+                    if g.categories_superset(a, x) && g.categories_superset(x, y) {
+                        prop_assert!(g.categories_superset(a, y));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Every reported cycle is genuinely closed: consecutive nodes (and the
+    /// wrap-around pair) are connected, all nodes distinct, length within
+    /// limits, and the edge count matches a recount.
+    #[test]
+    fn cycles_are_valid(edge_list in edges(10, 60), memberships in prop::collection::vec((0..10u32, 0..4u32), 0..20)) {
+        let mut b = GraphBuilder::new();
+        let arts: Vec<ArticleId> = (0..10).map(|i| b.add_article(&format!("a{i}"))).collect();
+        let cats: Vec<_> = (0..4).map(|i| b.add_category(&format!("c{i}"))).collect();
+        for &(s, d) in &edge_list {
+            if s != d {
+                b.add_article_link(arts[s as usize], arts[d as usize]);
+            }
+        }
+        for &(a, c) in &memberships {
+            b.add_membership(arts[a as usize], cats[c as usize]);
+        }
+        let g = b.build();
+        let limits = CycleLimits { max_len: 5, max_expand_degree: 64, max_cycles: 3000 };
+        let mut finder = CycleFinder::new(&g, limits);
+        let cycles = finder.cycles_through(Node::Article(arts[0]));
+        for cy in &cycles {
+            prop_assert!(cy.len() >= 3 && cy.len() <= 5);
+            let mut distinct = cy.nodes.clone();
+            distinct.sort();
+            distinct.dedup();
+            prop_assert_eq!(distinct.len(), cy.nodes.len(), "nodes must be distinct");
+            let mut edges_recount = 0;
+            for i in 0..cy.nodes.len() {
+                let x = cy.nodes[i];
+                let y = cy.nodes[(i + 1) % cy.nodes.len()];
+                prop_assert!(g.connected(x, y), "consecutive nodes disconnected");
+                edges_recount += g.edge_multiplicity(x, y);
+            }
+            prop_assert_eq!(edges_recount, cy.edges);
+            prop_assert!(cy.category_ratio() >= 0.0 && cy.category_ratio() <= 1.0);
+        }
+        // Direction dedup: no cycle is another one reversed.
+        for (i, a) in cycles.iter().enumerate() {
+            for b2 in cycles.iter().skip(i + 1) {
+                if a.len() == b2.len() {
+                    let mut rev = b2.nodes.clone();
+                    rev[1..].reverse();
+                    prop_assert!(a.nodes != rev, "reversed duplicate found");
+                }
+            }
+        }
+    }
+}

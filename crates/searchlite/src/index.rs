@@ -1,0 +1,652 @@
+//! Positional inverted index.
+//!
+//! The index stores, per term, the sorted list of documents containing it,
+//! per-document term frequencies, and in-document positions (needed for the
+//! exact n-gram phrase matching that the paper's query builder uses for
+//! article titles). Collection-level statistics back the Dirichlet
+//! smoothing of the query-likelihood model.
+
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+use crate::analysis::Analyzer;
+
+/// Dense identifier of an indexed term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TermId(pub u32);
+
+/// Dense identifier of an indexed document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DocId(pub u32);
+
+impl DocId {
+    /// Index into parallel per-document arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl TermId {
+    /// Index into parallel per-term arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Postings of one term: parallel arrays of documents, frequencies and
+/// flat position lists.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TermPostings {
+    docs: Vec<u32>,
+    tfs: Vec<u32>,
+    /// `pos_offsets[i]..pos_offsets[i+1]` slices `positions` for `docs[i]`.
+    pos_offsets: Vec<u32>,
+    positions: Vec<u32>,
+}
+
+impl TermPostings {
+    /// Number of documents containing the term.
+    #[inline]
+    pub fn doc_freq(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Sorted document list.
+    #[inline]
+    pub fn docs(&self) -> &[u32] {
+        &self.docs
+    }
+
+    /// Term frequencies parallel to [`Self::docs`].
+    #[inline]
+    pub fn tfs(&self) -> &[u32] {
+        &self.tfs
+    }
+
+    /// Term frequency in `doc`, 0 if absent.
+    pub fn tf(&self, doc: DocId) -> u32 {
+        match self.docs.binary_search(&doc.0) {
+            Ok(i) => self.tfs[i],
+            Err(_) => 0,
+        }
+    }
+
+    /// In-document positions of the term in `doc` (sorted), empty if absent.
+    pub fn positions(&self, doc: DocId) -> &[u32] {
+        match self.docs.binary_search(&doc.0) {
+            Ok(i) => {
+                let lo = self.pos_offsets[i] as usize;
+                let hi = self.pos_offsets[i + 1] as usize;
+                &self.positions[lo..hi]
+            }
+            Err(_) => &[],
+        }
+    }
+
+    /// Iterates `(doc, tf)` pairs in document order.
+    pub fn iter(&self) -> impl Iterator<Item = (DocId, u32)> + '_ {
+        self.docs
+            .iter()
+            .zip(self.tfs.iter())
+            .map(|(&d, &t)| (DocId(d), t))
+    }
+}
+
+/// Builds an [`Index`] incrementally, one document at a time.
+#[derive(Debug)]
+pub struct IndexBuilder {
+    analyzer: Analyzer,
+    dict: FxHashMap<String, u32>,
+    terms: Vec<String>,
+    postings: Vec<TermPostings>,
+    external_ids: Vec<String>,
+    doc_lens: Vec<u32>,
+    collection_len: u64,
+    token_buf: Vec<String>,
+    doc_terms: FxHashMap<u32, Vec<u32>>,
+    fwd_offsets: Vec<u32>,
+    fwd_terms: Vec<u32>,
+    fwd_tfs: Vec<u32>,
+}
+
+impl IndexBuilder {
+    /// Creates a builder using `analyzer` for every added document.
+    pub fn new(analyzer: Analyzer) -> Self {
+        IndexBuilder {
+            analyzer,
+            dict: FxHashMap::default(),
+            terms: Vec::new(),
+            postings: Vec::new(),
+            external_ids: Vec::new(),
+            doc_lens: Vec::new(),
+            collection_len: 0,
+            token_buf: Vec::new(),
+            doc_terms: FxHashMap::default(),
+            fwd_offsets: vec![0],
+            fwd_terms: Vec::new(),
+            fwd_tfs: Vec::new(),
+        }
+    }
+
+    fn term_id(&mut self, token: &str) -> u32 {
+        if let Some(&id) = self.dict.get(token) {
+            return id;
+        }
+        let id = self.terms.len() as u32;
+        self.terms.push(token.to_owned());
+        self.dict.insert(token.to_owned(), id);
+        self.postings.push(TermPostings {
+            pos_offsets: vec![0],
+            ..TermPostings::default()
+        });
+        id
+    }
+
+    /// Adds a document with an external (string) identifier; returns its
+    /// dense [`DocId`]. Documents must be added in final order.
+    pub fn add_document(&mut self, external_id: &str, text: &str) -> DocId {
+        let doc = self.external_ids.len() as u32;
+        self.external_ids.push(external_id.to_owned());
+        let mut tokens = std::mem::take(&mut self.token_buf);
+        self.analyzer.analyze_into(text, &mut tokens);
+        self.doc_lens.push(tokens.len() as u32);
+        self.collection_len += tokens.len() as u64;
+        // Gather positions per term for this document.
+        let mut doc_terms = std::mem::take(&mut self.doc_terms);
+        doc_terms.clear();
+        for (pos, tok) in tokens.iter().enumerate() {
+            let tid = self.term_id(tok);
+            doc_terms.entry(tid).or_default().push(pos as u32);
+        }
+        // Flush in sorted term order for determinism.
+        let mut tids: Vec<u32> = doc_terms.keys().copied().collect();
+        tids.sort_unstable();
+        for tid in tids {
+            let positions = &doc_terms[&tid];
+            let p = &mut self.postings[tid as usize];
+            p.docs.push(doc);
+            p.tfs.push(positions.len() as u32);
+            p.positions.extend_from_slice(positions);
+            p.pos_offsets.push(p.positions.len() as u32);
+            self.fwd_terms.push(tid);
+            self.fwd_tfs.push(positions.len() as u32);
+        }
+        self.fwd_offsets.push(self.fwd_terms.len() as u32);
+        self.doc_terms = doc_terms;
+        self.token_buf = tokens;
+        DocId(doc)
+    }
+
+    /// Number of documents added so far.
+    pub fn num_docs(&self) -> usize {
+        self.external_ids.len()
+    }
+
+    /// Finalizes the index.
+    pub fn build(self) -> Index {
+        let coll_tf = self
+            .postings
+            .iter()
+            .map(|p| p.tfs.iter().map(|&t| t as u64).sum())
+            .collect();
+        Index {
+            analyzer: self.analyzer,
+            dict: self.dict,
+            terms: self.terms,
+            postings: self.postings,
+            external_ids: self.external_ids,
+            doc_lens: self.doc_lens,
+            collection_len: self.collection_len,
+            coll_tf,
+            fwd_offsets: self.fwd_offsets,
+            fwd_terms: self.fwd_terms,
+            fwd_tfs: self.fwd_tfs,
+        }
+    }
+}
+
+/// An immutable positional inverted index over a document collection.
+/// Serializable for persistence; see [`Index::to_json`] / [`Index::from_json`].
+#[derive(Debug, Serialize, Deserialize)]
+pub struct Index {
+    analyzer: Analyzer,
+    dict: FxHashMap<String, u32>,
+    terms: Vec<String>,
+    postings: Vec<TermPostings>,
+    external_ids: Vec<String>,
+    doc_lens: Vec<u32>,
+    collection_len: u64,
+    coll_tf: Vec<u64>,
+    fwd_offsets: Vec<u32>,
+    fwd_terms: Vec<u32>,
+    fwd_tfs: Vec<u32>,
+}
+
+impl Index {
+    /// The analyzer documents were indexed with; queries must use the same.
+    pub fn analyzer(&self) -> &Analyzer {
+        &self.analyzer
+    }
+
+    /// Number of indexed documents.
+    pub fn num_docs(&self) -> usize {
+        self.external_ids.len()
+    }
+
+    /// Number of distinct terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Total token count of the collection (`|C|`).
+    pub fn collection_len(&self) -> u64 {
+        self.collection_len
+    }
+
+    /// Looks up the id of an *analyzed* token.
+    pub fn term_id(&self, token: &str) -> Option<TermId> {
+        self.dict.get(token).copied().map(TermId)
+    }
+
+    /// The surface (analyzed) form of a term.
+    pub fn term(&self, t: TermId) -> &str {
+        &self.terms[t.index()]
+    }
+
+    /// The postings of a term.
+    pub fn postings(&self, t: TermId) -> &TermPostings {
+        &self.postings[t.index()]
+    }
+
+    /// Document length in analyzed tokens (`|D|`).
+    pub fn doc_len(&self, d: DocId) -> u32 {
+        self.doc_lens[d.index()]
+    }
+
+    /// The external id of a document.
+    pub fn external_id(&self, d: DocId) -> &str {
+        &self.external_ids[d.index()]
+    }
+
+    /// Collection frequency of a term.
+    pub fn collection_tf(&self, t: TermId) -> u64 {
+        self.coll_tf[t.index()]
+    }
+
+    /// Collection language-model probability `P(w|C)` with a 0.5-count
+    /// floor so that out-of-vocabulary features never produce `log 0`.
+    pub fn collection_prob(&self, t: Option<TermId>) -> f64 {
+        let c = self.collection_len.max(1) as f64;
+        match t {
+            Some(t) => (self.coll_tf[t.index()] as f64).max(0.5) / c,
+            None => 0.5 / c,
+        }
+    }
+
+    /// Collection probability for an arbitrary count (used by phrase
+    /// features whose collection frequency is computed on the fly).
+    pub fn collection_prob_for_count(&self, count: u64) -> f64 {
+        let c = self.collection_len.max(1) as f64;
+        (count as f64).max(0.5) / c
+    }
+
+    /// Term frequency of `t` in `d`.
+    pub fn tf(&self, t: TermId, d: DocId) -> u32 {
+        self.postings[t.index()].tf(d)
+    }
+
+    /// Counts exact consecutive occurrences of the term sequence in `doc`
+    /// (ordered window 1 — Indri's `#1(...)`).
+    pub fn phrase_tf(&self, terms: &[TermId], doc: DocId) -> u32 {
+        match terms.len() {
+            0 => 0,
+            1 => self.tf(terms[0], doc),
+            _ => {
+                let first = self.postings(terms[0]).positions(doc);
+                if first.is_empty() {
+                    return 0;
+                }
+                let rest: Vec<&[u32]> = terms[1..]
+                    .iter()
+                    .map(|&t| self.postings(t).positions(doc))
+                    .collect();
+                if rest.iter().any(|p| p.is_empty()) {
+                    return 0;
+                }
+                let mut count = 0;
+                for &p in first {
+                    if rest
+                        .iter()
+                        .enumerate()
+                        .all(|(i, ps)| ps.binary_search(&(p + 1 + i as u32)).is_ok())
+                    {
+                        count += 1;
+                    }
+                }
+                count
+            }
+        }
+    }
+
+    /// Counts unordered co-occurrences of all terms within any window of
+    /// `window` consecutive positions (Indri's `#uwN`). Matches are
+    /// counted as non-overlapping minimal intervals: the scan repeatedly
+    /// finds the smallest span covering one occurrence of every term,
+    /// counts it if it fits the window, and advances past its start.
+    pub fn unordered_window_tf(&self, terms: &[TermId], doc: DocId, window: u32) -> u32 {
+        match terms.len() {
+            0 => 0,
+            1 => self.tf(terms[0], doc),
+            _ => {
+                let lists: Vec<&[u32]> = terms
+                    .iter()
+                    .map(|&t| self.postings(t).positions(doc))
+                    .collect();
+                if lists.iter().any(|l| l.is_empty()) {
+                    return 0;
+                }
+                let mut heads = vec![0usize; lists.len()];
+                let mut count = 0u32;
+                loop {
+                    let mut min_pos = u32::MAX;
+                    let mut max_pos = 0u32;
+                    let mut min_idx = 0usize;
+                    for (i, l) in lists.iter().enumerate() {
+                        let p = l[heads[i]];
+                        if p < min_pos {
+                            min_pos = p;
+                            min_idx = i;
+                        }
+                        max_pos = max_pos.max(p);
+                    }
+                    if max_pos - min_pos < window {
+                        count += 1;
+                        // Non-overlapping: consume the whole matched span.
+                        let mut exhausted = false;
+                        for (i, l) in lists.iter().enumerate() {
+                            while heads[i] < l.len() && l[heads[i]] <= max_pos {
+                                heads[i] += 1;
+                            }
+                            if heads[i] == l.len() {
+                                exhausted = true;
+                            }
+                        }
+                        if exhausted {
+                            return count;
+                        }
+                    } else {
+                        heads[min_idx] += 1;
+                        if heads[min_idx] == lists[min_idx].len() {
+                            return count;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// All documents where the terms co-occur within the window, with
+    /// their unordered-window frequencies, in document order.
+    pub fn unordered_window_postings(&self, terms: &[TermId], window: u32) -> Vec<(DocId, u32)> {
+        if terms.is_empty() {
+            return Vec::new();
+        }
+        if terms.len() == 1 {
+            return self.postings(terms[0]).iter().collect();
+        }
+        let rarest = terms
+            .iter()
+            .min_by_key(|&&t| self.postings(t).doc_freq())
+            .copied()
+            .expect("non-empty");
+        let mut out = Vec::new();
+        for (doc, _) in self.postings(rarest).iter() {
+            let tf = self.unordered_window_tf(terms, doc, window);
+            if tf > 0 {
+                out.push((doc, tf));
+            }
+        }
+        out
+    }
+
+    /// All documents containing the exact phrase, with phrase frequencies.
+    /// Documents come out in id order.
+    pub fn phrase_postings(&self, terms: &[TermId]) -> Vec<(DocId, u32)> {
+        if terms.is_empty() {
+            return Vec::new();
+        }
+        if terms.len() == 1 {
+            return self.postings(terms[0]).iter().collect();
+        }
+        // Drive from the rarest term to keep the intersection small.
+        let rarest = terms
+            .iter()
+            .min_by_key(|&&t| self.postings(t).doc_freq())
+            .copied()
+            .expect("non-empty");
+        let mut out = Vec::new();
+        for (doc, _) in self.postings(rarest).iter() {
+            let tf = self.phrase_tf(terms, doc);
+            if tf > 0 {
+                out.push((doc, tf));
+            }
+        }
+        out
+    }
+
+    /// Iterates the distinct terms of a document with their frequencies
+    /// (the forward index used by relevance-model feedback).
+    pub fn doc_terms(&self, d: DocId) -> impl Iterator<Item = (TermId, u32)> + '_ {
+        let lo = self.fwd_offsets[d.index()] as usize;
+        let hi = self.fwd_offsets[d.index() + 1] as usize;
+        self.fwd_terms[lo..hi]
+            .iter()
+            .zip(self.fwd_tfs[lo..hi].iter())
+            .map(|(&t, &f)| (TermId(t), f))
+    }
+
+    /// Serializes the index to JSON (human-diffable persistence; the
+    /// synthetic collections are small enough that a compact binary
+    /// format is unnecessary).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("index serializes")
+    }
+
+    /// Restores an index from [`Index::to_json`] output.
+    pub fn from_json(json: &str) -> Result<Index, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Analyzes raw text with the index's analyzer and maps the tokens to
+    /// term ids (`None` for out-of-vocabulary tokens).
+    pub fn analyze_to_terms(&self, text: &str) -> Vec<Option<TermId>> {
+        self.analyzer
+            .analyze(text)
+            .iter()
+            .map(|t| self.term_id(t))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Index {
+        let mut b = IndexBuilder::new(Analyzer::plain());
+        b.add_document("d0", "cable car climbs the hill");
+        b.add_document("d1", "cable car cable car");
+        b.add_document("d2", "the hill of graffiti");
+        b.build()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let idx = tiny();
+        assert_eq!(idx.num_docs(), 3);
+        assert_eq!(idx.collection_len(), 5 + 4 + 4);
+        assert_eq!(idx.doc_len(DocId(1)), 4);
+        assert_eq!(idx.external_id(DocId(2)), "d2");
+    }
+
+    #[test]
+    fn term_stats() {
+        let idx = tiny();
+        let cable = idx.term_id("cable").unwrap();
+        assert_eq!(idx.collection_tf(cable), 3);
+        assert_eq!(idx.postings(cable).doc_freq(), 2);
+        assert_eq!(idx.tf(cable, DocId(1)), 2);
+        assert_eq!(idx.tf(cable, DocId(2)), 0);
+    }
+
+    #[test]
+    fn positions_are_recorded() {
+        let idx = tiny();
+        let car = idx.term_id("car").unwrap();
+        assert_eq!(idx.postings(car).positions(DocId(1)), &[1, 3]);
+        assert_eq!(idx.postings(car).positions(DocId(2)), &[0u32; 0]);
+    }
+
+    #[test]
+    fn phrase_tf_counts_adjacent_pairs() {
+        let idx = tiny();
+        let cable = idx.term_id("cable").unwrap();
+        let car = idx.term_id("car").unwrap();
+        assert_eq!(idx.phrase_tf(&[cable, car], DocId(0)), 1);
+        assert_eq!(idx.phrase_tf(&[cable, car], DocId(1)), 2);
+        assert_eq!(idx.phrase_tf(&[car, cable], DocId(0)), 0);
+        assert_eq!(idx.phrase_tf(&[cable, car], DocId(2)), 0);
+    }
+
+    #[test]
+    fn phrase_postings_intersects() {
+        let idx = tiny();
+        let cable = idx.term_id("cable").unwrap();
+        let car = idx.term_id("car").unwrap();
+        let posts = idx.phrase_postings(&[cable, car]);
+        assert_eq!(posts, vec![(DocId(0), 1), (DocId(1), 2)]);
+    }
+
+    #[test]
+    fn single_term_phrase_equals_term_postings() {
+        let idx = tiny();
+        let hill = idx.term_id("hill").unwrap();
+        let posts = idx.phrase_postings(&[hill]);
+        assert_eq!(posts, vec![(DocId(0), 1), (DocId(2), 1)]);
+    }
+
+    #[test]
+    fn collection_prob_floors_oov() {
+        let idx = tiny();
+        let p = idx.collection_prob(None);
+        assert!(p > 0.0);
+        assert!(p < idx.collection_prob(idx.term_id("cable")));
+    }
+
+    #[test]
+    fn empty_document_is_allowed() {
+        let mut b = IndexBuilder::new(Analyzer::english());
+        let d = b.add_document("empty", "the of and");
+        let idx = b.build();
+        assert_eq!(idx.doc_len(d), 0);
+        assert_eq!(idx.num_docs(), 1);
+    }
+
+    #[test]
+    fn analyze_to_terms_maps_oov_to_none() {
+        let idx = tiny();
+        let ids = idx.analyze_to_terms("cable spaceship");
+        assert!(ids[0].is_some());
+        assert!(ids[1].is_none());
+    }
+
+    #[test]
+    fn unordered_window_counts_cooccurrence() {
+        let mut b = IndexBuilder::new(Analyzer::plain());
+        b.add_document("d", "car red cable far far far cable blue car");
+        let idx = b.build();
+        let cable = idx.term_id("cable").unwrap();
+        let car = idx.term_id("car").unwrap();
+        // Positions: car {0, 8}, cable {2, 6}.
+        // Window 3: |0-2| < 3 ✓ (count, advance past 0) then |8-6| < 3 ✓.
+        assert_eq!(idx.unordered_window_tf(&[cable, car], DocId(0), 3), 2);
+        // Window 2 requires adjacency: |0-2| ≥ 2, advance car→8; |8-2| ≥ 2,
+        // advance cable→6; |8-6| ≥ 2: no matches.
+        assert_eq!(idx.unordered_window_tf(&[cable, car], DocId(0), 2), 0);
+        // Window large enough matches but non-overlapping: 2 intervals.
+        assert_eq!(idx.unordered_window_tf(&[cable, car], DocId(0), 100), 2);
+    }
+
+    #[test]
+    fn unordered_window_requires_all_terms() {
+        let idx = tiny();
+        let cable = idx.term_id("cable").unwrap();
+        let graffiti = idx.term_id("graffiti").unwrap();
+        assert_eq!(idx.unordered_window_tf(&[cable, graffiti], DocId(0), 50), 0);
+    }
+
+    #[test]
+    fn unordered_window_is_order_free() {
+        let idx = tiny();
+        let cable = idx.term_id("cable").unwrap();
+        let car = idx.term_id("car").unwrap();
+        let ab = idx.unordered_window_tf(&[cable, car], DocId(1), 4);
+        let ba = idx.unordered_window_tf(&[car, cable], DocId(1), 4);
+        assert_eq!(ab, ba);
+        assert!(ab >= 1);
+    }
+
+    #[test]
+    fn unordered_window_postings_cover_matching_docs() {
+        let idx = tiny();
+        let cable = idx.term_id("cable").unwrap();
+        let car = idx.term_id("car").unwrap();
+        let posts = idx.unordered_window_postings(&[cable, car], 8);
+        let docs: Vec<u32> = posts.iter().map(|&(d, _)| d.0).collect();
+        assert_eq!(docs, vec![0, 1]);
+    }
+
+    #[test]
+    fn forward_index_matches_postings() {
+        let idx = tiny();
+        let terms: Vec<(String, u32)> = idx
+            .doc_terms(DocId(1))
+            .map(|(t, f)| (idx.term(t).to_owned(), f))
+            .collect();
+        assert_eq!(
+            terms,
+            vec![("cable".to_owned(), 2), ("car".to_owned(), 2)]
+        );
+        // Forward tf must agree with inverted tf for every (doc, term).
+        for d in 0..idx.num_docs() as u32 {
+            for (t, f) in idx.doc_terms(DocId(d)) {
+                assert_eq!(idx.tf(t, DocId(d)), f);
+            }
+        }
+    }
+
+    #[test]
+    fn index_json_roundtrip_preserves_retrieval() {
+        use crate::ql::{self, QlParams};
+        use crate::structured::Query;
+        let idx = tiny();
+        let restored = Index::from_json(&idx.to_json()).unwrap();
+        assert_eq!(restored.num_docs(), idx.num_docs());
+        assert_eq!(restored.collection_len(), idx.collection_len());
+        let q = Query::parse_text("cable car", &Analyzer::plain());
+        let h1 = ql::rank(&idx, &q, QlParams { mu: 10.0 }, 5);
+        let h2 = ql::rank(&restored, &q, QlParams { mu: 10.0 }, 5);
+        assert_eq!(h1, h2, "retrieval must be identical after reload");
+    }
+
+    #[test]
+    fn stemming_analyzer_normalizes_documents_and_queries_alike() {
+        let mut b = IndexBuilder::new(Analyzer::english());
+        b.add_document("d", "funiculars climbing hills");
+        let idx = b.build();
+        let ids = idx.analyze_to_terms("funicular climbs hill");
+        assert!(ids.iter().all(|t| t.is_some()));
+    }
+}

@@ -1,0 +1,49 @@
+//! An Indri-like search-engine substrate for Structural Query Expansion.
+//!
+//! The paper (Section 2.3 and Section 3) runs its experiments on the Indri
+//! engine with a query-likelihood retrieval model. This crate implements
+//! the pieces the paper actually uses, from the published formulas:
+//!
+//! * [`analysis`] — tokenizer, stopword filter and Porter stemmer,
+//! * [`index`] — a positional inverted index over a document collection,
+//! * [`ql`] — Dirichlet-smoothed query likelihood scoring
+//!   (`P(w|D) = (tf + μ·P(w|C)) / (|D| + μ)`, Ponte & Croft / Indri),
+//! * [`structured`] — weighted structured queries (terms, exact n-gram
+//!   phrases, weighted combination — the `#weight`/`#1` operators the
+//!   expanded query of Section 2.3 needs),
+//! * [`prf`] — Lavrenko's relevance model (RM1/RM3) pseudo-relevance
+//!   feedback used as the PRF comparator in Section 4.3,
+//! * [`bm25`] — Okapi BM25 as an alternative ranking function for
+//!   retrieval-model sensitivity checks,
+//! * [`topk`] — bounded top-k selection with deterministic tie-breaking.
+//!
+//! # Example
+//!
+//! ```
+//! use searchlite::{Analyzer, IndexBuilder, ql::QlParams, structured::Query};
+//!
+//! let analyzer = Analyzer::english();
+//! let mut builder = IndexBuilder::new(analyzer.clone());
+//! builder.add_document("d1", "a funicular railway climbing the hillside");
+//! builder.add_document("d2", "street art painted on city walls");
+//! let index = builder.build();
+//!
+//! let query = Query::parse_text("funicular railway", &analyzer);
+//! let hits = searchlite::ql::rank(&index, &query, QlParams::default(), 10);
+//! assert_eq!(index.external_id(hits[0].doc), "d1");
+//! ```
+
+pub mod analysis;
+pub mod bm25;
+pub mod index;
+pub mod prf;
+pub mod ql;
+pub mod stats;
+pub mod structured;
+pub mod topk;
+
+pub use analysis::Analyzer;
+pub use index::{DocId, Index, IndexBuilder, TermId};
+pub use ql::{QlParams, SearchHit};
+pub use stats::CollectionStats;
+pub use structured::Query;

@@ -1,0 +1,140 @@
+//! Collection statistics.
+//!
+//! Summaries of an indexed collection: the numbers papers report in their
+//! experimental-setup sections (document counts, lengths, vocabulary),
+//! plus the document-frequency distribution useful for diagnosing
+//! vocabulary mismatch in the synthetic collections.
+
+use serde::{Deserialize, Serialize};
+
+use crate::index::{DocId, Index, TermId};
+
+/// Aggregate statistics of one index.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollectionStats {
+    /// Number of documents.
+    pub num_docs: usize,
+    /// Number of distinct terms.
+    pub vocabulary: usize,
+    /// Total analyzed tokens.
+    pub collection_len: u64,
+    /// Mean document length in tokens.
+    pub avg_doc_len: f64,
+    /// Shortest / longest document lengths.
+    pub min_doc_len: u32,
+    /// Longest document length.
+    pub max_doc_len: u32,
+    /// Highest document frequency of any term.
+    pub max_doc_freq: usize,
+    /// Number of terms occurring in exactly one document (hapax-like).
+    pub singleton_terms: usize,
+}
+
+impl CollectionStats {
+    /// Computes statistics over an index.
+    pub fn compute(index: &Index) -> CollectionStats {
+        let num_docs = index.num_docs();
+        let vocabulary = index.num_terms();
+        let collection_len = index.collection_len();
+        let mut min_doc_len = u32::MAX;
+        let mut max_doc_len = 0u32;
+        for d in 0..num_docs as u32 {
+            let l = index.doc_len(DocId(d));
+            min_doc_len = min_doc_len.min(l);
+            max_doc_len = max_doc_len.max(l);
+        }
+        if num_docs == 0 {
+            min_doc_len = 0;
+        }
+        let mut max_doc_freq = 0usize;
+        let mut singleton_terms = 0usize;
+        for t in 0..vocabulary as u32 {
+            let df = index.postings(TermId(t)).doc_freq();
+            max_doc_freq = max_doc_freq.max(df);
+            if df == 1 {
+                singleton_terms += 1;
+            }
+        }
+        CollectionStats {
+            num_docs,
+            vocabulary,
+            collection_len,
+            avg_doc_len: if num_docs == 0 {
+                0.0
+            } else {
+                collection_len as f64 / num_docs as f64
+            },
+            min_doc_len,
+            max_doc_len,
+            max_doc_freq,
+            singleton_terms,
+        }
+    }
+}
+
+/// The document-frequency histogram: `hist[b]` counts terms whose df
+/// falls into bucket `b` of geometric buckets 1, 2, 3–4, 5–8, 9–16, …
+pub fn doc_freq_histogram(index: &Index) -> Vec<usize> {
+    let mut hist: Vec<usize> = Vec::new();
+    for t in 0..index.num_terms() as u32 {
+        let df = index.postings(TermId(t)).doc_freq();
+        if df == 0 {
+            continue;
+        }
+        let bucket = (usize::BITS - df.leading_zeros()) as usize - 1;
+        if hist.len() <= bucket {
+            hist.resize(bucket + 1, 0);
+        }
+        hist[bucket] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::Analyzer;
+    use crate::index::IndexBuilder;
+
+    fn idx() -> Index {
+        let mut b = IndexBuilder::new(Analyzer::plain());
+        b.add_document("d0", "a a b c");
+        b.add_document("d1", "a d");
+        b.add_document("d2", "a b e f g");
+        b.build()
+    }
+
+    #[test]
+    fn aggregate_statistics() {
+        let s = CollectionStats::compute(&idx());
+        assert_eq!(s.num_docs, 3);
+        assert_eq!(s.vocabulary, 7);
+        assert_eq!(s.collection_len, 11);
+        assert!((s.avg_doc_len - 11.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.min_doc_len, 2);
+        assert_eq!(s.max_doc_len, 5);
+        assert_eq!(s.max_doc_freq, 3, "'a' is everywhere");
+        // c, d, e, f, g occur in exactly one document.
+        assert_eq!(s.singleton_terms, 5);
+    }
+
+    #[test]
+    fn empty_index_statistics() {
+        let b = IndexBuilder::new(Analyzer::plain());
+        let s = CollectionStats::compute(&b.build());
+        assert_eq!(s.num_docs, 0);
+        assert_eq!(s.avg_doc_len, 0.0);
+        assert_eq!(s.min_doc_len, 0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_geometric() {
+        let h = doc_freq_histogram(&idx());
+        // df=1 terms (5 of them) → bucket 0; df=2 ('b') → bucket 1;
+        // df=3 ('a') → bucket 1 (3–4 range starts at bucket 1? df=3 →
+        // floor(log2(3)) = 1).
+        assert_eq!(h[0], 5);
+        assert_eq!(h[1], 2);
+        assert_eq!(h.iter().sum::<usize>(), 7);
+    }
+}

@@ -1,0 +1,303 @@
+//! Generator configuration and the presets matching the paper's datasets.
+
+/// Shape of the synthetic knowledge base.
+#[derive(Debug, Clone)]
+pub struct KbConfig {
+    /// Random seed for all KB-level decisions.
+    pub seed: u64,
+    /// Number of domains (broad fields; the Wikipedia main topic
+    /// classifications).
+    pub domains: usize,
+    /// Topics (mid-level categories) per domain.
+    pub topics_per_domain: usize,
+    /// Subtopics (leaf categories) per topic.
+    pub subtopics_per_topic: usize,
+    /// Entities (articles) per topic, distributed round-robin over its
+    /// subtopics.
+    pub entities_per_topic: usize,
+    /// Distinct specific words available per topic.
+    pub topic_vocab: usize,
+    /// Size of the shared per-domain word pool that topic vocabularies are
+    /// sampled from. Smaller pools create more cross-topic word collisions
+    /// — the "too general keywords" effect.
+    pub domain_pool: usize,
+    /// General words per domain (appear across all its topics).
+    pub domain_vocab: usize,
+    /// Global noise vocabulary size.
+    pub global_vocab: usize,
+    /// Alias pool size; aliases are sampled with collisions to create
+    /// entity-linking ambiguity.
+    pub alias_pool: usize,
+    /// Probability that an entity has an alias at all.
+    pub p_alias: f64,
+    /// Probability that an entity is also a member of its *topic* category
+    /// (in addition to its subtopic category).
+    pub p_topic_membership: f64,
+    /// Probability that an entity is a member of its *domain* category
+    /// (hub articles).
+    pub p_domain_membership: f64,
+    /// Mutual (reciprocal) links per entity toward same-subtopic entities.
+    pub mutual_same_subtopic: usize,
+    /// Mutual links per entity toward same-topic (other subtopic) entities.
+    pub mutual_same_topic: usize,
+    /// Mutual links per entity toward same-domain (other topic) entities.
+    pub mutual_same_domain: usize,
+    /// Probability that a same-topic mutual neighbour is *semantically
+    /// relevant* to the entity (vs merely associated).
+    pub p_related_relevant: f64,
+    /// One-directional noise links per entity.
+    pub noise_links_per_entity: usize,
+    /// Extra noise articles (no topic structure) added to the KB.
+    pub noise_articles: usize,
+    /// One-directional links per noise article.
+    pub noise_article_links: usize,
+    /// Probability that a noise link incident to an entity is reciprocated
+    /// (creates motif false positives, stressing precision).
+    pub p_noise_reciprocal: f64,
+}
+
+impl Default for KbConfig {
+    fn default() -> Self {
+        KbConfig {
+            seed: 0x50e_2017,
+            domains: 15,
+            topics_per_domain: 12,
+            subtopics_per_topic: 3,
+            entities_per_topic: 24,
+            topic_vocab: 10,
+            domain_pool: 40,
+            domain_vocab: 12,
+            global_vocab: 4000,
+            alias_pool: 8000,
+            p_alias: 0.9,
+            p_topic_membership: 0.85,
+            p_domain_membership: 0.12,
+            mutual_same_subtopic: 1,
+            mutual_same_topic: 7,
+            mutual_same_domain: 3,
+            p_related_relevant: 0.65,
+            noise_links_per_entity: 3,
+            noise_articles: 1500,
+            noise_article_links: 8,
+            p_noise_reciprocal: 0.03,
+        }
+    }
+}
+
+/// Shape of one document collection.
+#[derive(Debug, Clone)]
+pub struct CollectionConfig {
+    /// Collection display name.
+    pub name: &'static str,
+    /// Seed for document-level randomness.
+    pub seed: u64,
+    /// Total number of documents to generate.
+    pub total_docs: usize,
+    /// Documents per *relevant* entity are sized so that each query's
+    /// relevant-document count lands near this mean (the paper reports
+    /// 68.8 / 31.32 / 50.6).
+    pub mean_relevant_per_query: f64,
+    /// Spread (± fraction of the mean) of per-query relevant counts.
+    pub relevant_spread: f64,
+    /// Documents per same-topic hard-negative entity.
+    pub hard_negative_docs: usize,
+    /// Boilerplate (catalogue/metadata) documents per domain.
+    pub boilerplate_per_domain: usize,
+    /// Tokens per boilerplate document.
+    pub boilerplate_len: usize,
+    /// Minimum/maximum tokens of an entity document.
+    pub doc_len: (usize, usize),
+    /// Probability an entity document mentions a related entity's title.
+    pub p_mention_related: f64,
+    /// Probability an entity document contains the entity's alias.
+    pub p_alias_in_doc: f64,
+    /// Probability an entity document carries the *full* title as a
+    /// contiguous phrase (otherwise a single title word only) — real
+    /// captions rarely quote canonical article titles verbatim.
+    pub p_full_title: f64,
+    /// Probability a neighbourhood-entity document depicts the query's
+    /// *aspect* (and then contains the aspect words).
+    pub p_aspect_in_doc: f64,
+    /// Probability an aspect-bearing neighbourhood document is judged
+    /// relevant.
+    pub p_rel_with_aspect: f64,
+    /// Probability a neighbourhood document *without* the aspect is
+    /// judged relevant (about the right entity, the wrong aspect — why
+    /// even the paper's ground-truth upper bound only reaches P@5 ≈ 0.58).
+    pub p_rel_without_aspect: f64,
+    /// Fraction of entity documents written in the collection's *other*
+    /// languages (ImageCLEF metadata is only ~60% English; CHiC is a
+    /// multilingual European aggregation). Foreign documents stay in the
+    /// qrels but are lexically unreachable by English queries — the
+    /// recall ceiling every configuration shares.
+    pub p_foreign: f64,
+}
+
+/// Shape of one query set over a collection.
+#[derive(Debug, Clone)]
+pub struct QuerySetConfig {
+    /// Query-set display name (e.g. `"imageclef"`).
+    pub name: &'static str,
+    /// Seed for query-level randomness.
+    pub seed: u64,
+    /// Number of queries (the paper's benchmarks have 50 each).
+    pub num_queries: usize,
+    /// Number of queries whose topics get no documents at all
+    /// (14 in CHiC 2012, 1 in CHiC 2013, 0 in Image CLEF).
+    pub zero_relevant_queries: usize,
+    /// Probability a query has two target entities instead of one.
+    pub p_two_targets: f64,
+    /// Target mean of *judged relevant* documents per query (the paper
+    /// reports 68.8 / 31.32 / 50.6 for its three query sets).
+    pub mean_relevant_per_query: f64,
+}
+
+/// Configuration of the whole test bed: one KB, the Image CLEF-like
+/// collection with its query set, and the CHiC-like collection shared by
+/// the 2012 and 2013 query sets.
+#[derive(Debug, Clone)]
+pub struct TestBedConfig {
+    /// KB shape.
+    pub kb: KbConfig,
+    /// Image CLEF-like collection.
+    pub imageclef: CollectionConfig,
+    /// Image CLEF query set.
+    pub imageclef_queries: QuerySetConfig,
+    /// CHiC-like collection (shared by both CHiC query sets, as in the
+    /// paper).
+    pub chic: CollectionConfig,
+    /// CHiC 2012 query set.
+    pub chic2012_queries: QuerySetConfig,
+    /// CHiC 2013 query set.
+    pub chic2013_queries: QuerySetConfig,
+}
+
+impl TestBedConfig {
+    /// The full-scale preset used by the experiment harness: collection
+    /// sizes are scaled ~10× down from the paper (237k → 24k docs,
+    /// 1.107M → 60k docs) while per-query relevant counts, query counts
+    /// and zero-relevant-query counts match the paper exactly.
+    pub fn full() -> Self {
+        TestBedConfig {
+            kb: KbConfig::default(),
+            imageclef: CollectionConfig {
+                name: "imageclef",
+                seed: 101,
+                total_docs: 40_000,
+                mean_relevant_per_query: 68.8,
+                relevant_spread: 0.45,
+                hard_negative_docs: 6,
+                boilerplate_per_domain: 60,
+                boilerplate_len: 34,
+                doc_len: (8, 18),
+                p_mention_related: 0.45,
+                p_alias_in_doc: 0.04,
+                p_full_title: 0.45,
+                p_aspect_in_doc: 0.5,
+                p_rel_with_aspect: 0.85,
+                p_rel_without_aspect: 0.3,
+                p_foreign: 0.4,
+            },
+            imageclef_queries: QuerySetConfig {
+                name: "imageclef",
+                seed: 201,
+                num_queries: 50,
+                zero_relevant_queries: 0,
+                p_two_targets: 0.3,
+                mean_relevant_per_query: 68.8,
+            },
+            chic: CollectionConfig {
+                name: "chic",
+                seed: 102,
+                total_docs: 80_000,
+                mean_relevant_per_query: 41.0,
+                relevant_spread: 0.5,
+                hard_negative_docs: 8,
+                boilerplate_per_domain: 220,
+                boilerplate_len: 34,
+                doc_len: (8, 18),
+                p_mention_related: 0.45,
+                p_alias_in_doc: 0.035,
+                p_full_title: 0.4,
+                p_aspect_in_doc: 0.45,
+                p_rel_with_aspect: 0.75,
+                p_rel_without_aspect: 0.22,
+                p_foreign: 0.42,
+            },
+            chic2012_queries: QuerySetConfig {
+                name: "chic2012",
+                seed: 202,
+                num_queries: 50,
+                zero_relevant_queries: 14,
+                p_two_targets: 0.25,
+                mean_relevant_per_query: 31.32,
+            },
+            chic2013_queries: QuerySetConfig {
+                name: "chic2013",
+                seed: 203,
+                num_queries: 50,
+                zero_relevant_queries: 1,
+                p_two_targets: 0.25,
+                mean_relevant_per_query: 50.6,
+            },
+        }
+    }
+
+    /// A small preset for unit and integration tests (seconds, not
+    /// minutes). Same structure, reduced counts.
+    pub fn small() -> Self {
+        let mut cfg = Self::full();
+        cfg.kb.domains = 6;
+        cfg.kb.topics_per_domain = 6;
+        cfg.kb.entities_per_topic = 12;
+        cfg.kb.noise_articles = 200;
+        cfg.imageclef.total_docs = 4_000;
+        cfg.imageclef.mean_relevant_per_query = 30.0;
+        cfg.imageclef.boilerplate_per_domain = 20;
+        cfg.imageclef_queries.num_queries = 12;
+        cfg.imageclef_queries.mean_relevant_per_query = 30.0;
+        cfg.chic.total_docs = 7_000;
+        cfg.chic.mean_relevant_per_query = 20.0;
+        cfg.chic.boilerplate_per_domain = 40;
+        cfg.chic2012_queries.num_queries = 12;
+        cfg.chic2012_queries.zero_relevant_queries = 3;
+        cfg.chic2012_queries.mean_relevant_per_query = 16.0;
+        cfg.chic2013_queries.num_queries = 12;
+        cfg.chic2013_queries.zero_relevant_queries = 1;
+        cfg.chic2013_queries.mean_relevant_per_query = 24.0;
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_preset_matches_paper_statistics() {
+        let cfg = TestBedConfig::full();
+        assert_eq!(cfg.imageclef_queries.num_queries, 50);
+        assert_eq!(cfg.chic2012_queries.zero_relevant_queries, 14);
+        assert_eq!(cfg.chic2013_queries.zero_relevant_queries, 1);
+        assert!((cfg.imageclef.mean_relevant_per_query - 68.8).abs() < 1e-9);
+        // The CHiC collection is shared: one config, two query sets.
+        assert!(cfg.chic.total_docs > cfg.imageclef.total_docs);
+    }
+
+    #[test]
+    fn small_preset_has_enough_topics_for_queries() {
+        let cfg = TestBedConfig::small();
+        let topics = cfg.kb.domains * cfg.kb.topics_per_domain;
+        let needed = cfg.imageclef_queries.num_queries
+            + cfg.chic2012_queries.num_queries
+            + cfg.chic2013_queries.num_queries;
+        assert!(topics >= needed, "{topics} topics for {needed} queries");
+    }
+
+    #[test]
+    fn full_preset_has_enough_topics_for_queries() {
+        let cfg = TestBedConfig::full();
+        let topics = cfg.kb.domains * cfg.kb.topics_per_domain;
+        assert!(topics >= 150);
+    }
+}

@@ -1,0 +1,298 @@
+//! Assembly of the full test bed: KB + collections + query sets + qrels.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+use crate::concepts::ConceptSpace;
+use crate::config::TestBedConfig;
+use crate::docs::{generate_documents_with_means, Document};
+use crate::kb::SynthKb;
+use crate::queries::{generate_queries, QuerySpec};
+
+pub use crate::docs::Document as Doc;
+
+/// A document collection (index target).
+#[derive(Debug)]
+pub struct Collection {
+    /// Display name.
+    pub name: String,
+    /// All documents.
+    pub docs: Vec<Document>,
+}
+
+/// A benchmark dataset: a query set over one collection, with qrels.
+#[derive(Debug)]
+pub struct Dataset {
+    /// Display name (`imageclef`, `chic2012`, `chic2013`).
+    pub name: String,
+    /// Index into [`TestBed::collections`].
+    pub collection: usize,
+    /// The queries.
+    pub queries: Vec<QuerySpec>,
+    /// Relevance judgments: query id → relevant doc ids.
+    pub relevant: FxHashMap<String, FxHashSet<String>>,
+}
+
+impl Dataset {
+    /// Mean number of relevant documents per query (all queries count).
+    pub fn avg_relevant_per_query(&self) -> f64 {
+        if self.queries.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self
+            .queries
+            .iter()
+            .map(|q| self.relevant.get(&q.id).map_or(0, |s| s.len()))
+            .sum();
+        total as f64 / self.queries.len() as f64
+    }
+
+    /// Number of queries with zero relevant documents.
+    pub fn num_zero_relevant(&self) -> usize {
+        self.queries
+            .iter()
+            .filter(|q| self.relevant.get(&q.id).is_none_or(|s| s.is_empty()))
+            .count()
+    }
+}
+
+/// The complete generated world.
+#[derive(Debug)]
+pub struct TestBed {
+    /// The concept space (semantic ground truth).
+    pub space: ConceptSpace,
+    /// The knowledge base built from it.
+    pub kb: SynthKb,
+    /// Collections: `[0]` Image CLEF-like, `[1]` CHiC-like (shared).
+    pub collections: Vec<Collection>,
+    /// Datasets: `[0]` imageclef, `[1]` chic2012, `[2]` chic2013.
+    pub datasets: Vec<Dataset>,
+}
+
+impl TestBed {
+    /// Generates everything deterministically from the config.
+    pub fn generate(cfg: &TestBedConfig) -> TestBed {
+        let space = ConceptSpace::generate(&cfg.kb);
+        let kb = SynthKb::build(&space, &cfg.kb);
+
+        // Allocate disjoint topics to the three query sets.
+        let mut topics: Vec<usize> = (0..space.num_topics()).collect();
+        let mut rng = SmallRng::seed_from_u64(cfg.kb.seed ^ 0xa110c);
+        for i in (1..topics.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            topics.swap(i, j);
+        }
+        let n1 = cfg.imageclef_queries.num_queries;
+        let n2 = cfg.chic2012_queries.num_queries;
+        let n3 = cfg.chic2013_queries.num_queries;
+        assert!(topics.len() >= n1 + n2 + n3, "not enough topics");
+        let ic_topics = &topics[..n1];
+        let c12_topics = &topics[n1..n1 + n2];
+        let c13_topics = &topics[n1 + n2..n1 + n2 + n3];
+
+        let ic_queries = generate_queries(&space, &cfg.imageclef_queries, ic_topics);
+        let c12_queries = generate_queries(&space, &cfg.chic2012_queries, c12_topics);
+        let c13_queries = generate_queries(&space, &cfg.chic2013_queries, c13_topics);
+
+        let ic_docs = generate_documents_with_means(
+            &space,
+            &cfg.imageclef,
+            &[&ic_queries],
+            &[cfg.imageclef_queries.mean_relevant_per_query],
+        );
+        let chic_docs = generate_documents_with_means(
+            &space,
+            &cfg.chic,
+            &[&c12_queries, &c13_queries],
+            &[
+                cfg.chic2012_queries.mean_relevant_per_query,
+                cfg.chic2013_queries.mean_relevant_per_query,
+            ],
+        );
+
+        let collections = vec![
+            Collection {
+                name: cfg.imageclef.name.to_owned(),
+                docs: ic_docs,
+            },
+            Collection {
+                name: cfg.chic.name.to_owned(),
+                docs: chic_docs,
+            },
+        ];
+
+        let datasets = vec![
+            build_dataset("imageclef", 0, ic_queries, &collections[0]),
+            build_dataset("chic2012", 1, c12_queries, &collections[1]),
+            build_dataset("chic2013", 1, c13_queries, &collections[1]),
+        ];
+
+        TestBed {
+            space,
+            kb,
+            collections,
+            datasets,
+        }
+    }
+
+    /// Finds a dataset by name.
+    pub fn dataset(&self, name: &str) -> &Dataset {
+        self.datasets
+            .iter()
+            .find(|d| d.name == name)
+            .unwrap_or_else(|| panic!("unknown dataset {name}"))
+    }
+
+    /// The collection a dataset runs over.
+    pub fn collection_of(&self, dataset: &Dataset) -> &Collection {
+        &self.collections[dataset.collection]
+    }
+}
+
+/// Computes qrels for a query set over a collection: a document is
+/// relevant to a query iff it is about an entity of the query's relevance
+/// neighbourhood.
+fn build_dataset(
+    name: &str,
+    collection: usize,
+    queries: Vec<QuerySpec>,
+    coll: &Collection,
+) -> Dataset {
+    // entity → queries that consider it relevant (topics are disjoint, so
+    // usually a single query).
+    let mut entity_queries: FxHashMap<usize, Vec<usize>> = FxHashMap::default();
+    for (qi, q) in queries.iter().enumerate() {
+        for &e in &q.relevant_entities {
+            entity_queries.entry(e).or_default().push(qi);
+        }
+    }
+    let mut relevant: FxHashMap<String, FxHashSet<String>> = FxHashMap::default();
+    for q in &queries {
+        relevant.entry(q.id.clone()).or_default();
+    }
+    for doc in &coll.docs {
+        if !doc.judged_relevant {
+            continue;
+        }
+        if let Some(e) = doc.about {
+            if let Some(qis) = entity_queries.get(&e) {
+                for &qi in qis {
+                    relevant
+                        .get_mut(&queries[qi].id)
+                        .expect("prefilled")
+                        .insert(doc.id.clone());
+                }
+            }
+        }
+    }
+    Dataset {
+        name: name.to_owned(),
+        collection,
+        queries,
+        relevant,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bed() -> TestBed {
+        TestBed::generate(&TestBedConfig::small())
+    }
+
+    #[test]
+    fn three_datasets_two_collections() {
+        let b = bed();
+        assert_eq!(b.collections.len(), 2);
+        assert_eq!(b.datasets.len(), 3);
+        assert_eq!(b.dataset("chic2012").collection, 1);
+        assert_eq!(b.dataset("chic2013").collection, 1);
+        assert_eq!(b.dataset("imageclef").collection, 0);
+    }
+
+    #[test]
+    fn zero_relevant_counts_match_config() {
+        let cfg = TestBedConfig::small();
+        let b = TestBed::generate(&cfg);
+        assert_eq!(
+            b.dataset("chic2012").num_zero_relevant(),
+            cfg.chic2012_queries.zero_relevant_queries
+        );
+        assert_eq!(
+            b.dataset("chic2013").num_zero_relevant(),
+            cfg.chic2013_queries.zero_relevant_queries
+        );
+        assert_eq!(b.dataset("imageclef").num_zero_relevant(), 0);
+    }
+
+    #[test]
+    fn query_topics_disjoint_across_datasets() {
+        let b = bed();
+        let mut seen = std::collections::HashSet::new();
+        for d in &b.datasets {
+            for q in &d.queries {
+                assert!(seen.insert(q.topic), "topic {} reused", q.topic);
+            }
+        }
+    }
+
+    #[test]
+    fn qrels_reference_existing_docs() {
+        let b = bed();
+        for d in &b.datasets {
+            let coll = b.collection_of(d);
+            let ids: std::collections::HashSet<&String> =
+                coll.docs.iter().map(|doc| &doc.id).collect();
+            for docs in d.relevant.values() {
+                for doc in docs {
+                    assert!(ids.contains(doc));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn imageclef_every_query_has_relevant_docs() {
+        let b = bed();
+        let d = b.dataset("imageclef");
+        for q in &d.queries {
+            assert!(
+                !d.relevant[&q.id].is_empty(),
+                "imageclef query {} lacks relevant docs",
+                q.id
+            );
+        }
+    }
+
+    #[test]
+    fn avg_relevant_in_reasonable_band() {
+        let cfg = TestBedConfig::small();
+        let b = TestBed::generate(&cfg);
+        let d = b.dataset("imageclef");
+        let avg = d.avg_relevant_per_query();
+        // All queries count in the average, including zero-relevant ones,
+        // so compare against the query-set target.
+        let want = cfg.imageclef_queries.mean_relevant_per_query;
+        assert!(
+            (avg - want).abs() / want < 0.4,
+            "avg {avg} vs target {want}"
+        );
+    }
+
+    #[test]
+    fn generation_deterministic() {
+        let a = bed();
+        let b = bed();
+        assert_eq!(a.collections[0].docs.len(), b.collections[0].docs.len());
+        assert_eq!(
+            a.collections[0].docs[100].text,
+            b.collections[0].docs[100].text
+        );
+        assert_eq!(
+            a.dataset("imageclef").queries[3].text,
+            b.dataset("imageclef").queries[3].text
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Deterministic synthetic Wikipedia-like knowledge base and IR datasets.
+//!
+//! The paper evaluates SQE on the English Wikipedia dump of 2012-07-02 and
+//! three document collections (Image CLEF, CHiC 2012, CHiC 2013) that are
+//! not redistributable. This crate substitutes them with a *calibrated
+//! synthetic world* that preserves every structural property the paper's
+//! mechanisms depend on:
+//!
+//! * a concept hierarchy (domains → topics → subtopics → entities) with
+//!   per-level vocabularies and deliberate vocabulary overlap — the source
+//!   of the *vocabulary mismatch* and *topic inexperience* problems the
+//!   paper's introduction motivates;
+//! * a KB graph in which semantically close entities are reciprocally
+//!   hyperlinked and share (or have hierarchy-adjacent) categories — the
+//!   exact local structures the triangular and square motifs detect;
+//! * caption-like short documents "about" entities (the Image CLEF image
+//!   metadata / CHiC cultural-heritage records), hard negatives from the
+//!   same topics, domain boilerplate records (which is what defeats pure
+//!   pseudo-relevance feedback), and background noise;
+//! * query sets with ground-truth target entities, relevance neighbourhoods,
+//!   aliased/ambiguous surface forms (for the manual-vs-automatic entity
+//!   linking gap), and per-dataset statistics matched to the paper
+//!   (mean relevant documents per query 68.8 / 31.32 / 50.6; 14
+//!   zero-relevant queries in CHiC 2012, 1 in CHiC 2013; the CHiC
+//!   collection shared between its two query sets).
+//!
+//! Everything is generated deterministically from a seed.
+
+pub mod concepts;
+pub mod config;
+pub mod dataset;
+pub mod docs;
+pub mod groundtruth;
+pub mod kb;
+pub mod persist;
+pub mod queries;
+pub mod words;
+
+pub use concepts::{ConceptSpace, Entity, RelKind, Relation};
+pub use config::{CollectionConfig, KbConfig, QuerySetConfig, TestBedConfig};
+pub use dataset::{Collection, Dataset, TestBed};
+pub use docs::Document;
+pub use groundtruth::GroundTruth;
+pub use queries::QuerySpec;

@@ -1,0 +1,111 @@
+//! Persistence of generated datasets.
+//!
+//! Everything the generator produces is deterministic, but exporting the
+//! materialized world lets external tooling (real `trec_eval`, other
+//! retrieval engines, inspection scripts) consume the same benchmark:
+//! documents as JSON-lines, queries as JSON, qrels as trec-format lines.
+
+use std::fmt::Write as _;
+
+use crate::dataset::{Collection, Dataset};
+use crate::docs::Document;
+use crate::queries::QuerySpec;
+
+/// Serializes a collection as JSON-lines (one document per line).
+pub fn collection_to_jsonl(coll: &Collection) -> String {
+    let mut out = String::new();
+    for d in &coll.docs {
+        out.push_str(&serde_json::to_string(d).expect("document serializes"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a JSON-lines collection back into documents.
+pub fn collection_from_jsonl(text: &str) -> Result<Vec<Document>, serde_json::Error> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(serde_json::from_str)
+        .collect()
+}
+
+/// Serializes a dataset's queries as a JSON array.
+pub fn queries_to_json(dataset: &Dataset) -> String {
+    serde_json::to_string_pretty(&dataset.queries).expect("queries serialize")
+}
+
+/// Parses queries back.
+pub fn queries_from_json(text: &str) -> Result<Vec<QuerySpec>, serde_json::Error> {
+    serde_json::from_str(text)
+}
+
+/// Serializes a dataset's relevance judgments in trec_eval qrels format
+/// (`qid 0 docid 1`), queries and documents sorted for reproducibility.
+pub fn qrels_to_trec(dataset: &Dataset) -> String {
+    let mut out = String::new();
+    let mut qids: Vec<&String> = dataset.relevant.keys().collect();
+    qids.sort_unstable();
+    for qid in qids {
+        let mut docs: Vec<&String> = dataset.relevant[qid].iter().collect();
+        docs.sort_unstable();
+        for d in docs {
+            let _ = writeln!(out, "{qid} 0 {d} 1");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TestBedConfig;
+    use crate::dataset::TestBed;
+
+    fn bed() -> TestBed {
+        TestBed::generate(&TestBedConfig::small())
+    }
+
+    #[test]
+    fn collection_jsonl_roundtrip() {
+        let b = bed();
+        let coll = &b.collections[0];
+        let text = collection_to_jsonl(coll);
+        let docs = collection_from_jsonl(&text).unwrap();
+        assert_eq!(docs.len(), coll.docs.len());
+        assert_eq!(docs[42].id, coll.docs[42].id);
+        assert_eq!(docs[42].text, coll.docs[42].text);
+        assert_eq!(docs[42].judged_relevant, coll.docs[42].judged_relevant);
+    }
+
+    #[test]
+    fn queries_json_roundtrip() {
+        let b = bed();
+        let ds = b.dataset("imageclef");
+        let text = queries_to_json(ds);
+        let queries = queries_from_json(&text).unwrap();
+        assert_eq!(queries.len(), ds.queries.len());
+        assert_eq!(queries[3].text, ds.queries[3].text);
+        assert_eq!(queries[3].targets, ds.queries[3].targets);
+        assert_eq!(queries[3].aspect_words, ds.queries[3].aspect_words);
+    }
+
+    #[test]
+    fn qrels_trec_format_lines() {
+        let b = bed();
+        let ds = b.dataset("imageclef");
+        let text = qrels_to_trec(ds);
+        let total: usize = ds.relevant.values().map(|s| s.len()).sum();
+        assert_eq!(text.lines().count(), total);
+        let first = text.lines().next().unwrap();
+        let fields: Vec<&str> = first.split_whitespace().collect();
+        assert_eq!(fields.len(), 4);
+        assert_eq!(fields[1], "0");
+        assert_eq!(fields[3], "1");
+    }
+
+    #[test]
+    fn empty_jsonl_parses_to_empty() {
+        assert!(collection_from_jsonl("").unwrap().is_empty());
+        assert!(collection_from_jsonl("\n\n").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,199 @@
+//! Benchmark query generation.
+//!
+//! Each query targets one or two entities of a single topic. The query
+//! *text* deliberately exhibits the paper's two failure modes:
+//!
+//! * **vocabulary mismatch** — the target entity is referred to by an
+//!   ambiguous alias (or a bare title fragment), not its full title;
+//! * **topic inexperience** — the remaining keywords are general topic /
+//!   domain words shared with many non-relevant documents.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::concepts::ConceptSpace;
+use crate::config::QuerySetConfig;
+
+/// One benchmark query with its generator-side ground truth.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct QuerySpec {
+    /// Stable query id, e.g. `"imageclef-q07"`.
+    pub id: String,
+    /// The user's keyword query (what `QL_Q` retrieves with).
+    pub text: String,
+    /// The (global) topic the query is about.
+    pub topic: usize,
+    /// Ground-truth target entities — what *manual* entity selection
+    /// yields (`SQE_C (M)` / `QL_E (M)` use these).
+    pub targets: Vec<usize>,
+    /// The relevance neighbourhood: documents about these entities are
+    /// relevant. Derived from [`ConceptSpace::relevance_neighborhood`].
+    pub relevant_entities: Vec<usize>,
+    /// True when the collection intentionally contains no documents about
+    /// this query's topic (CHiC 2012 has 14 such queries).
+    pub zero_relevant: bool,
+    /// The query's *aspect* words: the general keywords carrying the
+    /// user's intent. Documents about a neighbourhood entity are far more
+    /// likely to be judged relevant when they also depict the aspect —
+    /// this is why the paper keeps the user's query inside the expanded
+    /// query ("it helps to diminish errors") and why expansion features
+    /// alone (QL_X) lose precision.
+    pub aspect_words: Vec<String>,
+}
+
+/// Generates a query set over the given *disjoint* topic allocation.
+/// `topics` must contain at least `cfg.num_queries` entries; the first
+/// `cfg.zero_relevant_queries` queries are marked `zero_relevant`.
+pub fn generate_queries(
+    space: &ConceptSpace,
+    cfg: &QuerySetConfig,
+    topics: &[usize],
+) -> Vec<QuerySpec> {
+    assert!(
+        topics.len() >= cfg.num_queries,
+        "need {} topics, got {}",
+        cfg.num_queries,
+        topics.len()
+    );
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut queries = Vec::with_capacity(cfg.num_queries);
+    for (qi, &topic) in topics.iter().enumerate().take(cfg.num_queries) {
+        let t = &space.topics[topic];
+        // Targets: one or two entities of the same subtopic.
+        let sub = rng.gen_range(t.subtopic_range.clone());
+        let sub_entities = &space.subtopics[sub].entities;
+        let first = sub_entities[rng.gen_range(0..sub_entities.len())];
+        let mut targets = vec![first];
+        if cfg.p_two_targets > 0.0 && rng.gen_bool(cfg.p_two_targets) && sub_entities.len() > 1 {
+            loop {
+                let second = sub_entities[rng.gen_range(0..sub_entities.len())];
+                if second != first {
+                    targets.push(second);
+                    break;
+                }
+            }
+        }
+        // Query text: surface form of each target + general words.
+        let mut words: Vec<String> = Vec::new();
+        for &target in &targets {
+            let e = &space.entities[target];
+            match &e.alias {
+                Some(alias) => words.push(alias.clone()),
+                None => words.push(e.title_words[0].clone()),
+            }
+        }
+        // "Topic inexperience": the general keywords come from the whole
+        // domain pool, which only sometimes coincides with the topic's own
+        // vocabulary — too-general keywords that also hit sibling topics.
+        // They double as the query's aspect words.
+        let d = &space.domains[t.domain];
+        let mut aspect_words = vec![d.pool[rng.gen_range(0..d.pool.len())].clone()];
+        if rng.gen_bool(0.5) {
+            aspect_words.push(d.words[rng.gen_range(0..d.words.len())].clone());
+        }
+        words.extend(aspect_words.iter().cloned());
+        let relevant_entities = space.relevance_neighborhood(&targets);
+        queries.push(QuerySpec {
+            id: format!("{}-q{:02}", cfg.name, qi),
+            text: words.join(" "),
+            topic,
+            targets,
+            relevant_entities,
+            zero_relevant: qi < cfg.zero_relevant_queries,
+            aspect_words,
+        });
+    }
+    queries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TestBedConfig;
+
+    fn setup() -> (ConceptSpace, Vec<QuerySpec>) {
+        let cfg = TestBedConfig::small();
+        let space = ConceptSpace::generate(&cfg.kb);
+        let topics: Vec<usize> = (0..space.num_topics()).collect();
+        let queries = generate_queries(&space, &cfg.chic2012_queries, &topics);
+        (space, queries)
+    }
+
+    #[test]
+    fn query_count_and_ids() {
+        let (_, queries) = setup();
+        assert_eq!(queries.len(), 12);
+        assert_eq!(queries[0].id, "chic2012-q00");
+        let ids: std::collections::HashSet<&String> = queries.iter().map(|q| &q.id).collect();
+        assert_eq!(ids.len(), queries.len());
+    }
+
+    #[test]
+    fn zero_relevant_flags_first_queries() {
+        let (_, queries) = setup();
+        let flagged = queries.iter().filter(|q| q.zero_relevant).count();
+        assert_eq!(flagged, 3);
+        assert!(queries[0].zero_relevant);
+        assert!(!queries[11].zero_relevant);
+    }
+
+    #[test]
+    fn targets_share_a_subtopic() {
+        let (space, queries) = setup();
+        for q in &queries {
+            let st = space.entities[q.targets[0]].subtopic;
+            for &t in &q.targets {
+                assert_eq!(space.entities[t].subtopic, st);
+                assert_eq!(space.entities[t].topic, q.topic);
+            }
+        }
+    }
+
+    #[test]
+    fn query_text_avoids_full_titles() {
+        // Vocabulary mismatch: the full multi-word title never appears
+        // verbatim in the query text.
+        let (space, queries) = setup();
+        for q in &queries {
+            for &t in &q.targets {
+                let title = space.entities[t].title();
+                if space.entities[t].title_words.len() > 1 {
+                    assert!(
+                        !q.text.contains(&title),
+                        "query '{}' leaks full title '{title}'",
+                        q.text
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relevant_entities_include_targets() {
+        let (_, queries) = setup();
+        for q in &queries {
+            for t in &q.targets {
+                assert!(q.relevant_entities.contains(t));
+            }
+            assert!(q.relevant_entities.len() > q.targets.len());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (_, q1) = setup();
+        let (_, q2) = setup();
+        for (a, b) in q1.iter().zip(q2.iter()) {
+            assert_eq!(a.text, b.text);
+            assert_eq!(a.targets, b.targets);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need")]
+    fn too_few_topics_panics() {
+        let cfg = TestBedConfig::small();
+        let space = ConceptSpace::generate(&cfg.kb);
+        let _ = generate_queries(&space, &cfg.chic2012_queries, &[0, 1]);
+    }
+}

@@ -1,0 +1,138 @@
+//! Deterministic pseudo-word generation.
+//!
+//! The synthetic corpus needs a large vocabulary of distinct, pronounceable
+//! word-like tokens whose surface forms never collide accidentally. Words
+//! are built from consonant/vowel syllables indexed by a counter, so word
+//! `i` is always the same string regardless of platform or rand version.
+
+/// Consonant onsets used for syllable construction.
+const ONSETS: [&str; 16] = [
+    "b", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z", "ch", "st",
+];
+/// Vowel nuclei.
+const NUCLEI: [&str; 8] = ["a", "e", "i", "o", "u", "ai", "ou", "ea"];
+/// Optional codas appended to the final syllable.
+const CODAS: [&str; 8] = ["", "n", "r", "s", "l", "x", "k", "m"];
+
+/// Returns pseudo-word number `i`. Distinct `i` always yield distinct
+/// words: the syllable digits encode `i` in mixed radix.
+pub fn word(i: u64) -> String {
+    let mut n = i;
+    let mut w = String::with_capacity(12);
+    // Two or three syllables depending on magnitude, plus a coda; the
+    // mixed-radix digits of `i` pick each piece, so the mapping is a
+    // bijection onto strings of this shape.
+    let onset1 = ONSETS[(n % 16) as usize];
+    n /= 16;
+    let nuc1 = NUCLEI[(n % 8) as usize];
+    n /= 8;
+    let onset2 = ONSETS[(n % 16) as usize];
+    n /= 16;
+    let nuc2 = NUCLEI[(n % 8) as usize];
+    n /= 8;
+    let coda = CODAS[(n % 8) as usize];
+    n /= 8;
+    w.push_str(onset1);
+    w.push_str(nuc1);
+    w.push_str(onset2);
+    w.push_str(nuc2);
+    while n > 0 {
+        // Extra syllables for very large indices.
+        w.push_str(ONSETS[(n % 16) as usize]);
+        n /= 16;
+        w.push_str(NUCLEI[(n % 8) as usize]);
+        n /= 8;
+    }
+    w.push_str(coda);
+    w
+}
+
+/// A named, non-overlapping region of the global word space. Each pool
+/// hands out words from its own offset so that vocabularies of different
+/// levels (domain words, topic words, titles, noise) never collide unless
+/// the generator *wants* them to.
+#[derive(Debug, Clone, Copy)]
+pub struct WordPool {
+    offset: u64,
+    len: u64,
+}
+
+impl WordPool {
+    /// Creates a pool of `len` words starting at global index `offset`.
+    pub fn new(offset: u64, len: u64) -> Self {
+        assert!(len > 0, "empty word pool");
+        WordPool { offset, len }
+    }
+
+    /// The `i`-th word of the pool (wraps modulo the pool size).
+    pub fn get(&self, i: u64) -> String {
+        word(self.offset + (i % self.len))
+    }
+
+    /// Number of distinct words in the pool.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Pools are never empty (asserted at construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The exclusive end offset, for carving consecutive pools.
+    pub fn end(&self) -> u64 {
+        self.offset + self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn words_are_deterministic() {
+        assert_eq!(word(42), word(42));
+        assert_eq!(word(0), word(0));
+    }
+
+    #[test]
+    fn words_are_distinct_over_wide_range() {
+        let mut seen = HashSet::new();
+        for i in 0..100_000u64 {
+            assert!(seen.insert(word(i)), "collision at {i}: {}", word(i));
+        }
+    }
+
+    #[test]
+    fn words_are_lowercase_alpha() {
+        for i in (0..50_000u64).step_by(997) {
+            let w = word(i);
+            assert!(w.chars().all(|c| c.is_ascii_lowercase()), "{w}");
+            assert!(w.len() >= 4, "{w}");
+        }
+    }
+
+    #[test]
+    fn pool_indexing_wraps() {
+        let p = WordPool::new(100, 10);
+        assert_eq!(p.get(3), p.get(13));
+        assert_eq!(p.len(), 10);
+        assert_eq!(p.end(), 110);
+    }
+
+    #[test]
+    fn disjoint_pools_do_not_share_words() {
+        let a = WordPool::new(0, 50);
+        let b = WordPool::new(a.end(), 50);
+        let wa: HashSet<String> = (0..50).map(|i| a.get(i)).collect();
+        let wb: HashSet<String> = (0..50).map(|i| b.get(i)).collect();
+        assert!(wa.is_disjoint(&wb));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty word pool")]
+    fn empty_pool_rejected() {
+        let _ = WordPool::new(0, 0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Workspace facade for the SQE reproduction.
+//!
+//! This crate re-exports the member crates and provides small helpers for
+//! the examples and cross-crate integration tests. The interesting code
+//! lives in the members:
+//!
+//! * [`kbgraph`] — knowledge-base graph substrate,
+//! * [`searchlite`] — Indri-like retrieval engine,
+//! * [`entitylink`] — Dexter/Alchemy-style entity linker,
+//! * [`synthwiki`] — calibrated synthetic Wikipedia + benchmark datasets,
+//! * [`sqe`] — Structural Query Expansion (the paper's contribution),
+//! * [`ireval`] — trec_eval-style evaluation.
+
+pub use entitylink;
+pub use ireval;
+pub use kbgraph;
+pub use searchlite;
+pub use sqe;
+pub use synthwiki;
+
+use kbgraph::{ArticleId, GraphBuilder, KbGraph};
+use searchlite::{Analyzer, Index, IndexBuilder};
+
+/// A hand-written miniature world modelled on the paper's Figure 4
+/// examples ("cable cars" → funicular via the triangular motif;
+/// "graffiti street art" → Banksy via the square motif). Used by the
+/// quickstart example and the integration tests.
+pub struct DemoWorld {
+    /// The knowledge-base graph.
+    pub graph: KbGraph,
+    /// The indexed caption collection.
+    pub index: Index,
+    /// The "Cable car" article.
+    pub cable_car: ArticleId,
+    /// The "Funicular" article.
+    pub funicular: ArticleId,
+    /// The "Graffiti" article.
+    pub graffiti: ArticleId,
+    /// The "Banksy" article.
+    pub banksy: ArticleId,
+}
+
+/// Builds the demo world.
+pub fn demo_world() -> DemoWorld {
+    let mut b = GraphBuilder::new();
+    // Figure 4a: cable car ↔ funicular share their categories exactly.
+    let cable_car = b.add_article("cable car");
+    let funicular = b.add_article("funicular");
+    let rail = b.add_category("mountain railways");
+    b.add_mutual_link(cable_car, funicular);
+    b.add_membership(cable_car, rail);
+    b.add_membership(funicular, rail);
+    // Figure 4b: graffiti ↔ banksy with hierarchy-adjacent categories.
+    let graffiti = b.add_article("graffiti");
+    let banksy = b.add_article("banksy");
+    let street_art = b.add_category("street art");
+    let artists = b.add_category("graffiti artists");
+    b.add_mutual_link(graffiti, banksy);
+    b.add_membership(graffiti, street_art);
+    b.add_membership(banksy, artists);
+    b.add_subcategory(artists, street_art);
+    // Unrelated structure that must never expand anything.
+    let opera = b.add_article("opera house");
+    let music = b.add_category("music venues");
+    b.add_membership(opera, music);
+    b.add_article_link(opera, cable_car);
+    let graph = b.build();
+
+    let mut ib = IndexBuilder::new(Analyzer::english());
+    for (id, text) in [
+        ("img-001", "a red cable car climbing over the bay"),
+        ("img-002", "historic funicular railway in the alps"),
+        ("img-003", "the funicular station at the summit"),
+        ("img-004", "stencil by banksy on a brick wall"),
+        ("img-005", "colorful graffiti street art on city walls"),
+        ("img-006", "opera house facade at dusk"),
+        ("img-007", "market stalls with fruit and vegetables"),
+        ("img-008", "mountain village under the snow"),
+    ] {
+        ib.add_document(id, text);
+    }
+    let index = ib.build();
+    DemoWorld {
+        graph,
+        index,
+        cable_car,
+        funicular,
+        graffiti,
+        banksy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_world_builds() {
+        let w = demo_world();
+        assert!(w.graph.doubly_linked(w.cable_car, w.funicular));
+        assert_eq!(w.index.num_docs(), 8);
+    }
+}

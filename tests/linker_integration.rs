@@ -1,0 +1,127 @@
+//! Entity-linking integration: the Dexter/Alchemy-style linker over the
+//! synthetic KB's titles and aliases.
+
+use entitylink::{Dictionary, EntityLinker, LinkerConfig, NoiseModel};
+use synthwiki::{TestBed, TestBedConfig};
+
+fn build() -> (TestBed, EntityLinker) {
+    let bed = TestBed::generate(&TestBedConfig::small());
+    let mut dict = Dictionary::new();
+    dict.extend(bed.kb.linker_entries(&bed.space));
+    let linker = EntityLinker::new(dict, LinkerConfig::default());
+    (bed, linker)
+}
+
+#[test]
+fn linker_reaches_paper_grade_precision() {
+    let (bed, linker) = build();
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for ds in &bed.datasets {
+        for q in &ds.queries {
+            total += 1;
+            let links = linker.link(&q.text);
+            let targets: Vec<_> = q.targets.iter().map(|&e| bed.kb.article_of[e]).collect();
+            if links.iter().any(|l| targets.contains(&l.article)) {
+                hits += 1;
+            }
+        }
+    }
+    let precision = hits as f64 / total as f64;
+    // The paper reports >80% for Dexter+Alchemy; the synthetic aliases are
+    // calibrated to the same band (allowing slack on the small preset).
+    assert!(
+        precision > 0.65,
+        "linking precision {precision:.2} below calibration band"
+    );
+}
+
+#[test]
+fn linking_failures_come_from_alias_ambiguity() {
+    let (bed, linker) = build();
+    for ds in &bed.datasets {
+        for q in &ds.queries {
+            let links = linker.link(&q.text);
+            let targets: Vec<_> = q.targets.iter().map(|&e| bed.kb.article_of[e]).collect();
+            if links.is_empty() {
+                continue;
+            }
+            if !links.iter().any(|l| targets.contains(&l.article)) {
+                // A mislink must be explainable: the linked article shares
+                // a surface form (alias or title word) with some target.
+                let target_surfaces: Vec<String> = q
+                    .targets
+                    .iter()
+                    .flat_map(|&e| {
+                        let ent = &bed.space.entities[e];
+                        let mut s = ent.title_words.clone();
+                        if let Some(a) = &ent.alias {
+                            s.push(a.clone());
+                        }
+                        s
+                    })
+                    .collect();
+                let explained = links.iter().any(|l| {
+                    target_surfaces.iter().any(|w| l.surface.contains(w.as_str()))
+                        || q.text.contains(&l.surface)
+                });
+                assert!(explained, "unexplainable mislink for {}", q.id);
+            }
+        }
+    }
+}
+
+#[test]
+fn dictionary_covers_every_entity_title() {
+    let (bed, linker) = build();
+    for e in bed.space.entities.iter().step_by(37) {
+        let key = linker.dictionary().normalize(&e.title());
+        let senses = linker.dictionary().lookup(&key);
+        assert!(senses.is_some(), "title '{}' missing", e.title());
+        let article = bed.kb.article_of[e.id];
+        assert!(
+            senses.unwrap().iter().any(|s| s.article == article),
+            "title '{}' does not resolve to its own article",
+            e.title()
+        );
+    }
+}
+
+#[test]
+fn noise_channel_monotonically_degrades_precision() {
+    let bed = TestBed::generate(&TestBedConfig::small());
+    let measure = |noise: NoiseModel| -> f64 {
+        let mut dict = Dictionary::new();
+        dict.extend(bed.kb.linker_entries(&bed.space));
+        let linker = EntityLinker::new(
+            dict,
+            LinkerConfig {
+                noise,
+                ..LinkerConfig::default()
+            },
+        );
+        let ds = bed.dataset("imageclef");
+        let hits = ds
+            .queries
+            .iter()
+            .filter(|q| {
+                let links = linker.link(&q.text);
+                let targets: Vec<_> =
+                    q.targets.iter().map(|&e| bed.kb.article_of[e]).collect();
+                links.iter().any(|l| targets.contains(&l.article))
+            })
+            .count();
+        hits as f64 / ds.queries.len() as f64
+    };
+    let clean = measure(NoiseModel::none());
+    let noisy = measure(NoiseModel {
+        p_miss: 0.5,
+        p_mislink: 0.5,
+    });
+    let broken = measure(NoiseModel {
+        p_miss: 1.0,
+        p_mislink: 0.0,
+    });
+    assert!(clean >= noisy, "noise must not improve precision");
+    assert_eq!(broken, 0.0, "full miss rate links nothing");
+}

@@ -1,0 +1,64 @@
+//! Persistence and interchange: everything the reproduction materializes
+//! must round-trip losslessly so external tooling can verify it.
+
+use searchlite::{Analyzer, Index, IndexBuilder, QlParams};
+use synthwiki::persist;
+use synthwiki::{TestBed, TestBedConfig};
+
+#[test]
+fn dataset_export_roundtrips() {
+    let bed = TestBed::generate(&TestBedConfig::small());
+    let ds = bed.dataset("chic2013");
+    let coll = bed.collection_of(ds);
+
+    let docs = persist::collection_from_jsonl(&persist::collection_to_jsonl(coll)).unwrap();
+    assert_eq!(docs.len(), coll.docs.len());
+    let queries = persist::queries_from_json(&persist::queries_to_json(ds)).unwrap();
+    assert_eq!(queries.len(), ds.queries.len());
+
+    // The exported qrels agree with ireval's parser.
+    let qrels_text = persist::qrels_to_trec(ds);
+    let qrels = ireval::trec::parse_qrels(&qrels_text).unwrap();
+    for q in &ds.queries {
+        let expected = ds.relevant[&q.id].len();
+        if expected > 0 {
+            assert_eq!(qrels.num_relevant(&q.id), expected, "query {}", q.id);
+        }
+    }
+}
+
+#[test]
+fn index_persistence_preserves_full_retrieval() {
+    let bed = TestBed::generate(&TestBedConfig::small());
+    let coll = &bed.collections[0];
+    let mut b = IndexBuilder::new(Analyzer::english());
+    for d in coll.docs.iter().take(800) {
+        b.add_document(&d.id, &d.text);
+    }
+    let index = b.build();
+    let restored = Index::from_json(&index.to_json()).unwrap();
+
+    let ds = bed.dataset("imageclef");
+    for q in ds.queries.iter().take(5) {
+        let query = searchlite::Query::parse_text(&q.text, index.analyzer());
+        let h1 = searchlite::ql::rank(&index, &query, QlParams { mu: 15.0 }, 50);
+        let h2 = searchlite::ql::rank(&restored, &query, QlParams { mu: 15.0 }, 50);
+        assert_eq!(h1, h2, "query {}", q.id);
+    }
+}
+
+#[test]
+fn graph_persistence_preserves_motifs() {
+    use sqe::{Motif, Square, Triangular};
+    let bed = TestBed::generate(&TestBedConfig::small());
+    let g = &bed.kb.graph;
+    let restored = kbgraph::KbGraph::from_json(&g.to_json()).unwrap();
+    for e in bed.space.entities.iter().step_by(61).take(12) {
+        let a = bed.kb.article_of[e.id];
+        assert_eq!(
+            Triangular.expansions(g, a),
+            Triangular.expansions(&restored, a)
+        );
+        assert_eq!(Square.expansions(g, a), Square.expansions(&restored, a));
+    }
+}
