@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_ablation-c1e9e9a49c6e3dd8.d: crates/bench/benches/bench_ablation.rs
+
+/root/repo/target/debug/deps/bench_ablation-c1e9e9a49c6e3dd8: crates/bench/benches/bench_ablation.rs
+
+crates/bench/benches/bench_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_cycles-0e01bc6c1c5a9545.d: crates/bench/benches/bench_cycles.rs
+
+/root/repo/target/debug/deps/bench_cycles-0e01bc6c1c5a9545: crates/bench/benches/bench_cycles.rs
+
+crates/bench/benches/bench_cycles.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_indexing-6dbcf319c88ce784.d: crates/bench/benches/bench_indexing.rs
+
+/root/repo/target/debug/deps/bench_indexing-6dbcf319c88ce784: crates/bench/benches/bench_indexing.rs
+
+crates/bench/benches/bench_indexing.rs:

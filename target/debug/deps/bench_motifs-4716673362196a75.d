@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_motifs-4716673362196a75.d: crates/bench/benches/bench_motifs.rs
+
+/root/repo/target/debug/deps/bench_motifs-4716673362196a75: crates/bench/benches/bench_motifs.rs
+
+crates/bench/benches/bench_motifs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_prf-128ac9b7b532e05d.d: crates/bench/benches/bench_prf.rs
+
+/root/repo/target/debug/deps/bench_prf-128ac9b7b532e05d: crates/bench/benches/bench_prf.rs
+
+crates/bench/benches/bench_prf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_retrieval-7afd11463a9359e4.d: crates/bench/benches/bench_retrieval.rs
+
+/root/repo/target/debug/deps/bench_retrieval-7afd11463a9359e4: crates/bench/benches/bench_retrieval.rs
+
+crates/bench/benches/bench_retrieval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibration-ac8c7a2d93dc8231.d: tests/calibration.rs
+
+/root/repo/target/debug/deps/calibration-ac8c7a2d93dc8231: tests/calibration.rs
+
+tests/calibration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-2e5452c377176f85.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-2e5452c377176f85: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/entitylink-34bccbd8b6ce6e4f.d: crates/entitylink/src/lib.rs crates/entitylink/src/corpus.rs crates/entitylink/src/dictionary.rs crates/entitylink/src/linker.rs crates/entitylink/src/noise.rs crates/entitylink/src/spotter.rs
+
+/root/repo/target/debug/deps/libentitylink-34bccbd8b6ce6e4f.rlib: crates/entitylink/src/lib.rs crates/entitylink/src/corpus.rs crates/entitylink/src/dictionary.rs crates/entitylink/src/linker.rs crates/entitylink/src/noise.rs crates/entitylink/src/spotter.rs
+
+/root/repo/target/debug/deps/libentitylink-34bccbd8b6ce6e4f.rmeta: crates/entitylink/src/lib.rs crates/entitylink/src/corpus.rs crates/entitylink/src/dictionary.rs crates/entitylink/src/linker.rs crates/entitylink/src/noise.rs crates/entitylink/src/spotter.rs
+
+crates/entitylink/src/lib.rs:
+crates/entitylink/src/corpus.rs:
+crates/entitylink/src/dictionary.rs:
+crates/entitylink/src/linker.rs:
+crates/entitylink/src/noise.rs:
+crates/entitylink/src/spotter.rs:

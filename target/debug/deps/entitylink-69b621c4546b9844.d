@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/entitylink-69b621c4546b9844.d: crates/entitylink/src/lib.rs crates/entitylink/src/corpus.rs crates/entitylink/src/dictionary.rs crates/entitylink/src/linker.rs crates/entitylink/src/noise.rs crates/entitylink/src/spotter.rs
+
+/root/repo/target/debug/deps/entitylink-69b621c4546b9844: crates/entitylink/src/lib.rs crates/entitylink/src/corpus.rs crates/entitylink/src/dictionary.rs crates/entitylink/src/linker.rs crates/entitylink/src/noise.rs crates/entitylink/src/spotter.rs
+
+crates/entitylink/src/lib.rs:
+crates/entitylink/src/corpus.rs:
+crates/entitylink/src/dictionary.rs:
+crates/entitylink/src/linker.rs:
+crates/entitylink/src/noise.rs:
+crates/entitylink/src/spotter.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-4134bab5b502c696.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-4134bab5b502c696: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

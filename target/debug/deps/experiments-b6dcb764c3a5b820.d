@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-b6dcb764c3a5b820.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-b6dcb764c3a5b820: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

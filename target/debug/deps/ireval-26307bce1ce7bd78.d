@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ireval-26307bce1ce7bd78.d: crates/ireval/src/lib.rs crates/ireval/src/precision.rs crates/ireval/src/qrels.rs crates/ireval/src/run.rs crates/ireval/src/stats.rs crates/ireval/src/trec.rs
+
+/root/repo/target/debug/deps/libireval-26307bce1ce7bd78.rlib: crates/ireval/src/lib.rs crates/ireval/src/precision.rs crates/ireval/src/qrels.rs crates/ireval/src/run.rs crates/ireval/src/stats.rs crates/ireval/src/trec.rs
+
+/root/repo/target/debug/deps/libireval-26307bce1ce7bd78.rmeta: crates/ireval/src/lib.rs crates/ireval/src/precision.rs crates/ireval/src/qrels.rs crates/ireval/src/run.rs crates/ireval/src/stats.rs crates/ireval/src/trec.rs
+
+crates/ireval/src/lib.rs:
+crates/ireval/src/precision.rs:
+crates/ireval/src/qrels.rs:
+crates/ireval/src/run.rs:
+crates/ireval/src/stats.rs:
+crates/ireval/src/trec.rs:

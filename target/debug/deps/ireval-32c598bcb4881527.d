@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ireval-32c598bcb4881527.d: crates/ireval/src/lib.rs crates/ireval/src/precision.rs crates/ireval/src/qrels.rs crates/ireval/src/run.rs crates/ireval/src/stats.rs crates/ireval/src/trec.rs
+
+/root/repo/target/debug/deps/ireval-32c598bcb4881527: crates/ireval/src/lib.rs crates/ireval/src/precision.rs crates/ireval/src/qrels.rs crates/ireval/src/run.rs crates/ireval/src/stats.rs crates/ireval/src/trec.rs
+
+crates/ireval/src/lib.rs:
+crates/ireval/src/precision.rs:
+crates/ireval/src/qrels.rs:
+crates/ireval/src/run.rs:
+crates/ireval/src/stats.rs:
+crates/ireval/src/trec.rs:

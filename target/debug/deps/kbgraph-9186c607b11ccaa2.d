@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/kbgraph-9186c607b11ccaa2.d: crates/kbgraph/src/lib.rs crates/kbgraph/src/builder.rs crates/kbgraph/src/csr.rs crates/kbgraph/src/cycles.rs crates/kbgraph/src/dot.rs crates/kbgraph/src/graph.rs crates/kbgraph/src/ids.rs crates/kbgraph/src/paths.rs crates/kbgraph/src/stats.rs
+
+/root/repo/target/debug/deps/kbgraph-9186c607b11ccaa2: crates/kbgraph/src/lib.rs crates/kbgraph/src/builder.rs crates/kbgraph/src/csr.rs crates/kbgraph/src/cycles.rs crates/kbgraph/src/dot.rs crates/kbgraph/src/graph.rs crates/kbgraph/src/ids.rs crates/kbgraph/src/paths.rs crates/kbgraph/src/stats.rs
+
+crates/kbgraph/src/lib.rs:
+crates/kbgraph/src/builder.rs:
+crates/kbgraph/src/csr.rs:
+crates/kbgraph/src/cycles.rs:
+crates/kbgraph/src/dot.rs:
+crates/kbgraph/src/graph.rs:
+crates/kbgraph/src/ids.rs:
+crates/kbgraph/src/paths.rs:
+crates/kbgraph/src/stats.rs:

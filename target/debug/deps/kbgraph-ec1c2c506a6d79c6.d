@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/kbgraph-ec1c2c506a6d79c6.d: crates/kbgraph/src/lib.rs crates/kbgraph/src/builder.rs crates/kbgraph/src/csr.rs crates/kbgraph/src/cycles.rs crates/kbgraph/src/dot.rs crates/kbgraph/src/graph.rs crates/kbgraph/src/ids.rs crates/kbgraph/src/paths.rs crates/kbgraph/src/stats.rs
+
+/root/repo/target/debug/deps/libkbgraph-ec1c2c506a6d79c6.rlib: crates/kbgraph/src/lib.rs crates/kbgraph/src/builder.rs crates/kbgraph/src/csr.rs crates/kbgraph/src/cycles.rs crates/kbgraph/src/dot.rs crates/kbgraph/src/graph.rs crates/kbgraph/src/ids.rs crates/kbgraph/src/paths.rs crates/kbgraph/src/stats.rs
+
+/root/repo/target/debug/deps/libkbgraph-ec1c2c506a6d79c6.rmeta: crates/kbgraph/src/lib.rs crates/kbgraph/src/builder.rs crates/kbgraph/src/csr.rs crates/kbgraph/src/cycles.rs crates/kbgraph/src/dot.rs crates/kbgraph/src/graph.rs crates/kbgraph/src/ids.rs crates/kbgraph/src/paths.rs crates/kbgraph/src/stats.rs
+
+crates/kbgraph/src/lib.rs:
+crates/kbgraph/src/builder.rs:
+crates/kbgraph/src/csr.rs:
+crates/kbgraph/src/cycles.rs:
+crates/kbgraph/src/dot.rs:
+crates/kbgraph/src/graph.rs:
+crates/kbgraph/src/ids.rs:
+crates/kbgraph/src/paths.rs:
+crates/kbgraph/src/stats.rs:

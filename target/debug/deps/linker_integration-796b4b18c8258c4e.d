@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/linker_integration-796b4b18c8258c4e.d: tests/linker_integration.rs
+
+/root/repo/target/debug/deps/linker_integration-796b4b18c8258c4e: tests/linker_integration.rs
+
+tests/linker_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/motif_learning-43926ec25a9275b5.d: tests/motif_learning.rs
+
+/root/repo/target/debug/deps/motif_learning-43926ec25a9275b5: tests/motif_learning.rs
+
+tests/motif_learning.rs:

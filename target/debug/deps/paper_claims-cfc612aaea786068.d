@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-cfc612aaea786068.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-cfc612aaea786068: tests/paper_claims.rs
+
+tests/paper_claims.rs:

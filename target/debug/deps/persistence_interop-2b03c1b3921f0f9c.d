@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/persistence_interop-2b03c1b3921f0f9c.d: tests/persistence_interop.rs
+
+/root/repo/target/debug/deps/persistence_interop-2b03c1b3921f0f9c: tests/persistence_interop.rs
+
+tests/persistence_interop.rs:

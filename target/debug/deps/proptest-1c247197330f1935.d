@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-1c247197330f1935.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-1c247197330f1935.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-1c247197330f1935.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-7d6c131c4140474f.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-7d6c131c4140474f: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

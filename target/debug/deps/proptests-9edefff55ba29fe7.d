@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-9edefff55ba29fe7.d: crates/ireval/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-9edefff55ba29fe7: crates/ireval/tests/proptests.rs
+
+crates/ireval/tests/proptests.rs:

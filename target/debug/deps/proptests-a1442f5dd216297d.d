@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-a1442f5dd216297d.d: crates/kbgraph/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-a1442f5dd216297d: crates/kbgraph/tests/proptests.rs
+
+crates/kbgraph/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-fb55c38642aaa561.d: crates/searchlite/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-fb55c38642aaa561: crates/searchlite/tests/proptests.rs
+
+crates/searchlite/tests/proptests.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/searchlite-2b68cc4ae328ca80.d: crates/searchlite/src/lib.rs crates/searchlite/src/analysis.rs crates/searchlite/src/bm25.rs crates/searchlite/src/index.rs crates/searchlite/src/prf.rs crates/searchlite/src/ql.rs crates/searchlite/src/stats.rs crates/searchlite/src/structured.rs crates/searchlite/src/topk.rs
+
+/root/repo/target/debug/deps/libsearchlite-2b68cc4ae328ca80.rlib: crates/searchlite/src/lib.rs crates/searchlite/src/analysis.rs crates/searchlite/src/bm25.rs crates/searchlite/src/index.rs crates/searchlite/src/prf.rs crates/searchlite/src/ql.rs crates/searchlite/src/stats.rs crates/searchlite/src/structured.rs crates/searchlite/src/topk.rs
+
+/root/repo/target/debug/deps/libsearchlite-2b68cc4ae328ca80.rmeta: crates/searchlite/src/lib.rs crates/searchlite/src/analysis.rs crates/searchlite/src/bm25.rs crates/searchlite/src/index.rs crates/searchlite/src/prf.rs crates/searchlite/src/ql.rs crates/searchlite/src/stats.rs crates/searchlite/src/structured.rs crates/searchlite/src/topk.rs
+
+crates/searchlite/src/lib.rs:
+crates/searchlite/src/analysis.rs:
+crates/searchlite/src/bm25.rs:
+crates/searchlite/src/index.rs:
+crates/searchlite/src/prf.rs:
+crates/searchlite/src/ql.rs:
+crates/searchlite/src/stats.rs:
+crates/searchlite/src/structured.rs:
+crates/searchlite/src/topk.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/searchlite-ec3fff463277820d.d: crates/searchlite/src/lib.rs crates/searchlite/src/analysis.rs crates/searchlite/src/bm25.rs crates/searchlite/src/index.rs crates/searchlite/src/prf.rs crates/searchlite/src/ql.rs crates/searchlite/src/stats.rs crates/searchlite/src/structured.rs crates/searchlite/src/topk.rs
+
+/root/repo/target/debug/deps/searchlite-ec3fff463277820d: crates/searchlite/src/lib.rs crates/searchlite/src/analysis.rs crates/searchlite/src/bm25.rs crates/searchlite/src/index.rs crates/searchlite/src/prf.rs crates/searchlite/src/ql.rs crates/searchlite/src/stats.rs crates/searchlite/src/structured.rs crates/searchlite/src/topk.rs
+
+crates/searchlite/src/lib.rs:
+crates/searchlite/src/analysis.rs:
+crates/searchlite/src/bm25.rs:
+crates/searchlite/src/index.rs:
+crates/searchlite/src/prf.rs:
+crates/searchlite/src/ql.rs:
+crates/searchlite/src/stats.rs:
+crates/searchlite/src/structured.rs:
+crates/searchlite/src/topk.rs:

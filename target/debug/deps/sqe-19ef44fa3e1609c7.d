@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sqe-19ef44fa3e1609c7.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/combine.rs crates/core/src/expand.rs crates/core/src/learn.rs crates/core/src/motif.rs crates/core/src/pattern.rs crates/core/src/pipeline.rs crates/core/src/query_graph.rs
+
+/root/repo/target/debug/deps/sqe-19ef44fa3e1609c7: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/combine.rs crates/core/src/expand.rs crates/core/src/learn.rs crates/core/src/motif.rs crates/core/src/pattern.rs crates/core/src/pipeline.rs crates/core/src/query_graph.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/combine.rs:
+crates/core/src/expand.rs:
+crates/core/src/learn.rs:
+crates/core/src/motif.rs:
+crates/core/src/pattern.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/query_graph.rs:

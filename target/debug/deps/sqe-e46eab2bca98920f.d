@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/sqe-e46eab2bca98920f.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/combine.rs crates/core/src/expand.rs crates/core/src/learn.rs crates/core/src/motif.rs crates/core/src/pattern.rs crates/core/src/pipeline.rs crates/core/src/query_graph.rs
+
+/root/repo/target/debug/deps/libsqe-e46eab2bca98920f.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/combine.rs crates/core/src/expand.rs crates/core/src/learn.rs crates/core/src/motif.rs crates/core/src/pattern.rs crates/core/src/pipeline.rs crates/core/src/query_graph.rs
+
+/root/repo/target/debug/deps/libsqe-e46eab2bca98920f.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/combine.rs crates/core/src/expand.rs crates/core/src/learn.rs crates/core/src/motif.rs crates/core/src/pattern.rs crates/core/src/pipeline.rs crates/core/src/query_graph.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/combine.rs:
+crates/core/src/expand.rs:
+crates/core/src/learn.rs:
+crates/core/src/motif.rs:
+crates/core/src/pattern.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/query_graph.rs:

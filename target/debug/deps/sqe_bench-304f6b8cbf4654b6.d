@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sqe_bench-304f6b8cbf4654b6.d: crates/bench/src/lib.rs crates/bench/src/context.rs crates/bench/src/export.rs crates/bench/src/report.rs crates/bench/src/runs.rs crates/bench/src/tables.rs crates/bench/src/timing.rs crates/bench/src/figures.rs
+
+/root/repo/target/debug/deps/sqe_bench-304f6b8cbf4654b6: crates/bench/src/lib.rs crates/bench/src/context.rs crates/bench/src/export.rs crates/bench/src/report.rs crates/bench/src/runs.rs crates/bench/src/tables.rs crates/bench/src/timing.rs crates/bench/src/figures.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/context.rs:
+crates/bench/src/export.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runs.rs:
+crates/bench/src/tables.rs:
+crates/bench/src/timing.rs:
+crates/bench/src/figures.rs:

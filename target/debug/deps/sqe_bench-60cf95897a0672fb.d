@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sqe_bench-60cf95897a0672fb.d: crates/bench/src/lib.rs crates/bench/src/context.rs crates/bench/src/export.rs crates/bench/src/report.rs crates/bench/src/runs.rs crates/bench/src/tables.rs crates/bench/src/timing.rs crates/bench/src/figures.rs
+
+/root/repo/target/debug/deps/libsqe_bench-60cf95897a0672fb.rlib: crates/bench/src/lib.rs crates/bench/src/context.rs crates/bench/src/export.rs crates/bench/src/report.rs crates/bench/src/runs.rs crates/bench/src/tables.rs crates/bench/src/timing.rs crates/bench/src/figures.rs
+
+/root/repo/target/debug/deps/libsqe_bench-60cf95897a0672fb.rmeta: crates/bench/src/lib.rs crates/bench/src/context.rs crates/bench/src/export.rs crates/bench/src/report.rs crates/bench/src/runs.rs crates/bench/src/tables.rs crates/bench/src/timing.rs crates/bench/src/figures.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/context.rs:
+crates/bench/src/export.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runs.rs:
+crates/bench/src/tables.rs:
+crates/bench/src/timing.rs:
+crates/bench/src/figures.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sqe_repro-cbec54d67c310280.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsqe_repro-cbec54d67c310280.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsqe_repro-cbec54d67c310280.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sqe_repro-df2b473597bca453.d: src/lib.rs
+
+/root/repo/target/debug/deps/sqe_repro-df2b473597bca453: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/synthwiki-5372c2c190d770e5.d: crates/synthwiki/src/lib.rs crates/synthwiki/src/concepts.rs crates/synthwiki/src/config.rs crates/synthwiki/src/dataset.rs crates/synthwiki/src/docs.rs crates/synthwiki/src/groundtruth.rs crates/synthwiki/src/kb.rs crates/synthwiki/src/persist.rs crates/synthwiki/src/queries.rs crates/synthwiki/src/words.rs
+
+/root/repo/target/debug/deps/synthwiki-5372c2c190d770e5: crates/synthwiki/src/lib.rs crates/synthwiki/src/concepts.rs crates/synthwiki/src/config.rs crates/synthwiki/src/dataset.rs crates/synthwiki/src/docs.rs crates/synthwiki/src/groundtruth.rs crates/synthwiki/src/kb.rs crates/synthwiki/src/persist.rs crates/synthwiki/src/queries.rs crates/synthwiki/src/words.rs
+
+crates/synthwiki/src/lib.rs:
+crates/synthwiki/src/concepts.rs:
+crates/synthwiki/src/config.rs:
+crates/synthwiki/src/dataset.rs:
+crates/synthwiki/src/docs.rs:
+crates/synthwiki/src/groundtruth.rs:
+crates/synthwiki/src/kb.rs:
+crates/synthwiki/src/persist.rs:
+crates/synthwiki/src/queries.rs:
+crates/synthwiki/src/words.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/imageclef_eval-33bbe7333993eec5.d: examples/imageclef_eval.rs
+
+/root/repo/target/debug/examples/imageclef_eval-33bbe7333993eec5: examples/imageclef_eval.rs
+
+examples/imageclef_eval.rs:

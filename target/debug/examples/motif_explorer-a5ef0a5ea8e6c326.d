@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/motif_explorer-a5ef0a5ea8e6c326.d: examples/motif_explorer.rs
+
+/root/repo/target/debug/examples/motif_explorer-a5ef0a5ea8e6c326: examples/motif_explorer.rs
+
+examples/motif_explorer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/motif_learning-c6330552fc7e2d1c.d: examples/motif_learning.rs
+
+/root/repo/target/debug/examples/motif_learning-c6330552fc7e2d1c: examples/motif_learning.rs
+
+examples/motif_learning.rs:

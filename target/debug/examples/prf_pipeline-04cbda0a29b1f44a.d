@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/prf_pipeline-04cbda0a29b1f44a.d: examples/prf_pipeline.rs
+
+/root/repo/target/debug/examples/prf_pipeline-04cbda0a29b1f44a: examples/prf_pipeline.rs
+
+examples/prf_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-675ce939a681964c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-675ce939a681964c: examples/quickstart.rs
+
+examples/quickstart.rs:

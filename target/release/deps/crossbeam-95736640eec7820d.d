@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-95736640eec7820d.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-95736640eec7820d.rlib: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-95736640eec7820d.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

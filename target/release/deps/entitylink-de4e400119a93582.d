@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/entitylink-de4e400119a93582.d: crates/entitylink/src/lib.rs crates/entitylink/src/corpus.rs crates/entitylink/src/dictionary.rs crates/entitylink/src/linker.rs crates/entitylink/src/noise.rs crates/entitylink/src/spotter.rs
+
+/root/repo/target/release/deps/libentitylink-de4e400119a93582.rlib: crates/entitylink/src/lib.rs crates/entitylink/src/corpus.rs crates/entitylink/src/dictionary.rs crates/entitylink/src/linker.rs crates/entitylink/src/noise.rs crates/entitylink/src/spotter.rs
+
+/root/repo/target/release/deps/libentitylink-de4e400119a93582.rmeta: crates/entitylink/src/lib.rs crates/entitylink/src/corpus.rs crates/entitylink/src/dictionary.rs crates/entitylink/src/linker.rs crates/entitylink/src/noise.rs crates/entitylink/src/spotter.rs
+
+crates/entitylink/src/lib.rs:
+crates/entitylink/src/corpus.rs:
+crates/entitylink/src/dictionary.rs:
+crates/entitylink/src/linker.rs:
+crates/entitylink/src/noise.rs:
+crates/entitylink/src/spotter.rs:

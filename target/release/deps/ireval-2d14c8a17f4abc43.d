@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ireval-2d14c8a17f4abc43.d: crates/ireval/src/lib.rs crates/ireval/src/precision.rs crates/ireval/src/qrels.rs crates/ireval/src/run.rs crates/ireval/src/stats.rs crates/ireval/src/trec.rs
+
+/root/repo/target/release/deps/libireval-2d14c8a17f4abc43.rlib: crates/ireval/src/lib.rs crates/ireval/src/precision.rs crates/ireval/src/qrels.rs crates/ireval/src/run.rs crates/ireval/src/stats.rs crates/ireval/src/trec.rs
+
+/root/repo/target/release/deps/libireval-2d14c8a17f4abc43.rmeta: crates/ireval/src/lib.rs crates/ireval/src/precision.rs crates/ireval/src/qrels.rs crates/ireval/src/run.rs crates/ireval/src/stats.rs crates/ireval/src/trec.rs
+
+crates/ireval/src/lib.rs:
+crates/ireval/src/precision.rs:
+crates/ireval/src/qrels.rs:
+crates/ireval/src/run.rs:
+crates/ireval/src/stats.rs:
+crates/ireval/src/trec.rs:

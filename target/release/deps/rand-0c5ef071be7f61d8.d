@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-0c5ef071be7f61d8.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-0c5ef071be7f61d8.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-0c5ef071be7f61d8.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

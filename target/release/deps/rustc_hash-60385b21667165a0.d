@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rustc_hash-60385b21667165a0.d: vendor/rustc-hash/src/lib.rs
+
+/root/repo/target/release/deps/librustc_hash-60385b21667165a0.rlib: vendor/rustc-hash/src/lib.rs
+
+/root/repo/target/release/deps/librustc_hash-60385b21667165a0.rmeta: vendor/rustc-hash/src/lib.rs
+
+vendor/rustc-hash/src/lib.rs:

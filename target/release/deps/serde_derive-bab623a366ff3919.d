@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-bab623a366ff3919.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-bab623a366ff3919.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-7424084abb56da73.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-7424084abb56da73.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-7424084abb56da73.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

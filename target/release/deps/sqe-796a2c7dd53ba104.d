@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/sqe-796a2c7dd53ba104.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/combine.rs crates/core/src/expand.rs crates/core/src/learn.rs crates/core/src/motif.rs crates/core/src/pattern.rs crates/core/src/pipeline.rs crates/core/src/query_graph.rs
+
+/root/repo/target/release/deps/libsqe-796a2c7dd53ba104.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/combine.rs crates/core/src/expand.rs crates/core/src/learn.rs crates/core/src/motif.rs crates/core/src/pattern.rs crates/core/src/pipeline.rs crates/core/src/query_graph.rs
+
+/root/repo/target/release/deps/libsqe-796a2c7dd53ba104.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/combine.rs crates/core/src/expand.rs crates/core/src/learn.rs crates/core/src/motif.rs crates/core/src/pattern.rs crates/core/src/pipeline.rs crates/core/src/query_graph.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/combine.rs:
+crates/core/src/expand.rs:
+crates/core/src/learn.rs:
+crates/core/src/motif.rs:
+crates/core/src/pattern.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/query_graph.rs:

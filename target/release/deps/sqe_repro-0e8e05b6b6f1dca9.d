@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sqe_repro-0e8e05b6b6f1dca9.d: src/lib.rs
+
+/root/repo/target/release/deps/libsqe_repro-0e8e05b6b6f1dca9.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsqe_repro-0e8e05b6b6f1dca9.rmeta: src/lib.rs
+
+src/lib.rs:

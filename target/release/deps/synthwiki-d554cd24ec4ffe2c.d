@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/synthwiki-d554cd24ec4ffe2c.d: crates/synthwiki/src/lib.rs crates/synthwiki/src/concepts.rs crates/synthwiki/src/config.rs crates/synthwiki/src/dataset.rs crates/synthwiki/src/docs.rs crates/synthwiki/src/groundtruth.rs crates/synthwiki/src/kb.rs crates/synthwiki/src/persist.rs crates/synthwiki/src/queries.rs crates/synthwiki/src/words.rs
+
+/root/repo/target/release/deps/libsynthwiki-d554cd24ec4ffe2c.rlib: crates/synthwiki/src/lib.rs crates/synthwiki/src/concepts.rs crates/synthwiki/src/config.rs crates/synthwiki/src/dataset.rs crates/synthwiki/src/docs.rs crates/synthwiki/src/groundtruth.rs crates/synthwiki/src/kb.rs crates/synthwiki/src/persist.rs crates/synthwiki/src/queries.rs crates/synthwiki/src/words.rs
+
+/root/repo/target/release/deps/libsynthwiki-d554cd24ec4ffe2c.rmeta: crates/synthwiki/src/lib.rs crates/synthwiki/src/concepts.rs crates/synthwiki/src/config.rs crates/synthwiki/src/dataset.rs crates/synthwiki/src/docs.rs crates/synthwiki/src/groundtruth.rs crates/synthwiki/src/kb.rs crates/synthwiki/src/persist.rs crates/synthwiki/src/queries.rs crates/synthwiki/src/words.rs
+
+crates/synthwiki/src/lib.rs:
+crates/synthwiki/src/concepts.rs:
+crates/synthwiki/src/config.rs:
+crates/synthwiki/src/dataset.rs:
+crates/synthwiki/src/docs.rs:
+crates/synthwiki/src/groundtruth.rs:
+crates/synthwiki/src/kb.rs:
+crates/synthwiki/src/persist.rs:
+crates/synthwiki/src/queries.rs:
+crates/synthwiki/src/words.rs:

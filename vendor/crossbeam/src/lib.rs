@@ -1,0 +1,58 @@
+//! Vendored stand-in for the `crossbeam` crate (offline build).
+//!
+//! Only the `crossbeam::thread::scope` API the workspace uses is provided,
+//! implemented on top of `std::thread::scope` (stable since 1.63). The
+//! `Result` wrapper mirrors crossbeam's signature: `std::thread::scope`
+//! already propagates child panics into the parent, so the `Ok` arm is the
+//! only one ever constructed — caller `.expect(..)` calls stay source- and
+//! behaviour-compatible.
+
+pub mod thread {
+    //! Scoped threads (subset of `crossbeam::thread`).
+
+    /// A scope handle; closures spawned on it may borrow from the caller's
+    /// stack frame.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped worker. The closure receives the scope (crossbeam
+        /// signature) so nested spawns keep working.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Creates a scope in which borrowed-data threads can be spawned.
+    ///
+    /// All spawned threads are joined before `scope` returns. A child panic
+    /// is re-raised by `std::thread::scope` itself, so unlike crossbeam the
+    /// `Err` variant is never observed; it exists for signature parity.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_fill_borrowed_slots() {
+            let mut out = vec![0u32; 4];
+            super::scope(|s| {
+                for (i, slot) in out.iter_mut().enumerate() {
+                    s.spawn(move |_| *slot = i as u32 + 1);
+                }
+            })
+            .expect("no panics");
+            assert_eq!(out, vec![1, 2, 3, 4]);
+        }
+    }
+}

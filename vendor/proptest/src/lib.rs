@@ -1,0 +1,579 @@
+//! Vendored stand-in for `proptest` (offline build).
+//!
+//! Keeps the `proptest!` / `prop_assert*` / `Strategy` surface the
+//! workspace's property tests are written against, with deterministic
+//! seeded case generation. Unlike real proptest there is **no shrinking**:
+//! a failing case reports its generated inputs verbatim. Case count
+//! defaults to 64 and honours the `PROPTEST_CASES` environment variable.
+
+use std::fmt;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The per-test random source handed to strategies.
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// Uniform integer draw in `[0, bound)`.
+    pub fn below(&mut self, bound: usize) -> usize {
+        self.inner.gen_range(0..bound.max(1))
+    }
+
+    /// Access to the underlying rand generator.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.inner
+    }
+}
+
+/// A failed property (produced by the `prop_assert*` macros).
+#[derive(Debug)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+/// A generator of values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (proptest's `prop_map`).
+    fn prop_map<O: fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+    {
+        MapStrategy { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: fmt::Debug, F: Fn(S::Value) -> O> Strategy for MapStrategy<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone)]
+pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.inner.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.inner.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+/// Pattern-string strategies: `&str` is a regex-subset generator, like
+/// real proptest's `impl Strategy for &str`.
+///
+/// Supported syntax: literal characters, `.` (printable char), character
+/// classes `[a-z0-9_]` (ranges and singles, no negation), and quantifiers
+/// `{n}`, `{m,n}`, `?`, `*`, `+` (the unbounded forms cap at 8). This
+/// covers the patterns used across the workspace's tests; anything else
+/// panics loudly rather than generating surprising strings.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        #[derive(Clone)]
+        enum Atom {
+            Literal(char),
+            Any,
+            Class(Vec<(char, char)>),
+        }
+
+        fn parse_atoms(pattern: &str) -> Vec<(Atom, usize, usize)> {
+            let chars: Vec<char> = pattern.chars().collect();
+            let mut atoms = Vec::new();
+            let mut i = 0;
+            while i < chars.len() {
+                let atom = match chars[i] {
+                    '.' => {
+                        i += 1;
+                        Atom::Any
+                    }
+                    '[' => {
+                        let close = chars[i..]
+                            .iter()
+                            .position(|&c| c == ']')
+                            .unwrap_or_else(|| panic!("unclosed `[` in pattern {pattern:?}"))
+                            + i;
+                        let mut ranges = Vec::new();
+                        let mut j = i + 1;
+                        while j < close {
+                            if j + 2 < close && chars[j + 1] == '-' {
+                                ranges.push((chars[j], chars[j + 2]));
+                                j += 3;
+                            } else {
+                                ranges.push((chars[j], chars[j]));
+                                j += 1;
+                            }
+                        }
+                        i = close + 1;
+                        Atom::Class(ranges)
+                    }
+                    '\\' => {
+                        i += 2;
+                        Atom::Literal(chars[i - 1])
+                    }
+                    c => {
+                        i += 1;
+                        Atom::Literal(c)
+                    }
+                };
+                // Quantifier, if any.
+                let (lo, hi) = match chars.get(i) {
+                    Some('?') => {
+                        i += 1;
+                        (0, 1)
+                    }
+                    Some('*') => {
+                        i += 1;
+                        (0, 8)
+                    }
+                    Some('+') => {
+                        i += 1;
+                        (1, 8)
+                    }
+                    Some('{') => {
+                        let close = chars[i..]
+                            .iter()
+                            .position(|&c| c == '}')
+                            .unwrap_or_else(|| panic!("unclosed `{{` in pattern {pattern:?}"))
+                            + i;
+                        let body: String = chars[i + 1..close].iter().collect();
+                        i = close + 1;
+                        match body.split_once(',') {
+                            Some((lo, hi)) => (
+                                lo.trim().parse().expect("quantifier lower bound"),
+                                hi.trim().parse().expect("quantifier upper bound"),
+                            ),
+                            None => {
+                                let n = body.trim().parse().expect("quantifier count");
+                                (n, n)
+                            }
+                        }
+                    }
+                    _ => (1, 1),
+                };
+                atoms.push((atom, lo, hi));
+            }
+            atoms
+        }
+
+        const PRINTABLE: &str =
+            "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 \t_-.,:;!?'\"()éü√";
+        let mut out = String::new();
+        for (atom, lo, hi) in parse_atoms(self) {
+            let n = if lo == hi {
+                lo
+            } else {
+                rng.rng().gen_range(lo..=hi)
+            };
+            for _ in 0..n {
+                match &atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Any => {
+                        let opts: Vec<char> = PRINTABLE.chars().collect();
+                        out.push(opts[rng.below(opts.len())]);
+                    }
+                    Atom::Class(ranges) => {
+                        let (a, b) = ranges[rng.below(ranges.len())];
+                        let span = (b as u32) - (a as u32) + 1;
+                        let c = char::from_u32(a as u32 + rng.below(span as usize) as u32)
+                            .expect("class range stays in valid chars");
+                        out.push(c);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Collection sizes accepted by [`collection::vec`].
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_inclusive: n,
+        }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
+    }
+}
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Output of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng
+                .inner
+                .gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`; duplicates shrink the set below
+    /// the drawn size, like real proptest permits.
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Output of [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng
+                .inner
+                .gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (subset of `proptest::sample`).
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Uniformly selects one of the given options.
+    pub fn select<T: Clone + std::fmt::Debug>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select() needs at least one option");
+        Select { options }
+    }
+
+    /// Output of [`select`].
+    #[derive(Clone)]
+    pub struct Select<T: Clone + std::fmt::Debug> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len())].clone()
+        }
+    }
+}
+
+/// Everything the tests import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{Just, Strategy, TestCaseError};
+
+    /// The `prop` namespace alias real proptest's prelude exposes.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Number of cases per property (default 64, `PROPTEST_CASES` overrides).
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Drives one property: deterministic seeds, no shrinking. `f` returns the
+/// debug rendering of the generated inputs plus the property result.
+pub fn run_cases<F>(name: &str, f: F)
+where
+    F: Fn(&mut TestRng) -> (String, Result<(), TestCaseError>),
+{
+    // Stable per-test seed: FNV-1a over the fully qualified test name.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x1000_0000_01b3);
+    }
+    for case in 0..cases() {
+        let mut rng = TestRng {
+            inner: SmallRng::seed_from_u64(seed ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        };
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rng)));
+        match outcome {
+            Ok((_, Ok(()))) => {}
+            Ok((inputs, Err(e))) => {
+                panic!("property `{name}` failed at case {case}: {e}\n  inputs: {inputs}")
+            }
+            Err(panic) => {
+                eprintln!("property `{name}` panicked at case {case} (seed {seed:#x})");
+                std::panic::resume_unwind(panic);
+            }
+        }
+    }
+}
+
+/// Declares property tests (vendored subset of proptest's macro).
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident ( $($pname:ident in $pstrat:expr),+ $(,)? ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |rng| {
+                        $(let $pname = $crate::Strategy::generate(&$pstrat, rng);)+
+                        let inputs = {
+                            let mut s = ::std::string::String::new();
+                            $(
+                                s.push_str(concat!(stringify!($pname), " = "));
+                                s.push_str(&format!("{:?}; ", &$pname));
+                            )+
+                            s
+                        };
+                        let result: ::std::result::Result<(), $crate::TestCaseError> =
+                            (move || {
+                                $body
+                                ::std::result::Result::Ok(())
+                            })();
+                        (inputs, result)
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside `proptest!`, failing the case (not the
+/// process) so the harness can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Skips the case when its precondition fails. Real proptest re-draws a
+/// fresh input; the vendored harness simply passes the case vacuously.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Asserts equality inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        match (&$a, &$b) {
+            (l, r) => {
+                if !(l == r) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `{:?}` == `{:?}`",
+                        l, r
+                    )));
+                }
+            }
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        match (&$a, &$b) {
+            (l, r) => {
+                if !(l == r) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "{} (`{:?}` != `{:?}`)",
+                        format!($($fmt)*),
+                        l,
+                        r
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Asserts inequality inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        match (&$a, &$b) {
+            (l, r) => {
+                if l == r {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `{:?}` != `{:?}`",
+                        l, r
+                    )));
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_vecs(x in 0usize..10, v in prop::collection::vec(0u32..5, 0..20)) {
+            prop_assert!(x < 10);
+            prop_assert!(v.len() < 20);
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+
+        #[test]
+        fn mapping_works(pair in (0u8..4, 0u8..4).prop_map(|(a, b)| (a as u16) + (b as u16)) ) {
+            prop_assert!(pair <= 6);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut first = Vec::new();
+        for round in 0..2 {
+            let out = std::cell::RefCell::new(Vec::new());
+            super::run_cases("det", |rng| {
+                out.borrow_mut().push(rng.below(1000));
+                (String::new(), Ok(()))
+            });
+            let out = out.into_inner();
+            if round == 0 {
+                first = out;
+            } else {
+                assert_eq!(first, out);
+            }
+        }
+    }
+}

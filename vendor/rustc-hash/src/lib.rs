@@ -1,0 +1,107 @@
+//! Vendored stand-in for the `rustc-hash` crate (offline build).
+//!
+//! Implements the same Fx (Firefox/rustc) multiply-and-rotate hash the real
+//! crate uses, with the same public names: [`FxHasher`], [`FxHashMap`],
+//! [`FxHashSet`], [`FxBuildHasher`]. The algorithm matches rustc-hash 1.x
+//! (word-at-a-time multiply-rotate), which is all the workspace relies on —
+//! no code depends on exact hash values, only on speed and determinism
+//! within a process.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A speedy, non-cryptographic hasher (the Fx algorithm).
+#[derive(Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(c);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf) | ((rem.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// [`BuildHasherDefault`] specialised to [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A [`HashMap`] keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A [`HashSet`] hashed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<String, u32> = FxHashMap::default();
+        m.insert("a".into(), 1);
+        assert_eq!(m.get("a"), Some(&1));
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+    }
+
+    #[test]
+    fn deterministic_within_process() {
+        let mut h1 = FxHasher::default();
+        let mut h2 = FxHasher::default();
+        h1.write(b"cable cars");
+        h2.write(b"cable cars");
+        assert_eq!(h1.finish(), h2.finish());
+    }
+}

@@ -1,0 +1,353 @@
+//! Vendored stand-in for `serde` (offline build).
+//!
+//! The real serde is a zero-copy streaming framework; this stand-in keeps
+//! the *names* (`Serialize`, `Deserialize`, derive macros) but routes
+//! everything through an owned JSON-like [`Value`] tree, which is all the
+//! workspace needs: `#[derive(Serialize, Deserialize)]` on plain structs
+//! and enums, plus `serde_json::{to_string, to_string_pretty, from_str}`.
+//!
+//! The derive macros are re-exported from the companion `serde_derive`
+//! proc-macro crate and generate `to_value` / `from_value` implementations
+//! against this crate's traits.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value;
+
+pub use value::{Map, Number, Value};
+
+use std::fmt;
+
+/// Serialization/deserialization error (shared with `serde_json`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error with a custom message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+
+    /// Error for a type mismatch while deserializing.
+    pub fn expected(what: &str, ty: &str) -> Self {
+        Error {
+            msg: format!("expected {what} while deserializing {ty}"),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e.msg)
+    }
+}
+
+/// A type that can convert itself into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A type constructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reads `Self` out of a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Fetches and deserializes a struct field from an object map.
+///
+/// Missing keys deserialize from `Null`, so `Option` fields tolerate
+/// absence; everything else reports which field of which type was missing.
+pub fn de_field<T: Deserialize>(m: &Map, key: &str, ty: &str) -> Result<T, Error> {
+    match m.get(key) {
+        Some(v) => T::from_value(v)
+            .map_err(|e| Error::custom(format!("field `{key}` of `{ty}`: {e}"))),
+        None => T::from_value(&Value::Null)
+            .map_err(|_| Error::custom(format!("missing field `{key}` of `{ty}`"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_u64(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_u64().ok_or_else(|| {
+                    Error::expected("unsigned integer", stringify!($t))
+                })?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_ser_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_i64(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| Error::expected("integer", stringify!($t)))?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_ser_de_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::expected("number", "f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self as f64))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(f64::from_value(v)? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::expected("boolean", "bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(Error::expected("string", "String")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) if s.chars().count() == 1 => {
+                Ok(s.chars().next().expect("length checked"))
+            }
+            _ => Err(Error::expected("single-char string", "char")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::expected("array", "Vec")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            _ => Err(Error::expected("2-element array", "tuple")),
+        }
+    }
+}
+
+impl<V: Serialize, S: std::hash::BuildHasher> Serialize for std::collections::HashMap<String, V, S> {
+    fn to_value(&self) -> Value {
+        // Deterministic output: object keys sorted (Map is ordered).
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        let mut m = Map::new();
+        for k in keys {
+            m.insert(k.clone(), self[k].to_value());
+        }
+        Value::Object(m)
+    }
+}
+
+impl<V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize
+    for std::collections::HashMap<String, V, S>
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(m) => {
+                let mut out = Self::default();
+                for (k, val) in m.iter() {
+                    out.insert(k.clone(), V::from_value(val)?);
+                }
+                Ok(out)
+            }
+            _ => Err(Error::expected("object", "HashMap")),
+        }
+    }
+}
+
+impl<S: std::hash::BuildHasher> Serialize for std::collections::HashSet<String, S> {
+    fn to_value(&self) -> Value {
+        let mut items: Vec<&String> = self.iter().collect();
+        items.sort();
+        Value::Array(items.into_iter().map(|s| Value::String(s.clone())).collect())
+    }
+}
+
+impl<S: std::hash::BuildHasher + Default> Deserialize for std::collections::HashSet<String, S> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => {
+                let mut out = Self::default();
+                for item in items {
+                    out.insert(String::from_value(item)?);
+                }
+                Ok(out)
+            }
+            _ => Err(Error::expected("array", "HashSet")),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        for (k, val) in self {
+            m.insert(k.clone(), val.to_value());
+        }
+        Value::Object(m)
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(m) => {
+                let mut out = Self::new();
+                for (k, val) in m.iter() {
+                    out.insert(k.clone(), V::from_value(val)?);
+                }
+                Ok(out)
+            }
+            _ => Err(Error::expected("object", "BTreeMap")),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

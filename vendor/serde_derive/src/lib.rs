@@ -1,0 +1,394 @@
+//! Vendored stand-in for `serde_derive` (offline build).
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! vendored value-tree `serde` without `syn`/`quote`: the input item is
+//! shape-parsed directly from its `proc_macro::TokenStream` and the impl is
+//! emitted as formatted source re-parsed into a token stream.
+//!
+//! Supported shapes — the ones the workspace uses:
+//! * named-field structs (objects),
+//! * newtype and tuple structs (inner value / arrays),
+//! * unit structs (null),
+//! * enums with unit and tuple variants (externally tagged, like serde).
+//!
+//! `#[serde(...)]` attributes and generic parameters are rejected loudly
+//! rather than silently mis-handled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, shape: Shape },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => emit_serialize(&item)
+            .parse()
+            .expect("generated Serialize impl parses"),
+        Err(e) => compile_error(&e),
+    }
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => emit_deserialize(&item)
+            .parse()
+            .expect("generated Deserialize impl parses"),
+        Err(e) => compile_error(&e),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg)
+        .parse()
+        .expect("compile_error parses")
+}
+
+// ---------------------------------------------------------------------------
+// Shape parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i)?;
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => return Err(format!("serde derive: expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde derive: expected item name, got {other:?}")),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde derive (vendored): generic type `{name}` is unsupported"
+        ));
+    }
+
+    if kind == "struct" {
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => return Err(format!("serde derive: malformed struct body: {other:?}")),
+        };
+        Ok(Item::Struct { name, shape })
+    } else {
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => return Err(format!("serde derive: malformed enum body: {other:?}")),
+        };
+        Ok(Item::Enum {
+            name,
+            variants: parse_variants(body)?,
+        })
+    }
+}
+
+/// Advances past outer attributes (`#[..]`, doc comments) and visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> Result<(), String> {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    let text = g.stream().to_string();
+                    if text.starts_with("serde") {
+                        return Err(format!(
+                            "serde derive (vendored): #[serde(..)] attributes unsupported: {text}"
+                        ));
+                    }
+                }
+                *i += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) and friends
+                }
+            }
+            _ => return Ok(()),
+        }
+    }
+}
+
+/// Splits a token stream on top-level commas, tracking `<>` depth so
+/// generic arguments don't split fields.
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut parts: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                parts.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        parts.last_mut().expect("non-empty").push(tt);
+    }
+    if parts.last().map(|p| p.is_empty()).unwrap_or(false) {
+        parts.pop();
+    }
+    parts
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for part in split_top_level_commas(stream) {
+        let mut i = 0;
+        skip_attrs_and_vis(&part, &mut i)?;
+        match part.get(i) {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            other => return Err(format!("serde derive: expected field name, got {other:?}")),
+        }
+        match part.get(i + 1) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("serde derive: expected `:` after field, got {other:?}")),
+        }
+    }
+    Ok(names)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level_commas(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for part in split_top_level_commas(stream) {
+        if part.is_empty() {
+            continue;
+        }
+        let mut i = 0;
+        skip_attrs_and_vis(&part, &mut i)?;
+        let name = match part.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("serde derive: expected variant name, got {other:?}")),
+        };
+        let shape = match part.get(i + 1) {
+            None => Shape::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "serde derive (vendored): struct variant `{name}` unsupported"
+                ));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!(
+                    "serde derive (vendored): discriminant on `{name}` unsupported"
+                ));
+            }
+            other => return Err(format!("serde derive: malformed variant `{name}`: {other:?}")),
+        };
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code emission
+// ---------------------------------------------------------------------------
+
+fn emit_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, shape } => (name, serialize_struct_body(shape)),
+        Item::Enum { name, variants } => (name, serialize_enum_body(name, variants)),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn serialize_struct_body(shape: &Shape) -> String {
+    match shape {
+        Shape::Unit => "::serde::Value::Null".to_owned(),
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Named(fields) => {
+            let mut out = String::from("let mut m = ::serde::Map::new();\n");
+            for f in fields {
+                out.push_str(&format!(
+                    "m.insert({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            out.push_str("::serde::Value::Object(m)");
+            out
+        }
+    }
+}
+
+fn serialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            Shape::Unit => arms.push_str(&format!(
+                "{name}::{vn} => ::serde::Value::String({vn:?}.to_string()),\n"
+            )),
+            Shape::Tuple(n) => {
+                let binders: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                let inner = if *n == 1 {
+                    "::serde::Serialize::to_value(x0)".to_owned()
+                } else {
+                    let items: Vec<String> = binders
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                };
+                arms.push_str(&format!(
+                    "{name}::{vn}({}) => {{\n\
+                         let mut m = ::serde::Map::new();\n\
+                         m.insert({vn:?}.to_string(), {inner});\n\
+                         ::serde::Value::Object(m)\n\
+                     }}\n",
+                    binders.join(", ")
+                ));
+            }
+            Shape::Named(_) => unreachable!("rejected during parsing"),
+        }
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+fn emit_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, shape } => (name, deserialize_struct_body(name, shape)),
+        Item::Enum { name, variants } => (name, deserialize_enum_body(name, variants)),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn deserialize_struct_body(name: &str, shape: &Shape) -> String {
+    match shape {
+        Shape::Unit => format!("let _ = v; ::std::result::Result::Ok({name})"),
+        Shape::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+        ),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Array(items) if items.len() == {n} =>\n\
+                         ::std::result::Result::Ok({name}({})),\n\
+                     _ => ::std::result::Result::Err(::serde::Error::expected(\"{n}-element array\", {name:?})),\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de_field(m, {f:?}, {name:?})?"))
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Object(m) => ::std::result::Result::Ok({name} {{ {} }}),\n\
+                     _ => ::std::result::Result::Err(::serde::Error::expected(\"object\", {name:?})),\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+    }
+}
+
+fn deserialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            Shape::Unit => unit_arms.push_str(&format!(
+                "::serde::Value::String(s) if s == {vn:?} => \
+                     return ::std::result::Result::Ok({name}::{vn}),\n"
+            )),
+            Shape::Tuple(1) => tagged_arms.push_str(&format!(
+                "if let ::std::option::Option::Some(inner) = m.get({vn:?}) {{\n\
+                     return ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::from_value(inner)?));\n\
+                 }}\n"
+            )),
+            Shape::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect();
+                tagged_arms.push_str(&format!(
+                    "if let ::std::option::Option::Some(inner) = m.get({vn:?}) {{\n\
+                         if let ::serde::Value::Array(items) = inner {{\n\
+                             if items.len() == {n} {{\n\
+                                 return ::std::result::Result::Ok({name}::{vn}({}));\n\
+                             }}\n\
+                         }}\n\
+                         return ::std::result::Result::Err(::serde::Error::expected(\
+                             \"{n}-element array\", {name:?}));\n\
+                     }}\n",
+                    items.join(", ")
+                ))
+            }
+            Shape::Named(_) => unreachable!("rejected during parsing"),
+        }
+    }
+    format!(
+        "match v {{\n\
+             {unit_arms}\
+             ::serde::Value::Object(m) => {{\n\
+                 {tagged_arms}\
+                 ::std::result::Result::Err(::serde::Error::expected(\"known variant\", {name:?}))\n\
+             }}\n\
+             _ => ::std::result::Result::Err(::serde::Error::expected(\"enum value\", {name:?})),\n\
+         }}"
+    )
+}

@@ -1,0 +1,58 @@
+//! Vendored stand-in for `serde_json` (offline build).
+//!
+//! A thin facade over the vendored `serde` value tree: [`Value`], [`Map`],
+//! [`Number`] re-exports, the [`to_string`] / [`to_string_pretty`] /
+//! [`from_str`] entry points, and a literal-only [`json!`] macro.
+
+pub use serde::value::{Map, Number, Value};
+pub use serde::Error;
+
+/// Serializes any [`serde::Serialize`] type to compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json_compact())
+}
+
+/// Serializes any [`serde::Serialize`] type to pretty JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json_pretty())
+}
+
+/// Parses JSON text into any [`serde::Deserialize`] type.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    T::from_value(&Value::parse_json(text)?)
+}
+
+/// Builds a [`Value`] from a single expression (`json!(3.25)`).
+///
+/// The vendored macro supports expression literals only — the full
+/// object/array syntax of real serde_json is not needed offline.
+#[macro_export]
+macro_rules! json {
+    (null) => {
+        $crate::Value::Null
+    };
+    ($e:expr) => {
+        $crate::Value::from($e)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_roundtrip_through_facade() {
+        let mut m = Map::new();
+        m.insert("P@10".to_string(), json!(0.492));
+        let v = Value::Object(m);
+        let text = to_string_pretty(&v).expect("serializes");
+        let back: Value = from_str(&text).expect("parses");
+        assert_eq!(back.get("P@10").and_then(Value::as_f64), Some(0.492));
+    }
+
+    #[test]
+    fn map_collects_from_iterator() {
+        let m: Map<String, Value> = [("a".to_string(), json!(1u32))].into_iter().collect();
+        assert!(m.contains_key("a"));
+    }
+}
