@@ -1,0 +1,172 @@
+//! Diagnostics, severities, and lint configuration.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// How seriously a lint finding is treated.
+///
+/// `Error` findings fail `sqe-lint check`; `Warn` findings are printed but
+/// do not affect the exit code; `Allow` disables the rule entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Allow,
+    Warn,
+    Error,
+}
+
+impl Severity {
+    /// One step less severe (Error → Warn → Allow → Allow). Used for
+    /// secondary findings such as slice indexing under
+    /// `no-panicking-hot-path`.
+    pub fn demoted(self) -> Severity {
+        match self {
+            Severity::Error => Severity::Warn,
+            _ => Severity::Allow,
+        }
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Allow => "allow",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Severity {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "allow" => Ok(Severity::Allow),
+            "warn" => Ok(Severity::Warn),
+            "error" => Ok(Severity::Error),
+            other => Err(format!(
+                "unknown severity `{other}` (expected allow|warn|error)"
+            )),
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Rule name, e.g. `no-nan-unsafe-sort`.
+    pub rule: &'static str,
+    /// Effective severity after configuration overrides.
+    pub severity: Severity,
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line of the finding.
+    pub line: u32,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}:{}: [{}] {}",
+            self.severity, self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Per-rule severity overrides, loaded from an optional JSON config
+/// (`sqe-lint.json`): `{"severity": {"rule-name": "warn"}}`.
+#[derive(Debug, Clone, Default)]
+pub struct LintConfig {
+    overrides: Vec<(String, Severity)>,
+}
+
+impl LintConfig {
+    /// Parses the JSON configuration text.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let value: serde_json::Value =
+            serde_json::from_str(text).map_err(|e| format!("bad lint config: {e}"))?;
+        let mut overrides = Vec::new();
+        if let Some(map) = value.get("severity").and_then(|v| v.as_object()) {
+            for (rule, sev) in map.iter() {
+                let sev = sev
+                    .as_str()
+                    .ok_or_else(|| format!("severity for `{rule}` must be a string"))?;
+                overrides.push((rule.clone(), sev.parse::<Severity>()?));
+            }
+        }
+        Ok(LintConfig { overrides })
+    }
+
+    /// Registers an override programmatically.
+    pub fn set(&mut self, rule: &str, severity: Severity) {
+        self.overrides.retain(|(r, _)| r != rule);
+        self.overrides.push((rule.to_string(), severity));
+    }
+
+    /// Effective severity for `rule`, given its default.
+    pub fn severity(&self, rule: &str, default: Severity) -> Severity {
+        self.overrides
+            .iter()
+            .find(|(r, _)| r == rule)
+            .map(|(_, s)| *s)
+            .unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_parse_roundtrip() {
+        for s in ["allow", "warn", "error"] {
+            assert_eq!(s.parse::<Severity>().unwrap().as_str(), s);
+        }
+        assert!("fatal".parse::<Severity>().is_err());
+    }
+
+    #[test]
+    fn demotion_ladder() {
+        assert_eq!(Severity::Error.demoted(), Severity::Warn);
+        assert_eq!(Severity::Warn.demoted(), Severity::Allow);
+        assert_eq!(Severity::Allow.demoted(), Severity::Allow);
+    }
+
+    #[test]
+    fn config_overrides_apply() {
+        let cfg =
+            LintConfig::from_json(r#"{"severity": {"no-nondeterministic-rng": "warn"}}"#).unwrap();
+        assert_eq!(
+            cfg.severity("no-nondeterministic-rng", Severity::Error),
+            Severity::Warn
+        );
+        assert_eq!(cfg.severity("other-rule", Severity::Error), Severity::Error);
+    }
+
+    #[test]
+    fn config_rejects_bad_severity() {
+        assert!(LintConfig::from_json(r#"{"severity": {"x": "loud"}}"#).is_err());
+    }
+
+    #[test]
+    fn diagnostic_display_is_grep_friendly() {
+        let d = Diagnostic {
+            rule: "no-nan-unsafe-sort",
+            severity: Severity::Error,
+            path: "crates/x/src/lib.rs".into(),
+            line: 7,
+            message: "use scorecmp".into(),
+        };
+        assert_eq!(
+            d.to_string(),
+            "error: crates/x/src/lib.rs:7: [no-nan-unsafe-sort] use scorecmp"
+        );
+    }
+}

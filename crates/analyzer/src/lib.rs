@@ -1,0 +1,185 @@
+//! sqe-analyzer: workspace lint engine + structural invariant auditor.
+//!
+//! Two cooperating passes keep the reproduction honest:
+//!
+//! 1. **`sqe-lint` lint engine** (this crate): a hand-written lightweight
+//!    lexer ([`lexer`]) feeds a rule registry ([`rules`]) that walks every
+//!    workspace `.rs` file and reports ranking-determinism and
+//!    panic-safety hazards. Findings suppress with
+//!    `// lint:allow(<rule>)` on the same line or the line above, and
+//!    severities are overridable via `sqe-lint.json`.
+//! 2. **Structural invariant auditor** (`kbgraph::audit::GraphAudit`,
+//!    `searchlite::audit::IndexAudit`, behind the `validate` feature):
+//!    re-derives CSR and inverted-index invariants from raw arrays. The
+//!    `sqe-lint audit` subcommand runs both over a synthetic testbed, and
+//!    `--selftest` seeds known corruption classes to prove the auditor
+//!    still detects them.
+
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use diag::{Diagnostic, LintConfig, Severity};
+
+use lexer::TokKind;
+use rules::FileCtx;
+
+/// Directory names never descended into during the workspace walk.
+/// `fixtures` holds lint-corpus data files (deliberately bad code used
+/// by the rule tests), not workspace sources.
+const SKIP_DIRS: &[&str] = &[
+    "target",
+    "vendor",
+    ".git",
+    ".github",
+    "node_modules",
+    "fixtures",
+];
+
+/// Lints one file's source text. `rel` is the workspace-relative path
+/// (forward slashes) — several rules are path-scoped. Suppressions and
+/// severity overrides are applied; results are sorted by line.
+pub fn lint_source(rel: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnostic> {
+    let toks = lexer::lex(src);
+    let mut out = Vec::new();
+    let ctx = FileCtx::new(rel, &toks);
+    for rule in rules::registry() {
+        let sev = cfg.severity(rule.name(), rule.default_severity());
+        if sev == Severity::Allow {
+            continue;
+        }
+        rule.check(&ctx, sev, &mut out);
+    }
+    // `// lint:allow(rule-a, rule-b)` suppresses findings on its own line
+    // (trailing comment) and on the line below (comment above the code).
+    let mut allows: Vec<(u32, String)> = Vec::new();
+    for t in toks.iter().filter(|t| t.kind == TokKind::Comment) {
+        if let Some(pos) = t.text.find("lint:allow(") {
+            let rest = &t.text[pos + "lint:allow(".len()..];
+            if let Some(end) = rest.find(')') {
+                for rule in rest[..end].split(',') {
+                    allows.push((t.line, rule.trim().to_string()));
+                }
+            }
+        }
+    }
+    out.retain(|d| {
+        !allows
+            .iter()
+            .any(|(line, rule)| rule == d.rule && (d.line == *line || d.line == line + 1))
+    });
+    out.sort_by_key(|d| d.line);
+    out
+}
+
+/// Collects every workspace `.rs` file under `root`, skipping build
+/// output, vendored dependencies, and VCS metadata. Paths are returned
+/// sorted for deterministic reports.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Lints every workspace file under `root`. Returns all diagnostics,
+/// sorted by path then line.
+pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> io::Result<Vec<Diagnostic>> {
+    let mut out = Vec::new();
+    for path in workspace_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = fs::read_to_string(&path)?;
+        out.extend(lint_source(&rel, &src, cfg));
+    }
+    out.sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
+    Ok(out)
+}
+
+/// Renders diagnostics as a JSON array (one object per finding), for
+/// machine consumption in CI.
+pub fn diagnostics_to_json(diags: &[Diagnostic]) -> String {
+    use serde_json::Value;
+    let arr: Vec<Value> = diags
+        .iter()
+        .map(|d| {
+            let mut m = serde_json::Map::new();
+            m.insert("rule".into(), Value::from(d.rule));
+            m.insert("severity".into(), Value::from(d.severity.as_str()));
+            m.insert("path".into(), Value::from(d.path.as_str()));
+            m.insert("line".into(), Value::from(d.line as u64));
+            m.insert("message".into(), Value::from(d.message.as_str()));
+            Value::Object(m)
+        })
+        .collect();
+    serde_json::to_string_pretty(&Value::Array(arr)).expect("diagnostics serialize to JSON")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppression_same_line() {
+        let src = "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); // lint:allow(no-nan-unsafe-sort)\n}";
+        assert!(lint_source("crates/x/src/lib.rs", src, &LintConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn suppression_line_above() {
+        let src = "fn f(v: &mut Vec<f64>) {\n    // lint:allow(no-nan-unsafe-sort)\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}";
+        assert!(lint_source("crates/x/src/lib.rs", src, &LintConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn suppression_is_rule_specific() {
+        let src = "fn f(v: &mut Vec<f64>) {\n    // lint:allow(no-nondeterministic-rng)\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}";
+        let diags = lint_source("crates/x/src/lib.rs", src, &LintConfig::default());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "no-nan-unsafe-sort");
+    }
+
+    #[test]
+    fn severity_override_to_allow_disables_rule() {
+        let src = "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }";
+        let mut cfg = LintConfig::default();
+        cfg.set("no-nan-unsafe-sort", Severity::Allow);
+        assert!(lint_source("crates/x/src/lib.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn json_output_shape() {
+        let src = "fn f() { let r = thread_rng(); }";
+        let diags = lint_source("crates/x/src/lib.rs", src, &LintConfig::default());
+        let json = diagnostics_to_json(&diags);
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let arr = parsed.as_array().unwrap();
+        assert_eq!(arr.len(), 1);
+        assert_eq!(
+            arr[0].get("rule").and_then(|v| v.as_str()),
+            Some("no-nondeterministic-rng")
+        );
+    }
+}

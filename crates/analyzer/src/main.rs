@@ -1,0 +1,330 @@
+//! `sqe-lint`: CLI driver for the workspace lint engine and the
+//! structural invariant auditor.
+//!
+//! Subcommands:
+//!
+//! - `check [--root DIR] [--format human|json] [--config FILE]` — lint
+//!   every workspace `.rs` file; exit 1 if any error-severity finding.
+//! - `rules` — print the rule table with default severities.
+//! - `audit [--selftest]` — build a synthetic testbed, run the graph and
+//!   index auditors, and (with `--selftest`) seed known corruption
+//!   classes to prove each is still detected. Exit 1 on any violation or
+//!   missed seeding.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use analyzer::{diagnostics_to_json, lint_workspace, rules, LintConfig, Severity};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => cmd_check(&args[1..]),
+        Some("rules") => cmd_rules(),
+        Some("audit") => cmd_audit(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: sqe-lint <check [--root DIR] [--format human|json] [--config FILE] \
+                 | rules | audit [--selftest]>"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    let root = PathBuf::from(flag_value(args, "--root").unwrap_or_else(|| ".".to_string()));
+    let json = matches!(flag_value(args, "--format").as_deref(), Some("json"));
+    let cfg = match load_config(args, &root) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("sqe-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let diags = match lint_workspace(&root, &cfg) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("sqe-lint: walking {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
+    let warns = diags.len() - errors;
+    if json {
+        println!("{}", diagnostics_to_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        println!("sqe-lint: {errors} error(s), {warns} warning(s)");
+    }
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn load_config(args: &[String], root: &Path) -> Result<LintConfig, String> {
+    let path = match flag_value(args, "--config") {
+        Some(p) => PathBuf::from(p),
+        None => {
+            let default = root.join("sqe-lint.json");
+            if !default.is_file() {
+                return Ok(LintConfig::default());
+            }
+            default
+        }
+    };
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("reading {}: {e}", path.display()))?;
+    LintConfig::from_json(&text)
+}
+
+fn cmd_rules() -> ExitCode {
+    for rule in rules::registry() {
+        println!(
+            "{:<28} {:<6} {}",
+            rule.name(),
+            rule.default_severity().as_str(),
+            rule.description()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_audit(args: &[String]) -> ExitCode {
+    let selftest = args.iter().any(|a| a == "--selftest");
+
+    // Audit a realistic synthetic testbed: the generated knowledge graph
+    // and an index built over its first document collection.
+    let bed = synthwiki::TestBed::generate(&synthwiki::TestBedConfig::small());
+    let graph_audit = kbgraph::audit::GraphAudit::run(&bed.kb.graph);
+    let mut builder = searchlite::IndexBuilder::new(searchlite::Analyzer::english());
+    if let Some(coll) = bed.collections.first() {
+        for doc in &coll.docs {
+            builder.add_document(&doc.id, &doc.text);
+        }
+    }
+    let index = builder.build();
+    let index_audit = searchlite::audit::IndexAudit::run(&index);
+
+    println!(
+        "graph audit: {} articles, {} categories — {}",
+        bed.kb.graph.num_articles(),
+        bed.kb.graph.num_categories(),
+        if graph_audit.is_clean() { "clean" } else { "VIOLATIONS" }
+    );
+    if !graph_audit.is_clean() {
+        println!("{}", graph_audit.report());
+    }
+    println!(
+        "index audit: {} docs — {}",
+        index.num_docs(),
+        if index_audit.is_clean() { "clean" } else { "VIOLATIONS" }
+    );
+    if !index_audit.is_clean() {
+        println!("{}", index_audit.report());
+    }
+
+    let mut failed = !graph_audit.is_clean() || !index_audit.is_clean();
+    if selftest {
+        for (name, detected) in selftest_results() {
+            println!(
+                "selftest {:<24} {}",
+                name,
+                if detected { "detected" } else { "MISSED" }
+            );
+            failed |= !detected;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Seeds one corruption per known mutation class into freshly built
+/// structures and reports whether the auditor flags it with the expected
+/// violation kind.
+fn selftest_results() -> Vec<(&'static str, bool)> {
+    use kbgraph::audit::{GraphAudit, GraphViolation};
+    use kbgraph::{Csr, GraphBuilder, KbGraph};
+    use searchlite::audit::{IndexAudit, IndexViolation};
+    use searchlite::{Analyzer, Index, IndexBuilder};
+
+    // A small hand-built graph with every structure populated: mutual
+    // article links, memberships, and a one-edge category DAG.
+    fn fresh_graph() -> KbGraph {
+        let mut b = GraphBuilder::new();
+        let a0 = b.add_article("A0");
+        let a1 = b.add_article("A1");
+        let a2 = b.add_article("A2");
+        let a3 = b.add_article("A3");
+        let c0 = b.add_category("C0");
+        let c1 = b.add_category("C1");
+        b.add_mutual_link(a0, a1);
+        b.add_mutual_link(a0, a2);
+        b.add_article_link(a2, a3);
+        b.add_membership(a0, c0);
+        b.add_membership(a1, c1);
+        b.add_subcategory(c1, c0);
+        b.build()
+    }
+
+    /// Reassembles `g` with one CSR slot replaced.
+    /// Slots: 0 article_links, 1 article_links_rev, 4 subcats, 5 subcats_rev.
+    fn with_part(g: &KbGraph, slot: usize, part: Csr) -> KbGraph {
+        let titles_a: Vec<String> = g.articles().map(|a| g.article_title(a).to_string()).collect();
+        let titles_c: Vec<String> = g
+            .categories()
+            .map(|c| g.category_title(c).to_string())
+            .collect();
+        let mut parts = [
+            g.article_links().clone(),
+            g.article_links_rev().clone(),
+            g.memberships().clone(),
+            g.members().clone(),
+            g.subcategories().clone(),
+            g.subcats_rev().clone(),
+        ];
+        parts[slot] = part;
+        let [al, alr, mem, mbr, sc, scr] = parts;
+        KbGraph::from_parts(titles_a, titles_c, al, alr, mem, mbr, sc, scr)
+    }
+
+    fn graph_case(
+        slot: usize,
+        mutate: impl Fn(&mut Vec<u32>, &mut Vec<u32>),
+        expect: impl Fn(&GraphViolation) -> bool,
+    ) -> bool {
+        let g = fresh_graph();
+        let src = match slot {
+            0 => g.article_links(),
+            1 => g.article_links_rev(),
+            4 => g.subcategories(),
+            _ => g.subcats_rev(),
+        };
+        let mut offsets = src.offsets().to_vec();
+        let mut targets = src.targets().to_vec();
+        mutate(&mut offsets, &mut targets);
+        let bad = with_part(&g, slot, Csr::from_raw_parts(offsets, targets));
+        GraphAudit::run(&bad).violations().iter().any(expect)
+    }
+
+    fn fresh_index() -> Index {
+        let mut b = IndexBuilder::new(Analyzer::plain());
+        b.add_document("d0", "alpha beta alpha");
+        b.add_document("d1", "beta gamma");
+        b.build()
+    }
+
+    let mut results = Vec::new();
+
+    results.push((
+        "graph:swapped-offsets",
+        graph_case(
+            0,
+            |offsets, _| offsets.swap(1, 2),
+            |v| {
+                matches!(
+                    v,
+                    GraphViolation::OffsetsNotMonotonic { .. } | GraphViolation::OffsetsShape { .. }
+                )
+            },
+        ),
+    ));
+    results.push((
+        "graph:oob-target",
+        graph_case(
+            0,
+            |_, targets| targets[0] = 99,
+            |v| matches!(v, GraphViolation::TargetOutOfBounds { .. }),
+        ),
+    ));
+    results.push((
+        "graph:unsorted-row",
+        graph_case(
+            0,
+            |_, targets| targets.swap(0, 1), // row 0 holds [a1, a2]
+            |v| matches!(v, GraphViolation::RowNotStrictlySorted { .. }),
+        ),
+    ));
+    results.push(("graph:dropped-reciprocal", {
+        let g = fresh_graph();
+        let rows = g.num_articles();
+        let empty = Csr::from_raw_parts(vec![0; rows + 1], Vec::new());
+        let bad = with_part(&g, 1, empty);
+        GraphAudit::run(&bad)
+            .violations()
+            .iter()
+            .any(|v| matches!(v, GraphViolation::MissingReciprocal { .. }))
+    }));
+    results.push(("graph:category-cycle", {
+        let g = fresh_graph();
+        // Two categories referencing each other: c0 → c1 and c1 → c0.
+        let cycle = Csr::from_raw_parts(vec![0, 1, 2], vec![1, 0]);
+        let bad = with_part(&with_part(&g, 4, cycle.clone()), 5, cycle);
+        GraphAudit::run(&bad)
+            .violations()
+            .iter()
+            .any(|v| matches!(v, GraphViolation::CategoryCycle { .. }))
+    }));
+
+    fn index_case(
+        mutate: impl Fn(searchlite::index::IndexRawMut<'_>),
+        expect: impl Fn(&IndexViolation) -> bool,
+    ) -> bool {
+        let mut idx = fresh_index();
+        mutate(idx.raw_mut());
+        IndexAudit::run(&idx).violations().iter().any(expect)
+    }
+
+    results.push((
+        "index:unsorted-postings",
+        index_case(
+            |raw| {
+                for p in raw.postings.iter_mut() {
+                    let pr = p.raw_mut();
+                    if pr.docs.len() >= 2 {
+                        pr.docs.swap(0, 1);
+                        break;
+                    }
+                }
+            },
+            |v| matches!(v, IndexViolation::PostingsNotSorted { .. }),
+        ),
+    ));
+    results.push((
+        "index:wrong-doc-len",
+        index_case(
+            |raw| raw.doc_lens[0] += 5,
+            |v| matches!(v, IndexViolation::DocLenMismatch { .. }),
+        ),
+    ));
+    results.push((
+        "index:wrong-collection-len",
+        index_case(
+            |raw| *raw.collection_len += 7,
+            |v| matches!(v, IndexViolation::CollectionLenMismatch { .. }),
+        ),
+    ));
+    results.push((
+        "index:duplicate-external-id",
+        index_case(
+            |raw| raw.external_ids[1] = raw.external_ids[0].clone(),
+            |v| matches!(v, IndexViolation::DuplicateExternalId { .. }),
+        ),
+    ));
+
+    results
+}

@@ -1,0 +1,405 @@
+//! Lint rules.
+//!
+//! Every rule walks the token stream produced by [`crate::lexer`] and emits
+//! [`Diagnostic`]s. Rules are registered in [`registry`]; `sqe-lint rules`
+//! prints the table. Suppression (`// lint:allow(rule)`) and severity
+//! overrides are applied by the engine, not by the rules themselves.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::{Tok, TokKind};
+
+/// Per-file context shared by all rules.
+pub struct FileCtx<'a> {
+    /// Workspace-relative path, forward slashes.
+    pub rel: &'a str,
+    /// Code tokens only (comments stripped).
+    pub code: Vec<&'a Tok>,
+    /// First line of a `#[cfg(test)]` attribute, if any. Test modules sit
+    /// at the end of files in this workspace, so everything at or after
+    /// this line is treated as test code.
+    pub cfg_test_line: Option<u32>,
+}
+
+impl<'a> FileCtx<'a> {
+    /// Builds the context from a full token stream.
+    pub fn new(rel: &'a str, toks: &'a [Tok]) -> Self {
+        let code: Vec<&Tok> = toks.iter().filter(|t| t.kind != TokKind::Comment).collect();
+        let mut cfg_test_line = None;
+        for w in code.windows(7) {
+            if w[0].is_punct('#')
+                && w[1].is_punct('[')
+                && w[2].is_ident("cfg")
+                && w[3].is_punct('(')
+                && w[4].is_ident("test")
+                && w[5].is_punct(')')
+                && w[6].is_punct(']')
+            {
+                cfg_test_line = Some(w[0].line);
+                break;
+            }
+        }
+        FileCtx {
+            rel,
+            code,
+            cfg_test_line,
+        }
+    }
+
+    /// True when `line` falls inside the file's trailing test module.
+    fn in_tests(&self, line: u32) -> bool {
+        self.cfg_test_line.is_some_and(|t| line >= t)
+    }
+}
+
+/// A lint rule: a named check over one file's token stream.
+pub trait Rule {
+    /// Stable kebab-case rule name used in diagnostics, config, and
+    /// `lint:allow(...)` comments.
+    fn name(&self) -> &'static str;
+    /// One-line description for `sqe-lint rules`.
+    fn description(&self) -> &'static str;
+    /// Severity when the config does not override it.
+    fn default_severity(&self) -> Severity;
+    /// Emits diagnostics for `ctx` at effective severity `sev`.
+    fn check(&self, ctx: &FileCtx<'_>, sev: Severity, out: &mut Vec<Diagnostic>);
+}
+
+/// All registered rules, in reporting order.
+pub fn registry() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(NanUnsafeSort),
+        Box::new(NondeterministicRng),
+        Box::new(PanickingHotPath),
+        Box::new(PersistTypesDeriveSerde),
+    ]
+}
+
+/// Index of the code token closing the paren group opened at `open`
+/// (which must be `(`), or `None` if unbalanced.
+fn matching_paren(code: &[&Tok], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, t) in code.iter().enumerate().skip(open) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// `no-nan-unsafe-sort`: comparator closures passed to sort-family
+/// functions must not rank floats with `partial_cmp`, which is not a total
+/// order (NaN compares `None` and silently collapses to `Equal` in the
+/// usual `unwrap_or` idiom, corrupting ranking determinism). Use the
+/// shared `scorecmp` helpers or `f64::total_cmp`.
+pub struct NanUnsafeSort;
+
+/// Sort-family methods whose closure argument is a comparator.
+const SORT_FNS: &[&str] = &[
+    "sort_by",
+    "sort_unstable_by",
+    "min_by",
+    "max_by",
+    "binary_search_by",
+];
+
+impl Rule for NanUnsafeSort {
+    fn name(&self) -> &'static str {
+        "no-nan-unsafe-sort"
+    }
+
+    fn description(&self) -> &'static str {
+        "comparators passed to sort_by/min_by/max_by must use scorecmp or total_cmp, not partial_cmp"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>, sev: Severity, out: &mut Vec<Diagnostic>) {
+        let code = &ctx.code;
+        for i in 0..code.len() {
+            let t = code[i];
+            if t.kind != TokKind::Ident || !SORT_FNS.contains(&t.text.as_str()) {
+                continue;
+            }
+            if i + 1 >= code.len() || !code[i + 1].is_punct('(') {
+                continue;
+            }
+            let Some(close) = matching_paren(code, i + 1) else {
+                continue;
+            };
+            for arg in &code[i + 2..close] {
+                if arg.is_ident("partial_cmp") {
+                    out.push(Diagnostic {
+                        rule: self.name(),
+                        severity: sev,
+                        path: ctx.rel.to_string(),
+                        line: arg.line,
+                        message: format!(
+                            "`partial_cmp` inside a `{}` comparator is not a total order \
+                             over floats; use `scorecmp::cmp_scores`/`by_score_desc_then_id` \
+                             or `f64::total_cmp`",
+                            t.text
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// `no-nondeterministic-rng`: experiment code must stay reproducible.
+/// `thread_rng` (OS-seeded) and `SystemTime::now` (wall clock) are banned
+/// outside `benches/` and test modules; seed explicitly instead.
+pub struct NondeterministicRng;
+
+impl Rule for NondeterministicRng {
+    fn name(&self) -> &'static str {
+        "no-nondeterministic-rng"
+    }
+
+    fn description(&self) -> &'static str {
+        "thread_rng/SystemTime::now are banned outside benches; seed RNGs explicitly"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>, sev: Severity, out: &mut Vec<Diagnostic>) {
+        if ctx.rel.starts_with("benches/") || ctx.rel.contains("/benches/") {
+            return;
+        }
+        let code = &ctx.code;
+        for i in 0..code.len() {
+            let t = code[i];
+            if ctx.in_tests(t.line) {
+                continue;
+            }
+            if t.is_ident("thread_rng") {
+                out.push(Diagnostic {
+                    rule: self.name(),
+                    severity: sev,
+                    path: ctx.rel.to_string(),
+                    line: t.line,
+                    message: "`thread_rng` is OS-seeded and breaks run-to-run \
+                              reproducibility; construct a seeded RNG instead"
+                        .to_string(),
+                });
+            }
+            // `SystemTime :: now`
+            if t.is_ident("SystemTime")
+                && i + 3 < code.len()
+                && code[i + 1].is_punct(':')
+                && code[i + 2].is_punct(':')
+                && code[i + 3].is_ident("now")
+            {
+                out.push(Diagnostic {
+                    rule: self.name(),
+                    severity: sev,
+                    path: ctx.rel.to_string(),
+                    line: t.line,
+                    message: "`SystemTime::now` injects wall-clock nondeterminism; \
+                              thread timing state through explicitly"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// `no-panicking-hot-path`: inner-loop files must not contain `.unwrap()`
+/// (use `expect` with a message naming the violated invariant, or handle
+/// the case). Bare slice indexing in the same files is reported one
+/// severity step lower, since bounds are often locally provable.
+pub struct PanickingHotPath;
+
+/// Files on the query/expansion hot path.
+const HOT_FILES: &[&str] = &[
+    "crates/kbgraph/src/csr.rs",
+    "crates/searchlite/src/topk.rs",
+    "crates/searchlite/src/ql.rs",
+    "crates/searchlite/src/index.rs",
+    "crates/core/src/motif.rs",
+];
+
+/// Keywords that may directly precede an array *literal* `[...]`, which is
+/// not indexing.
+const PRE_LITERAL_KEYWORDS: &[&str] = &[
+    "return", "break", "in", "if", "while", "match", "else", "let", "mut", "ref", "move", "as",
+    "box", "yield",
+];
+
+impl Rule for PanickingHotPath {
+    fn name(&self) -> &'static str {
+        "no-panicking-hot-path"
+    }
+
+    fn description(&self) -> &'static str {
+        "unwrap() (and, at demoted severity, slice indexing) is banned in hot-path files"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>, sev: Severity, out: &mut Vec<Diagnostic>) {
+        if !HOT_FILES.contains(&ctx.rel) {
+            return;
+        }
+        let code = &ctx.code;
+        for i in 0..code.len() {
+            let t = code[i];
+            if ctx.in_tests(t.line) {
+                continue;
+            }
+            // `. unwrap ( )`
+            if t.is_punct('.')
+                && i + 3 < code.len()
+                && code[i + 1].is_ident("unwrap")
+                && code[i + 2].is_punct('(')
+                && code[i + 3].is_punct(')')
+            {
+                out.push(Diagnostic {
+                    rule: self.name(),
+                    severity: sev,
+                    path: ctx.rel.to_string(),
+                    line: code[i + 1].line,
+                    message: "`.unwrap()` on the query hot path panics without context; \
+                              use `expect(\"invariant: ...\")` naming the violated \
+                              invariant, or handle the case"
+                        .to_string(),
+                });
+            }
+            // Expression-position `[`: previous code token is an identifier
+            // (not a keyword that starts an array literal) or a closing
+            // bracket. Attribute `#[...]`, types `&[T]`/`: [T; N]`, and
+            // `vec![...]` are excluded by their preceding token.
+            if t.is_punct('[') && i > 0 {
+                let prev = code[i - 1];
+                let indexing = match prev.kind {
+                    TokKind::Ident => {
+                        !PRE_LITERAL_KEYWORDS.contains(&prev.text.as_str())
+                            && !prev.text.starts_with('\'')
+                    }
+                    TokKind::Punct => prev.is_punct(')') || prev.is_punct(']'),
+                    _ => false,
+                };
+                let demoted = sev.demoted();
+                if indexing && demoted > Severity::Allow {
+                    out.push(Diagnostic {
+                        rule: self.name(),
+                        severity: demoted,
+                        path: ctx.rel.to_string(),
+                        line: t.line,
+                        message: "bare slice indexing on the hot path can panic; prefer \
+                                  `get`, iterators, or a comment-proved bound"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// `persist-types-derive-serde`: types in persisted-state files (the CSR
+/// graph and the inverted index, both serialized via `to_json`/`from_json`)
+/// must derive `Serialize` and `Deserialize` so persistence cannot
+/// silently lose fields. Transient helpers opt out with
+/// `// lint:allow(persist-types-derive-serde)`.
+pub struct PersistTypesDeriveSerde;
+
+/// Files holding persisted state.
+const PERSIST_FILES: &[&str] = &[
+    "crates/kbgraph/src/csr.rs",
+    "crates/kbgraph/src/graph.rs",
+    "crates/searchlite/src/index.rs",
+];
+
+impl Rule for PersistTypesDeriveSerde {
+    fn name(&self) -> &'static str {
+        "persist-types-derive-serde"
+    }
+
+    fn description(&self) -> &'static str {
+        "top-level types in persisted-state files must derive Serialize and Deserialize"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>, sev: Severity, out: &mut Vec<Diagnostic>) {
+        if !PERSIST_FILES.contains(&ctx.rel) {
+            return;
+        }
+        let code = &ctx.code;
+        let mut depth = 0i32;
+        let mut pending_derives: Vec<String> = Vec::new();
+        let mut i = 0usize;
+        while i < code.len() {
+            let t = code[i];
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    pending_derives.clear();
+                }
+            } else if depth == 0 {
+                if t.is_punct(';') {
+                    pending_derives.clear();
+                } else if t.is_punct('#') && i + 1 < code.len() && code[i + 1].is_punct('[') {
+                    // Attribute: collect idents; record derive contents.
+                    let mut brackets = 0i32;
+                    let mut idents = Vec::new();
+                    let mut j = i + 1;
+                    while j < code.len() {
+                        if code[j].is_punct('[') {
+                            brackets += 1;
+                        } else if code[j].is_punct(']') {
+                            brackets -= 1;
+                            if brackets == 0 {
+                                break;
+                            }
+                        } else if code[j].kind == TokKind::Ident {
+                            idents.push(code[j].text.clone());
+                        }
+                        j += 1;
+                    }
+                    if idents.first().is_some_and(|f| f == "derive") {
+                        pending_derives.extend(idents.into_iter().skip(1));
+                    }
+                    i = j + 1;
+                    continue;
+                } else if (t.is_ident("struct") || t.is_ident("enum"))
+                    && i + 1 < code.len()
+                    && code[i + 1].kind == TokKind::Ident
+                {
+                    let name = &code[i + 1].text;
+                    let has = |d: &str| pending_derives.iter().any(|p| p == d);
+                    if !has("Serialize") || !has("Deserialize") {
+                        out.push(Diagnostic {
+                            rule: self.name(),
+                            severity: sev,
+                            path: ctx.rel.to_string(),
+                            line: t.line,
+                            message: format!(
+                                "`{name}` lives in a persisted-state file but does not \
+                                 derive both Serialize and Deserialize; derive them or \
+                                 mark the type transient with lint:allow"
+                            ),
+                        });
+                    }
+                    pending_derives.clear();
+                }
+            }
+            i += 1;
+        }
+    }
+}

@@ -1,0 +1,8 @@
+// Fixture: panicking calls on the query hot path. Linted as if this file
+// were crates/searchlite/src/topk.rs.
+
+pub fn top_score(scores: &[f64]) -> f64 {
+    let first = scores.first().unwrap();
+    let second = scores[1];
+    first.max(second)
+}

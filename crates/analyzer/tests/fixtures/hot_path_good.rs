@@ -1,0 +1,20 @@
+// Fixture: the fixed version of hot_path_bad.rs — expect names the
+// violated invariant, bounds are handled, and test-module unwraps are
+// exempt.
+
+pub fn top_score(scores: &[f64]) -> f64 {
+    let first = scores
+        .first()
+        .expect("invariant: caller guarantees a non-empty score list");
+    let second = scores.get(1).copied().unwrap_or(f64::NEG_INFINITY);
+    first.max(second)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

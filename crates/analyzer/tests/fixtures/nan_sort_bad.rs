@@ -1,0 +1,15 @@
+// Fixture: NaN-unsafe comparators. Each sort-family call ranks floats
+// with `partial_cmp`, which is not a total order.
+
+pub fn rank(mut hits: Vec<(f64, u32)>) -> Vec<(f64, u32)> {
+    hits.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    hits
+}
+
+pub fn best(hits: &[(f64, u32)]) -> Option<&(f64, u32)> {
+    hits.iter().max_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
+}
+
+pub fn locate(hits: &[f64], needle: f64) -> Result<usize, usize> {
+    hits.binary_search_by(|p| p.partial_cmp(&needle).unwrap())
+}

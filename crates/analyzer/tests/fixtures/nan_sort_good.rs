@@ -1,0 +1,22 @@
+// Fixture: the fixed version of nan_sort_bad.rs — comparators use the
+// shared total-order helpers. Also shows that `partial_cmp` outside a
+// sort-family call span (the trait impl) is fine.
+
+use std::cmp::Ordering;
+
+pub fn rank(mut hits: Vec<(f64, u32)>) -> Vec<(f64, u32)> {
+    hits.sort_by(|a, b| scorecmp::by_score_desc_then_id(a.0, b.0, a.1, b.1));
+    hits
+}
+
+pub fn best(hits: &[(f64, u32)]) -> Option<&(f64, u32)> {
+    hits.iter().max_by(|a, b| a.0.total_cmp(&b.0))
+}
+
+pub struct Score(pub f64);
+
+impl PartialOrd for Score {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.0.partial_cmp(&other.0)
+    }
+}

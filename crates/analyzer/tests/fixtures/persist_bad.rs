@@ -1,0 +1,14 @@
+// Fixture: a persisted-state file (linted as crates/kbgraph/src/graph.rs)
+// whose types are missing serde derives.
+
+#[derive(Debug, Clone)]
+pub struct SnapshotHeader {
+    pub version: u32,
+    pub num_articles: u32,
+}
+
+#[derive(Debug)]
+pub enum SnapshotSection {
+    Links,
+    Memberships,
+}

@@ -1,0 +1,19 @@
+// Fixture: the fixed version of persist_bad.rs — every persisted type
+// derives Serialize + Deserialize, and a transient helper opts out.
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SnapshotHeader {
+    pub version: u32,
+    pub num_articles: u32,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+pub enum SnapshotSection {
+    Links,
+    Memberships,
+}
+
+// lint:allow(persist-types-derive-serde) — in-memory scratch state only
+pub struct LoadScratch {
+    pub buffer: Vec<u8>,
+}

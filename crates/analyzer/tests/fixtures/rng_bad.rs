@@ -1,0 +1,10 @@
+// Fixture: nondeterminism sources in experiment code.
+
+pub fn shuffle_seed() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}
+
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

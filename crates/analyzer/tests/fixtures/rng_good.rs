@@ -1,0 +1,11 @@
+// Fixture: the fixed version of rng_bad.rs — RNGs are seeded explicitly
+// and timing is threaded through, so runs reproduce bit-for-bit.
+
+pub fn shuffle_seed(run_seed: u64) -> u64 {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(run_seed);
+    rng.next_u64()
+}
+
+pub fn stamp(clock: &dyn Fn() -> u64) -> u64 {
+    clock()
+}

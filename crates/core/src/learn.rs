@@ -121,10 +121,7 @@ pub fn learn_motifs(
             Objective::Precision => m.precision,
             Objective::Recall => m.recall,
         };
-        key(b)
-            .partial_cmp(&key(a))
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| a.pattern.name().cmp(&b.pattern.name()))
+        scorecmp::by_score_desc_then_id(key(a), key(b), a.pattern.name(), b.pattern.name())
     });
     scored
 }

@@ -43,7 +43,17 @@ pub struct SqePipeline<'a> {
 
 impl<'a> SqePipeline<'a> {
     /// Creates a pipeline.
+    ///
+    /// In debug builds with the default `validate` feature, both inputs are
+    /// run through their structural auditors first, so a graph or index
+    /// corrupted in persistence fails loudly here instead of producing
+    /// silently wrong rankings downstream.
     pub fn new(graph: &'a KbGraph, index: &'a Index, cfg: SqeConfig) -> Self {
+        #[cfg(all(debug_assertions, feature = "validate"))]
+        {
+            kbgraph::audit::GraphAudit::run(graph).assert_clean("SqePipeline::new");
+            searchlite::audit::IndexAudit::run(index).assert_clean("SqePipeline::new");
+        }
         SqePipeline { graph, index, cfg }
     }
 

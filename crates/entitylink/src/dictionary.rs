@@ -73,10 +73,7 @@ impl Dictionary {
             }),
         }
         senses.sort_by(|a, b| {
-            b.commonness
-                .partial_cmp(&a.commonness)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.article.cmp(&b.article))
+            scorecmp::by_score_desc_then_id(a.commonness, b.commonness, a.article, b.article)
         });
         for tok in tokens {
             let bucket = self.containment.entry(tok).or_default();
@@ -86,10 +83,7 @@ impl Dictionary {
                     commonness,
                 });
                 bucket.sort_by(|a, b| {
-                    b.commonness
-                        .partial_cmp(&a.commonness)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then_with(|| a.article.cmp(&b.article))
+                    scorecmp::by_score_desc_then_id(a.commonness, b.commonness, a.article, b.article)
                 });
             }
         }
@@ -104,10 +98,7 @@ impl Dictionary {
             if let Some(s) = senses.iter_mut().find(|s| s.article == article) {
                 s.commonness = commonness;
                 senses.sort_by(|a, b| {
-                    b.commonness
-                        .partial_cmp(&a.commonness)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then_with(|| a.article.cmp(&b.article))
+                    scorecmp::by_score_desc_then_id(a.commonness, b.commonness, a.article, b.article)
                 });
             }
         }

@@ -84,18 +84,13 @@ impl EntityLinker {
         }
         // Dedup by article keeping the best-commonness occurrence.
         out.sort_by(|a, b| {
-            a.article.cmp(&b.article).then(
-                b.commonness
-                    .partial_cmp(&a.commonness)
-                    .unwrap_or(std::cmp::Ordering::Equal),
-            )
+            a.article
+                .cmp(&b.article)
+                .then(scorecmp::cmp_scores_desc(a.commonness, b.commonness))
         });
         out.dedup_by_key(|l| l.article);
         out.sort_by(|a, b| {
-            b.commonness
-                .partial_cmp(&a.commonness)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.article.cmp(&b.article))
+            scorecmp::by_score_desc_then_id(a.commonness, b.commonness, a.article, b.article)
         });
         out
     }

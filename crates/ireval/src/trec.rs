@@ -120,11 +120,7 @@ pub fn parse_run(text: &str, name: &str) -> Result<Run, ParseError> {
     }
     let mut run = Run::new(name);
     for (query, mut docs) in per_query {
-        docs.sort_by(|a, b| {
-            b.0.partial_cmp(&a.0)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.1.cmp(&b.1))
-        });
+        docs.sort_by(|a, b| scorecmp::by_score_desc_then_id(a.0, b.0, &a.1, &b.1));
         run.set_ranking(&query, docs.into_iter().map(|(_, _, d)| d).collect());
     }
     Ok(run)

@@ -113,6 +113,29 @@ impl Csr {
             .flat_map(move |src| self.neighbors(src).iter().map(move |&dst| (src, dst)))
     }
 
+    /// The raw offsets array (`num_rows + 1` entries, starts at 0, ends at
+    /// `targets.len()`). Exposed for the structural auditor.
+    #[inline]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The raw flat target array. Exposed for the structural auditor.
+    #[inline]
+    pub fn targets(&self) -> &[u32] {
+        &self.targets
+    }
+
+    /// Assembles a CSR directly from raw arrays **without validation**.
+    /// Callers must uphold the invariants checked by the `validate`-feature
+    /// auditor (monotonic offsets ending at `targets.len()`, sorted
+    /// deduplicated rows, in-bounds targets); violating them makes accessors
+    /// panic or return garbage. Intended for persistence tooling and for the
+    /// auditor's own corruption tests.
+    pub fn from_raw_parts(offsets: Vec<u32>, targets: Vec<u32>) -> Self {
+        Csr { offsets, targets }
+    }
+
     /// Maximum out-degree over all rows (0 for an empty graph).
     pub fn max_degree(&self) -> usize {
         (0..self.num_rows() as u32)

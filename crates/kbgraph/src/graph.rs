@@ -295,6 +295,21 @@ impl KbGraph {
         &self.subcats
     }
 
+    /// Access to the raw reverse article-link CSR (who links to me).
+    pub fn article_links_rev(&self) -> &Csr {
+        &self.article_links_rev
+    }
+
+    /// Access to the raw reverse-membership CSR (category → article).
+    pub fn members(&self) -> &Csr {
+        &self.members
+    }
+
+    /// Access to the raw reverse category-hierarchy CSR (parent → child).
+    pub fn subcats_rev(&self) -> &Csr {
+        &self.subcats_rev
+    }
+
     /// Whole-graph statistics (the counts the paper reports in Section 3).
     pub fn stats(&self) -> GraphStats {
         GraphStats::compute(self)

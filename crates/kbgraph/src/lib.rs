@@ -41,6 +41,8 @@
 //! assert_eq!(g.categories_of(cable_car), &[transport.index() as u32]);
 //! ```
 
+#[cfg(feature = "validate")]
+pub mod audit;
 pub mod builder;
 pub mod csr;
 pub mod cycles;

@@ -13,10 +13,12 @@ use crate::analysis::Analyzer;
 
 /// Dense identifier of an indexed term.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+// lint:allow(persist-types-derive-serde) — transient handle; persisted as raw u32
 pub struct TermId(pub u32);
 
 /// Dense identifier of an indexed document.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+// lint:allow(persist-types-derive-serde) — transient handle; persisted as raw u32
 pub struct DocId(pub u32);
 
 impl DocId {
@@ -96,6 +98,7 @@ impl TermPostings {
 
 /// Builds an [`Index`] incrementally, one document at a time.
 #[derive(Debug)]
+// lint:allow(persist-types-derive-serde) — builder state is never persisted
 pub struct IndexBuilder {
     analyzer: Analyzer,
     dict: FxHashMap<String, u32>,
@@ -400,7 +403,7 @@ impl Index {
             .iter()
             .min_by_key(|&&t| self.postings(t).doc_freq())
             .copied()
-            .expect("non-empty");
+            .expect("invariant: terms checked non-empty above, so a rarest term exists");
         let mut out = Vec::new();
         for (doc, _) in self.postings(rarest).iter() {
             let tf = self.unordered_window_tf(terms, doc, window);
@@ -425,7 +428,7 @@ impl Index {
             .iter()
             .min_by_key(|&&t| self.postings(t).doc_freq())
             .copied()
-            .expect("non-empty");
+            .expect("invariant: terms checked non-empty above, so a rarest term exists");
         let mut out = Vec::new();
         for (doc, _) in self.postings(rarest).iter() {
             let tf = self.phrase_tf(terms, doc);
@@ -451,7 +454,8 @@ impl Index {
     /// synthetic collections are small enough that a compact binary
     /// format is unnecessary).
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("index serializes")
+        serde_json::to_string(self)
+            .expect("invariant: every index component maps to a JSON value")
     }
 
     /// Restores an index from [`Index::to_json`] output.
@@ -467,6 +471,264 @@ impl Index {
             .iter()
             .map(|t| self.term_id(t))
             .collect()
+    }
+}
+
+/// Mutable views of a term's raw posting arrays, exposed only under the
+/// `validate` feature for the auditor's corruption tests.
+#[cfg(feature = "validate")]
+// lint:allow(persist-types-derive-serde) — borrowed test-only view, never persisted
+pub struct TermPostingsRawMut<'a> {
+    /// Sorted document list.
+    pub docs: &'a mut Vec<u32>,
+    /// Term frequencies parallel to `docs`.
+    pub tfs: &'a mut Vec<u32>,
+    /// Position-slice offsets (`docs.len() + 1` entries).
+    pub pos_offsets: &'a mut Vec<u32>,
+    /// Flat position array.
+    pub positions: &'a mut Vec<u32>,
+}
+
+#[cfg(feature = "validate")]
+impl TermPostings {
+    /// Mutable access to the raw posting arrays. Mutating through this view
+    /// can break every invariant the query layer relies on; it exists so
+    /// the auditor's tests can seed specific corruption classes.
+    pub fn raw_mut(&mut self) -> TermPostingsRawMut<'_> {
+        TermPostingsRawMut {
+            docs: &mut self.docs,
+            tfs: &mut self.tfs,
+            pos_offsets: &mut self.pos_offsets,
+            positions: &mut self.positions,
+        }
+    }
+}
+
+/// Mutable views of every raw index component, exposed only under the
+/// `validate` feature for the auditor's corruption tests.
+#[cfg(feature = "validate")]
+// lint:allow(persist-types-derive-serde) — borrowed test-only view, never persisted
+pub struct IndexRawMut<'a> {
+    /// Per-term postings.
+    pub postings: &'a mut Vec<TermPostings>,
+    /// Per-document token counts.
+    pub doc_lens: &'a mut Vec<u32>,
+    /// Total collection token count.
+    pub collection_len: &'a mut u64,
+    /// Per-term collection frequencies.
+    pub coll_tf: &'a mut Vec<u64>,
+    /// Forward-index offsets (`num_docs + 1` entries).
+    pub fwd_offsets: &'a mut Vec<u32>,
+    /// Forward-index term ids.
+    pub fwd_terms: &'a mut Vec<u32>,
+    /// Forward-index frequencies parallel to `fwd_terms`.
+    pub fwd_tfs: &'a mut Vec<u32>,
+    /// External document ids.
+    pub external_ids: &'a mut Vec<String>,
+}
+
+#[cfg(feature = "validate")]
+impl Index {
+    /// Mutable access to the raw index components. Same caveat as
+    /// [`TermPostings::raw_mut`]: for corruption tests only.
+    pub fn raw_mut(&mut self) -> IndexRawMut<'_> {
+        IndexRawMut {
+            postings: &mut self.postings,
+            doc_lens: &mut self.doc_lens,
+            collection_len: &mut self.collection_len,
+            coll_tf: &mut self.coll_tf,
+            fwd_offsets: &mut self.fwd_offsets,
+            fwd_terms: &mut self.fwd_terms,
+            fwd_tfs: &mut self.fwd_tfs,
+            external_ids: &mut self.external_ids,
+        }
+    }
+
+    /// Re-derives every index invariant from the raw arrays; called by
+    /// [`crate::audit::IndexAudit::run`]. Lives here because the fields are
+    /// module-private.
+    pub(crate) fn audit_violations(&self) -> Vec<crate::audit::IndexViolation> {
+        use crate::audit::IndexViolation as V;
+        let mut v = Vec::new();
+        let num_docs = self.external_ids.len();
+        let num_terms = self.terms.len();
+
+        if self.doc_lens.len() != num_docs {
+            v.push(V::DocLensLenMismatch {
+                docs: num_docs,
+                doc_lens: self.doc_lens.len(),
+            });
+        }
+        let derived_coll: u64 = self.doc_lens.iter().map(|&l| l as u64).sum();
+        if derived_coll != self.collection_len {
+            v.push(V::CollectionLenMismatch {
+                stored: self.collection_len,
+                derived: derived_coll,
+            });
+        }
+        if self.coll_tf.len() != num_terms {
+            v.push(V::CollTfLenMismatch {
+                terms: num_terms,
+                coll_tf: self.coll_tf.len(),
+            });
+        }
+
+        let dict_ok = self.dict.len() == num_terms
+            && self
+                .terms
+                .iter()
+                .enumerate()
+                .all(|(i, t)| self.dict.get(t) == Some(&(i as u32)));
+        if !dict_ok {
+            v.push(V::DictNotBijective {
+                dict: self.dict.len(),
+                terms: num_terms,
+            });
+        }
+
+        let mut seen = rustc_hash::FxHashSet::default();
+        for id in &self.external_ids {
+            if !seen.insert(id.as_str()) {
+                v.push(V::DuplicateExternalId {
+                    external_id: id.clone(),
+                });
+            }
+        }
+
+        // Postings: per-term structure plus the derived statistics that
+        // the stored summaries must agree with.
+        let mut derived_doc_len = vec![0u64; num_docs];
+        for (tid, p) in self.postings.iter().enumerate() {
+            let term = tid as u32;
+            if p.tfs.len() != p.docs.len() || p.pos_offsets.len() != p.docs.len() + 1 {
+                v.push(V::PostingArraysMismatch {
+                    term,
+                    docs: p.docs.len(),
+                    tfs: p.tfs.len(),
+                    pos_offsets: p.pos_offsets.len(),
+                });
+                continue; // parallel iteration below would misalign
+            }
+            if !p.docs.windows(2).all(|w| w[0] < w[1]) {
+                v.push(V::PostingsNotSorted { term });
+            }
+            let pos_ok = p.pos_offsets.first() == Some(&0)
+                && p.pos_offsets.windows(2).all(|w| w[0] <= w[1])
+                && p.pos_offsets.last().map(|&l| l as usize) == Some(p.positions.len());
+            if !pos_ok {
+                v.push(V::PosOffsetsMalformed { term });
+            }
+            let mut derived_ctf = 0u64;
+            for (i, (&doc, &tf)) in p.docs.iter().zip(p.tfs.iter()).enumerate() {
+                derived_ctf += tf as u64;
+                if (doc as usize) < num_docs {
+                    derived_doc_len[doc as usize] += tf as u64;
+                } else {
+                    v.push(V::DocOutOfBounds {
+                        term,
+                        doc,
+                        num_docs,
+                    });
+                }
+                if tf == 0 {
+                    v.push(V::ZeroTf { term, doc });
+                }
+                if pos_ok {
+                    let lo = p.pos_offsets[i] as usize;
+                    let hi = p.pos_offsets[i + 1] as usize;
+                    let slice = &p.positions[lo..hi];
+                    if slice.len() != tf as usize || !slice.windows(2).all(|w| w[0] < w[1]) {
+                        v.push(V::PositionsTfMismatch {
+                            term,
+                            doc,
+                            tf,
+                            positions: slice.len(),
+                        });
+                    }
+                    if let Some(&doc_len) = self.doc_lens.get(doc as usize) {
+                        for &pos in slice {
+                            if pos >= doc_len {
+                                v.push(V::PositionOutOfDoc {
+                                    term,
+                                    doc,
+                                    pos,
+                                    doc_len,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            if let Some(&stored) = self.coll_tf.get(tid) {
+                if stored != derived_ctf {
+                    v.push(V::CollTfMismatch {
+                        term,
+                        stored,
+                        derived: derived_ctf,
+                    });
+                }
+            }
+        }
+        if self.doc_lens.len() == num_docs {
+            for (d, (&stored, &derived)) in
+                self.doc_lens.iter().zip(derived_doc_len.iter()).enumerate()
+            {
+                if stored as u64 != derived {
+                    v.push(V::DocLenMismatch {
+                        doc: d as u32,
+                        stored,
+                        derived,
+                    });
+                }
+            }
+        }
+
+        // Forward index: shape, then exact agreement with the postings.
+        let fwd_shape_ok = self.fwd_offsets.len() == num_docs + 1
+            && self.fwd_offsets.first() == Some(&0)
+            && self.fwd_offsets.windows(2).all(|w| w[0] <= w[1])
+            && self.fwd_offsets.last().map(|&l| l as usize) == Some(self.fwd_terms.len());
+        if !fwd_shape_ok {
+            v.push(V::FwdOffsetsMalformed {
+                docs: num_docs,
+                offsets_len: self.fwd_offsets.len(),
+            });
+        }
+        if self.fwd_terms.len() != self.fwd_tfs.len() {
+            v.push(V::FwdArraysMismatch {
+                fwd_terms: self.fwd_terms.len(),
+                fwd_tfs: self.fwd_tfs.len(),
+            });
+        } else if fwd_shape_ok {
+            for d in 0..num_docs {
+                let lo = self.fwd_offsets[d] as usize;
+                let hi = self.fwd_offsets[d + 1] as usize;
+                for (&t, &f) in self.fwd_terms[lo..hi].iter().zip(self.fwd_tfs[lo..hi].iter()) {
+                    match self.postings.get(t as usize) {
+                        None => v.push(V::FwdTermOutOfBounds {
+                            doc: d as u32,
+                            term: t,
+                            num_terms: self.postings.len(),
+                        }),
+                        // Skip tf cross-check when the postings arrays are
+                        // misaligned (already reported above).
+                        Some(p) if p.tfs.len() == p.docs.len() => {
+                            let inverted = p.tf(DocId(d as u32));
+                            if inverted != f {
+                                v.push(V::FwdTfMismatch {
+                                    doc: d as u32,
+                                    term: t,
+                                    forward: f,
+                                    inverted,
+                                });
+                            }
+                        }
+                        Some(_) => {}
+                    }
+                }
+            }
+        }
+        v
     }
 }
 

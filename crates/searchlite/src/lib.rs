@@ -34,6 +34,8 @@
 //! ```
 
 pub mod analysis;
+#[cfg(feature = "validate")]
+pub mod audit;
 pub mod bm25;
 pub mod index;
 pub mod prf;

@@ -100,11 +100,7 @@ pub fn relevance_model_from_hits(index: &Index, feedback: &[SearchHit]) -> Vec<(
         }
     }
     let mut scored: Vec<(TermId, f64)> = rel.into_iter().map(|(t, p)| (TermId(t), p)).collect();
-    scored.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| a.0 .0.cmp(&b.0 .0))
-    });
+    scored.sort_by(|a, b| scorecmp::by_score_desc_then_id(a.1, b.1, a.0 .0, b.0 .0));
     scored
 }
 

@@ -19,11 +19,7 @@ impl Ord for HeapEntry {
         // Higher score = better. We invert so the heap's max is the *worst*
         // kept candidate. Ties broken toward larger doc id being worse,
         // yielding ascending-doc-id order among equal scores.
-        other
-            .score
-            .partial_cmp(&self.score)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| self.doc.cmp(&other.doc))
+        scorecmp::by_score_desc_then_id(self.score, other.score, self.doc, other.doc)
     }
 }
 
@@ -59,8 +55,9 @@ impl TopK {
         if self.heap.len() < self.k {
             self.heap.push(entry);
         } else if let Some(worst) = self.heap.peek() {
-            // `worst` pops first; keep `entry` if it beats it.
-            let better = score > worst.score || (score == worst.score && doc < worst.doc);
+            // `worst` pops first; keep `entry` if it ranks strictly ahead.
+            let better = scorecmp::by_score_desc_then_id(score, worst.score, doc, worst.doc)
+                == Ordering::Less;
             if better {
                 self.heap.pop();
                 self.heap.push(entry);
@@ -71,12 +68,7 @@ impl TopK {
     /// Finishes and returns the ranked list (best first).
     pub fn into_sorted(self) -> Vec<(u32, f64)> {
         let mut v: Vec<HeapEntry> = self.heap.into_vec();
-        v.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(Ordering::Equal)
-                .then_with(|| a.doc.cmp(&b.doc))
-        });
+        v.sort_by(|a, b| scorecmp::by_score_desc_then_id(a.score, b.score, a.doc, b.doc));
         v.into_iter().map(|e| (e.doc, e.score)).collect()
     }
 

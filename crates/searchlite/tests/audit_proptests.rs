@@ -1,0 +1,185 @@
+//! Property-based corruption tests for the index auditor: every mutation
+//! class applied to a valid index must be flagged by `IndexAudit`, and
+//! freshly built indexes must audit clean.
+
+#![cfg(feature = "validate")]
+
+use proptest::prelude::*;
+use searchlite::audit::{IndexAudit, IndexViolation};
+use searchlite::{Analyzer, Index, IndexBuilder};
+
+/// Documents over a two-letter vocabulary so terms repeat across and
+/// within documents (every mutation class then has a site to apply to).
+fn arb_docs() -> impl Strategy<Value = Vec<Vec<String>>> {
+    prop::collection::vec(prop::collection::vec("[ab]{1,2}", 1..10), 1..8)
+}
+
+fn build(docs: &[Vec<String>]) -> Index {
+    let mut b = IndexBuilder::new(Analyzer::plain());
+    for (i, words) in docs.iter().enumerate() {
+        b.add_document(&format!("d{i}"), &words.join(" "));
+    }
+    b.build()
+}
+
+fn has(audit: &IndexAudit, pred: impl Fn(&IndexViolation) -> bool) -> bool {
+    audit.violations().iter().any(pred)
+}
+
+proptest! {
+    /// Anything the builder produces must audit clean.
+    #[test]
+    fn built_indexes_audit_clean(docs in arb_docs()) {
+        let idx = build(&docs);
+        let audit = IndexAudit::run(&idx);
+        prop_assert!(audit.is_clean(), "{}", audit.report());
+    }
+
+    /// De-sorting a posting list is flagged.
+    #[test]
+    fn unsorted_postings_flagged(docs in arb_docs()) {
+        let mut idx = build(&docs);
+        let raw = idx.raw_mut();
+        let Some(p) = raw.postings.iter_mut().find(|p| p.doc_freq() >= 2) else {
+            return Ok(()); // needs a term in two documents
+        };
+        p.raw_mut().docs.swap(0, 1);
+        let audit = IndexAudit::run(&idx);
+        prop_assert!(
+            has(&audit, |v| matches!(v, IndexViolation::PostingsNotSorted { .. })),
+            "{}", audit.report()
+        );
+    }
+
+    /// A posting pointing past the collection is flagged.
+    #[test]
+    fn doc_out_of_bounds_flagged(docs in arb_docs()) {
+        let mut idx = build(&docs);
+        let n = idx.num_docs() as u32;
+        idx.raw_mut().postings[0].raw_mut().docs[0] = n + 7;
+        let audit = IndexAudit::run(&idx);
+        prop_assert!(
+            has(&audit, |v| matches!(v, IndexViolation::DocOutOfBounds { .. })),
+            "{}", audit.report()
+        );
+    }
+
+    /// A stored document length that disagrees with the postings is flagged.
+    #[test]
+    fn wrong_doc_len_flagged(docs in arb_docs(), bump in 1..5u32) {
+        let mut idx = build(&docs);
+        idx.raw_mut().doc_lens[0] += bump;
+        let audit = IndexAudit::run(&idx);
+        prop_assert!(
+            has(&audit, |v| matches!(v, IndexViolation::DocLenMismatch { doc: 0, .. })),
+            "{}", audit.report()
+        );
+    }
+
+    /// A collection length that disagrees with the document lengths is
+    /// flagged.
+    #[test]
+    fn wrong_collection_len_flagged(docs in arb_docs(), bump in 1..9u64) {
+        let mut idx = build(&docs);
+        *idx.raw_mut().collection_len += bump;
+        let audit = IndexAudit::run(&idx);
+        prop_assert!(
+            has(&audit, |v| matches!(v, IndexViolation::CollectionLenMismatch { .. })),
+            "{}", audit.report()
+        );
+    }
+
+    /// A collection term frequency that disagrees with the postings is
+    /// flagged.
+    #[test]
+    fn wrong_coll_tf_flagged(docs in arb_docs(), bump in 1..9u64) {
+        let mut idx = build(&docs);
+        idx.raw_mut().coll_tf[0] += bump;
+        let audit = IndexAudit::run(&idx);
+        prop_assert!(
+            has(&audit, |v| matches!(v, IndexViolation::CollTfMismatch { term: 0, .. })),
+            "{}", audit.report()
+        );
+    }
+
+    /// A zero term frequency is flagged.
+    #[test]
+    fn zero_tf_flagged(docs in arb_docs()) {
+        let mut idx = build(&docs);
+        idx.raw_mut().postings[0].raw_mut().tfs[0] = 0;
+        let audit = IndexAudit::run(&idx);
+        prop_assert!(
+            has(&audit, |v| matches!(v, IndexViolation::ZeroTf { term: 0, .. })),
+            "{}", audit.report()
+        );
+    }
+
+    /// A forward-index frequency that disagrees with the inverted index is
+    /// flagged.
+    #[test]
+    fn forward_tf_mismatch_flagged(docs in arb_docs(), bump in 1..5u32) {
+        let mut idx = build(&docs);
+        idx.raw_mut().fwd_tfs[0] += bump;
+        let audit = IndexAudit::run(&idx);
+        prop_assert!(
+            has(&audit, |v| matches!(v, IndexViolation::FwdTfMismatch { .. })),
+            "{}", audit.report()
+        );
+    }
+
+    /// Two documents sharing an external id are flagged.
+    #[test]
+    fn duplicate_external_id_flagged(docs in arb_docs()) {
+        let mut idx = build(&docs);
+        if idx.num_docs() < 2 {
+            return Ok(());
+        }
+        let raw = idx.raw_mut();
+        raw.external_ids[1] = raw.external_ids[0].clone();
+        let audit = IndexAudit::run(&idx);
+        prop_assert!(
+            has(&audit, |v| matches!(v, IndexViolation::DuplicateExternalId { .. })),
+            "{}", audit.report()
+        );
+    }
+
+    /// De-sorting a position slice is flagged.
+    #[test]
+    fn unsorted_positions_flagged(docs in arb_docs()) {
+        let mut idx = build(&docs);
+        let raw = idx.raw_mut();
+        let Some(p) = raw
+            .postings
+            .iter_mut()
+            .find(|p| p.tfs().iter().any(|&t| t >= 2))
+        else {
+            return Ok(()); // needs a term occurring twice in one document
+        };
+        let raw_p = p.raw_mut();
+        let i = raw_p.tfs.iter().position(|&t| t >= 2).expect("found above");
+        let lo = raw_p.pos_offsets[i] as usize;
+        raw_p.positions.swap(lo, lo + 1);
+        let audit = IndexAudit::run(&idx);
+        prop_assert!(
+            has(&audit, |v| matches!(v, IndexViolation::PositionsTfMismatch { .. })),
+            "{}", audit.report()
+        );
+    }
+
+    /// Truncating the forward index desynchronizes it from its offsets.
+    #[test]
+    fn truncated_forward_index_flagged(docs in arb_docs()) {
+        let mut idx = build(&docs);
+        let raw = idx.raw_mut();
+        if raw.fwd_terms.is_empty() {
+            return Ok(());
+        }
+        raw.fwd_terms.pop();
+        raw.fwd_tfs.pop();
+        let audit = IndexAudit::run(&idx);
+        prop_assert!(
+            has(&audit, |v| matches!(v, IndexViolation::FwdOffsetsMalformed { .. })),
+            "{}", audit.report()
+        );
+    }
+}

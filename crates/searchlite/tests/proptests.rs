@@ -129,7 +129,7 @@ proptest! {
         }
         let got = topk.into_sorted();
         let mut full: Vec<(u32, f64)> = scores.iter().enumerate().map(|(i, &s)| (i as u32, s)).collect();
-        full.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+        full.sort_by(|a, b| scorecmp::by_score_desc_then_id(a.1, b.1, a.0, b.0));
         full.truncate(k);
         prop_assert_eq!(got, full);
     }
