@@ -15,9 +15,14 @@
 //!    `--selftest` seeds known corruption classes to prove the auditor
 //!    still detects them.
 
+pub mod ast;
+pub mod baseline;
+pub mod callgraph;
 pub mod diag;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod symbols;
 
 use std::fs;
 use std::io;
@@ -40,39 +45,96 @@ const SKIP_DIRS: &[&str] = &[
     "fixtures",
 ];
 
-/// Lints one file's source text. `rel` is the workspace-relative path
-/// (forward slashes) — several rules are path-scoped. Suppressions and
-/// severity overrides are applied; results are sorted by line.
+/// Lints one file's source text. Delegates to [`lint_sources`] with a
+/// single-file workspace, so ast rules run too (scoped to that file).
 pub fn lint_source(rel: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnostic> {
-    let toks = lexer::lex(src);
+    lint_sources(&[(rel.to_string(), src.to_string())], cfg)
+}
+
+/// Rules listed in `lint:allow(...)` / `lint:allow-file(...)` parentheses.
+fn parse_allow_list(text: &str, marker: &str) -> Vec<String> {
+    let Some(pos) = text.find(marker) else {
+        return Vec::new();
+    };
+    let rest = &text[pos + marker.len()..];
+    let Some(end) = rest.find(')') else {
+        return Vec::new();
+    };
+    rest[..end]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .collect()
+}
+
+/// Lints a set of files as one workspace: token rules run per file, then
+/// the parsed files are linked into a [`symbols::WorkspaceModel`] and call
+/// graph for the cross-file ast rules. Suppressions apply to both layers:
+/// `// lint:allow(rule)` on the finding's line or the line above, and
+/// `// lint:allow-file(rule)` in the comment header before the first code
+/// token (which suppresses the rule for that file only — never for other
+/// files in the workspace).
+pub fn lint_sources(files: &[(String, String)], cfg: &LintConfig) -> Vec<Diagnostic> {
+    use std::collections::BTreeMap;
+
     let mut out = Vec::new();
-    let ctx = FileCtx::new(rel, &toks);
-    for rule in rules::registry() {
+    let mut line_allows: BTreeMap<&str, Vec<(u32, String)>> = BTreeMap::new();
+    let mut file_allows: BTreeMap<&str, Vec<String>> = BTreeMap::new();
+    let mut parsed = Vec::new();
+    for (rel, src) in files {
+        let toks = lexer::lex(src);
+        let first_code_line = toks
+            .iter()
+            .find(|t| t.kind != TokKind::Comment)
+            .map_or(u32::MAX, |t| t.line);
+        for t in toks.iter().filter(|t| t.kind == TokKind::Comment) {
+            if t.line < first_code_line {
+                for rule in parse_allow_list(&t.text, "lint:allow-file(") {
+                    file_allows.entry(rel).or_default().push(rule);
+                }
+            }
+            for rule in parse_allow_list(&t.text, "lint:allow(") {
+                line_allows.entry(rel).or_default().push((t.line, rule));
+            }
+        }
+        let ctx = FileCtx::new(rel, &toks);
+        for rule in rules::registry() {
+            let sev = cfg.severity(rule.name(), rule.default_severity());
+            if sev == Severity::Allow {
+                continue;
+            }
+            rule.check(&ctx, sev, &mut out);
+        }
+        parsed.push(parser::parse_tokens(rel, &toks));
+    }
+
+    let model = symbols::WorkspaceModel::new(parsed);
+    let graph = callgraph::CallGraph::build(&model);
+    for rule in rules::ast_registry() {
         let sev = cfg.severity(rule.name(), rule.default_severity());
         if sev == Severity::Allow {
             continue;
         }
-        rule.check(&ctx, sev, &mut out);
+        rule.check(&model, &graph, sev, &mut out);
     }
-    // `// lint:allow(rule-a, rule-b)` suppresses findings on its own line
-    // (trailing comment) and on the line below (comment above the code).
-    let mut allows: Vec<(u32, String)> = Vec::new();
-    for t in toks.iter().filter(|t| t.kind == TokKind::Comment) {
-        if let Some(pos) = t.text.find("lint:allow(") {
-            let rest = &t.text[pos + "lint:allow(".len()..];
-            if let Some(end) = rest.find(')') {
-                for rule in rest[..end].split(',') {
-                    allows.push((t.line, rule.trim().to_string()));
-                }
-            }
-        }
-    }
+
     out.retain(|d| {
-        !allows
-            .iter()
-            .any(|(line, rule)| rule == d.rule && (d.line == *line || d.line == line + 1))
+        if file_allows
+            .get(d.path.as_str())
+            .is_some_and(|rs| rs.iter().any(|r| r == d.rule))
+        {
+            return false;
+        }
+        !line_allows.get(d.path.as_str()).is_some_and(|la| {
+            la.iter()
+                .any(|(line, rule)| rule == d.rule && (d.line == *line || d.line == line + 1))
+        })
     });
-    out.sort_by_key(|d| d.line);
+    out.sort_by(|a, b| {
+        a.path
+            .cmp(&b.path)
+            .then(a.line.cmp(&b.line))
+            .then(a.rule.cmp(b.rule))
+    });
     out
 }
 
@@ -101,10 +163,10 @@ pub fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
     Ok(files)
 }
 
-/// Lints every workspace file under `root`. Returns all diagnostics,
-/// sorted by path then line.
+/// Lints every workspace file under `root` as one linked workspace.
+/// Returns all diagnostics, sorted by path then line.
 pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> io::Result<Vec<Diagnostic>> {
-    let mut out = Vec::new();
+    let mut sources = Vec::new();
     for path in workspace_files(root)? {
         let rel = path
             .strip_prefix(root)
@@ -112,10 +174,9 @@ pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> io::Result<Vec<Diagnosti
             .to_string_lossy()
             .replace('\\', "/");
         let src = fs::read_to_string(&path)?;
-        out.extend(lint_source(&rel, &src, cfg));
+        sources.push((rel, src));
     }
-    out.sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
-    Ok(out)
+    Ok(lint_sources(&sources, cfg))
 }
 
 /// Renders diagnostics as a JSON array (one object per finding), for

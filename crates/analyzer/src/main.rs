@@ -3,9 +3,18 @@
 //!
 //! Subcommands:
 //!
-//! - `check [--root DIR] [--format human|json] [--config FILE]` — lint
-//!   every workspace `.rs` file; exit 1 if any error-severity finding.
-//! - `rules` — print the rule table with default severities.
+//! - `check [--root DIR] [--format human|json] [--config FILE]
+//!   [--baseline FILE] [--out FILE]` — lint every workspace `.rs` file;
+//!   exit 1 on any error-severity finding not covered by the baseline,
+//!   and on stale baseline entries (the baseline may only shrink). With
+//!   no `--baseline`, `<root>/sqe-lint.baseline.json` is used when it
+//!   exists. `--out` additionally writes all findings as JSON (for CI
+//!   artifacts) regardless of `--format`.
+//! - `baseline [--root DIR] [--config FILE] [--baseline FILE]` —
+//!   snapshot the current error-severity findings to the baseline file
+//!   (default `<root>/sqe-lint.baseline.json`).
+//! - `rules` — print the rule table (token and ast layers) with default
+//!   severities.
 //! - `audit [--selftest]` — build a synthetic testbed, run the graph and
 //!   index auditors, and (with `--selftest`) seed known corruption
 //!   classes to prove each is still detected. Exit 1 on any violation or
@@ -14,17 +23,20 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use analyzer::{diagnostics_to_json, lint_workspace, rules, LintConfig, Severity};
+use analyzer::baseline::Baseline;
+use analyzer::{diagnostics_to_json, lint_workspace, rules, Diagnostic, LintConfig, Severity};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("check") => cmd_check(&args[1..]),
+        Some("baseline") => cmd_baseline(&args[1..]),
         Some("rules") => cmd_rules(),
         Some("audit") => cmd_audit(&args[1..]),
         _ => {
             eprintln!(
                 "usage: sqe-lint <check [--root DIR] [--format human|json] [--config FILE] \
+                 [--baseline FILE] [--out FILE] | baseline [--root DIR] [--baseline FILE] \
                  | rules | audit [--selftest]>"
             );
             ExitCode::from(2)
@@ -39,23 +51,41 @@ fn flag_value(args: &[String], name: &str) -> Option<String> {
         .cloned()
 }
 
+/// The baseline file for this invocation: `--baseline FILE`, else the
+/// root default. Returns `None` when the default does not exist.
+fn baseline_path(args: &[String], root: &Path) -> Option<PathBuf> {
+    match flag_value(args, "--baseline") {
+        Some(p) => Some(PathBuf::from(p)),
+        None => {
+            let default = root.join("sqe-lint.baseline.json");
+            default.is_file().then_some(default)
+        }
+    }
+}
+
+/// Lints the workspace with the configured severities. Shared by `check`
+/// and `baseline`.
+fn run_lint(args: &[String], root: &Path) -> Result<Vec<Diagnostic>, String> {
+    let cfg = load_config(args, root)?;
+    lint_workspace(root, &cfg).map_err(|e| format!("walking {}: {e}", root.display()))
+}
+
 fn cmd_check(args: &[String]) -> ExitCode {
     let root = PathBuf::from(flag_value(args, "--root").unwrap_or_else(|| ".".to_string()));
     let json = matches!(flag_value(args, "--format").as_deref(), Some("json"));
-    let cfg = match load_config(args, &root) {
-        Ok(cfg) => cfg,
+    let diags = match run_lint(args, &root) {
+        Ok(d) => d,
         Err(e) => {
             eprintln!("sqe-lint: {e}");
             return ExitCode::from(2);
         }
     };
-    let diags = match lint_workspace(&root, &cfg) {
-        Ok(d) => d,
-        Err(e) => {
-            eprintln!("sqe-lint: walking {}: {e}", root.display());
+    if let Some(out_path) = flag_value(args, "--out") {
+        if let Err(e) = std::fs::write(&out_path, diagnostics_to_json(&diags)) {
+            eprintln!("sqe-lint: writing {out_path}: {e}");
             return ExitCode::from(2);
         }
-    };
+    }
     let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
     let warns = diags.len() - errors;
     if json {
@@ -66,11 +96,65 @@ fn cmd_check(args: &[String]) -> ExitCode {
         }
         println!("sqe-lint: {errors} error(s), {warns} warning(s)");
     }
-    if errors > 0 {
+
+    // Ratchet against the baseline when one is present: only findings
+    // beyond the snapshot fail, and snapshot entries that no longer occur
+    // fail too (regenerate with `sqe-lint baseline` so it only shrinks).
+    let failing = match baseline_path(args, &root) {
+        Some(path) => {
+            let base = match std::fs::read_to_string(&path)
+                .map_err(|e| format!("reading {}: {e}", path.display()))
+                .and_then(|t| Baseline::from_json(&t))
+            {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("sqe-lint: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let ratchet = base.compare(&diags);
+            for d in &ratchet.new {
+                println!("new (not in baseline): {d}");
+            }
+            for k in &ratchet.stale {
+                println!(
+                    "stale baseline entry (fixed — regenerate with `sqe-lint baseline`): {k}"
+                );
+            }
+            !ratchet.new.is_empty() || !ratchet.stale.is_empty()
+        }
+        None => errors > 0,
+    };
+    if failing {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
     }
+}
+
+fn cmd_baseline(args: &[String]) -> ExitCode {
+    let root = PathBuf::from(flag_value(args, "--root").unwrap_or_else(|| ".".to_string()));
+    let diags = match run_lint(args, &root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("sqe-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let base = Baseline::from_diags(&diags);
+    let path = flag_value(args, "--baseline")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| root.join("sqe-lint.baseline.json"));
+    if let Err(e) = std::fs::write(&path, base.to_json()) {
+        eprintln!("sqe-lint: writing {}: {e}", path.display());
+        return ExitCode::from(2);
+    }
+    println!(
+        "sqe-lint: baselined {} finding group(s) to {}",
+        base.len(),
+        path.display()
+    );
+    ExitCode::SUCCESS
 }
 
 fn load_config(args: &[String], root: &Path) -> Result<LintConfig, String> {
@@ -90,13 +174,8 @@ fn load_config(args: &[String], root: &Path) -> Result<LintConfig, String> {
 }
 
 fn cmd_rules() -> ExitCode {
-    for rule in rules::registry() {
-        println!(
-            "{:<28} {:<6} {}",
-            rule.name(),
-            rule.default_severity().as_str(),
-            rule.description()
-        );
+    for (name, description, severity, layer) in rules::rule_table() {
+        println!("{name:<28} {:<6} {layer:<6} {description}", severity.as_str());
     }
     ExitCode::SUCCESS
 }

@@ -1,12 +1,25 @@
-//! Lint rules.
+//! Lint rules, in two layers.
 //!
-//! Every rule walks the token stream produced by [`crate::lexer`] and emits
-//! [`Diagnostic`]s. Rules are registered in [`registry`]; `sqe-lint rules`
-//! prints the table. Suppression (`// lint:allow(rule)`) and severity
+//! **Token rules** ([`Rule`], registered in [`registry`]) walk the raw
+//! token stream of one file — cheap pattern checks that need no structure.
+//! **Ast rules** ([`AstRule`], registered in [`ast_registry`]) run once
+//! over the whole parsed workspace ([`crate::symbols::WorkspaceModel`])
+//! and its call graph ([`crate::callgraph::CallGraph`]), so they can
+//! reason across files: panic reachability from hot-path entries,
+//! hash-iteration determinism through struct fields, narrowing casts at
+//! construction boundaries, and audit coverage after raw mutations.
+//!
+//! `sqe-lint rules` prints [`rule_table`]. Suppression
+//! (`// lint:allow(rule)`, `// lint:allow-file(rule)`) and severity
 //! overrides are applied by the engine, not by the rules themselves.
 
+use std::collections::BTreeSet;
+
+use crate::ast::Expr;
+use crate::callgraph::{CallGraph, PanicKind};
 use crate::diag::{Diagnostic, Severity};
 use crate::lexer::{Tok, TokKind};
+use crate::symbols::WorkspaceModel;
 
 /// Per-file context shared by all rules.
 pub struct FileCtx<'a> {
@@ -64,7 +77,25 @@ pub trait Rule {
     fn check(&self, ctx: &FileCtx<'_>, sev: Severity, out: &mut Vec<Diagnostic>);
 }
 
-/// All registered rules, in reporting order.
+/// A workspace-level rule over the parsed model and call graph.
+pub trait AstRule {
+    /// Stable kebab-case rule name.
+    fn name(&self) -> &'static str;
+    /// One-line description for `sqe-lint rules`.
+    fn description(&self) -> &'static str;
+    /// Severity when the config does not override it.
+    fn default_severity(&self) -> Severity;
+    /// Emits diagnostics over the whole workspace at severity `sev`.
+    fn check(
+        &self,
+        model: &WorkspaceModel,
+        graph: &CallGraph,
+        sev: Severity,
+        out: &mut Vec<Diagnostic>,
+    );
+}
+
+/// All registered token rules, in reporting order.
 pub fn registry() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(NanUnsafeSort),
@@ -72,6 +103,31 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(PanickingHotPath),
         Box::new(PersistTypesDeriveSerde),
     ]
+}
+
+/// All registered ast rules, in reporting order.
+pub fn ast_registry() -> Vec<Box<dyn AstRule>> {
+    vec![
+        Box::new(PanicReachability),
+        Box::new(HashIterationDeterminism),
+        Box::new(LossyIdCast),
+        Box::new(MustAuditAfterMutation),
+    ]
+}
+
+/// `(name, description, default severity, layer)` for every rule, token
+/// rules first — the source of truth for `sqe-lint rules`.
+pub fn rule_table() -> Vec<(&'static str, &'static str, Severity, &'static str)> {
+    let mut out: Vec<_> = registry()
+        .iter()
+        .map(|r| (r.name(), r.description(), r.default_severity(), "token"))
+        .collect();
+    out.extend(
+        ast_registry()
+            .iter()
+            .map(|r| (r.name(), r.description(), r.default_severity(), "ast")),
+    );
+    out
 }
 
 /// Index of the code token closing the paren group opened at `open`
@@ -401,5 +457,550 @@ impl Rule for PersistTypesDeriveSerde {
             }
             i += 1;
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ast rules (workspace-level)
+// ---------------------------------------------------------------------------
+
+/// `panic-reachability`: no panic source may be transitively reachable
+/// from a hot-path entry point. Entries are every non-test function in the
+/// query-scoring files (`topk.rs`, `ql.rs`, `bm25.rs`, `motif.rs`) plus
+/// `Csr::neighbors`. Panic sources are `.unwrap()`, `.expect(..)` whose
+/// message does not name an invariant, the panicking macros, and (one
+/// severity step lower) bare indexing with no covering assert.
+pub struct PanicReachability;
+
+/// Files whose non-test functions are hot-path entry points.
+const ENTRY_FILES: &[&str] = &[
+    "crates/searchlite/src/topk.rs",
+    "crates/searchlite/src/ql.rs",
+    "crates/searchlite/src/bm25.rs",
+    "crates/core/src/motif.rs",
+];
+
+impl AstRule for PanicReachability {
+    fn name(&self) -> &'static str {
+        "panic-reachability"
+    }
+
+    fn description(&self) -> &'static str {
+        "no unwrap/expect/panic!/unguarded indexing reachable from hot-path entries (topk, ql, bm25, motif, Csr::neighbors)"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+
+    fn check(
+        &self,
+        _model: &WorkspaceModel,
+        graph: &CallGraph,
+        sev: Severity,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        let entries: Vec<usize> = graph
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| {
+                !n.is_test
+                    && (ENTRY_FILES.contains(&n.file.as_str()) || n.qual == "Csr::neighbors")
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let parent = graph.reachable_from(&entries);
+        for (i, node) in graph.nodes.iter().enumerate() {
+            if node.is_test || parent[i].is_none() || node.panics.is_empty() {
+                continue;
+            }
+            let trace = graph.trace(&parent, i).join(" -> ");
+            for site in &node.panics {
+                let (eff, what) = match &site.kind {
+                    PanicKind::Unwrap => (sev, "`.unwrap()`".to_string()),
+                    PanicKind::NonInvariantExpect => (
+                        sev,
+                        "`.expect(..)` without an invariant-naming message".to_string(),
+                    ),
+                    PanicKind::PanicMacro(m) => (sev, format!("`{m}!`")),
+                    PanicKind::Indexing => (sev.demoted(), "bare indexing".to_string()),
+                };
+                if eff == Severity::Allow {
+                    continue;
+                }
+                out.push(Diagnostic {
+                    rule: self.name(),
+                    severity: eff,
+                    path: node.file.clone(),
+                    line: site.line,
+                    message: format!(
+                        "{what} in `{}` is reachable from a hot-path entry ({trace}); \
+                         handle the case or use `expect(\"invariant: ...\")` naming the \
+                         violated invariant",
+                        node.qual
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `hash-iteration-determinism`: iterating a `HashMap`/`HashSet` (or the
+/// Fx variants) in arbitrary order must not feed an order-sensitive sink —
+/// a collected `Vec`/`String`, pushes inside the loop body, or writer
+/// macros — unless a total-order sort is applied in the same function.
+pub struct HashIterationDeterminism;
+
+/// Type text that denotes an unordered hash container.
+fn is_hash_ty(t: &str) -> bool {
+    t.contains("HashMap") || t.contains("HashSet")
+}
+
+/// Iterator-producing methods whose order is the container's.
+const HASH_ITER_METHODS: &[&str] = &["iter", "iter_mut", "into_iter", "keys", "values", "drain"];
+
+/// Splits a method chain into `(methods outermost-first, base expr)`.
+fn chain_parts(mut e: &Expr) -> (Vec<&str>, &Expr) {
+    let mut methods = Vec::new();
+    loop {
+        match e {
+            Expr::MethodCall { recv, method, .. } => {
+                methods.push(method.as_str());
+                e = recv;
+            }
+            _ => return (methods, e),
+        }
+    }
+}
+
+/// True when `e` *is* a hash container: a binding from `roots` or a
+/// `self.field` whose declared type is a hash container.
+fn base_is_hash(
+    e: &Expr,
+    roots: &BTreeSet<String>,
+    model: &WorkspaceModel,
+    impl_ty: Option<&str>,
+) -> bool {
+    match e {
+        Expr::Path { segs, .. } if segs.len() == 1 => roots.contains(&segs[0]),
+        Expr::Field { recv, name, .. } => {
+            matches!(
+                recv.as_ref(),
+                Expr::Path { segs, .. } if segs.len() == 1 && segs[0] == "self"
+            ) && impl_ty
+                .and_then(|t| model.field_type(t, name))
+                .is_some_and(is_hash_ty)
+        }
+        _ => false,
+    }
+}
+
+/// True when any node of `e` is a hash container reference.
+fn subtree_touches_hash(
+    e: &Expr,
+    roots: &BTreeSet<String>,
+    model: &WorkspaceModel,
+    impl_ty: Option<&str>,
+) -> bool {
+    let mut found = false;
+    e.walk(&mut |n| {
+        if base_is_hash(n, roots, model, impl_ty) {
+            found = true;
+        }
+    });
+    found
+}
+
+impl HashIterationDeterminism {
+    /// Checks one `collect` chain. `dest_ty` is the binding's ascribed
+    /// type when known. Returns true when the chain linearizes hash
+    /// iteration order into a Vec/String.
+    fn collect_is_bad(
+        collect_node: &Expr,
+        dest_ty: Option<&str>,
+        roots: &BTreeSet<String>,
+        model: &WorkspaceModel,
+        impl_ty: Option<&str>,
+    ) -> bool {
+        let Expr::MethodCall {
+            recv, turbofish, ..
+        } = collect_node
+        else {
+            return false;
+        };
+        let (methods, base) = chain_parts(recv);
+        if !methods.iter().any(|m| HASH_ITER_METHODS.contains(m)) {
+            return false;
+        }
+        if !base_is_hash(base, roots, model, impl_ty) {
+            return false;
+        }
+        // Only flag when the destination is demonstrably order-sensitive:
+        // collecting back into a map/set (or a BTree) is order-free.
+        let target = if !turbofish.is_empty() {
+            turbofish.as_str()
+        } else {
+            dest_ty.unwrap_or("")
+        };
+        target.contains("Vec") || target.contains("String")
+    }
+}
+
+impl AstRule for HashIterationDeterminism {
+    fn name(&self) -> &'static str {
+        "hash-iteration-determinism"
+    }
+
+    fn description(&self) -> &'static str {
+        "HashMap/HashSet iteration must not feed ordered output without a total-order sort; use BTreeMap or sort (scorecmp)"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+
+    fn check(
+        &self,
+        model: &WorkspaceModel,
+        _graph: &CallGraph,
+        sev: Severity,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        model.for_each_fn(&mut |file, impl_ty, is_test, def| {
+            if is_test {
+                return;
+            }
+            let Some(body) = &def.body else { return };
+            // Pass 1: hash-typed bindings and sorted destinations.
+            let mut roots: BTreeSet<String> = def
+                .params
+                .iter()
+                .filter(|(_, t)| is_hash_ty(t))
+                .map(|(n, _)| n.clone())
+                .collect();
+            let mut sorted: BTreeSet<String> = BTreeSet::new();
+            for s in &body.stmts {
+                s.walk(&mut |e| match e {
+                    Expr::Let {
+                        name: Some(n),
+                        ty,
+                        init,
+                        ..
+                    } => {
+                        let hashy = ty.as_deref().is_some_and(is_hash_ty)
+                            || (ty.is_none()
+                                && init.as_deref().is_some_and(|i| is_hash_ty(&i.text())));
+                        if hashy {
+                            roots.insert(n.clone());
+                        }
+                    }
+                    Expr::MethodCall { recv, method, .. } if method.starts_with("sort") => {
+                        sorted.insert(recv.text());
+                    }
+                    _ => {}
+                });
+            }
+            // Pass 2: order-sensitive sinks fed by hash iteration.
+            let mut flagged: BTreeSet<u32> = BTreeSet::new();
+            let mut handled_collects: BTreeSet<u32> = BTreeSet::new();
+            let mut flag = |line: u32, what: &str, out: &mut Vec<Diagnostic>| {
+                if flagged.insert(line) {
+                    out.push(Diagnostic {
+                        rule: "hash-iteration-determinism",
+                        severity: sev,
+                        path: file.rel.to_string(),
+                        line,
+                        message: format!(
+                            "{what} in `{}` depends on hash-iteration order; switch the \
+                             container to BTreeMap/BTreeSet or apply a total-order sort \
+                             (scorecmp for float keys) before emitting",
+                            def.name
+                        ),
+                    });
+                }
+            };
+            for s in &body.stmts {
+                s.walk(&mut |e| match e {
+                    Expr::For {
+                        iter, body, line, ..
+                    } => {
+                        if !subtree_touches_hash(iter, &roots, model, impl_ty) {
+                            return;
+                        }
+                        let mut sink = false;
+                        for bs in &body.stmts {
+                            bs.walk(&mut |b| match b {
+                                Expr::MethodCall { recv, method, .. }
+                                    if method == "push" || method == "push_str" =>
+                                {
+                                    if !sorted.contains(&recv.text()) {
+                                        sink = true;
+                                    }
+                                }
+                                Expr::Macro { name, .. }
+                                    if name.ends_with("write") || name.ends_with("writeln") =>
+                                {
+                                    sink = true;
+                                }
+                                _ => {}
+                            });
+                        }
+                        if sink {
+                            flag(*line, "a `for` loop over a hash container", out);
+                        }
+                    }
+                    Expr::Let {
+                        name, init: Some(i), ty, ..
+                    } => {
+                        i.walk(&mut |n| {
+                            if let Expr::MethodCall { method, line, .. } = n {
+                                if method == "collect" {
+                                    handled_collects.insert(*line);
+                                    let sorted_later = name
+                                        .as_deref()
+                                        .is_some_and(|b| sorted.contains(b));
+                                    if !sorted_later
+                                        && Self::collect_is_bad(
+                                            n,
+                                            ty.as_deref(),
+                                            &roots,
+                                            model,
+                                            impl_ty,
+                                        )
+                                    {
+                                        flag(*line, "`collect()` from hash iteration", out);
+                                    }
+                                }
+                            }
+                        });
+                    }
+                    Expr::MethodCall { method, line, .. } if method == "collect" => {
+                        if !handled_collects.contains(line)
+                            && Self::collect_is_bad(e, None, &roots, model, impl_ty)
+                        {
+                            flag(*line, "`collect()` from hash iteration", out);
+                        }
+                    }
+                    Expr::MethodCall {
+                        recv, method, args, line, ..
+                    } if method == "extend" => {
+                        if args
+                            .iter()
+                            .any(|a| subtree_touches_hash(a, &roots, model, impl_ty))
+                            && !sorted.contains(&recv.text())
+                        {
+                            flag(*line, "`extend(..)` from hash iteration", out);
+                        }
+                    }
+                    _ => {}
+                });
+            }
+        });
+    }
+}
+
+/// `lossy-id-cast`: `as u8`/`u16`/`u32` on id-, offset-, or length-valued
+/// expressions silently truncates once the graph or index outgrows the
+/// target width. In the persisted-structure crates these casts must go
+/// through `try_from` with an invariant-naming `expect`, or be dominated
+/// by an assert on the same operand.
+pub struct LossyIdCast;
+
+/// Path prefixes (and one file) in scope for `lossy-id-cast`.
+const CAST_SCOPE: &[&str] = &["crates/kbgraph/", "crates/searchlite/"];
+
+/// Narrowing cast targets worth guarding.
+const NARROW_TYPES: &[&str] = &["u8", "u16", "u32"];
+
+/// True for identifiers that carry id/offset/position/count semantics.
+fn idish(s: &str) -> bool {
+    let s = s.to_ascii_lowercase();
+    s == "id"
+        || s.ends_with("id")
+        || s.ends_with("ids")
+        || s.starts_with("id")
+        || s.contains("offset")
+        || s.starts_with("pos")
+        || s.contains("count")
+}
+
+impl AstRule for LossyIdCast {
+    fn name(&self) -> &'static str {
+        "lossy-id-cast"
+    }
+
+    fn description(&self) -> &'static str {
+        "as u32/u16/u8 on id/offset/len expressions in kbgraph/searchlite/persist must be try_from or assert-dominated"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+
+    fn check(
+        &self,
+        model: &WorkspaceModel,
+        _graph: &CallGraph,
+        sev: Severity,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        model.for_each_fn(&mut |file, _impl_ty, is_test, def| {
+            let in_scope = CAST_SCOPE.iter().any(|p| file.rel.starts_with(p))
+                || file.rel == "crates/synthwiki/src/persist.rs";
+            if !in_scope || is_test {
+                return;
+            }
+            let Some(body) = &def.body else { return };
+            // Asserts anywhere in the function dominate (this analysis has
+            // no real control-flow ordering; an assert on the operand is
+            // taken as the author proving the bound).
+            let mut guard_text = String::new();
+            for s in &body.stmts {
+                s.walk(&mut |e| {
+                    if let Expr::Macro { name, inner, .. } = e {
+                        let base = name.rsplit("::").next().unwrap_or(name);
+                        if base.starts_with("assert") || base.starts_with("debug_assert") {
+                            for i in inner {
+                                guard_text.push_str(&i.text());
+                                guard_text.push(' ');
+                            }
+                        }
+                    }
+                });
+            }
+            for s in &body.stmts {
+                s.walk(&mut |e| {
+                    let Expr::Cast { expr, ty, line } = e else {
+                        return;
+                    };
+                    if !NARROW_TYPES.contains(&ty.trim()) {
+                        return;
+                    }
+                    // Trigger only on id/offset/len-valued operands.
+                    let mut risky = false;
+                    expr.walk(&mut |n| match n {
+                        Expr::MethodCall { method, .. } if method == "len" => risky = true,
+                        Expr::Path { segs, .. } => {
+                            if segs.iter().any(|s| idish(s)) {
+                                risky = true;
+                            }
+                        }
+                        Expr::Field { name, .. } if idish(name) => risky = true,
+                        _ => {}
+                    });
+                    if !risky {
+                        return;
+                    }
+                    if expr
+                        .root_ident()
+                        .is_some_and(|root| guard_text.contains(root))
+                    {
+                        return;
+                    }
+                    out.push(Diagnostic {
+                        rule: self.name(),
+                        severity: sev,
+                        path: file.rel.to_string(),
+                        line: *line,
+                        message: format!(
+                            "narrowing cast `{} as {}` in `{}` can silently truncate \
+                             ids/offsets; use `{}::try_from(..).expect(\"invariant: ...\")` \
+                             or assert the bound on the operand first",
+                            expr.text(),
+                            ty.trim(),
+                            def.name,
+                            ty.trim()
+                        ),
+                    });
+                });
+            }
+        });
+    }
+}
+
+/// `must-audit-after-mutation`: `Index::raw_mut` and `*::from_raw_parts`
+/// bypass checked constructors, so any non-test function using them must
+/// also invoke a structural audit (`GraphAudit`/`IndexAudit`/`audit*`)
+/// before returning the mutated structure to the rest of the system.
+pub struct MustAuditAfterMutation;
+
+impl AstRule for MustAuditAfterMutation {
+    fn name(&self) -> &'static str {
+        "must-audit-after-mutation"
+    }
+
+    fn description(&self) -> &'static str {
+        "non-test callers of raw_mut/from_raw_parts must run a structural audit in the same function"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+
+    fn check(
+        &self,
+        model: &WorkspaceModel,
+        _graph: &CallGraph,
+        sev: Severity,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        model.for_each_fn(&mut |file, _impl_ty, is_test, def| {
+            if is_test || def.name == "raw_mut" || def.name == "from_raw_parts" {
+                return;
+            }
+            let Some(body) = &def.body else { return };
+            let mut sites: Vec<(u32, &'static str)> = Vec::new();
+            let mut has_audit = false;
+            for s in &body.stmts {
+                s.walk(&mut |e| match e {
+                    Expr::MethodCall { method, line, .. } => {
+                        if method == "raw_mut" {
+                            sites.push((*line, "raw_mut"));
+                        } else if method.to_ascii_lowercase().contains("audit") {
+                            has_audit = true;
+                        }
+                    }
+                    Expr::Call { callee, line, .. } => {
+                        if let Expr::Path { segs, .. } = callee.as_ref() {
+                            if segs.last().is_some_and(|s| s == "from_raw_parts") {
+                                sites.push((*line, "from_raw_parts"));
+                            }
+                        }
+                    }
+                    Expr::Path { segs, .. } => {
+                        if segs
+                            .iter()
+                            .any(|s| s.to_ascii_lowercase().contains("audit"))
+                        {
+                            has_audit = true;
+                        }
+                    }
+                    Expr::Macro { name, .. } => {
+                        if name.to_ascii_lowercase().contains("audit") {
+                            has_audit = true;
+                        }
+                    }
+                    _ => {}
+                });
+            }
+            if has_audit {
+                return;
+            }
+            for (line, which) in sites {
+                out.push(Diagnostic {
+                    rule: self.name(),
+                    severity: sev,
+                    path: file.rel.to_string(),
+                    line,
+                    message: format!(
+                        "`{which}` in `{}` mutates raw graph/index state with no structural \
+                         audit in the same function; run GraphAudit/IndexAudit on the result \
+                         or construct through a checked constructor",
+                        def.name
+                    ),
+                });
+            }
+        });
     }
 }

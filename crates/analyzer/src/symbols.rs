@@ -1,0 +1,129 @@
+//! Workspace symbol table: the cross-file half of the v2 analysis.
+//!
+//! [`WorkspaceModel`] owns every parsed [`SourceFile`] and derives the
+//! lookup structures the ast rules share: struct field types (for
+//! hash-container detection through `self.field`), crate attribution from
+//! paths, and a flat function index consumed by [`crate::callgraph`].
+//!
+//! All derived tables use `BTreeMap` so analysis output is deterministic
+//! — the linter practices what it lints.
+
+use std::collections::BTreeMap;
+
+use crate::ast::{FnDef, SourceFile};
+
+/// The parsed workspace plus derived symbol tables.
+pub struct WorkspaceModel {
+    files: Vec<SourceFile>,
+    /// `(type name, field name)` → field type text.
+    field_types: BTreeMap<(String, String), String>,
+}
+
+/// Crate name a workspace-relative path belongs to (`kbgraph` for
+/// `crates/kbgraph/src/csr.rs`; the root package for `src/`, `tests/`,
+/// `examples/`).
+pub fn crate_of(rel: &str) -> &str {
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        if let Some(end) = rest.find('/') {
+            return &rest[..end];
+        }
+    }
+    "sqe-repro"
+}
+
+/// True when a path is test-only code by location: integration test
+/// trees. (In-file `#[cfg(test)]` modules are tracked per function.)
+pub fn is_test_path(rel: &str) -> bool {
+    rel.starts_with("tests/") || rel.contains("/tests/")
+}
+
+impl WorkspaceModel {
+    /// Builds the model and its symbol tables from parsed files.
+    pub fn new(files: Vec<SourceFile>) -> Self {
+        let mut field_types = BTreeMap::new();
+        for file in &files {
+            collect_fields(&file.items, &mut field_types);
+        }
+        WorkspaceModel { files, field_types }
+    }
+
+    /// The parsed files, in the order given (the engine sorts by path).
+    pub fn files(&self) -> &[SourceFile] {
+        &self.files
+    }
+
+    /// Declared type text of `ty.field`, if the struct was parsed.
+    pub fn field_type(&self, ty: &str, field: &str) -> Option<&str> {
+        self.field_types
+            .get(&(ty.to_string(), field.to_string()))
+            .map(String::as_str)
+    }
+
+    /// Visits every function in the workspace with its file, impl-type
+    /// qualifier, and effective test-ness (location- or attribute-derived).
+    pub fn for_each_fn<'a>(
+        &'a self,
+        f: &mut impl FnMut(&'a SourceFile, Option<&'a str>, bool, &'a FnDef),
+    ) {
+        for file in &self.files {
+            let path_test = is_test_path(&file.rel);
+            file.for_each_fn(&mut |ty, is_test, def| {
+                f(file, ty, path_test || is_test, def);
+            });
+        }
+    }
+}
+
+fn collect_fields(items: &[crate::ast::Item], out: &mut BTreeMap<(String, String), String>) {
+    use crate::ast::Item;
+    for item in items {
+        match item {
+            Item::Struct { name, fields, .. } => {
+                for (fname, fty) in fields {
+                    out.insert((name.clone(), fname.clone()), fty.clone());
+                }
+            }
+            Item::Mod { items, .. } | Item::Impl { items, .. } => collect_fields(items, out),
+            Item::Fn(def) => {
+                if let Some(b) = &def.body {
+                    collect_fields(&b.items, out);
+                }
+            }
+            Item::Other => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+
+    #[test]
+    fn crate_attribution() {
+        assert_eq!(crate_of("crates/kbgraph/src/csr.rs"), "kbgraph");
+        assert_eq!(crate_of("src/lib.rs"), "sqe-repro");
+        assert_eq!(crate_of("tests/e2e.rs"), "sqe-repro");
+    }
+
+    #[test]
+    fn field_types_indexed() {
+        let f = parse_file(
+            "crates/x/src/lib.rs",
+            "pub struct S { pub m: FxHashMap<String, u32>, n: usize }",
+        );
+        let model = WorkspaceModel::new(vec![f]);
+        assert!(model.field_type("S", "m").unwrap().contains("FxHashMap"));
+        assert_eq!(model.field_type("S", "n"), Some("usize"));
+        assert_eq!(model.field_type("S", "zz"), None);
+    }
+
+    #[test]
+    fn test_paths_flag_fns() {
+        let f = parse_file("crates/x/tests/it.rs", "fn helper() {}");
+        let model = WorkspaceModel::new(vec![f]);
+        let mut seen = Vec::new();
+        model.for_each_fn(&mut |_, _, is_test, def| seen.push((def.name.clone(), is_test)));
+        assert_eq!(seen, vec![("helper".to_string(), true)]);
+    }
+}

@@ -1,0 +1,173 @@
+//! Fixture-pair tests for the v2 cross-file rules: every rule's bad
+//! fixture must produce at least one finding and its good fixture none,
+//! plus suppression-scoping tests for `lint:allow-file`.
+
+use analyzer::{lint_sources, Diagnostic, LintConfig, Severity};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"))
+}
+
+fn lint(files: &[(&str, String)]) -> Vec<Diagnostic> {
+    let owned: Vec<(String, String)> = files
+        .iter()
+        .map(|(rel, src)| (rel.to_string(), src.clone()))
+        .collect();
+    lint_sources(&owned, &LintConfig::default())
+}
+
+fn of_rule<'a>(diags: &'a [Diagnostic], rule: &str) -> Vec<&'a Diagnostic> {
+    diags.iter().filter(|d| d.rule == rule).collect()
+}
+
+/// An entry file whose `rank` reaches into the fixture helper cross-file.
+const ENTRY: &str = "pub fn rank(xs: &[u32]) -> u32 { kbgraph::lookup(xs, 0) }";
+
+#[test]
+fn panic_reachability_bad_fixture_flagged_cross_file() {
+    let diags = lint(&[
+        ("crates/searchlite/src/ql.rs", ENTRY.to_string()),
+        ("crates/kbgraph/src/lookup.rs", fixture("panic_reach_bad.rs")),
+    ]);
+    let hits = of_rule(&diags, "panic-reachability");
+    assert!(!hits.is_empty(), "bad fixture must be flagged: {diags:?}");
+    assert!(
+        hits.iter()
+            .all(|d| d.path == "crates/kbgraph/src/lookup.rs" && d.severity == Severity::Error),
+        "the finding sits at the panic site, in the callee's file: {hits:?}"
+    );
+    assert!(
+        hits[0].message.contains("rank"),
+        "message must carry the entry trace: {}",
+        hits[0].message
+    );
+}
+
+#[test]
+fn panic_reachability_good_fixture_clean() {
+    let diags = lint(&[
+        ("crates/searchlite/src/ql.rs", ENTRY.to_string()),
+        ("crates/kbgraph/src/lookup.rs", fixture("panic_reach_good.rs")),
+    ]);
+    assert!(of_rule(&diags, "panic-reachability").is_empty(), "{diags:?}");
+}
+
+#[test]
+fn hash_iteration_bad_fixture_flagged() {
+    let diags = lint(&[(
+        "crates/synthwiki/src/report.rs",
+        fixture("hash_iter_bad.rs"),
+    )]);
+    let hits = of_rule(&diags, "hash-iteration-determinism");
+    assert_eq!(hits.len(), 2, "collect chain AND for loop: {diags:?}");
+    assert!(hits.iter().all(|d| d.severity == Severity::Error));
+}
+
+#[test]
+fn hash_iteration_good_fixture_clean() {
+    let diags = lint(&[(
+        "crates/synthwiki/src/report.rs",
+        fixture("hash_iter_good.rs"),
+    )]);
+    assert!(
+        of_rule(&diags, "hash-iteration-determinism").is_empty(),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn lossy_cast_bad_fixture_flagged() {
+    let diags = lint(&[("crates/kbgraph/src/seal.rs", fixture("lossy_cast_bad.rs"))]);
+    let hits = of_rule(&diags, "lossy-id-cast");
+    assert_eq!(hits.len(), 2, "len cast AND pos cast: {diags:?}");
+    assert!(hits.iter().all(|d| d.severity == Severity::Error));
+}
+
+#[test]
+fn lossy_cast_good_fixture_clean() {
+    let diags = lint(&[("crates/kbgraph/src/seal.rs", fixture("lossy_cast_good.rs"))]);
+    assert!(of_rule(&diags, "lossy-id-cast").is_empty(), "{diags:?}");
+}
+
+#[test]
+fn lossy_cast_out_of_scope_path_ignored() {
+    let diags = lint(&[("crates/bench/src/seal.rs", fixture("lossy_cast_bad.rs"))]);
+    assert!(of_rule(&diags, "lossy-id-cast").is_empty(), "{diags:?}");
+}
+
+#[test]
+fn audit_mutation_bad_fixture_flagged() {
+    let diags = lint(&[(
+        "crates/kbgraph/src/patch.rs",
+        fixture("audit_mutation_bad.rs"),
+    )]);
+    let hits = of_rule(&diags, "must-audit-after-mutation");
+    assert_eq!(hits.len(), 2, "raw_mut AND from_raw_parts: {diags:?}");
+    assert!(hits.iter().all(|d| d.severity == Severity::Error));
+}
+
+#[test]
+fn audit_mutation_good_fixture_clean() {
+    let diags = lint(&[(
+        "crates/kbgraph/src/patch.rs",
+        fixture("audit_mutation_good.rs"),
+    )]);
+    assert!(
+        of_rule(&diags, "must-audit-after-mutation").is_empty(),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn audit_mutation_test_code_exempt() {
+    let src = format!("#[cfg(test)]\nmod tests {{\n{}\n}}", fixture("audit_mutation_bad.rs"));
+    let diags = lint(&[("crates/kbgraph/src/patch.rs", src)]);
+    assert!(
+        of_rule(&diags, "must-audit-after-mutation").is_empty(),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn allow_file_suppresses_whole_file() {
+    let src = format!(
+        "// lint:allow-file(hash-iteration-determinism)\n{}",
+        fixture("hash_iter_bad.rs")
+    );
+    let diags = lint(&[("crates/synthwiki/src/report.rs", src)]);
+    assert!(
+        of_rule(&diags, "hash-iteration-determinism").is_empty(),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn allow_file_does_not_leak_across_files() {
+    let suppressed = format!(
+        "// lint:allow-file(hash-iteration-determinism)\n{}",
+        fixture("hash_iter_bad.rs")
+    );
+    let diags = lint(&[
+        ("crates/synthwiki/src/report.rs", suppressed),
+        ("crates/synthwiki/src/other.rs", fixture("hash_iter_bad.rs")),
+    ]);
+    let hits = of_rule(&diags, "hash-iteration-determinism");
+    assert_eq!(hits.len(), 2, "only the unsuppressed file: {diags:?}");
+    assert!(hits.iter().all(|d| d.path == "crates/synthwiki/src/other.rs"));
+}
+
+#[test]
+fn allow_file_must_be_in_header() {
+    // The marker after the first code token is a line-allow misuse, not a
+    // file-wide suppression.
+    let src = format!(
+        "{}\n// lint:allow-file(hash-iteration-determinism)\n",
+        fixture("hash_iter_bad.rs")
+    );
+    let diags = lint(&[("crates/synthwiki/src/report.rs", src)]);
+    assert!(
+        !of_rule(&diags, "hash-iteration-determinism").is_empty(),
+        "trailing allow-file must not suppress: {diags:?}"
+    );
+}

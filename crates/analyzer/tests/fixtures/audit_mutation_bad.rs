@@ -1,0 +1,11 @@
+// Fixture: raw mutation entry points with no structural audit anywhere
+// in the mutating functions.
+
+pub fn patch(csr: &mut Csr) {
+    let targets = csr.raw_mut();
+    targets.push(0);
+}
+
+pub fn rebuild(offsets: Vec<u32>, targets: Vec<u32>) -> Csr {
+    Csr::from_raw_parts(offsets, targets)
+}

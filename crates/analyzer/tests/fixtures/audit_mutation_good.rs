@@ -1,0 +1,15 @@
+// Fixture: the same raw mutations, each followed by a structural audit
+// in the same function.
+
+pub fn patch(csr: &mut Csr) {
+    let targets = csr.raw_mut();
+    targets.push(0);
+    let report = GraphAudit::run(csr);
+    assert!(report.is_clean());
+}
+
+pub fn rebuild(offsets: Vec<u32>, targets: Vec<u32>) -> Csr {
+    let csr = Csr::from_raw_parts(offsets, targets);
+    debug_assert!(kbgraph::audit::GraphAudit::run(&csr).is_clean());
+    csr
+}

@@ -1,0 +1,14 @@
+// Fixture: hash-container iteration linearized into ordered output with
+// no total-order sort — both the collect-chain and for-loop shapes.
+
+use rustc_hash::FxHashMap;
+
+pub fn ranked_titles(m: &FxHashMap<String, f64>) -> Vec<String> {
+    m.keys().cloned().collect::<Vec<String>>()
+}
+
+pub fn render(m: &FxHashMap<String, f64>, out: &mut Vec<String>) {
+    for (k, _score) in m.iter() {
+        out.push(k.clone());
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture: the two determinism-safe shapes — an ordered container, and a
+// hash container whose collected output is sorted before use.
+
+use std::collections::BTreeMap;
+
+use rustc_hash::FxHashMap;
+
+pub fn ranked_titles(m: &BTreeMap<String, f64>) -> Vec<String> {
+    m.keys().cloned().collect::<Vec<String>>()
+}
+
+pub fn top(m: &FxHashMap<String, f64>) -> Vec<String> {
+    let mut v: Vec<String> = m.keys().cloned().collect();
+    v.sort();
+    v
+}

@@ -1,0 +1,10 @@
+// Fixture: narrowing casts on length/position expressions at a
+// construction boundary. Linted as a kbgraph source path.
+
+pub fn seal(offsets: &mut Vec<u32>, targets: &[u32]) {
+    offsets.push(targets.len() as u32);
+}
+
+pub fn encode(pos: usize) -> u32 {
+    pos as u32
+}

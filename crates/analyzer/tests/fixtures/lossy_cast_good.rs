@@ -1,0 +1,12 @@
+// Fixture: the two accepted shapes — checked conversion with an
+// invariant-naming expect, and a cast dominated by an assert on the
+// same operand.
+
+pub fn seal(offsets: &mut Vec<u32>, targets: &[u32]) {
+    offsets.push(u32::try_from(targets.len()).expect("invariant: edge count fits in u32"));
+}
+
+pub fn encode(pos: usize) -> u32 {
+    assert!(pos <= u32::MAX as usize);
+    pos as u32
+}

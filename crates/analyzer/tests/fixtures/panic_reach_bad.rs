@@ -1,0 +1,7 @@
+// Fixture: helper crate file with a panic source. Linted as
+// `crates/kbgraph/src/lookup.rs` alongside a hot-path entry file that
+// calls `kbgraph::lookup`, so the unwrap is reachable cross-file.
+
+pub fn lookup(xs: &[u32], i: usize) -> u32 {
+    xs.get(i).copied().unwrap()
+}

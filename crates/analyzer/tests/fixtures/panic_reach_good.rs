@@ -1,0 +1,8 @@
+// Fixture: same helper as panic_reach_bad.rs, but the panic carries an
+// invariant-naming expect, which the allowlist accepts.
+
+pub fn lookup(xs: &[u32], i: usize) -> u32 {
+    xs.get(i)
+        .copied()
+        .expect("invariant: caller resolved i against xs.len()")
+}

@@ -1,0 +1,34 @@
+//! Round-trip guarantee: the v2 parser must accept every workspace `.rs`
+//! file with zero structural parse errors, and must find at least one
+//! function in every non-trivial source file. This is what makes the
+//! cross-file rules trustworthy — a file the parser chokes on is a file
+//! the call graph silently ignores.
+
+use std::path::Path;
+
+#[test]
+fn every_workspace_file_parses_without_errors() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let files = analyzer::workspace_files(&root).expect("workspace walk");
+    assert!(files.len() > 50, "workspace walk found too few files");
+    let mut parsed_fns = 0usize;
+    for path in files {
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&path).expect("read workspace file");
+        let file = analyzer::parser::parse_file(&rel, &src);
+        assert!(
+            file.errors.is_empty(),
+            "parse errors in {rel}: {:?}",
+            file.errors
+        );
+        file.for_each_fn(&mut |_, _, _| parsed_fns += 1);
+    }
+    assert!(
+        parsed_fns > 300,
+        "suspiciously few functions parsed across the workspace: {parsed_fns}"
+    );
+}

@@ -1,7 +1,8 @@
 //! Surface-form dictionary with commonness priors.
 
+use std::collections::BTreeMap;
+
 use kbgraph::ArticleId;
-use rustc_hash::FxHashMap;
 use searchlite::Analyzer;
 
 /// One candidate meaning of a surface form.
@@ -22,10 +23,12 @@ pub struct Sense {
 /// ordinary vocabulary.
 #[derive(Debug)]
 pub struct Dictionary {
-    entries: FxHashMap<String, Vec<Sense>>,
+    // BTreeMaps keep every dictionary traversal (debug dumps, future
+    // persistence) in key order; lookups stay O(log n) on short keys.
+    entries: BTreeMap<String, Vec<Sense>>,
     /// token → senses of entries whose surface contains the token
     /// (the Alchemy-style fallback index).
-    containment: FxHashMap<String, Vec<Sense>>,
+    containment: BTreeMap<String, Vec<Sense>>,
     /// Longest entry length in tokens (bounds the spotting window).
     max_tokens: usize,
     analyzer: Analyzer,
@@ -41,8 +44,8 @@ impl Dictionary {
     /// Creates an empty dictionary.
     pub fn new() -> Self {
         Dictionary {
-            entries: FxHashMap::default(),
-            containment: FxHashMap::default(),
+            entries: BTreeMap::new(),
+            containment: BTreeMap::new(),
             max_tokens: 0,
             analyzer: Analyzer::plain(),
         }

@@ -46,7 +46,10 @@ impl GraphBuilder {
         if let Some(&id) = self.article_index.get(title) {
             return id;
         }
-        let id = ArticleId::new(self.article_titles.len() as u32);
+        let id = ArticleId::new(
+            u32::try_from(self.article_titles.len())
+                .expect("invariant: article count fits in u32 ids"),
+        );
         self.article_titles.push(title.to_owned());
         self.article_index.insert(title.to_owned(), id);
         id
@@ -57,7 +60,10 @@ impl GraphBuilder {
         if let Some(&id) = self.category_index.get(title) {
             return id;
         }
-        let id = CategoryId::new(self.category_titles.len() as u32);
+        let id = CategoryId::new(
+            u32::try_from(self.category_titles.len())
+                .expect("invariant: category count fits in u32 ids"),
+        );
         self.category_titles.push(title.to_owned());
         self.category_index.insert(title.to_owned(), id);
         id

@@ -59,7 +59,10 @@ impl Csr {
                     prev = Some(t);
                 }
             }
-            out.offsets.push(out.targets.len() as u32);
+            out.offsets.push(
+                u32::try_from(out.targets.len())
+                    .expect("invariant: edge count fits in u32 offsets"),
+            );
         }
         out
     }

@@ -137,7 +137,7 @@ impl IndexBuilder {
         if let Some(&id) = self.dict.get(token) {
             return id;
         }
-        let id = self.terms.len() as u32;
+        let id = u32::try_from(self.terms.len()).expect("invariant: term count fits in u32 ids");
         self.terms.push(token.to_owned());
         self.dict.insert(token.to_owned(), id);
         self.postings.push(TermPostings {
@@ -150,18 +150,23 @@ impl IndexBuilder {
     /// Adds a document with an external (string) identifier; returns its
     /// dense [`DocId`]. Documents must be added in final order.
     pub fn add_document(&mut self, external_id: &str, text: &str) -> DocId {
-        let doc = self.external_ids.len() as u32;
+        let doc =
+            u32::try_from(self.external_ids.len()).expect("invariant: doc count fits in u32 ids");
         self.external_ids.push(external_id.to_owned());
         let mut tokens = std::mem::take(&mut self.token_buf);
         self.analyzer.analyze_into(text, &mut tokens);
-        self.doc_lens.push(tokens.len() as u32);
+        self.doc_lens
+            .push(u32::try_from(tokens.len()).expect("invariant: document length fits in u32"));
         self.collection_len += tokens.len() as u64;
         // Gather positions per term for this document.
         let mut doc_terms = std::mem::take(&mut self.doc_terms);
         doc_terms.clear();
         for (pos, tok) in tokens.iter().enumerate() {
             let tid = self.term_id(tok);
-            doc_terms.entry(tid).or_default().push(pos as u32);
+            doc_terms
+                .entry(tid)
+                .or_default()
+                .push(u32::try_from(pos).expect("invariant: token position fits in u32"));
         }
         // Flush in sorted term order for determinism.
         let mut tids: Vec<u32> = doc_terms.keys().copied().collect();
@@ -170,13 +175,19 @@ impl IndexBuilder {
             let positions = &doc_terms[&tid];
             let p = &mut self.postings[tid as usize];
             p.docs.push(doc);
-            p.tfs.push(positions.len() as u32);
+            p.tfs
+                .push(u32::try_from(positions.len()).expect("invariant: term frequency fits in u32"));
             p.positions.extend_from_slice(positions);
-            p.pos_offsets.push(p.positions.len() as u32);
+            p.pos_offsets.push(
+                u32::try_from(p.positions.len()).expect("invariant: positions length fits in u32"),
+            );
             self.fwd_terms.push(tid);
-            self.fwd_tfs.push(positions.len() as u32);
+            self.fwd_tfs
+                .push(u32::try_from(positions.len()).expect("invariant: term frequency fits in u32"));
         }
-        self.fwd_offsets.push(self.fwd_terms.len() as u32);
+        self.fwd_offsets.push(
+            u32::try_from(self.fwd_terms.len()).expect("invariant: forward index length fits in u32"),
+        );
         self.doc_terms = doc_terms;
         self.token_buf = tokens;
         DocId(doc)
@@ -599,7 +610,7 @@ impl Index {
         // the stored summaries must agree with.
         let mut derived_doc_len = vec![0u64; num_docs];
         for (tid, p) in self.postings.iter().enumerate() {
-            let term = tid as u32;
+            let term = u32::try_from(tid).expect("invariant: term count fits in u32 ids");
             if p.tfs.len() != p.docs.len() || p.pos_offsets.len() != p.docs.len() + 1 {
                 v.push(V::PostingArraysMismatch {
                     term,

@@ -9,8 +9,9 @@
 //! the articles of its relevance neighbourhood (documents about them are
 //! exactly the relevant documents).
 
+use std::collections::BTreeMap;
+
 use kbgraph::ArticleId;
-use rustc_hash::FxHashMap;
 
 use crate::concepts::ConceptSpace;
 use crate::kb::SynthKb;
@@ -52,7 +53,10 @@ impl OptimalQueryGraph {
 /// Ground truth for a whole query set.
 #[derive(Debug, Clone, Default)]
 pub struct GroundTruth {
-    graphs: FxHashMap<String, OptimalQueryGraph>,
+    // BTreeMap (not FxHashMap) so any traversal of the ground truth —
+    // averaging, serialization, debug dumps — is deterministic by
+    // construction.
+    graphs: BTreeMap<String, OptimalQueryGraph>,
 }
 
 impl GroundTruth {
@@ -60,7 +64,7 @@ impl GroundTruth {
     /// relevance neighbourhoods. Same-subtopic peers of a target weigh
     /// [`CLOSE_WEIGHT`], other neighbourhood entities [`FAR_WEIGHT`].
     pub fn derive(kb: &SynthKb, space: &ConceptSpace, queries: &[QuerySpec]) -> GroundTruth {
-        let mut graphs = FxHashMap::default();
+        let mut graphs = BTreeMap::new();
         for q in queries {
             let query_nodes: Vec<ArticleId> =
                 q.targets.iter().map(|&e| kb.article_of[e]).collect();
