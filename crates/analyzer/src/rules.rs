@@ -282,6 +282,8 @@ const HOT_FILES: &[&str] = &[
     "crates/searchlite/src/ql.rs",
     "crates/searchlite/src/index.rs",
     "crates/core/src/motif.rs",
+    "crates/core/src/cache.rs",
+    "crates/core/src/serve.rs",
 ];
 
 /// Keywords that may directly precede an array *literal* `[...]`, which is
@@ -466,7 +468,8 @@ impl Rule for PersistTypesDeriveSerde {
 
 /// `panic-reachability`: no panic source may be transitively reachable
 /// from a hot-path entry point. Entries are every non-test function in the
-/// query-scoring files (`topk.rs`, `ql.rs`, `bm25.rs`, `motif.rs`) plus
+/// query-scoring and serving files (`topk.rs`, `ql.rs`, `bm25.rs`,
+/// `motif.rs`, `cache.rs`, `serve.rs`) plus
 /// `Csr::neighbors`. Panic sources are `.unwrap()`, `.expect(..)` whose
 /// message does not name an invariant, the panicking macros, and (one
 /// severity step lower) bare indexing with no covering assert.
@@ -478,6 +481,8 @@ const ENTRY_FILES: &[&str] = &[
     "crates/searchlite/src/ql.rs",
     "crates/searchlite/src/bm25.rs",
     "crates/core/src/motif.rs",
+    "crates/core/src/cache.rs",
+    "crates/core/src/serve.rs",
 ];
 
 impl AstRule for PanicReachability {

@@ -20,12 +20,16 @@ impl Motif for OneWaySquare {
         MotifKind::Square
     }
 
-    fn expansions(&self, graph: &KbGraph, query_node: ArticleId) -> Vec<(ArticleId, u32)> {
+    fn expansions_into(
+        &self,
+        graph: &KbGraph,
+        query_node: ArticleId,
+        out: &mut Vec<(ArticleId, u32)>,
+    ) {
         let query_cats = graph.categories_of(query_node);
         if query_cats.is_empty() {
-            return Vec::new();
+            return;
         }
-        let mut out = Vec::new();
         // One-way out-links instead of mutual links.
         for &cand_raw in graph.out_links(query_node) {
             let cand = ArticleId::new(cand_raw);
@@ -47,7 +51,6 @@ impl Motif for OneWaySquare {
                 out.push((cand, squares));
             }
         }
-        out
     }
 }
 

@@ -1,10 +1,12 @@
-//! Regenerates every table and figure of the paper.
+//! Regenerates every table and figure of the paper, and load-tests the
+//! concurrent query service.
 //!
 //! ```text
 //! experiments [--small] [fig2|table1|fig5|table2|fig6|table3|table4|ablation|sensitivity|stats|export|query <text>|all]
+//! experiments serve-bench [--smoke] [--threads=1,2,8] [--out=BENCH_serve.json]
 //! ```
 
-use sqe_bench::{figures, tables, timing, ExperimentContext};
+use sqe_bench::{figures, serve_bench, tables, timing, ExperimentContext};
 
 fn print_stats(ctx: &ExperimentContext) {
     let stats = ctx.bed.kb.graph.stats();
@@ -93,9 +95,41 @@ fn adhoc_query(ctx: &ExperimentContext, text: &str) {
     }
 }
 
+/// Runs the serve-bench load generator and writes `BENCH_serve.json`.
+fn run_serve_bench_cli(ctx: &ExperimentContext, context_name: &str, args: &[String]) {
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut opts = if smoke {
+        serve_bench::ServeBenchOptions::smoke()
+    } else {
+        serve_bench::ServeBenchOptions::default()
+    };
+    if let Some(list) = args.iter().find_map(|a| a.strip_prefix("--threads=")) {
+        let counts: Vec<usize> = list.split(',').filter_map(|t| t.trim().parse().ok()).collect();
+        if counts.is_empty() {
+            eprintln!("--threads: expected a comma-separated list of worker counts, got '{list}'");
+            std::process::exit(2);
+        }
+        opts.thread_counts = counts;
+    }
+    let out = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--out="))
+        .unwrap_or("BENCH_serve.json");
+    let report = serve_bench::run_serve_bench(ctx, context_name, &opts);
+    print!("{}", serve_bench::format_report(&report));
+    match serve_bench::write_report(&report, std::path::Path::new(out)) {
+        Ok(()) => eprintln!("wrote {out}"),
+        Err(e) => {
+            eprintln!("writing {out} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let small = args.iter().any(|a| a == "--small");
+    // serve-bench --smoke implies the small test bed.
+    let small = args.iter().any(|a| a == "--small" || a == "--smoke");
     let what: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -146,6 +180,9 @@ fn main() {
             "fig6" => print!("{}", figures::figure6_all(&ctx)),
             "table3" => print!("{}", tables::table3_all(&ctx)),
             "table4" => print!("{}", timing::table4(&ctx)),
+            "serve-bench" => {
+                run_serve_bench_cli(&ctx, if small { "small" } else { "full" }, &args)
+            }
             "ablation" => print!("{}", tables::ablation(&ctx)),
             "sensitivity" => {
                 print!("{}", tables::sensitivity(&ctx));
@@ -173,6 +210,7 @@ fn main() {
             other => {
                 eprintln!("unknown experiment '{other}'");
                 eprintln!("usage: experiments [--small] [fig2|table1|fig5|table2|fig6|table3|table4|ablation|sensitivity|stats|export|query <text>|all]");
+                eprintln!("       experiments serve-bench [--smoke] [--threads=1,2,8] [--out=BENCH_serve.json]");
                 std::process::exit(2);
             }
         }

@@ -10,13 +10,16 @@
 //! | Table 3a–c (PRF and SQE_C/PRF) | [`tables::table3`] |
 //! | Table 4 (query-graph construction times) | [`timing::table4`] |
 //!
-//! The `experiments` binary drives them; Criterion benches live under
-//! `benches/`.
+//! Beyond the paper's artifacts, [`serve_bench`] load-tests the
+//! concurrent [`sqe::QueryService`] (`experiments serve-bench`, written
+//! to `BENCH_serve.json`). The `experiments` binary drives everything;
+//! Criterion benches live under `benches/`.
 
 pub mod context;
 pub mod export;
 pub mod report;
 pub mod runs;
+pub mod serve_bench;
 pub mod tables;
 pub mod timing;
 

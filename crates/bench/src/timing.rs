@@ -1,8 +1,85 @@
 //! Table 4: query-graph construction and total expansion times.
+//!
+//! Timings follow a warmup + median-of-k protocol ([`TimingProtocol`]):
+//! single wall-clock samples on a warm-cache-sensitive workload are noisy
+//! enough to scramble the paper's T < S < T&S ordering, while the median
+//! of several samples (each optionally averaging several inner
+//! iterations) is stable enough to assert orderings in tests.
 
 use std::time::Instant;
 
 use crate::context::ExperimentContext;
+
+/// Measurement protocol: `warmup` untimed executions, then `samples`
+/// timed ones (each averaging `inner_iters` executions); the reported
+/// value is the median sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingProtocol {
+    /// Untimed executions before sampling (fills caches, pages code in).
+    pub warmup: usize,
+    /// Timed samples; the median is reported.
+    pub samples: usize,
+    /// Executions per sample (averaged), to lift tiny workloads above
+    /// timer resolution.
+    pub inner_iters: usize,
+}
+
+impl Default for TimingProtocol {
+    fn default() -> Self {
+        TimingProtocol {
+            warmup: 1,
+            samples: 5,
+            inner_iters: 1,
+        }
+    }
+}
+
+impl TimingProtocol {
+    /// A heavier protocol for tests that assert orderings between
+    /// close timings.
+    pub fn thorough() -> Self {
+        TimingProtocol {
+            warmup: 2,
+            samples: 9,
+            inner_iters: 5,
+        }
+    }
+}
+
+/// Median of the samples under the NaN-safe total order (0 when empty).
+fn median_ms(samples: &mut [f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let n = samples.len();
+    let mid = n / 2;
+    let take = |i: usize| samples.get(i).copied().unwrap_or(0.0);
+    if n % 2 == 1 {
+        take(mid)
+    } else {
+        (take(mid - 1) + take(mid)) / 2.0
+    }
+}
+
+/// Runs `work` under the protocol and returns the median per-execution
+/// milliseconds.
+fn measure_ms(protocol: TimingProtocol, mut work: impl FnMut()) -> f64 {
+    for _ in 0..protocol.warmup {
+        work();
+    }
+    let samples_n = protocol.samples.max(1);
+    let iters = protocol.inner_iters.max(1);
+    let mut samples: Vec<f64> = Vec::with_capacity(samples_n);
+    for _ in 0..samples_n {
+        let start = Instant::now();
+        for _ in 0..iters {
+            work();
+        }
+        samples.push(start.elapsed().as_secs_f64() * 1e3 / iters as f64);
+    }
+    median_ms(&mut samples)
+}
 
 /// Timing of one dataset.
 #[derive(Debug, Clone)]
@@ -20,29 +97,38 @@ pub struct DatasetTiming {
     pub total_ms: f64,
 }
 
-/// Measures Table 4 for one dataset.
+/// Measures Table 4 for one dataset with the default protocol.
 pub fn measure_dataset(ctx: &ExperimentContext, dataset: &str) -> DatasetTiming {
+    measure_dataset_with(ctx, dataset, TimingProtocol::default())
+}
+
+/// Measures Table 4 for one dataset under an explicit protocol.
+pub fn measure_dataset_with(
+    ctx: &ExperimentContext,
+    dataset: &str,
+    protocol: TimingProtocol,
+) -> DatasetTiming {
     let r = ctx.runner(dataset);
     let pipeline = r.pipeline();
     let queries = &r.dataset().queries;
     let time_config = |tri: bool, sq: bool| -> f64 {
-        let start = Instant::now();
-        for q in queries {
-            let nodes = r.manual_nodes(q);
-            let qg = pipeline.build_query_graph(&nodes, tri, sq);
-            std::hint::black_box(qg.num_expansions());
-        }
-        start.elapsed().as_secs_f64() * 1e3
+        measure_ms(protocol, || {
+            for q in queries {
+                let nodes = r.manual_nodes(q);
+                let qg = pipeline.build_query_graph(&nodes, tri, sq);
+                std::hint::black_box(qg.num_expansions());
+            }
+        })
     };
     let sqe_t_ms = time_config(true, false);
     let sqe_ts_ms = time_config(true, true);
     let sqe_s_ms = time_config(false, true);
-    let start = Instant::now();
-    for q in queries {
-        let nodes = r.manual_nodes(q);
-        std::hint::black_box(pipeline.rank_sqe_c(&q.text, &nodes).len());
-    }
-    let total_ms = start.elapsed().as_secs_f64() * 1e3;
+    let total_ms = measure_ms(protocol, || {
+        for q in queries {
+            let nodes = r.manual_nodes(q);
+            std::hint::black_box(pipeline.rank_sqe_c(&q.text, &nodes).len());
+        }
+    });
     DatasetTiming {
         dataset: dataset.to_owned(),
         sqe_t_ms,
@@ -68,7 +154,8 @@ pub fn table4(ctx: &ExperimentContext) -> String {
     }
     s.push_str("(paper, ms: ImageCLEF 47/94/52, CHiC12 74/178/106, CHiC13 52/120/69;\n");
     s.push_str(" totals 1373/8908/5361 — absolute values depend on hardware and scale,\n");
-    s.push_str(" the shape to check: T < S < T&S and expansion ≪ total)\n");
+    s.push_str(" the shape to check: T < S < T&S and expansion ≪ total;\n");
+    s.push_str(" each cell is the median of 5 samples after 1 warmup)\n");
     s
 }
 
@@ -77,13 +164,53 @@ mod tests {
     use super::*;
 
     #[test]
+    fn median_is_robust_to_one_outlier() {
+        let mut odd = [3.0, 1.0, 1000.0];
+        assert_eq!(median_ms(&mut odd), 3.0);
+        let mut even = [4.0, 2.0, 8.0, 1000.0];
+        assert_eq!(median_ms(&mut even), 6.0);
+        let mut empty: [f64; 0] = [];
+        assert_eq!(median_ms(&mut empty), 0.0);
+    }
+
+    #[test]
+    fn protocol_averages_inner_iterations() {
+        // inner_iters divides the sample: timing k iterations of a
+        // sleep-free counter loop still reports per-execution time.
+        let mut runs = 0u32;
+        let p = TimingProtocol {
+            warmup: 2,
+            samples: 3,
+            inner_iters: 4,
+        };
+        let ms = measure_ms(p, || runs += 1);
+        assert_eq!(runs, 2 + 3 * 4);
+        assert!(ms >= 0.0);
+    }
+
+    #[test]
     fn timing_runs_and_orders() {
         let ctx = ExperimentContext::small();
-        let t = measure_dataset(&ctx, "imageclef");
-        assert!(t.sqe_t_ms >= 0.0);
+        let t = measure_dataset_with(&ctx, "imageclef", TimingProtocol::thorough());
+        assert!(t.sqe_t_ms > 0.0);
         assert!(t.total_ms > 0.0);
-        // Building both motifs costs at least as much as the cheaper one
-        // (allow generous slack for timer noise on tiny inputs).
-        assert!(t.sqe_ts_ms * 20.0 >= t.sqe_t_ms);
+        // The paper's Table 4 shape, assertable thanks to warmup +
+        // median-of-k: triangular traversal is cheaper than square
+        // (superset check vs. pairwise category adjacency), and running
+        // both motifs costs more than either alone.
+        assert!(
+            t.sqe_t_ms < t.sqe_s_ms,
+            "T ({}) must be cheaper than S ({})",
+            t.sqe_t_ms,
+            t.sqe_s_ms
+        );
+        assert!(
+            t.sqe_s_ms < t.sqe_ts_ms,
+            "S ({}) must be cheaper than T&S ({})",
+            t.sqe_s_ms,
+            t.sqe_ts_ms
+        );
+        // Expansion alone is far cheaper than the full SQE_C pipeline.
+        assert!(t.sqe_ts_ms < t.total_ms);
     }
 }

@@ -150,4 +150,98 @@ mod tests {
         let combined = sqe_c(&[], &[], &[], 100);
         assert!(combined.is_empty());
     }
+
+    #[test]
+    fn empty_middle_source_falls_through_to_tail_segment() {
+        // SQE_T&S empty: ranks 6+ come straight from SQE_S.
+        let t = docs("t", 10);
+        let s = docs("s", 10);
+        let combined = sqe_c(&t, &[], &s, 1000);
+        assert_eq!(combined.len(), 15);
+        assert!(combined[..5].iter().all(|d| d.starts_with('t')));
+        assert!(combined[5..].iter().all(|d| d.starts_with('s')));
+    }
+
+    #[test]
+    fn empty_leading_source_starts_with_second_segment() {
+        let ts = docs("m", 10);
+        let s = docs("s", 10);
+        let combined = sqe_c(&[], &ts, &s, 1000);
+        assert_eq!(combined.len(), 20);
+        assert_eq!(combined[0], "m0", "T empty: rank 1 comes from T&S");
+    }
+
+    #[test]
+    fn fewer_than_five_in_sqe_t_tops_up_from_ts() {
+        // SQE_T returns only 2 results: ranks 3–5 must come from SQE_T&S,
+        // not stay empty.
+        let t = docs("t", 2);
+        let ts = docs("m", 10);
+        let s = docs("s", 10);
+        let combined = sqe_c(&t, &ts, &s, 1000);
+        assert_eq!(
+            &combined[..5],
+            &["t0", "t1", "m0", "m1", "m2"],
+            "the first-five range is topped up by the next segment"
+        );
+        assert_eq!(combined.len(), 2 + 10 + 10);
+    }
+
+    #[test]
+    fn duplicate_across_all_three_segments_keeps_earliest_rank() {
+        // "dup" appears in every run; only its first (T) occurrence may
+        // survive, and later segments must not re-emit or re-rank it.
+        let t = vec!["dup".to_owned(), "t1".to_owned()];
+        let ts = vec!["dup".to_owned(), "m1".to_owned()];
+        let s = vec!["s1".to_owned(), "dup".to_owned(), "s2".to_owned()];
+        let combined = sqe_c(&t, &ts, &s, 1000);
+        assert_eq!(combined, vec!["dup", "t1", "m1", "s1", "s2"]);
+        assert_eq!(
+            combined.iter().filter(|d| d.as_str() == "dup").count(),
+            1,
+            "duplicates keep exactly the earlier rank"
+        );
+    }
+
+    #[test]
+    fn duplicate_skips_do_not_consume_rank_budget() {
+        // The first-five range takes five *distinct* documents from T&S
+        // even when some of its head duplicates T.
+        let t = vec!["a".to_owned()];
+        let ts = vec![
+            "a".to_owned(),
+            "b".to_owned(),
+            "c".to_owned(),
+            "d".to_owned(),
+            "e".to_owned(),
+            "f".to_owned(),
+        ];
+        let combined = sqe_c(&t, &ts, &[], 5);
+        assert_eq!(combined, vec!["a", "b", "c", "d", "e"]);
+    }
+
+    #[test]
+    fn zero_depth_yields_empty() {
+        let t = docs("t", 3);
+        assert!(sqe_c(&t, &t, &t, 0).is_empty());
+    }
+
+    #[test]
+    fn segment_with_until_rank_below_current_length_is_skipped() {
+        // A later segment whose range is already filled contributes
+        // nothing (until_rank is a target length, not a quota).
+        let a = docs("a", 5);
+        let b = docs("b", 5);
+        let combined = combine_rankings(&[
+            RankSegment {
+                run: &a,
+                until_rank: 4,
+            },
+            RankSegment {
+                run: &b,
+                until_rank: 2,
+            },
+        ]);
+        assert_eq!(combined, vec!["a0", "a1", "a2", "a3"]);
+    }
 }

@@ -85,17 +85,49 @@ pub fn expansion_part(
     analyzer: &Analyzer,
     max_expansions: usize,
 ) -> Query {
+    expansion_part_from(graph, &qg.expansions, analyzer, max_expansions)
+}
+
+/// [`expansion_part`] over a raw `(article, |m_a|)` slice — the form the
+/// serving layer uses on cached expansions (no [`QueryGraph`] needed).
+pub fn expansion_part_from(
+    graph: &KbGraph,
+    expansions: &[(ArticleId, u32)],
+    analyzer: &Analyzer,
+    max_expansions: usize,
+) -> Query {
     let mut q = Query::new();
-    let it = qg.expansions.iter();
     let take = if max_expansions == 0 {
         usize::MAX
     } else {
         max_expansions
     };
-    for &(a, m) in it.take(take) {
+    for &(a, m) in expansions.iter().take(take) {
         q.push_phrase_text(graph.article_title(a), analyzer, m as f64);
     }
     q
+}
+
+/// Assembles the three-part structured query from its raw ingredients:
+/// the user's text, the query-node ids, and the weighted expansion slice.
+/// This is the allocation-light entry point the serving layer uses with
+/// cached expansions; [`build_expanded_query`] wraps it.
+pub fn build_query(
+    graph: &KbGraph,
+    user_text: &str,
+    query_nodes: &[ArticleId],
+    expansions: &[(ArticleId, u32)],
+    analyzer: &Analyzer,
+    cfg: &ExpandConfig,
+) -> Query {
+    let user = user_part(user_text, analyzer);
+    let entities = entities_part(graph, query_nodes, analyzer);
+    let expansion = expansion_part_from(graph, expansions, analyzer, cfg.max_expansions);
+    Query::combine(&[
+        (user, cfg.w_user),
+        (entities, cfg.w_entities),
+        (expansion, cfg.w_expansion),
+    ])
 }
 
 /// Assembles the full three-part expanded query.
@@ -106,14 +138,7 @@ pub fn build_expanded_query(
     analyzer: &Analyzer,
     cfg: &ExpandConfig,
 ) -> ExpandedQuery {
-    let user = user_part(user_text, analyzer);
-    let entities = entities_part(graph, &qg.query_nodes, analyzer);
-    let expansion = expansion_part(graph, qg, analyzer, cfg.max_expansions);
-    let query = Query::combine(&[
-        (user, cfg.w_user),
-        (entities, cfg.w_entities),
-        (expansion, cfg.w_expansion),
-    ]);
+    let query = build_query(graph, user_text, &qg.query_nodes, &qg.expansions, analyzer, cfg);
     ExpandedQuery {
         query,
         query_graph: qg.clone(),

@@ -24,21 +24,34 @@
 //! Beyond the paper's published system, [`pattern`] factors the motif
 //! family into a declarative, enumerable space and [`learn`] implements
 //! the conclusion's future work: identifying the right motifs
-//! automatically from ground-truth query graphs.
+//! automatically from ground-truth query graphs. The [`serve`] module
+//! (with [`cache`] and [`metrics`]) wraps the pipeline in a concurrent
+//! query service — work-stealing batch execution, LRU expansion caching,
+//! and injected-clock latency metrics — that stays byte-identical to the
+//! sequential pipeline.
 
 pub mod analysis;
+pub mod cache;
 pub mod combine;
 pub mod expand;
 pub mod learn;
+pub mod metrics;
 pub mod motif;
 pub mod pattern;
 pub mod pipeline;
 pub mod query_graph;
+pub mod serve;
 
+pub use cache::{CacheKey, ExpansionCache, LruCache};
 pub use combine::{combine_rankings, RankSegment};
 pub use expand::{ExpandConfig, ExpandedQuery};
 pub use learn::{learn_motifs, Example, LearnedMotif, Objective};
+pub use metrics::{
+    Clock, HistogramSnapshot, LatencyHistogram, ManualClock, MetricsSnapshot, MonotonicClock,
+    NullClock, ServeMetrics, STAGE_NAMES,
+};
 pub use motif::{Motif, MotifKind, Square, Triangular};
 pub use pattern::{CategoryCondition, LinkCondition, PatternMotif};
-pub use pipeline::{SqeConfig, SqePipeline};
-pub use query_graph::{QueryGraph, QueryGraphBuilder};
+pub use pipeline::{SqeConfig, SqePipeline, SqeScratch};
+pub use query_graph::{QueryGraph, QueryGraphBuilder, QueryGraphScratch};
+pub use serve::{run_indexed, QueryService, ServeConfig};

@@ -45,10 +45,26 @@ pub trait Motif: Send + Sync {
     /// Which motif this is.
     fn kind(&self) -> MotifKind;
 
+    /// Appends `(expansion article, instance count)` pairs for
+    /// `query_node` to `out` (which is *not* cleared — callers batch
+    /// several traversals into one buffer). Counts are ≥ 1; articles
+    /// absent from the result close no instance of this motif with the
+    /// query node.
+    fn expansions_into(
+        &self,
+        graph: &KbGraph,
+        query_node: ArticleId,
+        out: &mut Vec<(ArticleId, u32)>,
+    );
+
     /// Enumerates `(expansion article, instance count)` pairs for
-    /// `query_node`. Counts are ≥ 1; articles absent from the result
-    /// close no instance of this motif with the query node.
-    fn expansions(&self, graph: &KbGraph, query_node: ArticleId) -> Vec<(ArticleId, u32)>;
+    /// `query_node` into a fresh vector (convenience over
+    /// [`Motif::expansions_into`]).
+    fn expansions(&self, graph: &KbGraph, query_node: ArticleId) -> Vec<(ArticleId, u32)> {
+        let mut out = Vec::new();
+        self.expansions_into(graph, query_node, &mut out);
+        out
+    }
 }
 
 /// The triangular motif (Figure 3a).
@@ -60,13 +76,17 @@ impl Motif for Triangular {
         MotifKind::Triangular
     }
 
-    fn expansions(&self, graph: &KbGraph, query_node: ArticleId) -> Vec<(ArticleId, u32)> {
+    fn expansions_into(
+        &self,
+        graph: &KbGraph,
+        query_node: ArticleId,
+        out: &mut Vec<(ArticleId, u32)>,
+    ) {
         let query_cats = graph.categories_of(query_node);
         if query_cats.is_empty() {
             // No category evidence ⇒ no triangles.
-            return Vec::new();
+            return;
         }
-        let mut out = Vec::new();
         for cand in graph.mutual_links(query_node) {
             if graph.categories_superset(query_node, cand) {
                 // cats(cand) ⊇ cats(query): each shared category (i.e.
@@ -74,7 +94,6 @@ impl Motif for Triangular {
                 out.push((cand, query_cats.len() as u32));
             }
         }
-        out
     }
 }
 
@@ -87,12 +106,16 @@ impl Motif for Square {
         MotifKind::Square
     }
 
-    fn expansions(&self, graph: &KbGraph, query_node: ArticleId) -> Vec<(ArticleId, u32)> {
+    fn expansions_into(
+        &self,
+        graph: &KbGraph,
+        query_node: ArticleId,
+        out: &mut Vec<(ArticleId, u32)>,
+    ) {
         let query_cats = graph.categories_of(query_node);
         if query_cats.is_empty() {
-            return Vec::new();
+            return;
         }
-        let mut out = Vec::new();
         for cand in graph.mutual_links(query_node) {
             let cand_cats = graph.categories_of(cand);
             if cand_cats.is_empty() {
@@ -113,7 +136,6 @@ impl Motif for Square {
                 out.push((cand, squares));
             }
         }
-        out
     }
 }
 
@@ -287,5 +309,21 @@ mod tests {
     fn motif_kinds_and_names() {
         assert_eq!(Triangular.kind().short_name(), "T");
         assert_eq!(Square.kind().short_name(), "S");
+    }
+
+    #[test]
+    fn expansions_into_appends_without_clearing() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_article("a");
+        let x = b.add_article("x");
+        let c = b.add_category("c");
+        b.add_mutual_link(a, x);
+        b.add_membership(a, c);
+        b.add_membership(x, c);
+        let g = b.build();
+        let sentinel = (ArticleId::new(99), 7);
+        let mut out = vec![sentinel];
+        Triangular.expansions_into(&g, a, &mut out);
+        assert_eq!(out, vec![sentinel, (x, 1)]);
     }
 }

@@ -188,8 +188,12 @@ impl Motif for PatternMotif {
         }
     }
 
-    fn expansions(&self, graph: &KbGraph, query_node: ArticleId) -> Vec<(ArticleId, u32)> {
-        let mut out = Vec::new();
+    fn expansions_into(
+        &self,
+        graph: &KbGraph,
+        query_node: ArticleId,
+        out: &mut Vec<(ArticleId, u32)>,
+    ) {
         for cand in self.link_candidates(graph, query_node) {
             if cand == query_node {
                 continue;
@@ -199,7 +203,6 @@ impl Motif for PatternMotif {
                 out.push((cand, m));
             }
         }
-        out
     }
 }
 

@@ -6,12 +6,27 @@
 //! bound `SQE^UB`.
 
 use kbgraph::{ArticleId, KbGraph};
-use searchlite::ql::{self, QlParams, SearchHit};
+use searchlite::ql::{self, QlParams, QlScratch, SearchHit};
 use searchlite::{Index, Query};
 
 use crate::combine;
 use crate::expand::{self, ExpandConfig, ExpandedQuery};
-use crate::query_graph::{QueryGraph, QueryGraphBuilder};
+use crate::query_graph::{QueryGraph, QueryGraphBuilder, QueryGraphScratch};
+
+/// Reusable per-worker buffers for batch SQE serving: motif-traversal
+/// scratch plus retrieval scratch. One instance per worker thread.
+#[derive(Debug, Default)]
+pub struct SqeScratch {
+    pub(crate) qg: QueryGraphScratch,
+    pub(crate) ql: QlScratch,
+}
+
+impl SqeScratch {
+    /// Creates empty scratch buffers.
+    pub fn new() -> Self {
+        SqeScratch::default()
+    }
+}
 
 /// Pipeline configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -157,8 +172,32 @@ impl<'a> SqePipeline<'a> {
         triangular: bool,
         square: bool,
     ) -> (Vec<SearchHit>, QueryGraph) {
-        let eq = self.expand(text, nodes, triangular, square);
-        (self.rank(&eq.query), eq.query_graph)
+        self.rank_sqe_with_scratch(text, nodes, triangular, square, &mut SqeScratch::new())
+    }
+
+    /// [`SqePipeline::rank_sqe`] with caller-owned scratch buffers;
+    /// identical output.
+    pub fn rank_sqe_with_scratch(
+        &self,
+        text: &str,
+        nodes: &[ArticleId],
+        triangular: bool,
+        square: bool,
+        scratch: &mut SqeScratch,
+    ) -> (Vec<SearchHit>, QueryGraph) {
+        let qg = QueryGraphBuilder::with_config(self.graph, triangular, square)
+            .build_with_scratch(nodes, &mut scratch.qg);
+        let query = expand::build_query(
+            self.graph,
+            text,
+            &qg.query_nodes,
+            &qg.expansions,
+            self.index.analyzer(),
+            &self.cfg.expand,
+        );
+        let hits =
+            ql::rank_with_scratch(self.index, &query, self.cfg.ql, self.cfg.depth, &mut scratch.ql);
+        (hits, qg)
     }
 
     /// `SQE^UB`: expansion from externally supplied (ground-truth)
@@ -184,10 +223,10 @@ impl<'a> SqePipeline<'a> {
     }
 
     /// Batch `SQE` retrieval over many queries, spread across `threads`
-    /// workers (the parallelization the paper's Section 4.4 suggests
-    /// would trivially reduce its expansion times). Results keep input
-    /// order; each entry is the ranked hit list of the corresponding
-    /// `(text, nodes)` pair.
+    /// workers via the work-stealing executor (the parallelization the
+    /// paper's Section 4.4 suggests would trivially reduce its expansion
+    /// times). Results keep input order; each entry is the ranked hit
+    /// list of the corresponding `(text, nodes)` pair.
     pub fn rank_sqe_many(
         &self,
         queries: &[(String, Vec<ArticleId>)],
@@ -195,25 +234,9 @@ impl<'a> SqePipeline<'a> {
         square: bool,
         threads: usize,
     ) -> Vec<Vec<SearchHit>> {
-        if threads <= 1 || queries.len() <= 1 {
-            return queries
-                .iter()
-                .map(|(text, nodes)| self.rank_sqe(text, nodes, triangular, square).0)
-                .collect();
-        }
-        let mut out: Vec<Option<Vec<SearchHit>>> = (0..queries.len()).map(|_| None).collect();
-        let chunk = queries.len().div_ceil(threads);
-        crossbeam::thread::scope(|s| {
-            for (qchunk, ochunk) in queries.chunks(chunk).zip(out.chunks_mut(chunk)) {
-                s.spawn(move |_| {
-                    for ((text, nodes), slot) in qchunk.iter().zip(ochunk.iter_mut()) {
-                        *slot = Some(self.rank_sqe(text, nodes, triangular, square).0);
-                    }
-                });
-            }
+        crate::serve::run_indexed(queries, threads, SqeScratch::new, |(text, nodes), scratch| {
+            self.rank_sqe_with_scratch(text, nodes, triangular, square, scratch).0
         })
-        .expect("worker panicked");
-        out.into_iter().map(|h| h.expect("filled")).collect()
     }
 
     /// `SQE_C`: the paper's rank-range combination — ranks 1–5 from

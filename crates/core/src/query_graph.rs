@@ -67,6 +67,22 @@ impl QueryGraph {
     }
 }
 
+/// Reusable buffers for [`QueryGraphBuilder::build_with_scratch`]: the
+/// multiplicity map and the per-motif traversal buffer survive across
+/// queries so batch serving does not reallocate per query.
+#[derive(Debug, Default)]
+pub struct QueryGraphScratch {
+    counts: FxHashMap<ArticleId, u32>,
+    motif_buf: Vec<(ArticleId, u32)>,
+}
+
+impl QueryGraphScratch {
+    /// Creates empty scratch buffers.
+    pub fn new() -> Self {
+        QueryGraphScratch::default()
+    }
+}
+
 /// Builds query graphs by running a motif set from every query node.
 pub struct QueryGraphBuilder<'g> {
     graph: &'g KbGraph,
@@ -102,17 +118,30 @@ impl<'g> QueryGraphBuilder<'g> {
     /// motifs *and* query nodes. Query nodes never appear among their own
     /// expansions.
     pub fn build(&self, query_nodes: &[ArticleId]) -> QueryGraph {
-        let mut counts: FxHashMap<ArticleId, u32> = FxHashMap::default();
+        self.build_with_scratch(query_nodes, &mut QueryGraphScratch::new())
+    }
+
+    /// [`QueryGraphBuilder::build`] with caller-owned scratch buffers;
+    /// identical output (the multiplicity map is drained and the result
+    /// fully sorted, so map iteration order never leaks).
+    pub fn build_with_scratch(
+        &self,
+        query_nodes: &[ArticleId],
+        scratch: &mut QueryGraphScratch,
+    ) -> QueryGraph {
+        scratch.counts.clear();
         for &qn in query_nodes {
             for motif in &self.motifs {
-                for (a, m) in motif.expansions(self.graph, qn) {
+                scratch.motif_buf.clear();
+                motif.expansions_into(self.graph, qn, &mut scratch.motif_buf);
+                for &(a, m) in &scratch.motif_buf {
                     if !query_nodes.contains(&a) {
-                        *counts.entry(a).or_insert(0) += m;
+                        *scratch.counts.entry(a).or_insert(0) += m;
                     }
                 }
             }
         }
-        let mut expansions: Vec<(ArticleId, u32)> = counts.into_iter().collect();
+        let mut expansions: Vec<(ArticleId, u32)> = scratch.counts.drain().collect();
         expansions.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         QueryGraph {
             query_nodes: query_nodes.to_vec(),
@@ -120,26 +149,14 @@ impl<'g> QueryGraphBuilder<'g> {
         }
     }
 
-    /// Builds query graphs for many queries, spreading query-node motif
-    /// traversals over `threads` workers (the parallelization the paper's
-    /// Section 4.4 suggests). Results keep input order.
+    /// Builds query graphs for many queries, spreading whole-query work
+    /// items over `threads` workers via the work-stealing executor (the
+    /// parallelization the paper's Section 4.4 suggests). Results keep
+    /// input order.
     pub fn build_many(&self, queries: &[Vec<ArticleId>], threads: usize) -> Vec<QueryGraph> {
-        if threads <= 1 || queries.len() <= 1 {
-            return queries.iter().map(|q| self.build(q)).collect();
-        }
-        let mut out: Vec<Option<QueryGraph>> = (0..queries.len()).map(|_| None).collect();
-        let chunk = queries.len().div_ceil(threads);
-        crossbeam::thread::scope(|s| {
-            for (qchunk, ochunk) in queries.chunks(chunk).zip(out.chunks_mut(chunk)) {
-                s.spawn(move |_| {
-                    for (q, slot) in qchunk.iter().zip(ochunk.iter_mut()) {
-                        *slot = Some(self.build(q));
-                    }
-                });
-            }
+        crate::serve::run_indexed(queries, threads, QueryGraphScratch::new, |q, scratch| {
+            self.build_with_scratch(q, scratch)
         })
-        .expect("worker panicked");
-        out.into_iter().map(|g| g.expect("filled")).collect()
     }
 }
 

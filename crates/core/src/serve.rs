@@ -1,0 +1,544 @@
+//! Concurrent query serving: work-stealing batch execution, expansion
+//! caching, and injected-clock latency metrics.
+//!
+//! The ROADMAP's north star is serving SQE under heavy traffic "as fast
+//! as the hardware allows" while staying bit-identical to the paper's
+//! sequential pipeline. This module provides:
+//!
+//! * [`run_indexed`] — a work-stealing executor over `crossbeam`
+//!   channels. Each query is one work item pulled by idle workers, so a
+//!   pathological query no longer stalls its whole even-sized chunk (the
+//!   previous behaviour of `rank_sqe_many` / `build_many`). Results are
+//!   written into their input slot, so output order — and therefore every
+//!   downstream run file — is independent of scheduling.
+//! * [`QueryService`] — the serving facade over [`SqePipeline`]: an LRU
+//!   [`ExpansionCache`] keyed by the sorted query-node set + motif config
+//!   (motif traversal is the dominant per-query cost and is a pure
+//!   function of exactly that key), per-worker reusable scratch buffers,
+//!   and [`ServeMetrics`] recording cache traffic plus per-stage latency
+//!   through an injected [`Clock`] (no wall-clock reads in library code;
+//!   tests drive a `ManualClock`).
+//!
+//! # Determinism contract
+//!
+//! For any worker count and any cache state, [`QueryService`] output is
+//! byte-identical to the sequential uncached [`SqePipeline`]: cached
+//! expansions are exactly the `QueryGraph::expansions` a fresh build
+//! returns (the cache key preserves query-node multiplicity), and a
+//! racing double-compute of the same key inserts the same value twice.
+//! `tests/serve_determinism.rs` enforces this end-to-end on run files.
+
+use std::sync::Arc;
+
+use kbgraph::{ArticleId, KbGraph};
+use searchlite::ql::{self, SearchHit};
+use searchlite::Index;
+
+use crate::cache::{CacheKey, CachedExpansions, ExpansionCache};
+use crate::combine;
+use crate::expand;
+use crate::metrics::{Clock, MetricsSnapshot, NullClock, ServeMetrics};
+use crate::pipeline::{SqeConfig, SqePipeline, SqeScratch};
+use crate::query_graph::QueryGraphBuilder;
+
+/// Runs `f` over every item on `workers` threads with work stealing:
+/// items are fed through an MPMC channel and idle workers pull the next
+/// index, so load imbalance between items never idles a thread while work
+/// remains. Each worker owns one scratch value from `make_scratch`.
+/// Results keep input order (slot `i` holds `f(&items[i])`).
+///
+/// With `workers <= 1` or fewer than two items the items are processed
+/// inline on the caller's thread (still through one scratch value), which
+/// is the sequential reference behaviour.
+pub fn run_indexed<T, R, S>(
+    items: &[T],
+    workers: usize,
+    make_scratch: impl Fn() -> S + Sync,
+    f: impl Fn(&T, &mut S) -> R + Sync,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    if workers <= 1 || items.len() <= 1 {
+        let mut scratch = make_scratch();
+        return items.iter().map(|item| f(item, &mut scratch)).collect();
+    }
+    let (job_tx, job_rx) = crossbeam::channel::unbounded::<usize>();
+    for i in 0..items.len() {
+        job_tx
+            .send(i)
+            .expect("invariant: unbounded channel send cannot fail");
+    }
+    // Close the job queue: workers drain it and then see disconnection.
+    drop(job_tx);
+    let (res_tx, res_rx) = crossbeam::channel::unbounded::<(usize, R)>();
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers.min(items.len()) {
+            let job_rx = job_rx.clone();
+            let res_tx = res_tx.clone();
+            let make_scratch = &make_scratch;
+            let f = &f;
+            s.spawn(move |_| {
+                let mut scratch = make_scratch();
+                while let Ok(i) = job_rx.recv() {
+                    if let Some(item) = items.get(i) {
+                        let r = f(item, &mut scratch);
+                        res_tx
+                            .send((i, r))
+                            .expect("invariant: unbounded channel send cannot fail");
+                    }
+                }
+            });
+        }
+        // Only workers hold result senders now: when they all finish (or
+        // panic, which drops their sender), `recv` disconnects and this
+        // loop ends — no deadlock, and the scope re-raises any panic.
+        drop(res_tx);
+        while let Ok((i, r)) = res_rx.recv() {
+            if let Some(slot) = out.get_mut(i) {
+                *slot = Some(r);
+            }
+        }
+    })
+    .expect("invariant: child panics re-raise inside the scope itself");
+    out.into_iter()
+        .map(|r| r.expect("invariant: every job index sent exactly one result"))
+        .collect()
+}
+
+/// Configuration of a [`QueryService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker threads for batch entry points (1 = in-caller sequential).
+    pub workers: usize,
+    /// Seeded capacity of the expansion cache (0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 1,
+            cache_capacity: 4096,
+        }
+    }
+}
+
+/// The concurrent SQE query service: [`SqePipeline`] semantics behind an
+/// expansion cache, a work-stealing batch executor, and latency metrics.
+pub struct QueryService<'a> {
+    pipeline: SqePipeline<'a>,
+    serve_cfg: ServeConfig,
+    cache: ExpansionCache,
+    metrics: ServeMetrics,
+    clock: Arc<dyn Clock>,
+}
+
+impl<'a> QueryService<'a> {
+    /// Creates a service with the no-op [`NullClock`] (counters work,
+    /// latency histograms record zeros).
+    pub fn new(graph: &'a KbGraph, index: &'a Index, cfg: SqeConfig, serve_cfg: ServeConfig) -> Self {
+        QueryService::with_clock(graph, index, cfg, serve_cfg, Arc::new(NullClock))
+    }
+
+    /// Creates a service with an injected clock — a `MonotonicClock` in
+    /// the bench harness, a `ManualClock` in tests.
+    pub fn with_clock(
+        graph: &'a KbGraph,
+        index: &'a Index,
+        cfg: SqeConfig,
+        serve_cfg: ServeConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
+        QueryService {
+            pipeline: SqePipeline::new(graph, index, cfg),
+            serve_cfg,
+            cache: ExpansionCache::new(serve_cfg.cache_capacity),
+            metrics: ServeMetrics::new(),
+            clock,
+        }
+    }
+
+    /// The wrapped sequential pipeline.
+    pub fn pipeline(&self) -> &SqePipeline<'a> {
+        &self.pipeline
+    }
+
+    /// The serving configuration.
+    pub fn serve_config(&self) -> &ServeConfig {
+        &self.serve_cfg
+    }
+
+    /// Converts hits to external document ids.
+    pub fn external_ids(&self, hits: &[SearchHit]) -> Vec<String> {
+        self.pipeline.external_ids(hits)
+    }
+
+    /// Bumps the cache generation: every cached expansion becomes stale.
+    /// Call when the graph or index content behind the service changes.
+    pub fn invalidate_cache(&self) {
+        self.cache.invalidate();
+        self.metrics.invalidations.inc();
+    }
+
+    /// Occupied cache entries (live and stale-but-unreclaimed).
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Point-in-time copy of every metric.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot(self.cache.evictions())
+    }
+
+    /// Zeroes counters and histograms without touching the cache: the
+    /// bench harness resets between its cold and warm phases so the warm
+    /// numbers are not polluted by cold-phase latencies.
+    pub fn reset_metrics(&self) {
+        self.metrics.reset();
+    }
+
+    /// The expansion features for one query under one motif config:
+    /// cache hit, or a fresh motif traversal that seeds the cache. Two
+    /// workers racing on the same cold key both compute the same value,
+    /// so the outcome is order-independent.
+    fn expansions_for(
+        &self,
+        nodes: &[ArticleId],
+        triangular: bool,
+        square: bool,
+        scratch: &mut SqeScratch,
+    ) -> CachedExpansions {
+        let key = CacheKey::new(nodes, triangular, square);
+        if let Some(hit) = self.cache.get(&key) {
+            self.metrics.cache_hits.inc();
+            return hit;
+        }
+        self.metrics.cache_misses.inc();
+        let builder = QueryGraphBuilder::with_config(self.pipeline.graph(), triangular, square);
+        let qg = builder.build_with_scratch(nodes, &mut scratch.qg);
+        let expansions: CachedExpansions = Arc::new(qg.expansions);
+        self.cache.insert(key, Arc::clone(&expansions));
+        expansions
+    }
+
+    /// Expand + rank for one motif config, recording the two stage
+    /// histograms but not the per-query totals (SQE_C runs this three
+    /// times per query).
+    fn stage_run(
+        &self,
+        text: &str,
+        nodes: &[ArticleId],
+        triangular: bool,
+        square: bool,
+        scratch: &mut SqeScratch,
+    ) -> Vec<SearchHit> {
+        let cfg = self.pipeline.config();
+        let t0 = self.clock.now_nanos();
+        let expansions = self.expansions_for(nodes, triangular, square, scratch);
+        let t1 = self.clock.now_nanos();
+        let query = expand::build_query(
+            self.pipeline.graph(),
+            text,
+            nodes,
+            &expansions,
+            self.pipeline.index().analyzer(),
+            &cfg.expand,
+        );
+        let hits =
+            ql::rank_with_scratch(self.pipeline.index(), &query, cfg.ql, cfg.depth, &mut scratch.ql);
+        let t2 = self.clock.now_nanos();
+        self.metrics.stages.expand.record(t1.saturating_sub(t0));
+        self.metrics.stages.rank.record(t2.saturating_sub(t1));
+        hits
+    }
+
+    /// `SQE_T` / `SQE_S` / `SQE_T&S` retrieval through the cache;
+    /// identical output to [`SqePipeline::rank_sqe`].
+    pub fn rank_sqe(
+        &self,
+        text: &str,
+        nodes: &[ArticleId],
+        triangular: bool,
+        square: bool,
+    ) -> Vec<SearchHit> {
+        self.rank_sqe_with_scratch(text, nodes, triangular, square, &mut SqeScratch::new())
+    }
+
+    fn rank_sqe_with_scratch(
+        &self,
+        text: &str,
+        nodes: &[ArticleId],
+        triangular: bool,
+        square: bool,
+        scratch: &mut SqeScratch,
+    ) -> Vec<SearchHit> {
+        let t0 = self.clock.now_nanos();
+        let hits = self.stage_run(text, nodes, triangular, square, scratch);
+        let t1 = self.clock.now_nanos();
+        self.metrics.stages.total.record(t1.saturating_sub(t0));
+        self.metrics.queries.inc();
+        hits
+    }
+
+    /// `SQE_C` rank-range combination through the cache; identical output
+    /// to [`SqePipeline::rank_sqe_c`].
+    pub fn rank_sqe_c(&self, text: &str, nodes: &[ArticleId]) -> Vec<String> {
+        self.rank_sqe_c_with_scratch(text, nodes, &mut SqeScratch::new())
+    }
+
+    fn rank_sqe_c_with_scratch(
+        &self,
+        text: &str,
+        nodes: &[ArticleId],
+        scratch: &mut SqeScratch,
+    ) -> Vec<String> {
+        let t0 = self.clock.now_nanos();
+        let t = self.stage_run(text, nodes, true, false, scratch);
+        let ts = self.stage_run(text, nodes, true, true, scratch);
+        let s = self.stage_run(text, nodes, false, true, scratch);
+        let c0 = self.clock.now_nanos();
+        let ids = combine::sqe_c(
+            &self.external_ids(&t),
+            &self.external_ids(&ts),
+            &self.external_ids(&s),
+            self.pipeline.config().depth,
+        );
+        let c1 = self.clock.now_nanos();
+        self.metrics.stages.combine.record(c1.saturating_sub(c0));
+        self.metrics.stages.total.record(c1.saturating_sub(t0));
+        self.metrics.queries.inc();
+        ids
+    }
+
+    /// Batch `SQE` retrieval over the configured worker pool; results
+    /// keep input order and match [`SqePipeline::rank_sqe_many`].
+    pub fn run_batch(
+        &self,
+        queries: &[(String, Vec<ArticleId>)],
+        triangular: bool,
+        square: bool,
+    ) -> Vec<Vec<SearchHit>> {
+        run_indexed(
+            queries,
+            self.serve_cfg.workers,
+            SqeScratch::new,
+            |(text, nodes), scratch| {
+                self.rank_sqe_with_scratch(text, nodes, triangular, square, scratch)
+            },
+        )
+    }
+
+    /// Batch `SQE_C` retrieval over the configured worker pool; results
+    /// keep input order.
+    pub fn run_batch_sqe_c(&self, queries: &[(String, Vec<ArticleId>)]) -> Vec<Vec<String>> {
+        run_indexed(
+            queries,
+            self.serve_cfg.workers,
+            SqeScratch::new,
+            |(text, nodes), scratch| self.rank_sqe_c_with_scratch(text, nodes, scratch),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::ManualClock;
+    use kbgraph::GraphBuilder;
+    use searchlite::{Analyzer, IndexBuilder};
+
+    fn world() -> (KbGraph, Index, ArticleId) {
+        let mut b = GraphBuilder::new();
+        let cable = b.add_article("cable car");
+        let funi = b.add_article("funicular");
+        let cat = b.add_category("mountain railways");
+        b.add_mutual_link(cable, funi);
+        b.add_membership(cable, cat);
+        b.add_membership(funi, cat);
+        let graph = b.build();
+
+        let mut ib = IndexBuilder::new(Analyzer::plain());
+        ib.add_document("d-cable-0", "cable car climbing the peak");
+        ib.add_document("d-funi-0", "old funicular near the village");
+        ib.add_document("d-funi-1", "the funicular station entrance");
+        ib.add_document("d-noise-0", "a market square with fruit");
+        let index = ib.build();
+        (graph, index, cable)
+    }
+
+    fn queries(cable: ArticleId) -> Vec<(String, Vec<ArticleId>)> {
+        vec![
+            ("cable car".into(), vec![cable]),
+            ("funicular station".into(), vec![cable]),
+            ("market fruit".into(), vec![]),
+            ("cable car".into(), vec![cable]), // repeat: cache hit
+        ]
+    }
+
+    #[test]
+    fn run_indexed_keeps_input_order_at_any_worker_count() {
+        let items: Vec<u32> = (0..37).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| u64::from(x) * 3).collect();
+        for workers in [0, 1, 2, 8, 64] {
+            let got = run_indexed(&items, workers, || (), |&x, ()| u64::from(x) * 3);
+            assert_eq!(got, expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn run_indexed_empty_and_singleton() {
+        let none: Vec<u8> = Vec::new();
+        assert!(run_indexed(&none, 4, || (), |&x, ()| x).is_empty());
+        assert_eq!(run_indexed(&[9u8], 4, || (), |&x, ()| x), vec![9]);
+    }
+
+    #[test]
+    fn run_indexed_scratch_is_per_worker_state() {
+        // Scratch values accumulate across items without cross-talk: the
+        // per-item result only depends on the item, never on scheduling.
+        let items: Vec<u32> = (0..16).collect();
+        let got = run_indexed(
+            &items,
+            4,
+            Vec::<u32>::new,
+            |&x, scratch: &mut Vec<u32>| {
+                scratch.push(x);
+                x + 1
+            },
+        );
+        assert_eq!(got, (1..=16).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn service_matches_pipeline_for_each_motif_config() {
+        let (graph, index, cable) = world();
+        let pipeline = SqePipeline::new(&graph, &index, SqeConfig::default());
+        let service = QueryService::new(&graph, &index, SqeConfig::default(), ServeConfig::default());
+        for (tri, sq) in [(true, false), (false, true), (true, true)] {
+            for (text, nodes) in queries(cable) {
+                let want = pipeline.rank_sqe(&text, &nodes, tri, sq).0;
+                // Twice: cold then warm cache.
+                assert_eq!(service.rank_sqe(&text, &nodes, tri, sq), want);
+                assert_eq!(service.rank_sqe(&text, &nodes, tri, sq), want);
+            }
+        }
+    }
+
+    #[test]
+    fn service_sqe_c_matches_pipeline() {
+        let (graph, index, cable) = world();
+        let pipeline = SqePipeline::new(&graph, &index, SqeConfig::default());
+        let service = QueryService::new(&graph, &index, SqeConfig::default(), ServeConfig::default());
+        for (text, nodes) in queries(cable) {
+            let want = pipeline.rank_sqe_c(&text, &nodes);
+            assert_eq!(service.rank_sqe_c(&text, &nodes), want);
+            assert_eq!(service.rank_sqe_c(&text, &nodes), want, "warm");
+        }
+    }
+
+    #[test]
+    fn batch_matches_sequential_at_every_worker_count() {
+        let (graph, index, cable) = world();
+        let pipeline = SqePipeline::new(&graph, &index, SqeConfig::default());
+        let qs = queries(cable);
+        let want: Vec<Vec<SearchHit>> = qs
+            .iter()
+            .map(|(text, nodes)| pipeline.rank_sqe(text, nodes, true, true).0)
+            .collect();
+        for workers in [1, 2, 8] {
+            let serve_cfg = ServeConfig {
+                workers,
+                ..ServeConfig::default()
+            };
+            let service = QueryService::new(&graph, &index, SqeConfig::default(), serve_cfg);
+            assert_eq!(service.run_batch(&qs, true, true), want, "cold workers={workers}");
+            assert_eq!(service.run_batch(&qs, true, true), want, "warm workers={workers}");
+        }
+    }
+
+    #[test]
+    fn cache_counters_track_hits_and_misses() {
+        let (graph, index, cable) = world();
+        let service = QueryService::new(&graph, &index, SqeConfig::default(), ServeConfig::default());
+        let qs = queries(cable);
+        service.run_batch(&qs, true, false);
+        let snap = service.metrics_snapshot();
+        // 4 queries but only 2 distinct keys: the key is the node set +
+        // motif config, so the three `[cable]` queries share one entry
+        // regardless of their text.
+        assert_eq!(snap.queries, 4);
+        assert_eq!(snap.cache_misses, 2);
+        assert_eq!(snap.cache_hits, 2);
+        service.run_batch(&qs, true, false);
+        let snap = service.metrics_snapshot();
+        assert_eq!(snap.cache_misses, 2, "second pass is fully warm");
+        assert_eq!(snap.cache_hits, 6);
+        assert!(snap.cache_hit_rate > 0.7);
+    }
+
+    #[test]
+    fn invalidation_forces_recompute() {
+        let (graph, index, cable) = world();
+        let service = QueryService::new(&graph, &index, SqeConfig::default(), ServeConfig::default());
+        let hits = service.rank_sqe("cable car", &[cable], true, false);
+        service.invalidate_cache();
+        assert_eq!(service.rank_sqe("cable car", &[cable], true, false), hits);
+        let snap = service.metrics_snapshot();
+        assert_eq!(snap.cache_misses, 2, "post-invalidation lookup misses");
+        assert_eq!(snap.invalidations, 1);
+    }
+
+    #[test]
+    fn zero_capacity_cache_still_serves_correctly() {
+        let (graph, index, cable) = world();
+        let pipeline = SqePipeline::new(&graph, &index, SqeConfig::default());
+        let serve_cfg = ServeConfig {
+            workers: 1,
+            cache_capacity: 0,
+        };
+        let service = QueryService::new(&graph, &index, SqeConfig::default(), serve_cfg);
+        for _ in 0..2 {
+            assert_eq!(
+                service.rank_sqe("cable car", &[cable], true, true),
+                pipeline.rank_sqe("cable car", &[cable], true, true).0
+            );
+        }
+        let snap = service.metrics_snapshot();
+        assert_eq!(snap.cache_hits, 0, "capacity 0 never hits");
+        assert_eq!(snap.cache_misses, 2);
+    }
+
+    #[test]
+    fn manual_clock_drives_stage_histograms() {
+        let (graph, index, cable) = world();
+        let clock = Arc::new(ManualClock::new());
+        // Tick 100ns at every read. One rank_sqe reads five times (outer
+        // t0, stage t0/t1/t2, outer t1): expand = 100, rank = 100,
+        // total = 400 (spans the four inner ticks).
+        struct Ticking(Arc<ManualClock>);
+        impl Clock for Ticking {
+            fn now_nanos(&self) -> u64 {
+                self.0.advance(100);
+                self.0.now_nanos()
+            }
+        }
+        let service = QueryService::with_clock(
+            &graph,
+            &index,
+            SqeConfig::default(),
+            ServeConfig::default(),
+            Arc::new(Ticking(Arc::clone(&clock))),
+        );
+        service.rank_sqe("cable car", &[cable], true, false);
+        let snap = service.metrics_snapshot();
+        let stage = |i: usize| snap.stages.get(i).copied().expect("four stages");
+        assert_eq!(stage(0).count, 1); // expand
+        assert_eq!(stage(0).sum_nanos, 100);
+        assert_eq!(stage(1).sum_nanos, 100); // rank
+        assert_eq!(stage(3).sum_nanos, 400); // total spans 4 ticks
+        assert_eq!(stage(2).count, 0, "no combine stage for plain SQE");
+    }
+}

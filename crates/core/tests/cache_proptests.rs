@@ -1,0 +1,174 @@
+//! Model-based property tests for the expansion LRU cache.
+//!
+//! A reference model (a plain MRU-ordered `Vec` plus a generation
+//! counter) interprets arbitrary interleavings of lookup / insert /
+//! invalidate against `sqe::cache::LruCache`, checking after every step:
+//!
+//! * capacity is never exceeded,
+//! * recency order matches the model exactly,
+//! * every hit equals a fresh recompute of the key *under the current
+//!   generation* (so a stale post-invalidation value can never leak),
+//! * the eviction counter counts exactly the model's live evictions.
+
+use kbgraph::ArticleId;
+use proptest::prelude::*;
+use sqe::cache::{CacheKey, LruCache};
+
+/// The deterministic "expensive computation" the cache memoizes: a pure
+/// function of the key and the invalidation generation.
+fn compute(key: u32, generation: u64) -> u64 {
+    u64::from(key) * 1_000_003 + generation * 31 + 7
+}
+
+/// One step of the interpreted workload.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Get(u32),
+    Insert(u32),
+    Invalidate,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Invalidate is rare so runs build up state between generation bumps;
+    // the small key space forces collisions and evictions.
+    (0u8..10, 0u32..8).prop_map(|(kind, key)| match kind {
+        0..=4 => Op::Get(key),
+        5..=8 => Op::Insert(key),
+        _ => Op::Invalidate,
+    })
+}
+
+/// The reference model: MRU-first key list + generation counter + live
+/// eviction count.
+struct Model {
+    capacity: usize,
+    mru: Vec<u32>,
+    generation: u64,
+    evictions: u64,
+}
+
+impl Model {
+    fn new(capacity: usize) -> Self {
+        Model {
+            capacity,
+            mru: Vec::new(),
+            generation: 0,
+            evictions: 0,
+        }
+    }
+
+    fn touch(&mut self, key: u32) {
+        self.mru.retain(|&k| k != key);
+        self.mru.insert(0, key);
+    }
+
+    fn get(&mut self, key: u32) -> Option<u64> {
+        if self.mru.contains(&key) {
+            self.touch(key);
+            Some(compute(key, self.generation))
+        } else {
+            None
+        }
+    }
+
+    fn insert(&mut self, key: u32) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.mru.contains(&key) {
+            self.touch(key);
+            return;
+        }
+        if self.mru.len() == self.capacity {
+            self.mru.pop();
+            self.evictions += 1;
+        }
+        self.mru.insert(0, key);
+    }
+
+    fn invalidate(&mut self) {
+        self.generation += 1;
+        self.mru.clear();
+    }
+}
+
+proptest! {
+    /// Arbitrary op interleavings: the cache agrees with the model on
+    /// every observable (hit values, recency order, sizes, evictions).
+    #[test]
+    fn cache_agrees_with_model(capacity in 1usize..6, ops in prop::collection::vec(op_strategy(), 0..120)) {
+        let mut cache: LruCache<u32, u64> = LruCache::new(capacity);
+        let mut model = Model::new(capacity);
+        for op in ops {
+            match op {
+                Op::Get(k) => {
+                    let got = cache.get(&k);
+                    let want = model.get(k);
+                    prop_assert_eq!(got, want, "lookup of {} diverged", k);
+                    if let Some(v) = got {
+                        // Every hit equals a fresh recompute under the
+                        // current generation.
+                        prop_assert_eq!(v, compute(k, model.generation));
+                    }
+                }
+                Op::Insert(k) => {
+                    cache.insert(k, compute(k, model.generation));
+                    model.insert(k);
+                }
+                Op::Invalidate => {
+                    cache.invalidate();
+                    model.invalidate();
+                }
+            }
+            // Capacity invariant: occupied slots (even stale ones) never
+            // exceed the seeded capacity.
+            prop_assert!(cache.len() <= capacity, "len {} > capacity {}", cache.len(), capacity);
+            // Recency invariant: live keys, MRU first, match the model.
+            prop_assert_eq!(cache.recency_keys(), model.mru.clone());
+            // Live evictions match (stale reclamation is not an eviction).
+            prop_assert_eq!(cache.evictions(), model.evictions);
+            prop_assert_eq!(cache.generation(), model.generation);
+        }
+    }
+
+    /// A zero-capacity cache never stores or evicts anything.
+    #[test]
+    fn zero_capacity_never_stores(ops in prop::collection::vec(op_strategy(), 0..60)) {
+        let mut cache: LruCache<u32, u64> = LruCache::new(0);
+        for op in ops {
+            match op {
+                Op::Get(k) => prop_assert_eq!(cache.get(&k), None),
+                Op::Insert(k) => cache.insert(k, compute(k, 0)),
+                Op::Invalidate => cache.invalidate(),
+            }
+            prop_assert_eq!(cache.len(), 0);
+            prop_assert_eq!(cache.evictions(), 0);
+        }
+    }
+
+    /// The cache key canonicalizes query-node order: any rotation of the
+    /// node list produces the same key, and flag changes never collide.
+    #[test]
+    fn cache_key_order_insensitive(
+        nodes in prop::collection::vec(0u32..50, 0..10),
+        rot in 0usize..10,
+        tri_bit in 0u8..2,
+        sq_bit in 0u8..2,
+    ) {
+        let (tri, sq) = (tri_bit == 1, sq_bit == 1);
+        let ids: Vec<ArticleId> = nodes.iter().map(|&n| ArticleId::new(n)).collect();
+        let mut rotated = ids.clone();
+        if !rotated.is_empty() {
+            let r = rot % rotated.len();
+            rotated.rotate_left(r);
+        }
+        prop_assert_eq!(
+            CacheKey::new(&ids, tri, sq),
+            CacheKey::new(&rotated, tri, sq)
+        );
+        prop_assert_ne!(
+            CacheKey::new(&ids, tri, sq),
+            CacheKey::new(&ids, !tri, sq)
+        );
+    }
+}

@@ -404,7 +404,10 @@ fn find_cycle(csr: &Csr) -> Option<u32> {
                 stack.pop();
                 continue;
             }
-            stack.last_mut().expect("stack non-empty").1 += 1;
+            stack
+                .last_mut()
+                .expect("invariant: the just-peeked DFS stack top still exists")
+                .1 += 1;
             let next = row[edge];
             match color[next as usize] {
                 WHITE => {

@@ -161,17 +161,54 @@ pub fn score_document(index: &Index, query: &Query, doc: DocId, params: QlParams
     score_resolved(index, &resolved, doc, params.mu)
 }
 
+/// Reusable buffers for [`rank_with_scratch`]: the candidate union and the
+/// bounded top-k collector survive across queries so batch serving does
+/// not reallocate per query.
+#[derive(Debug)]
+pub struct QlScratch {
+    candidates: Vec<u32>,
+    top: TopK,
+}
+
+impl QlScratch {
+    /// Creates empty scratch buffers.
+    pub fn new() -> Self {
+        QlScratch {
+            candidates: Vec::new(),
+            top: TopK::new(0),
+        }
+    }
+}
+
+impl Default for QlScratch {
+    fn default() -> Self {
+        QlScratch::new()
+    }
+}
+
 /// Ranks the top `k` documents for `query`. Candidates are the documents
 /// matching at least one in-vocabulary feature; they are scored with the
 /// full weighted log-likelihood (absent features contribute their
 /// background-smoothing mass).
 pub fn rank(index: &Index, query: &Query, params: QlParams, k: usize) -> Vec<SearchHit> {
+    rank_with_scratch(index, query, params, k, &mut QlScratch::new())
+}
+
+/// [`rank`] with caller-owned scratch buffers; identical output.
+pub fn rank_with_scratch(
+    index: &Index,
+    query: &Query,
+    params: QlParams,
+    k: usize,
+    scratch: &mut QlScratch,
+) -> Vec<SearchHit> {
     let resolved = resolve(index, query);
     if resolved.is_empty() {
         return Vec::new();
     }
     // Candidate union.
-    let mut candidates: Vec<u32> = Vec::new();
+    let candidates = &mut scratch.candidates;
+    candidates.clear();
     for f in &resolved {
         match f {
             ResolvedFeature::Term { term, .. } => {
@@ -185,12 +222,14 @@ pub fn rank(index: &Index, query: &Query, params: QlParams, k: usize) -> Vec<Sea
     }
     candidates.sort_unstable();
     candidates.dedup();
-    let mut top = TopK::new(k);
-    for &doc in &candidates {
+    scratch.top.reset(k);
+    for &doc in candidates.iter() {
         let s = score_resolved(index, &resolved, DocId(doc), params.mu);
-        top.push(doc, s);
+        scratch.top.push(doc, s);
     }
-    top.into_sorted()
+    scratch
+        .top
+        .drain_sorted()
         .into_iter()
         .map(|(doc, score)| SearchHit {
             doc: DocId(doc),
@@ -315,6 +354,18 @@ mod tests {
         let q = Query::parse_text("the", &Analyzer::plain());
         let hits = rank(&idx, &q, QlParams::default(), 1);
         assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_rank() {
+        let idx = tiny();
+        let mut scratch = QlScratch::new();
+        for text in ["cable car", "the hill", "graffiti", "cable"] {
+            let q = Query::parse_text(text, &Analyzer::plain());
+            let fresh = rank(&idx, &q, QlParams { mu: 10.0 }, 5);
+            let reused = rank_with_scratch(&idx, &q, QlParams { mu: 10.0 }, 5, &mut scratch);
+            assert_eq!(fresh, reused, "query {text:?}");
+        }
     }
 
     #[test]

@@ -66,10 +66,24 @@ impl TopK {
     }
 
     /// Finishes and returns the ranked list (best first).
-    pub fn into_sorted(self) -> Vec<(u32, f64)> {
-        let mut v: Vec<HeapEntry> = self.heap.into_vec();
+    pub fn into_sorted(mut self) -> Vec<(u32, f64)> {
+        self.drain_sorted()
+    }
+
+    /// Drains the held candidates as a ranked list (best first), leaving
+    /// the collector empty but with its heap allocation intact — the
+    /// scratch-buffer entry point for batch serving.
+    pub fn drain_sorted(&mut self) -> Vec<(u32, f64)> {
+        let mut v: Vec<HeapEntry> = self.heap.drain().collect();
         v.sort_by(|a, b| scorecmp::by_score_desc_then_id(a.score, b.score, a.doc, b.doc));
         v.into_iter().map(|e| (e.doc, e.score)).collect()
+    }
+
+    /// Empties the collector and re-arms it for the best `k` entries,
+    /// keeping the heap allocation for reuse.
+    pub fn reset(&mut self, k: usize) {
+        self.k = k;
+        self.heap.clear();
     }
 
     /// Number of candidates currently held (≤ k).
@@ -136,6 +150,20 @@ mod tests {
         t.push(2, -5.0);
         t.push(3, -20.0);
         assert_eq!(t.into_sorted(), vec![(2, -5.0), (1, -10.0)]);
+    }
+
+    #[test]
+    fn reset_and_drain_reuse_matches_fresh_collector() {
+        let mut t = TopK::new(2);
+        for (d, s) in [(0, 1.0), (1, 5.0), (2, 3.0)] {
+            t.push(d, s);
+        }
+        assert_eq!(t.drain_sorted(), vec![(1, 5.0), (2, 3.0)]);
+        assert!(t.is_empty());
+        t.reset(1);
+        t.push(4, 2.0);
+        t.push(5, 9.0);
+        assert_eq!(t.drain_sorted(), vec![(5, 9.0)]);
     }
 
     #[test]

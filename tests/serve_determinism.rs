@@ -1,0 +1,179 @@
+//! The determinism wall: the concurrent query service must produce
+//! byte-identical trec run files to the sequential, uncached pipeline —
+//! for every dataset, every motif configuration, every worker count, and
+//! both cold and warm expansion caches.
+//!
+//! This is the contract that makes the serving layer (work stealing +
+//! LRU caching + scratch reuse) adoptable at all: parallelism and caching
+//! are pure speed, never a ranking change.
+
+use ireval::trec;
+use ireval::Run;
+use kbgraph::ArticleId;
+use searchlite::{Analyzer, Index, IndexBuilder, QlParams};
+use sqe::{QueryService, ServeConfig, SqeConfig, SqePipeline};
+use synthwiki::{Dataset, TestBed, TestBedConfig};
+
+const DATASETS: [&str; 3] = ["imageclef", "chic2012", "chic2013"];
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn build_world() -> (TestBed, Vec<Index>) {
+    let bed = TestBed::generate(&TestBedConfig::small());
+    let indexes = bed
+        .collections
+        .iter()
+        .map(|coll| {
+            let mut b = IndexBuilder::new(Analyzer::english());
+            for d in &coll.docs {
+                b.add_document(&d.id, &d.text);
+            }
+            b.build()
+        })
+        .collect();
+    (bed, indexes)
+}
+
+fn config() -> SqeConfig {
+    SqeConfig {
+        ql: QlParams { mu: 15.0 },
+        ..SqeConfig::default()
+    }
+}
+
+/// The batch input: every query's text plus its manually linked nodes.
+fn batch_of(bed: &TestBed, dataset: &Dataset) -> Vec<(String, Vec<ArticleId>)> {
+    dataset
+        .queries
+        .iter()
+        .map(|q| {
+            let nodes = q.targets.iter().map(|&e| bed.kb.article_of[e]).collect();
+            (q.text.clone(), nodes)
+        })
+        .collect()
+}
+
+/// Packs per-query rankings into a trec run file (the byte-comparison
+/// currency of this wall).
+fn run_file(name: &str, dataset: &Dataset, rankings: &[Vec<String>]) -> String {
+    let mut run = Run::new(name);
+    for (q, ids) in dataset.queries.iter().zip(rankings) {
+        run.set_ranking(&q.id, ids.clone());
+    }
+    trec::write_run(&run)
+}
+
+#[test]
+fn service_run_files_are_byte_identical_for_every_motif_config() {
+    let (bed, indexes) = build_world();
+    for ds_name in DATASETS {
+        let dataset = bed.dataset(ds_name);
+        let index = &indexes[dataset.collection];
+        let batch = batch_of(&bed, dataset);
+        let pipeline = SqePipeline::new(&bed.kb.graph, index, config());
+        for (cfg_name, tri, sq) in [
+            ("SQE_T", true, false),
+            ("SQE_S", false, true),
+            ("SQE_TS", true, true),
+        ] {
+            // Reference: the sequential, uncached pipeline.
+            let reference: Vec<Vec<String>> = batch
+                .iter()
+                .map(|(text, nodes)| {
+                    pipeline.external_ids(&pipeline.rank_sqe(text, nodes, tri, sq).0)
+                })
+                .collect();
+            let want = run_file(cfg_name, dataset, &reference);
+            for workers in WORKER_COUNTS {
+                let serve_cfg = ServeConfig {
+                    workers,
+                    ..ServeConfig::default()
+                };
+                let service =
+                    QueryService::new(&bed.kb.graph, index, config(), serve_cfg);
+                for replay in ["cold", "warm"] {
+                    let served: Vec<Vec<String>> = service
+                        .run_batch(&batch, tri, sq)
+                        .iter()
+                        .map(|hits| service.external_ids(hits))
+                        .collect();
+                    let got = run_file(cfg_name, dataset, &served);
+                    assert_eq!(
+                        got, want,
+                        "{ds_name}/{cfg_name}: {replay} service run at {workers} workers \
+                         must be byte-identical to the sequential pipeline"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn service_sqe_c_run_files_are_byte_identical() {
+    let (bed, indexes) = build_world();
+    for ds_name in DATASETS {
+        let dataset = bed.dataset(ds_name);
+        let index = &indexes[dataset.collection];
+        let batch = batch_of(&bed, dataset);
+        let pipeline = SqePipeline::new(&bed.kb.graph, index, config());
+        let reference: Vec<Vec<String>> = batch
+            .iter()
+            .map(|(text, nodes)| pipeline.rank_sqe_c(text, nodes))
+            .collect();
+        let want = run_file("SQE_C", dataset, &reference);
+        for workers in WORKER_COUNTS {
+            let serve_cfg = ServeConfig {
+                workers,
+                ..ServeConfig::default()
+            };
+            let service = QueryService::new(&bed.kb.graph, index, config(), serve_cfg);
+            for replay in ["cold", "warm"] {
+                let served = service.run_batch_sqe_c(&batch);
+                let got = run_file("SQE_C", dataset, &served);
+                assert_eq!(
+                    got, want,
+                    "{ds_name}/SQE_C: {replay} service run at {workers} workers \
+                     must be byte-identical to the sequential pipeline"
+                );
+            }
+        }
+        // The warm replays actually exercised the cache (not a no-op wall).
+        let serve_cfg = ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        };
+        let service = QueryService::new(&bed.kb.graph, index, config(), serve_cfg);
+        service.run_batch_sqe_c(&batch);
+        service.run_batch_sqe_c(&batch);
+        let snap = service.metrics_snapshot();
+        assert!(
+            snap.cache_hits > 0,
+            "{ds_name}: the warm replay must hit the expansion cache"
+        );
+    }
+}
+
+#[test]
+fn invalidated_cache_still_reproduces_the_same_bytes() {
+    // Generation bumps force recomputation; on an unchanged graph the
+    // recomputed expansions — and therefore the run files — are identical.
+    let (bed, indexes) = build_world();
+    let dataset = bed.dataset("imageclef");
+    let index = &indexes[dataset.collection];
+    let batch = batch_of(&bed, dataset);
+    let service = QueryService::new(
+        &bed.kb.graph,
+        index,
+        config(),
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+    );
+    let before = run_file("SQE_C", dataset, &service.run_batch_sqe_c(&batch));
+    service.invalidate_cache();
+    let after = run_file("SQE_C", dataset, &service.run_batch_sqe_c(&batch));
+    assert_eq!(before, after);
+    let snap = service.metrics_snapshot();
+    assert_eq!(snap.invalidations, 1);
+}

@@ -1,11 +1,16 @@
 //! Vendored stand-in for the `crossbeam` crate (offline build).
 //!
-//! Only the `crossbeam::thread::scope` API the workspace uses is provided,
-//! implemented on top of `std::thread::scope` (stable since 1.63). The
-//! `Result` wrapper mirrors crossbeam's signature: `std::thread::scope`
-//! already propagates child panics into the parent, so the `Ok` arm is the
-//! only one ever constructed — caller `.expect(..)` calls stay source- and
-//! behaviour-compatible.
+//! Two subsets are provided, implemented on std primitives:
+//!
+//! * `crossbeam::thread::scope`, on top of `std::thread::scope` (stable
+//!   since 1.63). The `Result` wrapper mirrors crossbeam's signature:
+//!   `std::thread::scope` already propagates child panics into the parent,
+//!   so the `Ok` arm is the only one ever constructed — caller
+//!   `.expect(..)` calls stay source- and behaviour-compatible.
+//! * `crossbeam::channel::unbounded`, an MPMC queue on `Mutex<VecDeque>` +
+//!   `Condvar`. Semantics match crossbeam where the workspace relies on
+//!   them: cloneable senders and receivers, FIFO per queue, `recv` blocks
+//!   until an item arrives or every sender is dropped (then `Err`).
 
 pub mod thread {
     //! Scoped threads (subset of `crossbeam::thread`).
@@ -53,6 +58,210 @@ pub mod thread {
             })
             .expect("no panics");
             assert_eq!(out, vec![1, 2, 3, 4]);
+        }
+    }
+}
+
+pub mod channel {
+    //! Multi-producer multi-consumer FIFO channels (subset of
+    //! `crossbeam::channel`).
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        avail: Condvar,
+    }
+
+    impl<T> Shared<T> {
+        /// Locks the state; a poisoned lock (a consumer panicked while
+        /// holding it) still yields the inner data — queue contents stay
+        /// structurally valid because every critical section is panic-free.
+        fn lock(&self) -> MutexGuard<'_, State<T>> {
+            match self.state.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            }
+        }
+    }
+
+    /// The sending half; cloneable.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    /// The receiving half; cloneable (consumers compete for items).
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    /// Error returned by [`Sender::send`]; carries the rejected value.
+    /// With the unbounded queue of this stand-in, sends cannot fail, so
+    /// the type exists for crossbeam signature parity only.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the queue is empty and
+    /// every sender has been dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Queue momentarily empty but senders remain.
+        Empty,
+        /// Queue empty and every sender has been dropped.
+        Disconnected,
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+            }),
+            avail: Condvar::new(),
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a value and wakes one waiting receiver.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.lock().queue.push_back(value);
+            self.0.avail.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.lock().senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let remaining = {
+                let mut st = self.0.lock();
+                st.senders -= 1;
+                st.senders
+            };
+            if remaining == 0 {
+                // Receivers blocked in `recv` must observe disconnection.
+                self.0.avail.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues the next value, blocking while the queue is empty and
+        /// at least one sender is alive.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.0.lock();
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = match self.0.avail.wait(st) {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+        }
+
+        /// Non-blocking dequeue.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.0.lock();
+            match st.queue.pop_front() {
+                Some(v) => Ok(v),
+                None if st.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_single_thread() {
+            let (tx, rx) = unbounded();
+            for i in 0..5 {
+                tx.send(i).expect("unbounded send");
+            }
+            drop(tx);
+            let got: Vec<i32> = std::iter::from_fn(|| rx.recv().ok()).collect();
+            assert_eq!(got, vec![0, 1, 2, 3, 4]);
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn competing_consumers_drain_everything() {
+            let (tx, rx) = unbounded();
+            for i in 0..100u32 {
+                tx.send(i).expect("unbounded send");
+            }
+            drop(tx);
+            let mut seen: Vec<u32> = crate::thread::scope(|s| {
+                let handles: Vec<_> = (0..4)
+                    .map(|_| {
+                        let rx = rx.clone();
+                        s.spawn(move |_| {
+                            let mut mine = Vec::new();
+                            while let Ok(v) = rx.recv() {
+                                mine.push(v);
+                            }
+                            mine
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("no panics"))
+                    .collect()
+            })
+            .expect("no panics");
+            seen.sort_unstable();
+            assert_eq!(seen, (0..100).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn try_recv_reports_empty_then_disconnected() {
+            let (tx, rx) = unbounded::<u8>();
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn recv_wakes_on_sender_drop() {
+            let (tx, rx) = unbounded::<u8>();
+            let t = std::thread::spawn(move || rx.recv());
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            drop(tx);
+            assert_eq!(t.join().expect("no panic"), Err(RecvError));
         }
     }
 }
