@@ -278,6 +278,10 @@ fn selftest_results() -> Vec<(&'static str, bool)> {
         ];
         parts[slot] = part;
         let [al, alr, mem, mbr, sc, scr] = parts;
+        // Deliberately unaudited: this helper manufactures *corrupt*
+        // graphs so the selftest can prove the auditor flags them; every
+        // caller runs GraphAudit on the result.
+        // lint:allow(must-audit-after-mutation)
         KbGraph::from_parts(titles_a, titles_c, al, alr, mem, mbr, sc, scr)
     }
 

@@ -284,6 +284,13 @@ const HOT_FILES: &[&str] = &[
     "crates/core/src/motif.rs",
     "crates/core/src/cache.rs",
     "crates/core/src/serve.rs",
+    "crates/store/src/buf.rs",
+    "crates/store/src/codec.rs",
+    "crates/store/src/crc32.rs",
+    "crates/store/src/error.rs",
+    "crates/store/src/format.rs",
+    "crates/store/src/lib.rs",
+    "crates/store/src/snapshot.rs",
 ];
 
 /// Keywords that may directly precede an array *literal* `[...]`, which is
@@ -483,6 +490,13 @@ const ENTRY_FILES: &[&str] = &[
     "crates/core/src/motif.rs",
     "crates/core/src/cache.rs",
     "crates/core/src/serve.rs",
+    "crates/store/src/buf.rs",
+    "crates/store/src/codec.rs",
+    "crates/store/src/crc32.rs",
+    "crates/store/src/error.rs",
+    "crates/store/src/format.rs",
+    "crates/store/src/lib.rs",
+    "crates/store/src/snapshot.rs",
 ];
 
 impl AstRule for PanicReachability {
@@ -924,10 +938,13 @@ impl AstRule for LossyIdCast {
     }
 }
 
-/// `must-audit-after-mutation`: `Index::raw_mut` and `*::from_raw_parts`
-/// bypass checked constructors, so any non-test function using them must
-/// also invoke a structural audit (`GraphAudit`/`IndexAudit`/`audit*`)
-/// before returning the mutated structure to the rest of the system.
+/// `must-audit-after-mutation`: `Index::raw_mut`, `*::from_raw_parts` and
+/// `*::from_parts` bypass checked constructors, so any non-test function
+/// using them must also invoke a structural audit
+/// (`GraphAudit`/`IndexAudit`/`audit*`) before returning the mutated
+/// structure to the rest of the system. This covers snapshot decoding: a
+/// loader that reassembles a graph or index from raw section bytes and
+/// skips the audit is a lint error, not a code-review judgement call.
 pub struct MustAuditAfterMutation;
 
 impl AstRule for MustAuditAfterMutation {
@@ -936,7 +953,7 @@ impl AstRule for MustAuditAfterMutation {
     }
 
     fn description(&self) -> &'static str {
-        "non-test callers of raw_mut/from_raw_parts must run a structural audit in the same function"
+        "non-test callers of raw_mut/from_raw_parts/from_parts must run a structural audit in the same function"
     }
 
     fn default_severity(&self) -> Severity {
@@ -951,7 +968,11 @@ impl AstRule for MustAuditAfterMutation {
         out: &mut Vec<Diagnostic>,
     ) {
         model.for_each_fn(&mut |file, _impl_ty, is_test, def| {
-            if is_test || def.name == "raw_mut" || def.name == "from_raw_parts" {
+            if is_test
+                || def.name == "raw_mut"
+                || def.name == "from_raw_parts"
+                || def.name == "from_parts"
+            {
                 return;
             }
             let Some(body) = &def.body else { return };
@@ -970,6 +991,8 @@ impl AstRule for MustAuditAfterMutation {
                         if let Expr::Path { segs, .. } = callee.as_ref() {
                             if segs.last().is_some_and(|s| s == "from_raw_parts") {
                                 sites.push((*line, "from_raw_parts"));
+                            } else if segs.last().is_some_and(|s| s == "from_parts") {
+                                sites.push((*line, "from_parts"));
                             }
                         }
                     }

@@ -120,6 +120,33 @@ fn audit_mutation_good_fixture_clean() {
 }
 
 #[test]
+fn snapshot_load_bad_fixture_flagged() {
+    let diags = lint(&[(
+        "crates/store/src/loader.rs",
+        fixture("snapshot_load_bad.rs"),
+    )]);
+    let hits = of_rule(&diags, "must-audit-after-mutation");
+    assert_eq!(
+        hits.len(),
+        3,
+        "two from_raw_parts AND one from_parts: {diags:?}"
+    );
+    assert!(hits.iter().all(|d| d.severity == Severity::Error));
+}
+
+#[test]
+fn snapshot_load_good_fixture_clean() {
+    let diags = lint(&[(
+        "crates/store/src/loader.rs",
+        fixture("snapshot_load_good.rs"),
+    )]);
+    assert!(
+        of_rule(&diags, "must-audit-after-mutation").is_empty(),
+        "{diags:?}"
+    );
+}
+
+#[test]
 fn audit_mutation_test_code_exempt() {
     let src = format!("#[cfg(test)]\nmod tests {{\n{}\n}}", fixture("audit_mutation_bad.rs"));
     let diags = lint(&[("crates/kbgraph/src/patch.rs", src)]);

@@ -1,0 +1,12 @@
+// Fixture: a snapshot loader that reassembles graph state from raw
+// section bytes and hands it out with no structural audit anywhere in
+// the decoding functions.
+
+pub fn decode_graph(payload: &[u8]) -> Result<KbGraph, StoreError> {
+    let mut c = Cursor::new(payload);
+    let titles_a = c.get_str_list()?;
+    let titles_c = c.get_str_list()?;
+    let links = Csr::from_raw_parts(c.get_u32_vec()?, c.get_u32_vec()?);
+    let links_rev = Csr::from_raw_parts(c.get_u32_vec()?, c.get_u32_vec()?);
+    Ok(KbGraph::from_parts(titles_a, titles_c, links, links_rev))
+}

@@ -1,0 +1,16 @@
+// Fixture: the same snapshot loader, but every reassembled structure is
+// fed through the structural audit before it leaves the function.
+
+pub fn decode_graph(payload: &[u8]) -> Result<KbGraph, StoreError> {
+    let mut c = Cursor::new(payload);
+    let titles_a = c.get_str_list()?;
+    let titles_c = c.get_str_list()?;
+    let links = Csr::from_raw_parts(c.get_u32_vec()?, c.get_u32_vec()?);
+    let links_rev = Csr::from_raw_parts(c.get_u32_vec()?, c.get_u32_vec()?);
+    let graph = KbGraph::from_parts(titles_a, titles_c, links, links_rev);
+    let audit = GraphAudit::run(&graph);
+    if !audit.is_clean() {
+        return Err(StoreError::AuditRejected);
+    }
+    Ok(graph)
+}

@@ -4,9 +4,11 @@
 //! ```text
 //! experiments [--small] [fig2|table1|fig5|table2|fig6|table3|table4|ablation|sensitivity|stats|export|query <text>|all]
 //! experiments serve-bench [--smoke] [--threads=1,2,8] [--out=BENCH_serve.json]
+//! experiments snapshot write|verify|info [--small] [--file=world.snap]
+//! experiments store-bench [--smoke] [--out=BENCH_store.json]
 //! ```
 
-use sqe_bench::{figures, serve_bench, tables, timing, ExperimentContext};
+use sqe_bench::{figures, serve_bench, store_bench, tables, timing, ExperimentContext};
 
 fn print_stats(ctx: &ExperimentContext) {
     let stats = ctx.bed.kb.graph.stats();
@@ -126,6 +128,114 @@ fn run_serve_bench_cli(ctx: &ExperimentContext, context_name: &str, args: &[Stri
     }
 }
 
+fn print_snapshot_info(info: &sqe_store::SnapshotInfo) {
+    println!(
+        "snapshot v{}: {} bytes, written by {}",
+        info.version, info.file_len, info.writer
+    );
+    println!("collections: {}", info.collections.join(", "));
+    for (id, len, crc) in &info.sections {
+        println!("  section {id:#06x}: {len:>12} bytes  crc32 {crc:#010x}");
+    }
+}
+
+/// `experiments snapshot write|verify|info [--file=world.snap]`.
+/// `verify` and `info` read the file without building any test bed.
+fn run_snapshot_cli(args: &[String], small: bool, verb: Option<&str>) {
+    let file = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--file="))
+        .unwrap_or("world.snap");
+    let path = std::path::Path::new(file);
+    match verb {
+        Some("write") => {
+            eprintln!(
+                "building {} test bed (generation + indexing)...",
+                if small { "small" } else { "full" }
+            );
+            let ctx = if small {
+                ExperimentContext::small()
+            } else {
+                ExperimentContext::full()
+            };
+            let names: Vec<&str> = ctx.bed.collections.iter().map(|c| c.name.as_str()).collect();
+            let named: Vec<(&str, &searchlite::Index)> =
+                names.into_iter().zip(ctx.indexes.iter()).collect();
+            let contents = sqe_store::SnapshotContents {
+                graph: &ctx.bed.kb.graph,
+                indexes: &named,
+                dict: ctx.linker.dictionary(),
+            };
+            match sqe_store::write_snapshot(path, &contents) {
+                Ok(bytes) => eprintln!("wrote {file} ({bytes} bytes)"),
+                Err(e) => {
+                    eprintln!("snapshot write failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some(v @ ("verify" | "info")) => {
+            let bytes = match std::fs::read(path) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("reading {file} failed: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let result = if v == "verify" {
+                sqe_store::Snapshot::verify(&bytes)
+            } else {
+                sqe_store::Snapshot::info(&bytes)
+            };
+            match result {
+                Ok(info) => {
+                    print_snapshot_info(&info);
+                    if v == "verify" {
+                        eprintln!("{file}: OK (checksums, shapes and audits all pass)");
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{file}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => {
+            eprintln!("usage: experiments snapshot write|verify|info [--small] [--file=world.snap]");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// `experiments store-bench [--smoke] [--out=BENCH_store.json]`: measures
+/// the cold-start paths (regenerating internally — no shared context).
+fn run_store_bench_cli(args: &[String], small: bool) {
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let opts = if smoke {
+        store_bench::StoreBenchOptions::smoke()
+    } else {
+        store_bench::StoreBenchOptions::default()
+    };
+    let cfg = if small {
+        synthwiki::TestBedConfig::small()
+    } else {
+        synthwiki::TestBedConfig::full()
+    };
+    let out = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--out="))
+        .unwrap_or("BENCH_store.json");
+    let report = store_bench::run_store_bench(&cfg, if small { "small" } else { "full" }, &opts);
+    print!("{}", store_bench::format_report(&report));
+    match store_bench::write_report(&report, std::path::Path::new(out)) {
+        Ok(()) => eprintln!("wrote {out}"),
+        Err(e) => {
+            eprintln!("writing {out} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // serve-bench --smoke implies the small test bed.
@@ -144,6 +254,16 @@ fn main() {
             ExperimentContext::full()
         };
         adhoc_query(&ctx, &text);
+        return;
+    }
+    // `snapshot` and `store-bench` manage their own contexts: verify/info
+    // must not pay for a test-bed build, and store-bench times the build.
+    if what.first() == Some(&"snapshot") {
+        run_snapshot_cli(&args, small, what.get(1).copied());
+        return;
+    }
+    if what.first() == Some(&"store-bench") {
+        run_store_bench_cli(&args, small);
         return;
     }
     let what = if what.is_empty() { vec!["all"] } else { what };
@@ -211,6 +331,8 @@ fn main() {
                 eprintln!("unknown experiment '{other}'");
                 eprintln!("usage: experiments [--small] [fig2|table1|fig5|table2|fig6|table3|table4|ablation|sensitivity|stats|export|query <text>|all]");
                 eprintln!("       experiments serve-bench [--smoke] [--threads=1,2,8] [--out=BENCH_serve.json]");
+                eprintln!("       experiments snapshot write|verify|info [--small] [--file=world.snap]");
+                eprintln!("       experiments store-bench [--smoke] [--out=BENCH_store.json]");
                 std::process::exit(2);
             }
         }

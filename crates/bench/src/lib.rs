@@ -12,14 +12,19 @@
 //!
 //! Beyond the paper's artifacts, [`serve_bench`] load-tests the
 //! concurrent [`sqe::QueryService`] (`experiments serve-bench`, written
-//! to `BENCH_serve.json`). The `experiments` binary drives everything;
-//! Criterion benches live under `benches/`.
+//! to `BENCH_serve.json`), and [`store_bench`] measures the cold-start
+//! paths — regenerate vs JSON vs binary snapshot (`experiments
+//! store-bench`, written to `BENCH_store.json`; `experiments snapshot
+//! write|verify|info` manages the snapshot file itself). The
+//! `experiments` binary drives everything; Criterion benches live under
+//! `benches/`.
 
 pub mod context;
 pub mod export;
 pub mod report;
 pub mod runs;
 pub mod serve_bench;
+pub mod store_bench;
 pub mod tables;
 pub mod timing;
 

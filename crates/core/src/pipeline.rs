@@ -72,6 +72,20 @@ impl<'a> SqePipeline<'a> {
         SqePipeline { graph, index, cfg }
     }
 
+    /// Creates a pipeline over a loaded binary snapshot — the cold-start
+    /// path. The snapshot's structures were already checksum-verified,
+    /// shape-validated and audited at decode, so this only resolves the
+    /// collection and binds the borrows; no JSON and no regeneration is
+    /// involved.
+    pub fn from_snapshot(
+        snapshot: &'a sqe_store::Snapshot,
+        collection: &str,
+        cfg: SqeConfig,
+    ) -> Result<Self, sqe_store::StoreError> {
+        let index = snapshot.index(collection)?;
+        Ok(SqePipeline::new(snapshot.graph(), index, cfg))
+    }
+
     /// The pipeline's configuration.
     pub fn config(&self) -> &SqeConfig {
         &self.cfg
@@ -359,6 +373,29 @@ mod tests {
         for (a, b) in seq.iter().zip(par.iter()) {
             assert_eq!(a, b);
         }
+    }
+
+    #[test]
+    fn pipeline_from_snapshot_matches_fresh() {
+        let (graph, index, cable) = world();
+        let dict = entitylink::Dictionary::new();
+        let bytes = sqe_store::encode_snapshot(&sqe_store::SnapshotContents {
+            graph: &graph,
+            indexes: &[("world", &index)],
+            dict: &dict,
+        })
+        .unwrap();
+        let snap = sqe_store::Snapshot::from_bytes(&bytes).unwrap();
+        let fresh = SqePipeline::new(&graph, &index, SqeConfig::default());
+        let loaded = SqePipeline::from_snapshot(&snap, "world", SqeConfig::default()).unwrap();
+        let (h1, qg1) = fresh.rank_sqe("cable car", &[cable], true, false);
+        let (h2, qg2) = loaded.rank_sqe("cable car", &[cable], true, false);
+        assert_eq!(h1, h2);
+        assert_eq!(qg1.expansions, qg2.expansions);
+        assert!(matches!(
+            SqePipeline::from_snapshot(&snap, "missing", SqeConfig::default()),
+            Err(sqe_store::StoreError::NoSuchCollection { .. })
+        ));
     }
 
     #[test]

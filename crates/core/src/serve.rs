@@ -143,6 +143,20 @@ impl<'a> QueryService<'a> {
         QueryService::with_clock(graph, index, cfg, serve_cfg, Arc::new(NullClock))
     }
 
+    /// Creates a service over a loaded binary snapshot — the cold-start
+    /// path a restarting deployment takes. See
+    /// [`SqePipeline::from_snapshot`]; the snapshot was fully verified
+    /// and audited at decode time.
+    pub fn from_snapshot(
+        snapshot: &'a sqe_store::Snapshot,
+        collection: &str,
+        cfg: SqeConfig,
+        serve_cfg: ServeConfig,
+    ) -> Result<Self, sqe_store::StoreError> {
+        let index = snapshot.index(collection)?;
+        Ok(QueryService::new(snapshot.graph(), index, cfg, serve_cfg))
+    }
+
     /// Creates a service with an injected clock — a `MonotonicClock` in
     /// the bench harness, a `ManualClock` in tests.
     pub fn with_clock(

@@ -145,6 +145,30 @@ impl Dictionary {
     pub fn analyzer(&self) -> &Analyzer {
         &self.analyzer
     }
+
+    /// Iterates `(normalized key, senses)` in key order — the persistence
+    /// traversal. Keys are already analyzed, so rebuilding via
+    /// [`Dictionary::from_entries`] reproduces this dictionary exactly.
+    pub fn iter_entries(&self) -> impl Iterator<Item = (&str, &[Sense])> + '_ {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+
+    /// Rebuilds a dictionary from [`Dictionary::iter_entries`] output.
+    /// Keys are re-analyzed on insertion; because they are already in
+    /// normalized form this is a fixpoint, and the containment index and
+    /// `max_tokens` are re-derived.
+    pub fn from_entries<'a, I>(entries: I) -> Dictionary
+    where
+        I: IntoIterator<Item = (&'a str, Vec<Sense>)>,
+    {
+        let mut d = Dictionary::new();
+        for (key, senses) in entries {
+            for s in senses {
+                d.add(key, s.article, s.commonness);
+            }
+        }
+        d
+    }
 }
 
 #[cfg(test)]
@@ -203,6 +227,27 @@ mod tests {
         let mut d = Dictionary::new();
         d.add("  --  ", ArticleId::new(1), 1.0);
         assert!(d.is_empty());
+    }
+
+    #[test]
+    fn entries_roundtrip_reproduces_dictionary() {
+        let mut d = Dictionary::new();
+        d.add("Cable-Car", ArticleId::new(1), 0.9);
+        d.add("jaguar", ArticleId::new(2), 0.7);
+        d.add("jaguar", ArticleId::new(1), 0.3);
+        d.add("san francisco cable car", ArticleId::new(1), 1.0);
+        let rebuilt = Dictionary::from_entries(
+            d.iter_entries().map(|(k, v)| (k, v.to_vec())),
+        );
+        assert_eq!(rebuilt.len(), d.len());
+        assert_eq!(rebuilt.max_tokens(), d.max_tokens());
+        let pairs: Vec<_> = d.iter_entries().collect();
+        let rebuilt_pairs: Vec<_> = rebuilt.iter_entries().collect();
+        assert_eq!(pairs, rebuilt_pairs);
+        assert_eq!(
+            rebuilt.lookup_containing("cable").map(<[Sense]>::len),
+            d.lookup_containing("cable").map(<[Sense]>::len)
+        );
     }
 
     #[test]

@@ -127,6 +127,11 @@ impl GraphBuilder {
         let members = memberships.reversed(c);
         let subcats = Csr::from_edges(c, &self.subcategories);
         let subcats_rev = subcats.reversed(c);
+        // No audit here: the CSRs are consistent by construction, and the
+        // audit's *semantic* checks (e.g. acyclic category hierarchy) are
+        // about input data quality, which the builder deliberately does
+        // not police — callers feed it arbitrary edge lists.
+        // lint:allow(must-audit-after-mutation)
         KbGraph::from_parts(
             self.article_titles,
             self.category_titles,

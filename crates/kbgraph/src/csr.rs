@@ -5,7 +5,95 @@
 //! recommended for graph workloads: one allocation per edge set, cache-local
 //! scans, and binary-search membership tests.
 
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
+
+/// A structural defect found while shape-checking a CSR assembled from
+/// untrusted bytes (JSON or a binary snapshot). Shape errors cover the
+/// cheap always-on length/offset/bounds invariants; the deeper semantic
+/// invariants (sorted rows, forward/reverse agreement, DAG-ness) remain
+/// the `validate`-feature auditor's job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// lint:allow(persist-types-derive-serde) — decode error, never persisted
+pub enum CsrShapeError {
+    /// The offsets array is empty (a valid CSR has `num_rows + 1` entries).
+    EmptyOffsets,
+    /// The offsets array describes a different number of rows than the
+    /// surrounding structure expects (e.g. titles vs adjacency).
+    RowCountMismatch {
+        /// Rows described by the offsets array.
+        rows: usize,
+        /// Rows the surrounding structure expects.
+        expected: usize,
+    },
+    /// The first offset is not zero.
+    NonZeroFirstOffset {
+        /// The offending first entry.
+        first: u32,
+    },
+    /// `offsets[row + 1] < offsets[row]`: rows would slice backwards.
+    NonMonotonicOffsets {
+        /// First row at which monotonicity breaks.
+        row: usize,
+        /// Offset at `row`.
+        lo: u32,
+        /// Offset at `row + 1`.
+        hi: u32,
+    },
+    /// The terminal offset does not equal the target-array length, so the
+    /// flat edge array and the row structure disagree about the edge count.
+    TerminalMismatch {
+        /// The last offsets entry.
+        terminal: u32,
+        /// Actual number of stored targets.
+        targets: usize,
+    },
+    /// A target index is outside the destination id space.
+    TargetOutOfBounds {
+        /// Edge position in the flat target array.
+        position: usize,
+        /// The offending target.
+        target: u32,
+        /// Exclusive bound of the destination id space.
+        bound: usize,
+    },
+}
+
+impl fmt::Display for CsrShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CsrShapeError::EmptyOffsets => write!(f, "offsets array is empty"),
+            CsrShapeError::RowCountMismatch { rows, expected } => {
+                write!(f, "offsets describe {rows} rows, expected {expected}")
+            }
+            CsrShapeError::NonZeroFirstOffset { first } => {
+                write!(f, "first offset is {first}, expected 0")
+            }
+            CsrShapeError::NonMonotonicOffsets { row, lo, hi } => {
+                write!(f, "offsets decrease at row {row} ({lo} -> {hi})")
+            }
+            CsrShapeError::TerminalMismatch { terminal, targets } => {
+                write!(
+                    f,
+                    "terminal offset {terminal} disagrees with {targets} stored targets"
+                )
+            }
+            CsrShapeError::TargetOutOfBounds {
+                position,
+                target,
+                bound,
+            } => {
+                write!(
+                    f,
+                    "target {target} at edge position {position} exceeds id space bound {bound}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsrShapeError {}
 
 /// Immutable CSR adjacency over `u32` node indices.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -139,6 +227,52 @@ impl Csr {
         Csr { offsets, targets }
     }
 
+    /// Shape-checks a CSR assembled from untrusted bytes: `num_rows + 1`
+    /// offsets starting at 0, monotonically non-decreasing, terminating at
+    /// `targets.len()`, and every target below `num_targets`. These are
+    /// exactly the invariants that make the accessors panic-free; callers
+    /// loading persisted graphs must reject structures that fail here
+    /// *before* handing them to the query layer. Sortedness, deduplication
+    /// and cross-CSR agreement are audited separately (feature `validate`).
+    pub fn validate_shape(&self, num_rows: usize, num_targets: usize) -> Result<(), CsrShapeError> {
+        let Some(&first) = self.offsets.first() else {
+            return Err(CsrShapeError::EmptyOffsets);
+        };
+        if first != 0 {
+            return Err(CsrShapeError::NonZeroFirstOffset { first });
+        }
+        if self.offsets.len() != num_rows + 1 {
+            return Err(CsrShapeError::RowCountMismatch {
+                rows: self.offsets.len().saturating_sub(1),
+                expected: num_rows,
+            });
+        }
+        for (row, w) in self.offsets.windows(2).enumerate() {
+            if let [lo, hi] = *w {
+                if hi < lo {
+                    return Err(CsrShapeError::NonMonotonicOffsets { row, lo, hi });
+                }
+            }
+        }
+        let terminal = self.offsets.last().copied().unwrap_or(0);
+        if terminal as usize != self.targets.len() {
+            return Err(CsrShapeError::TerminalMismatch {
+                terminal,
+                targets: self.targets.len(),
+            });
+        }
+        for (position, &target) in self.targets.iter().enumerate() {
+            if target as usize >= num_targets {
+                return Err(CsrShapeError::TargetOutOfBounds {
+                    position,
+                    target,
+                    bound: num_targets,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Maximum out-degree over all rows (0 for an empty graph).
     pub fn max_degree(&self) -> usize {
         (0..self.num_rows() as u32)
@@ -217,5 +351,55 @@ mod tests {
     fn max_degree_is_max_row_len() {
         let c = Csr::from_edges(3, &[(0, 1), (0, 2), (1, 2)]);
         assert_eq!(c.max_degree(), 2);
+    }
+
+    #[test]
+    fn validate_shape_accepts_checked_constructions() {
+        let c = Csr::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(c.validate_shape(3, 3), Ok(()));
+        let empty = Csr::from_edges(0, &[]);
+        assert_eq!(empty.validate_shape(0, 0), Ok(()));
+    }
+
+    #[test]
+    fn validate_shape_rejects_each_defect_class() {
+        assert_eq!(
+            Csr::from_raw_parts(vec![], vec![]).validate_shape(0, 0),
+            Err(CsrShapeError::EmptyOffsets)
+        );
+        assert_eq!(
+            Csr::from_raw_parts(vec![1, 1], vec![1]).validate_shape(1, 2),
+            Err(CsrShapeError::NonZeroFirstOffset { first: 1 })
+        );
+        assert_eq!(
+            Csr::from_raw_parts(vec![0, 1], vec![0]).validate_shape(2, 1),
+            Err(CsrShapeError::RowCountMismatch {
+                rows: 1,
+                expected: 2
+            })
+        );
+        assert_eq!(
+            Csr::from_raw_parts(vec![0, 2, 1], vec![0, 0]).validate_shape(2, 1),
+            Err(CsrShapeError::NonMonotonicOffsets {
+                row: 1,
+                lo: 2,
+                hi: 1
+            })
+        );
+        assert_eq!(
+            Csr::from_raw_parts(vec![0, 1], vec![0, 0]).validate_shape(1, 1),
+            Err(CsrShapeError::TerminalMismatch {
+                terminal: 1,
+                targets: 2
+            })
+        );
+        assert_eq!(
+            Csr::from_raw_parts(vec![0, 1], vec![5]).validate_shape(1, 3),
+            Err(CsrShapeError::TargetOutOfBounds {
+                position: 0,
+                target: 5,
+                bound: 3
+            })
+        );
     }
 }

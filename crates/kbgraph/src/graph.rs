@@ -1,10 +1,61 @@
 //! The immutable knowledge-base graph.
 
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
 
-use crate::csr::Csr;
+use crate::csr::{Csr, CsrShapeError};
 use crate::ids::{ArticleId, CategoryId, Node};
 use crate::stats::GraphStats;
+
+/// A structural inconsistency found while shape-checking a deserialized
+/// graph: one of the six adjacencies disagrees with the title arrays
+/// about the id spaces. Checked on every decode (JSON and binary), so a
+/// corrupted persisted graph is rejected with a typed error instead of
+/// deferring to the debug-only auditor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// lint:allow(persist-types-derive-serde) — decode error, never persisted
+pub struct GraphShapeError {
+    /// Which adjacency is malformed (`article_links`, `memberships`, ...).
+    pub csr: &'static str,
+    /// The defect.
+    pub error: CsrShapeError,
+}
+
+impl fmt::Display for GraphShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "graph adjacency `{}`: {}", self.csr, self.error)
+    }
+}
+
+impl std::error::Error for GraphShapeError {}
+
+/// Why [`KbGraph::from_json`] rejected a payload.
+#[derive(Debug)]
+// lint:allow(persist-types-derive-serde) — decode error, never persisted
+pub enum GraphDecodeError {
+    /// The payload is not valid JSON for the graph schema.
+    Json(serde_json::Error),
+    /// The payload parsed but its sections are structurally inconsistent.
+    Shape(GraphShapeError),
+}
+
+impl fmt::Display for GraphDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphDecodeError::Json(e) => write!(f, "graph JSON parse: {e}"),
+            GraphDecodeError::Shape(e) => write!(f, "graph shape: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphDecodeError {}
+
+impl From<GraphShapeError> for GraphDecodeError {
+    fn from(e: GraphShapeError) -> Self {
+        GraphDecodeError::Shape(e)
+    }
+}
 
 /// An immutable knowledge-base graph in CSR form.
 ///
@@ -310,19 +361,62 @@ impl KbGraph {
         &self.subcats_rev
     }
 
+    /// The full article-title array (index = dense article id).
+    #[inline]
+    pub fn article_titles(&self) -> &[String] {
+        &self.article_titles
+    }
+
+    /// The full category-title array (index = dense category id).
+    #[inline]
+    pub fn category_titles(&self) -> &[String] {
+        &self.category_titles
+    }
+
+    /// Shape-checks every adjacency against the title arrays: correct row
+    /// counts, monotonic offsets terminating at the edge counts, in-bounds
+    /// targets. This is the always-on decode gate; the deeper semantic
+    /// audit ([`crate::audit::GraphAudit`] under feature `validate`) also
+    /// re-derives sortedness, reciprocity and DAG-ness.
+    pub fn validate_shape(&self) -> Result<(), GraphShapeError> {
+        let arts = self.article_titles.len();
+        let cats = self.category_titles.len();
+        let specs: [(&'static str, &Csr, usize, usize); 6] = [
+            ("article_links", &self.article_links, arts, arts),
+            ("article_links_rev", &self.article_links_rev, arts, arts),
+            ("memberships", &self.memberships, arts, cats),
+            ("members", &self.members, cats, arts),
+            ("subcats", &self.subcats, cats, cats),
+            ("subcats_rev", &self.subcats_rev, cats, cats),
+        ];
+        for (csr, adj, rows, bound) in specs {
+            adj.validate_shape(rows, bound)
+                .map_err(|error| GraphShapeError { csr, error })?;
+        }
+        Ok(())
+    }
+
     /// Whole-graph statistics (the counts the paper reports in Section 3).
     pub fn stats(&self) -> GraphStats {
         GraphStats::compute(self)
     }
 
     /// Serializes the graph to JSON (persistence / interchange).
-    pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("graph serializes")
+    /// Serialization failures are propagated — persistence must never
+    /// panic the serving process.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
     }
 
-    /// Restores a graph from [`KbGraph::to_json`] output.
-    pub fn from_json(json: &str) -> Result<KbGraph, serde_json::Error> {
-        serde_json::from_str(json)
+    /// Restores a graph from [`KbGraph::to_json`] output. The decoded
+    /// structure is shape-checked before it is returned, so a payload
+    /// whose sections are inconsistent (truncated arrays, out-of-range
+    /// targets, disagreeing counts) yields a typed error here instead of
+    /// panics or wrong answers downstream.
+    pub fn from_json(json: &str) -> Result<KbGraph, GraphDecodeError> {
+        let graph: KbGraph = serde_json::from_str(json).map_err(GraphDecodeError::Json)?;
+        graph.validate_shape()?;
+        Ok(graph)
     }
 
     /// Finds an article by exact title (linear scan; intended for tests and
@@ -455,13 +549,48 @@ mod tests {
     #[test]
     fn json_roundtrip_preserves_structure() {
         let (g, cable, funi, tram, rail) = toy();
-        let restored = KbGraph::from_json(&g.to_json()).unwrap();
+        let restored = KbGraph::from_json(&g.to_json().unwrap()).unwrap();
         assert_eq!(restored.num_articles(), g.num_articles());
         assert_eq!(restored.num_categories(), g.num_categories());
         assert!(restored.doubly_linked(cable, funi));
         assert!(!restored.doubly_linked(tram, cable));
         assert!(restored.belongs_to(cable, rail));
         assert_eq!(restored.stats(), g.stats());
+    }
+
+    #[test]
+    fn from_json_rejects_inconsistent_sections() {
+        let (g, ..) = toy();
+        // Rebuild with a membership CSR whose terminal offset lies about
+        // the edge count: structurally inconsistent, semantically silent.
+        let bad_members = Csr::from_raw_parts(
+            {
+                let mut o = g.memberships().offsets().to_vec();
+                if let Some(last) = o.last_mut() {
+                    *last += 1;
+                }
+                o
+            },
+            g.memberships().targets().to_vec(),
+        );
+        let bad = KbGraph::from_parts(
+            g.article_titles().to_vec(),
+            g.category_titles().to_vec(),
+            g.article_links().clone(),
+            g.article_links_rev().clone(),
+            bad_members,
+            g.members().clone(),
+            g.subcategories().clone(),
+            g.subcats_rev().clone(),
+        );
+        assert!(bad.validate_shape().is_err());
+        let err = KbGraph::from_json(&bad.to_json().unwrap()).unwrap_err();
+        assert!(matches!(err, GraphDecodeError::Shape(_)), "{err}");
+        // Non-JSON input is the other typed failure mode.
+        assert!(matches!(
+            KbGraph::from_json("not json").unwrap_err(),
+            GraphDecodeError::Json(_)
+        ));
     }
 
     #[test]

@@ -110,7 +110,7 @@ pub fn porter_stem(word: &str) -> String {
     step4(&mut w);
     step5a(&mut w);
     step5b(&mut w);
-    String::from_utf8(w).expect("ascii in, ascii out")
+    String::from_utf8(w).expect("invariant: stemmer input is ascii, so output stays valid utf-8")
 }
 
 /// True if `w[i]` acts as a consonant.

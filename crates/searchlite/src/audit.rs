@@ -80,6 +80,14 @@ pub enum IndexViolation {
         /// The document's stored length.
         doc_len: u32,
     },
+    /// The postings table has a different length than the term table
+    /// (some terms would have no posting list, or lists no term).
+    PostingsLenMismatch {
+        /// Number of terms.
+        terms: usize,
+        /// `postings.len()`.
+        postings: usize,
+    },
     /// `coll_tf` has a different length than the term table.
     CollTfLenMismatch {
         /// Number of terms.
@@ -218,6 +226,9 @@ impl fmt::Display for IndexViolation {
                 f,
                 "term {term} doc {doc}: position {pos} >= doc length {doc_len}"
             ),
+            IndexViolation::PostingsLenMismatch { terms, postings } => {
+                write!(f, "postings table has {postings} entries for {terms} terms")
+            }
             IndexViolation::CollTfLenMismatch { terms, coll_tf } => {
                 write!(f, "coll_tf has {coll_tf} entries for {terms} terms")
             }

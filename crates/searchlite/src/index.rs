@@ -94,6 +94,36 @@ impl TermPostings {
             .zip(self.tfs.iter())
             .map(|(&d, &t)| (DocId(d), t))
     }
+
+    /// Raw position-slice offsets (`docs.len() + 1` entries); read-only
+    /// access for binary persistence.
+    #[inline]
+    pub fn pos_offsets(&self) -> &[u32] {
+        &self.pos_offsets
+    }
+
+    /// Raw flat position array; read-only access for binary persistence.
+    #[inline]
+    pub fn positions_flat(&self) -> &[u32] {
+        &self.positions
+    }
+
+    /// Reassembles postings from raw arrays. Shape is NOT validated here;
+    /// callers must pass the resulting [`Index`] through
+    /// [`Index::from_raw_parts`], which checks every per-term invariant.
+    pub fn from_raw_parts(
+        docs: Vec<u32>,
+        tfs: Vec<u32>,
+        pos_offsets: Vec<u32>,
+        positions: Vec<u32>,
+    ) -> TermPostings {
+        TermPostings {
+            docs,
+            tfs,
+            pos_offsets,
+            positions,
+        }
+    }
 }
 
 /// Builds an [`Index`] incrementally, one document at a time.
@@ -218,6 +248,150 @@ impl IndexBuilder {
             fwd_terms: self.fwd_terms,
             fwd_tfs: self.fwd_tfs,
         }
+    }
+}
+
+/// Structural defect found while reassembling an [`Index`] from decoded
+/// sections. Shape checks are cheap (lengths, offset monotonicity, id
+/// bounds) and run on every decode path, unlike the exhaustive
+/// debug-only `IndexAudit`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+// lint:allow(persist-types-derive-serde) — decode error, never persisted
+pub enum IndexShapeError {
+    /// A parallel section has the wrong length.
+    SectionLenMismatch {
+        /// Which section is inconsistent.
+        section: &'static str,
+        /// Observed length.
+        len: usize,
+        /// Length implied by the rest of the index.
+        expected: usize,
+    },
+    /// Two terms normalize to the same dictionary key.
+    DuplicateTerm {
+        /// Offending term id.
+        term: u32,
+    },
+    /// A term's posting arrays disagree on the document count.
+    PostingArraysMismatch {
+        /// Offending term id.
+        term: u32,
+        /// `docs` length.
+        docs: usize,
+        /// `tfs` length.
+        tfs: usize,
+        /// `pos_offsets` length (must be `docs + 1`).
+        pos_offsets: usize,
+    },
+    /// A term's position offsets are not a monotone prefix-sum over its
+    /// flat position array.
+    PosOffsetsMalformed {
+        /// Offending term id.
+        term: u32,
+    },
+    /// A posting references a document outside the collection.
+    DocOutOfBounds {
+        /// Offending term id.
+        term: u32,
+        /// Referenced document.
+        doc: u32,
+        /// Number of documents in the collection.
+        num_docs: usize,
+    },
+    /// The forward-index offsets are not a monotone prefix-sum.
+    FwdOffsetsMalformed {
+        /// Number of documents.
+        docs: usize,
+        /// `fwd_offsets` length (must be `docs + 1`).
+        offsets_len: usize,
+    },
+    /// A forward-index entry references a term outside the dictionary.
+    FwdTermOutOfBounds {
+        /// Referenced term id.
+        term: u32,
+        /// Number of terms in the dictionary.
+        num_terms: usize,
+    },
+}
+
+impl std::fmt::Display for IndexShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexShapeError::SectionLenMismatch {
+                section,
+                len,
+                expected,
+            } => write!(f, "index section `{section}` has length {len}, expected {expected}"),
+            IndexShapeError::DuplicateTerm { term } => {
+                write!(f, "term {term} duplicates an earlier dictionary entry")
+            }
+            IndexShapeError::PostingArraysMismatch {
+                term,
+                docs,
+                tfs,
+                pos_offsets,
+            } => write!(
+                f,
+                "term {term} postings misaligned: docs={docs}, tfs={tfs}, pos_offsets={pos_offsets}"
+            ),
+            IndexShapeError::PosOffsetsMalformed { term } => {
+                write!(f, "term {term} position offsets are not a prefix-sum of its positions")
+            }
+            IndexShapeError::DocOutOfBounds {
+                term,
+                doc,
+                num_docs,
+            } => write!(
+                f,
+                "term {term} references document {doc} outside the {num_docs}-document collection"
+            ),
+            IndexShapeError::FwdOffsetsMalformed { docs, offsets_len } => write!(
+                f,
+                "forward offsets have length {offsets_len}, not a prefix-sum over {docs} documents"
+            ),
+            IndexShapeError::FwdTermOutOfBounds { term, num_terms } => write!(
+                f,
+                "forward index references term {term} outside the {num_terms}-term dictionary"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IndexShapeError {}
+
+/// Failure to restore an [`Index`] from its JSON persistence form: either
+/// the payload is not valid JSON for the schema, or it decodes to
+/// structurally inconsistent sections.
+#[derive(Debug)]
+// lint:allow(persist-types-derive-serde) — decode error, never persisted
+pub enum IndexDecodeError {
+    /// The payload failed JSON deserialization.
+    Json(serde_json::Error),
+    /// The payload decoded but its sections are inconsistent.
+    Shape(IndexShapeError),
+}
+
+impl std::fmt::Display for IndexDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexDecodeError::Json(e) => write!(f, "index JSON decode failed: {e}"),
+            IndexDecodeError::Shape(e) => write!(f, "index payload is inconsistent: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexDecodeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IndexDecodeError::Json(e) => Some(e),
+            IndexDecodeError::Shape(e) => Some(e),
+        }
+    }
+}
+
+impl From<IndexShapeError> for IndexDecodeError {
+    fn from(e: IndexShapeError) -> Self {
+        IndexDecodeError::Shape(e)
     }
 }
 
@@ -461,17 +635,254 @@ impl Index {
             .map(|(&t, &f)| (TermId(t), f))
     }
 
-    /// Serializes the index to JSON (human-diffable persistence; the
-    /// synthetic collections are small enough that a compact binary
-    /// format is unnecessary).
-    pub fn to_json(&self) -> String {
+    /// Serializes the index to JSON (human-diffable persistence; binary
+    /// persistence lives in `sqe-store`).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
         serde_json::to_string(self)
-            .expect("invariant: every index component maps to a JSON value")
     }
 
-    /// Restores an index from [`Index::to_json`] output.
-    pub fn from_json(json: &str) -> Result<Index, serde_json::Error> {
-        serde_json::from_str(json)
+    /// Restores an index from [`Index::to_json`] output. The decoded
+    /// sections are shape-validated before the index is returned, so a
+    /// structurally inconsistent payload is a typed error here rather
+    /// than a latent fault for the debug-only audit to catch.
+    pub fn from_json(json: &str) -> Result<Index, IndexDecodeError> {
+        let index: Index = serde_json::from_str(json).map_err(IndexDecodeError::Json)?;
+        index.validate_shape()?;
+        Ok(index)
+    }
+
+    /// Dictionary terms in id order; read-only access for binary
+    /// persistence.
+    #[inline]
+    pub fn terms(&self) -> &[String] {
+        &self.terms
+    }
+
+    /// External document ids in [`DocId`] order.
+    #[inline]
+    pub fn external_ids(&self) -> &[String] {
+        &self.external_ids
+    }
+
+    /// Per-document token counts.
+    #[inline]
+    pub fn doc_lens(&self) -> &[u32] {
+        &self.doc_lens
+    }
+
+    /// Per-term collection frequencies.
+    #[inline]
+    pub fn coll_tfs(&self) -> &[u64] {
+        &self.coll_tf
+    }
+
+    /// All per-term postings in [`TermId`] order.
+    #[inline]
+    pub fn all_postings(&self) -> &[TermPostings] {
+        &self.postings
+    }
+
+    /// Forward-index offsets (`num_docs + 1` entries).
+    #[inline]
+    pub fn fwd_offsets(&self) -> &[u32] {
+        &self.fwd_offsets
+    }
+
+    /// Forward-index term ids, sliced per document by
+    /// [`Index::fwd_offsets`].
+    #[inline]
+    pub fn fwd_terms(&self) -> &[u32] {
+        &self.fwd_terms
+    }
+
+    /// Forward-index term frequencies parallel to [`Index::fwd_terms`].
+    #[inline]
+    pub fn fwd_tfs(&self) -> &[u32] {
+        &self.fwd_tfs
+    }
+
+    /// Reassembles an index from decoded sections, deriving the term
+    /// dictionary from `terms` and shape-validating the result. This is
+    /// the only way to construct an [`Index`] from untrusted bytes;
+    /// callers are expected to follow up with an `IndexAudit` when the
+    /// bytes cross a trust boundary (the snapshot store does).
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw_parts(
+        analyzer: Analyzer,
+        terms: Vec<String>,
+        postings: Vec<TermPostings>,
+        external_ids: Vec<String>,
+        doc_lens: Vec<u32>,
+        collection_len: u64,
+        coll_tf: Vec<u64>,
+        fwd_offsets: Vec<u32>,
+        fwd_terms: Vec<u32>,
+        fwd_tfs: Vec<u32>,
+    ) -> Result<Index, IndexShapeError> {
+        let mut dict = FxHashMap::default();
+        dict.reserve(terms.len());
+        for (id, term) in terms.iter().enumerate() {
+            let id = u32::try_from(id).map_err(|_| IndexShapeError::SectionLenMismatch {
+                section: "terms",
+                len: terms.len(),
+                expected: u32::MAX as usize,
+            })?;
+            if dict.insert(term.clone(), id).is_some() {
+                return Err(IndexShapeError::DuplicateTerm { term: id });
+            }
+        }
+        let index = Index {
+            analyzer,
+            dict,
+            terms,
+            postings,
+            external_ids,
+            doc_lens,
+            collection_len,
+            coll_tf,
+            fwd_offsets,
+            fwd_terms,
+            fwd_tfs,
+        };
+        index.validate_shape()?;
+        Ok(index)
+    }
+
+    /// Like [`Index::from_raw_parts`], but validates with one full
+    /// [`crate::audit::IndexAudit`] pass instead of `validate_shape`
+    /// followed by a separate audit: the audit checks a strict superset
+    /// of the shape invariants (it tolerates malformed shapes and
+    /// reports them as violations), so snapshot loaders get identical
+    /// coverage from a single scan over the postings. Duplicate terms
+    /// surface as a `DictNotBijective` violation. On failure the audit
+    /// is returned so callers can attach its report to their error.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw_parts_audited(
+        analyzer: Analyzer,
+        terms: Vec<String>,
+        postings: Vec<TermPostings>,
+        external_ids: Vec<String>,
+        doc_lens: Vec<u32>,
+        collection_len: u64,
+        coll_tf: Vec<u64>,
+        fwd_offsets: Vec<u32>,
+        fwd_terms: Vec<u32>,
+        fwd_tfs: Vec<u32>,
+    ) -> Result<Index, crate::audit::IndexAudit> {
+        let mut dict = FxHashMap::default();
+        dict.reserve(terms.len());
+        for (id, term) in terms.iter().enumerate() {
+            // Duplicate or overflowing ids leave the dict smaller than
+            // the term table; the audit reports that as DictNotBijective.
+            if let Ok(id) = u32::try_from(id) {
+                dict.entry(term.clone()).or_insert(id);
+            }
+        }
+        let index = Index {
+            analyzer,
+            dict,
+            terms,
+            postings,
+            external_ids,
+            doc_lens,
+            collection_len,
+            coll_tf,
+            fwd_offsets,
+            fwd_terms,
+            fwd_tfs,
+        };
+        let audit = crate::audit::IndexAudit::run(&index);
+        if audit.is_clean() {
+            Ok(index)
+        } else {
+            Err(audit)
+        }
+    }
+
+    /// Cheap structural validation of the section shapes: parallel-array
+    /// lengths, offset monotonicity and prefix-sum terminals, and id
+    /// bounds. Runs on every decode path; deeper semantic invariants
+    /// (sortedness, derived statistics) remain the `IndexAudit`'s job.
+    pub fn validate_shape(&self) -> Result<(), IndexShapeError> {
+        let num_docs = self.external_ids.len();
+        let num_terms = self.terms.len();
+        if self.doc_lens.len() != num_docs {
+            return Err(IndexShapeError::SectionLenMismatch {
+                section: "doc_lens",
+                len: self.doc_lens.len(),
+                expected: num_docs,
+            });
+        }
+        if self.coll_tf.len() != num_terms {
+            return Err(IndexShapeError::SectionLenMismatch {
+                section: "coll_tf",
+                len: self.coll_tf.len(),
+                expected: num_terms,
+            });
+        }
+        if self.postings.len() != num_terms {
+            return Err(IndexShapeError::SectionLenMismatch {
+                section: "postings",
+                len: self.postings.len(),
+                expected: num_terms,
+            });
+        }
+        if self.dict.len() != num_terms {
+            return Err(IndexShapeError::SectionLenMismatch {
+                section: "dict",
+                len: self.dict.len(),
+                expected: num_terms,
+            });
+        }
+        for (tid, p) in self.postings.iter().enumerate() {
+            let term = u32::try_from(tid).map_err(|_| IndexShapeError::SectionLenMismatch {
+                section: "postings",
+                len: self.postings.len(),
+                expected: u32::MAX as usize,
+            })?;
+            if p.tfs.len() != p.docs.len() || p.pos_offsets.len() != p.docs.len() + 1 {
+                return Err(IndexShapeError::PostingArraysMismatch {
+                    term,
+                    docs: p.docs.len(),
+                    tfs: p.tfs.len(),
+                    pos_offsets: p.pos_offsets.len(),
+                });
+            }
+            let pos_ok = p.pos_offsets.first() == Some(&0)
+                && p.pos_offsets.windows(2).all(|w| w[0] <= w[1])
+                && p.pos_offsets.last().map(|&l| l as usize) == Some(p.positions.len());
+            if !pos_ok {
+                return Err(IndexShapeError::PosOffsetsMalformed { term });
+            }
+            if let Some(&doc) = p.docs.iter().find(|&&d| d as usize >= num_docs) {
+                return Err(IndexShapeError::DocOutOfBounds {
+                    term,
+                    doc,
+                    num_docs,
+                });
+            }
+        }
+        let fwd_shape_ok = self.fwd_offsets.len() == num_docs + 1
+            && self.fwd_offsets.first() == Some(&0)
+            && self.fwd_offsets.windows(2).all(|w| w[0] <= w[1])
+            && self.fwd_offsets.last().map(|&l| l as usize) == Some(self.fwd_terms.len());
+        if !fwd_shape_ok {
+            return Err(IndexShapeError::FwdOffsetsMalformed {
+                docs: num_docs,
+                offsets_len: self.fwd_offsets.len(),
+            });
+        }
+        if self.fwd_tfs.len() != self.fwd_terms.len() {
+            return Err(IndexShapeError::SectionLenMismatch {
+                section: "fwd_tfs",
+                len: self.fwd_tfs.len(),
+                expected: self.fwd_terms.len(),
+            });
+        }
+        if let Some(&term) = self.fwd_terms.iter().find(|&&t| t as usize >= num_terms) {
+            return Err(IndexShapeError::FwdTermOutOfBounds { term, num_terms });
+        }
+        Ok(())
     }
 
     /// Analyzes raw text with the index's analyzer and maps the tokens to
@@ -575,6 +986,12 @@ impl Index {
             v.push(V::CollectionLenMismatch {
                 stored: self.collection_len,
                 derived: derived_coll,
+            });
+        }
+        if self.postings.len() != num_terms {
+            v.push(V::PostingsLenMismatch {
+                terms: num_terms,
+                postings: self.postings.len(),
             });
         }
         if self.coll_tf.len() != num_terms {
@@ -711,6 +1128,14 @@ impl Index {
                 fwd_tfs: self.fwd_tfs.len(),
             });
         } else if fwd_shape_ok {
+            // Docs are visited in ascending order and each term's posting
+            // docs are ascending too, so a per-term cursor replaces a
+            // per-entry binary search: total work is O(entries + terms)
+            // instead of O(entries · log postings), which keeps the full
+            // audit cheap enough to run on every snapshot load. When a
+            // posting list is unsorted the cursor can misread the tf, but
+            // that index was already reported via `PostingsNotSorted`.
+            let mut cursors = vec![0usize; self.postings.len()];
             for d in 0..num_docs {
                 let lo = self.fwd_offsets[d] as usize;
                 let hi = self.fwd_offsets[d + 1] as usize;
@@ -724,7 +1149,14 @@ impl Index {
                         // Skip tf cross-check when the postings arrays are
                         // misaligned (already reported above).
                         Some(p) if p.tfs.len() == p.docs.len() => {
-                            let inverted = p.tf(DocId(d as u32));
+                            let c = &mut cursors[t as usize];
+                            while *c < p.docs.len() && (p.docs[*c] as usize) < d {
+                                *c += 1;
+                            }
+                            let inverted = match p.docs.get(*c) {
+                                Some(&doc) if doc as usize == d => p.tfs[*c],
+                                _ => 0,
+                            };
                             if inverted != f {
                                 v.push(V::FwdTfMismatch {
                                     doc: d as u32,
@@ -905,13 +1337,80 @@ mod tests {
         use crate::ql::{self, QlParams};
         use crate::structured::Query;
         let idx = tiny();
-        let restored = Index::from_json(&idx.to_json()).unwrap();
+        let restored = Index::from_json(&idx.to_json().unwrap()).unwrap();
         assert_eq!(restored.num_docs(), idx.num_docs());
         assert_eq!(restored.collection_len(), idx.collection_len());
         let q = Query::parse_text("cable car", &Analyzer::plain());
         let h1 = ql::rank(&idx, &q, QlParams { mu: 10.0 }, 5);
         let h2 = ql::rank(&restored, &q, QlParams { mu: 10.0 }, 5);
         assert_eq!(h1, h2, "retrieval must be identical after reload");
+    }
+
+    #[test]
+    fn from_json_rejects_inconsistent_sections() {
+        let idx = tiny();
+        // Reassemble with a truncated doc_lens section: valid JSON for the
+        // schema, structurally inconsistent as an index.
+        let err = Index::from_raw_parts(
+            idx.analyzer().clone(),
+            idx.terms().to_vec(),
+            idx.all_postings().to_vec(),
+            idx.external_ids().to_vec(),
+            idx.doc_lens()[..idx.num_docs() - 1].to_vec(),
+            idx.collection_len(),
+            idx.coll_tfs().to_vec(),
+            idx.fwd_offsets().to_vec(),
+            idx.fwd_terms().to_vec(),
+            idx.fwd_tfs().to_vec(),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, IndexShapeError::SectionLenMismatch { section: "doc_lens", .. }),
+            "{err}"
+        );
+        // The same inconsistency smuggled through JSON is caught at decode.
+        let bad = Index {
+            analyzer: idx.analyzer().clone(),
+            dict: idx.dict.clone(),
+            terms: idx.terms().to_vec(),
+            postings: idx.all_postings().to_vec(),
+            external_ids: idx.external_ids().to_vec(),
+            doc_lens: idx.doc_lens()[..idx.num_docs() - 1].to_vec(),
+            collection_len: idx.collection_len(),
+            coll_tf: idx.coll_tfs().to_vec(),
+            fwd_offsets: idx.fwd_offsets().to_vec(),
+            fwd_terms: idx.fwd_terms().to_vec(),
+            fwd_tfs: idx.fwd_tfs().to_vec(),
+        };
+        let err = Index::from_json(&bad.to_json().unwrap()).unwrap_err();
+        assert!(matches!(err, IndexDecodeError::Shape(_)), "{err}");
+        assert!(matches!(
+            Index::from_json("not json").unwrap_err(),
+            IndexDecodeError::Json(_)
+        ));
+    }
+
+    #[test]
+    fn raw_parts_roundtrip_reconstructs_identical_index() {
+        let idx = tiny();
+        let restored = Index::from_raw_parts(
+            idx.analyzer().clone(),
+            idx.terms().to_vec(),
+            idx.all_postings().to_vec(),
+            idx.external_ids().to_vec(),
+            idx.doc_lens().to_vec(),
+            idx.collection_len(),
+            idx.coll_tfs().to_vec(),
+            idx.fwd_offsets().to_vec(),
+            idx.fwd_terms().to_vec(),
+            idx.fwd_tfs().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(restored.num_docs(), idx.num_docs());
+        assert_eq!(restored.num_terms(), idx.num_terms());
+        let cable = restored.term_id("cable").unwrap();
+        assert_eq!(restored.tf(cable, DocId(1)), 2);
+        assert!(crate::audit::IndexAudit::run(&restored).is_clean());
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub mod structured;
 pub mod topk;
 
 pub use analysis::Analyzer;
-pub use index::{DocId, Index, IndexBuilder, TermId};
+pub use index::{DocId, Index, IndexBuilder, IndexDecodeError, IndexShapeError, TermId, TermPostings};
 pub use ql::{QlParams, SearchHit};
 pub use stats::CollectionStats;
 pub use structured::Query;

@@ -1,0 +1,167 @@
+//! The typed error surface of the snapshot store.
+//!
+//! Every failure mode — I/O, header damage, section-table lies, payload
+//! corruption, structurally inconsistent sections, audit rejection — maps
+//! to a [`StoreError`] variant. The store never panics on untrusted
+//! bytes; the corruption proptests in `tests/` enforce that for random
+//! bit flips, truncations and table rewrites.
+
+use kbgraph::GraphShapeError;
+use searchlite::IndexShapeError;
+
+/// Any failure to write, open, verify or decode a snapshot.
+#[derive(Debug)]
+// lint:allow(persist-types-derive-serde) — error type, never persisted
+pub enum StoreError {
+    /// Filesystem failure while reading or (atomically) writing.
+    Io(std::io::Error),
+    /// The file does not start with the snapshot magic.
+    BadMagic {
+        /// The first bytes actually found.
+        found: [u8; 8],
+    },
+    /// The file's format version is not supported by this build.
+    UnsupportedVersion {
+        /// Version stored in the header.
+        found: u32,
+        /// Highest version this build understands.
+        supported: u32,
+    },
+    /// The file ends before a structure it promises.
+    Truncated {
+        /// Bytes needed to finish parsing.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// The header checksum does not match the header bytes.
+    HeaderChecksum {
+        /// CRC stored in the file.
+        stored: u32,
+        /// CRC recomputed over the header bytes.
+        computed: u32,
+    },
+    /// The section table is self-inconsistent (bad offsets, overlap,
+    /// misalignment, nonzero padding, trailing garbage, …).
+    SectionTable {
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
+    /// A section's payload bytes do not match its table checksum.
+    SectionChecksum {
+        /// Section id.
+        id: u32,
+        /// CRC stored in the section table.
+        stored: u32,
+        /// CRC recomputed over the payload.
+        computed: u32,
+    },
+    /// A required section is absent.
+    MissingSection {
+        /// Section id that was expected.
+        id: u32,
+    },
+    /// A section's payload decoded inconsistently (bad lengths, invalid
+    /// UTF-8, non-finite weights, out-of-bounds ids, …).
+    Malformed {
+        /// Section id being decoded.
+        section: u32,
+        /// What went wrong.
+        detail: String,
+    },
+    /// The graph section decoded but its CSRs are structurally invalid.
+    GraphShape(GraphShapeError),
+    /// An index section decoded but its arrays are structurally invalid.
+    IndexShape(IndexShapeError),
+    /// A decoded structure passed shape checks but failed its semantic
+    /// audit (`GraphAudit` / `IndexAudit`), which the store always runs
+    /// on untrusted bytes.
+    AuditRejected {
+        /// Which structure was rejected ("graph" or the collection name).
+        what: String,
+        /// The audit's violation report.
+        report: String,
+    },
+    /// A snapshot was asked for a collection it does not contain.
+    NoSuchCollection {
+        /// The requested collection name.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "snapshot I/O failed: {e}"),
+            StoreError::BadMagic { found } => {
+                write!(f, "not a snapshot file (magic bytes {found:02x?})")
+            }
+            StoreError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "snapshot version {found} is newer than supported version {supported}"
+            ),
+            StoreError::Truncated { needed, available } => write!(
+                f,
+                "snapshot truncated: needed {needed} bytes, only {available} available"
+            ),
+            StoreError::HeaderChecksum { stored, computed } => write!(
+                f,
+                "header checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            StoreError::SectionTable { detail } => {
+                write!(f, "section table invalid: {detail}")
+            }
+            StoreError::SectionChecksum {
+                id,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "section {id:#x} checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            StoreError::MissingSection { id } => {
+                write!(f, "required section {id:#x} is missing")
+            }
+            StoreError::Malformed { section, detail } => {
+                write!(f, "section {section:#x} payload malformed: {detail}")
+            }
+            StoreError::GraphShape(e) => write!(f, "graph section inconsistent: {e}"),
+            StoreError::IndexShape(e) => write!(f, "index section inconsistent: {e}"),
+            StoreError::AuditRejected { what, report } => {
+                write!(f, "audit rejected decoded {what}:\n{report}")
+            }
+            StoreError::NoSuchCollection { name } => {
+                write!(f, "snapshot holds no collection named `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::GraphShape(e) => Some(e),
+            StoreError::IndexShape(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<GraphShapeError> for StoreError {
+    fn from(e: GraphShapeError) -> Self {
+        StoreError::GraphShape(e)
+    }
+}
+
+impl From<IndexShapeError> for StoreError {
+    fn from(e: IndexShapeError) -> Self {
+        StoreError::IndexShape(e)
+    }
+}

@@ -1,0 +1,346 @@
+//! On-disk layout of a snapshot file.
+//!
+//! ```text
+//! offset  size  field
+//! ------  ----  -----------------------------------------------
+//!      0     8  magic  "SQESNAP\0"
+//!      8     4  format version (u32 LE)
+//!     12     4  section count N (u32 LE)
+//!     16  24*N  section table: {id u32, crc32 u32, offset u64, len u64}
+//! 16+24N     4  header crc32 over bytes [0, 16+24N)
+//!      …     …  zero padding to the next 8-byte boundary
+//!      …     …  section payloads, each 8-byte aligned, contiguous
+//!               (zero padding between sections), file ends exactly
+//!               at the last section's end
+//! ```
+//!
+//! Every byte of the file is covered by a checksum or required to be an
+//! exact constant: the header CRC covers magic, version and the section
+//! table; each section CRC covers its payload; padding must be zero and
+//! the file must end exactly where the table says — so any single-bit
+//! flip anywhere is detected. Offsets are absolute. All integers are
+//! little-endian.
+
+use crate::crc32::crc32;
+use crate::error::StoreError;
+
+/// File magic: identifies a snapshot regardless of extension.
+pub const MAGIC: [u8; 8] = *b"SQESNAP\0";
+
+/// Current (and only) format version. Readers reject newer files with
+/// [`StoreError::UnsupportedVersion`]; older versions would be migrated
+/// by dedicated decode paths kept alive per the compat policy in
+/// DESIGN.md §10.
+pub const VERSION: u32 = 1;
+
+/// Section id of the snapshot metadata (writer string, collection names).
+pub const SEC_META: u32 = 0x1;
+/// Section id of the knowledge graph (titles + six CSRs).
+pub const SEC_GRAPH: u32 = 0x2;
+/// Section id of the entity-linker dictionary.
+pub const SEC_DICT: u32 = 0x3;
+/// Base section id of per-collection inverted indexes (`BASE + i` for
+/// collection `i` in META order).
+pub const SEC_INDEX_BASE: u32 = 0x100;
+
+/// Fixed header prefix: magic + version + section count.
+pub const HEADER_PREFIX_LEN: usize = 16;
+/// Serialized size of one section-table entry.
+pub const SECTION_ENTRY_LEN: usize = 24;
+/// Upper bound on the section count — far above any real snapshot, low
+/// enough that a corrupt count cannot drive a huge allocation.
+pub const MAX_SECTIONS: u32 = 4096;
+
+/// One row of the section table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// lint:allow(persist-types-derive-serde) — hand-serialized in the binary header
+pub struct SectionEntry {
+    /// Section id (`SEC_*`).
+    pub id: u32,
+    /// CRC-32 of the payload bytes.
+    pub crc: u32,
+    /// Absolute file offset of the payload (8-byte aligned).
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+}
+
+/// Rounds `n` up to the next multiple of 8.
+pub fn align8(n: usize) -> usize {
+    n.div_ceil(8) * 8
+}
+
+/// Serializes the header (magic, version, table, header CRC, padding to
+/// the first payload offset) for the given entries.
+pub fn encode_header(entries: &[SectionEntry]) -> Result<Vec<u8>, StoreError> {
+    let count = u32::try_from(entries.len()).ok().filter(|&c| c <= MAX_SECTIONS).ok_or_else(
+        || StoreError::SectionTable {
+            detail: format!("{} sections exceed the format maximum {MAX_SECTIONS}", entries.len()),
+        },
+    )?;
+    let table_end = HEADER_PREFIX_LEN + entries.len() * SECTION_ENTRY_LEN;
+    let mut out = Vec::with_capacity(align8(table_end + 4));
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&count.to_le_bytes());
+    for e in entries {
+        out.extend_from_slice(&e.id.to_le_bytes());
+        out.extend_from_slice(&e.crc.to_le_bytes());
+        out.extend_from_slice(&e.offset.to_le_bytes());
+        out.extend_from_slice(&e.len.to_le_bytes());
+    }
+    let header_crc = crc32(&out);
+    out.extend_from_slice(&header_crc.to_le_bytes());
+    out.resize(align8(out.len()), 0);
+    Ok(out)
+}
+
+/// Total file size occupied by the header for `count` sections,
+/// including the trailing zero padding to the first payload offset.
+pub fn header_span(count: usize) -> usize {
+    align8(HEADER_PREFIX_LEN + count * SECTION_ENTRY_LEN + 4)
+}
+
+fn read_u32_at(bytes: &[u8], at: usize) -> Result<u32, StoreError> {
+    match bytes.get(at..at + 4) {
+        Some(b) => {
+            let mut le = [0u8; 4];
+            le.copy_from_slice(b);
+            Ok(u32::from_le_bytes(le))
+        }
+        None => Err(StoreError::Truncated {
+            needed: at + 4,
+            available: bytes.len(),
+        }),
+    }
+}
+
+fn read_u64_at(bytes: &[u8], at: usize) -> Result<u64, StoreError> {
+    match bytes.get(at..at + 8) {
+        Some(b) => {
+            let mut le = [0u8; 8];
+            le.copy_from_slice(b);
+            Ok(u64::from_le_bytes(le))
+        }
+        None => Err(StoreError::Truncated {
+            needed: at + 8,
+            available: bytes.len(),
+        }),
+    }
+}
+
+/// Parses and fully validates the header against the file bytes:
+/// magic, version, header CRC, then — for every table row — alignment,
+/// bounds, contiguity, zero padding and payload CRC. On success every
+/// section's payload slice can be taken at face value.
+pub fn decode_and_verify_header(bytes: &[u8]) -> Result<Vec<SectionEntry>, StoreError> {
+    let entries = decode_header(bytes)?;
+    for e in &entries {
+        verify_section_crc(bytes, e)?;
+    }
+    Ok(entries)
+}
+
+/// Verifies one section's payload CRC against the table entry. The
+/// entry must come from [`decode_header`] (bounds already validated).
+/// Split out so loaders can run the per-section scans on parallel
+/// decoder threads instead of one serial pass.
+pub fn verify_section_crc(bytes: &[u8], e: &SectionEntry) -> Result<(), StoreError> {
+    let computed = crc32(section_payload(bytes, e));
+    if computed != e.crc {
+        return Err(StoreError::SectionChecksum {
+            id: e.id,
+            stored: e.crc,
+            computed,
+        });
+    }
+    Ok(())
+}
+
+/// Parses and structurally validates the header: magic, version, header
+/// CRC, and — for every table row — alignment, bounds, contiguity, zero
+/// padding and the exact-file-end rule. Payload CRCs are NOT checked
+/// here; callers must run [`verify_section_crc`] on every section they
+/// read (or use [`decode_and_verify_header`], which checks them all).
+pub fn decode_header(bytes: &[u8]) -> Result<Vec<SectionEntry>, StoreError> {
+    let magic: &[u8] = bytes.get(0..8).ok_or(StoreError::Truncated {
+        needed: HEADER_PREFIX_LEN,
+        available: bytes.len(),
+    })?;
+    if magic != MAGIC {
+        let mut found = [0u8; 8];
+        found.copy_from_slice(magic);
+        return Err(StoreError::BadMagic { found });
+    }
+    let version = read_u32_at(bytes, 8)?;
+    if version != VERSION {
+        return Err(StoreError::UnsupportedVersion {
+            found: version,
+            supported: VERSION,
+        });
+    }
+    let count = read_u32_at(bytes, 12)?;
+    if count > MAX_SECTIONS {
+        return Err(StoreError::SectionTable {
+            detail: format!("section count {count} exceeds the format maximum {MAX_SECTIONS}"),
+        });
+    }
+    let count = count as usize;
+    let table_end = HEADER_PREFIX_LEN + count * SECTION_ENTRY_LEN;
+    let crc_stored = read_u32_at(bytes, table_end)?;
+    let header_bytes = bytes.get(..table_end).ok_or(StoreError::Truncated {
+        needed: table_end,
+        available: bytes.len(),
+    })?;
+    let crc_computed = crc32(header_bytes);
+    if crc_stored != crc_computed {
+        return Err(StoreError::HeaderChecksum {
+            stored: crc_stored,
+            computed: crc_computed,
+        });
+    }
+
+    let mut entries = Vec::with_capacity(count);
+    for i in 0..count {
+        let at = HEADER_PREFIX_LEN + i * SECTION_ENTRY_LEN;
+        entries.push(SectionEntry {
+            id: read_u32_at(bytes, at)?,
+            crc: read_u32_at(bytes, at + 4)?,
+            offset: read_u64_at(bytes, at + 8)?,
+            len: read_u64_at(bytes, at + 16)?,
+        });
+    }
+    let mut ids: Vec<u32> = entries.iter().map(|e| e.id).collect();
+    ids.sort_unstable();
+    if ids.windows(2).any(|w| w[0] == w[1]) {
+        return Err(StoreError::SectionTable {
+            detail: "duplicate section id in table".to_owned(),
+        });
+    }
+
+    // Sections must tile the file: first at the aligned header end, each
+    // next at the aligned end of the previous, padding zero, no trailing
+    // bytes. This leaves no byte of the file outside checksum coverage.
+    let mut expected_offset = header_span(count);
+    for (i, e) in entries.iter().enumerate() {
+        let offset = usize::try_from(e.offset).map_err(|_| StoreError::SectionTable {
+            detail: format!("section {i} offset {} overflows this platform", e.offset),
+        })?;
+        let len = usize::try_from(e.len).map_err(|_| StoreError::SectionTable {
+            detail: format!("section {i} length {} overflows this platform", e.len),
+        })?;
+        if offset != expected_offset {
+            return Err(StoreError::SectionTable {
+                detail: format!(
+                    "section {i} (id {:#x}) at offset {offset}, expected {expected_offset}",
+                    e.id
+                ),
+            });
+        }
+        let end = offset.checked_add(len).ok_or_else(|| StoreError::SectionTable {
+            detail: format!("section {i} extent overflows"),
+        })?;
+        if end > bytes.len() {
+            return Err(StoreError::Truncated {
+                needed: end,
+                available: bytes.len(),
+            });
+        }
+        let padded_end = align8(end);
+        let pad = bytes.get(end..padded_end.min(bytes.len())).unwrap_or(&[]);
+        if pad.iter().any(|&b| b != 0) {
+            return Err(StoreError::SectionTable {
+                detail: format!("nonzero padding after section {i} (id {:#x})", e.id),
+            });
+        }
+        expected_offset = padded_end;
+    }
+    // The padding region between the header CRC and the first section is
+    // produced zeroed by encode_header; verify it so no byte escapes.
+    let prefix_pad_start = HEADER_PREFIX_LEN + count * SECTION_ENTRY_LEN + 4;
+    let prefix_pad_end = header_span(count).min(bytes.len());
+    if bytes
+        .get(prefix_pad_start..prefix_pad_end)
+        .unwrap_or(&[])
+        .iter()
+        .any(|&b| b != 0)
+    {
+        return Err(StoreError::SectionTable {
+            detail: "nonzero padding after header checksum".to_owned(),
+        });
+    }
+    // The final section's alignment padding may be absent at EOF; accept
+    // a file that ends at the unpadded end of the last section too.
+    let unpadded_end = entries.last().map_or(header_span(count), |e| {
+        (e.offset as usize).saturating_add(e.len as usize)
+    });
+    if bytes.len() != expected_offset && bytes.len() != unpadded_end {
+        return Err(StoreError::SectionTable {
+            detail: format!(
+                "file length {} disagrees with section table end {unpadded_end}",
+                bytes.len()
+            ),
+        });
+    }
+    Ok(entries)
+}
+
+/// Finds a section by id.
+pub fn find_section(entries: &[SectionEntry], id: u32) -> Result<SectionEntry, StoreError> {
+    entries
+        .iter()
+        .find(|e| e.id == id)
+        .copied()
+        .ok_or(StoreError::MissingSection { id })
+}
+
+/// The payload slice of a validated section entry.
+pub fn section_payload<'a>(bytes: &'a [u8], e: &SectionEntry) -> &'a [u8] {
+    let offset = e.offset as usize;
+    let end = offset.saturating_add(e.len as usize).min(bytes.len());
+    bytes.get(offset..end).unwrap_or(&[])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let entries = [
+            SectionEntry {
+                id: SEC_META,
+                crc: 0xDEAD_BEEF,
+                offset: header_span(2) as u64,
+                len: 16,
+            },
+            SectionEntry {
+                id: SEC_GRAPH,
+                crc: 0x1234_5678,
+                offset: (header_span(2) + 16) as u64,
+                len: 3,
+            },
+        ];
+        let header = encode_header(&entries).unwrap();
+        assert_eq!(header.len(), header_span(2));
+        assert_eq!(&header[0..8], &MAGIC);
+    }
+
+    #[test]
+    fn empty_file_is_truncated_not_panic() {
+        assert!(matches!(
+            decode_and_verify_header(&[]),
+            Err(StoreError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let mut header = encode_header(&[]).unwrap();
+        header[0] = b'X';
+        assert!(matches!(
+            decode_and_verify_header(&header),
+            Err(StoreError::BadMagic { .. })
+        ));
+    }
+}

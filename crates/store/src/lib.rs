@@ -1,0 +1,79 @@
+//! `sqe-store`: versioned binary snapshot persistence for the SQE
+//! pipeline.
+//!
+//! The paper's pipeline previously persisted only as JSON strings and
+//! was otherwise regenerated from scratch on every boot — the dominant
+//! cold-start cost of the query service. This crate gives every
+//! artifact the service needs a single checksummed, versioned binary
+//! file:
+//!
+//! * the CSR knowledge graph (titles + six adjacency structures),
+//! * one positional inverted index per collection, with document stats,
+//! * the entity-linker surface-form dictionary.
+//!
+//! # Format
+//!
+//! A snapshot is a magic/version header, a section table (`id`,
+//! `crc32`, `offset`, `len` per section), a header CRC, and 8-byte
+//! aligned section payloads — see [`format`] for the byte layout and
+//! DESIGN.md §10 for the policy discussion. Every byte of the file is
+//! covered by a checksum or pinned to a constant, so any single-bit
+//! corruption is detected and reported as a typed [`StoreError`]; the
+//! store never panics on untrusted bytes.
+//!
+//! # Loading
+//!
+//! [`Snapshot::from_bytes`] verifies checksums, decodes sections with a
+//! validated bulk little-endian reader (`chunks_exact` +
+//! `from_le_bytes`, the safe equivalent of reinterpreting an aligned
+//! buffer — the workspace denies `unsafe`), shape-validates every
+//! structure through its typed constructor, and then runs the full
+//! `GraphAudit`/`IndexAudit` unconditionally before releasing anything
+//! to the pipeline. JSON never appears in the load path.
+//!
+//! # Writing
+//!
+//! [`write_snapshot`] is atomic: encode to memory, write to a sibling
+//! `.tmp` file, sync, rename. Encoding is byte-deterministic for equal
+//! inputs.
+//!
+//! # Example
+//!
+//! ```
+//! use kbgraph::GraphBuilder;
+//! use searchlite::{Analyzer, IndexBuilder};
+//! use entitylink::Dictionary;
+//! use sqe_store::{encode_snapshot, Snapshot, SnapshotContents};
+//!
+//! let mut b = GraphBuilder::new();
+//! let a = b.add_article("cable car");
+//! let c = b.add_category("transport");
+//! b.add_membership(a, c);
+//! let graph = b.build();
+//! let mut ib = IndexBuilder::new(Analyzer::english());
+//! ib.add_document("d0", "a cable car");
+//! let index = ib.build();
+//! let mut dict = Dictionary::new();
+//! dict.add("cable car", a, 1.0);
+//!
+//! let bytes = encode_snapshot(&SnapshotContents {
+//!     graph: &graph,
+//!     indexes: &[("docs", &index)],
+//!     dict: &dict,
+//! }).unwrap();
+//! let snap = Snapshot::from_bytes(&bytes).unwrap();
+//! assert_eq!(snap.graph().num_articles(), 1);
+//! assert_eq!(snap.index("docs").unwrap().num_docs(), 1);
+//! ```
+
+pub mod buf;
+pub mod codec;
+pub mod crc32;
+pub mod error;
+pub mod format;
+pub mod snapshot;
+
+pub use error::StoreError;
+pub use snapshot::{
+    encode_snapshot, write_snapshot, Snapshot, SnapshotContents, SnapshotInfo,
+};

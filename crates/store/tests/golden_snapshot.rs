@@ -1,0 +1,102 @@
+//! Byte-stability wall for format v1.
+//!
+//! Two guarantees beyond the unit tests:
+//!
+//! 1. **Canonical encoding at scale** — on a full synthetic test bed,
+//!    encoding is a pure function of the contents: encoding twice, and
+//!    re-encoding the *decoded* world, both reproduce the original
+//!    bytes exactly. This is what makes snapshot files diffable and
+//!    content-addressable.
+//! 2. **Format freeze** — a fixed toy world must hash to a pinned
+//!    golden checksum. If this test fails, the on-disk format changed:
+//!    bump [`sqe_store::format::VERSION`], keep a decode path for v1,
+//!    and only then update the constant.
+
+use entitylink::Dictionary;
+use kbgraph::GraphBuilder;
+use searchlite::{Analyzer, Index, IndexBuilder};
+use sqe_store::crc32::crc32;
+use sqe_store::{encode_snapshot, Snapshot, SnapshotContents};
+use synthwiki::{TestBed, TestBedConfig};
+
+fn encode(graph: &kbgraph::KbGraph, named: &[(&str, &Index)], dict: &Dictionary) -> Vec<u8> {
+    encode_snapshot(&SnapshotContents {
+        graph,
+        indexes: named,
+        dict,
+    })
+    .expect("world encodes")
+}
+
+#[test]
+fn testbed_snapshot_bytes_are_stable_and_canonical() {
+    let bed = TestBed::generate(&TestBedConfig::small());
+    let indexes: Vec<Index> = bed
+        .collections
+        .iter()
+        .map(|coll| {
+            let mut b = IndexBuilder::new(Analyzer::english());
+            for d in &coll.docs {
+                b.add_document(&d.id, &d.text);
+            }
+            b.build()
+        })
+        .collect();
+    let named: Vec<(&str, &Index)> = bed
+        .collections
+        .iter()
+        .map(|c| c.name.as_str())
+        .zip(indexes.iter())
+        .collect();
+    let mut dict = Dictionary::new();
+    dict.extend(bed.kb.linker_entries(&bed.space));
+
+    let first = encode(&bed.kb.graph, &named, &dict);
+    let second = encode(&bed.kb.graph, &named, &dict);
+    assert_eq!(first, second, "encoding the same world twice must be byte-identical");
+
+    // Decode, then re-encode the decoded structures: still the same
+    // bytes, so decode is lossless and encode is canonical (independent
+    // of whether the inputs were freshly built or themselves loaded).
+    let (graph, owned, dict2) = Snapshot::from_bytes(&first)
+        .expect("snapshot decodes")
+        .into_parts();
+    let renamed: Vec<(&str, &Index)> = owned.iter().map(|(n, i)| (n.as_str(), i)).collect();
+    let third = encode(&graph, &renamed, &dict2);
+    assert_eq!(
+        first, third,
+        "re-encoding the decoded world must reproduce the original bytes"
+    );
+}
+
+#[test]
+fn golden_toy_snapshot_checksum_is_pinned() {
+    let mut b = GraphBuilder::new();
+    let cable = b.add_article("cable car");
+    let funi = b.add_article("funicular");
+    let rail = b.add_category("rail transport");
+    b.add_article_link(cable, funi);
+    b.add_article_link(funi, cable);
+    b.add_membership(cable, rail);
+    b.add_membership(funi, rail);
+    let graph = b.build();
+    let mut ib = IndexBuilder::new(Analyzer::english());
+    ib.add_document("d0", "the cable car climbs");
+    ib.add_document("d1", "a funicular railway");
+    let index = ib.build();
+    let mut dict = Dictionary::new();
+    dict.add("cable car", cable, 1.0);
+    dict.add("funicular", funi, 1.0);
+
+    let bytes = encode(&graph, &[("toy", &index)], &dict);
+    // Pinned at format v1. A mismatch means the byte layout drifted —
+    // that is a format change, not a test to update casually.
+    assert_eq!(
+        crc32(&bytes),
+        0xEF43_C309,
+        "snapshot format drifted from the pinned v1 golden bytes \
+         ({} bytes, crc {:#010x})",
+        bytes.len(),
+        crc32(&bytes)
+    );
+}

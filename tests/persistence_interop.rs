@@ -1,9 +1,22 @@
 //! Persistence and interchange: everything the reproduction materializes
-//! must round-trip losslessly so external tooling can verify it.
+//! must round-trip losslessly so external tooling can verify it — through
+//! the JSON strings and, equivalently, through the binary snapshot store.
 
+use entitylink::Dictionary;
 use searchlite::{Analyzer, Index, IndexBuilder, QlParams};
+use sqe_store::{encode_snapshot, Snapshot, SnapshotContents};
 use synthwiki::persist;
 use synthwiki::{TestBed, TestBedConfig};
+
+/// Encodes a one-collection snapshot (empty dictionary unless given).
+fn snapshot_of(graph: &kbgraph::KbGraph, named: &[(&str, &Index)], dict: &Dictionary) -> Vec<u8> {
+    encode_snapshot(&SnapshotContents {
+        graph,
+        indexes: named,
+        dict,
+    })
+    .expect("world encodes to a snapshot")
+}
 
 #[test]
 fn dataset_export_roundtrips() {
@@ -36,14 +49,22 @@ fn index_persistence_preserves_full_retrieval() {
         b.add_document(&d.id, &d.text);
     }
     let index = b.build();
-    let restored = Index::from_json(&index.to_json()).unwrap();
+    let restored = Index::from_json(&index.to_json().unwrap()).unwrap();
+
+    // The same index through the binary snapshot: decode must agree with
+    // the JSON round-trip hit for hit.
+    let bytes = snapshot_of(&bed.kb.graph, &[("interop", &index)], &Dictionary::new());
+    let snap = Snapshot::from_bytes(&bytes).unwrap();
+    let from_snap = snap.index("interop").unwrap();
 
     let ds = bed.dataset("imageclef");
     for q in ds.queries.iter().take(5) {
         let query = searchlite::Query::parse_text(&q.text, index.analyzer());
         let h1 = searchlite::ql::rank(&index, &query, QlParams { mu: 15.0 }, 50);
         let h2 = searchlite::ql::rank(&restored, &query, QlParams { mu: 15.0 }, 50);
-        assert_eq!(h1, h2, "query {}", q.id);
+        assert_eq!(h1, h2, "json round-trip changed query {}", q.id);
+        let h3 = searchlite::ql::rank(from_snap, &query, QlParams { mu: 15.0 }, 50);
+        assert_eq!(h1, h3, "snapshot round-trip changed query {}", q.id);
     }
 }
 
@@ -52,7 +73,13 @@ fn graph_persistence_preserves_motifs() {
     use sqe::{Motif, Square, Triangular};
     let bed = TestBed::generate(&TestBedConfig::small());
     let g = &bed.kb.graph;
-    let restored = kbgraph::KbGraph::from_json(&g.to_json()).unwrap();
+    let restored = kbgraph::KbGraph::from_json(&g.to_json().unwrap()).unwrap();
+
+    // The same graph through the binary snapshot (a snapshot always
+    // carries at least the graph and dictionary; indexes may be absent).
+    let bytes = snapshot_of(g, &[], &Dictionary::new());
+    let snap = Snapshot::from_bytes(&bytes).unwrap();
+
     for e in bed.space.entities.iter().step_by(61).take(12) {
         let a = bed.kb.article_of[e.id];
         assert_eq!(
@@ -60,5 +87,103 @@ fn graph_persistence_preserves_motifs() {
             Triangular.expansions(&restored, a)
         );
         assert_eq!(Square.expansions(g, a), Square.expansions(&restored, a));
+        assert_eq!(
+            Triangular.expansions(g, a),
+            Triangular.expansions(snap.graph(), a),
+            "snapshot round-trip changed triangular expansions"
+        );
+        assert_eq!(
+            Square.expansions(g, a),
+            Square.expansions(snap.graph(), a),
+            "snapshot round-trip changed square expansions"
+        );
+    }
+}
+
+/// The cold-start contract: a pipeline over a snapshot-loaded world must
+/// produce byte-identical trec run files to a pipeline over the freshly
+/// built world — for every dataset and every motif configuration.
+#[test]
+fn snapshot_loaded_pipeline_reproduces_fresh_run_files() {
+    use ireval::{trec, Run};
+    use sqe::{SqeConfig, SqePipeline};
+
+    let bed = TestBed::generate(&TestBedConfig::small());
+    let indexes: Vec<Index> = bed
+        .collections
+        .iter()
+        .map(|coll| {
+            let mut b = IndexBuilder::new(Analyzer::english());
+            for d in &coll.docs {
+                b.add_document(&d.id, &d.text);
+            }
+            b.build()
+        })
+        .collect();
+    let named: Vec<(&str, &Index)> = bed
+        .collections
+        .iter()
+        .map(|c| c.name.as_str())
+        .zip(indexes.iter())
+        .collect();
+    let mut dict = Dictionary::new();
+    dict.extend(bed.kb.linker_entries(&bed.space));
+    let bytes = snapshot_of(&bed.kb.graph, &named, &dict);
+    let snap = Snapshot::from_bytes(&bytes).unwrap();
+
+    let cfg = || SqeConfig {
+        ql: QlParams { mu: 15.0 },
+        ..SqeConfig::default()
+    };
+    let run_file = |name: &str, ds: &synthwiki::Dataset, rankings: &[Vec<String>]| {
+        let mut run = Run::new(name);
+        for (q, ids) in ds.queries.iter().zip(rankings) {
+            run.set_ranking(&q.id, ids.clone());
+        }
+        trec::write_run(&run)
+    };
+
+    for ds_name in ["imageclef", "chic2012", "chic2013"] {
+        let dataset = bed.dataset(ds_name);
+        let coll_name = &bed.collections[dataset.collection].name;
+        let fresh = SqePipeline::new(&bed.kb.graph, &indexes[dataset.collection], cfg());
+        let loaded = SqePipeline::from_snapshot(&snap, coll_name, cfg()).unwrap();
+        let batch: Vec<(String, Vec<kbgraph::ArticleId>)> = dataset
+            .queries
+            .iter()
+            .map(|q| {
+                let nodes = q.targets.iter().map(|&e| bed.kb.article_of[e]).collect();
+                (q.text.clone(), nodes)
+            })
+            .collect();
+
+        for (cfg_name, tri, sq) in [
+            ("SQE_T", true, false),
+            ("SQE_S", false, true),
+            ("SQE_TS", true, true),
+        ] {
+            let rank = |p: &SqePipeline| -> Vec<Vec<String>> {
+                batch
+                    .iter()
+                    .map(|(text, nodes)| p.external_ids(&p.rank_sqe(text, nodes, tri, sq).0))
+                    .collect()
+            };
+            assert_eq!(
+                run_file(cfg_name, dataset, &rank(&fresh)),
+                run_file(cfg_name, dataset, &rank(&loaded)),
+                "{ds_name}/{cfg_name}: snapshot-loaded run file differs from fresh"
+            );
+        }
+        let rank_c = |p: &SqePipeline| -> Vec<Vec<String>> {
+            batch
+                .iter()
+                .map(|(text, nodes)| p.rank_sqe_c(text, nodes))
+                .collect()
+        };
+        assert_eq!(
+            run_file("SQE_C", dataset, &rank_c(&fresh)),
+            run_file("SQE_C", dataset, &rank_c(&loaded)),
+            "{ds_name}/SQE_C: snapshot-loaded run file differs from fresh"
+        );
     }
 }
