@@ -190,7 +190,9 @@ fn cmd_audit(args: &[String]) -> ExitCode {
     let mut builder = searchlite::IndexBuilder::new(searchlite::Analyzer::english());
     if let Some(coll) = bed.collections.first() {
         for doc in &coll.docs {
-            builder.add_document(&doc.id, &doc.text);
+            builder
+                .add_document(&doc.id, &doc.text)
+                .expect("generated testbed ids are unique");
         }
     }
     let index = builder.build();
@@ -306,8 +308,8 @@ fn selftest_results() -> Vec<(&'static str, bool)> {
 
     fn fresh_index() -> Index {
         let mut b = IndexBuilder::new(Analyzer::plain());
-        b.add_document("d0", "alpha beta alpha");
-        b.add_document("d1", "beta gamma");
+        b.add_document("d0", "alpha beta alpha").expect("unique id");
+        b.add_document("d1", "beta gamma").expect("unique id");
         b.build()
     }
 

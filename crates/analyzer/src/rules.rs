@@ -281,6 +281,9 @@ const HOT_FILES: &[&str] = &[
     "crates/searchlite/src/topk.rs",
     "crates/searchlite/src/ql.rs",
     "crates/searchlite/src/index.rs",
+    "crates/searchlite/src/ingest.rs",
+    "crates/searchlite/src/searcher.rs",
+    "crates/searchlite/src/segment.rs",
     "crates/core/src/motif.rs",
     "crates/core/src/cache.rs",
     "crates/core/src/serve.rs",
@@ -487,6 +490,7 @@ const ENTRY_FILES: &[&str] = &[
     "crates/searchlite/src/topk.rs",
     "crates/searchlite/src/ql.rs",
     "crates/searchlite/src/bm25.rs",
+    "crates/searchlite/src/searcher.rs",
     "crates/core/src/motif.rs",
     "crates/core/src/cache.rs",
     "crates/core/src/serve.rs",
@@ -945,6 +949,11 @@ impl AstRule for LossyIdCast {
 /// structure to the rest of the system. This covers snapshot decoding: a
 /// loader that reassembles a graph or index from raw section bytes and
 /// skips the audit is a lint error, not a code-review judgement call.
+///
+/// Segment lifecycle functions get the same treatment: inside a function
+/// named `seal` or `merge`, a `.build()` call freezes buffered documents
+/// into an immutable segment that the rest of the system will trust
+/// forever, so the function must audit what it built.
 pub struct MustAuditAfterMutation;
 
 impl AstRule for MustAuditAfterMutation {
@@ -953,7 +962,7 @@ impl AstRule for MustAuditAfterMutation {
     }
 
     fn description(&self) -> &'static str {
-        "non-test callers of raw_mut/from_raw_parts/from_parts must run a structural audit in the same function"
+        "non-test callers of raw_mut/from_raw_parts/from_parts (and .build() inside seal/merge) must run a structural audit in the same function"
     }
 
     fn default_severity(&self) -> Severity {
@@ -976,6 +985,9 @@ impl AstRule for MustAuditAfterMutation {
                 return;
             }
             let Some(body) = &def.body else { return };
+            // Sealing or merging freezes buffered state into an immutable
+            // segment, so `.build()` there is a mutation site too.
+            let seals_segment = def.name == "seal" || def.name == "merge";
             let mut sites: Vec<(u32, &'static str)> = Vec::new();
             let mut has_audit = false;
             for s in &body.stmts {
@@ -983,6 +995,8 @@ impl AstRule for MustAuditAfterMutation {
                     Expr::MethodCall { method, line, .. } => {
                         if method == "raw_mut" {
                             sites.push((*line, "raw_mut"));
+                        } else if seals_segment && method == "build" {
+                            sites.push((*line, "build"));
                         } else if method.to_ascii_lowercase().contains("audit") {
                             has_audit = true;
                         }

@@ -120,6 +120,33 @@ fn audit_mutation_good_fixture_clean() {
 }
 
 #[test]
+fn seal_merge_bad_fixture_flagged() {
+    let diags = lint(&[(
+        "crates/searchlite/src/ingest.rs",
+        fixture("seal_merge_bad.rs"),
+    )]);
+    let hits = of_rule(&diags, "must-audit-after-mutation");
+    assert_eq!(
+        hits.len(),
+        2,
+        "build() in seal AND in merge, but not in freeze: {diags:?}"
+    );
+    assert!(hits.iter().all(|d| d.severity == Severity::Error));
+}
+
+#[test]
+fn seal_merge_good_fixture_clean() {
+    let diags = lint(&[(
+        "crates/searchlite/src/ingest.rs",
+        fixture("seal_merge_good.rs"),
+    )]);
+    assert!(
+        of_rule(&diags, "must-audit-after-mutation").is_empty(),
+        "{diags:?}"
+    );
+}
+
+#[test]
 fn snapshot_load_bad_fixture_flagged() {
     let diags = lint(&[(
         "crates/store/src/loader.rs",

@@ -1,0 +1,22 @@
+// Fixture: segment lifecycle functions that freeze buffered state via
+// `.build()` without auditing the result.
+
+pub fn seal(&mut self) -> Segment {
+    let builder = std::mem::take(&mut self.buffer);
+    let index = builder.build();
+    Segment::new(self.next_id, index)
+}
+
+pub fn merge(&mut self, parts: &[Segment]) -> Segment {
+    let mut b = IndexBuilder::new(self.analyzer.clone());
+    for part in parts {
+        b.absorb(part);
+    }
+    Segment::new(self.next_id, b.build())
+}
+
+// Any other function name keeps the old behaviour: `.build()` alone is
+// not a mutation site.
+pub fn freeze(&mut self) -> Segment {
+    Segment::new(0, self.buffer.build())
+}

@@ -1,0 +1,20 @@
+// Fixture: the same seal/merge lifecycle, each auditing what it built
+// in the same function.
+
+pub fn seal(&mut self) -> Segment {
+    let builder = std::mem::take(&mut self.buffer);
+    let index = builder.build();
+    debug_assert!(IndexAudit::run(&index).is_clean());
+    Segment::new(self.next_id, index)
+}
+
+pub fn merge(&mut self, parts: &[Segment]) -> Segment {
+    let mut b = IndexBuilder::new(self.analyzer.clone());
+    for part in parts {
+        b.absorb(part);
+    }
+    let index = b.build();
+    let report = IndexAudit::run(&index);
+    assert!(report.is_clean());
+    Segment::new(self.next_id, index)
+}

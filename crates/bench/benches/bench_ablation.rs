@@ -85,10 +85,10 @@ fn eval_p10(ctx: &ExperimentContext, weighted: bool, one_way: bool) -> f64 {
             graph,
             &q.text,
             &qg,
-            pipeline.index().analyzer(),
+            pipeline.searcher().analyzer(),
             &ctx.sqe_config.expand,
         );
-        let hits = searchlite::ql::rank(pipeline.index(), &eq.query, ctx.sqe_config.ql, 1000);
+        let hits = searchlite::ql::rank(pipeline.searcher(), &eq.query, ctx.sqe_config.ql, 1000);
         run.set_ranking(&q.id, pipeline.external_ids(&hits));
     }
     mean_precision(&run, &qrels, 10)

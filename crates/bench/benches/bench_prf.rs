@@ -11,9 +11,9 @@ fn bench_prf(c: &mut Criterion) {
     let ctx = ExperimentContext::small();
     let runner = ctx.runner("chic2013");
     let pipeline = runner.pipeline();
-    let index = pipeline.index();
+    let searcher = pipeline.searcher();
     let q = &runner.dataset().queries[2];
-    let user: Query = expand::user_part(&q.text, index.analyzer());
+    let user: Query = expand::user_part(&q.text, searcher.analyzer());
     let params = PrfParams {
         fb_docs: 10,
         fb_terms: 20,
@@ -23,10 +23,10 @@ fn bench_prf(c: &mut Criterion) {
     };
 
     c.bench_function("prf/relevance_model", |b| {
-        b.iter(|| prf::relevance_model(index, std::hint::black_box(&user), params).len())
+        b.iter(|| prf::relevance_model(searcher, std::hint::black_box(&user), params).len())
     });
     c.bench_function("prf/rank_with_prf", |b| {
-        b.iter(|| prf::rank_with_prf(index, std::hint::black_box(&user), params, 1000).len())
+        b.iter(|| prf::rank_with_prf(searcher, std::hint::black_box(&user), params, 1000).len())
     });
 
     // The SQE→PRF combination (the paper's SQE_C/PRF row).
@@ -38,7 +38,7 @@ fn bench_prf(c: &mut Criterion) {
         ..params
     };
     c.bench_function("prf/sqe_then_prf", |b| {
-        b.iter(|| prf::rank_with_prf(index, std::hint::black_box(&expanded.query), rm3, 1000).len())
+        b.iter(|| prf::rank_with_prf(searcher, std::hint::black_box(&expanded.query), rm3, 1000).len())
     });
 }
 

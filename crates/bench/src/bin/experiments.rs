@@ -4,11 +4,12 @@
 //! ```text
 //! experiments [--small] [fig2|table1|fig5|table2|fig6|table3|table4|ablation|sensitivity|stats|export|query <text>|all]
 //! experiments serve-bench [--smoke] [--threads=1,2,8] [--out=BENCH_serve.json]
+//! experiments ingest-bench [--smoke] [--out=BENCH_ingest.json]
 //! experiments snapshot write|verify|info [--small] [--file=world.snap]
 //! experiments store-bench [--smoke] [--out=BENCH_store.json]
 //! ```
 
-use sqe_bench::{figures, serve_bench, store_bench, tables, timing, ExperimentContext};
+use sqe_bench::{figures, ingest_bench, serve_bench, store_bench, tables, timing, ExperimentContext};
 
 fn print_stats(ctx: &ExperimentContext) {
     let stats = ctx.bed.kb.graph.stats();
@@ -50,7 +51,7 @@ fn debug_top(ctx: &ExperimentContext, dataset: &str, nqueries: usize) {
         println!("    expansions: {}", qg.num_expansions());
         let rel = &ds.relevant[&q.id];
         for h in hits.iter().take(10) {
-            let id = p.index().external_id(h.doc);
+            let id = p.searcher().external_id(h.doc);
             let coll = ctx.bed.collection_of(ds);
             let doc = coll.docs.iter().find(|d| d.id == id).unwrap();
             println!(
@@ -93,7 +94,7 @@ fn adhoc_query(ctx: &ExperimentContext, text: &str) {
     let (hits, _) = p.rank_sqe(text, &nodes, true, true);
     println!("top documents:");
     for h in hits.iter().take(10) {
-        println!("  {:>9.3}  {}", h.score, p.index().external_id(h.doc));
+        println!("  {:>9.3}  {}", h.score, p.searcher().external_id(h.doc));
     }
 }
 
@@ -120,6 +121,29 @@ fn run_serve_bench_cli(ctx: &ExperimentContext, context_name: &str, args: &[Stri
     let report = serve_bench::run_serve_bench(ctx, context_name, &opts);
     print!("{}", serve_bench::format_report(&report));
     match serve_bench::write_report(&report, std::path::Path::new(out)) {
+        Ok(()) => eprintln!("wrote {out}"),
+        Err(e) => {
+            eprintln!("writing {out} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Runs the live-ingestion benchmark and writes `BENCH_ingest.json`.
+fn run_ingest_bench_cli(ctx: &ExperimentContext, context_name: &str, args: &[String]) {
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let opts = if smoke {
+        ingest_bench::IngestBenchOptions::smoke()
+    } else {
+        ingest_bench::IngestBenchOptions::default()
+    };
+    let out = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--out="))
+        .unwrap_or("BENCH_ingest.json");
+    let report = ingest_bench::run_ingest_bench(ctx, context_name, &opts);
+    print!("{}", ingest_bench::format_report(&report));
+    match ingest_bench::write_report(&report, std::path::Path::new(out)) {
         Ok(()) => eprintln!("wrote {out}"),
         Err(e) => {
             eprintln!("writing {out} failed: {e}");
@@ -159,11 +183,15 @@ fn run_snapshot_cli(args: &[String], small: bool, verb: Option<&str>) {
                 ExperimentContext::full()
             };
             let names: Vec<&str> = ctx.bed.collections.iter().map(|c| c.name.as_str()).collect();
-            let named: Vec<(&str, &searchlite::Index)> =
-                names.into_iter().zip(ctx.indexes.iter()).collect();
+            let segment_slices: Vec<Vec<&searchlite::Index>> =
+                ctx.indexes.iter().map(|i| vec![i]).collect();
+            let named: Vec<(&str, &[&searchlite::Index])> = names
+                .into_iter()
+                .zip(segment_slices.iter().map(Vec::as_slice))
+                .collect();
             let contents = sqe_store::SnapshotContents {
                 graph: &ctx.bed.kb.graph,
-                indexes: &named,
+                collections: &named,
                 dict: ctx.linker.dictionary(),
             };
             match sqe_store::write_snapshot(path, &contents) {
@@ -303,6 +331,9 @@ fn main() {
             "serve-bench" => {
                 run_serve_bench_cli(&ctx, if small { "small" } else { "full" }, &args)
             }
+            "ingest-bench" => {
+                run_ingest_bench_cli(&ctx, if small { "small" } else { "full" }, &args)
+            }
             "ablation" => print!("{}", tables::ablation(&ctx)),
             "sensitivity" => {
                 print!("{}", tables::sensitivity(&ctx));
@@ -331,6 +362,7 @@ fn main() {
                 eprintln!("unknown experiment '{other}'");
                 eprintln!("usage: experiments [--small] [fig2|table1|fig5|table2|fig6|table3|table4|ablation|sensitivity|stats|export|query <text>|all]");
                 eprintln!("       experiments serve-bench [--smoke] [--threads=1,2,8] [--out=BENCH_serve.json]");
+                eprintln!("       experiments ingest-bench [--smoke] [--out=BENCH_ingest.json]");
                 eprintln!("       experiments snapshot write|verify|info [--small] [--file=world.snap]");
                 eprintln!("       experiments store-bench [--smoke] [--out=BENCH_store.json]");
                 std::process::exit(2);

@@ -40,7 +40,8 @@ impl ExperimentContext {
             .map(|coll| {
                 let mut b = IndexBuilder::new(Analyzer::english());
                 for d in &coll.docs {
-                    b.add_document(&d.id, &d.text);
+                    b.add_document(&d.id, &d.text)
+                        .expect("generated collection ids are unique");
                 }
                 b.build()
             })

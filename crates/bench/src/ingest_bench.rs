@@ -1,0 +1,356 @@
+//! `experiments ingest-bench`: live-ingestion benchmark for the
+//! segmented query service.
+//!
+//! Measures, per dataset, the three serving regimes of the segmented
+//! architecture:
+//!
+//! * **static** — the corpus fully sealed into its initial segment, no
+//!   writes: the pre-refactor baseline throughput;
+//! * **ingest** — queries replayed *while* documents stream in and the
+//!   buffer seals every `seal_every` additions: queries-per-second under
+//!   write load, plus add/seal/merge latency histograms from the
+//!   service's [`sqe::IngestHistograms`];
+//! * **merged** — after a final [`QueryService::force_merge`] compacts
+//!   every segment into one: throughput once the corpus is monolithic
+//!   again.
+//!
+//! Byte-identical scoring across the three regimes is already enforced
+//! by the determinism wall (`tests/serve_determinism.rs`); this bench
+//! only measures cost. The report is written to `BENCH_ingest.json`;
+//! CI runs `--smoke` on the small bed and archives the file.
+
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+use kbgraph::ArticleId;
+use serde::Serialize;
+use sqe::{MonotonicClock, QueryService, ServeConfig, INGEST_STAGE_NAMES};
+
+use crate::context::ExperimentContext;
+use crate::serve_bench::StageStats;
+
+/// Ingest-bench options.
+#[derive(Debug, Clone, Copy)]
+pub struct IngestBenchOptions {
+    /// How many times the query set is replayed per measured batch.
+    pub repeat: usize,
+    /// Worker threads for the batch executor.
+    pub workers: usize,
+    /// Documents streamed in during the ingest phase.
+    pub ingest_docs: usize,
+    /// A seal is forced every this many added documents.
+    pub seal_every: usize,
+    /// Expansion-cache capacity handed to the service.
+    pub cache_capacity: usize,
+}
+
+impl Default for IngestBenchOptions {
+    fn default() -> Self {
+        IngestBenchOptions {
+            repeat: 4,
+            workers: 4,
+            ingest_docs: 400,
+            seal_every: 50,
+            cache_capacity: 4096,
+        }
+    }
+}
+
+impl IngestBenchOptions {
+    /// The CI smoke preset: minimal load, same phase coverage.
+    pub fn smoke() -> Self {
+        IngestBenchOptions {
+            repeat: 1,
+            workers: 2,
+            ingest_docs: 40,
+            seal_every: 10,
+            cache_capacity: 4096,
+        }
+    }
+}
+
+/// One measured regime (static, ingest or merged) of one dataset.
+#[derive(Debug, Clone, Serialize)]
+pub struct IngestPhaseReport {
+    /// `"static"`, `"ingest"` or `"merged"`.
+    pub phase: String,
+    /// Queries served in this phase.
+    pub queries: u64,
+    /// Wall-clock time of the whole phase (ms), including writes.
+    pub wall_ms: f64,
+    /// Queries per second over the phase wall time.
+    pub throughput_qps: f64,
+    /// Segment-set epoch at the end of the phase.
+    pub epoch: u64,
+    /// Segments at the end of the phase.
+    pub segments: usize,
+    /// Documents added in this phase.
+    pub docs_ingested: u64,
+    /// Seals performed in this phase.
+    pub seals: u64,
+    /// Merge operations performed in this phase.
+    pub merges: u64,
+    /// add/seal/merge latency statistics for this phase.
+    pub ingest_stages: Vec<StageStats>,
+}
+
+/// All three phases of one dataset.
+#[derive(Debug, Clone, Serialize)]
+pub struct IngestCellReport {
+    /// Dataset name.
+    pub dataset: String,
+    /// Queries per replayed batch.
+    pub load: usize,
+    /// static → ingest → merged, in order.
+    pub phases: Vec<IngestPhaseReport>,
+}
+
+/// The whole ingest-bench report (`BENCH_ingest.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct IngestBenchReport {
+    /// `"small"` or `"full"` test bed.
+    pub context: String,
+    /// Replays per measured batch.
+    pub repeat: usize,
+    /// Worker threads used by the batch executor.
+    pub workers: usize,
+    /// Documents streamed during each ingest phase.
+    pub ingest_docs: usize,
+    /// Forced seal cadence (documents per seal).
+    pub seal_every: usize,
+    /// One cell per dataset.
+    pub cells: Vec<IngestCellReport>,
+}
+
+fn nanos_to_ms(n: u64) -> f64 {
+    n as f64 / 1e6
+}
+
+/// Converts the phase-scoped metrics snapshot into a report entry.
+fn phase_report(
+    service: &QueryService<'_>,
+    phase: &str,
+    wall_ms: f64,
+) -> IngestPhaseReport {
+    let snap = service.metrics_snapshot();
+    let ingest_stages = INGEST_STAGE_NAMES
+        .iter()
+        .zip(snap.ingest.iter())
+        .map(|(name, h)| StageStats {
+            stage: (*name).to_owned(),
+            count: h.count,
+            mean_ms: h.mean_nanos / 1e6,
+            p50_ms: nanos_to_ms(h.p50_nanos),
+            p95_ms: nanos_to_ms(h.p95_nanos),
+            p99_ms: nanos_to_ms(h.p99_nanos),
+        })
+        .collect();
+    IngestPhaseReport {
+        phase: phase.to_owned(),
+        queries: snap.queries,
+        wall_ms,
+        throughput_qps: if wall_ms > 0.0 {
+            snap.queries as f64 / (wall_ms / 1e3)
+        } else {
+            0.0
+        },
+        epoch: snap.epoch,
+        segments: service.num_segments(),
+        docs_ingested: snap.docs_ingested,
+        seals: snap.seals,
+        merges: snap.merges,
+        ingest_stages,
+    }
+}
+
+/// Runs the three-regime measurement over every dataset.
+pub fn run_ingest_bench(
+    ctx: &ExperimentContext,
+    context_name: &str,
+    opts: &IngestBenchOptions,
+) -> IngestBenchReport {
+    let mut cells = Vec::new();
+    for dataset in ["imageclef", "chic2012", "chic2013"] {
+        let runner = ctx.runner(dataset);
+        let ds = runner.dataset();
+        let index = &ctx.indexes[ds.collection];
+        let coll = ctx.bed.collection_of(ds);
+        let mut load: Vec<(String, Vec<ArticleId>)> = Vec::new();
+        for _ in 0..opts.repeat.max(1) {
+            for q in &ds.queries {
+                load.push((q.text.clone(), runner.manual_nodes(q)));
+            }
+        }
+        let service = QueryService::with_clock(
+            &ctx.bed.kb.graph,
+            index,
+            ctx.sqe_config,
+            ServeConfig {
+                workers: opts.workers,
+                cache_capacity: opts.cache_capacity,
+            },
+            Arc::new(MonotonicClock::new()),
+        );
+
+        // Phase 1: static — the sealed corpus, no writes.
+        let start = Instant::now();
+        std::hint::black_box(service.run_batch_sqe_c(&load).len());
+        let static_phase =
+            phase_report(&service, "static", start.elapsed().as_secs_f64() * 1e3);
+
+        // Phase 2: ingest — queries interleaved with adds and seals.
+        // Document text is recycled from the collection so the streamed
+        // load is statistically representative of the corpus.
+        service.reset_metrics();
+        let start = Instant::now();
+        let seal_every = opts.seal_every.max(1);
+        let chunks = opts.ingest_docs.div_ceil(seal_every).max(1);
+        let mut added = 0usize;
+        for chunk in 0..chunks {
+            for _ in 0..seal_every.min(opts.ingest_docs - added) {
+                let text = &coll.docs[added % coll.docs.len()].text;
+                service
+                    .add_document(&format!("ingest-{dataset}-{added}"), text)
+                    .expect("streamed ingest ids are unique");
+                added += 1;
+            }
+            service.seal();
+            std::hint::black_box(service.run_batch_sqe_c(&load).len());
+            std::hint::black_box(chunk);
+        }
+        let ingest_phase =
+            phase_report(&service, "ingest", start.elapsed().as_secs_f64() * 1e3);
+
+        // Phase 3: merged — one compaction, then the same replay.
+        service.reset_metrics();
+        let start = Instant::now();
+        service.force_merge();
+        std::hint::black_box(service.run_batch_sqe_c(&load).len());
+        let merged_phase =
+            phase_report(&service, "merged", start.elapsed().as_secs_f64() * 1e3);
+
+        cells.push(IngestCellReport {
+            dataset: dataset.to_owned(),
+            load: load.len(),
+            phases: vec![static_phase, ingest_phase, merged_phase],
+        });
+    }
+    IngestBenchReport {
+        context: context_name.to_owned(),
+        repeat: opts.repeat,
+        workers: opts.workers,
+        ingest_docs: opts.ingest_docs,
+        seal_every: opts.seal_every,
+        cells,
+    }
+}
+
+/// Serializes the report to pretty JSON.
+pub fn report_json(report: &IngestBenchReport) -> String {
+    serde_json::to_string_pretty(report).unwrap_or_else(|_| "{}".to_owned())
+}
+
+/// Writes `BENCH_ingest.json` (or any other path).
+pub fn write_report(report: &IngestBenchReport, path: &Path) -> io::Result<()> {
+    std::fs::write(path, report_json(report))
+}
+
+/// A human-readable summary table of the report.
+pub fn format_report(report: &IngestBenchReport) -> String {
+    let mut s = format!(
+        "=== ingest-bench ({} bed, x{} replay, {} docs, seal every {}) ===\n\
+         {:<11}{:>8}  {:>9}{:>7}{:>6}{:>7}{:>12}{:>12}\n",
+        report.context,
+        report.repeat,
+        report.ingest_docs,
+        report.seal_every,
+        "dataset",
+        "phase",
+        "qps",
+        "segs",
+        "epoch",
+        "seals",
+        "seal p95 ms",
+        "add p95 ms"
+    );
+    for cell in &report.cells {
+        for phase in &cell.phases {
+            let p95 = |n: &str| {
+                phase
+                    .ingest_stages
+                    .iter()
+                    .find(|st| st.stage == n)
+                    .map_or(0.0, |st| st.p95_ms)
+            };
+            s.push_str(&format!(
+                "{:<11}{:>8}  {:>9.1}{:>7}{:>6}{:>7}{:>12.3}{:>12.3}\n",
+                cell.dataset,
+                phase.phase,
+                phase.throughput_qps,
+                phase.segments,
+                phase.epoch,
+                phase.seals,
+                p95("seal"),
+                p95("add")
+            ));
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_bench_covers_all_three_regimes() {
+        let ctx = ExperimentContext::small();
+        let opts = IngestBenchOptions::smoke();
+        let report = run_ingest_bench(&ctx, "small", &opts);
+        assert_eq!(report.cells.len(), 3);
+        for cell in &report.cells {
+            assert_eq!(cell.phases.len(), 3);
+            let [st, ing, merged] = &cell.phases[..] else {
+                unreachable!("three phases asserted above")
+            };
+            assert_eq!(st.phase, "static");
+            assert_eq!(ing.phase, "ingest");
+            assert_eq!(merged.phase, "merged");
+            // Static: sealed single segment, no writes, epoch untouched.
+            assert_eq!(st.segments, 1);
+            assert_eq!(st.epoch, 0);
+            assert_eq!(st.docs_ingested, 0);
+            assert!(st.throughput_qps > 0.0);
+            // Ingest: every streamed doc was added, every chunk sealed,
+            // and the epoch is the number of seals.
+            assert_eq!(ing.docs_ingested as usize, opts.ingest_docs);
+            assert_eq!(
+                ing.seals as usize,
+                opts.ingest_docs.div_ceil(opts.seal_every)
+            );
+            assert_eq!(ing.epoch, ing.seals);
+            let by_name = |n: &str| {
+                ing.ingest_stages
+                    .iter()
+                    .find(|s| s.stage == n)
+                    .cloned()
+                    .expect("ingest stage present")
+            };
+            assert_eq!(by_name("add").count as usize, opts.ingest_docs);
+            assert_eq!(by_name("seal").count, ing.seals);
+            assert!(by_name("seal").mean_ms > 0.0);
+            // Merged: one segment again, queries still flowing.
+            assert_eq!(merged.segments, 1);
+            assert!(merged.queries > 0);
+            assert!(merged.throughput_qps > 0.0);
+        }
+        let json = report_json(&report);
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("report JSON parses");
+        assert!(parsed.get("cells").is_some());
+        let table = format_report(&report);
+        assert!(table.contains("ingest"));
+        assert!(table.contains("merged"));
+    }
+}

@@ -12,15 +12,18 @@
 //!
 //! Beyond the paper's artifacts, [`serve_bench`] load-tests the
 //! concurrent [`sqe::QueryService`] (`experiments serve-bench`, written
-//! to `BENCH_serve.json`), and [`store_bench`] measures the cold-start
-//! paths — regenerate vs JSON vs binary snapshot (`experiments
-//! store-bench`, written to `BENCH_store.json`; `experiments snapshot
-//! write|verify|info` manages the snapshot file itself). The
-//! `experiments` binary drives everything; Criterion benches live under
-//! `benches/`.
+//! to `BENCH_serve.json`), [`ingest_bench`] measures throughput under
+//! live ingestion across the static/ingest/merged regimes (`experiments
+//! ingest-bench`, written to `BENCH_ingest.json`), and [`store_bench`]
+//! measures the cold-start paths — regenerate vs JSON vs binary snapshot
+//! (`experiments store-bench`, written to `BENCH_store.json`;
+//! `experiments snapshot write|verify|info` manages the snapshot file
+//! itself). The `experiments` binary drives everything; Criterion
+//! benches live under `benches/`.
 
 pub mod context;
 pub mod export;
+pub mod ingest_bench;
 pub mod report;
 pub mod runs;
 pub mod serve_bench;

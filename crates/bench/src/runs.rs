@@ -4,7 +4,7 @@ use ireval::Run;
 use kbgraph::ArticleId;
 use searchlite::prf::{self, PrfParams};
 use searchlite::ql::SearchHit;
-use searchlite::{Index, Query};
+use searchlite::{Index, Query, Searcher};
 use sqe::{combine, expand, SqePipeline};
 use synthwiki::queries::QuerySpec;
 use synthwiki::Dataset;
@@ -27,6 +27,9 @@ pub struct DatasetRunner<'a> {
     ctx: &'a ExperimentContext,
     dataset: &'a Dataset,
     index: &'a Index,
+    /// One-segment searcher view over `index`, built once so every
+    /// [`DatasetRunner::pipeline`] call is a cheap `Arc` clone.
+    searcher: Searcher,
 }
 
 impl<'a> DatasetRunner<'a> {
@@ -36,6 +39,7 @@ impl<'a> DatasetRunner<'a> {
             ctx,
             dataset,
             index,
+            searcher: Searcher::from_index(index.clone()),
         }
     }
 
@@ -46,7 +50,7 @@ impl<'a> DatasetRunner<'a> {
 
     /// The pipeline bound to this dataset's collection.
     pub fn pipeline(&self) -> SqePipeline<'_> {
-        SqePipeline::new(&self.ctx.bed.kb.graph, self.index, self.ctx.sqe_config)
+        SqePipeline::new(&self.ctx.bed.kb.graph, self.searcher.clone(), self.ctx.sqe_config)
     }
 
     /// Manually selected query nodes (the generator's true targets).
@@ -198,7 +202,7 @@ impl<'a> DatasetRunner<'a> {
         let params = self.prf_params();
         self.collect(name, |q, p| {
             let query = self.prf_base_query(q, base, p);
-            let hits = prf::rank_with_prf(self.index, &query, params, self.ctx.sqe_config.depth);
+            let hits = prf::rank_with_prf(&self.searcher, &query, params, self.ctx.sqe_config.depth);
             self.ids(p, &hits)
         })
     }
@@ -218,7 +222,7 @@ impl<'a> DatasetRunner<'a> {
             let mut lists: Vec<Vec<String>> = Vec::with_capacity(3);
             for (tri, sq) in [(true, false), (true, true), (false, true)] {
                 let eq = p.expand(&q.text, &nodes, tri, sq);
-                let hits = prf::rank_with_prf(self.index, &eq.query, params, depth);
+                let hits = prf::rank_with_prf(&self.searcher, &eq.query, params, depth);
                 lists.push(self.ids(p, &hits));
             }
             combine::sqe_c(&lists[0], &lists[1], &lists[2], depth)

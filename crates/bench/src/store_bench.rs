@@ -125,14 +125,16 @@ pub fn run_store_bench(
 
     // Path 3: the binary snapshot (graph + indexes + linker dictionary,
     // decoded with checksum verification and full audits).
-    let named: Vec<(&str, &searchlite::Index)> = collections
+    let segment_slices: Vec<Vec<&searchlite::Index>> =
+        ctx.indexes.iter().map(|i| vec![i]).collect();
+    let named: Vec<(&str, &[&searchlite::Index])> = collections
         .iter()
         .map(String::as_str)
-        .zip(ctx.indexes.iter())
+        .zip(segment_slices.iter().map(Vec::as_slice))
         .collect();
     let snapshot = encode_snapshot(&SnapshotContents {
         graph,
-        indexes: &named,
+        collections: &named,
         dict: ctx.linker.dictionary(),
     })
     .expect("snapshot encodes");

@@ -187,7 +187,7 @@ pub fn ablation(ctx: &ExperimentContext) -> String {
                     graph,
                     &q.text,
                     &qg,
-                    pipeline.index().analyzer(),
+                    pipeline.searcher().analyzer(),
                     &ctx.sqe_config.expand,
                 )
                 .query
@@ -215,7 +215,7 @@ pub fn ablation(ctx: &ExperimentContext) -> String {
                     graph,
                     &q.text,
                     &qg,
-                    pipeline.index().analyzer(),
+                    pipeline.searcher().analyzer(),
                     &ctx.sqe_config.expand,
                 )
                 .query
@@ -234,7 +234,7 @@ pub fn ablation(ctx: &ExperimentContext) -> String {
                     graph,
                     &q.text,
                     &qg,
-                    pipeline.index().analyzer(),
+                    pipeline.searcher().analyzer(),
                     &cfg,
                 )
                 .query
@@ -256,7 +256,7 @@ pub fn ablation(ctx: &ExperimentContext) -> String {
                     graph,
                     &q.text,
                     &qg,
-                    pipeline.index().analyzer(),
+                    pipeline.searcher().analyzer(),
                     &ctx.sqe_config.expand,
                 )
                 .query
@@ -270,7 +270,7 @@ pub fn ablation(ctx: &ExperimentContext) -> String {
         for q in &r.dataset().queries {
             let query = make_query(q);
             let hits =
-                searchlite::ql::rank(pipeline.index(), &query, ctx.sqe_config.ql, 1000);
+                searchlite::ql::rank(pipeline.searcher(), &query, ctx.sqe_config.ql, 1000);
             run.set_ranking(&q.id, pipeline.external_ids(&hits));
         }
         rows.push(eval_row(&run, &qrels, &[]));
@@ -292,8 +292,8 @@ pub fn mu_sweep(ctx: &ExperimentContext) -> String {
     let r = ctx.runner("imageclef");
     let qrels = ctx.qrels("imageclef");
     let dataset = r.dataset();
-    let index = r.pipeline();
-    let index = index.index();
+    let runner_pipeline = r.pipeline();
+    let searcher = runner_pipeline.searcher();
     let mut s = String::from("=== Dirichlet μ sweep (Image CLEF, P@10) ===\n");
     s.push_str(&format!(
         "{:<8}{:>10}{:>12}{:>14}\n",
@@ -304,7 +304,7 @@ pub fn mu_sweep(ctx: &ExperimentContext) -> String {
             ql: searchlite::QlParams { mu },
             ..ctx.sqe_config
         };
-        let pipeline = SqePipeline::new(&ctx.bed.kb.graph, index, cfg);
+        let pipeline = SqePipeline::new(&ctx.bed.kb.graph, searcher.clone(), cfg);
         let mut base = Run::new("QL_Q");
         let mut sqe_run = Run::new("SQE");
         for q in &dataset.queries {
@@ -340,11 +340,11 @@ pub fn sensitivity(ctx: &ExperimentContext) -> String {
     let mut sqe_run = Run::new("BM25 SQE_T&S");
     for q in &r.dataset().queries {
         let nodes = r.manual_nodes(q);
-        let user = sqe::expand::user_part(&q.text, pipeline.index().analyzer());
-        let hits = bm25::rank(pipeline.index(), &user, params, 1000);
+        let user = sqe::expand::user_part(&q.text, pipeline.searcher().analyzer());
+        let hits = bm25::rank(pipeline.searcher(), &user, params, 1000);
         base.set_ranking(&q.id, pipeline.external_ids(&hits));
         let expanded = pipeline.expand(&q.text, &nodes, true, true);
-        let hits = bm25::rank(pipeline.index(), &expanded.query, params, 1000);
+        let hits = bm25::rank(pipeline.searcher(), &expanded.query, params, 1000);
         sqe_run.set_ranking(&q.id, pipeline.external_ids(&hits));
     }
     let rows = vec![

@@ -5,7 +5,11 @@
 //! through different link orders shares one entry. A generation counter
 //! invalidates the whole cache in O(1) when the underlying graph or index
 //! is swapped: stale entries simply miss (and are unlinked lazily), so no
-//! lock is held for a full clear on the swap path.
+//! lock is held for a full clear on the swap path. The serving layer
+//! drives the generation from the segmented index's **segment-set
+//! epoch**: each seal advances the epoch once, and the service bumps the
+//! generation exactly once per advance, so auto-merges that ride a seal
+//! never cause a second flush.
 //!
 //! The LRU core is an index-linked list over a slab plus a hash map from
 //! key to slot — O(1) lookup, insert, touch, and eviction, with no

@@ -27,8 +27,10 @@
 //! automatically from ground-truth query graphs. The [`serve`] module
 //! (with [`cache`] and [`metrics`]) wraps the pipeline in a concurrent
 //! query service — work-stealing batch execution, LRU expansion caching,
-//! and injected-clock latency metrics — that stays byte-identical to the
-//! sequential pipeline.
+//! live ingestion over a segmented index (documents buffer, seal into
+//! immutable segments, and publish atomically), and injected-clock
+//! latency metrics — that stays byte-identical to the sequential
+//! pipeline regardless of how the corpus is partitioned into segments.
 
 pub mod analysis;
 pub mod cache;
@@ -47,8 +49,8 @@ pub use combine::{combine_rankings, RankSegment};
 pub use expand::{ExpandConfig, ExpandedQuery};
 pub use learn::{learn_motifs, Example, LearnedMotif, Objective};
 pub use metrics::{
-    Clock, HistogramSnapshot, LatencyHistogram, ManualClock, MetricsSnapshot, MonotonicClock,
-    NullClock, ServeMetrics, STAGE_NAMES,
+    Clock, HistogramSnapshot, IngestHistograms, LatencyHistogram, ManualClock, MetricsSnapshot,
+    MonotonicClock, NullClock, ServeMetrics, INGEST_STAGE_NAMES, STAGE_NAMES,
 };
 pub use motif::{Motif, MotifKind, Square, Triangular};
 pub use pattern::{CategoryCondition, LinkCondition, PatternMotif};

@@ -265,6 +265,39 @@ pub struct HistogramSnapshot {
 /// The pipeline stages the serving layer times separately.
 pub const STAGE_NAMES: [&str; 4] = ["expand", "rank", "combine", "total"];
 
+/// The ingestion stages the serving layer times separately.
+pub const INGEST_STAGE_NAMES: [&str; 3] = ["add", "seal", "merge"];
+
+/// Per-stage latency histograms for the live-ingestion path.
+#[derive(Debug, Default)]
+pub struct IngestHistograms {
+    /// Buffer insertion (duplicate check + tokenize + postings append).
+    pub add: LatencyHistogram,
+    /// Buffer freeze into a new segment, including policy-driven merges
+    /// and the publish of the refreshed searcher view.
+    pub seal: LatencyHistogram,
+    /// Explicit full compaction (`force_merge`).
+    pub merge: LatencyHistogram,
+}
+
+impl IngestHistograms {
+    /// Snapshots every stage, ordered as [`INGEST_STAGE_NAMES`].
+    pub fn snapshot(&self) -> [HistogramSnapshot; 3] {
+        [
+            self.add.snapshot(),
+            self.seal.snapshot(),
+            self.merge.snapshot(),
+        ]
+    }
+
+    /// Zeroes every ingest histogram.
+    pub fn reset(&self) {
+        self.add.reset();
+        self.seal.reset();
+        self.merge.reset();
+    }
+}
+
 /// Per-stage latency histograms for the serving pipeline.
 #[derive(Debug, Default)]
 pub struct StageHistograms {
@@ -309,8 +342,16 @@ pub struct ServeMetrics {
     pub cache_misses: Counter,
     /// Generation bumps (index/graph swaps observed by the cache).
     pub invalidations: Counter,
+    /// Documents accepted into the live ingest buffer.
+    pub docs_ingested: Counter,
+    /// Successful seals (each bumps the segment-set epoch once).
+    pub seals: Counter,
+    /// Merge operations (policy-driven during seals plus forced).
+    pub merges: Counter,
     /// Per-stage latency histograms.
     pub stages: StageHistograms,
+    /// Ingestion-path latency histograms.
+    pub ingest: IngestHistograms,
 }
 
 impl ServeMetrics {
@@ -338,20 +379,30 @@ impl ServeMetrics {
         self.cache_hits.reset();
         self.cache_misses.reset();
         self.invalidations.reset();
+        self.docs_ingested.reset();
+        self.seals.reset();
+        self.merges.reset();
         self.stages.reset();
+        self.ingest.reset();
     }
 
     /// Point-in-time copy of every metric (evictions are tracked by the
-    /// cache itself and supplied by the caller).
-    pub fn snapshot(&self, cache_evictions: u64) -> MetricsSnapshot {
+    /// cache itself, and the epoch by the segment set; both are supplied
+    /// by the caller).
+    pub fn snapshot(&self, cache_evictions: u64, epoch: u64) -> MetricsSnapshot {
         MetricsSnapshot {
             queries: self.queries.get(),
             cache_hits: self.cache_hits.get(),
             cache_misses: self.cache_misses.get(),
             cache_evictions,
             invalidations: self.invalidations.get(),
+            docs_ingested: self.docs_ingested.get(),
+            seals: self.seals.get(),
+            merges: self.merges.get(),
+            epoch,
             cache_hit_rate: self.cache_hit_rate(),
             stages: self.stages.snapshot(),
+            ingest: self.ingest.snapshot(),
         }
     }
 }
@@ -370,10 +421,20 @@ pub struct MetricsSnapshot {
     pub cache_evictions: u64,
     /// Cache generation bumps.
     pub invalidations: u64,
+    /// Documents accepted into the live ingest buffer.
+    pub docs_ingested: u64,
+    /// Successful seals.
+    pub seals: u64,
+    /// Merge operations (policy-driven plus forced).
+    pub merges: u64,
+    /// Segment-set epoch of the published searcher view.
+    pub epoch: u64,
     /// hits / (hits + misses), 0 when no lookups.
     pub cache_hit_rate: f64,
     /// Per-stage histograms, ordered as [`STAGE_NAMES`].
     pub stages: [HistogramSnapshot; 4],
+    /// Ingest histograms, ordered as [`INGEST_STAGE_NAMES`].
+    pub ingest: [HistogramSnapshot; 3],
 }
 
 #[cfg(test)]
@@ -453,7 +514,7 @@ mod tests {
         m.cache_misses.inc();
         m.queries.add(4);
         assert!((m.cache_hit_rate() - 0.75).abs() < 1e-12);
-        let s = m.snapshot(2);
+        let s = m.snapshot(2, 0);
         assert_eq!(s.cache_evictions, 2);
         assert_eq!(s.queries, 4);
         assert_eq!(s.stages[0].count, 0);
@@ -466,7 +527,7 @@ mod tests {
         m.cache_hits.inc();
         m.stages.rank.record(1000);
         m.reset();
-        let s = m.snapshot(0);
+        let s = m.snapshot(0, 0);
         assert_eq!(s.queries, 0);
         assert_eq!(s.cache_hits, 0);
         assert_eq!(s.stages[1].count, 0);

@@ -7,7 +7,7 @@
 
 use kbgraph::{ArticleId, KbGraph};
 use searchlite::ql::{self, QlParams, QlScratch, SearchHit};
-use searchlite::{Index, Query};
+use searchlite::{Index, Query, Searcher};
 
 use crate::combine;
 use crate::expand::{self, ExpandConfig, ExpandedQuery};
@@ -49,41 +49,58 @@ impl Default for SqeConfig {
     }
 }
 
-/// The SQE pipeline over one KB and one collection index.
+/// The SQE pipeline over one KB and one collection view.
+///
+/// Retrieval goes through a [`Searcher`] — a merged read view over one
+/// or more immutable segments — so a pipeline built from a monolithic
+/// index and one built from any partition of the same documents score
+/// byte-identically.
 pub struct SqePipeline<'a> {
     graph: &'a KbGraph,
-    index: &'a Index,
+    searcher: Searcher,
     cfg: SqeConfig,
 }
 
 impl<'a> SqePipeline<'a> {
-    /// Creates a pipeline.
+    /// Creates a pipeline over a segmented searcher view.
     ///
-    /// In debug builds with the default `validate` feature, both inputs are
-    /// run through their structural auditors first, so a graph or index
-    /// corrupted in persistence fails loudly here instead of producing
-    /// silently wrong rankings downstream.
-    pub fn new(graph: &'a KbGraph, index: &'a Index, cfg: SqeConfig) -> Self {
+    /// In debug builds with the default `validate` feature, the graph and
+    /// every segment are run through their structural auditors first, so a
+    /// graph or index corrupted in persistence fails loudly here instead
+    /// of producing silently wrong rankings downstream.
+    pub fn new(graph: &'a KbGraph, searcher: Searcher, cfg: SqeConfig) -> Self {
         #[cfg(all(debug_assertions, feature = "validate"))]
         {
             kbgraph::audit::GraphAudit::run(graph).assert_clean("SqePipeline::new");
-            searchlite::audit::IndexAudit::run(index).assert_clean("SqePipeline::new");
+            for seg in searcher.segments() {
+                searchlite::audit::IndexAudit::run(seg.index()).assert_clean("SqePipeline::new");
+            }
         }
-        SqePipeline { graph, index, cfg }
+        SqePipeline {
+            graph,
+            searcher,
+            cfg,
+        }
+    }
+
+    /// Convenience constructor over a single monolithic index: wraps it in
+    /// a one-segment [`Searcher`] (the index is cloned into the segment).
+    pub fn from_index(graph: &'a KbGraph, index: &Index, cfg: SqeConfig) -> Self {
+        SqePipeline::new(graph, Searcher::from_index(index.clone()), cfg)
     }
 
     /// Creates a pipeline over a loaded binary snapshot — the cold-start
     /// path. The snapshot's structures were already checksum-verified,
     /// shape-validated and audited at decode, so this only resolves the
-    /// collection and binds the borrows; no JSON and no regeneration is
-    /// involved.
+    /// collection into a searcher view (over however many segments the
+    /// snapshot holds); no JSON and no regeneration is involved.
     pub fn from_snapshot(
         snapshot: &'a sqe_store::Snapshot,
         collection: &str,
         cfg: SqeConfig,
     ) -> Result<Self, sqe_store::StoreError> {
-        let index = snapshot.index(collection)?;
-        Ok(SqePipeline::new(snapshot.graph(), index, cfg))
+        let searcher = snapshot.searcher(collection)?;
+        Ok(SqePipeline::new(snapshot.graph(), searcher, cfg))
     }
 
     /// The pipeline's configuration.
@@ -96,19 +113,19 @@ impl<'a> SqePipeline<'a> {
         self.graph
     }
 
-    /// The document index.
-    pub fn index(&self) -> &Index {
-        self.index
+    /// The merged searcher view over the collection's segments.
+    pub fn searcher(&self) -> &Searcher {
+        &self.searcher
     }
 
     fn rank(&self, query: &Query) -> Vec<SearchHit> {
-        ql::rank(self.index, query, self.cfg.ql, self.cfg.depth)
+        ql::rank(&self.searcher, query, self.cfg.ql, self.cfg.depth)
     }
 
     /// Converts hits to external document ids.
     pub fn external_ids(&self, hits: &[SearchHit]) -> Vec<String> {
         hits.iter()
-            .map(|h| self.index.external_id(h.doc).to_owned())
+            .map(|h| self.searcher.external_id(h.doc).to_owned())
             .collect()
     }
 
@@ -116,22 +133,22 @@ impl<'a> SqePipeline<'a> {
 
     /// `QL_Q`: the user's keywords only.
     pub fn rank_user(&self, text: &str) -> Vec<SearchHit> {
-        let q = expand::user_part(text, self.index.analyzer());
+        let q = expand::user_part(text, self.searcher.analyzer());
         self.rank(&q)
     }
 
     /// `QL_E`: the query-entity titles only, as a keyword bag (the
     /// baseline runs titles through plain query likelihood).
     pub fn rank_entities(&self, nodes: &[ArticleId]) -> Vec<SearchHit> {
-        let q = expand::entities_bag_part(self.graph, nodes, self.index.analyzer());
+        let q = expand::entities_bag_part(self.graph, nodes, self.searcher.analyzer());
         self.rank(&q)
     }
 
     /// `QL_Q&E`: user keywords and entity-title keywords, equally
     /// weighted.
     pub fn rank_user_entities(&self, text: &str, nodes: &[ArticleId]) -> Vec<SearchHit> {
-        let user = expand::user_part(text, self.index.analyzer());
-        let ents = expand::entities_bag_part(self.graph, nodes, self.index.analyzer());
+        let user = expand::user_part(text, self.searcher.analyzer());
+        let ents = expand::entities_bag_part(self.graph, nodes, self.searcher.analyzer());
         let q = Query::combine(&[(user, 0.5), (ents, 0.5)]);
         self.rank(&q)
     }
@@ -142,7 +159,7 @@ impl<'a> SqePipeline<'a> {
         let q = expand::expansion_part(
             self.graph,
             qg,
-            self.index.analyzer(),
+            self.searcher.analyzer(),
             self.cfg.expand.max_expansions,
         );
         self.rank(&q)
@@ -173,7 +190,7 @@ impl<'a> SqePipeline<'a> {
             self.graph,
             text,
             &qg,
-            self.index.analyzer(),
+            self.searcher.analyzer(),
             &self.cfg.expand,
         )
     }
@@ -206,11 +223,11 @@ impl<'a> SqePipeline<'a> {
             text,
             &qg.query_nodes,
             &qg.expansions,
-            self.index.analyzer(),
+            self.searcher.analyzer(),
             &self.cfg.expand,
         );
         let hits =
-            ql::rank_with_scratch(self.index, &query, self.cfg.ql, self.cfg.depth, &mut scratch.ql);
+            ql::rank_with_scratch(&self.searcher, &query, self.cfg.ql, self.cfg.depth, &mut scratch.ql);
         (hits, qg)
     }
 
@@ -230,7 +247,7 @@ impl<'a> SqePipeline<'a> {
             self.graph,
             text,
             &qg,
-            self.index.analyzer(),
+            self.searcher.analyzer(),
             &self.cfg.expand,
         );
         self.rank(&eq.query)
@@ -289,10 +306,10 @@ mod tests {
         let graph = b.build();
 
         let mut ib = IndexBuilder::new(Analyzer::plain());
-        ib.add_document("d-cable-0", "cable car climbing the peak");
-        ib.add_document("d-funi-0", "old funicular near the village");
-        ib.add_document("d-funi-1", "the funicular station entrance");
-        ib.add_document("d-noise-0", "a market square with fruit");
+        ib.add_document("d-cable-0", "cable car climbing the peak").expect("unique test ids");
+        ib.add_document("d-funi-0", "old funicular near the village").expect("unique test ids");
+        ib.add_document("d-funi-1", "the funicular station entrance").expect("unique test ids");
+        ib.add_document("d-noise-0", "a market square with fruit").expect("unique test ids");
         let index = ib.build();
         (graph, index, cable)
     }
@@ -300,7 +317,7 @@ mod tests {
     #[test]
     fn baseline_misses_expansion_docs() {
         let (graph, index, cable) = world();
-        let p = SqePipeline::new(&graph, &index, SqeConfig::default());
+        let p = SqePipeline::from_index(&graph, &index, SqeConfig::default());
         let hits = p.rank_user("cable car");
         let ids = p.external_ids(&hits);
         assert!(ids.contains(&"d-cable-0".to_owned()));
@@ -311,7 +328,7 @@ mod tests {
     #[test]
     fn sqe_t_reaches_funicular_documents() {
         let (graph, index, cable) = world();
-        let p = SqePipeline::new(&graph, &index, SqeConfig::default());
+        let p = SqePipeline::from_index(&graph, &index, SqeConfig::default());
         let (hits, qg) = p.rank_sqe("cable car", &[cable], true, false);
         assert_eq!(qg.num_expansions(), 1);
         let ids = p.external_ids(&hits);
@@ -323,7 +340,7 @@ mod tests {
     #[test]
     fn square_motif_finds_nothing_here() {
         let (graph, index, cable) = world();
-        let p = SqePipeline::new(&graph, &index, SqeConfig::default());
+        let p = SqePipeline::from_index(&graph, &index, SqeConfig::default());
         let qg = p.build_query_graph(&[cable], false, true);
         assert_eq!(qg.num_expansions(), 0, "shared category is not a square");
     }
@@ -331,7 +348,7 @@ mod tests {
     #[test]
     fn expansion_only_ranks_only_expansion_docs_on_top() {
         let (graph, index, cable) = world();
-        let p = SqePipeline::new(&graph, &index, SqeConfig::default());
+        let p = SqePipeline::from_index(&graph, &index, SqeConfig::default());
         let qg = p.build_query_graph(&[cable], true, false);
         let hits = p.rank_expansion_only(&qg);
         let ids = p.external_ids(&hits);
@@ -341,7 +358,7 @@ mod tests {
     #[test]
     fn ground_truth_expansion_api() {
         let (graph, index, cable) = world();
-        let p = SqePipeline::new(&graph, &index, SqeConfig::default());
+        let p = SqePipeline::from_index(&graph, &index, SqeConfig::default());
         let funi = graph.find_article_by_title("funicular").unwrap();
         let hits = p.rank_with_expansions("cable car", &[cable], &[(funi, 2)]);
         let ids = p.external_ids(&hits);
@@ -351,7 +368,7 @@ mod tests {
     #[test]
     fn sqe_c_combines_and_dedups() {
         let (graph, index, cable) = world();
-        let p = SqePipeline::new(&graph, &index, SqeConfig::default());
+        let p = SqePipeline::from_index(&graph, &index, SqeConfig::default());
         let ids = p.rank_sqe_c("cable car", &[cable]);
         let set: std::collections::HashSet<&String> = ids.iter().collect();
         assert_eq!(set.len(), ids.len(), "no duplicates");
@@ -361,7 +378,7 @@ mod tests {
     #[test]
     fn parallel_batch_matches_sequential() {
         let (graph, index, cable) = world();
-        let p = SqePipeline::new(&graph, &index, SqeConfig::default());
+        let p = SqePipeline::from_index(&graph, &index, SqeConfig::default());
         let queries: Vec<(String, Vec<ArticleId>)> = vec![
             ("cable car".into(), vec![cable]),
             ("funicular station".into(), vec![cable]),
@@ -379,14 +396,16 @@ mod tests {
     fn pipeline_from_snapshot_matches_fresh() {
         let (graph, index, cable) = world();
         let dict = entitylink::Dictionary::new();
+        let segments = [&index];
+        let named = [("world", &segments[..])];
         let bytes = sqe_store::encode_snapshot(&sqe_store::SnapshotContents {
             graph: &graph,
-            indexes: &[("world", &index)],
+            collections: &named,
             dict: &dict,
         })
         .unwrap();
         let snap = sqe_store::Snapshot::from_bytes(&bytes).unwrap();
-        let fresh = SqePipeline::new(&graph, &index, SqeConfig::default());
+        let fresh = SqePipeline::from_index(&graph, &index, SqeConfig::default());
         let loaded = SqePipeline::from_snapshot(&snap, "world", SqeConfig::default()).unwrap();
         let (h1, qg1) = fresh.rank_sqe("cable car", &[cable], true, false);
         let (h2, qg2) = loaded.rank_sqe("cable car", &[cable], true, false);
@@ -399,9 +418,37 @@ mod tests {
     }
 
     #[test]
+    fn segmented_pipeline_matches_monolithic() {
+        use searchlite::Segment;
+        use std::sync::Arc;
+        let (graph, index, cable) = world();
+        // The same four documents, split across two segments.
+        let mut a = IndexBuilder::new(Analyzer::plain());
+        a.add_document("d-cable-0", "cable car climbing the peak").expect("unique test ids");
+        a.add_document("d-funi-0", "old funicular near the village").expect("unique test ids");
+        let mut b = IndexBuilder::new(Analyzer::plain());
+        b.add_document("d-funi-1", "the funicular station entrance").expect("unique test ids");
+        b.add_document("d-noise-0", "a market square with fruit").expect("unique test ids");
+        let searcher = Searcher::new(
+            Analyzer::plain(),
+            vec![Arc::new(Segment::new(0, a.build())), Arc::new(Segment::new(1, b.build()))],
+            0,
+        );
+        let mono = SqePipeline::from_index(&graph, &index, SqeConfig::default());
+        let segp = SqePipeline::new(&graph, searcher, SqeConfig::default());
+        let (h1, qg1) = mono.rank_sqe("cable car", &[cable], true, false);
+        let (h2, qg2) = segp.rank_sqe("cable car", &[cable], true, false);
+        assert_eq!(qg1.expansions, qg2.expansions);
+        assert_eq!(mono.external_ids(&h1), segp.external_ids(&h2));
+        for (x, y) in h1.iter().zip(h2.iter()) {
+            assert_eq!(x.score.to_bits(), y.score.to_bits(), "scores must be bit-identical");
+        }
+    }
+
+    #[test]
     fn entities_baseline_uses_phrase() {
         let (graph, index, cable) = world();
-        let p = SqePipeline::new(&graph, &index, SqeConfig::default());
+        let p = SqePipeline::from_index(&graph, &index, SqeConfig::default());
         let hits = p.rank_entities(&[cable]);
         let ids = p.external_ids(&hits);
         assert_eq!(ids[0], "d-cable-0");
@@ -410,7 +457,7 @@ mod tests {
     #[test]
     fn user_entities_baseline_combines() {
         let (graph, index, cable) = world();
-        let p = SqePipeline::new(&graph, &index, SqeConfig::default());
+        let p = SqePipeline::from_index(&graph, &index, SqeConfig::default());
         let hits = p.rank_user_entities("peak climbing", &[cable]);
         assert!(!hits.is_empty());
         let ids = p.external_ids(&hits);

@@ -11,7 +11,7 @@
 //!   previous behaviour of `rank_sqe_many` / `build_many`). Results are
 //!   written into their input slot, so output order — and therefore every
 //!   downstream run file — is independent of scheduling.
-//! * [`QueryService`] — the serving facade over [`SqePipeline`]: an LRU
+//! * [`QueryService`] — the serving facade over [`SqePipeline`](crate::pipeline::SqePipeline): an LRU
 //!   [`ExpansionCache`] keyed by the sorted query-node set + motif config
 //!   (motif traversal is the dominant per-query cost and is a pure
 //!   function of exactly that key), per-worker reusable scratch buffers,
@@ -22,23 +22,23 @@
 //! # Determinism contract
 //!
 //! For any worker count and any cache state, [`QueryService`] output is
-//! byte-identical to the sequential uncached [`SqePipeline`]: cached
+//! byte-identical to the sequential uncached [`SqePipeline`](crate::pipeline::SqePipeline): cached
 //! expansions are exactly the `QueryGraph::expansions` a fresh build
 //! returns (the cache key preserves query-node multiplicity), and a
 //! racing double-compute of the same key inserts the same value twice.
 //! `tests/serve_determinism.rs` enforces this end-to-end on run files.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard};
 
 use kbgraph::{ArticleId, KbGraph};
 use searchlite::ql::{self, SearchHit};
-use searchlite::Index;
+use searchlite::{DocId, Index, IngestError, SealReport, Searcher, SegmentedIndex};
 
 use crate::cache::{CacheKey, CachedExpansions, ExpansionCache};
 use crate::combine;
 use crate::expand;
 use crate::metrics::{Clock, MetricsSnapshot, NullClock, ServeMetrics};
-use crate::pipeline::{SqeConfig, SqePipeline, SqeScratch};
+use crate::pipeline::{SqeConfig, SqeScratch};
 use crate::query_graph::QueryGraphBuilder;
 
 /// Runs `f` over every item on `workers` threads with work stealing:
@@ -126,11 +126,28 @@ impl Default for ServeConfig {
     }
 }
 
-/// The concurrent SQE query service: [`SqePipeline`] semantics behind an
-/// expansion cache, a work-stealing batch executor, and latency metrics.
+/// The concurrent SQE query service: [`SqePipeline`](crate::pipeline::SqePipeline) semantics behind an
+/// expansion cache, a work-stealing batch executor, live ingestion, and
+/// latency metrics.
+///
+/// # Live ingestion
+///
+/// The service owns a [`SegmentedIndex`]: [`QueryService::add_document`]
+/// feeds its buffer (invisible to queries), [`QueryService::seal`]
+/// freezes the buffer into a new immutable segment and atomically
+/// publishes a refreshed [`Searcher`] view. Publication compares the
+/// segment-set epoch, so each seal invalidates the expansion cache
+/// **exactly once** — auto-merges triggered by the seal ride the same
+/// epoch bump. Queries already in flight keep the view they started
+/// with (a cheap `Arc` clone), so a seal never tears a batch.
 pub struct QueryService<'a> {
-    pipeline: SqePipeline<'a>,
+    graph: &'a KbGraph,
+    cfg: SqeConfig,
     serve_cfg: ServeConfig,
+    /// The mutable corpus: sealed segments plus the live ingest buffer.
+    live: Mutex<SegmentedIndex>,
+    /// The published immutable view queries read (swapped on seal/merge).
+    view: RwLock<Searcher>,
     cache: ExpansionCache,
     metrics: ServeMetrics,
     clock: Arc<dyn Clock>,
@@ -138,46 +155,132 @@ pub struct QueryService<'a> {
 
 impl<'a> QueryService<'a> {
     /// Creates a service with the no-op [`NullClock`] (counters work,
-    /// latency histograms record zeros).
-    pub fn new(graph: &'a KbGraph, index: &'a Index, cfg: SqeConfig, serve_cfg: ServeConfig) -> Self {
+    /// latency histograms record zeros). The index is cloned in as
+    /// segment 0 of the live corpus.
+    pub fn new(graph: &'a KbGraph, index: &Index, cfg: SqeConfig, serve_cfg: ServeConfig) -> Self {
         QueryService::with_clock(graph, index, cfg, serve_cfg, Arc::new(NullClock))
     }
 
     /// Creates a service over a loaded binary snapshot — the cold-start
-    /// path a restarting deployment takes. See
-    /// [`SqePipeline::from_snapshot`]; the snapshot was fully verified
-    /// and audited at decode time.
+    /// path a restarting deployment takes. The snapshot's segments are
+    /// adopted as-is (no merge, no re-analysis); the snapshot was fully
+    /// verified and audited at decode time.
     pub fn from_snapshot(
         snapshot: &'a sqe_store::Snapshot,
         collection: &str,
         cfg: SqeConfig,
         serve_cfg: ServeConfig,
     ) -> Result<Self, sqe_store::StoreError> {
-        let index = snapshot.index(collection)?;
-        Ok(QueryService::new(snapshot.graph(), index, cfg, serve_cfg))
+        let searcher = snapshot.searcher(collection)?;
+        let live =
+            SegmentedIndex::from_segments(searcher.analyzer().clone(), searcher.segments().to_vec());
+        Ok(QueryService::from_segmented(snapshot.graph(), live, cfg, serve_cfg))
     }
 
     /// Creates a service with an injected clock — a `MonotonicClock` in
     /// the bench harness, a `ManualClock` in tests.
     pub fn with_clock(
         graph: &'a KbGraph,
-        index: &'a Index,
+        index: &Index,
         cfg: SqeConfig,
         serve_cfg: ServeConfig,
         clock: Arc<dyn Clock>,
     ) -> Self {
-        QueryService {
-            pipeline: SqePipeline::new(graph, index, cfg),
+        QueryService::from_segmented_with_clock(
+            graph,
+            SegmentedIndex::from_index(index.clone()),
+            cfg,
             serve_cfg,
+            clock,
+        )
+    }
+
+    /// Creates a service over an existing segmented corpus (buffered
+    /// documents stay buffered until the first [`QueryService::seal`]).
+    pub fn from_segmented(
+        graph: &'a KbGraph,
+        live: SegmentedIndex,
+        cfg: SqeConfig,
+        serve_cfg: ServeConfig,
+    ) -> Self {
+        QueryService::from_segmented_with_clock(graph, live, cfg, serve_cfg, Arc::new(NullClock))
+    }
+
+    /// [`QueryService::from_segmented`] with an injected clock.
+    pub fn from_segmented_with_clock(
+        graph: &'a KbGraph,
+        live: SegmentedIndex,
+        cfg: SqeConfig,
+        serve_cfg: ServeConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
+        let view = live.searcher();
+        #[cfg(all(debug_assertions, feature = "validate"))]
+        {
+            kbgraph::audit::GraphAudit::run(graph).assert_clean("QueryService");
+            for seg in view.segments() {
+                searchlite::audit::IndexAudit::run(seg.index()).assert_clean("QueryService");
+            }
+        }
+        QueryService {
+            graph,
+            cfg,
+            serve_cfg,
+            live: Mutex::new(live),
+            view: RwLock::new(view),
             cache: ExpansionCache::new(serve_cfg.cache_capacity),
             metrics: ServeMetrics::new(),
             clock,
         }
     }
 
-    /// The wrapped sequential pipeline.
-    pub fn pipeline(&self) -> &SqePipeline<'a> {
-        &self.pipeline
+    /// Locks the live corpus; a poisoned mutex still yields usable state
+    /// (the segmented index never holds partial updates across panics
+    /// that matter to readers — sealed segments are immutable).
+    fn live_lock(&self) -> MutexGuard<'_, SegmentedIndex> {
+        match self.live.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Read-locks the published view.
+    fn view_read(&self) -> RwLockReadGuard<'_, Searcher> {
+        match self.view.read() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Swaps in a freshly published searcher. Invalidates the expansion
+    /// cache exactly once per epoch advance: republishing the same epoch
+    /// (or an older one) leaves the cache warm.
+    fn publish(&self, searcher: Searcher) {
+        let advanced = {
+            let mut view = match self.view.write() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            let advanced = searcher.epoch() > view.epoch();
+            if advanced || searcher.epoch() == view.epoch() {
+                *view = searcher;
+            }
+            advanced
+        };
+        if advanced {
+            self.cache.invalidate();
+            self.metrics.invalidations.inc();
+        }
+    }
+
+    /// The KB graph.
+    pub fn graph(&self) -> &KbGraph {
+        self.graph
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &SqeConfig {
+        &self.cfg
     }
 
     /// The serving configuration.
@@ -185,13 +288,95 @@ impl<'a> QueryService<'a> {
         &self.serve_cfg
     }
 
-    /// Converts hits to external document ids.
+    /// A clone of the currently published searcher view (cheap: one
+    /// `Arc`). Queries served through it are stable across later seals.
+    pub fn searcher(&self) -> Searcher {
+        self.view_read().clone()
+    }
+
+    /// The segment-set epoch of the published view.
+    pub fn epoch(&self) -> u64 {
+        self.view_read().epoch()
+    }
+
+    /// Sealed segments visible to queries.
+    pub fn num_segments(&self) -> usize {
+        self.view_read().num_segments()
+    }
+
+    /// Documents waiting in the ingest buffer (invisible until sealed).
+    pub fn num_buffered_docs(&self) -> usize {
+        self.live_lock().num_buffered_docs()
+    }
+
+    // ------------------------------------------------------- ingestion --
+
+    /// Adds a document to the live ingest buffer; it becomes searchable
+    /// at the next [`QueryService::seal`]. Duplicate external ids are
+    /// rejected against the whole corpus, sealed and buffered alike.
+    pub fn add_document(&self, external_id: &str, text: &str) -> Result<DocId, IngestError> {
+        let t0 = self.clock.now_nanos();
+        let result = self.live_lock().add_document(external_id, text);
+        if result.is_ok() {
+            let t1 = self.clock.now_nanos();
+            self.metrics.docs_ingested.inc();
+            self.metrics.ingest.add.record(t1.saturating_sub(t0));
+        }
+        result
+    }
+
+    /// Seals the ingest buffer into a new immutable segment, runs the
+    /// merge policy, and publishes the refreshed view. Returns `None`
+    /// (and changes nothing) when the buffer is empty. The expansion
+    /// cache is invalidated exactly once per successful seal.
+    pub fn seal(&self) -> Option<SealReport> {
+        let t0 = self.clock.now_nanos();
+        let report;
+        let searcher;
+        {
+            let mut live = self.live_lock();
+            report = live.seal()?;
+            searcher = live.searcher();
+        }
+        self.publish(searcher);
+        self.metrics.seals.inc();
+        self.metrics
+            .merges
+            .add(u64::try_from(report.merges).expect("invariant: merge count fits in u64"));
+        let t1 = self.clock.now_nanos();
+        self.metrics.ingest.seal.record(t1.saturating_sub(t0));
+        Some(report)
+    }
+
+    /// Compacts every sealed segment into one and publishes the merged
+    /// view. Returns `false` (a no-op) with fewer than two segments.
+    pub fn force_merge(&self) -> bool {
+        let t0 = self.clock.now_nanos();
+        let searcher;
+        {
+            let mut live = self.live_lock();
+            if !live.force_merge() {
+                return false;
+            }
+            searcher = live.searcher();
+        }
+        self.publish(searcher);
+        self.metrics.merges.inc();
+        let t1 = self.clock.now_nanos();
+        self.metrics.ingest.merge.record(t1.saturating_sub(t0));
+        true
+    }
+
+    /// Converts hits to external document ids (against the currently
+    /// published view).
     pub fn external_ids(&self, hits: &[SearchHit]) -> Vec<String> {
-        self.pipeline.external_ids(hits)
+        let view = self.view_read();
+        ids_of(&view, hits)
     }
 
     /// Bumps the cache generation: every cached expansion becomes stale.
-    /// Call when the graph or index content behind the service changes.
+    /// Call when the graph content behind the service changes out of
+    /// band; seals and merges invalidate automatically.
     pub fn invalidate_cache(&self) {
         self.cache.invalidate();
         self.metrics.invalidations.inc();
@@ -204,7 +389,7 @@ impl<'a> QueryService<'a> {
 
     /// Point-in-time copy of every metric.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
-        self.metrics.snapshot(self.cache.evictions())
+        self.metrics.snapshot(self.cache.evictions(), self.epoch())
     }
 
     /// Zeroes counters and histograms without touching the cache: the
@@ -231,7 +416,7 @@ impl<'a> QueryService<'a> {
             return hit;
         }
         self.metrics.cache_misses.inc();
-        let builder = QueryGraphBuilder::with_config(self.pipeline.graph(), triangular, square);
+        let builder = QueryGraphBuilder::with_config(self.graph, triangular, square);
         let qg = builder.build_with_scratch(nodes, &mut scratch.qg);
         let expansions: CachedExpansions = Arc::new(qg.expansions);
         self.cache.insert(key, Arc::clone(&expansions));
@@ -240,29 +425,30 @@ impl<'a> QueryService<'a> {
 
     /// Expand + rank for one motif config, recording the two stage
     /// histograms but not the per-query totals (SQE_C runs this three
-    /// times per query).
+    /// times per query). `searcher` is the view pinned at query entry,
+    /// so a concurrent seal cannot change the corpus mid-query.
     fn stage_run(
         &self,
+        searcher: &Searcher,
         text: &str,
         nodes: &[ArticleId],
         triangular: bool,
         square: bool,
         scratch: &mut SqeScratch,
     ) -> Vec<SearchHit> {
-        let cfg = self.pipeline.config();
+        let cfg = &self.cfg;
         let t0 = self.clock.now_nanos();
         let expansions = self.expansions_for(nodes, triangular, square, scratch);
         let t1 = self.clock.now_nanos();
         let query = expand::build_query(
-            self.pipeline.graph(),
+            self.graph,
             text,
             nodes,
             &expansions,
-            self.pipeline.index().analyzer(),
+            searcher.analyzer(),
             &cfg.expand,
         );
-        let hits =
-            ql::rank_with_scratch(self.pipeline.index(), &query, cfg.ql, cfg.depth, &mut scratch.ql);
+        let hits = ql::rank_with_scratch(searcher, &query, cfg.ql, cfg.depth, &mut scratch.ql);
         let t2 = self.clock.now_nanos();
         self.metrics.stages.expand.record(t1.saturating_sub(t0));
         self.metrics.stages.rank.record(t2.saturating_sub(t1));
@@ -270,7 +456,7 @@ impl<'a> QueryService<'a> {
     }
 
     /// `SQE_T` / `SQE_S` / `SQE_T&S` retrieval through the cache;
-    /// identical output to [`SqePipeline::rank_sqe`].
+    /// identical output to [`crate::pipeline::SqePipeline::rank_sqe`].
     pub fn rank_sqe(
         &self,
         text: &str,
@@ -278,11 +464,13 @@ impl<'a> QueryService<'a> {
         triangular: bool,
         square: bool,
     ) -> Vec<SearchHit> {
-        self.rank_sqe_with_scratch(text, nodes, triangular, square, &mut SqeScratch::new())
+        let searcher = self.searcher();
+        self.rank_sqe_with_scratch(&searcher, text, nodes, triangular, square, &mut SqeScratch::new())
     }
 
     fn rank_sqe_with_scratch(
         &self,
+        searcher: &Searcher,
         text: &str,
         nodes: &[ArticleId],
         triangular: bool,
@@ -290,7 +478,7 @@ impl<'a> QueryService<'a> {
         scratch: &mut SqeScratch,
     ) -> Vec<SearchHit> {
         let t0 = self.clock.now_nanos();
-        let hits = self.stage_run(text, nodes, triangular, square, scratch);
+        let hits = self.stage_run(searcher, text, nodes, triangular, square, scratch);
         let t1 = self.clock.now_nanos();
         self.metrics.stages.total.record(t1.saturating_sub(t0));
         self.metrics.queries.inc();
@@ -300,25 +488,27 @@ impl<'a> QueryService<'a> {
     /// `SQE_C` rank-range combination through the cache; identical output
     /// to [`SqePipeline::rank_sqe_c`].
     pub fn rank_sqe_c(&self, text: &str, nodes: &[ArticleId]) -> Vec<String> {
-        self.rank_sqe_c_with_scratch(text, nodes, &mut SqeScratch::new())
+        let searcher = self.searcher();
+        self.rank_sqe_c_with_scratch(&searcher, text, nodes, &mut SqeScratch::new())
     }
 
     fn rank_sqe_c_with_scratch(
         &self,
+        searcher: &Searcher,
         text: &str,
         nodes: &[ArticleId],
         scratch: &mut SqeScratch,
     ) -> Vec<String> {
         let t0 = self.clock.now_nanos();
-        let t = self.stage_run(text, nodes, true, false, scratch);
-        let ts = self.stage_run(text, nodes, true, true, scratch);
-        let s = self.stage_run(text, nodes, false, true, scratch);
+        let t = self.stage_run(searcher, text, nodes, true, false, scratch);
+        let ts = self.stage_run(searcher, text, nodes, true, true, scratch);
+        let s = self.stage_run(searcher, text, nodes, false, true, scratch);
         let c0 = self.clock.now_nanos();
         let ids = combine::sqe_c(
-            &self.external_ids(&t),
-            &self.external_ids(&ts),
-            &self.external_ids(&s),
-            self.pipeline.config().depth,
+            &ids_of(searcher, &t),
+            &ids_of(searcher, &ts),
+            &ids_of(searcher, &s),
+            self.cfg.depth,
         );
         let c1 = self.clock.now_nanos();
         self.metrics.stages.combine.record(c1.saturating_sub(c0));
@@ -328,39 +518,52 @@ impl<'a> QueryService<'a> {
     }
 
     /// Batch `SQE` retrieval over the configured worker pool; results
-    /// keep input order and match [`SqePipeline::rank_sqe_many`].
+    /// keep input order and match [`crate::pipeline::SqePipeline::rank_sqe_many`]. The
+    /// whole batch is served from one pinned view: a seal landing
+    /// mid-batch affects the *next* batch, never this one.
     pub fn run_batch(
         &self,
         queries: &[(String, Vec<ArticleId>)],
         triangular: bool,
         square: bool,
     ) -> Vec<Vec<SearchHit>> {
+        let searcher = self.searcher();
         run_indexed(
             queries,
             self.serve_cfg.workers,
             SqeScratch::new,
             |(text, nodes), scratch| {
-                self.rank_sqe_with_scratch(text, nodes, triangular, square, scratch)
+                self.rank_sqe_with_scratch(&searcher, text, nodes, triangular, square, scratch)
             },
         )
     }
 
     /// Batch `SQE_C` retrieval over the configured worker pool; results
-    /// keep input order.
+    /// keep input order (same pinned-view guarantee as
+    /// [`QueryService::run_batch`]).
     pub fn run_batch_sqe_c(&self, queries: &[(String, Vec<ArticleId>)]) -> Vec<Vec<String>> {
+        let searcher = self.searcher();
         run_indexed(
             queries,
             self.serve_cfg.workers,
             SqeScratch::new,
-            |(text, nodes), scratch| self.rank_sqe_c_with_scratch(text, nodes, scratch),
+            |(text, nodes), scratch| self.rank_sqe_c_with_scratch(&searcher, text, nodes, scratch),
         )
     }
+}
+
+/// External ids of `hits` against one pinned searcher view.
+fn ids_of(searcher: &Searcher, hits: &[SearchHit]) -> Vec<String> {
+    hits.iter()
+        .map(|h| searcher.external_id(h.doc).to_owned())
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::metrics::ManualClock;
+    use crate::pipeline::SqePipeline;
     use kbgraph::GraphBuilder;
     use searchlite::{Analyzer, IndexBuilder};
 
@@ -375,10 +578,10 @@ mod tests {
         let graph = b.build();
 
         let mut ib = IndexBuilder::new(Analyzer::plain());
-        ib.add_document("d-cable-0", "cable car climbing the peak");
-        ib.add_document("d-funi-0", "old funicular near the village");
-        ib.add_document("d-funi-1", "the funicular station entrance");
-        ib.add_document("d-noise-0", "a market square with fruit");
+        ib.add_document("d-cable-0", "cable car climbing the peak").expect("unique test ids");
+        ib.add_document("d-funi-0", "old funicular near the village").expect("unique test ids");
+        ib.add_document("d-funi-1", "the funicular station entrance").expect("unique test ids");
+        ib.add_document("d-noise-0", "a market square with fruit").expect("unique test ids");
         let index = ib.build();
         (graph, index, cable)
     }
@@ -429,7 +632,7 @@ mod tests {
     #[test]
     fn service_matches_pipeline_for_each_motif_config() {
         let (graph, index, cable) = world();
-        let pipeline = SqePipeline::new(&graph, &index, SqeConfig::default());
+        let pipeline = SqePipeline::from_index(&graph, &index, SqeConfig::default());
         let service = QueryService::new(&graph, &index, SqeConfig::default(), ServeConfig::default());
         for (tri, sq) in [(true, false), (false, true), (true, true)] {
             for (text, nodes) in queries(cable) {
@@ -444,7 +647,7 @@ mod tests {
     #[test]
     fn service_sqe_c_matches_pipeline() {
         let (graph, index, cable) = world();
-        let pipeline = SqePipeline::new(&graph, &index, SqeConfig::default());
+        let pipeline = SqePipeline::from_index(&graph, &index, SqeConfig::default());
         let service = QueryService::new(&graph, &index, SqeConfig::default(), ServeConfig::default());
         for (text, nodes) in queries(cable) {
             let want = pipeline.rank_sqe_c(&text, &nodes);
@@ -456,7 +659,7 @@ mod tests {
     #[test]
     fn batch_matches_sequential_at_every_worker_count() {
         let (graph, index, cable) = world();
-        let pipeline = SqePipeline::new(&graph, &index, SqeConfig::default());
+        let pipeline = SqePipeline::from_index(&graph, &index, SqeConfig::default());
         let qs = queries(cable);
         let want: Vec<Vec<SearchHit>> = qs
             .iter()
@@ -508,7 +711,7 @@ mod tests {
     #[test]
     fn zero_capacity_cache_still_serves_correctly() {
         let (graph, index, cable) = world();
-        let pipeline = SqePipeline::new(&graph, &index, SqeConfig::default());
+        let pipeline = SqePipeline::from_index(&graph, &index, SqeConfig::default());
         let serve_cfg = ServeConfig {
             workers: 1,
             cache_capacity: 0,
@@ -554,5 +757,106 @@ mod tests {
         assert_eq!(stage(1).sum_nanos, 100); // rank
         assert_eq!(stage(3).sum_nanos, 400); // total spans 4 ticks
         assert_eq!(stage(2).count, 0, "no combine stage for plain SQE");
+    }
+
+    #[test]
+    fn seal_publishes_and_invalidates_exactly_once() {
+        let (graph, index, cable) = world();
+        let service = QueryService::new(&graph, &index, SqeConfig::default(), ServeConfig::default());
+        assert_eq!(service.epoch(), 0);
+        assert_eq!(service.num_segments(), 1);
+
+        // Warm the cache, then ingest: the buffered doc stays invisible.
+        let before = service.rank_sqe("funicular", &[cable], true, false);
+        service
+            .add_document("d-funi-2", "a brand new funicular carriage")
+            .expect("fresh external id");
+        assert_eq!(service.num_buffered_docs(), 1);
+        assert_eq!(service.searcher().num_docs(), 4);
+        assert_eq!(
+            service.rank_sqe("funicular", &[cable], true, false),
+            before,
+            "buffered documents must not affect results"
+        );
+
+        // Seal: one epoch bump, one invalidation, doc becomes visible.
+        let report = service.seal().expect("non-empty buffer seals");
+        assert_eq!(report.epoch, 1);
+        assert_eq!(service.epoch(), 1);
+        assert_eq!(service.num_buffered_docs(), 0);
+        assert_eq!(service.searcher().num_docs(), 5);
+        let snap = service.metrics_snapshot();
+        assert_eq!(snap.epoch, 1);
+        assert_eq!(snap.docs_ingested, 1);
+        assert_eq!(snap.seals, 1);
+        assert_eq!(snap.invalidations, 1, "exactly one invalidation per seal");
+        assert_eq!(snap.ingest[0].count, 1, "one add recorded");
+        assert_eq!(snap.ingest[1].count, 1, "one seal recorded");
+
+        // The post-seal query sees the new doc and recomputes expansions.
+        let after = service.rank_sqe("funicular", &[cable], true, false);
+        assert_eq!(after.len(), before.len() + 1);
+        assert!(service.external_ids(&after).contains(&"d-funi-2".to_owned()));
+
+        // Empty-buffer seal: no epoch bump, no invalidation.
+        assert!(service.seal().is_none());
+        let snap = service.metrics_snapshot();
+        assert_eq!(snap.epoch, 1);
+        assert_eq!(snap.invalidations, 1, "no-op seal must not invalidate");
+
+        // Duplicate ids are rejected against the sealed corpus.
+        assert!(service.add_document("d-funi-2", "again").is_err());
+        assert_eq!(service.metrics_snapshot().docs_ingested, 1);
+    }
+
+    #[test]
+    fn force_merge_compacts_without_changing_results() {
+        let (graph, index, cable) = world();
+        let service = QueryService::new(&graph, &index, SqeConfig::default(), ServeConfig::default());
+        // Two seals on top of segment 0 → 3 segments (default merge
+        // factor 4 leaves them unmerged).
+        for (id, text) in [
+            ("d-extra-0", "another cable car story"),
+            ("d-extra-1", "the funicular opens at dawn"),
+        ] {
+            service.add_document(id, text).expect("fresh external id");
+            service.seal().expect("seals");
+        }
+        assert_eq!(service.num_segments(), 3);
+        let before = service.rank_sqe("cable car funicular", &[cable], true, false);
+        let epoch_before = service.epoch();
+
+        assert!(service.force_merge());
+        assert_eq!(service.num_segments(), 1);
+        assert_eq!(service.epoch(), epoch_before + 1);
+        let after = service.rank_sqe("cable car funicular", &[cable], true, false);
+        assert_eq!(before, after, "merge must not change scores or order");
+        let snap = service.metrics_snapshot();
+        assert_eq!(snap.merges, 1);
+        assert_eq!(snap.ingest[2].count, 1, "one merge recorded");
+        assert!(!service.force_merge(), "single segment: no-op");
+        assert_eq!(snap.epoch, service.epoch(), "no-op merge keeps the epoch");
+    }
+
+    #[test]
+    fn batch_pins_view_across_concurrent_seal() {
+        // run_batch clones the view once: results match the pre-seal
+        // corpus even if a seal lands between construction and the batch.
+        let (graph, index, cable) = world();
+        let service = QueryService::new(&graph, &index, SqeConfig::default(), ServeConfig::default());
+        let qs = queries(cable);
+        let want = service.run_batch(&qs, true, false);
+        service.add_document("d-late-0", "late funicular arrival").expect("fresh");
+        // The searcher grabbed before the seal keeps serving the old corpus.
+        let pinned = service.searcher();
+        service.seal().expect("seals");
+        assert_eq!(pinned.num_docs(), 4, "pinned view is immutable");
+        assert_eq!(service.searcher().num_docs(), 5);
+        let again = service.run_batch(&qs, true, false);
+        // Ranked lists may grow by the new doc but the old docs' relative
+        // order is stable; spot-check the first query's top hit.
+        let top_before = want[0].first().map(|h| h.doc);
+        let top_after = again[0].first().map(|h| h.doc);
+        assert_eq!(top_before, top_after, "top hit survives the seal");
     }
 }

@@ -4,10 +4,15 @@
 //!
 //! `score(D) = Σ_f w_f · idf(f) · tf·(k1+1) / (tf + k1·(1−b+b·|D|/avgdl))`
 //! with `idf(f) = ln(1 + (N − df + 0.5)/(df + 0.5))`.
+//!
+//! Like [`crate::ql`], scoring runs against a [`Searcher`]; `N`, `df`,
+//! `avgdl` and every tf are exact merged statistics, so BM25 rankings are
+//! partition-independent too.
 
 use rustc_hash::FxHashMap;
 
-use crate::index::{DocId, Index, TermId};
+use crate::index::{DocId, PositionalScratch, TermId};
+use crate::searcher::Searcher;
 use crate::structured::{Feature, Query};
 use crate::topk::TopK;
 
@@ -39,21 +44,22 @@ fn idf(num_docs: usize, df: usize) -> f64 {
     (1.0 + (n - d + 0.5) / (d + 0.5)).ln()
 }
 
-fn resolve(index: &Index, query: &Query) -> Vec<Bm25Feature> {
-    let n = index.num_docs();
+fn resolve(searcher: &Searcher, query: &Query) -> Vec<Bm25Feature> {
+    let n = searcher.num_docs();
+    let mut pos = PositionalScratch::new();
     let mut out = Vec::with_capacity(query.len());
     for wf in query.features() {
         let postings: Option<Vec<(DocId, u32)>> = match &wf.feature {
-            Feature::Term(tok) => index
-                .term_id(tok)
-                .map(|t| index.postings(t).iter().collect()),
+            Feature::Term(tok) => searcher.term_id(tok).map(|t| searcher.term_postings(t)),
             Feature::Phrase(tokens) => {
-                let ids: Option<Vec<TermId>> = tokens.iter().map(|t| index.term_id(t)).collect();
-                ids.map(|ids| index.phrase_postings(&ids))
+                let ids: Option<Vec<TermId>> =
+                    tokens.iter().map(|t| searcher.term_id(t)).collect();
+                ids.map(|ids| searcher.phrase_postings_with(&ids, &mut pos))
             }
             Feature::Unordered { tokens, window } => {
-                let ids: Option<Vec<TermId>> = tokens.iter().map(|t| index.term_id(t)).collect();
-                ids.map(|ids| index.unordered_window_postings(&ids, *window))
+                let ids: Option<Vec<TermId>> =
+                    tokens.iter().map(|t| searcher.term_id(t)).collect();
+                ids.map(|ids| searcher.unordered_window_postings_with(&ids, *window, &mut pos))
             }
         };
         if let Some(postings) = postings {
@@ -72,10 +78,10 @@ fn resolve(index: &Index, query: &Query) -> Vec<Bm25Feature> {
 }
 
 /// Scores one document.
-fn score_doc(index: &Index, features: &[Bm25Feature], doc: u32, params: Bm25Params) -> f64 {
+fn score_doc(searcher: &Searcher, features: &[Bm25Feature], doc: u32, params: Bm25Params) -> f64 {
     let avgdl =
-        (index.collection_len() as f64 / index.num_docs().max(1) as f64).max(f64::EPSILON);
-    let dl = index.doc_len(DocId(doc)) as f64;
+        (searcher.collection_len() as f64 / searcher.num_docs().max(1) as f64).max(f64::EPSILON);
+    let dl = searcher.doc_len(DocId(doc)) as f64;
     let norm = params.k1 * (1.0 - params.b + params.b * dl / avgdl);
     let mut score = 0.0;
     for f in features {
@@ -91,12 +97,12 @@ fn score_doc(index: &Index, features: &[Bm25Feature], doc: u32, params: Bm25Para
 /// BM25 score (higher is better); candidates are documents matching at
 /// least one feature, as in [`crate::ql::rank`].
 pub fn rank(
-    index: &Index,
+    searcher: &Searcher,
     query: &Query,
     params: Bm25Params,
     k: usize,
 ) -> Vec<crate::ql::SearchHit> {
-    let features = resolve(index, query);
+    let features = resolve(searcher, query);
     if features.is_empty() {
         return Vec::new();
     }
@@ -105,7 +111,7 @@ pub fn rank(
     candidates.dedup();
     let mut top = TopK::new(k);
     for &doc in &candidates {
-        top.push(doc, score_doc(index, &features, doc, params));
+        top.push(doc, score_doc(searcher, &features, doc, params));
     }
     top.into_sorted()
         .into_iter()
@@ -121,13 +127,24 @@ mod tests {
     use super::*;
     use crate::analysis::Analyzer;
     use crate::index::IndexBuilder;
+    use crate::ingest::SegmentedIndex;
 
-    fn tiny() -> Index {
+    fn build(docs: &[(&str, &str)]) -> Searcher {
         let mut b = IndexBuilder::new(Analyzer::plain());
-        b.add_document("d0", "cable car climbs the hill");
-        b.add_document("d1", "cable car cable car");
-        b.add_document("d2", "graffiti on the wall");
-        b.build()
+        for (id, text) in docs {
+            b.add_document(id, text).expect("unique test ids");
+        }
+        Searcher::from_index(b.build())
+    }
+
+    const TINY: [(&str, &str); 3] = [
+        ("d0", "cable car climbs the hill"),
+        ("d1", "cable car cable car"),
+        ("d2", "graffiti on the wall"),
+    ];
+
+    fn tiny() -> Searcher {
+        build(&TINY)
     }
 
     #[test]
@@ -194,12 +211,32 @@ mod tests {
     #[test]
     fn b_zero_disables_length_normalization() {
         // With b=0, two docs with equal tf score equally despite lengths.
-        let mut b = IndexBuilder::new(Analyzer::plain());
-        b.add_document("short", "cable x");
-        b.add_document("long", "cable one two three four five six");
-        let idx = b.build();
+        let idx = build(&[
+            ("short", "cable x"),
+            ("long", "cable one two three four five six"),
+        ]);
         let q = Query::parse_text("cable", &Analyzer::plain());
         let hits = rank(&idx, &q, Bm25Params { k1: 1.2, b: 0.0 }, 10);
         assert!((hits[0].score - hits[1].score).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segmented_bm25_is_bit_identical_to_monolithic() {
+        let mono = tiny();
+        let mut seg = SegmentedIndex::new(Analyzer::plain());
+        for (id, text) in TINY {
+            seg.add_document(id, text).expect("unique test ids");
+            seg.seal().expect("non-empty buffer seals");
+        }
+        let segd = seg.searcher();
+        assert!(segd.num_segments() > 1, "test must exercise >1 segment");
+        for text in ["cable car", "the wall", "cable"] {
+            let q = Query::parse_text(text, &Analyzer::plain());
+            assert_eq!(
+                rank(&mono, &q, Bm25Params::default(), 10),
+                rank(&segd, &q, Bm25Params::default(), 10),
+                "query {text:?}"
+            );
+        }
     }
 }

@@ -126,6 +126,80 @@ impl TermPostings {
     }
 }
 
+/// Reusable buffers for the positional match kernels ([`Index::phrase_tf_with`],
+/// [`Index::unordered_window_tf_with`] and the postings drivers built on
+/// them). The kernels previously allocated a fresh list-of-slices per
+/// candidate document; staging the (short) position lists here instead
+/// makes a scan over thousands of candidates allocation-free after
+/// warm-up. One scratch serves any number of sequential calls; it is
+/// plumbed through `QlScratch`/`SqeScratch` by the serving layer.
+#[derive(Debug, Default)]
+// lint:allow(persist-types-derive-serde) — transient scratch, never persisted
+pub struct PositionalScratch {
+    /// Staged position lists, concatenated.
+    pub(crate) pos: Vec<u32>,
+    /// `(lo, hi)` spans slicing `pos` per staged term.
+    pub(crate) bounds: Vec<(u32, u32)>,
+    /// Per-list cursors for the unordered-window scan.
+    pub(crate) heads: Vec<usize>,
+    /// Term-id translation buffer for the segmented `Searcher`.
+    pub(crate) terms: Vec<TermId>,
+}
+
+impl PositionalScratch {
+    /// A fresh scratch (equivalent to `Default`).
+    pub fn new() -> Self {
+        PositionalScratch::default()
+    }
+
+    /// Stages the position lists of `terms` in `doc`; returns `false`
+    /// (with unspecified scratch contents) when any term is absent.
+    fn stage(&mut self, index: &Index, terms: &[TermId], doc: DocId) -> bool {
+        self.pos.clear();
+        self.bounds.clear();
+        for &t in terms {
+            let ps = index.postings(t).positions(doc);
+            if ps.is_empty() {
+                return false;
+            }
+            let lo = u32::try_from(self.pos.len())
+                .expect("invariant: staged positions fit in u32 (bounded by one document)");
+            self.pos.extend_from_slice(ps);
+            let hi = u32::try_from(self.pos.len())
+                .expect("invariant: staged positions fit in u32 (bounded by one document)");
+            self.bounds.push((lo, hi));
+        }
+        true
+    }
+}
+
+/// Rejected document insertion: the builder enforces the invariants that
+/// the rest of the system (external-id lookups, qrels joins, the
+/// `IndexAudit`) silently assumes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+// lint:allow(persist-types-derive-serde) — build error, never persisted
+pub enum IndexBuildError {
+    /// The external id was already used by an earlier document. Accepting
+    /// it would produce two dense doc ids for one article title, which
+    /// breaks run-file joins and the audit's uniqueness invariant.
+    DuplicateExternalId {
+        /// The offending external id.
+        external_id: String,
+    },
+}
+
+impl std::fmt::Display for IndexBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexBuildError::DuplicateExternalId { external_id } => {
+                write!(f, "external id `{external_id}` was already indexed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IndexBuildError {}
+
 /// Builds an [`Index`] incrementally, one document at a time.
 #[derive(Debug)]
 // lint:allow(persist-types-derive-serde) — builder state is never persisted
@@ -135,6 +209,7 @@ pub struct IndexBuilder {
     terms: Vec<String>,
     postings: Vec<TermPostings>,
     external_ids: Vec<String>,
+    seen_ids: rustc_hash::FxHashSet<String>,
     doc_lens: Vec<u32>,
     collection_len: u64,
     token_buf: Vec<String>,
@@ -153,6 +228,7 @@ impl IndexBuilder {
             terms: Vec::new(),
             postings: Vec::new(),
             external_ids: Vec::new(),
+            seen_ids: rustc_hash::FxHashSet::default(),
             doc_lens: Vec::new(),
             collection_len: 0,
             token_buf: Vec::new(),
@@ -178,8 +254,19 @@ impl IndexBuilder {
     }
 
     /// Adds a document with an external (string) identifier; returns its
-    /// dense [`DocId`]. Documents must be added in final order.
-    pub fn add_document(&mut self, external_id: &str, text: &str) -> DocId {
+    /// dense [`DocId`]. Documents must be added in final order. A repeated
+    /// external id is rejected with a typed error and leaves the builder
+    /// unchanged.
+    pub fn add_document(
+        &mut self,
+        external_id: &str,
+        text: &str,
+    ) -> Result<DocId, IndexBuildError> {
+        if !self.seen_ids.insert(external_id.to_owned()) {
+            return Err(IndexBuildError::DuplicateExternalId {
+                external_id: external_id.to_owned(),
+            });
+        }
         let doc =
             u32::try_from(self.external_ids.len()).expect("invariant: doc count fits in u32 ids");
         self.external_ids.push(external_id.to_owned());
@@ -220,7 +307,7 @@ impl IndexBuilder {
         );
         self.doc_terms = doc_terms;
         self.token_buf = tokens;
-        DocId(doc)
+        Ok(DocId(doc))
     }
 
     /// Number of documents added so far.
@@ -397,7 +484,9 @@ impl From<IndexShapeError> for IndexDecodeError {
 
 /// An immutable positional inverted index over a document collection.
 /// Serializable for persistence; see [`Index::to_json`] / [`Index::from_json`].
-#[derive(Debug, Serialize, Deserialize)]
+/// `Clone` is cheap relative to a rebuild and lets callers wrap an existing
+/// monolithic index as the first segment of a [`crate::SegmentedIndex`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Index {
     analyzer: Analyzer,
     dict: FxHashMap<String, u32>,
@@ -486,8 +575,22 @@ impl Index {
     }
 
     /// Counts exact consecutive occurrences of the term sequence in `doc`
-    /// (ordered window 1 — Indri's `#1(...)`).
+    /// (ordered window 1 — Indri's `#1(...)`). Convenience wrapper over
+    /// [`Index::phrase_tf_with`] for callers without a scratch.
     pub fn phrase_tf(&self, terms: &[TermId], doc: DocId) -> u32 {
+        self.phrase_tf_with(terms, doc, &mut PositionalScratch::default())
+    }
+
+    /// [`Index::phrase_tf`] with caller-provided scratch buffers: the
+    /// position lists of the non-leading terms are staged in `scratch`
+    /// instead of a per-call allocation, so a postings driver scanning
+    /// thousands of candidate documents allocates nothing after warm-up.
+    pub fn phrase_tf_with(
+        &self,
+        terms: &[TermId],
+        doc: DocId,
+        scratch: &mut PositionalScratch,
+    ) -> u32 {
         match terms.len() {
             0 => 0,
             1 => self.tf(terms[0], doc),
@@ -496,20 +599,18 @@ impl Index {
                 if first.is_empty() {
                     return 0;
                 }
-                let rest: Vec<&[u32]> = terms[1..]
-                    .iter()
-                    .map(|&t| self.postings(t).positions(doc))
-                    .collect();
-                if rest.iter().any(|p| p.is_empty()) {
+                if !scratch.stage(self, &terms[1..], doc) {
                     return 0;
                 }
                 let mut count = 0;
                 for &p in first {
-                    if rest
-                        .iter()
-                        .enumerate()
-                        .all(|(i, ps)| ps.binary_search(&(p + 1 + i as u32)).is_ok())
-                    {
+                    if scratch.bounds.iter().enumerate().all(|(i, &(lo, hi))| {
+                        let offset =
+                            u32::try_from(i + 1).expect("invariant: phrase length fits in u32");
+                        scratch.pos[lo as usize..hi as usize]
+                            .binary_search(&(p + offset))
+                            .is_ok()
+                    }) {
                         count += 1;
                     }
                 }
@@ -523,26 +624,46 @@ impl Index {
     /// counted as non-overlapping minimal intervals: the scan repeatedly
     /// finds the smallest span covering one occurrence of every term,
     /// counts it if it fits the window, and advances past its start.
+    /// Convenience wrapper over [`Index::unordered_window_tf_with`].
     pub fn unordered_window_tf(&self, terms: &[TermId], doc: DocId, window: u32) -> u32 {
+        self.unordered_window_tf_with(terms, doc, window, &mut PositionalScratch::default())
+    }
+
+    /// [`Index::unordered_window_tf`] with caller-provided scratch
+    /// buffers (same contract as [`Index::phrase_tf_with`]).
+    pub fn unordered_window_tf_with(
+        &self,
+        terms: &[TermId],
+        doc: DocId,
+        window: u32,
+        scratch: &mut PositionalScratch,
+    ) -> u32 {
         match terms.len() {
             0 => 0,
             1 => self.tf(terms[0], doc),
             _ => {
-                let lists: Vec<&[u32]> = terms
-                    .iter()
-                    .map(|&t| self.postings(t).positions(doc))
-                    .collect();
-                if lists.iter().any(|l| l.is_empty()) {
+                if !scratch.stage(self, terms, doc) {
                     return 0;
                 }
-                let mut heads = vec![0usize; lists.len()];
+                let n = scratch.bounds.len();
+                scratch.heads.clear();
+                scratch.heads.resize(n, 0);
+                // Direct field access keeps the list reads (`pos`/`bounds`)
+                // and the cursor writes (`heads`) on disjoint borrows.
+                let pos = &scratch.pos;
+                let bounds = &scratch.bounds;
+                let heads = &mut scratch.heads;
+                let list = |i: usize| {
+                    let (lo, hi) = bounds[i];
+                    &pos[lo as usize..hi as usize]
+                };
                 let mut count = 0u32;
                 loop {
                     let mut min_pos = u32::MAX;
                     let mut max_pos = 0u32;
                     let mut min_idx = 0usize;
-                    for (i, l) in lists.iter().enumerate() {
-                        let p = l[heads[i]];
+                    for (i, &h) in heads.iter().enumerate() {
+                        let p = list(i)[h];
                         if p < min_pos {
                             min_pos = p;
                             min_idx = i;
@@ -553,11 +674,12 @@ impl Index {
                         count += 1;
                         // Non-overlapping: consume the whole matched span.
                         let mut exhausted = false;
-                        for (i, l) in lists.iter().enumerate() {
-                            while heads[i] < l.len() && l[heads[i]] <= max_pos {
-                                heads[i] += 1;
+                        for (i, h) in heads.iter_mut().enumerate() {
+                            let l = list(i);
+                            while *h < l.len() && l[*h] <= max_pos {
+                                *h += 1;
                             }
-                            if heads[i] == l.len() {
+                            if *h == l.len() {
                                 exhausted = true;
                             }
                         }
@@ -566,7 +688,7 @@ impl Index {
                         }
                     } else {
                         heads[min_idx] += 1;
-                        if heads[min_idx] == lists[min_idx].len() {
+                        if heads[min_idx] == list(min_idx).len() {
                             return count;
                         }
                     }
@@ -578,6 +700,18 @@ impl Index {
     /// All documents where the terms co-occur within the window, with
     /// their unordered-window frequencies, in document order.
     pub fn unordered_window_postings(&self, terms: &[TermId], window: u32) -> Vec<(DocId, u32)> {
+        self.unordered_window_postings_with(terms, window, &mut PositionalScratch::default())
+    }
+
+    /// [`Index::unordered_window_postings`] with reusable scratch: the
+    /// per-candidate-document window scans stage their position lists in
+    /// `scratch` instead of allocating.
+    pub fn unordered_window_postings_with(
+        &self,
+        terms: &[TermId],
+        window: u32,
+        scratch: &mut PositionalScratch,
+    ) -> Vec<(DocId, u32)> {
         if terms.is_empty() {
             return Vec::new();
         }
@@ -591,7 +725,7 @@ impl Index {
             .expect("invariant: terms checked non-empty above, so a rarest term exists");
         let mut out = Vec::new();
         for (doc, _) in self.postings(rarest).iter() {
-            let tf = self.unordered_window_tf(terms, doc, window);
+            let tf = self.unordered_window_tf_with(terms, doc, window, scratch);
             if tf > 0 {
                 out.push((doc, tf));
             }
@@ -602,6 +736,16 @@ impl Index {
     /// All documents containing the exact phrase, with phrase frequencies.
     /// Documents come out in id order.
     pub fn phrase_postings(&self, terms: &[TermId]) -> Vec<(DocId, u32)> {
+        self.phrase_postings_with(terms, &mut PositionalScratch::default())
+    }
+
+    /// [`Index::phrase_postings`] with reusable scratch (same contract as
+    /// [`Index::unordered_window_postings_with`]).
+    pub fn phrase_postings_with(
+        &self,
+        terms: &[TermId],
+        scratch: &mut PositionalScratch,
+    ) -> Vec<(DocId, u32)> {
         if terms.is_empty() {
             return Vec::new();
         }
@@ -616,7 +760,7 @@ impl Index {
             .expect("invariant: terms checked non-empty above, so a rarest term exists");
         let mut out = Vec::new();
         for (doc, _) in self.postings(rarest).iter() {
-            let tf = self.phrase_tf(terms, doc);
+            let tf = self.phrase_tf_with(terms, doc, scratch);
             if tf > 0 {
                 out.push((doc, tf));
             }
@@ -1181,10 +1325,33 @@ mod tests {
 
     fn tiny() -> Index {
         let mut b = IndexBuilder::new(Analyzer::plain());
-        b.add_document("d0", "cable car climbs the hill");
-        b.add_document("d1", "cable car cable car");
-        b.add_document("d2", "the hill of graffiti");
+        b.add_document("d0", "cable car climbs the hill")
+            .expect("unique external ids");
+        b.add_document("d1", "cable car cable car")
+            .expect("unique external ids");
+        b.add_document("d2", "the hill of graffiti")
+            .expect("unique external ids");
         b.build()
+    }
+
+    #[test]
+    fn duplicate_external_id_is_rejected() {
+        let mut b = IndexBuilder::new(Analyzer::plain());
+        let d0 = b.add_document("dup", "first body").expect("fresh id");
+        let err = b.add_document("dup", "second body").unwrap_err();
+        assert_eq!(
+            err,
+            IndexBuildError::DuplicateExternalId {
+                external_id: "dup".to_owned()
+            }
+        );
+        assert!(err.to_string().contains("dup"), "{err}");
+        // The rejected call must leave the builder unchanged.
+        assert_eq!(b.num_docs(), 1);
+        let idx = b.build();
+        assert_eq!(idx.num_docs(), 1);
+        assert_eq!(idx.external_id(d0), "dup");
+        assert_eq!(idx.collection_len(), 2);
     }
 
     #[test]
@@ -1253,7 +1420,9 @@ mod tests {
     #[test]
     fn empty_document_is_allowed() {
         let mut b = IndexBuilder::new(Analyzer::english());
-        let d = b.add_document("empty", "the of and");
+        let d = b
+            .add_document("empty", "the of and")
+            .expect("unique external ids");
         let idx = b.build();
         assert_eq!(idx.doc_len(d), 0);
         assert_eq!(idx.num_docs(), 1);
@@ -1270,7 +1439,8 @@ mod tests {
     #[test]
     fn unordered_window_counts_cooccurrence() {
         let mut b = IndexBuilder::new(Analyzer::plain());
-        b.add_document("d", "car red cable far far far cable blue car");
+        b.add_document("d", "car red cable far far far cable blue car")
+            .expect("unique external ids");
         let idx = b.build();
         let cable = idx.term_id("cable").unwrap();
         let car = idx.term_id("car").unwrap();
@@ -1341,8 +1511,8 @@ mod tests {
         assert_eq!(restored.num_docs(), idx.num_docs());
         assert_eq!(restored.collection_len(), idx.collection_len());
         let q = Query::parse_text("cable car", &Analyzer::plain());
-        let h1 = ql::rank(&idx, &q, QlParams { mu: 10.0 }, 5);
-        let h2 = ql::rank(&restored, &q, QlParams { mu: 10.0 }, 5);
+        let h1 = ql::rank(&crate::Searcher::from_index(idx), &q, QlParams { mu: 10.0 }, 5);
+        let h2 = ql::rank(&crate::Searcher::from_index(restored), &q, QlParams { mu: 10.0 }, 5);
         assert_eq!(h1, h2, "retrieval must be identical after reload");
     }
 
@@ -1416,7 +1586,8 @@ mod tests {
     #[test]
     fn stemming_analyzer_normalizes_documents_and_queries_alike() {
         let mut b = IndexBuilder::new(Analyzer::english());
-        b.add_document("d", "funiculars climbing hills");
+        b.add_document("d", "funiculars climbing hills")
+            .expect("unique external ids");
         let idx = b.build();
         let ids = idx.analyze_to_terms("funicular climbs hill");
         assert!(ids.iter().all(|t| t.is_some()));

@@ -17,20 +17,33 @@
 //!   retrieval-model sensitivity checks,
 //! * [`topk`] — bounded top-k selection with deterministic tie-breaking.
 //!
+//! The corpus itself is **segmented** (LSM-style): immutable [`Segment`]s
+//! behind a stats-merging [`Searcher`] view, with live ingestion through
+//! [`SegmentedIndex`] (`add_document` → `seal` → deterministic tiered
+//! merges). Scoring is byte-identical however the corpus is partitioned;
+//! see [`segment`], [`searcher`] and [`ingest`].
+//!
 //! # Example
 //!
 //! ```
-//! use searchlite::{Analyzer, IndexBuilder, ql::QlParams, structured::Query};
+//! use searchlite::{Analyzer, SegmentedIndex, ql::QlParams, structured::Query};
 //!
 //! let analyzer = Analyzer::english();
-//! let mut builder = IndexBuilder::new(analyzer.clone());
-//! builder.add_document("d1", "a funicular railway climbing the hillside");
-//! builder.add_document("d2", "street art painted on city walls");
-//! let index = builder.build();
+//! let mut corpus = SegmentedIndex::new(analyzer.clone());
+//! corpus
+//!     .add_document("d1", "a funicular railway climbing the hillside")
+//!     .expect("fresh id");
+//! corpus.seal().expect("non-empty buffer");
+//! // Later documents land in new segments; existing ones are immutable.
+//! corpus
+//!     .add_document("d2", "street art painted on city walls")
+//!     .expect("fresh id");
+//! corpus.seal().expect("non-empty buffer");
 //!
+//! let searcher = corpus.searcher();
 //! let query = Query::parse_text("funicular railway", &analyzer);
-//! let hits = searchlite::ql::rank(&index, &query, QlParams::default(), 10);
-//! assert_eq!(index.external_id(hits[0].doc), "d1");
+//! let hits = searchlite::ql::rank(&searcher, &query, QlParams::default(), 10);
+//! assert_eq!(searcher.external_id(hits[0].doc), "d1");
 //! ```
 
 pub mod analysis;
@@ -38,14 +51,23 @@ pub mod analysis;
 pub mod audit;
 pub mod bm25;
 pub mod index;
+pub mod ingest;
 pub mod prf;
 pub mod ql;
+pub mod searcher;
+pub mod segment;
 pub mod stats;
 pub mod structured;
 pub mod topk;
 
 pub use analysis::Analyzer;
-pub use index::{DocId, Index, IndexBuilder, IndexDecodeError, IndexShapeError, TermId, TermPostings};
+pub use index::{
+    DocId, Index, IndexBuildError, IndexBuilder, IndexDecodeError, IndexShapeError,
+    PositionalScratch, TermId, TermPostings,
+};
+pub use ingest::{IngestError, SealReport, SegmentedIndex, TieredMergePolicy};
 pub use ql::{QlParams, SearchHit};
+pub use searcher::Searcher;
+pub use segment::Segment;
 pub use stats::CollectionStats;
 pub use structured::Query;

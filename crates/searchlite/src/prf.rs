@@ -10,8 +10,9 @@
 
 use rustc_hash::FxHashMap;
 
-use crate::index::{DocId, Index, TermId};
+use crate::index::{DocId, TermId};
 use crate::ql::{self, QlParams, SearchHit};
+use crate::searcher::Searcher;
 use crate::structured::Query;
 
 /// Parameters of the relevance-model feedback loop.
@@ -47,7 +48,7 @@ impl Default for PrfParams {
 /// Computes the relevance model over the feedback documents of `query`:
 /// the top `fb_terms` terms with their normalized `P(w|Q)` estimates.
 /// Returns an empty vector when the initial retrieval finds nothing.
-pub fn relevance_model(index: &Index, query: &Query, params: PrfParams) -> Vec<(TermId, f64)> {
+pub fn relevance_model(index: &Searcher, query: &Query, params: PrfParams) -> Vec<(TermId, f64)> {
     let feedback = ql::rank(index, query, params.ql, params.fb_docs);
     let base_terms: rustc_hash::FxHashSet<TermId> = if params.exclude_base_terms {
         query
@@ -68,7 +69,7 @@ pub fn relevance_model(index: &Index, query: &Query, params: PrfParams) -> Vec<(
 
 /// Relevance model from an explicit feedback set (exposed so tests and the
 /// experiment harness can inspect the full distribution).
-pub fn relevance_model_from_hits(index: &Index, feedback: &[SearchHit]) -> Vec<(TermId, f64)> {
+pub fn relevance_model_from_hits(index: &Searcher, feedback: &[SearchHit]) -> Vec<(TermId, f64)> {
     if feedback.is_empty() {
         return Vec::new();
     }
@@ -106,7 +107,7 @@ pub fn relevance_model_from_hits(index: &Index, feedback: &[SearchHit]) -> Vec<(
 
 /// Builds the RM3-reformulated query: original query interpolated at
 /// `orig_weight` with the relevance-model expansion terms.
-pub fn expand_query(index: &Index, query: &Query, params: PrfParams) -> Query {
+pub fn expand_query(index: &Searcher, query: &Query, params: PrfParams) -> Query {
     let model = relevance_model(index, query, params);
     if model.is_empty() {
         return query.clone();
@@ -123,7 +124,7 @@ pub fn expand_query(index: &Index, query: &Query, params: PrfParams) -> Query {
 
 /// Full PRF retrieval: expand with the relevance model, then rank with the
 /// reformulated query.
-pub fn rank_with_prf(index: &Index, query: &Query, params: PrfParams, k: usize) -> Vec<SearchHit> {
+pub fn rank_with_prf(index: &Searcher, query: &Query, params: PrfParams, k: usize) -> Vec<SearchHit> {
     let expanded = expand_query(index, query, params);
     ql::rank(index, &expanded, params.ql, k)
 }
@@ -133,17 +134,24 @@ mod tests {
     use super::*;
     use crate::analysis::Analyzer;
     use crate::index::IndexBuilder;
+    use crate::ingest::SegmentedIndex;
+
+    const CORPUS: [(&str, &str); 5] = [
+        ("d0", "cable car funicular mountain"),
+        ("d1", "cable car funicular village"),
+        ("d2", "cable television news network"),
+        ("d3", "funicular railway alpine"),
+        ("d4", "political news network debate"),
+    ];
 
     /// Corpus where "cable" co-occurs with "funicular" in the top docs, so
     /// feedback should surface "funicular" as an expansion term.
-    fn corpus() -> Index {
+    fn corpus() -> Searcher {
         let mut b = IndexBuilder::new(Analyzer::plain());
-        b.add_document("d0", "cable car funicular mountain");
-        b.add_document("d1", "cable car funicular village");
-        b.add_document("d2", "cable television news network");
-        b.add_document("d3", "funicular railway alpine");
-        b.add_document("d4", "political news network debate");
-        b.build()
+        for (id, text) in CORPUS {
+            b.add_document(id, text).expect("unique test ids");
+        }
+        Searcher::from_index(b.build())
     }
 
     fn params() -> PrfParams {
@@ -254,5 +262,26 @@ mod tests {
             ..params()
         };
         assert!(relevance_model(&idx, &q, p).len() <= 2);
+    }
+
+    #[test]
+    fn segmented_prf_is_bit_identical_to_monolithic() {
+        let mono = corpus();
+        let mut seg = SegmentedIndex::new(Analyzer::plain());
+        for (id, text) in CORPUS {
+            seg.add_document(id, text).expect("unique test ids");
+            seg.seal().expect("non-empty buffer seals");
+        }
+        let segd = seg.searcher();
+        assert!(segd.num_segments() > 1, "test must exercise >1 segment");
+        let q = Query::parse_text("cable car", &Analyzer::plain());
+        assert_eq!(
+            relevance_model(&mono, &q, params()),
+            relevance_model(&segd, &q, params())
+        );
+        assert_eq!(
+            rank_with_prf(&mono, &q, params(), 10),
+            rank_with_prf(&segd, &q, params(), 10)
+        );
     }
 }

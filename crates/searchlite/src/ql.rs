@@ -8,11 +8,15 @@
 //! `score(D) = Σ_f (λ_f / Σλ) · log P(f|D)`.
 //!
 //! Documents are ranked among the candidates that match at least one query
-//! feature (standard OR-mode evaluation).
+//! feature (standard OR-mode evaluation). Scoring runs against a
+//! [`Searcher`], whose merged statistics are exact integer sums over its
+//! segments — so the scores (and therefore the ranking) are identical for
+//! any partition of the same corpus.
 
 use rustc_hash::FxHashMap;
 
-use crate::index::{DocId, Index, TermId};
+use crate::index::{DocId, PositionalScratch, TermId};
+use crate::searcher::Searcher;
 use crate::structured::{Feature, Query};
 use crate::topk::TopK;
 
@@ -40,7 +44,7 @@ pub struct SearchHit {
     pub score: f64,
 }
 
-/// A query feature resolved against a concrete index.
+/// A query feature resolved against a concrete searcher.
 enum ResolvedFeature {
     /// In-vocabulary single term.
     Term { term: TermId, weight: f64, pc: f64 },
@@ -64,48 +68,54 @@ impl ResolvedFeature {
     }
 }
 
-/// Resolves the query against the index: maps tokens to term ids, runs
+/// Resolves the query against the searcher: maps tokens to term ids, runs
 /// phrase intersections once, and computes collection probabilities.
-fn resolve(index: &Index, query: &Query) -> Vec<ResolvedFeature> {
+/// `pos` is the reusable staging buffer for the positional kernels.
+fn resolve(
+    searcher: &Searcher,
+    query: &Query,
+    pos: &mut PositionalScratch,
+) -> Vec<ResolvedFeature> {
     let mut resolved = Vec::with_capacity(query.len());
     for wf in query.features() {
         match &wf.feature {
-            Feature::Term(tok) => match index.term_id(tok) {
+            Feature::Term(tok) => match searcher.term_id(tok) {
                 Some(t) => resolved.push(ResolvedFeature::Term {
                     term: t,
                     weight: wf.weight,
-                    pc: index.collection_prob(Some(t)),
+                    pc: searcher.collection_prob(Some(t)),
                 }),
                 None => resolved.push(ResolvedFeature::OovTerm {
                     weight: wf.weight,
-                    pc: index.collection_prob(None),
+                    pc: searcher.collection_prob(None),
                 }),
             },
             Feature::Phrase(tokens) => {
                 let ids: Option<Vec<TermId>> =
-                    tokens.iter().map(|t| index.term_id(t)).collect();
+                    tokens.iter().map(|t| searcher.term_id(t)).collect();
                 match ids {
                     Some(ids) => {
-                        let postings = index.phrase_postings(&ids);
-                        resolved.push(positional_feature(index, postings, wf.weight));
+                        let postings = searcher.phrase_postings_with(&ids, pos);
+                        resolved.push(positional_feature(searcher, postings, wf.weight));
                     }
                     None => resolved.push(ResolvedFeature::OovTerm {
                         weight: wf.weight,
-                        pc: index.collection_prob(None),
+                        pc: searcher.collection_prob(None),
                     }),
                 }
             }
             Feature::Unordered { tokens, window } => {
                 let ids: Option<Vec<TermId>> =
-                    tokens.iter().map(|t| index.term_id(t)).collect();
+                    tokens.iter().map(|t| searcher.term_id(t)).collect();
                 match ids {
                     Some(ids) => {
-                        let postings = index.unordered_window_postings(&ids, *window);
-                        resolved.push(positional_feature(index, postings, wf.weight));
+                        let postings =
+                            searcher.unordered_window_postings_with(&ids, *window, pos);
+                        resolved.push(positional_feature(searcher, postings, wf.weight));
                     }
                     None => resolved.push(ResolvedFeature::OovTerm {
                         weight: wf.weight,
-                        pc: index.collection_prob(None),
+                        pc: searcher.collection_prob(None),
                     }),
                 }
             }
@@ -117,7 +127,7 @@ fn resolve(index: &Index, query: &Query) -> Vec<ResolvedFeature> {
 /// Wraps positional postings (phrase or unordered window) as a resolved
 /// feature with an on-the-fly collection probability.
 fn positional_feature(
-    index: &Index,
+    searcher: &Searcher,
     postings: Vec<(DocId, u32)>,
     weight: f64,
 ) -> ResolvedFeature {
@@ -126,23 +136,28 @@ fn positional_feature(
     ResolvedFeature::Phrase {
         tfs,
         weight,
-        pc: index.collection_prob_for_count(coll),
+        pc: searcher.collection_prob_for_count(coll),
     }
 }
 
 /// Scores one document under the resolved features.
-fn score_resolved(index: &Index, features: &[ResolvedFeature], doc: DocId, mu: f64) -> f64 {
+fn score_resolved(
+    searcher: &Searcher,
+    features: &[ResolvedFeature],
+    doc: DocId,
+    mu: f64,
+) -> f64 {
     let total: f64 = features.iter().map(|f| f.weight()).sum();
     if total <= 0.0 {
         return f64::NEG_INFINITY;
     }
-    let dl = index.doc_len(doc) as f64;
+    let dl = searcher.doc_len(doc) as f64;
     let denom = (dl + mu).ln();
     let mut score = 0.0;
     for f in features {
         let (tf, w, pc) = match f {
             ResolvedFeature::Term { term, weight, pc } => {
-                (index.tf(*term, doc) as f64, *weight, *pc)
+                (searcher.tf(*term, doc) as f64, *weight, *pc)
             }
             ResolvedFeature::OovTerm { weight, pc } => (0.0, *weight, *pc),
             ResolvedFeature::Phrase { tfs, weight, pc } => {
@@ -156,18 +171,19 @@ fn score_resolved(index: &Index, features: &[ResolvedFeature], doc: DocId, mu: f
 
 /// Scores a single document (used by feedback and by tests that check the
 /// formula against hand calculations).
-pub fn score_document(index: &Index, query: &Query, doc: DocId, params: QlParams) -> f64 {
-    let resolved = resolve(index, query);
-    score_resolved(index, &resolved, doc, params.mu)
+pub fn score_document(searcher: &Searcher, query: &Query, doc: DocId, params: QlParams) -> f64 {
+    let resolved = resolve(searcher, query, &mut PositionalScratch::default());
+    score_resolved(searcher, &resolved, doc, params.mu)
 }
 
-/// Reusable buffers for [`rank_with_scratch`]: the candidate union and the
-/// bounded top-k collector survive across queries so batch serving does
-/// not reallocate per query.
+/// Reusable buffers for [`rank_with_scratch`]: the candidate union, the
+/// bounded top-k collector, and the positional staging buffers survive
+/// across queries so batch serving does not reallocate per query.
 #[derive(Debug)]
 pub struct QlScratch {
     candidates: Vec<u32>,
     top: TopK,
+    pos: PositionalScratch,
 }
 
 impl QlScratch {
@@ -176,7 +192,15 @@ impl QlScratch {
         QlScratch {
             candidates: Vec::new(),
             top: TopK::new(0),
+            pos: PositionalScratch::new(),
         }
+    }
+
+    /// The positional staging buffers, for callers that run phrase or
+    /// window intersections outside [`rank_with_scratch`] (the expansion
+    /// layer's entity-phrase statistics do).
+    pub fn positional(&mut self) -> &mut PositionalScratch {
+        &mut self.pos
     }
 }
 
@@ -190,19 +214,19 @@ impl Default for QlScratch {
 /// matching at least one in-vocabulary feature; they are scored with the
 /// full weighted log-likelihood (absent features contribute their
 /// background-smoothing mass).
-pub fn rank(index: &Index, query: &Query, params: QlParams, k: usize) -> Vec<SearchHit> {
-    rank_with_scratch(index, query, params, k, &mut QlScratch::new())
+pub fn rank(searcher: &Searcher, query: &Query, params: QlParams, k: usize) -> Vec<SearchHit> {
+    rank_with_scratch(searcher, query, params, k, &mut QlScratch::new())
 }
 
 /// [`rank`] with caller-owned scratch buffers; identical output.
 pub fn rank_with_scratch(
-    index: &Index,
+    searcher: &Searcher,
     query: &Query,
     params: QlParams,
     k: usize,
     scratch: &mut QlScratch,
 ) -> Vec<SearchHit> {
-    let resolved = resolve(index, query);
+    let resolved = resolve(searcher, query, &mut scratch.pos);
     if resolved.is_empty() {
         return Vec::new();
     }
@@ -212,7 +236,7 @@ pub fn rank_with_scratch(
     for f in &resolved {
         match f {
             ResolvedFeature::Term { term, .. } => {
-                candidates.extend_from_slice(index.postings(*term).docs());
+                searcher.push_docs(*term, candidates);
             }
             ResolvedFeature::Phrase { tfs, .. } => {
                 candidates.extend(tfs.keys().copied());
@@ -224,7 +248,7 @@ pub fn rank_with_scratch(
     candidates.dedup();
     scratch.top.reset(k);
     for &doc in candidates.iter() {
-        let s = score_resolved(index, &resolved, DocId(doc), params.mu);
+        let s = score_resolved(searcher, &resolved, DocId(doc), params.mu);
         scratch.top.push(doc, s);
     }
     scratch
@@ -243,13 +267,24 @@ mod tests {
     use super::*;
     use crate::analysis::Analyzer;
     use crate::index::IndexBuilder;
+    use crate::ingest::SegmentedIndex;
 
-    fn tiny() -> Index {
+    fn build(docs: &[(&str, &str)]) -> Searcher {
         let mut b = IndexBuilder::new(Analyzer::plain());
-        b.add_document("d0", "cable car climbs the hill"); // len 5
-        b.add_document("d1", "cable car cable car"); // len 4
-        b.add_document("d2", "graffiti on the wall"); // len 4
-        b.build()
+        for (id, text) in docs {
+            b.add_document(id, text).expect("unique test ids");
+        }
+        Searcher::from_index(b.build())
+    }
+
+    const TINY: [(&str, &str); 3] = [
+        ("d0", "cable car climbs the hill"), // len 5
+        ("d1", "cable car cable car"),       // len 4
+        ("d2", "graffiti on the wall"),      // len 4
+    ];
+
+    fn tiny() -> Searcher {
+        build(&TINY)
     }
 
     #[test]
@@ -275,10 +310,10 @@ mod tests {
 
     #[test]
     fn phrase_feature_rewards_adjacency() {
-        let mut b = IndexBuilder::new(Analyzer::plain());
-        b.add_document("adj", "cable car network");
-        b.add_document("sep", "cable network of the car");
-        let idx = b.build();
+        let idx = build(&[
+            ("adj", "cable car network"),
+            ("sep", "cable network of the car"),
+        ]);
         let mut q = Query::new();
         q.push_phrase_tokens(vec!["cable".into(), "car".into()], 1.0);
         let hits = rank(&idx, &q, QlParams { mu: 10.0 }, 10);
@@ -290,10 +325,10 @@ mod tests {
 
     #[test]
     fn unordered_window_feature_matches_separated_terms() {
-        let mut b = IndexBuilder::new(Analyzer::plain());
-        b.add_document("near", "cable red car");
-        b.add_document("far", "cable one two three four five six seven car");
-        let idx = b.build();
+        let idx = build(&[
+            ("near", "cable red car"),
+            ("far", "cable one two three four five six seven car"),
+        ]);
         let mut q = Query::new();
         q.push_unordered_text("cable car", &Analyzer::plain(), 4, 1.0);
         let hits = rank(&idx, &q, QlParams { mu: 10.0 }, 10);
@@ -317,10 +352,10 @@ mod tests {
 
     #[test]
     fn weights_shift_ranking() {
-        let mut b = IndexBuilder::new(Analyzer::plain());
-        b.add_document("c", "cable cable cable");
-        b.add_document("g", "graffiti graffiti graffiti");
-        let idx = b.build();
+        let idx = build(&[
+            ("c", "cable cable cable"),
+            ("g", "graffiti graffiti graffiti"),
+        ]);
         let mut q = Query::new();
         q.push_term("cable".into(), 0.1);
         q.push_term("graffiti".into(), 0.9);
@@ -371,12 +406,36 @@ mod tests {
     #[test]
     fn shorter_doc_wins_at_equal_tf() {
         // Same tf, shorter document ⇒ higher P(w|D).
-        let mut b = IndexBuilder::new(Analyzer::plain());
-        b.add_document("short", "cable hill");
-        b.add_document("long", "cable hill extra words here padding");
-        let idx = b.build();
+        let idx = build(&[
+            ("short", "cable hill"),
+            ("long", "cable hill extra words here padding"),
+        ]);
         let q = Query::parse_text("cable", &Analyzer::plain());
         let hits = rank(&idx, &q, QlParams { mu: 10.0 }, 10);
         assert_eq!(idx.external_id(hits[0].doc), "short");
+    }
+
+    #[test]
+    fn segmented_scores_are_bit_identical_to_monolithic() {
+        let mono = tiny();
+        let mut seg = SegmentedIndex::new(Analyzer::plain());
+        for (id, text) in TINY {
+            seg.add_document(id, text).expect("unique test ids");
+            seg.seal().expect("non-empty buffer seals");
+        }
+        let segd = seg.searcher();
+        assert!(segd.num_segments() > 1, "test must exercise >1 segment");
+        for text in ["cable car", "the hill", "cable", "graffiti wall"] {
+            let q = Query::parse_text(text, &Analyzer::plain());
+            let a = rank(&mono, &q, QlParams { mu: 10.0 }, 10);
+            let b = rank(&segd, &q, QlParams { mu: 10.0 }, 10);
+            assert_eq!(a, b, "query {text:?}: scores and order must be bit-identical");
+        }
+        let mut q = Query::new();
+        q.push_phrase_tokens(vec!["cable".into(), "car".into()], 1.0);
+        assert_eq!(
+            rank(&mono, &q, QlParams { mu: 10.0 }, 10),
+            rank(&segd, &q, QlParams { mu: 10.0 }, 10)
+        );
     }
 }

@@ -7,7 +7,8 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::index::{DocId, Index, TermId};
+use crate::index::{DocId, TermId};
+use crate::searcher::Searcher;
 
 /// Aggregate statistics of one index.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -31,8 +32,8 @@ pub struct CollectionStats {
 }
 
 impl CollectionStats {
-    /// Computes statistics over an index.
-    pub fn compute(index: &Index) -> CollectionStats {
+    /// Computes statistics over a (possibly segmented) corpus view.
+    pub fn compute(index: &Searcher) -> CollectionStats {
         let num_docs = index.num_docs();
         let vocabulary = index.num_terms();
         let collection_len = index.collection_len();
@@ -49,7 +50,7 @@ impl CollectionStats {
         let mut max_doc_freq = 0usize;
         let mut singleton_terms = 0usize;
         for t in 0..vocabulary as u32 {
-            let df = index.postings(TermId(t)).doc_freq();
+            let df = index.doc_freq(TermId(t));
             max_doc_freq = max_doc_freq.max(df);
             if df == 1 {
                 singleton_terms += 1;
@@ -74,10 +75,10 @@ impl CollectionStats {
 
 /// The document-frequency histogram: `hist[b]` counts terms whose df
 /// falls into bucket `b` of geometric buckets 1, 2, 3–4, 5–8, 9–16, …
-pub fn doc_freq_histogram(index: &Index) -> Vec<usize> {
+pub fn doc_freq_histogram(index: &Searcher) -> Vec<usize> {
     let mut hist: Vec<usize> = Vec::new();
     for t in 0..index.num_terms() as u32 {
-        let df = index.postings(TermId(t)).doc_freq();
+        let df = index.doc_freq(TermId(t));
         if df == 0 {
             continue;
         }
@@ -96,12 +97,12 @@ mod tests {
     use crate::analysis::Analyzer;
     use crate::index::IndexBuilder;
 
-    fn idx() -> Index {
+    fn idx() -> Searcher {
         let mut b = IndexBuilder::new(Analyzer::plain());
-        b.add_document("d0", "a a b c");
-        b.add_document("d1", "a d");
-        b.add_document("d2", "a b e f g");
-        b.build()
+        b.add_document("d0", "a a b c").expect("unique test ids");
+        b.add_document("d1", "a d").expect("unique test ids");
+        b.add_document("d2", "a b e f g").expect("unique test ids");
+        Searcher::from_index(b.build())
     }
 
     #[test]
@@ -121,7 +122,7 @@ mod tests {
     #[test]
     fn empty_index_statistics() {
         let b = IndexBuilder::new(Analyzer::plain());
-        let s = CollectionStats::compute(&b.build());
+        let s = CollectionStats::compute(&Searcher::from_index(b.build()));
         assert_eq!(s.num_docs, 0);
         assert_eq!(s.avg_doc_len, 0.0);
         assert_eq!(s.min_doc_len, 0);

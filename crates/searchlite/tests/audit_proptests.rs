@@ -17,7 +17,8 @@ fn arb_docs() -> impl Strategy<Value = Vec<Vec<String>>> {
 fn build(docs: &[Vec<String>]) -> Index {
     let mut b = IndexBuilder::new(Analyzer::plain());
     for (i, words) in docs.iter().enumerate() {
-        b.add_document(&format!("d{i}"), &words.join(" "));
+        b.add_document(&format!("d{i}"), &words.join(" "))
+            .expect("generated ids are unique");
     }
     b.build()
 }

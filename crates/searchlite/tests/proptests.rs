@@ -4,7 +4,7 @@ use proptest::prelude::*;
 use searchlite::prf::{self, PrfParams};
 use searchlite::ql::{self, QlParams};
 use searchlite::topk::TopK;
-use searchlite::{analysis, Analyzer, DocId, IndexBuilder, Query};
+use searchlite::{analysis, Analyzer, DocId, IndexBuilder, Query, Searcher, SegmentedIndex};
 
 /// A small random corpus: words drawn from a tiny alphabet so term
 /// collisions and phrase repetitions actually happen.
@@ -19,9 +19,25 @@ fn corpus() -> impl Strategy<Value = Vec<Vec<String>>> {
 fn build_index(docs: &[Vec<String>]) -> searchlite::Index {
     let mut b = IndexBuilder::new(Analyzer::plain());
     for (i, d) in docs.iter().enumerate() {
-        b.add_document(&format!("d{i}"), &d.join(" "));
+        b.add_document(&format!("d{i}"), &d.join(" "))
+            .expect("generated ids are unique");
     }
     b.build()
+}
+
+/// The same corpus partitioned into one sealed segment per `true` run
+/// boundary in `cuts` (always at least one segment).
+fn build_segmented(docs: &[Vec<String>], cuts: &[bool]) -> Searcher {
+    let mut s = SegmentedIndex::new(Analyzer::plain());
+    for (i, d) in docs.iter().enumerate() {
+        s.add_document(&format!("d{i}"), &d.join(" "))
+            .expect("generated ids are unique");
+        if cuts.get(i).copied().unwrap_or(false) {
+            s.seal().expect("non-empty buffer seals");
+        }
+    }
+    s.seal();
+    s.searcher()
 }
 
 proptest! {
@@ -70,7 +86,7 @@ proptest! {
     /// never more than k.
     #[test]
     fn ranking_sorted_unique_bounded(docs in corpus(), k in 1usize..20) {
-        let idx = build_index(&docs);
+        let idx = Searcher::from_index(build_index(&docs));
         let q = Query::parse_text("alpha cable wall", &Analyzer::plain());
         let hits = ql::rank(&idx, &q, QlParams { mu: 10.0 }, k);
         prop_assert!(hits.len() <= k);
@@ -87,7 +103,7 @@ proptest! {
     /// unchanged (the scorer normalizes).
     #[test]
     fn score_scale_invariant(docs in corpus(), scale in 0.1f64..50.0) {
-        let idx = build_index(&docs);
+        let idx = Searcher::from_index(build_index(&docs));
         let mut q1 = Query::new();
         q1.push_term("alpha".into(), 1.0);
         q1.push_term("cable".into(), 2.0);
@@ -105,7 +121,7 @@ proptest! {
     /// summing to ≤ 1 + ε (exactly 1 when untruncated).
     #[test]
     fn relevance_model_subdistribution(docs in corpus()) {
-        let idx = build_index(&docs);
+        let idx = Searcher::from_index(build_index(&docs));
         let q = Query::parse_text("alpha beta", &Analyzer::plain());
         let params = PrfParams {
             fb_docs: 5,
@@ -118,6 +134,33 @@ proptest! {
         let total: f64 = model.iter().map(|&(_, p)| p).sum();
         prop_assert!(total <= 1.0 + 1e-9, "total {total}");
         prop_assert!(model.iter().all(|&(_, p)| p > 0.0));
+    }
+
+    /// Any partition of a corpus into sealed segments ranks bit-identically
+    /// to the monolithic index, for term, phrase and window queries alike.
+    #[test]
+    fn segmented_ranking_equals_monolithic(
+        docs in corpus(),
+        cuts in prop::collection::vec(prop::sample::select(vec![true, false]), 0..12),
+    ) {
+        let mono = Searcher::from_index(build_index(&docs));
+        let seg = build_segmented(&docs, &cuts);
+        prop_assert_eq!(seg.num_docs(), mono.num_docs());
+        let params = QlParams { mu: 10.0 };
+        for text in ["alpha", "cable car", "alpha beta gamma", "wall omega"] {
+            let q = Query::parse_text(text, &Analyzer::plain());
+            prop_assert_eq!(
+                ql::rank(&mono, &q, params, 10),
+                ql::rank(&seg, &q, params, 10),
+                "query {:?} with cuts {:?}", text, &cuts
+            );
+        }
+        let mut pq = Query::new();
+        pq.push_phrase_tokens(vec!["cable".into(), "car".into()], 1.0);
+        prop_assert_eq!(ql::rank(&mono, &pq, params, 10), ql::rank(&seg, &pq, params, 10));
+        let mut uq = Query::new();
+        uq.push_unordered_text("alpha wall", &Analyzer::plain(), 6, 1.0);
+        prop_assert_eq!(ql::rank(&mono, &uq, params, 10), ql::rank(&seg, &uq, params, 10));
     }
 
     /// TopK returns exactly the k best entries of a full sort.

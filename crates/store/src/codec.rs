@@ -315,15 +315,16 @@ mod tests {
         use searchlite::ql::{self, QlParams};
         use searchlite::structured::Query;
         let mut b = IndexBuilder::new(Analyzer::english());
-        b.add_document("d0", "a cable car climbing the hillside");
-        b.add_document("d1", "street art on the walls");
+        b.add_document("d0", "a cable car climbing the hillside")
+            .expect("unique test ids");
+        b.add_document("d1", "street art on the walls").expect("unique test ids");
         let idx = b.build();
         let bytes = encode_index(&idx).unwrap();
         let restored = decode_index(&bytes, 0x100, "c0").unwrap();
         let q = Query::parse_text("cable car", &Analyzer::english());
         assert_eq!(
-            ql::rank(&idx, &q, QlParams::default(), 10),
-            ql::rank(&restored, &q, QlParams::default(), 10)
+            ql::rank(&searchlite::Searcher::from_index(idx), &q, QlParams::default(), 10),
+            ql::rank(&searchlite::Searcher::from_index(restored), &q, QlParams::default(), 10)
         );
     }
 

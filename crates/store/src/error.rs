@@ -87,6 +87,14 @@ pub enum StoreError {
         /// The requested collection name.
         name: String,
     },
+    /// `Snapshot::index` was called on a collection persisted as more
+    /// than one segment; use `Snapshot::searcher` for the merged view.
+    MultiSegment {
+        /// The collection name.
+        name: String,
+        /// How many segments the collection holds.
+        segments: usize,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -133,6 +141,11 @@ impl std::fmt::Display for StoreError {
             StoreError::NoSuchCollection { name } => {
                 write!(f, "snapshot holds no collection named `{name}`")
             }
+            StoreError::MultiSegment { name, segments } => write!(
+                f,
+                "collection `{name}` holds {segments} segments; use Snapshot::searcher \
+                 for the merged view"
+            ),
         }
     }
 }

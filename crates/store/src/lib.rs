@@ -13,13 +13,18 @@
 //!
 //! # Format
 //!
-//! A snapshot is a magic/version header, a section table (`id`,
-//! `crc32`, `offset`, `len` per section), a header CRC, and 8-byte
-//! aligned section payloads — see [`format`] for the byte layout and
-//! DESIGN.md §10 for the policy discussion. Every byte of the file is
-//! covered by a checksum or pinned to a constant, so any single-bit
-//! corruption is detected and reported as a typed [`StoreError`]; the
-//! store never panics on untrusted bytes.
+//! Format v2 is footer-led: a magic/version prefix, 8-byte aligned
+//! section payloads (one per index *segment*), then a trailing section
+//! table (`id`, `crc32`, `offset`, `len` per section) with its own CRC
+//! and footer magic — see [`format`] for the byte layout and DESIGN.md
+//! §10–11 for the policy discussion. Because the table lives at the
+//! end, sealing a new segment [`append_segment`]s one payload and
+//! rewrites only the footer; existing payload bytes are never touched.
+//! Format v1 (front header, one section per collection) is still fully
+//! decoded. In both versions every byte of the file is covered by a
+//! checksum or pinned to a constant, so any single-bit corruption is
+//! detected and reported as a typed [`StoreError`]; the store never
+//! panics on untrusted bytes.
 //!
 //! # Loading
 //!
@@ -51,19 +56,22 @@
 //! b.add_membership(a, c);
 //! let graph = b.build();
 //! let mut ib = IndexBuilder::new(Analyzer::english());
-//! ib.add_document("d0", "a cable car");
+//! ib.add_document("d0", "a cable car").unwrap();
 //! let index = ib.build();
 //! let mut dict = Dictionary::new();
 //! dict.add("cable car", a, 1.0);
 //!
+//! let segments = [&index];
+//! let collections = [("docs", &segments[..])];
 //! let bytes = encode_snapshot(&SnapshotContents {
 //!     graph: &graph,
-//!     indexes: &[("docs", &index)],
+//!     collections: &collections,
 //!     dict: &dict,
 //! }).unwrap();
 //! let snap = Snapshot::from_bytes(&bytes).unwrap();
 //! assert_eq!(snap.graph().num_articles(), 1);
 //! assert_eq!(snap.index("docs").unwrap().num_docs(), 1);
+//! assert_eq!(snap.searcher("docs").unwrap().num_docs(), 1);
 //! ```
 
 pub mod buf;
@@ -75,5 +83,6 @@ pub mod snapshot;
 
 pub use error::StoreError;
 pub use snapshot::{
-    encode_snapshot, write_snapshot, Snapshot, SnapshotContents, SnapshotInfo,
+    append_segment, encode_snapshot, encode_snapshot_v1, write_snapshot, write_snapshot_bytes,
+    Snapshot, SnapshotContents, SnapshotInfo,
 };

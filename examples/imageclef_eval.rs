@@ -30,11 +30,13 @@ fn main() {
     eprintln!("indexing {} documents...", collection.docs.len());
     let mut builder = IndexBuilder::new(Analyzer::english());
     for d in &collection.docs {
-        builder.add_document(&d.id, &d.text);
+        builder
+            .add_document(&d.id, &d.text)
+            .expect("generated ids are unique");
     }
     let index = builder.build();
 
-    let pipeline = SqePipeline::new(
+    let pipeline = SqePipeline::from_index(
         &bed.kb.graph,
         &index,
         SqeConfig {

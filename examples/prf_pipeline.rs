@@ -20,11 +20,13 @@ fn main() {
     let collection = bed.collection_of(dataset);
     let mut builder = IndexBuilder::new(Analyzer::english());
     for d in &collection.docs {
-        builder.add_document(&d.id, &d.text);
+        builder
+            .add_document(&d.id, &d.text)
+            .expect("generated ids are unique");
     }
     let index = builder.build();
     let ql = QlParams { mu: 15.0 };
-    let pipeline = SqePipeline::new(
+    let pipeline = SqePipeline::from_index(
         &bed.kb.graph,
         &index,
         SqeConfig {
@@ -62,7 +64,7 @@ fn main() {
         exclude_base_terms: true,
         ql,
     };
-    let hits = prf::rank_with_prf(&index, &user, prf_params, 1000);
+    let hits = prf::rank_with_prf(pipeline.searcher(), &user, prf_params, 1000);
     show("PRF alone", pipeline.external_ids(&hits));
 
     // 3. SQE (both motifs).
@@ -77,6 +79,6 @@ fn main() {
         exclude_base_terms: false,
         ..prf_params
     };
-    let hits = prf::rank_with_prf(&index, &expanded.query, rm3, 1000);
+    let hits = prf::rank_with_prf(pipeline.searcher(), &expanded.query, rm3, 1000);
     show("SQE then PRF", pipeline.external_ids(&hits));
 }

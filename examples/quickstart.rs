@@ -15,7 +15,7 @@ use sqe_repro::demo_world;
 
 fn main() {
     let world = demo_world();
-    let pipeline = SqePipeline::new(&world.graph, &world.index, SqeConfig::default());
+    let pipeline = SqePipeline::from_index(&world.graph, &world.index, SqeConfig::default());
 
     for (query, nodes, label) in [
         ("cable cars", vec![world.cable_car], "Figure 4a (triangular)"),

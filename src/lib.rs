@@ -77,7 +77,7 @@ pub fn demo_world() -> DemoWorld {
         ("img-007", "market stalls with fruit and vegetables"),
         ("img-008", "mountain village under the snow"),
     ] {
-        ib.add_document(id, text);
+        ib.add_document(id, text).expect("demo ids are unique");
     }
     let index = ib.build();
     DemoWorld {

@@ -15,7 +15,7 @@ fn build_world() -> (TestBed, Vec<Index>) {
         .map(|coll| {
             let mut b = IndexBuilder::new(Analyzer::english());
             for d in &coll.docs {
-                b.add_document(&d.id, &d.text);
+                b.add_document(&d.id, &d.text).expect("generated ids are unique");
             }
             b.build()
         })
@@ -48,7 +48,7 @@ fn run_config(
     name: &str,
     f: impl Fn(&SqePipeline<'_>, &synthwiki::QuerySpec, &[kbgraph::ArticleId]) -> Vec<String>,
 ) -> Run {
-    let pipeline = SqePipeline::new(&bed.kb.graph, index, config());
+    let pipeline = SqePipeline::from_index(&bed.kb.graph, index, config());
     let mut run = Run::new(name);
     for q in &dataset.queries {
         let nodes: Vec<_> = q.targets.iter().map(|&e| bed.kb.article_of[e]).collect();
@@ -119,7 +119,7 @@ fn sqe_c_stitches_three_configurations() {
     let (bed, indexes) = build_world();
     let dataset = bed.dataset("imageclef");
     let index = &indexes[dataset.collection];
-    let pipeline = SqePipeline::new(&bed.kb.graph, index, config());
+    let pipeline = SqePipeline::from_index(&bed.kb.graph, index, config());
 
     let q = &dataset.queries[0];
     let nodes: Vec<_> = q.targets.iter().map(|&e| bed.kb.article_of[e]).collect();
@@ -160,8 +160,8 @@ fn pipeline_is_deterministic_across_rebuilds() {
     let (bed2, idx2) = build_world();
     let d1 = bed1.dataset("imageclef");
     let d2 = bed2.dataset("imageclef");
-    let p1 = SqePipeline::new(&bed1.kb.graph, &idx1[0], config());
-    let p2 = SqePipeline::new(&bed2.kb.graph, &idx2[0], config());
+    let p1 = SqePipeline::from_index(&bed1.kb.graph, &idx1[0], config());
+    let p2 = SqePipeline::from_index(&bed2.kb.graph, &idx2[0], config());
     for (q1, q2) in d1.queries.iter().zip(d2.queries.iter()).take(4) {
         assert_eq!(q1.text, q2.text);
         let n1: Vec<_> = q1.targets.iter().map(|&e| bed1.kb.article_of[e]).collect();
@@ -177,7 +177,7 @@ fn expansion_features_come_from_the_query_topic_neighborhood() {
     let (bed, indexes) = build_world();
     let dataset = bed.dataset("imageclef");
     let index = &indexes[dataset.collection];
-    let pipeline = SqePipeline::new(&bed.kb.graph, index, config());
+    let pipeline = SqePipeline::from_index(&bed.kb.graph, index, config());
     let mut in_topic = 0usize;
     let mut total = 0usize;
     for q in &dataset.queries {

@@ -22,7 +22,7 @@ impl World {
             .map(|coll| {
                 let mut b = IndexBuilder::new(Analyzer::english());
                 for d in &coll.docs {
-                    b.add_document(&d.id, &d.text);
+                    b.add_document(&d.id, &d.text).expect("generated ids are unique");
                 }
                 b.build()
             })
@@ -42,7 +42,7 @@ impl World {
     }
 
     fn pipeline<'a>(&'a self, dataset: &Dataset) -> SqePipeline<'a> {
-        SqePipeline::new(
+        SqePipeline::from_index(
             &self.bed.kb.graph,
             &self.indexes[dataset.collection],
             SqeConfig {

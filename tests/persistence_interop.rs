@@ -10,9 +10,15 @@ use synthwiki::{TestBed, TestBedConfig};
 
 /// Encodes a one-collection snapshot (empty dictionary unless given).
 fn snapshot_of(graph: &kbgraph::KbGraph, named: &[(&str, &Index)], dict: &Dictionary) -> Vec<u8> {
+    let segment_slices: Vec<Vec<&Index>> = named.iter().map(|(_, i)| vec![*i]).collect();
+    let collections: Vec<(&str, &[&Index])> = named
+        .iter()
+        .map(|(n, _)| *n)
+        .zip(segment_slices.iter().map(Vec::as_slice))
+        .collect();
     encode_snapshot(&SnapshotContents {
         graph,
-        indexes: named,
+        collections: &collections,
         dict,
     })
     .expect("world encodes to a snapshot")
@@ -46,7 +52,7 @@ fn index_persistence_preserves_full_retrieval() {
     let coll = &bed.collections[0];
     let mut b = IndexBuilder::new(Analyzer::english());
     for d in coll.docs.iter().take(800) {
-        b.add_document(&d.id, &d.text);
+        b.add_document(&d.id, &d.text).expect("generated ids are unique");
     }
     let index = b.build();
     let restored = Index::from_json(&index.to_json().unwrap()).unwrap();
@@ -57,13 +63,16 @@ fn index_persistence_preserves_full_retrieval() {
     let snap = Snapshot::from_bytes(&bytes).unwrap();
     let from_snap = snap.index("interop").unwrap();
 
+    let s1 = searchlite::Searcher::from_index(index.clone());
+    let s2 = searchlite::Searcher::from_index(restored);
+    let s3 = searchlite::Searcher::from_index(from_snap.clone());
     let ds = bed.dataset("imageclef");
     for q in ds.queries.iter().take(5) {
         let query = searchlite::Query::parse_text(&q.text, index.analyzer());
-        let h1 = searchlite::ql::rank(&index, &query, QlParams { mu: 15.0 }, 50);
-        let h2 = searchlite::ql::rank(&restored, &query, QlParams { mu: 15.0 }, 50);
+        let h1 = searchlite::ql::rank(&s1, &query, QlParams { mu: 15.0 }, 50);
+        let h2 = searchlite::ql::rank(&s2, &query, QlParams { mu: 15.0 }, 50);
         assert_eq!(h1, h2, "json round-trip changed query {}", q.id);
-        let h3 = searchlite::ql::rank(from_snap, &query, QlParams { mu: 15.0 }, 50);
+        let h3 = searchlite::ql::rank(&s3, &query, QlParams { mu: 15.0 }, 50);
         assert_eq!(h1, h3, "snapshot round-trip changed query {}", q.id);
     }
 }
@@ -115,7 +124,7 @@ fn snapshot_loaded_pipeline_reproduces_fresh_run_files() {
         .map(|coll| {
             let mut b = IndexBuilder::new(Analyzer::english());
             for d in &coll.docs {
-                b.add_document(&d.id, &d.text);
+                b.add_document(&d.id, &d.text).expect("generated ids are unique");
             }
             b.build()
         })
@@ -146,7 +155,7 @@ fn snapshot_loaded_pipeline_reproduces_fresh_run_files() {
     for ds_name in ["imageclef", "chic2012", "chic2013"] {
         let dataset = bed.dataset(ds_name);
         let coll_name = &bed.collections[dataset.collection].name;
-        let fresh = SqePipeline::new(&bed.kb.graph, &indexes[dataset.collection], cfg());
+        let fresh = SqePipeline::from_index(&bed.kb.graph, &indexes[dataset.collection], cfg());
         let loaded = SqePipeline::from_snapshot(&snap, coll_name, cfg()).unwrap();
         let batch: Vec<(String, Vec<kbgraph::ArticleId>)> = dataset
             .queries

@@ -1,0 +1,178 @@
+//! Property wall for the segmented architecture's core guarantee: *any*
+//! partition of a collection into contiguous segments produces run files
+//! byte-identical to the monolithic index — for every dataset and every
+//! motif configuration (SQE_T, SQE_S, SQE_T&S, SQE_C).
+//!
+//! Byte-identity holds because the [`searchlite::Searcher`] merges
+//! corpus-wide statistics as exact integers before any floating-point
+//! scoring happens; there is no per-segment score that gets combined
+//! after the fact.
+
+use std::sync::OnceLock;
+
+use kbgraph::ArticleId;
+use proptest::prelude::*;
+use searchlite::{Analyzer, Index, IndexBuilder, QlParams, Searcher, Segment};
+use sqe::{SqeConfig, SqePipeline};
+use synthwiki::{TestBed, TestBedConfig};
+
+const DATASETS: [&str; 3] = ["imageclef", "chic2012", "chic2013"];
+const CONFIGS: [(&str, bool, bool); 4] = [
+    ("SQE_T", true, false),
+    ("SQE_S", false, true),
+    ("SQE_TS", true, true),
+    ("SQE_C", false, false), // tri/sq unused: rank_sqe_c fixes its own stages
+];
+
+fn config() -> SqeConfig {
+    SqeConfig {
+        ql: QlParams { mu: 15.0 },
+        ..SqeConfig::default()
+    }
+}
+
+struct World {
+    bed: TestBed,
+    indexes: Vec<Index>,
+    /// `references[ds][cfg]` = the monolithic run file for that pair.
+    references: Vec<Vec<String>>,
+    /// `batches[ds]` = (query text, linked nodes) for every query.
+    batches: Vec<Vec<(String, Vec<ArticleId>)>>,
+}
+
+fn rank_ids(
+    pipeline: &SqePipeline<'_>,
+    batch: &[(String, Vec<ArticleId>)],
+    cfg_idx: usize,
+) -> Vec<Vec<String>> {
+    let (name, tri, sq) = CONFIGS[cfg_idx];
+    batch
+        .iter()
+        .map(|(text, nodes)| {
+            if name == "SQE_C" {
+                pipeline.rank_sqe_c(text, nodes)
+            } else {
+                pipeline.external_ids(&pipeline.rank_sqe(text, nodes, tri, sq).0)
+            }
+        })
+        .collect()
+}
+
+fn run_file(bed: &TestBed, ds_idx: usize, cfg_idx: usize, rankings: &[Vec<String>]) -> String {
+    let dataset = bed.dataset(DATASETS[ds_idx]);
+    let mut run = ireval::Run::new(CONFIGS[cfg_idx].0);
+    for (q, ids) in dataset.queries.iter().zip(rankings) {
+        run.set_ranking(&q.id, ids.clone());
+    }
+    ireval::trec::write_run(&run)
+}
+
+fn world() -> &'static World {
+    static WORLD: OnceLock<World> = OnceLock::new();
+    WORLD.get_or_init(|| {
+        let bed = TestBed::generate(&TestBedConfig::small());
+        let indexes: Vec<Index> = bed
+            .collections
+            .iter()
+            .map(|coll| {
+                let mut b = IndexBuilder::new(Analyzer::english());
+                for d in &coll.docs {
+                    b.add_document(&d.id, &d.text).expect("generated ids are unique");
+                }
+                b.build()
+            })
+            .collect();
+        let batches: Vec<Vec<(String, Vec<ArticleId>)>> = DATASETS
+            .iter()
+            .map(|name| {
+                bed.dataset(name)
+                    .queries
+                    .iter()
+                    .map(|q| {
+                        let nodes =
+                            q.targets.iter().map(|&e| bed.kb.article_of[e]).collect();
+                        (q.text.clone(), nodes)
+                    })
+                    .collect()
+            })
+            .collect();
+        let references: Vec<Vec<String>> = DATASETS
+            .iter()
+            .enumerate()
+            .map(|(ds_idx, name)| {
+                let dataset = bed.dataset(name);
+                let pipeline = SqePipeline::from_index(
+                    &bed.kb.graph,
+                    &indexes[dataset.collection],
+                    config(),
+                );
+                (0..CONFIGS.len())
+                    .map(|cfg_idx| {
+                        let ids = rank_ids(&pipeline, &batches[ds_idx], cfg_idx);
+                        run_file(&bed, ds_idx, cfg_idx, &ids)
+                    })
+                    .collect()
+            })
+            .collect();
+        World {
+            bed,
+            indexes,
+            references,
+            batches,
+        }
+    })
+}
+
+/// Splits a collection at the (deduplicated, sorted) cut positions and
+/// indexes each non-empty contiguous chunk as its own segment.
+fn partitioned_searcher(w: &World, ds_idx: usize, raw_cuts: &[usize]) -> Searcher {
+    let dataset = w.bed.dataset(DATASETS[ds_idx]);
+    let coll = w.bed.collection_of(dataset);
+    let n = coll.docs.len();
+    let mut cuts: Vec<usize> = raw_cuts.iter().map(|c| c % n).collect();
+    cuts.push(0);
+    cuts.push(n);
+    cuts.sort_unstable();
+    cuts.dedup();
+
+    let analyzer = w.indexes[dataset.collection].analyzer().clone();
+    let mut segments = Vec::new();
+    for (seg_id, bounds) in cuts.windows(2).enumerate() {
+        let (start, end) = (bounds[0], bounds[1]);
+        if start == end {
+            continue;
+        }
+        let mut b = IndexBuilder::new(analyzer.clone());
+        for d in &coll.docs[start..end] {
+            b.add_document(&d.id, &d.text).expect("generated ids are unique");
+        }
+        segments.push(std::sync::Arc::new(Segment::new(seg_id as u64, b.build())));
+    }
+    Searcher::new(analyzer, segments, 0)
+}
+
+proptest! {
+    /// Any contiguous partition into up to ~6 segments reproduces the
+    /// monolithic run file byte for byte, on a random (dataset, motif
+    /// config) pair each case.
+    #[test]
+    fn any_partition_reproduces_monolithic_run_files(
+        ds_idx in 0usize..3,
+        cfg_idx in 0usize..4,
+        raw_cuts in prop::collection::vec(0usize..1 << 24, 0..6),
+    ) {
+        let w = world();
+        let searcher = partitioned_searcher(w, ds_idx, &raw_cuts);
+        let pipeline = SqePipeline::new(&w.bed.kb.graph, searcher, config());
+        let ids = rank_ids(&pipeline, &w.batches[ds_idx], cfg_idx);
+        let got = run_file(&w.bed, ds_idx, cfg_idx, &ids);
+        prop_assert_eq!(
+            &got,
+            &w.references[ds_idx][cfg_idx],
+            "{} segments over {} diverged from the monolithic {} run",
+            pipeline.searcher().num_segments(),
+            DATASETS[ds_idx],
+            CONFIGS[cfg_idx].0
+        );
+    }
+}

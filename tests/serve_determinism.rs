@@ -10,9 +10,9 @@
 use ireval::trec;
 use ireval::Run;
 use kbgraph::ArticleId;
-use searchlite::{Analyzer, Index, IndexBuilder, QlParams};
+use searchlite::{Analyzer, Index, IndexBuilder, QlParams, SegmentedIndex};
 use sqe::{QueryService, ServeConfig, SqeConfig, SqePipeline};
-use synthwiki::{Dataset, TestBed, TestBedConfig};
+use synthwiki::{Collection, Dataset, TestBed, TestBedConfig};
 
 const DATASETS: [&str; 3] = ["imageclef", "chic2012", "chic2013"];
 const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
@@ -25,7 +25,7 @@ fn build_world() -> (TestBed, Vec<Index>) {
         .map(|coll| {
             let mut b = IndexBuilder::new(Analyzer::english());
             for d in &coll.docs {
-                b.add_document(&d.id, &d.text);
+                b.add_document(&d.id, &d.text).expect("generated ids are unique");
             }
             b.build()
         })
@@ -69,7 +69,7 @@ fn service_run_files_are_byte_identical_for_every_motif_config() {
         let dataset = bed.dataset(ds_name);
         let index = &indexes[dataset.collection];
         let batch = batch_of(&bed, dataset);
-        let pipeline = SqePipeline::new(&bed.kb.graph, index, config());
+        let pipeline = SqePipeline::from_index(&bed.kb.graph, index, config());
         for (cfg_name, tri, sq) in [
             ("SQE_T", true, false),
             ("SQE_S", false, true),
@@ -115,7 +115,7 @@ fn service_sqe_c_run_files_are_byte_identical() {
         let dataset = bed.dataset(ds_name);
         let index = &indexes[dataset.collection];
         let batch = batch_of(&bed, dataset);
-        let pipeline = SqePipeline::new(&bed.kb.graph, index, config());
+        let pipeline = SqePipeline::from_index(&bed.kb.graph, index, config());
         let reference: Vec<Vec<String>> = batch
             .iter()
             .map(|(text, nodes)| pipeline.rank_sqe_c(text, nodes))
@@ -151,6 +151,142 @@ fn service_sqe_c_run_files_are_byte_identical() {
             "{ds_name}: the warm replay must hit the expansion cache"
         );
     }
+}
+
+/// Ingests a collection through the live path, sealing every
+/// `seal_every` documents so the corpus ends up split over several
+/// immutable segments (plus possibly a sealed tail).
+fn segmented_index_of(coll: &Collection, seal_every: usize) -> SegmentedIndex {
+    let mut seg = SegmentedIndex::new(Analyzer::english());
+    for (i, d) in coll.docs.iter().enumerate() {
+        seg.add_document(&d.id, &d.text).expect("generated ids are unique");
+        if (i + 1) % seal_every == 0 {
+            seg.seal();
+        }
+    }
+    seg.seal();
+    seg
+}
+
+#[test]
+fn segmented_service_is_byte_identical_pre_and_post_merge() {
+    // The tentpole contract: scoring merges corpus-wide statistics
+    // exactly, so the number of segments — and a later compaction —
+    // never changes a single byte of any run file.
+    let (bed, indexes) = build_world();
+    for ds_name in DATASETS {
+        let dataset = bed.dataset(ds_name);
+        let index = &indexes[dataset.collection];
+        let coll = bed.collection_of(dataset);
+        let batch = batch_of(&bed, dataset);
+        let pipeline = SqePipeline::from_index(&bed.kb.graph, index, config());
+        let want = run_file(
+            "SQE_C",
+            dataset,
+            &batch
+                .iter()
+                .map(|(text, nodes)| pipeline.rank_sqe_c(text, nodes))
+                .collect::<Vec<_>>(),
+        );
+
+        // Three chunks stay under the default merge factor (4), so the
+        // pre-merge service really serves from multiple segments.
+        let seal_every = coll.docs.len().div_ceil(3).max(1);
+        let service = QueryService::from_segmented(
+            &bed.kb.graph,
+            segmented_index_of(coll, seal_every),
+            config(),
+            ServeConfig {
+                workers: 2,
+                ..ServeConfig::default()
+            },
+        );
+        assert!(
+            service.num_segments() > 1,
+            "{ds_name}: the pre-merge wall needs a genuinely partitioned corpus"
+        );
+        let pre = run_file("SQE_C", dataset, &service.run_batch_sqe_c(&batch));
+        assert_eq!(
+            pre, want,
+            "{ds_name}: a {}-segment service must be byte-identical to the monolithic pipeline",
+            service.num_segments()
+        );
+
+        assert!(service.force_merge(), "{ds_name}: compaction must happen");
+        assert_eq!(service.num_segments(), 1);
+        let post = run_file("SQE_C", dataset, &service.run_batch_sqe_c(&batch));
+        assert_eq!(
+            post, want,
+            "{ds_name}: force_merge changed run-file bytes"
+        );
+    }
+}
+
+#[test]
+fn mid_run_seal_invalidates_cache_exactly_once_with_observable_epoch() {
+    // A seal between two batches must flush the expansion cache exactly
+    // once (auto-merges ride the same epoch bump), advance the epoch
+    // visibly in the metrics snapshot, and make the new document
+    // retrievable — while the replayed batch stays byte-identical
+    // because the graph (and thus every expansion) is unchanged.
+    let (bed, indexes) = build_world();
+    let dataset = bed.dataset("imageclef");
+    let index = &indexes[dataset.collection];
+    let batch = batch_of(&bed, dataset);
+    let service = QueryService::new(
+        &bed.kb.graph,
+        index,
+        config(),
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+    );
+    let before_docs = service.searcher().num_docs();
+    service.run_batch_sqe_c(&batch);
+    let snap0 = service.metrics_snapshot();
+    assert_eq!(snap0.epoch, 0);
+    assert_eq!(snap0.invalidations, 0);
+
+    service
+        .add_document("mid-run-doc", "a late-breaking caption about nothing relevant")
+        .expect("fresh external id");
+    let report = service.seal().expect("non-empty buffer seals");
+    assert_eq!(report.epoch, 1);
+    // Sealing an empty buffer is a no-op: no second epoch, no second flush.
+    assert!(service.seal().is_none());
+
+    let snap1 = service.metrics_snapshot();
+    assert_eq!(snap1.epoch, 1, "the seal's epoch must be observable in metrics");
+    assert_eq!(
+        snap1.invalidations, 1,
+        "one seal must invalidate the expansion cache exactly once"
+    );
+    assert_eq!(snap1.seals, 1);
+    assert_eq!(service.searcher().num_docs(), before_docs + 1);
+
+    // Replay: same graph, same expansions, same bytes — via recomputation.
+    let replay = service.run_batch_sqe_c(&batch);
+    let fresh = QueryService::from_segmented(
+        &bed.kb.graph,
+        {
+            let mut seg = SegmentedIndex::from_index(index.clone());
+            seg.add_document("mid-run-doc", "a late-breaking caption about nothing relevant")
+                .expect("fresh external id");
+            seg.seal();
+            seg
+        },
+        config(),
+        ServeConfig::default(),
+    );
+    let got = run_file("SQE_C", dataset, &replay);
+    let want = run_file("SQE_C", dataset, &fresh.run_batch_sqe_c(&batch));
+    assert_eq!(got, want, "post-seal replay diverged from a fresh service");
+    assert_eq!(
+        service.metrics_snapshot().invalidations,
+        1,
+        "the replay itself must not invalidate again"
+    );
 }
 
 #[test]
