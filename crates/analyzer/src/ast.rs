@@ -207,9 +207,87 @@ pub enum Expr {
     },
     /// A nested block expression.
     Block(Block),
+    /// An `if cond { then } [else ...]` expression. `else_` holds the
+    /// else branch: another [`Expr::If`] for `else if`, an
+    /// [`Expr::Block`] for a plain `else { ... }`.
+    If {
+        /// Condition (`if let` keeps the binding inside as an `Expr::Let`).
+        cond: Box<Expr>,
+        /// Then branch.
+        then: Block,
+        /// Else branch, if any.
+        else_: Option<Box<Expr>>,
+        /// 1-based line of the `if`.
+        line: u32,
+    },
+    /// A `while cond { body }` loop (`while let` keeps its binding in
+    /// `cond`).
+    While {
+        /// Loop condition.
+        cond: Box<Expr>,
+        /// Loop body.
+        body: Block,
+        /// 1-based line of the `while`.
+        line: u32,
+    },
+    /// A bare `loop { body }`.
+    Loop {
+        /// Loop body.
+        body: Block,
+        /// 1-based line of the `loop`.
+        line: u32,
+    },
+    /// A `match scrutinee { ... }`. Arms hold guard and body expressions
+    /// in source order; patterns are dropped.
+    Match {
+        /// Matched expression.
+        scrutinee: Box<Expr>,
+        /// Arm guards and bodies.
+        arms: Vec<Expr>,
+        /// 1-based line of the `match`.
+        line: u32,
+    },
+    /// `return [value]` (also covers `yield`).
+    Return {
+        /// Returned value, if any.
+        value: Option<Box<Expr>>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `break [value]` (loop labels are dropped).
+    Break {
+        /// Break value, if any.
+        value: Option<Box<Expr>>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `continue` (loop labels are dropped).
+    Continue {
+        /// 1-based line.
+        line: u32,
+    },
+    /// The postfix `?` operator: `expr?`.
+    Try {
+        /// Operand.
+        expr: Box<Expr>,
+        /// 1-based line of the `?`.
+        line: u32,
+    },
+    /// An assignment or compound assignment: `lhs = rhs`, `lhs += rhs`,
+    /// `lhs <<= rhs`, ...
+    Assign {
+        /// Operator text (`=`, `+=`, `<<=`, ...).
+        op: String,
+        /// Assignment target.
+        lhs: Box<Expr>,
+        /// Assigned value.
+        rhs: Box<Expr>,
+        /// 1-based line of the operator.
+        line: u32,
+    },
     /// Any structured node the rules don't interpret directly (binary
-    /// operator chains, `if`/`match`/`while` with their sub-blocks, tuples,
-    /// array literals). Children are preserved for traversal.
+    /// operator chains, tuples, array literals). Children are preserved
+    /// for traversal.
     Other {
         /// Child expressions in source order.
         children: Vec<Expr>,
@@ -233,6 +311,15 @@ impl Expr {
             | Expr::For { line, .. }
             | Expr::Let { line, .. }
             | Expr::Closure { line, .. }
+            | Expr::If { line, .. }
+            | Expr::While { line, .. }
+            | Expr::Loop { line, .. }
+            | Expr::Match { line, .. }
+            | Expr::Return { line, .. }
+            | Expr::Break { line, .. }
+            | Expr::Continue { line, .. }
+            | Expr::Try { line, .. }
+            | Expr::Assign { line, .. }
             | Expr::Other { line, .. } => *line,
             Expr::Block(b) => b.line,
         }
@@ -285,6 +372,47 @@ impl Expr {
                 for s in &b.stmts {
                     s.walk(f);
                 }
+            }
+            Expr::If {
+                cond, then, else_, ..
+            } => {
+                cond.walk(f);
+                for s in &then.stmts {
+                    s.walk(f);
+                }
+                if let Some(e) = else_ {
+                    e.walk(f);
+                }
+            }
+            Expr::While { cond, body, .. } => {
+                cond.walk(f);
+                for s in &body.stmts {
+                    s.walk(f);
+                }
+            }
+            Expr::Loop { body, .. } => {
+                for s in &body.stmts {
+                    s.walk(f);
+                }
+            }
+            Expr::Match {
+                scrutinee, arms, ..
+            } => {
+                scrutinee.walk(f);
+                for a in arms {
+                    a.walk(f);
+                }
+            }
+            Expr::Return { value, .. } | Expr::Break { value, .. } => {
+                if let Some(e) = value {
+                    e.walk(f);
+                }
+            }
+            Expr::Continue { .. } => {}
+            Expr::Try { expr, .. } => expr.walk(f),
+            Expr::Assign { lhs, rhs, .. } => {
+                lhs.walk(f);
+                rhs.walk(f);
             }
             Expr::Other { children, .. } => {
                 for c in children {
@@ -362,6 +490,42 @@ impl Expr {
             }
             Expr::Closure { .. } => out.push_str("|..| .."),
             Expr::Block(_) => out.push_str("{..}"),
+            Expr::If { cond, .. } => {
+                out.push_str("if ");
+                cond.write_text(out);
+                out.push_str(" {..}");
+            }
+            Expr::While { cond, .. } => {
+                out.push_str("while ");
+                cond.write_text(out);
+                out.push_str(" {..}");
+            }
+            Expr::Loop { .. } => out.push_str("loop {..}"),
+            Expr::Match { scrutinee, .. } => {
+                out.push_str("match ");
+                scrutinee.write_text(out);
+                out.push_str(" {..}");
+            }
+            Expr::Return { value, .. } => {
+                out.push_str("return");
+                if let Some(v) = value {
+                    out.push(' ');
+                    v.write_text(out);
+                }
+            }
+            Expr::Break { .. } => out.push_str("break"),
+            Expr::Continue { .. } => out.push_str("continue"),
+            Expr::Try { expr, .. } => {
+                expr.write_text(out);
+                out.push('?');
+            }
+            Expr::Assign { op, lhs, rhs, .. } => {
+                lhs.write_text(out);
+                out.push(' ');
+                out.push_str(op);
+                out.push(' ');
+                rhs.write_text(out);
+            }
             Expr::Other { children, .. } => {
                 for (i, c) in children.iter().enumerate() {
                     if i > 0 {
@@ -383,6 +547,13 @@ impl Expr {
             Expr::Field { recv, .. } => recv.root_ident(),
             Expr::Cast { expr, .. } => expr.root_ident(),
             Expr::Index { recv, .. } => recv.root_ident(),
+            Expr::If { cond, .. } | Expr::While { cond, .. } => cond.root_ident(),
+            Expr::Match { scrutinee, .. } => scrutinee.root_ident(),
+            Expr::Try { expr, .. } => expr.root_ident(),
+            Expr::Assign { lhs, .. } => lhs.root_ident(),
+            Expr::Return { value, .. } | Expr::Break { value, .. } => {
+                value.as_deref().and_then(Expr::root_ident)
+            }
             Expr::Other { children, .. } => children.iter().find_map(|c| c.root_ident()),
             _ => None,
         }
@@ -430,12 +601,13 @@ impl SourceFile {
             // Blocks nested in statements may themselves hold items; the
             // statement walk does not enter items, so descend explicitly.
             for s in &b.stmts {
-                s.walk(&mut |e| {
-                    if let Expr::Block(inner) = e {
-                        rec(&inner.items, ty, in_test, f);
-                    } else if let Expr::For { body, .. } = e {
-                        rec(&body.items, ty, in_test, f);
-                    }
+                s.walk(&mut |e| match e {
+                    Expr::Block(inner) => rec(&inner.items, ty, in_test, f),
+                    Expr::For { body, .. }
+                    | Expr::While { body, .. }
+                    | Expr::Loop { body, .. } => rec(&body.items, ty, in_test, f),
+                    Expr::If { then, .. } => rec(&then.items, ty, in_test, f),
+                    _ => {}
                 });
             }
         }

@@ -34,6 +34,40 @@ pub fn key(d: &Diagnostic) -> String {
     format!("{}|{}|{}", d.rule, d.path, d.message)
 }
 
+/// The current finding closest to a stale baseline key — the hint
+/// `sqe-lint check` prints so the developer can tell a genuinely fixed
+/// finding from one that merely moved (rule rename, message reword, file
+/// rename). Proximity is rule-then-file: same rule and file beats same
+/// rule in the same crate, beats same rule anywhere, beats same file
+/// under another rule. Returns `None` when no error finding survives at
+/// all (everything really was fixed).
+pub fn nearest_surviving<'a>(stale_key: &str, diags: &'a [Diagnostic]) -> Option<&'a Diagnostic> {
+    let mut parts = stale_key.splitn(3, '|');
+    let rule = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let crate_of = |p: &str| p.split('/').take(2).collect::<Vec<_>>().join("/");
+    let stale_crate = crate_of(path);
+    diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .map(|d| {
+            let score = if d.rule == rule && d.path == path {
+                0
+            } else if d.rule == rule && crate_of(&d.path) == stale_crate {
+                1
+            } else if d.rule == rule {
+                2
+            } else if d.path == path {
+                3
+            } else {
+                4
+            };
+            (score, d)
+        })
+        .min_by_key(|(score, d)| (*score, d.path.clone(), d.line))
+        .map(|(_, d)| d)
+}
+
 impl Baseline {
     /// Snapshots every error-severity finding. Warnings are advisory and
     /// never baselined — they must not be able to fail a ratchet.
@@ -163,6 +197,29 @@ mod tests {
         let r = base.compare(&now);
         assert_eq!(r.new.len(), 1, "second occurrence exceeds baseline");
         assert!(r.stale.is_empty());
+    }
+
+    #[test]
+    fn nearest_surviving_prefers_rule_then_file() {
+        let now = vec![
+            diag("r1", "crates/a/src/lib.rs", "m-other", Severity::Error),
+            diag("r1", "crates/b/src/lib.rs", "m-sibling", Severity::Error),
+            diag("r2", "crates/a/src/lib.rs", "m-samefile", Severity::Error),
+            diag("r1", "crates/a/src/lib.rs", "warn", Severity::Warn),
+        ];
+        // Same rule + same file wins.
+        let hit = nearest_surviving("r1|crates/a/src/lib.rs|gone", &now).unwrap();
+        assert_eq!((hit.rule, hit.message.as_str()), ("r1", "m-other"));
+        // No rule-r9 survivor anywhere: fall back to the stale file.
+        let hit = nearest_surviving("r9|crates/a/src/lib.rs|gone", &now).unwrap();
+        assert_eq!(hit.path, "crates/a/src/lib.rs");
+        // Same rule in another crate beats a different rule.
+        let hit = nearest_surviving("r1|crates/z/src/lib.rs|gone", &now).unwrap();
+        assert_eq!(hit.message, "m-other");
+        // Nothing survives: no hint.
+        assert!(nearest_surviving("r1|a.rs|gone", &[]).is_none());
+        let warns = vec![diag("r1", "a.rs", "w", Severity::Warn)];
+        assert!(nearest_surviving("r1|a.rs|gone", &warns).is_none());
     }
 
     #[test]

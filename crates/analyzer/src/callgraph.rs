@@ -82,7 +82,8 @@ const STD_METHOD_NAMES: &[&str] = &[
     "unwrap_or", "unwrap_or_else", "unwrap_or_default", "expect", "ok", "err", "any", "all",
     "find", "position", "resize", "truncate", "swap", "abs", "min_by", "max_by", "min_by_key",
     "max_by_key", "to_vec", "starts_with", "ends_with", "lines", "floor", "ceil", "sqrt", "ln",
-    "log2", "powi", "powf", "exp", "default", "with_capacity", "reserve",
+    "log2", "powi", "powf", "exp", "default", "with_capacity", "reserve", "load", "store",
+    "fetch_add", "compare_exchange", "lock", "try_lock",
 ];
 
 /// Second-to-last path segment — the qualifier of `Ty::name` / `krate::name`.

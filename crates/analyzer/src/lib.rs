@@ -18,6 +18,8 @@
 pub mod ast;
 pub mod baseline;
 pub mod callgraph;
+pub mod cfg;
+pub mod dataflow;
 pub mod diag;
 pub mod lexer;
 pub mod parser;

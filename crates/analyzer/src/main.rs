@@ -3,16 +3,23 @@
 //!
 //! Subcommands:
 //!
-//! - `check [--root DIR] [--format human|json] [--config FILE]
+//! - `check [--root DIR] [--format human|json|github] [--config FILE]
 //!   [--baseline FILE] [--out FILE]` — lint every workspace `.rs` file;
 //!   exit 1 on any error-severity finding not covered by the baseline,
 //!   and on stale baseline entries (the baseline may only shrink). With
 //!   no `--baseline`, `<root>/sqe-lint.baseline.json` is used when it
 //!   exists. `--out` additionally writes all findings as JSON (for CI
-//!   artifacts) regardless of `--format`.
+//!   artifacts) regardless of `--format`. `--format github` prints
+//!   `::warning`/`::error` workflow commands so findings surface as
+//!   inline PR annotations.
 //! - `baseline [--root DIR] [--config FILE] [--baseline FILE]` —
 //!   snapshot the current error-severity findings to the baseline file
 //!   (default `<root>/sqe-lint.baseline.json`).
+//! - `bench [--root DIR] [--reference FILE] [--out FILE]` — time a full
+//!   workspace lint and compare against the committed reference wall
+//!   time (default `<root>/sqe-lint.bench.json`); exit 1 when the run
+//!   regresses more than 2× over the reference. `--out` writes a
+//!   timings artifact for CI.
 //! - `rules` — print the rule table (token and ast layers) with default
 //!   severities.
 //! - `audit [--selftest]` — build a synthetic testbed, run the graph and
@@ -23,20 +30,24 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use analyzer::baseline::Baseline;
-use analyzer::{diagnostics_to_json, lint_workspace, rules, Diagnostic, LintConfig, Severity};
+use analyzer::baseline::{self, Baseline};
+use analyzer::{
+    diagnostics_to_json, lint_workspace, rules, workspace_files, Diagnostic, LintConfig, Severity,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("check") => cmd_check(&args[1..]),
         Some("baseline") => cmd_baseline(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("rules") => cmd_rules(),
         Some("audit") => cmd_audit(&args[1..]),
         _ => {
             eprintln!(
-                "usage: sqe-lint <check [--root DIR] [--format human|json] [--config FILE] \
+                "usage: sqe-lint <check [--root DIR] [--format human|json|github] [--config FILE] \
                  [--baseline FILE] [--out FILE] | baseline [--root DIR] [--baseline FILE] \
+                 | bench [--root DIR] [--reference FILE] [--out FILE] \
                  | rules | audit [--selftest]>"
             );
             ExitCode::from(2)
@@ -44,11 +55,16 @@ fn main() -> ExitCode {
     }
 }
 
+/// Looks up `--name value` or `--name=value`.
 fn flag_value(args: &[String], name: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+    let prefix = format!("{name}=");
+    args.iter().enumerate().find_map(|(i, a)| {
+        if a == name {
+            args.get(i + 1).cloned()
+        } else {
+            a.strip_prefix(&prefix).map(str::to_string)
+        }
+    })
 }
 
 /// The baseline file for this invocation: `--baseline FILE`, else the
@@ -70,9 +86,35 @@ fn run_lint(args: &[String], root: &Path) -> Result<Vec<Diagnostic>, String> {
     lint_workspace(root, &cfg).map_err(|e| format!("walking {}: {e}", root.display()))
 }
 
+/// Escapes a GitHub workflow-command *message* (data after `::`).
+fn gh_escape(text: &str) -> String {
+    text.replace('%', "%25").replace('\r', "%0D").replace('\n', "%0A")
+}
+
+/// Escapes a GitHub workflow-command *property* (file=, line=): message
+/// escapes plus the property delimiters.
+fn gh_escape_prop(text: &str) -> String {
+    gh_escape(text).replace(':', "%3A").replace(',', "%2C")
+}
+
+/// One finding as a GitHub annotation: `::warning file=…,line=…::msg`.
+fn gh_annotation(d: &Diagnostic) -> String {
+    let level = match d.severity {
+        Severity::Error => "error",
+        _ => "warning",
+    };
+    format!(
+        "::{level} file={},line={}::[{}] {}",
+        gh_escape_prop(&d.path),
+        d.line,
+        d.rule,
+        gh_escape(&d.message)
+    )
+}
+
 fn cmd_check(args: &[String]) -> ExitCode {
     let root = PathBuf::from(flag_value(args, "--root").unwrap_or_else(|| ".".to_string()));
-    let json = matches!(flag_value(args, "--format").as_deref(), Some("json"));
+    let format = flag_value(args, "--format").unwrap_or_else(|| "human".to_string());
     let diags = match run_lint(args, &root) {
         Ok(d) => d,
         Err(e) => {
@@ -88,13 +130,20 @@ fn cmd_check(args: &[String]) -> ExitCode {
     }
     let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
     let warns = diags.len() - errors;
-    if json {
-        println!("{}", diagnostics_to_json(&diags));
-    } else {
-        for d in &diags {
-            println!("{d}");
+    match format.as_str() {
+        "json" => println!("{}", diagnostics_to_json(&diags)),
+        "github" => {
+            for d in &diags {
+                println!("{}", gh_annotation(d));
+            }
+            println!("sqe-lint: {errors} error(s), {warns} warning(s)");
         }
-        println!("sqe-lint: {errors} error(s), {warns} warning(s)");
+        _ => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!("sqe-lint: {errors} error(s), {warns} warning(s)");
+        }
     }
 
     // Ratchet against the baseline when one is present: only findings
@@ -120,6 +169,15 @@ fn cmd_check(args: &[String]) -> ExitCode {
                 println!(
                     "stale baseline entry (fixed — regenerate with `sqe-lint baseline`): {k}"
                 );
+                // A stale entry often means the finding *moved* (message
+                // reword, file rename) rather than died: point at the
+                // closest survivor so the fix is obvious.
+                if let Some(d) = baseline::nearest_surviving(k, &diags) {
+                    println!(
+                        "  hint: nearest surviving finding is [{}] at {}:{}",
+                        d.rule, d.path, d.line
+                    );
+                }
             }
             !ratchet.new.is_empty() || !ratchet.stale.is_empty()
         }
@@ -154,6 +212,92 @@ fn cmd_baseline(args: &[String]) -> ExitCode {
         base.len(),
         path.display()
     );
+    ExitCode::SUCCESS
+}
+
+/// Times a full workspace lint and gates it against the committed
+/// reference wall time: a >2× regression fails. Wall-clock use is
+/// deliberate and CI-only — the gate is coarse (2×) precisely because
+/// absolute lint speed varies across runners; what it catches is the
+/// analyzer accidentally going quadratic, not millisecond noise.
+fn cmd_bench(args: &[String]) -> ExitCode {
+    let root = PathBuf::from(flag_value(args, "--root").unwrap_or_else(|| ".".to_string()));
+    let cfg = match load_config(args, &root) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("sqe-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let files = match workspace_files(&root) {
+        Ok(f) => f.len(),
+        Err(e) => {
+            eprintln!("sqe-lint: walking {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let t0 = std::time::Instant::now();
+    let diags = match lint_workspace(&root, &cfg) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("sqe-lint: walking {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let ref_path = flag_value(args, "--reference")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| root.join("sqe-lint.bench.json"));
+    let reference_ms: Option<f64> = match std::fs::read_to_string(&ref_path) {
+        Ok(text) => match serde_json::from_str::<serde_json::Value>(&text) {
+            Ok(v) => v.get("lint_wall_ms").and_then(serde_json::Value::as_f64),
+            Err(e) => {
+                eprintln!("sqe-lint: parsing {}: {e}", ref_path.display());
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => None,
+    };
+
+    let ratio = reference_ms.map(|r| if r > 0.0 { wall_ms / r } else { 0.0 });
+    println!(
+        "sqe-lint bench: {files} file(s), {} finding(s), {wall_ms:.1} ms wall",
+        diags.len()
+    );
+    match (reference_ms, ratio) {
+        (Some(r), Some(x)) => println!("sqe-lint bench: reference {r:.1} ms, ratio {x:.2}x"),
+        _ => println!(
+            "sqe-lint bench: no reference at {} — measuring only",
+            ref_path.display()
+        ),
+    }
+
+    if let Some(out_path) = flag_value(args, "--out") {
+        let mut m = serde_json::Map::new();
+        m.insert("files".into(), serde_json::Value::from(files as u64));
+        m.insert("findings".into(), serde_json::Value::from(diags.len() as u64));
+        m.insert("lint_wall_ms".into(), serde_json::Value::from(wall_ms));
+        if let Some(r) = reference_ms {
+            m.insert("reference_ms".into(), serde_json::Value::from(r));
+        }
+        if let Some(x) = ratio {
+            m.insert("ratio".into(), serde_json::Value::from(x));
+        }
+        let text = serde_json::to_string_pretty(&serde_json::Value::Object(m))
+            .expect("bench report serializes");
+        if let Err(e) = std::fs::write(&out_path, text) {
+            eprintln!("sqe-lint: writing {out_path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    if let Some(x) = ratio {
+        if x > 2.0 {
+            eprintln!("sqe-lint bench: FAIL — lint wall time regressed {x:.2}x over the reference");
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }
 

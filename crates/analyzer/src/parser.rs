@@ -865,6 +865,21 @@ fn parse_chain_seq(p: &mut P<'_>) -> Expr {
         if p.i == before {
             p.i += 1;
         }
+        // A top-level assignment operator after the first chain turns the
+        // statement into `Expr::Assign` (the rhs absorbs the rest).
+        if children.len() == 1 && p.i > before {
+            if let Some((op, ntoks)) = peek_assign_op(p) {
+                p.i += ntoks;
+                let lhs = children.pop().expect("len checked");
+                let rhs = parse_chain_seq(p);
+                return Expr::Assign {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                    line,
+                };
+            }
+        }
         // Continue through operators; `else` glues if/else chains.
         let mut advanced = false;
         while let Some(t) = p.peek() {
@@ -897,6 +912,41 @@ fn parse_chain_seq(p: &mut P<'_>) -> Expr {
     }
 }
 
+/// Recognizes an assignment operator at the cursor: `=` (but not `==` or
+/// `=>`), `op=` for the arithmetic and bit operators, and `<<=`/`>>=`.
+/// Comparison forms (`<=`, `>=`, `!=`) are *not* assignments. Returns the
+/// operator text and the number of leaves it spans.
+fn peek_assign_op(p: &P<'_>) -> Option<(String, usize)> {
+    let t0 = p.peek()?;
+    if t0.is_punct('=') {
+        if p.peek_at(1)
+            .is_some_and(|t| t.is_punct('=') || t.is_punct('>'))
+        {
+            return None;
+        }
+        return Some(("=".to_string(), 1));
+    }
+    for c in ['<', '>'] {
+        if t0.is_punct(c)
+            && p.peek_at(1).is_some_and(|t| t.is_punct(c))
+            && p.peek_at(2).is_some_and(|t| t.is_punct('='))
+        {
+            return Some((format!("{c}{c}="), 3));
+        }
+    }
+    for c in ['+', '-', '*', '/', '%', '&', '|', '^'] {
+        if t0.is_punct(c) && p.peek_at(1).is_some_and(|t| t.is_punct('=')) {
+            // `a += b` — but `a + = b` is not valid Rust, so adjacency of
+            // the operator and `=` leaves is decisive here.
+            if p.peek_at(2).is_some_and(|t| t.is_punct('=')) {
+                return None; // `a + == b` degenerates; leave to the chain
+            }
+            return Some((format!("{c}="), 2));
+        }
+    }
+    None
+}
+
 /// Parses one prefix–primary–postfix chain.
 fn parse_chain(p: &mut P<'_>) -> Expr {
     // Prefix tokens.
@@ -908,10 +958,6 @@ fn parse_chain(p: &mut P<'_>) -> Expr {
             || t.is_ident("mut")
             || t.is_ident("box")
             || t.is_ident("ref")
-            || t.is_ident("return")
-            || t.is_ident("break")
-            || t.is_ident("continue")
-            || t.is_ident("yield")
             || t.is_ident("dyn");
         if is_prefix {
             p.i += 1;
@@ -929,30 +975,94 @@ fn parse_chain(p: &mut P<'_>) -> Expr {
 
     // Keyword-led constructs.
     if first.is_ident("if") || first.is_ident("while") {
+        let is_while = first.is_ident("while");
         p.i += 1;
         let cond = p.take_until(|t| t.group('{').is_some());
-        let cond = parse_slice(cond);
-        let mut children = vec![cond];
-        if let Some(body) = p.peek().and_then(|t| t.group('{')) {
-            let bline = p.peek().map_or(line, Tree::line);
-            p.i += 1;
-            children.push(Expr::Block(parse_block(body, bline)));
+        let cond = Box::new(parse_slice(cond));
+        let body = match p.peek().and_then(|t| t.group('{')) {
+            Some(inner) => {
+                let bline = p.peek().map_or(line, Tree::line);
+                p.i += 1;
+                parse_block(inner, bline)
+            }
+            None => Block {
+                stmts: Vec::new(),
+                items: Vec::new(),
+                line,
+            },
+        };
+        if is_while {
+            return postfix(p, Expr::While { cond, body, line });
         }
+        let mut else_ = None;
         if p.peek().is_some_and(|t| t.is_ident("else")) {
             p.i += 1;
-            children.push(parse_chain(p));
+            else_ = Some(Box::new(parse_chain(p)));
         }
-        return postfix(p, Expr::Other { children, line });
+        return postfix(
+            p,
+            Expr::If {
+                cond,
+                then: body,
+                else_,
+                line,
+            },
+        );
     }
     if first.is_ident("match") {
         p.i += 1;
         let scrut = p.take_until(|t| t.group('{').is_some());
-        let mut children = vec![parse_slice(scrut)];
-        if let Some(body) = p.peek().and_then(|t| t.group('{')) {
+        let scrutinee = Box::new(parse_slice(scrut));
+        let arms = match p.peek().and_then(|t| t.group('{')) {
+            Some(body) => {
+                p.i += 1;
+                parse_match_arms(body)
+            }
+            None => Vec::new(),
+        };
+        return postfix(
+            p,
+            Expr::Match {
+                scrutinee,
+                arms,
+                line,
+            },
+        );
+    }
+    if first.is_ident("return") || first.is_ident("yield") {
+        p.i += 1;
+        let value = if p.done() || p.peek().is_some_and(|t| t.is_punct(';') || t.is_punct(','))
+        {
+            None
+        } else {
+            Some(Box::new(parse_chain_seq(p)))
+        };
+        return Expr::Return { value, line };
+    }
+    if first.is_ident("break") {
+        p.i += 1;
+        // Optional loop label.
+        if p.peek()
+            .is_some_and(|t| matches!(t, Tree::Leaf(tok) if tok.text.starts_with('\'')))
+        {
             p.i += 1;
-            children.extend(parse_match_arms(body));
         }
-        return postfix(p, Expr::Other { children, line });
+        let value = if p.done() || p.peek().is_some_and(|t| t.is_punct(';') || t.is_punct(','))
+        {
+            None
+        } else {
+            Some(Box::new(parse_chain_seq(p)))
+        };
+        return Expr::Break { value, line };
+    }
+    if first.is_ident("continue") {
+        p.i += 1;
+        if p.peek()
+            .is_some_and(|t| matches!(t, Tree::Leaf(tok) if tok.text.starts_with('\'')))
+        {
+            p.i += 1;
+        }
+        return Expr::Continue { line };
     }
     if first.is_ident("for") {
         p.i += 1;
@@ -985,9 +1095,22 @@ fn parse_chain(p: &mut P<'_>) -> Expr {
             line,
         };
     }
-    if first.is_ident("loop") || first.is_ident("unsafe") || first.is_ident("async")
-        || first.is_ident("move")
-    {
+    if first.is_ident("loop") {
+        p.i += 1;
+        if let Some(body) = p.peek().and_then(|t| t.group('{')) {
+            let bline = p.peek().map_or(line, Tree::line);
+            p.i += 1;
+            return postfix(
+                p,
+                Expr::Loop {
+                    body: parse_block(body, bline),
+                    line,
+                },
+            );
+        }
+        return parse_chain(p);
+    }
+    if first.is_ident("unsafe") || first.is_ident("async") || first.is_ident("move") {
         p.i += 1;
         // `async move`, `unsafe {`, bare `move |..|` closures.
         return parse_chain(p);
@@ -1217,7 +1340,12 @@ fn postfix(p: &mut P<'_>, mut cur: Expr) -> Expr {
                 continue;
             }
             if t.is_punct('?') {
+                let qline = t.line();
                 p.i += 1;
+                cur = Expr::Try {
+                    expr: Box::new(cur),
+                    line: qline,
+                };
                 continue;
             }
             if t.is_ident("as") {
@@ -1469,6 +1597,58 @@ mod tests {
     fn match_arm_bodies_walked() {
         let f = parse("fn f(x: Option<u32>) -> u32 { match x { Some(v) => g(v), None => 0, } }");
         let dump = all_exprs(&f).join("\n");
+        assert!(dump.contains("Match"), "{dump}");
         assert!(dump.contains("Call"), "{dump}");
+    }
+
+    #[test]
+    fn if_else_chain_structured() {
+        let f = parse("fn f(x: u32) -> u32 { if x > 1 { g(x) } else if x > 0 { 1 } else { 0 } }");
+        assert!(f.errors.is_empty());
+        let exprs = all_exprs(&f);
+        let ifs = exprs.iter().filter(|e| e.starts_with("If {")).count();
+        assert_eq!(ifs, 2, "{exprs:?}");
+        assert!(exprs.iter().any(|e| e.starts_with("Call")), "{exprs:?}");
+    }
+
+    #[test]
+    fn while_and_loop_structured() {
+        let f = parse(
+            "fn f(mut n: u32) { while n > 0 { n -= 1; } loop { if n == 0 { break; } g(); } }",
+        );
+        assert!(f.errors.is_empty());
+        let dump = all_exprs(&f).join("\n");
+        assert!(dump.contains("While"), "{dump}");
+        assert!(dump.contains("Loop"), "{dump}");
+        assert!(dump.contains("Break"), "{dump}");
+    }
+
+    #[test]
+    fn return_and_try_structured() {
+        let f = parse(
+            "fn f(o: Option<u32>) -> Option<u32> { let v = o?; if v > 9 { return None; } Some(v + 1) }",
+        );
+        assert!(f.errors.is_empty());
+        let dump = all_exprs(&f).join("\n");
+        assert!(dump.contains("Try"), "{dump}");
+        assert!(dump.contains("Return"), "{dump}");
+    }
+
+    #[test]
+    fn assignments_structured() {
+        let f = parse("fn f(v: &mut Vec<u64>, i: usize) { v[i] = 1; self.total += g(); }");
+        assert!(f.errors.is_empty());
+        let dump = all_exprs(&f).join("\n");
+        assert_eq!(dump.matches("Assign {").count(), 2, "{dump}");
+        assert!(dump.contains("op: \"=\""), "{dump}");
+        assert!(dump.contains("op: \"+=\""), "{dump}");
+    }
+
+    #[test]
+    fn comparisons_are_not_assignments() {
+        let f = parse("fn f(a: u32, b: u32) -> bool { a <= b && a == b || a >= b }");
+        assert!(f.errors.is_empty());
+        let dump = all_exprs(&f).join("\n");
+        assert!(!dump.contains("Assign"), "{dump}");
     }
 }

@@ -7,16 +7,21 @@
 //! and its call graph ([`crate::callgraph::CallGraph`]), so they can
 //! reason across files: panic reachability from hot-path entries,
 //! hash-iteration determinism through struct fields, narrowing casts at
-//! construction boundaries, and audit coverage after raw mutations.
+//! construction boundaries, and audit coverage after raw mutations. The
+//! dataflow rules (lock ordering, guard hold duration, guard escape,
+//! float taint) additionally run the CFG-based analyses in
+//! [`crate::dataflow`] over every function body.
 //!
 //! `sqe-lint rules` prints [`rule_table`]. Suppression
 //! (`// lint:allow(rule)`, `// lint:allow-file(rule)`) and severity
 //! overrides are applied by the engine, not by the rules themselves.
 
+use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 
 use crate::ast::Expr;
 use crate::callgraph::{CallGraph, PanicKind};
+use crate::dataflow;
 use crate::diag::{Diagnostic, Severity};
 use crate::lexer::{Tok, TokKind};
 use crate::symbols::WorkspaceModel;
@@ -112,6 +117,10 @@ pub fn ast_registry() -> Vec<Box<dyn AstRule>> {
         Box::new(HashIterationDeterminism),
         Box::new(LossyIdCast),
         Box::new(MustAuditAfterMutation),
+        Box::new(LockOrderConsistency),
+        Box::new(NoBlockingWhileLocked),
+        Box::new(GuardEscape),
+        Box::new(FloatTaintBeforeMerge),
     ]
 }
 
@@ -1044,5 +1053,323 @@ impl AstRule for MustAuditAfterMutation {
                 });
             }
         });
+    }
+}
+
+/// `lock-order-consistency`: every pair of locks must be acquired in one
+/// global order. Built on [`crate::dataflow::lock_model`]: each function
+/// contributes (held → acquired) pairs from the CFG held-set fixpoint;
+/// two functions acquiring the same two locks in opposite orders is a
+/// deadlock waiting for the right interleaving.
+pub struct LockOrderConsistency;
+
+impl AstRule for LockOrderConsistency {
+    fn name(&self) -> &'static str {
+        "lock-order-consistency"
+    }
+
+    fn description(&self) -> &'static str {
+        "two locks must be acquired in the same order everywhere; opposite-order pairs across functions can deadlock"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+
+    fn check(
+        &self,
+        model: &WorkspaceModel,
+        _graph: &CallGraph,
+        sev: Severity,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        let lm = dataflow::lock_model(model);
+        // (held, acquired) → first acquisition site per function.
+        let mut edges: BTreeMap<(String, String), Vec<(String, String, u32)>> = BTreeMap::new();
+        for f in &lm.fns {
+            if f.is_test {
+                continue;
+            }
+            for p in &f.order_pairs {
+                let sites = edges
+                    .entry((p.held.clone(), p.acquired.clone()))
+                    .or_default();
+                if !sites.iter().any(|(q, _, _)| *q == f.qual) {
+                    sites.push((f.qual.clone(), f.file.clone(), p.line));
+                }
+            }
+        }
+        for ((a, b), sites) in &edges {
+            let Some(reverse) = edges.get(&(b.clone(), a.clone())) else {
+                continue;
+            };
+            // Both orders exist: flag every function on this side; the
+            // (b, a) iteration flags the other side.
+            let (rq, rf, rl) = &reverse[0];
+            for (qual, file, line) in sites {
+                out.push(Diagnostic {
+                    rule: self.name(),
+                    severity: sev,
+                    path: file.clone(),
+                    line: *line,
+                    message: format!(
+                        "`{qual}` acquires `{b}` while holding `{a}`, but `{rq}` \
+                         ({rf}:{rl}) acquires them in the opposite order; pick one \
+                         global lock order and stick to it"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Function names that denote expensive or blocking work: segment
+/// sealing/merging, snapshot codec, file I/O. Exact names, so e.g. a
+/// `begin_seal` that only moves buffers out of the critical section does
+/// not inherit `seal`'s weight.
+const EXPENSIVE_FNS: &[&str] = &[
+    "build",
+    "merge",
+    "seal",
+    "force_merge",
+    "run_policy",
+    "run_full",
+    "encode",
+    "decode",
+    "write_snapshot",
+    "read_snapshot",
+    "open",
+    "create",
+    "read_to_string",
+    "write_all",
+    "sync_all",
+    "persist",
+    "copy",
+    "rename",
+    "remove_file",
+];
+
+/// Locks that exist to serialize slow maintenance work; holding them
+/// across expensive calls is their whole purpose.
+const ALLOWED_SLOW_LOCKS: &[&str] = &["maint"];
+
+fn is_expensive_name(name: &str) -> bool {
+    EXPENSIVE_FNS.contains(&name)
+        || name.starts_with("encode_")
+        || name.starts_with("decode_")
+}
+
+/// `no-blocking-while-locked`: a guard live-range (from the CFG held-set
+/// analysis) must not span a call that reaches expensive work through
+/// the call graph. The service's lock-held windows are the latency floor
+/// of every concurrent query; sealing or file I/O belongs outside them.
+pub struct NoBlockingWhileLocked;
+
+impl AstRule for NoBlockingWhileLocked {
+    fn name(&self) -> &'static str {
+        "no-blocking-while-locked"
+    }
+
+    fn description(&self) -> &'static str {
+        "no segment build/merge, snapshot codec, or file I/O while holding a lock guard; narrow the critical section"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+
+    fn check(
+        &self,
+        model: &WorkspaceModel,
+        graph: &CallGraph,
+        sev: Severity,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        // Which workspace functions (transitively) reach expensive work.
+        // Seeded two ways: nodes *named* like expensive work, and nodes
+        // whose bodies *call* an expensive name — the latter catches
+        // callees that resolve outside the workspace (std fs/io).
+        let n = graph.nodes.len();
+        let mut reaches: Vec<bool> = graph
+            .nodes
+            .iter()
+            .map(|nd| is_expensive_name(&nd.name))
+            .collect();
+        let mut idx = 0usize;
+        model.for_each_fn(&mut |_file, _ty, _is_test, def| {
+            if idx < n && !reaches[idx] {
+                if let Some(body) = &def.body {
+                    for s in &body.stmts {
+                        s.walk(&mut |e| match e {
+                            Expr::MethodCall { method, .. } if is_expensive_name(method) => {
+                                reaches[idx] = true;
+                            }
+                            Expr::Call { callee, .. } => {
+                                if let Expr::Path { segs, .. } = callee.as_ref() {
+                                    if segs.last().is_some_and(|s| is_expensive_name(s)) {
+                                        reaches[idx] = true;
+                                    }
+                                }
+                            }
+                            _ => {}
+                        });
+                    }
+                }
+            }
+            idx += 1;
+        });
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..n {
+                if !reaches[i] && graph.callees(i).iter().any(|&c| reaches[c]) {
+                    reaches[i] = true;
+                    changed = true;
+                }
+            }
+        }
+        let lm = dataflow::lock_model(model);
+        let mut seen: BTreeSet<(String, u32, String, String)> = BTreeSet::new();
+        for f in &lm.fns {
+            if f.is_test {
+                continue;
+            }
+            for call in &f.locked_calls {
+                let locks: Vec<&(String, u32)> = call
+                    .locks
+                    .iter()
+                    .filter(|(l, _)| !ALLOWED_SLOW_LOCKS.contains(&l.as_str()))
+                    .collect();
+                let Some((lock, acq_line)) = locks.first() else {
+                    continue;
+                };
+                let why = if is_expensive_name(&call.callee) {
+                    Some(format!("`{}` is expensive/blocking work", call.callee))
+                } else {
+                    graph
+                        .find(&call.callee)
+                        .into_iter()
+                        .find(|&id| !graph.nodes[id].is_test && reaches[id])
+                        .map(|id| {
+                            format!(
+                                "`{}` reaches expensive/blocking work",
+                                graph.nodes[id].qual
+                            )
+                        })
+                };
+                let Some(why) = why else { continue };
+                if !seen.insert((f.file.clone(), call.line, call.callee.clone(), lock.clone())) {
+                    continue;
+                }
+                out.push(Diagnostic {
+                    rule: self.name(),
+                    severity: sev,
+                    path: f.file.clone(),
+                    line: call.line,
+                    message: format!(
+                        "{why} but runs while `{}` holds lock `{lock}` (acquired \
+                         line {acq_line}); do the slow work outside the guard and \
+                         swap results in under the lock",
+                        f.qual
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `guard-escape`: a lock guard must die in its acquiring function —
+/// returned or field-stored guards make the critical section unbounded
+/// and invisible at the acquisition site. The one audited exception is
+/// the accessor pattern: a function whose return type names a guard
+/// (`-> MutexGuard<..>`), which callers treat as an acquisition.
+pub struct GuardEscape;
+
+impl AstRule for GuardEscape {
+    fn name(&self) -> &'static str {
+        "guard-escape"
+    }
+
+    fn description(&self) -> &'static str {
+        "lock guards must not be returned or stored beyond the acquiring function, except via guard-returning accessors"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+
+    fn check(
+        &self,
+        model: &WorkspaceModel,
+        _graph: &CallGraph,
+        sev: Severity,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        let lm = dataflow::lock_model(model);
+        for f in &lm.fns {
+            if f.is_test || f.returns_guard {
+                continue;
+            }
+            for e in &f.escapes {
+                out.push(Diagnostic {
+                    rule: self.name(),
+                    severity: sev,
+                    path: f.file.clone(),
+                    line: e.line,
+                    message: format!(
+                        "guard for lock `{}` is {} from `{}` whose return type does \
+                         not name a guard; keep guards inside their acquiring \
+                         function or use an explicit `-> ..Guard<..>` accessor",
+                        e.lock, e.how, f.qual
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `float-taint-before-merge`: corpus-statistic merging must stay in
+/// exact integer arithmetic. Built on the [`crate::dataflow`] provenance
+/// lattice: inside any function that accumulates into a stat-named
+/// target (`coll_tf`, `doc_freq`, `collection_len`, ...), casting a
+/// stat-derived value to float or accumulating a float-tainted value is
+/// flagged. This pins statically what the partition proptest checks
+/// dynamically: `Searcher`'s merged statistics are byte-identical to a
+/// monolithic index, so ranking is partition-invariant.
+pub struct FloatTaintBeforeMerge;
+
+impl AstRule for FloatTaintBeforeMerge {
+    fn name(&self) -> &'static str {
+        "float-taint-before-merge"
+    }
+
+    fn description(&self) -> &'static str {
+        "corpus-stat merging must use exact integer arithmetic; float conversion belongs after the merge, in scoring"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+
+    fn check(
+        &self,
+        model: &WorkspaceModel,
+        _graph: &CallGraph,
+        sev: Severity,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        for t in dataflow::float_taint(model) {
+            out.push(Diagnostic {
+                rule: self.name(),
+                severity: sev,
+                path: t.file.clone(),
+                line: t.line,
+                message: format!(
+                    "{} in `{}`; merge statistics as integers and convert to f64 \
+                     only in post-merge scoring (collection_prob and friends)",
+                    t.what, t.qual
+                ),
+            });
+        }
     }
 }

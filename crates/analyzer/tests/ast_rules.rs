@@ -184,6 +184,95 @@ fn audit_mutation_test_code_exempt() {
 }
 
 #[test]
+fn lock_order_bad_fixture_flagged_both_directions() {
+    let diags = lint(&[("crates/x/src/lib.rs", fixture("lock_order_bad.rs"))]);
+    let hits = of_rule(&diags, "lock-order-consistency");
+    assert_eq!(hits.len(), 2, "one finding per conflicting function: {diags:?}");
+    assert!(hits.iter().all(|d| d.severity == Severity::Error));
+}
+
+#[test]
+fn lock_order_good_fixture_clean() {
+    let diags = lint(&[("crates/x/src/lib.rs", fixture("lock_order_good.rs"))]);
+    assert!(of_rule(&diags, "lock-order-consistency").is_empty(), "{diags:?}");
+}
+
+#[test]
+fn lock_blocking_bad_fixture_flagged() {
+    let diags = lint(&[("crates/x/src/lib.rs", fixture("lock_blocking_bad.rs"))]);
+    let hits = of_rule(&diags, "no-blocking-while-locked");
+    assert_eq!(hits.len(), 1, "seal under the live guard: {diags:?}");
+    assert!(hits[0].severity == Severity::Error);
+    assert!(hits[0].message.contains("live"), "{}", hits[0].message);
+}
+
+#[test]
+fn lock_blocking_good_fixture_clean() {
+    let diags = lint(&[("crates/x/src/lib.rs", fixture("lock_blocking_good.rs"))]);
+    assert!(of_rule(&diags, "no-blocking-while-locked").is_empty(), "{diags:?}");
+}
+
+#[test]
+fn lock_blocking_reaches_through_helpers_cross_file() {
+    // The expensive name sits two hops away: tick holds the guard and
+    // calls refresh, which calls force_merge.
+    let helper = "pub fn refresh(idx: &mut Index) { idx.force_merge(); }";
+    let entry = "pub fn tick(&self) { let g = self.live.lock(); refresh(&mut g); }";
+    let diags = lint(&[
+        ("crates/x/src/lib.rs", entry.to_string()),
+        ("crates/y/src/lib.rs", helper.to_string()),
+    ]);
+    let hits = of_rule(&diags, "no-blocking-while-locked");
+    assert_eq!(hits.len(), 1, "{diags:?}");
+    assert!(
+        hits[0].message.contains("refresh"),
+        "message names the call that reaches the slow work: {}",
+        hits[0].message
+    );
+}
+
+#[test]
+fn lock_blocking_maint_lock_is_allowlisted() {
+    let src = "pub fn maintain(&self) { let g = self.maint.lock(); self.task.seal(); }";
+    let diags = lint(&[("crates/x/src/lib.rs", src.to_string())]);
+    assert!(
+        of_rule(&diags, "no-blocking-while-locked").is_empty(),
+        "the maint lock exists to be held across slow work: {diags:?}"
+    );
+}
+
+#[test]
+fn guard_escape_bad_fixture_flagged_for_return_and_store() {
+    let diags = lint(&[("crates/x/src/lib.rs", fixture("guard_escape_bad.rs"))]);
+    let hits = of_rule(&diags, "guard-escape");
+    assert_eq!(hits.len(), 2, "returned AND stored guard: {diags:?}");
+    assert!(hits.iter().all(|d| d.severity == Severity::Error));
+}
+
+#[test]
+fn guard_escape_good_fixture_clean() {
+    let diags = lint(&[("crates/x/src/lib.rs", fixture("guard_escape_good.rs"))]);
+    assert!(of_rule(&diags, "guard-escape").is_empty(), "{diags:?}");
+}
+
+#[test]
+fn float_taint_bad_fixture_flagged() {
+    let diags = lint(&[("crates/x/src/lib.rs", fixture("float_taint_bad.rs"))]);
+    let hits = of_rule(&diags, "float-taint-before-merge");
+    assert!(!hits.is_empty(), "float round-trip in a stat merge: {diags:?}");
+    assert!(hits.iter().all(|d| d.severity == Severity::Error));
+}
+
+#[test]
+fn float_taint_good_fixture_clean() {
+    let diags = lint(&[("crates/x/src/lib.rs", fixture("float_taint_good.rs"))]);
+    assert!(
+        of_rule(&diags, "float-taint-before-merge").is_empty(),
+        "integer merges and read-only float accessors are fine: {diags:?}"
+    );
+}
+
+#[test]
 fn allow_file_suppresses_whole_file() {
     let src = format!(
         "// lint:allow-file(hash-iteration-determinism)\n{}",

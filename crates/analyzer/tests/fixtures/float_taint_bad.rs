@@ -1,0 +1,9 @@
+// Fixture: corpus-stat merge arithmetic routed through floats — the
+// round-trip silently loses precision above 2^53 and the merged stats
+// stop being a pure integer function of the inputs.
+
+pub fn merge(&mut self, other: &Stats) {
+    let tf = other.coll_tf as f64;
+    self.coll_tf += tf as u64;
+    self.num_docs += other.num_docs;
+}

@@ -1,0 +1,12 @@
+// Fixture: exact integer stat merging; floats only appear downstream in
+// scoring accessors, which never accumulate back into the stats.
+
+pub fn merge(&mut self, other: &Stats) {
+    self.coll_tf += other.coll_tf;
+    self.collection_len += other.collection_len;
+    self.num_docs += other.num_docs;
+}
+
+pub fn collection_prob(&self) -> f64 {
+    self.coll_tf as f64 / self.collection_len as f64
+}

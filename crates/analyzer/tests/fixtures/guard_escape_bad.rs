@@ -1,0 +1,14 @@
+// Fixture: lock guards escaping their acquiring function — returned
+// under a type name that hides the guard, and stashed into a field.
+// Either way the critical section outlives the function and nothing in
+// the signature says so.
+
+pub fn leak(&self) -> StateHold {
+    let g = self.state.lock();
+    g
+}
+
+pub fn stash(&mut self) {
+    let g = self.state.lock();
+    self.held = g;
+}

@@ -1,0 +1,15 @@
+// Fixture: the audited accessor pattern — the only sanctioned way to
+// hand a guard out. The return type names the guard, so every caller
+// sees the critical section it is holding open.
+
+pub fn state_lock(&self) -> MutexGuard<'_, State> {
+    match self.state.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+pub fn tick(&self) {
+    let mut g = self.state_lock();
+    g.bump();
+}

@@ -1,0 +1,8 @@
+// Fixture: a mutex guard stays live across an expensive segment seal —
+// every reader and writer of `live` stalls behind index construction.
+
+pub fn flush_under_lock(&self) {
+    let mut live = self.live.lock();
+    let segment = live.seal();
+    self.published.store(segment);
+}

@@ -1,0 +1,9 @@
+// Fixture: the expensive work runs on state detached from the mutex —
+// the guard only spans the cheap detach and install phases.
+
+pub fn flush_outside_lock(&self) {
+    let task = self.live.lock().detach_buffer();
+    let segment = task.seal();
+    let mut live = self.live.lock();
+    live.install(segment);
+}

@@ -1,0 +1,14 @@
+// Fixture: two functions acquire the same two mutexes in opposite
+// orders — a deadlock waiting for the right interleaving.
+
+pub fn transfer(&self) {
+    let from = self.accounts.lock();
+    let to = self.ledger.lock();
+    from.apply(&to);
+}
+
+pub fn reconcile(&self) {
+    let l = self.ledger.lock();
+    let a = self.accounts.lock();
+    l.reconcile_with(&a);
+}

@@ -1,0 +1,14 @@
+// Fixture: the same two mutexes, acquired in one global order
+// (accounts before ledger) everywhere.
+
+pub fn transfer(&self) {
+    let from = self.accounts.lock();
+    let to = self.ledger.lock();
+    from.apply(&to);
+}
+
+pub fn reconcile(&self) {
+    let a = self.accounts.lock();
+    let l = self.ledger.lock();
+    l.reconcile_with(&a);
+}

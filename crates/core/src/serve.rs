@@ -144,7 +144,13 @@ pub struct QueryService<'a> {
     graph: &'a KbGraph,
     cfg: SqeConfig,
     serve_cfg: ServeConfig,
+    /// Serializes maintenance (seal / force-merge) so expensive segment
+    /// builds never race each other, while `live` stays free for
+    /// ingestion. Lock order: `maint` → `live` → `view`, always.
+    maint: Mutex<()>,
     /// The mutable corpus: sealed segments plus the live ingest buffer.
+    /// Held only for cheap phases — segment builds and merges run on
+    /// detached state (see [`QueryService::seal`]).
     live: Mutex<SegmentedIndex>,
     /// The published immutable view queries read (swapped on seal/merge).
     view: RwLock<Searcher>,
@@ -226,11 +232,23 @@ impl<'a> QueryService<'a> {
             graph,
             cfg,
             serve_cfg,
+            maint: Mutex::new(()),
             live: Mutex::new(live),
             view: RwLock::new(view),
             cache: ExpansionCache::new(serve_cfg.cache_capacity),
             metrics: ServeMetrics::new(),
             clock,
+        }
+    }
+
+    /// Locks the maintenance mutex, serializing seal/merge against each
+    /// other without blocking ingestion or queries. A poisoned lock means
+    /// a previous maintenance op panicked mid-build; the corpus itself is
+    /// still consistent (detached state was simply dropped), so proceed.
+    fn maint_lock(&self) -> MutexGuard<'_, ()> {
+        match self.maint.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
         }
     }
 
@@ -329,15 +347,32 @@ impl<'a> QueryService<'a> {
     /// merge policy, and publishes the refreshed view. Returns `None`
     /// (and changes nothing) when the buffer is empty. The expansion
     /// cache is invalidated exactly once per successful seal.
+    ///
+    /// The expensive work — building the segment, running policy merges —
+    /// happens on state detached from the `live` mutex, so concurrent
+    /// `add_document` calls and queries never block behind it. Only the
+    /// cheap begin/commit/install phases take the lock; `maint`
+    /// serializes whole maintenance ops against each other, so the merge
+    /// outcome is never stale.
     pub fn seal(&self) -> Option<SealReport> {
         let t0 = self.clock.now_nanos();
-        let report;
-        let searcher;
-        {
+        let _maint = self.maint_lock();
+        let pending = self.live_lock().begin_seal()?;
+        // lint:allow(must-audit-after-mutation) — IndexAudit runs inside PendingSeal::build
+        let built = pending.build();
+        let (mut report, task) = {
             let mut live = self.live_lock();
-            report = live.seal()?;
-            searcher = live.searcher();
-        }
+            let report = live.commit_seal(built);
+            (report, live.merge_task())
+        };
+        let outcome = task.run_policy();
+        let searcher = {
+            let mut live = self.live_lock();
+            if let Some(merges) = live.install_merge(outcome) {
+                report.merges = merges;
+            }
+            live.searcher()
+        };
         self.publish(searcher);
         self.metrics.seals.inc();
         self.metrics
@@ -350,16 +385,25 @@ impl<'a> QueryService<'a> {
 
     /// Compacts every sealed segment into one and publishes the merged
     /// view. Returns `false` (a no-op) with fewer than two segments.
+    /// Like [`QueryService::seal`], the merge itself runs on a detached
+    /// snapshot under `maint` only — the `live` mutex is held just to
+    /// snapshot and to install the result.
     pub fn force_merge(&self) -> bool {
         let t0 = self.clock.now_nanos();
-        let searcher;
-        {
+        let _maint = self.maint_lock();
+        let task = self.live_lock().merge_task();
+        let Some(outcome) = task.run_full() else {
+            return false;
+        };
+        let searcher = {
             let mut live = self.live_lock();
-            if !live.force_merge() {
+            if live.install_merge(outcome).is_none() {
+                // Unreachable while `maint` serializes maintenance, but a
+                // stale outcome must never clobber a newer segment set.
                 return false;
             }
-            searcher = live.searcher();
-        }
+            live.searcher()
+        };
         self.publish(searcher);
         self.metrics.merges.inc();
         let t1 = self.clock.now_nanos();

@@ -116,6 +116,115 @@ pub struct SealReport {
     pub epoch: u64,
 }
 
+/// A detached ingest buffer waiting to be built into a segment — the
+/// output of [`SegmentedIndex::begin_seal`]. Holding one reserves a
+/// segment id; the id is burnt (never reused) if the pending seal is
+/// dropped without [`SegmentedIndex::commit_seal`].
+///
+/// The point of the three-phase `begin_seal` → [`PendingSeal::build`] →
+/// `commit_seal` protocol is that the expensive build runs **without**
+/// whatever lock guards the [`SegmentedIndex`]: a serving layer takes the
+/// lock only for the cheap begin/commit phases, so queries and ingestion
+/// are never stalled behind segment construction.
+#[derive(Debug)]
+// lint:allow(persist-types-derive-serde) — transient seal phase, never persisted
+pub struct PendingSeal {
+    builder: IndexBuilder,
+    segment_id: u64,
+    docs: usize,
+}
+
+impl PendingSeal {
+    /// Builds the detached buffer into an immutable segment. This is the
+    /// expensive phase — run it outside any lock guarding the index.
+    pub fn build(self) -> BuiltSegment {
+        let index = self.builder.build();
+        #[cfg(all(debug_assertions, feature = "validate"))]
+        {
+            let audit = crate::audit::IndexAudit::run(&index);
+            debug_assert!(audit.is_clean(), "sealed buffer failed audit: {audit:?}");
+        }
+        BuiltSegment {
+            segment: Segment::new(self.segment_id, index),
+            docs: self.docs,
+        }
+    }
+}
+
+/// An immutable segment built from a [`PendingSeal`], ready for
+/// [`SegmentedIndex::commit_seal`].
+#[derive(Debug)]
+// lint:allow(persist-types-derive-serde) — transient seal phase, never persisted
+pub struct BuiltSegment {
+    segment: Segment,
+    docs: usize,
+}
+
+/// A point-in-time snapshot of the segment set, detached for merging —
+/// the output of [`SegmentedIndex::merge_task`]. Run the expensive
+/// [`MergeTask::run_policy`] / [`MergeTask::run_full`] phase outside any
+/// lock, then hand the [`MergeOutcome`] back to
+/// [`SegmentedIndex::install_merge`].
+#[derive(Debug)]
+// lint:allow(persist-types-derive-serde) — transient merge phase, never persisted
+pub struct MergeTask {
+    segments: Vec<Arc<Segment>>,
+    next_segment_id: u64,
+    based_on_epoch: u64,
+    policy: TieredMergePolicy,
+}
+
+impl MergeTask {
+    /// Applies the tiered merge policy to the snapshot. `merges` may be
+    /// zero (no same-tier run existed); installing a zero-merge outcome
+    /// is a no-op.
+    pub fn run_policy(mut self) -> MergeOutcome {
+        let merges = self.policy.apply(&mut self.segments, &mut self.next_segment_id);
+        MergeOutcome {
+            segments: self.segments,
+            next_segment_id: self.next_segment_id,
+            based_on_epoch: self.based_on_epoch,
+            merges,
+            bump_epoch: false,
+        }
+    }
+
+    /// Compacts the whole snapshot into one segment. Returns `None` when
+    /// there is nothing to merge (fewer than two segments). The outcome
+    /// bumps the epoch on install, mirroring the
+    /// [`SegmentedIndex::force_merge`] contract.
+    pub fn run_full(mut self) -> Option<MergeOutcome> {
+        if self.segments.len() < 2 {
+            return None;
+        }
+        let merged = Segment::merge(self.next_segment_id, &self.segments)
+            .expect("invariant: merging audited adjacent segments preserves index shape");
+        self.next_segment_id += 1;
+        self.segments.clear();
+        self.segments.push(Arc::new(merged));
+        Some(MergeOutcome {
+            segments: self.segments,
+            next_segment_id: self.next_segment_id,
+            based_on_epoch: self.based_on_epoch,
+            merges: 1,
+            bump_epoch: true,
+        })
+    }
+}
+
+/// A merged segment set produced by a [`MergeTask`], tagged with the
+/// epoch it was based on so a stale outcome is rejected instead of
+/// clobbering newer seals.
+#[derive(Debug)]
+// lint:allow(persist-types-derive-serde) — transient merge phase, never persisted
+pub struct MergeOutcome {
+    segments: Vec<Arc<Segment>>,
+    next_segment_id: u64,
+    based_on_epoch: u64,
+    merges: usize,
+    bump_epoch: bool,
+}
+
 /// A growing corpus: immutable sealed segments plus one mutable buffer.
 #[derive(Debug)]
 // lint:allow(persist-types-derive-serde) — persisted per-segment via sqe-store
@@ -125,6 +234,11 @@ pub struct SegmentedIndex {
     buffer: IndexBuilder,
     /// External ids across sealed segments *and* the buffer.
     seen: FxHashSet<String>,
+    /// Documents detached into a [`PendingSeal`] that has not committed
+    /// yet. They occupy the global doc-id range right after the sealed
+    /// docs, so ids handed out by [`SegmentedIndex::add_document`] during
+    /// an out-of-lock build stay correct.
+    pending_docs: usize,
     next_segment_id: u64,
     epoch: u64,
     policy: TieredMergePolicy,
@@ -144,6 +258,7 @@ impl SegmentedIndex {
             segments: Vec::new(),
             buffer,
             seen: FxHashSet::default(),
+            pending_docs: 0,
             next_segment_id: 0,
             epoch: 0,
             policy,
@@ -197,9 +312,10 @@ impl SegmentedIndex {
         self.segments.iter().map(|s| s.num_docs()).sum()
     }
 
-    /// Documents waiting in the buffer (invisible until sealed).
+    /// Documents waiting in the buffer or detached in an uncommitted
+    /// [`PendingSeal`] (invisible until sealed/committed).
     pub fn num_buffered_docs(&self) -> usize {
-        self.buffer.num_docs()
+        self.buffer.num_docs() + self.pending_docs
     }
 
     /// Adds a document to the live buffer; returns the **global** doc id
@@ -211,8 +327,8 @@ impl SegmentedIndex {
                 external_id: external_id.to_owned(),
             });
         }
-        let sealed =
-            u32::try_from(self.num_sealed_docs()).expect("invariant: doc count fits in u32 ids");
+        let sealed = u32::try_from(self.num_sealed_docs() + self.pending_docs)
+            .expect("invariant: doc count fits in u32 ids");
         let local = self
             .buffer
             .add_document(external_id, text)
@@ -220,44 +336,99 @@ impl SegmentedIndex {
         Ok(DocId(sealed + local.0))
     }
 
-    /// Seals the buffer into a new immutable segment, applies the merge
-    /// policy, and bumps the epoch once. Returns `None` (and leaves the
-    /// epoch untouched) when the buffer is empty.
-    pub fn seal(&mut self) -> Option<SealReport> {
-        if self.buffer.num_docs() == 0 {
+    /// Detaches the ingest buffer for an out-of-lock build, reserving a
+    /// segment id. Returns `None` when the buffer is empty. Cheap: no
+    /// index construction happens here. New documents keep arriving in a
+    /// fresh buffer and are assigned ids *after* the detached docs.
+    pub fn begin_seal(&mut self) -> Option<PendingSeal> {
+        let docs = self.buffer.num_docs();
+        if docs == 0 {
             return None;
         }
         let builder = std::mem::replace(&mut self.buffer, IndexBuilder::new(self.analyzer.clone()));
-        let index = builder.build();
-        #[cfg(all(debug_assertions, feature = "validate"))]
-        {
-            let audit = crate::audit::IndexAudit::run(&index);
-            debug_assert!(audit.is_clean(), "sealed buffer failed audit: {audit:?}");
-        }
         let segment_id = self.next_segment_id;
         self.next_segment_id += 1;
-        self.segments.push(Arc::new(Segment::new(segment_id, index)));
-        let merges = self.policy.apply(&mut self.segments, &mut self.next_segment_id);
-        self.epoch += 1;
-        Some(SealReport {
+        self.pending_docs += docs;
+        Some(PendingSeal {
+            builder,
             segment_id,
-            merges,
-            epoch: self.epoch,
+            docs,
         })
+    }
+
+    /// Appends a segment built from [`PendingSeal::build`] and bumps the
+    /// epoch once. Cheap: the expensive build already happened. The merge
+    /// policy is *not* applied here — follow up with
+    /// [`SegmentedIndex::merge_task`] / [`SegmentedIndex::install_merge`]
+    /// (or use the all-in-one [`SegmentedIndex::seal`]).
+    pub fn commit_seal(&mut self, built: BuiltSegment) -> SealReport {
+        let segment_id = built.segment.id();
+        self.pending_docs -= built.docs;
+        self.segments.push(Arc::new(built.segment));
+        self.epoch += 1;
+        SealReport {
+            segment_id,
+            merges: 0,
+            epoch: self.epoch,
+        }
+    }
+
+    /// Snapshots the segment set for an out-of-lock merge. Cheap: clones
+    /// `Arc`s only.
+    pub fn merge_task(&self) -> MergeTask {
+        MergeTask {
+            segments: self.segments.clone(),
+            next_segment_id: self.next_segment_id,
+            based_on_epoch: self.epoch,
+            policy: self.policy,
+        }
+    }
+
+    /// Installs a merge outcome, returning how many merge operations it
+    /// carried. Returns `None` (discarding the outcome) when the epoch
+    /// moved since [`SegmentedIndex::merge_task`] — the segment set the
+    /// merge was computed from no longer exists, and merges are an
+    /// optimisation that can always be redone later. Policy merges keep
+    /// the epoch (they ride the seal that triggered them); a
+    /// [`MergeTask::run_full`] outcome bumps it.
+    pub fn install_merge(&mut self, outcome: MergeOutcome) -> Option<usize> {
+        if outcome.based_on_epoch != self.epoch {
+            return None;
+        }
+        if outcome.merges > 0 {
+            self.segments = outcome.segments;
+            self.next_segment_id = outcome.next_segment_id;
+            if outcome.bump_epoch {
+                self.epoch += 1;
+            }
+        }
+        Some(outcome.merges)
+    }
+
+    /// Seals the buffer into a new immutable segment, applies the merge
+    /// policy, and bumps the epoch once. Returns `None` (and leaves the
+    /// epoch untouched) when the buffer is empty. Synchronous convenience
+    /// over the `begin_seal` → `build` → `commit_seal` → merge phases.
+    pub fn seal(&mut self) -> Option<SealReport> {
+        let pending = self.begin_seal()?;
+        // lint:allow(must-audit-after-mutation) — IndexAudit runs inside PendingSeal::build
+        let built = pending.build();
+        let mut report = self.commit_seal(built);
+        let outcome = self.merge_task().run_policy();
+        report.merges = self
+            .install_merge(outcome)
+            .expect("invariant: no interleaved epoch bump through &mut self");
+        Some(report)
     }
 
     /// Compacts every sealed segment into one. Returns `true` (with one
     /// epoch bump) if the segment set changed. Buffered docs stay put.
     pub fn force_merge(&mut self) -> bool {
-        if self.segments.len() < 2 {
+        let Some(outcome) = self.merge_task().run_full() else {
             return false;
-        }
-        let merged = Segment::merge(self.next_segment_id, &self.segments)
-            .expect("invariant: merging audited adjacent segments preserves index shape");
-        self.next_segment_id += 1;
-        self.segments.clear();
-        self.segments.push(Arc::new(merged));
-        self.epoch += 1;
+        };
+        self.install_merge(outcome)
+            .expect("invariant: no interleaved epoch bump through &mut self");
         true
     }
 
@@ -387,6 +558,44 @@ mod tests {
             s.searcher().segments()[0].index().to_json().expect("json"),
             monolithic(&all).to_json().expect("json")
         );
+    }
+
+    #[test]
+    fn phased_seal_assigns_ids_across_pending_build() {
+        let mut s = SegmentedIndex::new(Analyzer::plain());
+        assert_eq!(s.add_document("a", "x").expect("fresh"), DocId(0));
+        let pending = s.begin_seal().expect("non-empty buffer detaches");
+        // Docs arriving while the detached build runs (out of lock in a
+        // serving layer) must slot in after the pending docs.
+        assert_eq!(s.add_document("b", "y").expect("fresh"), DocId(1));
+        assert_eq!(s.num_buffered_docs(), 2, "pending + fresh buffer");
+        let report = s.commit_seal(pending.build());
+        assert_eq!((report.epoch, report.merges), (1, 0));
+        assert_eq!(s.num_buffered_docs(), 1, "pending docs committed");
+        assert_eq!(s.searcher().external_id(DocId(0)), "a");
+        s.seal().expect("seals the fresh buffer");
+        assert_eq!(s.searcher().external_id(DocId(1)), "b");
+    }
+
+    #[test]
+    fn stale_merge_outcome_is_discarded() {
+        let mut s = SegmentedIndex::with_policy(
+            Analyzer::plain(),
+            TieredMergePolicy { merge_factor: 64 },
+        );
+        for (id, text) in &docs(3) {
+            s.add_document(id, text).expect("fresh");
+            s.seal().expect("seals");
+        }
+        let task = s.merge_task();
+        // Epoch moves under the snapshot: the outcome must be rejected.
+        s.add_document("late", "late doc").expect("fresh");
+        s.seal().expect("seals");
+        let outcome = task.run_full().expect("three segments are mergeable");
+        assert_eq!(s.install_merge(outcome), None, "stale outcome discarded");
+        assert_eq!(s.num_segments(), 4, "segment set untouched");
+        assert!(s.force_merge(), "a fresh merge still works");
+        assert_eq!(s.num_segments(), 1);
     }
 
     #[test]

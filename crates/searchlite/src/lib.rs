@@ -65,7 +65,10 @@ pub use index::{
     DocId, Index, IndexBuildError, IndexBuilder, IndexDecodeError, IndexShapeError,
     PositionalScratch, TermId, TermPostings,
 };
-pub use ingest::{IngestError, SealReport, SegmentedIndex, TieredMergePolicy};
+pub use ingest::{
+    BuiltSegment, IngestError, MergeOutcome, MergeTask, PendingSeal, SealReport, SegmentedIndex,
+    TieredMergePolicy,
+};
 pub use ql::{QlParams, SearchHit};
 pub use searcher::Searcher;
 pub use segment::Segment;
