@@ -70,7 +70,7 @@ pub struct FnNode {
 /// `.name(..)` calls with these names never use name fallback — they are
 /// overwhelmingly std calls, and resolving them would connect nearly every
 /// function to every workspace impl of `push`/`len`/`get`/...
-const STD_METHOD_NAMES: &[&str] = &[
+pub(crate) const STD_METHOD_NAMES: &[&str] = &[
     "new", "push", "pop", "len", "is_empty", "get", "get_mut", "insert", "remove", "contains",
     "contains_key", "iter", "iter_mut", "into_iter", "next", "clone", "clear", "extend", "entry",
     "keys", "values", "drain", "sort", "sort_by", "sort_unstable", "sort_unstable_by",
@@ -236,6 +236,64 @@ impl CallGraph {
             }
         }
         parent
+    }
+
+    /// Strongly connected components of the call graph in reverse
+    /// topological order (callees before callers) — the bottom-up order
+    /// a summary-based interprocedural analysis wants. Iterative Tarjan;
+    /// each component's member ids are sorted for determinism.
+    pub fn sccs(&self) -> Vec<Vec<usize>> {
+        let n = self.nodes.len();
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut out: Vec<Vec<usize>> = Vec::new();
+        // Explicit DFS frames: (node, next child cursor).
+        let mut frames: Vec<(usize, usize)> = Vec::new();
+        for root in 0..n {
+            if index[root] != usize::MAX {
+                continue;
+            }
+            frames.push((root, 0));
+            while let Some(&mut (v, ref mut ci)) = frames.last_mut() {
+                if *ci == 0 {
+                    index[v] = next_index;
+                    low[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                }
+                if *ci < self.edges[v].len() {
+                    let w = self.edges[v][*ci];
+                    *ci += 1;
+                    if index[w] == usize::MAX {
+                        frames.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    frames.pop();
+                    if let Some(&(p, _)) = frames.last() {
+                        low[p] = low[p].min(low[v]);
+                    }
+                    if low[v] == index[v] {
+                        let mut comp = Vec::new();
+                        while let Some(w) = stack.pop() {
+                            on_stack[w] = false;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp.sort_unstable();
+                        out.push(comp);
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// The entry→node call path implied by a parent map, as `qual` names
@@ -461,6 +519,47 @@ mod tests {
         assert!(kinds.contains(&&PanicKind::NonInvariantExpect));
         assert!(kinds.contains(&&PanicKind::Indexing));
         assert_eq!(kinds.len(), 3, "invariant expect is allowlisted: {kinds:?}");
+    }
+
+    #[test]
+    fn sccs_group_cycles_and_order_bottom_up() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "pub fn ping() { pong(); } pub fn pong() { ping(); } \
+             pub fn entry() { ping(); leaf(); } pub fn leaf() {}",
+        )]);
+        let comps = g.sccs();
+        // Every node in exactly one component.
+        let mut seen: Vec<usize> = comps.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..g.nodes.len()).collect::<Vec<_>>());
+        // ping/pong form one two-node component.
+        let ping = g.find("ping")[0];
+        let pong = g.find("pong")[0];
+        let cycle = comps
+            .iter()
+            .find(|c| c.contains(&ping))
+            .expect("ping in some comp");
+        assert!(cycle.contains(&pong), "mutual recursion shares a component");
+        assert_eq!(cycle.len(), 2);
+        // Reverse topological: every callee's component appears no later
+        // than its caller's (callees first = bottom-up).
+        let mut comp_of = vec![0usize; g.nodes.len()];
+        for (ci, c) in comps.iter().enumerate() {
+            for &m in c {
+                comp_of[m] = ci;
+            }
+        }
+        for v in 0..g.nodes.len() {
+            for &w in g.callees(v) {
+                assert!(
+                    comp_of[w] <= comp_of[v],
+                    "callee component must come first: {} -> {}",
+                    g.nodes[v].qual,
+                    g.nodes[w].qual
+                );
+            }
+        }
     }
 
     #[test]

@@ -430,6 +430,21 @@ pub fn for_each_state<'a, D: Lattice>(
     }
 }
 
+/// Solves the analysis and returns the state at the function's single
+/// exit block — the effect of the whole body on `entry_state`.
+pub fn exit_state<'a, D: Lattice>(
+    cfg: &Cfg<'a>,
+    entry_state: D,
+    transfer: &mut impl FnMut(&Stmt<'a>, &mut D),
+) -> D {
+    let states = solve_forward(cfg, entry_state, transfer);
+    let mut s = states[cfg.exit].clone();
+    for stmt in &cfg.blocks[cfg.exit].stmts {
+        transfer(stmt, &mut s);
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -614,5 +629,17 @@ mod tests {
             &mut |_, _| visited += 1,
         );
         assert_eq!(visited as usize, cfg.placed_stmts());
+    }
+
+    #[test]
+    fn exit_state_summarizes_whole_body() {
+        // Branches join at exit: max over both paths; the loop saturates.
+        let (f, _) = first_cfg("fn f(c: bool) { if c { one(); } else { two(); three(); } }");
+        let cfg = build(&f, "f");
+        let out = exit_state(&cfg, Count(0), &mut |_, d: &mut Count| {
+            d.0 = (d.0 + 1).min(10);
+        });
+        // Longest path through the body: cond + two + three + ScopeEnd ≥ 3.
+        assert!(out.0 >= 3, "exit state must reflect the longest path, got {}", out.0);
     }
 }

@@ -40,6 +40,14 @@ use crate::symbols::WorkspaceModel;
 /// Zero-argument guard-producing methods on sync primitives.
 pub const LOCK_METHODS: [&str; 6] = ["lock", "read", "write", "try_lock", "try_read", "try_write"];
 
+/// Type text that denotes an unordered hash container.
+pub fn is_hash_ty(t: &str) -> bool {
+    t.contains("HashMap") || t.contains("HashSet")
+}
+
+/// Iterator-producing methods whose order is the container's.
+pub const HASH_ITER_METHODS: &[&str] = &["iter", "iter_mut", "into_iter", "keys", "values", "drain"];
+
 /// Corpus-statistic integer names (fields, accessors, locals) whose
 /// merge must stay in exact integer arithmetic.
 pub const STAT_NAMES: [&str; 7] = [
@@ -129,8 +137,8 @@ pub struct LockModel {
 
 /// May-held guard set: binding name → (lock, acquisition line).
 #[derive(Debug, Clone, PartialEq, Default)]
-struct HeldSet {
-    guards: BTreeMap<String, (String, u32)>,
+pub(crate) struct HeldSet {
+    pub(crate) guards: BTreeMap<String, (String, u32)>,
 }
 
 impl Lattice for HeldSet {
@@ -152,7 +160,7 @@ impl Lattice for HeldSet {
 /// Last identifier of a path/field receiver chain (`live` for
 /// `self.live`, `view` for `self.inner.view`); `None` when the receiver
 /// is not a plain chain (calls, indexing).
-fn chain_last_ident(e: &Expr) -> Option<String> {
+pub(crate) fn chain_last_ident(e: &Expr) -> Option<String> {
     fn is_plain_chain(e: &Expr) -> bool {
         match e {
             Expr::Path { .. } => true,
@@ -178,7 +186,7 @@ fn chain_last_ident(e: &Expr) -> Option<String> {
 /// Direct acquisitions syntactically inside `e`: zero-argument lock
 /// methods on plain chains, plus calls to known accessor functions
 /// (`accessors` maps accessor fn name → lock it acquires).
-fn find_acquires(e: &Expr, accessors: &BTreeMap<String, String>) -> Vec<(String, u32)> {
+pub(crate) fn find_acquires(e: &Expr, accessors: &BTreeMap<String, String>) -> Vec<(String, u32)> {
     let mut out = Vec::new();
     e.walk(&mut |n| match n {
         Expr::MethodCall {
@@ -215,7 +223,7 @@ fn find_acquires(e: &Expr, accessors: &BTreeMap<String, String>) -> Vec<(String,
 /// Callee names invoked inside `e` (method names and last path segments
 /// of direct calls), with lines. Lock methods themselves and the
 /// ubiquitous `Result`/`Option` plumbing are excluded.
-fn find_calls(e: &Expr) -> Vec<(String, u32)> {
+pub(crate) fn find_calls(e: &Expr) -> Vec<(String, u32)> {
     const PLUMBING: [&str; 10] = [
         "unwrap", "expect", "ok", "err", "map_err", "clone", "as_ref", "as_deref", "into", "len",
     ];
@@ -244,7 +252,10 @@ fn find_calls(e: &Expr) -> Vec<(String, u32)> {
 /// or accessor call itself, possibly wrapped in `unwrap`/`expect`/`?`.
 /// An acquisition buried deeper (as a receiver of a further method call,
 /// or an argument) produces a statement temporary, not a binding.
-fn value_acquire(e: &Expr, accessors: &BTreeMap<String, String>) -> Option<(String, u32)> {
+pub(crate) fn value_acquire(
+    e: &Expr,
+    accessors: &BTreeMap<String, String>,
+) -> Option<(String, u32)> {
     match e {
         Expr::MethodCall {
             recv,
@@ -282,7 +293,7 @@ fn value_acquire(e: &Expr, accessors: &BTreeMap<String, String>) -> Option<(Stri
 }
 
 /// `drop(x)` / `std::mem::drop(x)` argument binding, if `e` is one.
-fn dropped_binding(e: &Expr) -> Option<String> {
+pub(crate) fn dropped_binding(e: &Expr) -> Option<String> {
     if let Expr::Call { callee, args, .. } = e {
         if let Expr::Path { segs, .. } = callee.as_ref() {
             if segs.last().is_some_and(|s| s == "drop") && args.len() == 1 {
@@ -297,12 +308,10 @@ fn dropped_binding(e: &Expr) -> Option<String> {
     None
 }
 
-/// Builds workspace-wide lock facts. Two passes: the first collects
-/// per-function direct acquisitions and guard-returning accessors, the
-/// second runs the held-set dataflow with accessor calls resolved.
-pub fn lock_model(model: &WorkspaceModel) -> LockModel {
-    // Pass 1: accessor summaries — `fn view_guard(&self) -> RwLockReadGuard<..>`
-    // acquiring exactly one lock exports that lock to its callers.
+/// Accessor summaries — `fn view_guard(&self) -> RwLockReadGuard<..>`
+/// acquiring exactly one lock exports that lock to its callers. Maps
+/// accessor fn name → the lock its guard protects.
+pub(crate) fn guard_accessors(model: &WorkspaceModel) -> BTreeMap<String, String> {
     let empty: BTreeMap<String, String> = BTreeMap::new();
     let mut accessors: BTreeMap<String, String> = BTreeMap::new();
     model.for_each_fn(&mut |_file, _ty, _is_test, def| {
@@ -317,10 +326,52 @@ pub fn lock_model(model: &WorkspaceModel) -> LockModel {
             }
         }
         if locks.len() == 1 {
-            let lock = locks.into_iter().next().expect("len checked");
+            let lock = locks
+                .into_iter()
+                .next()
+                .expect("invariant: len == 1 checked on the line above");
             accessors.insert(def.name.clone(), lock);
         }
     });
+    accessors
+}
+
+/// The held-set transfer function shared by every lockset analysis:
+/// `drop(g)` kills, `let g = <acquire>` binds, rebinding and scope end
+/// kill.
+pub(crate) fn held_step(stmt: &Stmt<'_>, held: &mut HeldSet, accessors: &BTreeMap<String, String>) {
+    match stmt {
+        Stmt::Expr(e) => {
+            if let Some(b) = dropped_binding(e) {
+                held.guards.remove(&b);
+            }
+            if let Expr::Let {
+                name: Some(n),
+                init: Some(init),
+                ..
+            } = e
+            {
+                if let Some((lock, line)) = value_acquire(init, accessors) {
+                    held.guards.insert(n.clone(), (lock, line));
+                    return;
+                }
+                // Rebinding a name to a non-guard kills the old guard.
+                held.guards.remove(n.as_str());
+            }
+        }
+        Stmt::ScopeEnd(names) => {
+            for n in names {
+                held.guards.remove(n.as_str());
+            }
+        }
+    }
+}
+
+/// Builds workspace-wide lock facts. Two passes: the first collects
+/// per-function direct acquisitions and guard-returning accessors, the
+/// second runs the held-set dataflow with accessor calls resolved.
+pub fn lock_model(model: &WorkspaceModel) -> LockModel {
+    let accessors = guard_accessors(model);
 
     // Pass 2: per-function dataflow.
     let mut fns: Vec<FnLockFacts> = Vec::new();
@@ -346,31 +397,8 @@ pub fn lock_model(model: &WorkspaceModel) -> LockModel {
             .as_ref()
             .and_then(|b| b.stmts.last())
             .map(|s| s as *const Expr);
-        let mut transfer = |stmt: &Stmt<'_>, held: &mut HeldSet| match stmt {
-            Stmt::Expr(e) => {
-                if let Some(b) = dropped_binding(e) {
-                    held.guards.remove(&b);
-                }
-                if let Expr::Let {
-                    name: Some(n),
-                    init: Some(init),
-                    ..
-                } = e
-                {
-                    if let Some((lock, line)) = value_acquire(init, &accessors) {
-                        held.guards.insert(n.clone(), (lock, line));
-                        return;
-                    }
-                    // Rebinding a name to a non-guard kills the old guard.
-                    held.guards.remove(n.as_str());
-                }
-            }
-            Stmt::ScopeEnd(names) => {
-                for n in names {
-                    held.guards.remove(n.as_str());
-                }
-            }
-        };
+        let mut transfer =
+            |stmt: &Stmt<'_>, held: &mut HeldSet| held_step(stmt, held, &accessors);
         let mut visit = |stmt: &Stmt<'_>, held: &HeldSet| {
             let Stmt::Expr(e) = stmt else { return };
             let acq = find_acquires(e, &accessors);

@@ -24,6 +24,7 @@ pub mod diag;
 pub mod lexer;
 pub mod parser;
 pub mod rules;
+pub mod summaries;
 pub mod symbols;
 
 use std::fs;

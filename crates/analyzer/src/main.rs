@@ -20,8 +20,12 @@
 //!   time (default `<root>/sqe-lint.bench.json`); exit 1 when the run
 //!   regresses more than 2× over the reference. `--out` writes a
 //!   timings artifact for CI.
-//! - `rules` — print the rule table (token and ast layers) with default
-//!   severities.
+//! - `rules` — print the rule table (token/ast/flow/inter layers) with
+//!   default severities.
+//! - `explain <rule>` — print one rule's full story: what it checks, why
+//!   it exists in this codebase, the bad/good fixture pair that pins its
+//!   behaviour, and the suppression syntax. Exit 2 on an unknown rule
+//!   (with the list of valid names).
 //! - `audit [--selftest]` — build a synthetic testbed, run the graph and
 //!   index auditors, and (with `--selftest`) seed known corruption
 //!   classes to prove each is still detected. Exit 1 on any violation or
@@ -42,13 +46,14 @@ fn main() -> ExitCode {
         Some("baseline") => cmd_baseline(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("rules") => cmd_rules(),
+        Some("explain") => cmd_explain(&args[1..]),
         Some("audit") => cmd_audit(&args[1..]),
         _ => {
             eprintln!(
                 "usage: sqe-lint <check [--root DIR] [--format human|json|github] [--config FILE] \
                  [--baseline FILE] [--out FILE] | baseline [--root DIR] [--baseline FILE] \
                  | bench [--root DIR] [--reference FILE] [--out FILE] \
-                 | rules | audit [--selftest]>"
+                 | rules | explain <rule> | audit [--selftest]>"
             );
             ExitCode::from(2)
         }
@@ -174,8 +179,9 @@ fn cmd_check(args: &[String]) -> ExitCode {
                 // closest survivor so the fix is obvious.
                 if let Some(d) = baseline::nearest_surviving(k, &diags) {
                     println!(
-                        "  hint: nearest surviving finding is [{}] at {}:{}",
-                        d.rule, d.path, d.line
+                        "  hint: nearest surviving finding is [{}] at {}:{} \
+                         (see `sqe-lint explain {}`)",
+                        d.rule, d.path, d.line, d.rule
                     );
                 }
             }
@@ -322,6 +328,60 @@ fn cmd_rules() -> ExitCode {
         println!("{name:<28} {:<6} {layer:<6} {description}", severity.as_str());
     }
     ExitCode::SUCCESS
+}
+
+/// Prints one rule's full story: description, rationale, the fixture
+/// pair pinning its behaviour, and how to suppress it.
+fn cmd_explain(args: &[String]) -> ExitCode {
+    let Some(name) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!("usage: sqe-lint explain <rule>");
+        return ExitCode::from(2);
+    };
+    let Some(e) = rules::explanation(name) else {
+        eprintln!("sqe-lint: unknown rule `{name}`; valid rules are:");
+        for (n, ..) in rules::rule_table() {
+            eprintln!("  {n}");
+        }
+        return ExitCode::from(2);
+    };
+    println!("{} ({} layer, default severity {})", e.name, e.layer, e.severity.as_str());
+    println!();
+    println!("  {}", e.summary);
+    println!();
+    println!("why:");
+    for line in wrap(e.rationale, 72) {
+        println!("  {line}");
+    }
+    if let Some(stem) = e.fixture {
+        println!();
+        println!("fixtures (pinned by the rule tests):");
+        println!("  bad:  crates/analyzer/tests/fixtures/{stem}_bad.rs");
+        println!("  good: crates/analyzer/tests/fixtures/{stem}_good.rs");
+    }
+    println!();
+    println!("suppress (requires a written justification in review):");
+    println!("  // lint:allow({})       — this line or the line below", e.name);
+    println!("  // lint:allow-file({})  — whole file, in the header comment", e.name);
+    ExitCode::SUCCESS
+}
+
+/// Greedy word-wrap for terminal output.
+fn wrap(text: &str, width: usize) -> Vec<String> {
+    let mut lines = Vec::new();
+    let mut cur = String::new();
+    for word in text.split_whitespace() {
+        if !cur.is_empty() && cur.len() + 1 + word.len() > width {
+            lines.push(std::mem::take(&mut cur));
+        }
+        if !cur.is_empty() {
+            cur.push(' ');
+        }
+        cur.push_str(word);
+    }
+    if !cur.is_empty() {
+        lines.push(cur);
+    }
+    lines
 }
 
 fn cmd_audit(args: &[String]) -> ExitCode {

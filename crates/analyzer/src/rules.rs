@@ -121,7 +121,23 @@ pub fn ast_registry() -> Vec<Box<dyn AstRule>> {
         Box::new(NoBlockingWhileLocked),
         Box::new(GuardEscape),
         Box::new(FloatTaintBeforeMerge),
+        Box::new(UnguardedSharedField),
+        Box::new(DeterminismTaintToOutput),
     ]
+}
+
+/// Analysis layer of a rule: `token` (lexical), `ast` (workspace
+/// symbols/call graph), `flow` (intraprocedural CFG dataflow), or
+/// `inter` (summary-based interprocedural).
+fn layer_of(name: &str) -> &'static str {
+    match name {
+        "lock-order-consistency" | "float-taint-before-merge" => "flow",
+        "no-blocking-while-locked"
+        | "guard-escape"
+        | "unguarded-shared-field"
+        | "determinism-taint-to-output" => "inter",
+        _ => "ast",
+    }
 }
 
 /// `(name, description, default severity, layer)` for every rule, token
@@ -134,9 +150,139 @@ pub fn rule_table() -> Vec<(&'static str, &'static str, Severity, &'static str)>
     out.extend(
         ast_registry()
             .iter()
-            .map(|r| (r.name(), r.description(), r.default_severity(), "ast")),
+            .map(|r| (r.name(), r.description(), r.default_severity(), layer_of(r.name()))),
     );
     out
+}
+
+/// Everything `sqe-lint explain <rule>` prints about one rule.
+pub struct Explanation {
+    /// Stable kebab-case rule name.
+    pub name: &'static str,
+    /// Analysis layer (token/ast/flow/inter).
+    pub layer: &'static str,
+    /// Default severity.
+    pub severity: Severity,
+    /// One-line description (same as `sqe-lint rules`).
+    pub summary: &'static str,
+    /// Why the rule exists in *this* codebase.
+    pub rationale: &'static str,
+    /// `(bad, good)` fixture stems under `crates/analyzer/tests/fixtures/`.
+    pub fixture: Option<&'static str>,
+}
+
+/// Full explanation of a rule by name, or `None` if unknown.
+pub fn explanation(name: &str) -> Option<Explanation> {
+    let (rationale, fixture): (&'static str, Option<&'static str>) = match name {
+        "no-nan-unsafe-sort" => (
+            "Ranking ties are broken by score comparisons; `partial_cmp` on floats \
+             panics or misorders on NaN. The scorecmp crate provides NaN-safe \
+             total-order comparators — every sort over scores must use them so run \
+             files are reproducible.",
+            Some("nan_sort"),
+        ),
+        "no-nondeterministic-rng" => (
+            "Unseeded RNGs make experiment runs unreproducible. Every stochastic \
+             choice must flow from an explicit seed recorded with the run.",
+            Some("rng"),
+        ),
+        "no-panicking-hot-path" => (
+            "Files on the query serving path must not contain bare `unwrap`/panics; \
+             a poisoned worker deadlocks the executor. Use `expect(\"invariant: ..\")` \
+             naming the violated invariant, or handle the case.",
+            Some("hot_path"),
+        ),
+        "persist-types-derive-serde" => (
+            "Types written to disk must round-trip; a missing derive turns a \
+             snapshot into a one-way artifact.",
+            Some("persist"),
+        ),
+        "panic-reachability" => (
+            "A panic N calls below `topk`/`ql`/`bm25` is still a serving panic. The \
+             call graph is walked from every hot-path entry; the invariant-expect \
+             allowlist and assert-guarded indexing keep intentional checks legal.",
+            Some("panic_reach"),
+        ),
+        "hash-iteration-determinism" => (
+            "HashMap/HashSet iteration order varies across runs and platforms; \
+             feeding it into an ordered sink (Vec, String, writer) makes run files \
+             irreproducible. Sort with a total order or use BTree containers.",
+            Some("hash_iter"),
+        ),
+        "lossy-id-cast" => (
+            "`as u32`-style casts silently truncate doc/node ids at scale \
+             boundaries; constructors must use `try_from` with an invariant expect.",
+            Some("lossy_cast"),
+        ),
+        "must-audit-after-mutation" => (
+            "Raw constructors (`from_raw_parts`, `from_parts`, `.build()` in \
+             seal/merge) bypass the incremental invariants; every such site must be \
+             followed by a GraphAudit/IndexAudit before the structure is served.",
+            Some("audit_mutation"),
+        ),
+        "lock-order-consistency" => (
+            "Two functions taking the same pair of locks in opposite orders can \
+             deadlock under concurrency. The workspace fixes one global order \
+             (maint -> live -> view); every acquisition pair is checked against \
+             every other.",
+            Some("lock_order"),
+        ),
+        "no-blocking-while-locked" => (
+            "A lock held across a segment build, snapshot codec, or file I/O makes \
+             that work the latency floor of every reader. The interprocedural \
+             summaries propagate may-block bottom-up over the call graph, so \
+             blocking buried N calls deep under a guard is still found; do the \
+             slow work outside and swap results in under the lock (as split-phase \
+             seal does). The maint mutex is allowlisted — serializing slow \
+             maintenance is its purpose.",
+            Some("lock_blocking"),
+        ),
+        "guard-escape" => (
+            "A guard that outlives its acquiring function makes the critical \
+             section unbounded and invisible at the acquisition site. Returns, \
+             field stores, and (transitively) handing the guard to a callee whose \
+             parameter escapes into a field are all flagged; the audited exception \
+             is an explicit `-> ..Guard<..>` accessor.",
+            Some("guard_escape"),
+        ),
+        "float-taint-before-merge" => (
+            "Segmented corpus statistics must merge as exact integers or ranking \
+             becomes partition-dependent. Float conversion belongs after the merge, \
+             in scoring accessors.",
+            Some("float_taint"),
+        ),
+        "unguarded-shared-field" => (
+            "Lockset-style race detector: for each struct owning locks and plain \
+             fields, the lock held at >=75% of all workspace accesses of a field \
+             (minimum two) is inferred as its guard; any access without it is a \
+             candidate data race. Lock context flows down the call graph — the \
+             intersection of locks held at every call site is a function's entry \
+             context — so helpers called only under the lock count as guarded, and \
+             a local-only analysis could neither infer the guard nor flag the \
+             stray access.",
+            Some("unguarded_field"),
+        ),
+        "determinism-taint-to-output" => (
+            "Run files, snapshots, and BENCH json must be byte-reproducible — the \
+             whole experimental protocol rests on it. Taint sources (hash-container \
+             iteration order, thread ids, wall-clock time, float accumulation over \
+             hash order) flow through function summaries (return taint + forwarded \
+             parameters), so a nondeterministic value laundered through helper \
+             functions is still caught at the writer. Sort into a total order, use \
+             BTree containers, or inject the clock.",
+            Some("taint_output"),
+        ),
+        _ => return None,
+    };
+    let (name, summary, severity, layer) = rule_table().into_iter().find(|(n, ..)| *n == name)?;
+    Some(Explanation {
+        name,
+        layer,
+        severity,
+        summary,
+        rationale,
+        fixture,
+    })
 }
 
 /// Index of the code token closing the paren group opened at `open`
@@ -584,13 +730,7 @@ impl AstRule for PanicReachability {
 /// macros — unless a total-order sort is applied in the same function.
 pub struct HashIterationDeterminism;
 
-/// Type text that denotes an unordered hash container.
-fn is_hash_ty(t: &str) -> bool {
-    t.contains("HashMap") || t.contains("HashSet")
-}
-
-/// Iterator-producing methods whose order is the container's.
-const HASH_ITER_METHODS: &[&str] = &["iter", "iter_mut", "into_iter", "keys", "values", "drain"];
+use crate::dataflow::{is_hash_ty, HASH_ITER_METHODS};
 
 /// Splits a method chain into `(methods outermost-first, base expr)`.
 fn chain_parts(mut e: &Expr) -> (Vec<&str>, &Expr) {
@@ -1123,46 +1263,19 @@ impl AstRule for LockOrderConsistency {
     }
 }
 
-/// Function names that denote expensive or blocking work: segment
-/// sealing/merging, snapshot codec, file I/O. Exact names, so e.g. a
-/// `begin_seal` that only moves buffers out of the critical section does
-/// not inherit `seal`'s weight.
-const EXPENSIVE_FNS: &[&str] = &[
-    "build",
-    "merge",
-    "seal",
-    "force_merge",
-    "run_policy",
-    "run_full",
-    "encode",
-    "decode",
-    "write_snapshot",
-    "read_snapshot",
-    "open",
-    "create",
-    "read_to_string",
-    "write_all",
-    "sync_all",
-    "persist",
-    "copy",
-    "rename",
-    "remove_file",
-];
+use crate::summaries::{is_expensive_name, Summaries};
 
 /// Locks that exist to serialize slow maintenance work; holding them
 /// across expensive calls is their whole purpose.
 const ALLOWED_SLOW_LOCKS: &[&str] = &["maint"];
 
-fn is_expensive_name(name: &str) -> bool {
-    EXPENSIVE_FNS.contains(&name)
-        || name.starts_with("encode_")
-        || name.starts_with("decode_")
-}
-
 /// `no-blocking-while-locked`: a guard live-range (from the CFG held-set
 /// analysis) must not span a call that reaches expensive work through
-/// the call graph. The service's lock-held windows are the latency floor
-/// of every concurrent query; sealing or file I/O belongs outside them.
+/// the call graph. Transitive: the may-block fact comes from the
+/// interprocedural summaries ([`crate::summaries`]), so blocking buried
+/// N calls deep is found, and the message names the chain. The service's
+/// lock-held windows are the latency floor of every concurrent query;
+/// sealing or file I/O belongs outside them.
 pub struct NoBlockingWhileLocked;
 
 impl AstRule for NoBlockingWhileLocked {
@@ -1185,49 +1298,10 @@ impl AstRule for NoBlockingWhileLocked {
         sev: Severity,
         out: &mut Vec<Diagnostic>,
     ) {
-        // Which workspace functions (transitively) reach expensive work.
-        // Seeded two ways: nodes *named* like expensive work, and nodes
-        // whose bodies *call* an expensive name — the latter catches
-        // callees that resolve outside the workspace (std fs/io).
-        let n = graph.nodes.len();
-        let mut reaches: Vec<bool> = graph
-            .nodes
-            .iter()
-            .map(|nd| is_expensive_name(&nd.name))
-            .collect();
-        let mut idx = 0usize;
-        model.for_each_fn(&mut |_file, _ty, _is_test, def| {
-            if idx < n && !reaches[idx] {
-                if let Some(body) = &def.body {
-                    for s in &body.stmts {
-                        s.walk(&mut |e| match e {
-                            Expr::MethodCall { method, .. } if is_expensive_name(method) => {
-                                reaches[idx] = true;
-                            }
-                            Expr::Call { callee, .. } => {
-                                if let Expr::Path { segs, .. } = callee.as_ref() {
-                                    if segs.last().is_some_and(|s| is_expensive_name(s)) {
-                                        reaches[idx] = true;
-                                    }
-                                }
-                            }
-                            _ => {}
-                        });
-                    }
-                }
-            }
-            idx += 1;
-        });
-        let mut changed = true;
-        while changed {
-            changed = false;
-            for i in 0..n {
-                if !reaches[i] && graph.callees(i).iter().any(|&c| reaches[c]) {
-                    reaches[i] = true;
-                    changed = true;
-                }
-            }
-        }
+        // The may-block fact is interprocedural: summaries carry it
+        // bottom-up over the call graph (SCC fixpoint), with the chain
+        // of workspace hops to the expensive work.
+        let sums = Summaries::build(model, graph);
         let lm = dataflow::lock_model(model);
         let mut seen: BTreeSet<(String, u32, String, String)> = BTreeSet::new();
         for f in &lm.fns {
@@ -1249,11 +1323,20 @@ impl AstRule for NoBlockingWhileLocked {
                     graph
                         .find(&call.callee)
                         .into_iter()
-                        .find(|&id| !graph.nodes[id].is_test && reaches[id])
-                        .map(|id| {
+                        .find_map(|id| {
+                            if graph.nodes[id].is_test {
+                                return None;
+                            }
+                            sums.fns[id].blocks.as_ref().map(|b| (id, b))
+                        })
+                        .map(|(id, b)| {
+                            let mut chain = vec![graph.nodes[id].qual.clone()];
+                            chain.extend(b.via.iter().cloned());
                             format!(
-                                "`{}` reaches expensive/blocking work",
-                                graph.nodes[id].qual
+                                "`{}` reaches expensive/blocking work (`{}` via `{}`)",
+                                graph.nodes[id].qual,
+                                b.what,
+                                chain.join(" -> ")
                             )
                         })
                 };
@@ -1280,8 +1363,11 @@ impl AstRule for NoBlockingWhileLocked {
 
 /// `guard-escape`: a lock guard must die in its acquiring function —
 /// returned or field-stored guards make the critical section unbounded
-/// and invisible at the acquisition site. The one audited exception is
-/// the accessor pattern: a function whose return type names a guard
+/// and invisible at the acquisition site. Transitive: passing a live
+/// guard into a callee that stores it (directly or through further
+/// forwarding — an escaping-parameter chain in the summaries) is the
+/// same bug one call removed. The one audited exception is the accessor
+/// pattern: a function whose return type names a guard
 /// (`-> MutexGuard<..>`), which callers treat as an acquisition.
 pub struct GuardEscape;
 
@@ -1291,7 +1377,7 @@ impl AstRule for GuardEscape {
     }
 
     fn description(&self) -> &'static str {
-        "lock guards must not be returned or stored beyond the acquiring function, except via guard-returning accessors"
+        "lock guards must not be returned, stored, or handed to storing callees beyond the acquiring function, except via guard-returning accessors"
     }
 
     fn default_severity(&self) -> Severity {
@@ -1301,7 +1387,7 @@ impl AstRule for GuardEscape {
     fn check(
         &self,
         model: &WorkspaceModel,
-        _graph: &CallGraph,
+        graph: &CallGraph,
         sev: Severity,
         out: &mut Vec<Diagnostic>,
     ) {
@@ -1324,6 +1410,24 @@ impl AstRule for GuardEscape {
                     ),
                 });
             }
+        }
+        // Transitive escapes: a held guard passed into an escaping
+        // parameter position (the callee — possibly through further
+        // hops — stores it into a field).
+        let sums = Summaries::build(model, graph);
+        for h in crate::summaries::guard_handoffs(model, graph, &sums) {
+            out.push(Diagnostic {
+                rule: self.name(),
+                severity: sev,
+                path: h.file.clone(),
+                line: h.line,
+                message: format!(
+                    "guard for lock `{}` is handed from `{}` to `{}`, which stores \
+                     it beyond the call; drop the guard first or pass the data, \
+                     not the guard",
+                    h.lock, h.qual, h.callee_qual
+                ),
+            });
         }
     }
 }
@@ -1368,6 +1472,100 @@ impl AstRule for FloatTaintBeforeMerge {
                     "{} in `{}`; merge statistics as integers and convert to f64 \
                      only in post-merge scoring (collection_prob and friends)",
                     t.what, t.qual
+                ),
+            });
+        }
+    }
+}
+
+/// Interprocedural lockset race detector. For every struct owning both
+/// lock fields and plain fields, [`crate::summaries::protection`] infers
+/// which lock guards each plain field by majority vote over all
+/// workspace accesses (entry-lock context flows down the call graph, so
+/// helpers reached only under the lock count as guarded). Accesses
+/// outside the inferred guard are candidate data races.
+pub struct UnguardedSharedField;
+
+impl AstRule for UnguardedSharedField {
+    fn name(&self) -> &'static str {
+        "unguarded-shared-field"
+    }
+
+    fn description(&self) -> &'static str {
+        "every access of a shared-struct field must hold the lock that guards it (inferred by majority vote over all accesses)"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+
+    fn check(
+        &self,
+        model: &WorkspaceModel,
+        graph: &CallGraph,
+        sev: Severity,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        let prot = crate::summaries::protection(model, graph);
+        for r in &prot.races {
+            out.push(Diagnostic {
+                rule: self.name(),
+                severity: sev,
+                path: r.file.clone(),
+                line: r.line,
+                message: format!(
+                    "field `{}` of `{}` is accessed in `{}` without holding `{}`, \
+                     which guards {} of {} accesses of this field; take the lock \
+                     (or move the field into it)",
+                    r.field, r.struct_name, r.qual, r.guard, r.guarded, r.total
+                ),
+            });
+        }
+    }
+}
+
+/// Interprocedural determinism-taint pass: nondeterministic sources
+/// (hash-container iteration order, thread ids, wall-clock time, float
+/// accumulation over hash order) must not reach run-file writers,
+/// snapshot encoders, or BENCH json emitters. Taint flows through
+/// [`Summaries`] (return taint + forwarded parameters), so values
+/// laundered through helper functions are still caught at the sink.
+pub struct DeterminismTaintToOutput;
+
+impl AstRule for DeterminismTaintToOutput {
+    fn name(&self) -> &'static str {
+        "determinism-taint-to-output"
+    }
+
+    fn description(&self) -> &'static str {
+        "nondeterministic values (hash order, thread ids, wall-clock time) must not reach run-file or snapshot writers"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+
+    fn check(
+        &self,
+        model: &WorkspaceModel,
+        graph: &CallGraph,
+        sev: Severity,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        let sums = Summaries::build(model, graph);
+        for f in crate::summaries::taint_to_output(model, graph, &sums) {
+            out.push(Diagnostic {
+                rule: self.name(),
+                severity: sev,
+                path: f.file.clone(),
+                line: f.line,
+                message: format!(
+                    "nondeterministic value ({}) reaches run-file/snapshot writer \
+                     `{}` in `{}`; sort into a total order, use a BTree container, \
+                     or inject the clock",
+                    f.sources.join(", "),
+                    f.sink,
+                    f.qual
                 ),
             });
         }

@@ -59,6 +59,14 @@ impl WorkspaceModel {
             .map(String::as_str)
     }
 
+    /// Iterates every known `(type, field, field type)` triple, in
+    /// deterministic (type, field) order.
+    pub fn fields(&self) -> impl Iterator<Item = (&str, &str, &str)> {
+        self.field_types
+            .iter()
+            .map(|((t, f), ty)| (t.as_str(), f.as_str(), ty.as_str()))
+    }
+
     /// Visits every function in the workspace with its file, impl-type
     /// qualifier, and effective test-ness (location- or attribute-derived).
     pub fn for_each_fn<'a>(

@@ -1,0 +1,18 @@
+// Fixture: a guard handed down a forwarding chain into a field store.
+// `pin` only passes the guard to `stash`; `stash` only forwards it to
+// `keep`; `keep` is the one that parks it in a field. No single
+// function both acquires and stores — the escape is visible only when
+// parameter-escape summaries flow back up the chain.
+
+fn keep(&mut self, g: MutexGuard<'static, Vec<u32>>) {
+    self.parked = Some(g);
+}
+
+fn stash(&mut self, g: MutexGuard<'static, Vec<u32>>) {
+    self.keep(g);
+}
+
+pub fn pin(&mut self) {
+    let g = self.live.lock().unwrap();
+    self.stash(g);
+}

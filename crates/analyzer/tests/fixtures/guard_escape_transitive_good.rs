@@ -1,0 +1,19 @@
+// Fixture: pass the data, not the guard. The critical section ends
+// inside `pin` (explicit drop before the call); the helpers store a
+// plain snapshot, so nothing holds the lock open beyond the acquiring
+// function.
+
+fn keep(&mut self, rows: Vec<u32>) {
+    self.parked = Some(rows);
+}
+
+fn stash(&mut self, rows: Vec<u32>) {
+    self.keep(rows);
+}
+
+pub fn pin(&mut self) {
+    let g = self.live.lock().unwrap();
+    let snapshot = g.clone();
+    drop(g);
+    self.stash(snapshot);
+}

@@ -1,0 +1,16 @@
+// Fixture: a float total accumulated in HashMap iteration order is
+// laundered through two helper calls before reaching the report writer.
+// No single function both iterates the map and writes — only the
+// interprocedural taint summaries connect the source to the sink.
+
+pub fn total_score(weights: &HashMap<String, f64>) -> f64 {
+    weights.values().sum::<f64>()
+}
+
+pub fn scale(total: f64) -> f64 {
+    total * 0.5
+}
+
+pub fn emit(out: &mut Vec<u8>, weights: &HashMap<String, f64>) {
+    write_report(out, scale(total_score(weights)));
+}

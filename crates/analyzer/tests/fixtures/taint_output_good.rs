@@ -1,0 +1,15 @@
+// Fixture: the same pipeline made deterministic at the source — a
+// BTreeMap iterates in key order, so the accumulated total (and the
+// report written from it) is a pure function of the map contents.
+
+pub fn total_score(weights: &BTreeMap<String, f64>) -> f64 {
+    weights.values().sum::<f64>()
+}
+
+pub fn scale(total: f64) -> f64 {
+    total * 0.5
+}
+
+pub fn emit(out: &mut Vec<u8>, weights: &BTreeMap<String, f64>) {
+    write_report(out, scale(total_score(weights)));
+}

@@ -1,0 +1,47 @@
+// Fixture: a shared counter guarded by convention, not by type. Three
+// of its four access paths hold `state` — two of them only via callers
+// (`bump` and `read_pending` are helpers reached under the lock), which
+// only the interprocedural entry-lock context can see. `sneak` writes
+// the field with no lock at all: a data race against every reader.
+
+pub struct Svc {
+    state: Mutex<Vec<u32>>,
+    pending: usize,
+}
+
+impl Svc {
+    fn bump(&mut self) {
+        self.pending += 1;
+    }
+
+    fn read_pending(&self) -> usize {
+        self.pending
+    }
+
+    pub fn add(&mut self, x: u32) {
+        let mut s = self.state.lock().unwrap();
+        s.push(x);
+        self.bump();
+    }
+
+    pub fn drain(&mut self) -> Vec<u32> {
+        let mut s = self.state.lock().unwrap();
+        let out = s.split_off(0);
+        self.bump();
+        out
+    }
+
+    pub fn report(&self) -> usize {
+        let s = self.state.lock().unwrap();
+        s.capacity() + self.read_pending()
+    }
+
+    pub fn tally(&self) -> usize {
+        let s = self.state.lock().unwrap();
+        s.capacity() + self.pending
+    }
+
+    pub fn sneak(&mut self) {
+        self.pending = 0;
+    }
+}

@@ -1,0 +1,46 @@
+// Fixture: every access path of the shared counter holds `state` —
+// directly, or via a caller that already holds it (the entry-lock
+// context covers the `bump`/`read_pending` helpers).
+
+pub struct Svc {
+    state: Mutex<Vec<u32>>,
+    pending: usize,
+}
+
+impl Svc {
+    fn bump(&mut self) {
+        self.pending += 1;
+    }
+
+    fn read_pending(&self) -> usize {
+        self.pending
+    }
+
+    pub fn add(&mut self, x: u32) {
+        let mut s = self.state.lock().unwrap();
+        s.push(x);
+        self.bump();
+    }
+
+    pub fn drain(&mut self) -> Vec<u32> {
+        let mut s = self.state.lock().unwrap();
+        let out = s.split_off(0);
+        self.bump();
+        out
+    }
+
+    pub fn report(&self) -> usize {
+        let s = self.state.lock().unwrap();
+        s.capacity() + self.read_pending()
+    }
+
+    pub fn tally(&self) -> usize {
+        let s = self.state.lock().unwrap();
+        s.capacity() + self.pending
+    }
+
+    pub fn reset(&mut self) {
+        let _s = self.state.lock().unwrap();
+        self.pending = 0;
+    }
+}

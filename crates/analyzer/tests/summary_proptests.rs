@@ -1,0 +1,181 @@
+//! Generative property tests for the interprocedural summaries.
+//!
+//! A random call graph — cycles included — is rendered to source, and
+//! an independent oracle computes the two transitive effects the
+//! summaries claim to track:
+//!
+//! * **may-block**: a function blocks iff it can reach (over explicit
+//!   calls or a tail call) a body that invokes an expensive name, and
+//! * **return taint**: a thread-id source reaches a return value iff
+//!   the chain of tail calls, followed with cycle detection, ends at a
+//!   function returning `thread::current()`.
+//!
+//! The oracle is a plain reachability fixpoint / chain walk over the
+//! generated adjacency, so agreement pins the SCC-ordered fixpoint in
+//! [`analyzer::summaries::Summaries::build`] against recursion, mutual
+//! recursion, and diamond sharing in one shot.
+
+use analyzer::callgraph::CallGraph;
+use analyzer::summaries::Summaries;
+use analyzer::symbols::WorkspaceModel;
+use proptest::prelude::*;
+
+/// How a generated function produces its return value.
+#[derive(Debug, Clone, Copy)]
+enum Ret {
+    /// `7` — clean literal.
+    Lit,
+    /// `x` — forwards the parameter.
+    Param,
+    /// `thread::current()` — a value-nondeterminism source.
+    ThreadId,
+    /// `f<j>(x)` — tail call; taint and blocking flow from `j`.
+    Call(usize),
+}
+
+#[derive(Debug, Clone)]
+struct Program {
+    /// Per function: explicit callees (`let _ = f<j>(x);` statements).
+    calls: Vec<Vec<usize>>,
+    /// Per function: body invokes `open(x)` (an expensive name).
+    expensive: Vec<bool>,
+    ret: Vec<Ret>,
+}
+
+/// Generates at the maximum width (9 functions) and truncates to the
+/// drawn size, reducing callee indices mod `n` — the vendored proptest
+/// subset has no `prop_flat_map` for size-dependent strategies.
+fn program_strategy() -> impl Strategy<Value = Program> {
+    (
+        3usize..10,
+        prop::collection::vec(prop::collection::vec(0usize..9, 0..3), 9),
+        prop::collection::vec(0u8..4, 9),
+        prop::collection::vec((0u8..4, 0usize..9), 9),
+    )
+        .prop_map(|(n, calls, expensive, rets)| Program {
+            calls: calls[..n]
+                .iter()
+                .map(|cs| cs.iter().map(|&j| j % n).collect())
+                .collect(),
+            // One in four bodies does expensive work.
+            expensive: expensive[..n].iter().map(|&e| e == 0).collect(),
+            ret: rets[..n]
+                .iter()
+                .map(|&(kind, j)| match kind {
+                    0 => Ret::Lit,
+                    1 => Ret::Param,
+                    2 => Ret::ThreadId,
+                    _ => Ret::Call(j % n),
+                })
+                .collect(),
+        })
+}
+
+/// Renders the program as one source file of free functions.
+fn render(p: &Program) -> String {
+    let mut src = String::new();
+    for i in 0..p.calls.len() {
+        src.push_str(&format!("pub fn f{i}(x: u64) -> u64 {{\n"));
+        for &j in &p.calls[i] {
+            src.push_str(&format!("    let _ = f{j}(x);\n"));
+        }
+        if p.expensive[i] {
+            src.push_str("    let _ = open(x);\n");
+        }
+        match p.ret[i] {
+            Ret::Lit => src.push_str("    7\n"),
+            Ret::Param => src.push_str("    x\n"),
+            Ret::ThreadId => src.push_str("    thread::current()\n"),
+            Ret::Call(j) => src.push_str(&format!("    f{j}(x)\n")),
+        }
+        src.push_str("}\n\n");
+    }
+    src
+}
+
+/// Full adjacency: explicit calls plus the tail call.
+fn adjacency(p: &Program) -> Vec<Vec<usize>> {
+    let mut adj = p.calls.clone();
+    for (i, r) in p.ret.iter().enumerate() {
+        if let Ret::Call(j) = r {
+            adj[i].push(*j);
+        }
+    }
+    adj
+}
+
+/// Oracle may-block: reachability to an expensive body over `adj`.
+fn oracle_blocks(p: &Program) -> Vec<bool> {
+    let adj = adjacency(p);
+    let mut blocks = p.expensive.clone();
+    loop {
+        let mut changed = false;
+        for i in 0..adj.len() {
+            if !blocks[i] && adj[i].iter().any(|&j| blocks[j]) {
+                blocks[i] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            return blocks;
+        }
+    }
+}
+
+/// Oracle return taint: does the tail-call chain from `i` end at a
+/// `thread::current()` return? A cycle without a source is clean.
+fn oracle_thread_taint(p: &Program, mut i: usize) -> bool {
+    let mut seen = vec![false; p.ret.len()];
+    loop {
+        if seen[i] {
+            return false;
+        }
+        seen[i] = true;
+        match p.ret[i] {
+            Ret::ThreadId => return true,
+            Ret::Call(j) => i = j,
+            Ret::Lit | Ret::Param => return false,
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn summaries_match_the_reachability_oracle(p in program_strategy()) {
+        let src = render(&p);
+        let file = analyzer::parser::parse_file("crates/x/src/gen.rs", &src);
+        prop_assert!(file.errors.is_empty(), "generated source must parse: {:?}\n{src}", file.errors);
+        let model = WorkspaceModel::new(vec![file]);
+        let graph = CallGraph::build(&model);
+        let sums = Summaries::build(&model, &graph);
+        prop_assert_eq!(sums.fns.len(), p.calls.len());
+
+        for i in 0..p.calls.len() {
+            let name = format!("f{i}");
+            let ids = graph.find(&name);
+            prop_assert_eq!(ids.len(), 1, "exactly one node for {}", name);
+            let s = &sums.fns[ids[0]];
+
+            let want_blocks = oracle_blocks(&p)[i];
+            prop_assert_eq!(
+                s.blocks.is_some(),
+                want_blocks,
+                "{}: summary blocks={:?}, oracle={}\n{}",
+                name, s.blocks, want_blocks, src
+            );
+
+            let want_thread = oracle_thread_taint(&p, i);
+            let has_thread = s
+                .ret_taint
+                .value
+                .iter()
+                .any(|v| v.contains("thread id"));
+            prop_assert_eq!(
+                has_thread,
+                want_thread,
+                "{}: summary ret taint={:?}, oracle={}\n{}",
+                name, s.ret_taint, want_thread, src
+            );
+        }
+    }
+}
