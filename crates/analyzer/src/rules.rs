@@ -439,9 +439,11 @@ const HOT_FILES: &[&str] = &[
     "crates/searchlite/src/ingest.rs",
     "crates/searchlite/src/searcher.rs",
     "crates/searchlite/src/segment.rs",
+    "crates/searchlite/src/shard.rs",
     "crates/core/src/motif.rs",
     "crates/core/src/cache.rs",
     "crates/core/src/serve.rs",
+    "crates/core/src/sharded.rs",
     "crates/store/src/buf.rs",
     "crates/store/src/codec.rs",
     "crates/store/src/crc32.rs",
@@ -646,9 +648,11 @@ const ENTRY_FILES: &[&str] = &[
     "crates/searchlite/src/ql.rs",
     "crates/searchlite/src/bm25.rs",
     "crates/searchlite/src/searcher.rs",
+    "crates/searchlite/src/shard.rs",
     "crates/core/src/motif.rs",
     "crates/core/src/cache.rs",
     "crates/core/src/serve.rs",
+    "crates/core/src/sharded.rs",
     "crates/store/src/buf.rs",
     "crates/store/src/codec.rs",
     "crates/store/src/crc32.rs",

@@ -3,8 +3,9 @@
 //!
 //! ```text
 //! experiments [--small] [fig2|table1|fig5|table2|fig6|table3|table4|ablation|sensitivity|stats|export|query <text>|all]
-//! experiments serve-bench [--smoke] [--threads=1,2,8] [--out=BENCH_serve.json]
+//! experiments serve-bench [--smoke] [--threads=1,2,8] [--shards=N] [--out=BENCH_serve.json]
 //! experiments ingest-bench [--smoke] [--out=BENCH_ingest.json]
+//! experiments ingest-bench --articles=N [--shards=M] [--smoke] [--out=BENCH_ingest.json]
 //! experiments snapshot write|verify|info [--small] [--file=world.snap]
 //! experiments store-bench [--smoke] [--out=BENCH_store.json]
 //! ```
@@ -114,6 +115,15 @@ fn run_serve_bench_cli(ctx: &ExperimentContext, context_name: &str, args: &[Stri
         }
         opts.thread_counts = counts;
     }
+    if let Some(n) = args.iter().find_map(|a| a.strip_prefix("--shards=")) {
+        match n.trim().parse::<usize>() {
+            Ok(shards) if shards >= 1 => opts.shards = shards,
+            _ => {
+                eprintln!("--shards: expected a positive integer, got '{n}'");
+                std::process::exit(2);
+            }
+        }
+    }
     let out = args
         .iter()
         .find_map(|a| a.strip_prefix("--out="))
@@ -144,6 +154,53 @@ fn run_ingest_bench_cli(ctx: &ExperimentContext, context_name: &str, args: &[Str
     let report = ingest_bench::run_ingest_bench(ctx, context_name, &opts);
     print!("{}", ingest_bench::format_report(&report));
     match ingest_bench::write_report(&report, std::path::Path::new(out)) {
+        Ok(()) => eprintln!("wrote {out}"),
+        Err(e) => {
+            eprintln!("writing {out} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `experiments ingest-bench --articles=N [--shards=M]`: streams an
+/// N-article bed straight into sharded services with bounded memory
+/// (no in-memory corpus) and reports build time + post-build QPS.
+fn run_streaming_ingest_cli(args: &[String]) {
+    let articles = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--articles="))
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 10)
+        .unwrap_or_else(|| {
+            eprintln!("--articles: expected an integer >= 10");
+            std::process::exit(2);
+        });
+    let shards = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--shards="))
+        .map(|v| match v.trim().parse::<usize>() {
+            Ok(s) if s >= 1 => s,
+            _ => {
+                eprintln!("--shards: expected a positive integer, got '{v}'");
+                std::process::exit(2);
+            }
+        })
+        .unwrap_or(4);
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let opts = if smoke {
+        ingest_bench::StreamingIngestOptions::smoke(articles, shards)
+    } else {
+        ingest_bench::StreamingIngestOptions::new(articles, shards)
+    };
+    let cfg = synthwiki::TestBedConfig::streaming(articles);
+    let out = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--out="))
+        .unwrap_or("BENCH_ingest.json");
+    eprintln!("streaming {articles} articles into {shards} shard(s) per collection...");
+    let report = ingest_bench::run_streaming_ingest_bench(&cfg, &opts);
+    print!("{}", ingest_bench::format_streaming_report(&report));
+    match ingest_bench::write_streaming_report(&report, std::path::Path::new(out)) {
         Ok(()) => eprintln!("wrote {out}"),
         Err(e) => {
             eprintln!("writing {out} failed: {e}");
@@ -294,6 +351,12 @@ fn main() {
         run_store_bench_cli(&args, small);
         return;
     }
+    // `ingest-bench --articles=N` is the streaming sharded build: the
+    // corpus never exists in memory, so it must not build a context.
+    if what.first() == Some(&"ingest-bench") && args.iter().any(|a| a.starts_with("--articles=")) {
+        run_streaming_ingest_cli(&args);
+        return;
+    }
     let what = if what.is_empty() { vec!["all"] } else { what };
 
     eprintln!(
@@ -361,8 +424,9 @@ fn main() {
             other => {
                 eprintln!("unknown experiment '{other}'");
                 eprintln!("usage: experiments [--small] [fig2|table1|fig5|table2|fig6|table3|table4|ablation|sensitivity|stats|export|query <text>|all]");
-                eprintln!("       experiments serve-bench [--smoke] [--threads=1,2,8] [--out=BENCH_serve.json]");
+                eprintln!("       experiments serve-bench [--smoke] [--threads=1,2,8] [--shards=N] [--out=BENCH_serve.json]");
                 eprintln!("       experiments ingest-bench [--smoke] [--out=BENCH_ingest.json]");
+                eprintln!("       experiments ingest-bench --articles=N [--shards=M] [--smoke] [--out=BENCH_ingest.json]");
                 eprintln!("       experiments snapshot write|verify|info [--small] [--file=world.snap]");
                 eprintln!("       experiments store-bench [--smoke] [--out=BENCH_store.json]");
                 std::process::exit(2);

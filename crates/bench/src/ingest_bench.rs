@@ -25,8 +25,13 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use kbgraph::ArticleId;
+use searchlite::{Analyzer, QlParams, ShardRouter};
 use serde::Serialize;
-use sqe::{MonotonicClock, QueryService, ServeConfig, INGEST_STAGE_NAMES};
+use sqe::{
+    ExpandConfig, MonotonicClock, QueryService, ServeConfig, ShardedService, SqeConfig,
+    INGEST_STAGE_NAMES,
+};
+use synthwiki::{TestBedConfig, TestBedPlan};
 
 use crate::context::ExperimentContext;
 use crate::serve_bench::StageStats;
@@ -300,6 +305,259 @@ pub fn format_report(report: &IngestBenchReport) -> String {
     s
 }
 
+// ------------------------------------------------------------------
+// Streaming sharded build: `experiments ingest-bench --articles=N
+// --shards=M`. The corpus never exists in memory — the streaming
+// generator hands each document straight to the router, which buffers
+// it on its shard until the periodic seal.
+// ------------------------------------------------------------------
+
+/// Options for the streaming sharded build.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamingIngestOptions {
+    /// Total articles across both collections.
+    pub articles: usize,
+    /// Shards per collection service.
+    pub shards: usize,
+    /// Every shard of a collection is sealed after this many documents
+    /// stream into that collection.
+    pub seal_every: usize,
+    /// Worker threads for the post-build query replay.
+    pub workers: usize,
+    /// Expansion-cache capacity per service.
+    pub cache_capacity: usize,
+}
+
+impl StreamingIngestOptions {
+    /// Full preset (used for the headline 1M-article build).
+    pub fn new(articles: usize, shards: usize) -> Self {
+        StreamingIngestOptions {
+            articles,
+            shards: shards.max(1),
+            seal_every: 50_000,
+            workers: 4,
+            cache_capacity: 4096,
+        }
+    }
+
+    /// CI smoke preset: tighter seal cadence so several epochs happen
+    /// even on a small article budget.
+    pub fn smoke(articles: usize, shards: usize) -> Self {
+        StreamingIngestOptions {
+            articles,
+            shards: shards.max(1),
+            seal_every: 10_000,
+            workers: 2,
+            cache_capacity: 4096,
+        }
+    }
+}
+
+/// Post-build query throughput over one dataset.
+#[derive(Debug, Clone, Serialize)]
+pub struct StreamingServeCell {
+    /// Dataset name.
+    pub dataset: String,
+    /// Queries replayed (SQE_C).
+    pub queries: u64,
+    /// Replay wall time (ms).
+    pub wall_ms: f64,
+    /// Queries per second.
+    pub throughput_qps: f64,
+}
+
+/// The streaming-build report (`BENCH_ingest.json` in `--articles` mode).
+#[derive(Debug, Clone, Serialize)]
+pub struct StreamingIngestReport {
+    /// Always `"streaming"`.
+    pub context: String,
+    /// Articles requested (and generated).
+    pub articles: usize,
+    /// Shards per collection service.
+    pub shards: usize,
+    /// Seal cadence (documents per collection between seal sweeps).
+    pub seal_every: usize,
+    /// Worker threads for the query replay.
+    pub workers: usize,
+    /// Wall time of KB + query-set planning (ms), before any document.
+    pub plan_ms: f64,
+    /// Wall time of the streamed generate-route-index-seal build (ms).
+    pub build_ms: f64,
+    /// Documents ingested across both collection services.
+    pub docs_ingested: u64,
+    /// Build throughput (documents per second).
+    pub docs_per_sec: f64,
+    /// Seals across all shards of both services.
+    pub seals: u64,
+    /// Merges across all shards of both services.
+    pub merges: u64,
+    /// Final per-shard epoch vector of each collection service.
+    pub epoch_vectors: Vec<Vec<u64>>,
+    /// Post-build SQE_C throughput per dataset.
+    pub serve: Vec<StreamingServeCell>,
+}
+
+/// Generates `cfg`'s test bed with the streaming generator, routing
+/// every document into one of two sharded services (one per
+/// collection) as it is emitted, then replays every dataset's query
+/// set through the sharded scatter-gather path.
+pub fn run_streaming_ingest_bench(
+    cfg: &TestBedConfig,
+    opts: &StreamingIngestOptions,
+) -> StreamingIngestReport {
+    let plan_start = Instant::now();
+    let plan = TestBedPlan::new(cfg);
+    let plan_ms = plan_start.elapsed().as_secs_f64() * 1e3;
+
+    let sqe_config = SqeConfig {
+        expand: ExpandConfig::default(),
+        ql: QlParams { mu: 15.0 },
+        depth: 1000,
+    };
+    let serve_cfg = ServeConfig {
+        workers: opts.workers,
+        cache_capacity: opts.cache_capacity,
+    };
+    let services: Vec<ShardedService<'_>> = (0..2)
+        .map(|_| {
+            ShardedService::with_clock(
+                &plan.kb.graph,
+                Analyzer::english(),
+                ShardRouter::new(opts.shards.max(1)),
+                sqe_config,
+                serve_cfg,
+                Arc::new(MonotonicClock::new()),
+            )
+        })
+        .collect();
+
+    let build_start = Instant::now();
+    let seal_every = opts.seal_every.max(1);
+    let mut counts = [0usize; 2];
+    let (datasets, _doc_counts) = plan.stream_docs(cfg, &mut |coll, doc| {
+        let service = services
+            .get(coll)
+            .expect("invariant: the generator emits exactly two collections");
+        service
+            .add_document(&doc.id, &doc.text)
+            .expect("invariant: generated document ids are unique");
+        let count = counts
+            .get_mut(coll)
+            .expect("invariant: the generator emits exactly two collections");
+        *count += 1;
+        if *count % seal_every == 0 {
+            service.seal_all();
+        }
+    });
+    for service in &services {
+        service.seal_all();
+    }
+    let build_ms = build_start.elapsed().as_secs_f64() * 1e3;
+
+    let mut docs_ingested = 0u64;
+    let mut seals = 0u64;
+    let mut merges = 0u64;
+    let mut epoch_vectors = Vec::new();
+    for service in &services {
+        let snap = service.metrics_snapshot();
+        docs_ingested += snap.docs_ingested;
+        seals += snap.seals;
+        merges += snap.merges;
+        epoch_vectors.push(service.epoch_vector());
+    }
+
+    let mut serve = Vec::new();
+    for ds in &datasets {
+        let load: Vec<(String, Vec<ArticleId>)> = ds
+            .queries
+            .iter()
+            .map(|q| {
+                let nodes = q
+                    .targets
+                    .iter()
+                    .filter_map(|&e| plan.kb.article_of.get(e).copied())
+                    .collect();
+                (q.text.clone(), nodes)
+            })
+            .collect();
+        let Some(service) = services.get(ds.collection) else {
+            continue;
+        };
+        service.reset_metrics();
+        let start = Instant::now();
+        std::hint::black_box(service.run_batch_sqe_c(&load).len());
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let queries = service.metrics_snapshot().queries;
+        serve.push(StreamingServeCell {
+            dataset: ds.name.clone(),
+            queries,
+            wall_ms,
+            throughput_qps: if wall_ms > 0.0 {
+                queries as f64 / (wall_ms / 1e3)
+            } else {
+                0.0
+            },
+        });
+    }
+
+    StreamingIngestReport {
+        context: "streaming".to_owned(),
+        articles: opts.articles,
+        shards: opts.shards.max(1),
+        seal_every,
+        workers: opts.workers,
+        plan_ms,
+        build_ms,
+        docs_ingested,
+        docs_per_sec: if build_ms > 0.0 {
+            docs_ingested as f64 / (build_ms / 1e3)
+        } else {
+            0.0
+        },
+        seals,
+        merges,
+        epoch_vectors,
+        serve,
+    }
+}
+
+/// Serializes the streaming report to pretty JSON.
+pub fn streaming_report_json(report: &StreamingIngestReport) -> String {
+    serde_json::to_string_pretty(report).unwrap_or_else(|_| "{}".to_owned())
+}
+
+/// Writes the streaming report to disk.
+pub fn write_streaming_report(report: &StreamingIngestReport, path: &Path) -> io::Result<()> {
+    std::fs::write(path, streaming_report_json(report))
+}
+
+/// A human-readable summary of the streaming build.
+pub fn format_streaming_report(report: &StreamingIngestReport) -> String {
+    let mut s = format!(
+        "=== streaming ingest ({} articles, {} shards, seal every {}) ===\n\
+         plan {:.0} ms | build {:.0} ms | {} docs @ {:.0} docs/s | {} seals, {} merges\n",
+        report.articles,
+        report.shards,
+        report.seal_every,
+        report.plan_ms,
+        report.build_ms,
+        report.docs_ingested,
+        report.docs_per_sec,
+        report.seals,
+        report.merges,
+    );
+    for (i, epochs) in report.epoch_vectors.iter().enumerate() {
+        s.push_str(&format!("collection {i} epochs: {epochs:?}\n"));
+    }
+    for cell in &report.serve {
+        s.push_str(&format!(
+            "{:<11}{:>6} queries  {:>9.1} qps\n",
+            cell.dataset, cell.queries, cell.throughput_qps
+        ));
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,5 +610,43 @@ mod tests {
         let table = format_report(&report);
         assert!(table.contains("ingest"));
         assert!(table.contains("merged"));
+    }
+
+    #[test]
+    fn streaming_build_ingests_every_article_and_serves_queries() {
+        let mut cfg = TestBedConfig::small();
+        cfg.imageclef.total_docs = 900;
+        cfg.chic.total_docs = 1_400;
+        let mut opts = StreamingIngestOptions::smoke(2_300, 3);
+        opts.seal_every = 500;
+        opts.workers = 2;
+        let report = run_streaming_ingest_bench(&cfg, &opts);
+        assert_eq!(report.docs_ingested, 2_300);
+        assert_eq!(report.shards, 3);
+        assert!(report.docs_per_sec > 0.0);
+        assert!(report.build_ms > 0.0);
+        // Two collection services, three shards each; periodic + final
+        // seals advanced at least one epoch per service.
+        assert_eq!(report.epoch_vectors.len(), 2);
+        for epochs in &report.epoch_vectors {
+            assert_eq!(epochs.len(), 3);
+            assert!(epochs.iter().sum::<u64>() > 0);
+        }
+        assert!(report.seals > 0);
+        // All three datasets replayed their full query sets.
+        assert_eq!(report.serve.len(), 3);
+        for cell in &report.serve {
+            assert!(cell.queries > 0);
+            assert!(cell.throughput_qps > 0.0);
+        }
+        let json = streaming_report_json(&report);
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("report JSON parses");
+        assert_eq!(
+            parsed.get("context").and_then(|c| c.as_str()),
+            Some("streaming")
+        );
+        let table = format_streaming_report(&report);
+        assert!(table.contains("docs/s"));
+        assert!(table.contains("imageclef"));
     }
 }

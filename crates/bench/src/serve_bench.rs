@@ -22,8 +22,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use kbgraph::ArticleId;
+use searchlite::{Analyzer, ShardRouter};
 use serde::Serialize;
-use sqe::{MonotonicClock, QueryService, ServeConfig, STAGE_NAMES};
+use sqe::{MetricsSnapshot, MonotonicClock, QueryService, ServeConfig, ShardedService, STAGE_NAMES};
 
 use crate::context::ExperimentContext;
 
@@ -37,6 +38,8 @@ pub struct ServeBenchOptions {
     pub repeat: usize,
     /// Expansion-cache capacity handed to every service.
     pub cache_capacity: usize,
+    /// Shards to scatter over; 1 = the single-shard [`QueryService`].
+    pub shards: usize,
 }
 
 impl Default for ServeBenchOptions {
@@ -45,6 +48,7 @@ impl Default for ServeBenchOptions {
             thread_counts: vec![1, 2, 4, 8],
             repeat: 4,
             cache_capacity: 4096,
+            shards: 1,
         }
     }
 }
@@ -56,6 +60,7 @@ impl ServeBenchOptions {
             thread_counts: vec![1, 2],
             repeat: 1,
             cache_capacity: 4096,
+            shards: 1,
         }
     }
 }
@@ -103,6 +108,8 @@ pub struct CellReport {
     pub dataset: String,
     /// Worker threads used by the batch executor.
     pub workers: usize,
+    /// Shards the service scattered over (1 = monolithic).
+    pub shards: usize,
     /// Queries per replay (query set × repeat).
     pub load: usize,
     /// The cold then warm phase.
@@ -118,6 +125,8 @@ pub struct ServeBenchReport {
     pub repeat: usize,
     /// Swept worker counts.
     pub thread_counts: Vec<usize>,
+    /// Shards per service.
+    pub shards: usize,
     /// One cell per (dataset, workers) pair.
     pub cells: Vec<CellReport>,
 }
@@ -126,18 +135,8 @@ fn nanos_to_ms(n: u64) -> f64 {
     n as f64 / 1e6
 }
 
-/// Runs one replay of `load` and converts the service metrics into a
-/// [`PhaseReport`].
-fn run_phase(
-    service: &QueryService<'_>,
-    load: &[(String, Vec<ArticleId>)],
-    phase: &str,
-) -> PhaseReport {
-    let start = Instant::now();
-    let out = service.run_batch_sqe_c(load);
-    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-    std::hint::black_box(out.len());
-    let snap = service.metrics_snapshot();
+/// Converts a post-replay metrics snapshot into a [`PhaseReport`].
+fn phase_from_snapshot(snap: &MetricsSnapshot, wall_ms: f64, phase: &str) -> PhaseReport {
     let stages = STAGE_NAMES
         .iter()
         .zip(snap.stages.iter())
@@ -165,6 +164,61 @@ fn run_phase(
     }
 }
 
+/// Runs one replay of `load` and converts the service metrics into a
+/// [`PhaseReport`].
+fn run_phase(
+    service: &QueryService<'_>,
+    load: &[(String, Vec<ArticleId>)],
+    phase: &str,
+) -> PhaseReport {
+    let start = Instant::now();
+    let out = service.run_batch_sqe_c(load);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    std::hint::black_box(out.len());
+    phase_from_snapshot(&service.metrics_snapshot(), wall_ms, phase)
+}
+
+/// Same replay against the scatter-gather service.
+fn run_sharded_phase(
+    service: &ShardedService<'_>,
+    load: &[(String, Vec<ArticleId>)],
+    phase: &str,
+) -> PhaseReport {
+    let start = Instant::now();
+    let out = service.run_batch_sqe_c(load);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    std::hint::black_box(out.len());
+    phase_from_snapshot(&service.metrics_snapshot(), wall_ms, phase)
+}
+
+/// Builds a sharded service over one collection of the test bed by
+/// routing every document through the ingestion path and sealing once
+/// at the end.
+fn build_sharded_service<'a>(
+    ctx: &'a ExperimentContext,
+    collection: usize,
+    shards: usize,
+    serve_cfg: ServeConfig,
+) -> ShardedService<'a> {
+    let service = ShardedService::with_clock(
+        &ctx.bed.kb.graph,
+        Analyzer::english(),
+        ShardRouter::new(shards),
+        ctx.sqe_config,
+        serve_cfg,
+        Arc::new(MonotonicClock::new()),
+    );
+    if let Some(coll) = ctx.bed.collections.get(collection) {
+        for doc in &coll.docs {
+            service
+                .add_document(&doc.id, &doc.text)
+                .expect("invariant: test-bed document ids are unique");
+        }
+    }
+    service.seal_all();
+    service
+}
+
 /// Runs the load generator over the three datasets and the configured
 /// worker counts.
 pub fn run_serve_bench(
@@ -188,20 +242,30 @@ pub fn run_serve_bench(
                 workers,
                 cache_capacity: opts.cache_capacity,
             };
-            let service = QueryService::with_clock(
-                &ctx.bed.kb.graph,
-                index,
-                ctx.sqe_config,
-                serve_cfg,
-                Arc::new(MonotonicClock::new()),
-            );
-            let cold = run_phase(&service, &load, "cold");
-            // Same service: the cache stays hot, the metrics start over.
-            service.reset_metrics();
-            let warm = run_phase(&service, &load, "warm");
+            let (cold, warm) = if opts.shards > 1 {
+                let service =
+                    build_sharded_service(ctx, ds.collection, opts.shards, serve_cfg);
+                service.reset_metrics(); // drop the ingest-phase counters
+                let cold = run_sharded_phase(&service, &load, "cold");
+                service.reset_metrics();
+                (cold, run_sharded_phase(&service, &load, "warm"))
+            } else {
+                let service = QueryService::with_clock(
+                    &ctx.bed.kb.graph,
+                    index,
+                    ctx.sqe_config,
+                    serve_cfg,
+                    Arc::new(MonotonicClock::new()),
+                );
+                let cold = run_phase(&service, &load, "cold");
+                // Same service: the cache stays hot, the metrics start over.
+                service.reset_metrics();
+                (cold, run_phase(&service, &load, "warm"))
+            };
             cells.push(CellReport {
                 dataset: dataset.to_owned(),
                 workers,
+                shards: opts.shards.max(1),
                 load: load.len(),
                 phases: vec![cold, warm],
             });
@@ -211,6 +275,7 @@ pub fn run_serve_bench(
         context: context_name.to_owned(),
         repeat: opts.repeat,
         thread_counts: opts.thread_counts.clone(),
+        shards: opts.shards.max(1),
         cells,
     }
 }
@@ -228,9 +293,10 @@ pub fn write_report(report: &ServeBenchReport, path: &Path) -> io::Result<()> {
 /// A human-readable summary table of the report.
 pub fn format_report(report: &ServeBenchReport) -> String {
     let mut s = format!(
-        "=== serve-bench ({} bed, x{} replay) ===\n{:<11}{:>4}{:>7}  {:>9}{:>11}{:>7}{:>10}{:>10}\n",
+        "=== serve-bench ({} bed, x{} replay, {} shard(s)) ===\n{:<11}{:>4}{:>7}  {:>9}{:>11}{:>7}{:>10}{:>10}\n",
         report.context,
         report.repeat,
+        report.shards,
         "dataset",
         "thr",
         "phase",
@@ -332,5 +398,39 @@ mod tests {
         let table = format_report(&report);
         assert!(table.contains("imageclef"));
         assert!(table.contains("warm"));
+    }
+
+    #[test]
+    fn sharded_smoke_bench_matches_cell_shape_and_warms_cache() {
+        let ctx = ExperimentContext::small();
+        let mut opts = ServeBenchOptions::smoke();
+        opts.thread_counts = vec![2];
+        opts.shards = 3;
+        let report = run_serve_bench(&ctx, "small", &opts);
+        assert_eq!(report.shards, 3);
+        assert_eq!(report.cells.len(), 3);
+        for cell in &report.cells {
+            assert_eq!(cell.shards, 3);
+            assert_eq!(cell.phases.len(), 2);
+            let cold = &cell.phases[0];
+            let warm = &cell.phases[1];
+            assert_eq!(cold.queries as usize, cell.load);
+            assert_eq!(warm.queries as usize, cell.load);
+            assert!(cold.cache_hit_rate < 1.0);
+            assert!(
+                (warm.cache_hit_rate - 1.0).abs() < 1e-12,
+                "warm sharded phase must be fully cached, got {}",
+                warm.cache_hit_rate
+            );
+            for phase in &cell.phases {
+                let total = phase
+                    .stages
+                    .iter()
+                    .find(|st| st.stage == "total")
+                    .expect("total stage present");
+                assert_eq!(total.count as usize, cell.load);
+                assert!(phase.throughput_qps > 0.0);
+            }
+        }
     }
 }

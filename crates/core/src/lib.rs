@@ -43,6 +43,7 @@ pub mod pattern;
 pub mod pipeline;
 pub mod query_graph;
 pub mod serve;
+pub mod sharded;
 
 pub use cache::{CacheKey, ExpansionCache, LruCache};
 pub use combine::{combine_rankings, RankSegment};
@@ -57,3 +58,4 @@ pub use pattern::{CategoryCondition, LinkCondition, PatternMotif};
 pub use pipeline::{SqeConfig, SqePipeline, SqeScratch};
 pub use query_graph::{QueryGraph, QueryGraphBuilder, QueryGraphScratch};
 pub use serve::{run_indexed, QueryService, ServeConfig};
+pub use sharded::ShardedService;

@@ -38,7 +38,7 @@ struct Bm25Feature {
     idf: f64,
 }
 
-fn idf(num_docs: usize, df: usize) -> f64 {
+pub(crate) fn idf(num_docs: usize, df: usize) -> f64 {
     let n = num_docs as f64;
     let d = df as f64;
     (1.0 + (n - d + 0.5) / (d + 0.5)).ln()

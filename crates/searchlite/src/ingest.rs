@@ -318,6 +318,16 @@ impl SegmentedIndex {
         self.buffer.num_docs() + self.pending_docs
     }
 
+    /// True when `external_id` already exists anywhere in this corpus —
+    /// sealed segments, pending seals and the live buffer alike. Sharded
+    /// deployments route each id to one shard, but a re-routed id (for
+    /// example after a shard-count change) could land on a different
+    /// shard than its original copy; this probe lets the shard layer
+    /// extend the duplicate check across every sibling corpus.
+    pub fn contains_external_id(&self, external_id: &str) -> bool {
+        self.seen.contains(external_id)
+    }
+
     /// Adds a document to the live buffer; returns the **global** doc id
     /// it will occupy once sealed. Duplicate external ids are rejected
     /// against the entire corpus, sealed and buffered alike.

@@ -56,6 +56,7 @@ pub mod prf;
 pub mod ql;
 pub mod searcher;
 pub mod segment;
+pub mod shard;
 pub mod stats;
 pub mod structured;
 pub mod topk;
@@ -72,5 +73,6 @@ pub use ingest::{
 pub use ql::{QlParams, SearchHit};
 pub use searcher::Searcher;
 pub use segment::Segment;
+pub use shard::ShardRouter;
 pub use stats::CollectionStats;
 pub use structured::Query;

@@ -243,6 +243,40 @@ impl TestBedConfig {
         }
     }
 
+    /// A medium preset sized between [`Self::small`] and [`Self::full`]:
+    /// the full KB structure with collections big enough to exercise
+    /// sharding and streaming meaningfully, small enough for an
+    /// equivalence test to materialize both paths in memory.
+    pub fn medium() -> Self {
+        let mut cfg = Self::full();
+        cfg.kb.domains = 10;
+        cfg.kb.topics_per_domain = 8;
+        cfg.kb.entities_per_topic = 16;
+        cfg.kb.noise_articles = 600;
+        cfg.imageclef.total_docs = 12_000;
+        cfg.imageclef.boilerplate_per_domain = 30;
+        cfg.imageclef_queries.num_queries = 24;
+        cfg.chic.total_docs = 20_000;
+        cfg.chic.boilerplate_per_domain = 80;
+        cfg.chic2012_queries.num_queries = 24;
+        cfg.chic2012_queries.zero_relevant_queries = 6;
+        cfg.chic2013_queries.num_queries = 24;
+        cfg.chic2013_queries.zero_relevant_queries = 1;
+        cfg
+    }
+
+    /// A streaming-ingest preset: the full KB and query structure with
+    /// the two collections scaled so they total `total_articles`
+    /// documents. Meant for `TestBed::stream` — at 1M articles the
+    /// in-memory path would hold the whole corpus, the streaming path
+    /// stays bounded.
+    pub fn streaming(total_articles: usize) -> Self {
+        let mut cfg = Self::full();
+        cfg.imageclef.total_docs = total_articles / 3;
+        cfg.chic.total_docs = total_articles - total_articles / 3;
+        cfg
+    }
+
     /// A small preset for unit and integration tests (seconds, not
     /// minutes). Same structure, reduced counts.
     pub fn small() -> Self {

@@ -6,7 +6,7 @@ use rustc_hash::{FxHashMap, FxHashSet};
 
 use crate::concepts::ConceptSpace;
 use crate::config::TestBedConfig;
-use crate::docs::{generate_documents_with_means, Document};
+use crate::docs::{generate_documents_with_means, stream_documents_with_means, Document};
 use crate::kb::SynthKb;
 use crate::queries::{generate_queries, QuerySpec};
 
@@ -70,9 +70,27 @@ pub struct TestBed {
     pub datasets: Vec<Dataset>,
 }
 
-impl TestBed {
-    /// Generates everything deterministically from the config.
-    pub fn generate(cfg: &TestBedConfig) -> TestBed {
+/// The pre-document phase of test-bed generation: the concept space, the
+/// knowledge base, and the three query sets over disjoint topics. Both
+/// document paths — the in-memory [`TestBed::generate`] and the
+/// streaming [`TestBedPlan::stream_docs`] — start from this plan, so a
+/// caller can build the KB (and anything borrowing it, like a serving
+/// index) *before* the document stream begins.
+#[derive(Debug)]
+pub struct TestBedPlan {
+    /// The concept space (semantic ground truth).
+    pub space: ConceptSpace,
+    /// The knowledge base built from it.
+    pub kb: SynthKb,
+    ic_queries: Vec<QuerySpec>,
+    c12_queries: Vec<QuerySpec>,
+    c13_queries: Vec<QuerySpec>,
+}
+
+impl TestBedPlan {
+    /// Builds the space, KB and query sets deterministically from the
+    /// config — everything except the documents.
+    pub fn new(cfg: &TestBedConfig) -> TestBedPlan {
         let space = ConceptSpace::generate(&cfg.kb);
         let kb = SynthKb::build(&space, &cfg.kb);
 
@@ -95,16 +113,170 @@ impl TestBed {
         let c12_queries = generate_queries(&space, &cfg.chic2012_queries, c12_topics);
         let c13_queries = generate_queries(&space, &cfg.chic2013_queries, c13_topics);
 
-        let ic_docs = generate_documents_with_means(
-            &space,
+        TestBedPlan {
+            space,
+            kb,
+            ic_queries,
+            c12_queries,
+            c13_queries,
+        }
+    }
+
+    /// Streams both collections through `sink` as `(collection index,
+    /// document)` pairs — collection 0 (imageclef) first, then 1 (chic) —
+    /// while accumulating the qrels incrementally. No document buffer is
+    /// held: memory stays bounded by the plan and the qrels, independent
+    /// of `total_docs`. Returns the datasets (with complete qrels) and
+    /// the per-collection document counts.
+    ///
+    /// The emitted document stream, the qrels and the query sets are
+    /// guaranteed identical to what [`TestBed::generate`] materializes
+    /// for the same config (`tests/stream_equivalence.rs` pins this with
+    /// a golden digest).
+    pub fn stream_docs(
+        &self,
+        cfg: &TestBedConfig,
+        sink: &mut dyn FnMut(usize, &Document),
+    ) -> (Vec<Dataset>, Vec<usize>) {
+        let mut ic = QrelsBuilder::new(&self.ic_queries);
+        let mut c12 = QrelsBuilder::new(&self.c12_queries);
+        let mut c13 = QrelsBuilder::new(&self.c13_queries);
+        let mut counts = [0usize; 2];
+        stream_documents_with_means(
+            &self.space,
             &cfg.imageclef,
-            &[&ic_queries],
+            &[&self.ic_queries],
+            &[cfg.imageclef_queries.mean_relevant_per_query],
+            &mut |doc| {
+                ic.observe(&self.ic_queries, &doc);
+                counts[0] += 1;
+                sink(0, &doc);
+            },
+        );
+        stream_documents_with_means(
+            &self.space,
+            &cfg.chic,
+            &[&self.c12_queries, &self.c13_queries],
+            &[
+                cfg.chic2012_queries.mean_relevant_per_query,
+                cfg.chic2013_queries.mean_relevant_per_query,
+            ],
+            &mut |doc| {
+                c12.observe(&self.c12_queries, &doc);
+                c13.observe(&self.c13_queries, &doc);
+                counts[1] += 1;
+                sink(1, &doc);
+            },
+        );
+        let datasets = vec![
+            Dataset {
+                name: "imageclef".to_owned(),
+                collection: 0,
+                queries: self.ic_queries.clone(),
+                relevant: ic.relevant,
+            },
+            Dataset {
+                name: "chic2012".to_owned(),
+                collection: 1,
+                queries: self.c12_queries.clone(),
+                relevant: c12.relevant,
+            },
+            Dataset {
+                name: "chic2013".to_owned(),
+                collection: 1,
+                queries: self.c13_queries.clone(),
+                relevant: c13.relevant,
+            },
+        ];
+        (datasets, counts.to_vec())
+    }
+}
+
+/// Incremental qrels: the streaming equivalent of [`build_dataset`]'s
+/// post-hoc scan, fed one document at a time.
+struct QrelsBuilder {
+    /// entity → queries that consider it relevant.
+    entity_queries: FxHashMap<usize, Vec<usize>>,
+    relevant: FxHashMap<String, FxHashSet<String>>,
+}
+
+impl QrelsBuilder {
+    fn new(queries: &[QuerySpec]) -> QrelsBuilder {
+        let mut entity_queries: FxHashMap<usize, Vec<usize>> = FxHashMap::default();
+        for (qi, q) in queries.iter().enumerate() {
+            for &e in &q.relevant_entities {
+                entity_queries.entry(e).or_default().push(qi);
+            }
+        }
+        let mut relevant: FxHashMap<String, FxHashSet<String>> = FxHashMap::default();
+        for q in queries {
+            relevant.entry(q.id.clone()).or_default();
+        }
+        QrelsBuilder {
+            entity_queries,
+            relevant,
+        }
+    }
+
+    fn observe(&mut self, queries: &[QuerySpec], doc: &Document) {
+        if !doc.judged_relevant {
+            return;
+        }
+        if let Some(e) = doc.about {
+            if let Some(qis) = self.entity_queries.get(&e) {
+                for &qi in qis {
+                    self.relevant
+                        .get_mut(&queries[qi].id)
+                        .expect("prefilled")
+                        .insert(doc.id.clone());
+                }
+            }
+        }
+    }
+}
+
+/// A test bed generated through the streaming path: the same world as
+/// [`TestBed`] minus the materialized document collections (those went
+/// through the sink).
+#[derive(Debug)]
+pub struct StreamedTestBed {
+    /// The concept space (semantic ground truth).
+    pub space: ConceptSpace,
+    /// The knowledge base built from it.
+    pub kb: SynthKb,
+    /// Collection names, `[0]` Image CLEF-like, `[1]` CHiC-like.
+    pub collection_names: Vec<String>,
+    /// Documents streamed per collection.
+    pub doc_counts: Vec<usize>,
+    /// Datasets with complete qrels, same order as [`TestBed::datasets`].
+    pub datasets: Vec<Dataset>,
+}
+
+impl StreamedTestBed {
+    /// Finds a dataset by name.
+    pub fn dataset(&self, name: &str) -> &Dataset {
+        self.datasets
+            .iter()
+            .find(|d| d.name == name)
+            .unwrap_or_else(|| panic!("unknown dataset {name}"))
+    }
+}
+
+impl TestBed {
+    /// Generates everything deterministically from the config.
+    pub fn generate(cfg: &TestBedConfig) -> TestBed {
+        let plan = TestBedPlan::new(cfg);
+
+        let ic_docs = generate_documents_with_means(
+            &plan.space,
+            &cfg.imageclef,
+            &[&plan.ic_queries],
             &[cfg.imageclef_queries.mean_relevant_per_query],
         );
         let chic_docs = generate_documents_with_means(
-            &space,
+            &plan.space,
             &cfg.chic,
-            &[&c12_queries, &c13_queries],
+            &[&plan.c12_queries, &plan.c13_queries],
             &[
                 cfg.chic2012_queries.mean_relevant_per_query,
                 cfg.chic2013_queries.mean_relevant_per_query,
@@ -123,15 +295,31 @@ impl TestBed {
         ];
 
         let datasets = vec![
-            build_dataset("imageclef", 0, ic_queries, &collections[0]),
-            build_dataset("chic2012", 1, c12_queries, &collections[1]),
-            build_dataset("chic2013", 1, c13_queries, &collections[1]),
+            build_dataset("imageclef", 0, plan.ic_queries, &collections[0]),
+            build_dataset("chic2012", 1, plan.c12_queries, &collections[1]),
+            build_dataset("chic2013", 1, plan.c13_queries, &collections[1]),
         ];
 
         TestBed {
-            space,
-            kb,
+            space: plan.space,
+            kb: plan.kb,
             collections,
+            datasets,
+        }
+    }
+
+    /// Generates the same world as [`TestBed::generate`] but streams
+    /// every document through `sink` instead of materializing the
+    /// collections — bounded memory at any corpus size. The sink
+    /// receives `(collection index, document)` in emission order.
+    pub fn stream(cfg: &TestBedConfig, sink: &mut dyn FnMut(usize, &Document)) -> StreamedTestBed {
+        let plan = TestBedPlan::new(cfg);
+        let (datasets, doc_counts) = plan.stream_docs(cfg, sink);
+        StreamedTestBed {
+            space: plan.space,
+            kb: plan.kb,
+            collection_names: vec![cfg.imageclef.name.to_owned(), cfg.chic.name.to_owned()],
+            doc_counts,
             datasets,
         }
     }

@@ -59,21 +59,61 @@ pub fn generate_documents_with_means(
     query_sets: &[&[QuerySpec]],
     set_means: &[f64],
 ) -> Vec<Document> {
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let mut docs: Vec<Document> = Vec::with_capacity(cfg.total_docs);
-    let mut counter = 0usize;
-    let push = |docs: &mut Vec<Document>,
-                counter: &mut usize,
-                text: String,
+    stream_documents_with_means(space, cfg, query_sets, set_means, &mut |d| docs.push(d));
+    docs
+}
+
+/// Emits generated documents through a sink, tracking the generated
+/// count. The planted quota phases may overshoot `total` (the in-memory
+/// path used to truncate at the end); the emitter drops the overshoot
+/// *after* its text was generated, so the RNG consumption — and hence
+/// every surviving document — is identical to the in-memory path.
+struct Emitter<'s> {
+    name: &'s str,
+    total: usize,
+    counter: usize,
+    sink: &'s mut dyn FnMut(Document),
+}
+
+impl Emitter<'_> {
+    fn push(&mut self, text: String, about: Option<usize>, judged_relevant: bool) {
+        if self.counter < self.total {
+            (self.sink)(Document {
+                id: format!("{}-d{:06}", self.name, self.counter),
+                text,
                 about,
-                judged_relevant: bool| {
-        docs.push(Document {
-            id: format!("{}-d{:06}", cfg.name, *counter),
-            text,
-            about,
-            judged_relevant,
-        });
-        *counter += 1;
+                judged_relevant,
+            });
+        }
+        self.counter += 1;
+    }
+
+    /// Documents generated so far (including dropped overshoot).
+    fn generated(&self) -> usize {
+        self.counter
+    }
+}
+
+/// The streaming core behind [`generate_documents_with_means`]: emits
+/// each document through `sink` the moment its text exists, holding no
+/// document buffer — memory stays bounded by the quota bookkeeping
+/// (proportional to the query sets, not to `total_docs`). Guaranteed to
+/// emit exactly the documents the in-memory path returns, in the same
+/// order: both paths drive one RNG through the identical call sequence.
+pub fn stream_documents_with_means(
+    space: &ConceptSpace,
+    cfg: &CollectionConfig,
+    query_sets: &[&[QuerySpec]],
+    set_means: &[f64],
+    sink: &mut dyn FnMut(Document),
+) {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut em = Emitter {
+        name: cfg.name,
+        total: cfg.total_docs,
+        counter: 0,
+        sink,
     };
 
     // --- per-entity doc quotas from the queries -----------------------
@@ -126,7 +166,8 @@ pub fn generate_documents_with_means(
     quota_entities.sort_unstable();
     for &e in &quota_entities {
         let aspect = topic_aspect.get(&space.entities[e].topic);
-        for _ in 0..quota[&e] {
+        let share = quota.get(&e).copied().unwrap_or(0);
+        for _ in 0..share {
             let with_aspect = rng.gen_bool(cfg.p_aspect_in_doc.clamp(0.0, 1.0));
             let aspect_words: &[String] = match (with_aspect, aspect) {
                 (true, Some(a)) => a.as_slice(),
@@ -139,7 +180,7 @@ pub fn generate_documents_with_means(
                 cfg.p_rel_without_aspect
             };
             let judged = rng.gen_bool(p_rel.clamp(0.0, 1.0));
-            push(&mut docs, &mut counter, text, Some(e), judged);
+            em.push(text, Some(e), judged);
         }
     }
 
@@ -162,7 +203,7 @@ pub fn generate_documents_with_means(
                     };
                     let text =
                         entity_document_with_aspect(space, cfg, e, aspect_words, &mut rng);
-                    push(&mut docs, &mut counter, text, Some(e), false);
+                    em.push(text, Some(e), false);
                 }
             }
         }
@@ -173,7 +214,7 @@ pub fn generate_documents_with_means(
         for _ in 0..cfg.boilerplate_per_domain {
             let text = boilerplate_document(space, cfg, d, &mut rng);
             let _ = domain;
-            push(&mut docs, &mut counter, text, None, false);
+            em.push(text, None, false);
         }
     }
 
@@ -183,21 +224,19 @@ pub fn generate_documents_with_means(
     let free_topics: Vec<usize> = (0..space.num_topics())
         .filter(|t| used_topics.binary_search(t).is_err())
         .collect();
-    while docs.len() < cfg.total_docs {
+    while em.generated() < cfg.total_docs {
         if !free_topics.is_empty() && rng.gen_bool(0.7) {
             let t = free_topics[rng.gen_range(0..free_topics.len())];
             let range = space.topic_entities(t);
             let e = rng.gen_range(range.start..range.end);
             let text = entity_document(space, cfg, e, &mut rng);
-            push(&mut docs, &mut counter, text, Some(e), false);
+            em.push(text, Some(e), false);
         } else {
             let text = noise_document(space, cfg, &mut rng);
-            push(&mut docs, &mut counter, text, None, false);
+            em.push(text, None, false);
         }
     }
-    docs.truncate(cfg.total_docs);
     let _ = banned_topics;
-    docs
 }
 
 /// A caption-like document about entity `e`: the entity's title planted

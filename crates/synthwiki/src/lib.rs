@@ -38,7 +38,7 @@ pub mod words;
 
 pub use concepts::{ConceptSpace, Entity, RelKind, Relation};
 pub use config::{CollectionConfig, KbConfig, QuerySetConfig, TestBedConfig};
-pub use dataset::{Collection, Dataset, TestBed};
+pub use dataset::{Collection, Dataset, StreamedTestBed, TestBed, TestBedPlan};
 pub use docs::Document;
 pub use groundtruth::GroundTruth;
 pub use queries::QuerySpec;

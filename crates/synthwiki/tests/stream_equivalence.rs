@@ -1,0 +1,126 @@
+//! The streaming generator must be indistinguishable from the in-memory
+//! one: same documents in the same order, same qrels, same query sets.
+//! A golden digest pins the stream against silent drift in either path.
+
+use synthwiki::config::TestBedConfig;
+use synthwiki::dataset::{TestBed, TestBedPlan};
+use synthwiki::docs::Document;
+
+/// FNV-1a 64 over a byte string.
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+/// Order-sensitive digest of a document stream.
+fn digest_doc(hash: &mut u64, doc: &Document) {
+    fnv1a(hash, doc.id.as_bytes());
+    fnv1a(hash, doc.text.as_bytes());
+    match doc.about {
+        Some(e) => fnv1a(hash, &(e as u64).to_le_bytes()),
+        None => fnv1a(hash, b"-"),
+    }
+    fnv1a(hash, &[u8::from(doc.judged_relevant)]);
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Golden digest of the two medium-config collection streams. If this
+/// changes, the generated corpus changed — every committed BENCH number
+/// and calibration claim silently refers to a different world. Bump it
+/// only with a deliberate generator change.
+const MEDIUM_STREAM_DIGEST: [u64; 2] = [0x3206_048d_1fc3_6fea, 0x7232_2a83_9dc9_9ecd];
+
+#[test]
+fn stream_matches_in_memory_generation() {
+    let cfg = TestBedConfig::medium();
+    let bed = TestBed::generate(&cfg);
+
+    let mut digests = [FNV_OFFSET; 2];
+    let mut streamed_docs: Vec<Vec<Document>> = vec![Vec::new(), Vec::new()];
+    let streamed = TestBed::stream(&cfg, &mut |coll, doc| {
+        digest_doc(&mut digests[coll], doc);
+        streamed_docs[coll].push(doc.clone());
+    });
+
+    // Same documents, byte for byte, in the same order.
+    let mut mem_digests = [FNV_OFFSET; 2];
+    for (i, coll) in bed.collections.iter().enumerate() {
+        for doc in &coll.docs {
+            digest_doc(&mut mem_digests[i], doc);
+        }
+        assert_eq!(coll.docs.len(), streamed.doc_counts[i], "collection {i}");
+        assert_eq!(coll.name, streamed.collection_names[i]);
+    }
+    assert_eq!(digests, mem_digests, "stream diverged from in-memory docs");
+    assert_eq!(
+        digests, MEDIUM_STREAM_DIGEST,
+        "generator output changed; deliberate changes must bump the golden digest"
+    );
+    for (i, coll) in bed.collections.iter().enumerate() {
+        assert_eq!(
+            serde_json::to_string(&coll.docs).expect("serializable"),
+            serde_json::to_string(&streamed_docs[i]).expect("serializable"),
+            "collection {i} full contents"
+        );
+    }
+
+    // Same datasets: queries, collection assignment and qrels.
+    assert_eq!(bed.datasets.len(), streamed.datasets.len());
+    for (mem, st) in bed.datasets.iter().zip(&streamed.datasets) {
+        assert_eq!(mem.name, st.name);
+        assert_eq!(mem.collection, st.collection);
+        assert_eq!(
+            serde_json::to_string(&mem.queries).expect("serializable"),
+            serde_json::to_string(&st.queries).expect("serializable"),
+            "query set {}",
+            mem.name
+        );
+        assert_eq!(mem.relevant, st.relevant, "qrels for {}", mem.name);
+    }
+}
+
+#[test]
+fn plan_reuse_matches_one_shot_stream() {
+    // A caller that builds the plan first (to stand up indexes against the
+    // KB before documents flow) must see the identical stream.
+    let cfg = TestBedConfig::small();
+    let mut one_shot = [FNV_OFFSET; 2];
+    let streamed = TestBed::stream(&cfg, &mut |coll, doc| digest_doc(&mut one_shot[coll], doc));
+
+    let plan = TestBedPlan::new(&cfg);
+    let mut reused = [FNV_OFFSET; 2];
+    let (datasets, counts) = plan.stream_docs(&cfg, &mut |coll, doc| {
+        digest_doc(&mut reused[coll], doc);
+    });
+    assert_eq!(one_shot, reused);
+    assert_eq!(counts, streamed.doc_counts);
+    assert_eq!(datasets.len(), streamed.datasets.len());
+    for (a, b) in datasets.iter().zip(&streamed.datasets) {
+        assert_eq!(a.relevant, b.relevant, "qrels for {}", a.name);
+    }
+}
+
+#[test]
+fn streaming_100k_articles_is_bounded() {
+    // Bounded-memory smoke: stream a 100k-article bed holding only a
+    // running digest — no document buffer anywhere on this path.
+    let cfg = TestBedConfig::streaming(100_000);
+    assert_eq!(cfg.imageclef.total_docs + cfg.chic.total_docs, 100_000);
+    let mut digest = FNV_OFFSET;
+    let mut total = 0usize;
+    let streamed = TestBed::stream(&cfg, &mut |_, doc| {
+        digest_doc(&mut digest, doc);
+        total += 1;
+    });
+    assert_eq!(total, 100_000);
+    assert_eq!(streamed.doc_counts.iter().sum::<usize>(), 100_000);
+    assert_ne!(digest, FNV_OFFSET);
+    // Qrels still complete: every query id present, zero-relevant queries
+    // preserved per config.
+    for ds in &streamed.datasets {
+        assert_eq!(ds.relevant.len(), ds.queries.len(), "dataset {}", ds.name);
+    }
+}

@@ -109,6 +109,94 @@ fn graph_persistence_preserves_motifs() {
     }
 }
 
+/// The sharded cold-start contract: a sharded service restored from one
+/// snapshot file per shard must produce byte-identical run files to the
+/// monolithic pipeline over the same corpus.
+#[test]
+fn per_shard_snapshots_restore_an_identical_sharded_service() {
+    use ireval::{trec, Run};
+    use searchlite::ShardRouter;
+    use sqe::{ServeConfig, ShardedService, SqeConfig, SqePipeline};
+
+    let bed = TestBed::generate(&TestBedConfig::small());
+    let dataset = bed.dataset("imageclef");
+    let coll = &bed.collections[dataset.collection];
+    let shards = 3;
+    let router = ShardRouter::with_salt(shards, 0x5eed);
+
+    // Route every document to its shard, remembering the global ingest
+    // ordinal each shard-local id corresponds to.
+    let mut builders: Vec<IndexBuilder> = (0..shards)
+        .map(|_| IndexBuilder::new(Analyzer::english()))
+        .collect();
+    let mut ordinals: Vec<Vec<u32>> = vec![Vec::new(); shards];
+    for (i, d) in coll.docs.iter().enumerate() {
+        let s = router.route(&d.id);
+        builders[s]
+            .add_document(&d.id, &d.text)
+            .expect("generated ids are unique");
+        ordinals[s].push(i as u32);
+    }
+
+    // One snapshot file per shard (store v2), then restore the service
+    // from the decoded snapshots alone.
+    let snaps: Vec<Snapshot> = builders
+        .into_iter()
+        .map(|b| {
+            let index = b.build();
+            let bytes = snapshot_of(&bed.kb.graph, &[("imageclef", &index)], &Dictionary::new());
+            Snapshot::from_bytes(&bytes).expect("per-shard snapshot decodes")
+        })
+        .collect();
+    let cfg = SqeConfig {
+        ql: QlParams { mu: 15.0 },
+        ..SqeConfig::default()
+    };
+    let restored = ShardedService::from_shard_snapshots(
+        &bed.kb.graph,
+        &snaps,
+        "imageclef",
+        router,
+        ordinals,
+        cfg,
+        ServeConfig::default(),
+    )
+    .expect("per-shard snapshots restore a sharded service");
+    assert_eq!(restored.num_shards(), shards);
+    assert_eq!(restored.num_docs(), coll.docs.len());
+
+    let batch: Vec<(String, Vec<kbgraph::ArticleId>)> = dataset
+        .queries
+        .iter()
+        .map(|q| {
+            let nodes = q.targets.iter().map(|&e| bed.kb.article_of[e]).collect();
+            (q.text.clone(), nodes)
+        })
+        .collect();
+    let mut b = IndexBuilder::new(Analyzer::english());
+    for d in &coll.docs {
+        b.add_document(&d.id, &d.text).expect("generated ids are unique");
+    }
+    let index = b.build();
+    let pipeline = SqePipeline::from_index(&bed.kb.graph, &index, cfg);
+    let run_file = |rankings: &[Vec<String>]| {
+        let mut run = Run::new("SQE_C");
+        for (q, ids) in dataset.queries.iter().zip(rankings) {
+            run.set_ranking(&q.id, ids.clone());
+        }
+        trec::write_run(&run)
+    };
+    let want: Vec<Vec<String>> = batch
+        .iter()
+        .map(|(text, nodes)| pipeline.rank_sqe_c(text, nodes))
+        .collect();
+    assert_eq!(
+        run_file(&restored.run_batch_sqe_c(&batch)),
+        run_file(&want),
+        "snapshot-restored sharded service diverged from the monolithic pipeline"
+    );
+}
+
 /// The cold-start contract: a pipeline over a snapshot-loaded world must
 /// produce byte-identical trec run files to a pipeline over the freshly
 /// built world — for every dataset and every motif configuration.

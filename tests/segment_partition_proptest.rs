@@ -7,13 +7,20 @@
 //! corpus-wide statistics as exact integers before any floating-point
 //! scoring happens; there is no per-segment score that gets combined
 //! after the fact.
+//!
+//! The second wall extends the guarantee across *shards*: any hash
+//! routing of the collection over 1–8 shards (each shard its own
+//! segmented index) served through [`sqe::ShardedService`]'s
+//! scatter-gather must reproduce the same run files, because global
+//! corpus statistics are gathered as exact integer sums before any
+//! shard scores a document.
 
 use std::sync::OnceLock;
 
 use kbgraph::ArticleId;
 use proptest::prelude::*;
-use searchlite::{Analyzer, Index, IndexBuilder, QlParams, Searcher, Segment};
-use sqe::{SqeConfig, SqePipeline};
+use searchlite::{Analyzer, Index, IndexBuilder, QlParams, Searcher, Segment, ShardRouter};
+use sqe::{ServeConfig, ShardedService, SqeConfig, SqePipeline};
 use synthwiki::{TestBed, TestBedConfig};
 
 const DATASETS: [&str; 3] = ["imageclef", "chic2012", "chic2013"];
@@ -151,6 +158,49 @@ fn partitioned_searcher(w: &World, ds_idx: usize, raw_cuts: &[usize]) -> Searche
     Searcher::new(analyzer, segments, 0)
 }
 
+/// Builds the dataset's collection as a sharded service under the given
+/// routing (shard count + salt), sealing every shard once at the end.
+fn sharded_service<'a>(w: &'a World, ds_idx: usize, shards: usize, salt: u64) -> ShardedService<'a> {
+    let dataset = w.bed.dataset(DATASETS[ds_idx]);
+    let coll = w.bed.collection_of(dataset);
+    let analyzer = w.indexes[dataset.collection].analyzer().clone();
+    let service = ShardedService::new(
+        &w.bed.kb.graph,
+        analyzer,
+        ShardRouter::with_salt(shards, salt),
+        config(),
+        ServeConfig {
+            workers: 1,
+            cache_capacity: 256,
+        },
+    );
+    for d in &coll.docs {
+        service
+            .add_document(&d.id, &d.text)
+            .expect("generated ids are unique");
+    }
+    service.seal_all();
+    service
+}
+
+fn rank_ids_sharded(
+    service: &ShardedService<'_>,
+    batch: &[(String, Vec<ArticleId>)],
+    cfg_idx: usize,
+) -> Vec<Vec<String>> {
+    let (name, tri, sq) = CONFIGS[cfg_idx];
+    batch
+        .iter()
+        .map(|(text, nodes)| {
+            if name == "SQE_C" {
+                service.rank_sqe_c(text, nodes)
+            } else {
+                service.external_ids(&service.rank_sqe(text, nodes, tri, sq))
+            }
+        })
+        .collect()
+}
+
 proptest! {
     /// Any contiguous partition into up to ~6 segments reproduces the
     /// monolithic run file byte for byte, on a random (dataset, motif
@@ -171,6 +221,34 @@ proptest! {
             &w.references[ds_idx][cfg_idx],
             "{} segments over {} diverged from the monolithic {} run",
             pipeline.searcher().num_segments(),
+            DATASETS[ds_idx],
+            CONFIGS[cfg_idx].0
+        );
+    }
+}
+
+proptest! {
+    /// Any hash routing over 1–8 shards reproduces the monolithic run
+    /// file byte for byte, on a random (dataset, motif config, shard
+    /// count, salt) tuple each case. The salt permutes the routing, so
+    /// every case exercises a different document-to-shard assignment.
+    #[test]
+    fn any_shard_routing_reproduces_monolithic_run_files(
+        ds_idx in 0usize..3,
+        cfg_idx in 0usize..4,
+        shards in 1usize..=8,
+        salt in 0u64..u64::MAX,
+    ) {
+        let w = world();
+        let service = sharded_service(w, ds_idx, shards, salt);
+        let ids = rank_ids_sharded(&service, &w.batches[ds_idx], cfg_idx);
+        let got = run_file(&w.bed, ds_idx, cfg_idx, &ids);
+        prop_assert_eq!(
+            &got,
+            &w.references[ds_idx][cfg_idx],
+            "{} shards (salt {:#x}) over {} diverged from the monolithic {} run",
+            shards,
+            salt,
             DATASETS[ds_idx],
             CONFIGS[cfg_idx].0
         );

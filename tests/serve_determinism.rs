@@ -10,8 +10,8 @@
 use ireval::trec;
 use ireval::Run;
 use kbgraph::ArticleId;
-use searchlite::{Analyzer, Index, IndexBuilder, QlParams, SegmentedIndex};
-use sqe::{QueryService, ServeConfig, SqeConfig, SqePipeline};
+use searchlite::{Analyzer, Index, IndexBuilder, QlParams, SegmentedIndex, ShardRouter};
+use sqe::{QueryService, ServeConfig, ShardedService, SqeConfig, SqePipeline};
 use synthwiki::{Collection, Dataset, TestBed, TestBedConfig};
 
 const DATASETS: [&str; 3] = ["imageclef", "chic2012", "chic2013"];
@@ -287,6 +287,157 @@ fn mid_run_seal_invalidates_cache_exactly_once_with_observable_epoch() {
         1,
         "the replay itself must not invalidate again"
     );
+}
+
+/// Routes a collection into a fresh sharded service and seals every
+/// shard once, so the corpus is live-searchable across all shards.
+fn sharded_service_of<'a>(
+    bed: &'a TestBed,
+    coll: &Collection,
+    shards: usize,
+    workers: usize,
+) -> ShardedService<'a> {
+    let service = ShardedService::new(
+        &bed.kb.graph,
+        Analyzer::english(),
+        ShardRouter::new(shards),
+        config(),
+        ServeConfig {
+            workers,
+            ..ServeConfig::default()
+        },
+    );
+    for d in &coll.docs {
+        service
+            .add_document(&d.id, &d.text)
+            .expect("generated ids are unique");
+    }
+    service.seal_all();
+    service
+}
+
+#[test]
+fn sharded_service_run_files_are_byte_identical_at_every_shard_and_worker_count() {
+    // The scatter-gather contract: hash-routing the corpus over any
+    // number of shards and replaying on any number of workers, cold or
+    // warm, never changes a byte of any run file.
+    let (bed, indexes) = build_world();
+    for ds_name in DATASETS {
+        let dataset = bed.dataset(ds_name);
+        let index = &indexes[dataset.collection];
+        let coll = bed.collection_of(dataset);
+        let batch = batch_of(&bed, dataset);
+        let pipeline = SqePipeline::from_index(&bed.kb.graph, index, config());
+        let reference: Vec<Vec<String>> = batch
+            .iter()
+            .map(|(text, nodes)| pipeline.rank_sqe_c(text, nodes))
+            .collect();
+        let want = run_file("SQE_C", dataset, &reference);
+        for shards in [1usize, 2, 4] {
+            for workers in WORKER_COUNTS {
+                let service = sharded_service_of(&bed, coll, shards, workers);
+                for replay in ["cold", "warm"] {
+                    let served = service.run_batch_sqe_c(&batch);
+                    let got = run_file("SQE_C", dataset, &served);
+                    assert_eq!(
+                        got, want,
+                        "{ds_name}/SQE_C: {replay} run over {shards} shards at \
+                         {workers} workers must be byte-identical to the \
+                         sequential pipeline"
+                    );
+                }
+                let snap = service.metrics_snapshot();
+                assert!(
+                    snap.cache_hits > 0,
+                    "{ds_name}: the warm sharded replay must hit the expansion cache"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn mid_run_shard_seal_bumps_one_epoch_entry_and_invalidates_once() {
+    // Sealing one shard between two batches must advance exactly that
+    // shard's entry of the epoch vector, flush the shared expansion
+    // cache exactly once, and leave the replay byte-identical to a
+    // fresh build that includes the late document.
+    let (bed, indexes) = build_world();
+    let dataset = bed.dataset("imageclef");
+    let index = &indexes[dataset.collection];
+    let coll = bed.collection_of(dataset);
+    let batch = batch_of(&bed, dataset);
+    let service = sharded_service_of(&bed, coll, 4, 2);
+    service.run_batch_sqe_c(&batch);
+    let epochs0 = service.epoch_vector();
+    let inv0 = service.metrics_snapshot().invalidations;
+    let docs0 = service.num_docs();
+
+    let late_id = "mid-run-doc";
+    let target = service.router().route(late_id);
+    service
+        .add_document(late_id, "a late-breaking caption about nothing relevant")
+        .expect("fresh external id");
+    let report = service.seal_shard(target).expect("non-empty shard buffer seals");
+    assert_eq!(report.epoch, epochs0[target] + 1);
+    // Sealing the same (now empty) shard again is a no-op.
+    assert!(service.seal_shard(target).is_none());
+
+    let epochs1 = service.epoch_vector();
+    for (s, (&before, &after)) in epochs0.iter().zip(&epochs1).enumerate() {
+        if s == target {
+            assert_eq!(after, before + 1, "sealed shard must advance its epoch entry");
+        } else {
+            assert_eq!(after, before, "shard {s} was not sealed; its epoch must hold");
+        }
+    }
+    let snap = service.metrics_snapshot();
+    assert_eq!(
+        snap.invalidations,
+        inv0 + 1,
+        "one shard seal must invalidate the shared cache exactly once"
+    );
+    assert_eq!(service.num_docs(), docs0 + 1);
+
+    // Replay vs a fresh monolithic service over the same corpus + doc.
+    let replay = service.run_batch_sqe_c(&batch);
+    let fresh = QueryService::from_segmented(
+        &bed.kb.graph,
+        {
+            let mut seg = SegmentedIndex::from_index(index.clone());
+            seg.add_document(late_id, "a late-breaking caption about nothing relevant")
+                .expect("fresh external id");
+            seg.seal();
+            seg
+        },
+        config(),
+        ServeConfig::default(),
+    );
+    let got = run_file("SQE_C", dataset, &replay);
+    let want = run_file("SQE_C", dataset, &fresh.run_batch_sqe_c(&batch));
+    assert_eq!(got, want, "post-seal sharded replay diverged from a fresh service");
+    assert_eq!(
+        service.metrics_snapshot().invalidations,
+        inv0 + 1,
+        "the replay itself must not invalidate again"
+    );
+}
+
+#[test]
+fn duplicate_external_ids_are_rejected_across_shards() {
+    // Regression: duplicate detection must span all shards, not just the
+    // one the second copy routes to.
+    let (bed, indexes) = build_world();
+    let dataset = bed.dataset("imageclef");
+    let coll = bed.collection_of(dataset);
+    let _ = indexes;
+    let service = sharded_service_of(&bed, coll, 4, 1);
+    let first = &coll.docs[0];
+    let err = service
+        .add_document(&first.id, "a second body under an already-ingested id")
+        .expect_err("re-adding an ingested id must fail on every shard");
+    let msg = format!("{err:?}");
+    assert!(msg.contains(&first.id), "error must carry the offending id: {msg}");
 }
 
 #[test]
