@@ -1,0 +1,129 @@
+//! Per-request deadlines in injected-clock nanoseconds.
+
+/// The pipeline stage at which a deadline was discovered blown. Stages
+/// cannot be aborted mid-flight (a motif traversal has no safe poll
+/// point), so deadlines are checked at stage boundaries and the variant
+/// names the last stage that ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// The deadline expired while the request waited to start.
+    Queue,
+    /// The deadline expired during query-graph expansion.
+    Expand,
+    /// The deadline expired during retrieval scoring (the answer was
+    /// computed, but too late to be useful).
+    Rank,
+    /// The deadline expired during SQE_C rank-range combination.
+    Combine,
+}
+
+impl Stage {
+    /// Stable lower-case name (used in outcome labels and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Queue => "queue",
+            Stage::Expand => "expand",
+            Stage::Rank => "rank",
+            Stage::Combine => "combine",
+        }
+    }
+}
+
+/// An absolute completion deadline on the service's injected clock.
+///
+/// `Deadline::NONE` (the default) never expires. A bounded deadline is
+/// created from the arrival time plus a budget ([`Deadline::within`]);
+/// all arithmetic saturates, so `u64::MAX` cleanly means "unbounded".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Deadline {
+    at_nanos: u64,
+}
+
+impl Deadline {
+    /// The unbounded deadline: never expires.
+    pub const NONE: Deadline = Deadline { at_nanos: u64::MAX };
+
+    /// A deadline at an absolute clock reading.
+    pub fn at(nanos: u64) -> Self {
+        Deadline { at_nanos: nanos }
+    }
+
+    /// A deadline `budget` nanoseconds after `now`.
+    pub fn within(now: u64, budget: u64) -> Self {
+        Deadline {
+            at_nanos: now.saturating_add(budget),
+        }
+    }
+
+    /// The absolute expiry reading (`u64::MAX` when unbounded).
+    pub fn at_nanos(self) -> u64 {
+        self.at_nanos
+    }
+
+    /// True when this deadline never expires.
+    pub fn is_unbounded(self) -> bool {
+        self.at_nanos == u64::MAX
+    }
+
+    /// Remaining budget at `now`: `None` when unbounded, `Some(0)` when
+    /// already due.
+    pub fn remaining(self, now: u64) -> Option<u64> {
+        if self.is_unbounded() {
+            None
+        } else {
+            Some(self.at_nanos.saturating_sub(now))
+        }
+    }
+
+    /// True when `now` is strictly past the deadline (completion at
+    /// exactly the deadline still counts as on time).
+    pub fn expired(self, now: u64) -> bool {
+        !self.is_unbounded() && now > self.at_nanos
+    }
+}
+
+impl Default for Deadline {
+    fn default() -> Self {
+        Deadline::NONE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_never_expires() {
+        let d = Deadline::NONE;
+        assert!(d.is_unbounded());
+        assert!(!d.expired(u64::MAX));
+        assert_eq!(d.remaining(12345), None);
+        assert_eq!(Deadline::default(), Deadline::NONE);
+    }
+
+    #[test]
+    fn within_saturates_to_unbounded() {
+        let d = Deadline::within(u64::MAX - 5, 100);
+        assert!(d.is_unbounded());
+    }
+
+    #[test]
+    fn remaining_and_expiry() {
+        let d = Deadline::within(1_000, 500);
+        assert_eq!(d.at_nanos(), 1_500);
+        assert_eq!(d.remaining(1_000), Some(500));
+        assert_eq!(d.remaining(1_400), Some(100));
+        assert_eq!(d.remaining(1_500), Some(0));
+        assert_eq!(d.remaining(2_000), Some(0));
+        assert!(!d.expired(1_500), "completion at the deadline is on time");
+        assert!(d.expired(1_501));
+    }
+
+    #[test]
+    fn stage_names_are_stable() {
+        assert_eq!(Stage::Queue.name(), "queue");
+        assert_eq!(Stage::Expand.name(), "expand");
+        assert_eq!(Stage::Rank.name(), "rank");
+        assert_eq!(Stage::Combine.name(), "combine");
+    }
+}

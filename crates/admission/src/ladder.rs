@@ -1,0 +1,56 @@
+//! The degraded-mode ladder selection rule.
+
+use crate::outcome::DegradeLevel;
+
+/// Pick the highest-quality ladder rung whose estimated cost fits the
+/// remaining deadline budget.
+///
+/// * `remaining` — nanoseconds of budget left (`None` = unbounded, which
+///   always selects [`DegradeLevel::Full`]).
+/// * `costs` — per-rung cost estimates in nanoseconds, indexed by
+///   [`DegradeLevel::index`] (the service maintains these from its
+///   latency histograms; an unobserved rung estimates 0, which makes the
+///   selector optimistic until real costs arrive — the deadline checks
+///   at stage boundaries backstop that optimism).
+///
+/// Returns `None` when even the cheapest rung does not fit — the caller
+/// sheds with `BudgetExhausted` rather than starting doomed work.
+pub fn select_level(remaining: Option<u64>, costs: [u64; 3]) -> Option<DegradeLevel> {
+    let Some(budget) = remaining else {
+        return Some(DegradeLevel::Full);
+    };
+    DegradeLevel::LADDER
+        .into_iter()
+        .find(|level| costs.get(level.index()).copied().unwrap_or(u64::MAX) <= budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COSTS: [u64; 3] = [10_000, 4_000, 1_000];
+
+    #[test]
+    fn unbounded_budget_selects_full() {
+        assert_eq!(select_level(None, COSTS), Some(DegradeLevel::Full));
+    }
+
+    #[test]
+    fn budget_walks_the_ladder_downward() {
+        assert_eq!(select_level(Some(20_000), COSTS), Some(DegradeLevel::Full));
+        assert_eq!(select_level(Some(10_000), COSTS), Some(DegradeLevel::Full));
+        assert_eq!(select_level(Some(9_999), COSTS), Some(DegradeLevel::Triangular));
+        assert_eq!(select_level(Some(4_000), COSTS), Some(DegradeLevel::Triangular));
+        assert_eq!(select_level(Some(3_999), COSTS), Some(DegradeLevel::Unexpanded));
+        assert_eq!(select_level(Some(1_000), COSTS), Some(DegradeLevel::Unexpanded));
+        assert_eq!(select_level(Some(999), COSTS), None);
+        assert_eq!(select_level(Some(0), COSTS), None);
+    }
+
+    #[test]
+    fn unobserved_costs_are_optimistic() {
+        // No observations yet: every rung estimates 0, so even a tiny
+        // budget tries Full. Stage-boundary deadline checks backstop it.
+        assert_eq!(select_level(Some(1), [0, 0, 0]), Some(DegradeLevel::Full));
+    }
+}

@@ -1,0 +1,37 @@
+//! Admission control and degraded serving for the SQE query service.
+//!
+//! Under open-loop load (arrivals do not wait for completions), a serving
+//! system without admission control exhibits queueing collapse: latency
+//! grows without bound while throughput stays pinned at capacity. This
+//! crate provides the pieces the serving layer wires together to stay
+//! *predictably degraded* instead:
+//!
+//! * [`Deadline`] — a per-request completion deadline in injected-clock
+//!   nanoseconds. Library code never reads a wall clock; the service's
+//!   `Clock` supplies `now`, so tests drive a manual clock and the whole
+//!   admission path stays bit-deterministic.
+//! * [`ServeOutcome`] — the typed result of a deadline-aware serve call:
+//!   full-quality `Ok`, `Degraded` at a cheaper ladder rung, `Shed`
+//!   before any work ran, or `DeadlineExceeded` at a stage boundary.
+//! * [`AdmissionController`] — rejects *before* work is enqueued, via a
+//!   bounded pending-work queue, a deterministic integer token bucket,
+//!   and CoDel-style queue-delay shedding at dequeue time. All decisions
+//!   are pure functions of `(config, call order, supplied now)` — the
+//!   controller itself holds no clock and no entropy source.
+//! * [`select_level`] — the degraded-mode ladder rule: pick the highest
+//!   quality rung (`SQE_T&S` → `SQE_T` → unexpanded) whose estimated
+//!   cost fits the remaining deadline budget.
+//!
+//! The service layer (`sqe::serve`, `sqe::sharded`) owns the clock, the
+//! per-level cost estimates (maintained from its latency histograms) and
+//! the metrics; this crate owns the decisions.
+
+pub mod controller;
+pub mod deadline;
+pub mod ladder;
+pub mod outcome;
+
+pub use controller::{AdmissionConfig, AdmissionController, Ticket};
+pub use deadline::{Deadline, Stage};
+pub use ladder::select_level;
+pub use outcome::{DegradeLevel, ServeOutcome, ShedReason, LADDER_LEVEL_NAMES};

@@ -1,0 +1,181 @@
+//! The typed result of a deadline-aware serve call.
+
+use crate::deadline::Stage;
+
+/// Stable lower-case names of the degraded-mode ladder rungs, ordered
+/// from highest to lowest quality. Indexes match [`DegradeLevel::index`].
+pub const LADDER_LEVEL_NAMES: [&str; 3] = ["full", "triangular", "unexpanded"];
+
+/// A rung of the degraded-mode ladder, ordered from most to least
+/// expensive (and most to least effective, per the paper's ablations):
+/// SQE_T&S → SQE_T → unexpanded query-likelihood.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DegradeLevel {
+    /// Full structural expansion: triangular + square motifs (SQE_T&S).
+    Full,
+    /// Triangular motifs only (SQE_T) — skips the square-motif scan.
+    Triangular,
+    /// No expansion at all: rank the user part of the query directly.
+    Unexpanded,
+}
+
+impl DegradeLevel {
+    /// All rungs, highest quality first — the order [`crate::select_level`]
+    /// walks when fitting a request into its remaining budget.
+    pub const LADDER: [DegradeLevel; 3] =
+        [DegradeLevel::Full, DegradeLevel::Triangular, DegradeLevel::Unexpanded];
+
+    /// Index into per-level metric arrays (0 = full, 2 = unexpanded).
+    pub fn index(self) -> usize {
+        match self {
+            DegradeLevel::Full => 0,
+            DegradeLevel::Triangular => 1,
+            DegradeLevel::Unexpanded => 2,
+        }
+    }
+
+    /// Stable lower-case name (matches [`LADDER_LEVEL_NAMES`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            DegradeLevel::Full => "full",
+            DegradeLevel::Triangular => "triangular",
+            DegradeLevel::Unexpanded => "unexpanded",
+        }
+    }
+}
+
+/// Why a request was rejected without doing (or completing) any ranking
+/// work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShedReason {
+    /// The bounded pending-work queue was full at admission time.
+    QueueFull,
+    /// The token-bucket rate limiter had no token at admission time.
+    RateLimited,
+    /// Queue delay stayed above the CoDel target for a full interval;
+    /// this request was shed at dequeue to drain the standing queue.
+    QueueDelay,
+    /// The remaining deadline budget could not fit even the cheapest
+    /// ladder rung.
+    BudgetExhausted,
+}
+
+impl ShedReason {
+    /// Stable lower-case name (used in outcome labels and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue_full",
+            ShedReason::RateLimited => "rate_limited",
+            ShedReason::QueueDelay => "queue_delay",
+            ShedReason::BudgetExhausted => "budget_exhausted",
+        }
+    }
+}
+
+/// The result of serving one request under admission control and a
+/// deadline. `T` is the payload of a successful serve (typically the
+/// ranked hits).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeOutcome<T> {
+    /// Served at full quality (SQE_T&S) within the deadline.
+    Ok(T),
+    /// Served within the deadline, but at a cheaper ladder rung.
+    Degraded(DegradeLevel, T),
+    /// Rejected before ranking work ran; no payload.
+    Shed(ShedReason),
+    /// Work started but the deadline expired at the named stage
+    /// boundary; any partial payload is discarded.
+    DeadlineExceeded(Stage),
+}
+
+impl<T> ServeOutcome<T> {
+    /// The served payload, if the request completed within its deadline.
+    pub fn value(&self) -> Option<&T> {
+        match self {
+            ServeOutcome::Ok(v) | ServeOutcome::Degraded(_, v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Consume the outcome, yielding the payload when one was served.
+    pub fn into_value(self) -> Option<T> {
+        match self {
+            ServeOutcome::Ok(v) | ServeOutcome::Degraded(_, v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The ladder rung that served the request (`Full` for `Ok`), or
+    /// `None` when nothing was served.
+    pub fn level(&self) -> Option<DegradeLevel> {
+        match self {
+            ServeOutcome::Ok(_) => Some(DegradeLevel::Full),
+            ServeOutcome::Degraded(level, _) => Some(*level),
+            _ => None,
+        }
+    }
+
+    /// True when the request was rejected without running.
+    pub fn is_shed(&self) -> bool {
+        matches!(self, ServeOutcome::Shed(_))
+    }
+
+    /// True when the request ran but missed its deadline.
+    pub fn is_deadline_exceeded(&self) -> bool {
+        matches!(self, ServeOutcome::DeadlineExceeded(_))
+    }
+
+    /// A compact, stable label for determinism walls and reports:
+    /// `ok`, `degraded:triangular`, `shed:queue_full`, `deadline:rank`.
+    pub fn label(&self) -> String {
+        match self {
+            ServeOutcome::Ok(_) => "ok".to_owned(),
+            ServeOutcome::Degraded(level, _) => format!("degraded:{}", level.name()),
+            ServeOutcome::Shed(reason) => format!("shed:{}", reason.name()),
+            ServeOutcome::DeadlineExceeded(stage) => format!("deadline:{}", stage.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_order_and_names_agree() {
+        for (slot, level) in DegradeLevel::LADDER.iter().enumerate() {
+            assert_eq!(level.index(), slot);
+            assert_eq!(LADDER_LEVEL_NAMES.get(slot).copied(), Some(level.name()));
+        }
+    }
+
+    #[test]
+    fn accessors_split_served_from_rejected() {
+        let ok: ServeOutcome<u32> = ServeOutcome::Ok(7);
+        let deg: ServeOutcome<u32> = ServeOutcome::Degraded(DegradeLevel::Unexpanded, 9);
+        let shed: ServeOutcome<u32> = ServeOutcome::Shed(ShedReason::QueueFull);
+        let late: ServeOutcome<u32> = ServeOutcome::DeadlineExceeded(Stage::Expand);
+
+        assert_eq!(ok.value(), Some(&7));
+        assert_eq!(ok.level(), Some(DegradeLevel::Full));
+        assert_eq!(deg.clone().into_value(), Some(9));
+        assert_eq!(deg.level(), Some(DegradeLevel::Unexpanded));
+        assert_eq!(shed.value(), None);
+        assert!(shed.is_shed() && !shed.is_deadline_exceeded());
+        assert!(late.is_deadline_exceeded() && !late.is_shed());
+        assert_eq!(late.level(), None);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(ServeOutcome::Ok(0u8).label(), "ok");
+        assert_eq!(
+            ServeOutcome::Degraded(DegradeLevel::Triangular, 0u8).label(),
+            "degraded:triangular"
+        );
+        let shed: ServeOutcome<u8> = ServeOutcome::Shed(ShedReason::RateLimited);
+        assert_eq!(shed.label(), "shed:rate_limited");
+        let late: ServeOutcome<u8> = ServeOutcome::DeadlineExceeded(Stage::Queue);
+        assert_eq!(late.label(), "deadline:queue");
+    }
+}

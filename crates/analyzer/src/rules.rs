@@ -444,6 +444,11 @@ const HOT_FILES: &[&str] = &[
     "crates/core/src/cache.rs",
     "crates/core/src/serve.rs",
     "crates/core/src/sharded.rs",
+    "crates/admission/src/controller.rs",
+    "crates/admission/src/deadline.rs",
+    "crates/admission/src/ladder.rs",
+    "crates/admission/src/outcome.rs",
+    "crates/bench/src/load_bench.rs",
     "crates/store/src/buf.rs",
     "crates/store/src/codec.rs",
     "crates/store/src/crc32.rs",
@@ -653,6 +658,11 @@ const ENTRY_FILES: &[&str] = &[
     "crates/core/src/cache.rs",
     "crates/core/src/serve.rs",
     "crates/core/src/sharded.rs",
+    "crates/admission/src/controller.rs",
+    "crates/admission/src/deadline.rs",
+    "crates/admission/src/ladder.rs",
+    "crates/admission/src/outcome.rs",
+    "crates/bench/src/load_bench.rs",
     "crates/store/src/buf.rs",
     "crates/store/src/codec.rs",
     "crates/store/src/crc32.rs",

@@ -4,13 +4,16 @@
 //! ```text
 //! experiments [--small] [fig2|table1|fig5|table2|fig6|table3|table4|ablation|sensitivity|stats|export|query <text>|all]
 //! experiments serve-bench [--smoke] [--threads=1,2,8] [--shards=N] [--out=BENCH_serve.json]
+//! experiments load-bench [--smoke] [--rate=R1,R2] [--threads=N] [--shards=N] [--out=BENCH_load.json]
 //! experiments ingest-bench [--smoke] [--out=BENCH_ingest.json]
 //! experiments ingest-bench --articles=N [--shards=M] [--smoke] [--out=BENCH_ingest.json]
 //! experiments snapshot write|verify|info [--small] [--file=world.snap]
 //! experiments store-bench [--smoke] [--out=BENCH_store.json]
 //! ```
 
-use sqe_bench::{figures, ingest_bench, serve_bench, store_bench, tables, timing, ExperimentContext};
+use sqe_bench::{
+    figures, ingest_bench, load_bench, serve_bench, store_bench, tables, timing, ExperimentContext,
+};
 
 fn print_stats(ctx: &ExperimentContext) {
     let stats = ctx.bed.kb.graph.stats();
@@ -131,6 +134,60 @@ fn run_serve_bench_cli(ctx: &ExperimentContext, context_name: &str, args: &[Stri
     let report = serve_bench::run_serve_bench(ctx, context_name, &opts);
     print!("{}", serve_bench::format_report(&report));
     match serve_bench::write_report(&report, std::path::Path::new(out)) {
+        Ok(()) => eprintln!("wrote {out}"),
+        Err(e) => {
+            eprintln!("writing {out} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Runs the open-loop admission/deadline load generator and writes
+/// `BENCH_load.json`.
+fn run_load_bench_cli(ctx: &ExperimentContext, context_name: &str, args: &[String]) {
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut opts = if smoke {
+        load_bench::LoadBenchOptions::smoke()
+    } else {
+        load_bench::LoadBenchOptions::default()
+    };
+    if let Some(list) = args.iter().find_map(|a| a.strip_prefix("--rate=")) {
+        let rates: Vec<f64> = list
+            .split(',')
+            .filter_map(|t| t.trim().parse().ok())
+            .filter(|&r: &f64| r > 0.0)
+            .collect();
+        if rates.is_empty() {
+            eprintln!("--rate: expected a comma-separated list of positive qps values, got '{list}'");
+            std::process::exit(2);
+        }
+        opts.explicit_rates = rates;
+    }
+    if let Some(n) = args.iter().find_map(|a| a.strip_prefix("--threads=")) {
+        match n.trim().parse::<usize>() {
+            Ok(workers) if workers >= 1 => opts.workers = workers,
+            _ => {
+                eprintln!("--threads: expected a positive integer, got '{n}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(n) = args.iter().find_map(|a| a.strip_prefix("--shards=")) {
+        match n.trim().parse::<usize>() {
+            Ok(shards) if shards >= 1 => opts.shards = shards,
+            _ => {
+                eprintln!("--shards: expected a positive integer, got '{n}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    let out = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--out="))
+        .unwrap_or("BENCH_load.json");
+    let report = load_bench::run_load_bench(ctx, context_name, &opts);
+    print!("{}", load_bench::format_report(&report));
+    match load_bench::write_report(&report, std::path::Path::new(out)) {
         Ok(()) => eprintln!("wrote {out}"),
         Err(e) => {
             eprintln!("writing {out} failed: {e}");
@@ -394,6 +451,9 @@ fn main() {
             "serve-bench" => {
                 run_serve_bench_cli(&ctx, if small { "small" } else { "full" }, &args)
             }
+            "load-bench" => {
+                run_load_bench_cli(&ctx, if small { "small" } else { "full" }, &args)
+            }
             "ingest-bench" => {
                 run_ingest_bench_cli(&ctx, if small { "small" } else { "full" }, &args)
             }
@@ -425,6 +485,7 @@ fn main() {
                 eprintln!("unknown experiment '{other}'");
                 eprintln!("usage: experiments [--small] [fig2|table1|fig5|table2|fig6|table3|table4|ablation|sensitivity|stats|export|query <text>|all]");
                 eprintln!("       experiments serve-bench [--smoke] [--threads=1,2,8] [--shards=N] [--out=BENCH_serve.json]");
+                eprintln!("       experiments load-bench [--smoke] [--rate=R1,R2] [--threads=N] [--shards=N] [--out=BENCH_load.json]");
                 eprintln!("       experiments ingest-bench [--smoke] [--out=BENCH_ingest.json]");
                 eprintln!("       experiments ingest-bench --articles=N [--shards=M] [--smoke] [--out=BENCH_ingest.json]");
                 eprintln!("       experiments snapshot write|verify|info [--small] [--file=world.snap]");

@@ -150,6 +150,7 @@ fn phase_report(
             p50_ms: nanos_to_ms(h.p50_nanos),
             p95_ms: nanos_to_ms(h.p95_nanos),
             p99_ms: nanos_to_ms(h.p99_nanos),
+            p999_ms: nanos_to_ms(h.p999_nanos),
         })
         .collect();
     IngestPhaseReport {
@@ -195,6 +196,7 @@ pub fn run_ingest_bench(
             ServeConfig {
                 workers: opts.workers,
                 cache_capacity: opts.cache_capacity,
+                ..ServeConfig::default()
             },
             Arc::new(MonotonicClock::new()),
         );
@@ -417,6 +419,7 @@ pub fn run_streaming_ingest_bench(
     let serve_cfg = ServeConfig {
         workers: opts.workers,
         cache_capacity: opts.cache_capacity,
+        ..ServeConfig::default()
     };
     let services: Vec<ShardedService<'_>> = (0..2)
         .map(|_| {

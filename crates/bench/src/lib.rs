@@ -12,7 +12,10 @@
 //!
 //! Beyond the paper's artifacts, [`serve_bench`] load-tests the
 //! concurrent [`sqe::QueryService`] (`experiments serve-bench`, written
-//! to `BENCH_serve.json`), [`ingest_bench`] measures throughput under
+//! to `BENCH_serve.json`), [`load_bench`] drives the admission-controlled
+//! serving path with open-loop load, deadlines and degraded modes
+//! (`experiments load-bench`, written to `BENCH_load.json`),
+//! [`ingest_bench`] measures throughput under
 //! live ingestion across the static/ingest/merged regimes (`experiments
 //! ingest-bench`, written to `BENCH_ingest.json`), and [`store_bench`]
 //! measures the cold-start paths — regenerate vs JSON vs binary snapshot
@@ -24,6 +27,7 @@
 pub mod context;
 pub mod export;
 pub mod ingest_bench;
+pub mod load_bench;
 pub mod report;
 pub mod runs;
 pub mod serve_bench;

@@ -80,6 +80,8 @@ pub struct StageStats {
     pub p95_ms: f64,
     /// 99th percentile upper bound (ms).
     pub p99_ms: f64,
+    /// 99.9th percentile upper bound (ms).
+    pub p999_ms: f64,
 }
 
 /// One measured phase (cold or warm) of one (dataset, workers) cell.
@@ -97,6 +99,11 @@ pub struct PhaseReport {
     pub cache_hit_rate: f64,
     /// Cumulative cache evictions at the end of the phase.
     pub cache_evictions: u64,
+    /// Σ in-service execution time / wall time — the concurrency the
+    /// replay actually achieved, as opposed to the offered worker
+    /// count. Comparable with `BENCH_load.json`'s field of the same
+    /// name.
+    pub achieved_concurrency: f64,
     /// Per-stage latency statistics.
     pub stages: Vec<StageStats>,
 }
@@ -147,8 +154,10 @@ fn phase_from_snapshot(snap: &MetricsSnapshot, wall_ms: f64, phase: &str) -> Pha
             p50_ms: nanos_to_ms(h.p50_nanos),
             p95_ms: nanos_to_ms(h.p95_nanos),
             p99_ms: nanos_to_ms(h.p99_nanos),
+            p999_ms: nanos_to_ms(h.p999_nanos),
         })
         .collect();
+    let busy_nanos = snap.stages.last().map(|h| h.sum_nanos).unwrap_or(0);
     PhaseReport {
         phase: phase.to_owned(),
         queries: snap.queries,
@@ -160,6 +169,11 @@ fn phase_from_snapshot(snap: &MetricsSnapshot, wall_ms: f64, phase: &str) -> Pha
         },
         cache_hit_rate: snap.cache_hit_rate,
         cache_evictions: snap.cache_evictions,
+        achieved_concurrency: if wall_ms > 0.0 {
+            busy_nanos as f64 / (wall_ms * 1e6)
+        } else {
+            0.0
+        },
         stages,
     }
 }
@@ -241,6 +255,7 @@ pub fn run_serve_bench(
             let serve_cfg = ServeConfig {
                 workers,
                 cache_capacity: opts.cache_capacity,
+                ..ServeConfig::default()
             };
             let (cold, warm) = if opts.shards > 1 {
                 let service =
@@ -320,6 +335,7 @@ pub fn format_report(report: &ServeBenchReport) -> String {
                     p50_ms: 0.0,
                     p95_ms: 0.0,
                     p99_ms: 0.0,
+                    p999_ms: 0.0,
                 });
             s.push_str(&format!(
                 "{:<11}{:>4}{:>7}  {:>9.1}{:>10.1}%{:>7}{:>10.3}{:>10.3}\n",
@@ -378,7 +394,12 @@ mod tests {
                 assert_eq!(by_name("expand").count as usize, 3 * cell.load);
                 assert_eq!(by_name("combine").count as usize, cell.load);
                 assert!(by_name("total").p99_ms >= by_name("total").p50_ms);
+                assert!(by_name("total").p999_ms >= by_name("total").p99_ms);
                 assert!(phase.throughput_qps > 0.0);
+                // The replay keeps the pool busy: achieved concurrency
+                // is positive and can't exceed the offered worker count
+                // by more than measurement noise.
+                assert!(phase.achieved_concurrency > 0.0);
             }
         }
         // The JSON round-trips through the vendored serde.

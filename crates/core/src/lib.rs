@@ -50,12 +50,19 @@ pub use combine::{combine_rankings, RankSegment};
 pub use expand::{ExpandConfig, ExpandedQuery};
 pub use learn::{learn_motifs, Example, LearnedMotif, Objective};
 pub use metrics::{
-    Clock, HistogramSnapshot, IngestHistograms, LatencyHistogram, ManualClock, MetricsSnapshot,
-    MonotonicClock, NullClock, ServeMetrics, INGEST_STAGE_NAMES, STAGE_NAMES,
+    Clock, HistogramSnapshot, IngestHistograms, LadderMetrics, LatencyHistogram, ManualClock,
+    MetricsSnapshot, MonotonicClock, NullClock, ServeMetrics, INGEST_STAGE_NAMES,
+    LADDER_LEVEL_NAMES, STAGE_NAMES,
 };
 pub use motif::{Motif, MotifKind, Square, Triangular};
 pub use pattern::{CategoryCondition, LinkCondition, PatternMotif};
 pub use pipeline::{SqeConfig, SqePipeline, SqeScratch};
 pub use query_graph::{QueryGraph, QueryGraphBuilder, QueryGraphScratch};
-pub use serve::{run_indexed, QueryService, ServeConfig};
+pub use serve::{run_indexed, QueryService, ServeConfig, ServeRequest};
 pub use sharded::ShardedService;
+// The admission subsystem's vocabulary types, re-exported so serving
+// callers need only the `sqe` crate.
+pub use sqe_admission::{
+    select_level, AdmissionConfig, AdmissionController, Deadline, DegradeLevel, ServeOutcome,
+    ShedReason, Stage, Ticket,
+};

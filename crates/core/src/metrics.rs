@@ -221,6 +221,14 @@ impl LatencyHistogram {
         bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
     }
 
+    /// Exact 99.9th percentile upper bound in nanoseconds: the bucket
+    /// covering the observation of rank `ceil(0.999 · n)`. "Exact" in
+    /// the same sense as the other quantiles — the rank is exact, the
+    /// value is resolved to the covering power-of-two bucket.
+    pub fn p999_nanos(&self) -> u64 {
+        self.quantile_upper_nanos(0.999)
+    }
+
     /// Zeroes every bucket and the running count/sum. Not atomic with
     /// respect to concurrent `record` calls — reset between measurement
     /// phases, not during one.
@@ -241,6 +249,7 @@ impl LatencyHistogram {
             p50_nanos: self.quantile_upper_nanos(0.50),
             p95_nanos: self.quantile_upper_nanos(0.95),
             p99_nanos: self.quantile_upper_nanos(0.99),
+            p999_nanos: self.p999_nanos(),
         }
     }
 }
@@ -260,10 +269,81 @@ pub struct HistogramSnapshot {
     pub p95_nanos: u64,
     /// 99th percentile upper bound (ns).
     pub p99_nanos: u64,
+    /// 99.9th percentile upper bound (ns).
+    pub p999_nanos: u64,
 }
 
 /// The pipeline stages the serving layer times separately.
 pub const STAGE_NAMES: [&str; 4] = ["expand", "rank", "combine", "total"];
+
+/// The degraded-mode ladder rungs the serving layer tracks separately,
+/// highest quality first (mirrors `sqe_admission::LADDER_LEVEL_NAMES`).
+pub const LADDER_LEVEL_NAMES: [&str; 3] = ["full", "triangular", "unexpanded"];
+
+/// Per-ladder-rung admission metrics: a completion counter and a cost
+/// histogram per rung, indexed by `DegradeLevel::index()`.
+#[derive(Debug, Default)]
+pub struct LadderMetrics {
+    /// Requests served to completion at each rung.
+    pub served: [Counter; 3],
+    /// Observed service cost at each rung, recorded for every attempt
+    /// (including deadline-exceeded ones — a blown attempt is still a
+    /// cost observation). Zero-nanosecond observations are skipped: a
+    /// `NullClock` or frozen `ManualClock` measures nothing, and feeding
+    /// zeros here would collapse the cost estimates the degraded-mode
+    /// ladder selects against.
+    pub cost: [LatencyHistogram; 3],
+}
+
+impl LadderMetrics {
+    /// Records one cost observation for rung `index` (no-op for zero
+    /// durations and out-of-range indexes).
+    pub fn record_cost(&self, index: usize, nanos: u64) {
+        if nanos == 0 {
+            return;
+        }
+        if let Some(h) = self.cost.get(index) {
+            h.record(nanos);
+        }
+    }
+
+    /// Conservative per-rung cost estimates for ladder selection: the
+    /// p95 upper bound of observed costs (0 for an unobserved rung,
+    /// which keeps the selector optimistic until data arrives).
+    pub fn cost_estimates(&self) -> [u64; 3] {
+        [
+            self.cost[0].quantile_upper_nanos(0.95),
+            self.cost[1].quantile_upper_nanos(0.95),
+            self.cost[2].quantile_upper_nanos(0.95),
+        ]
+    }
+
+    /// Snapshots per-rung completion counts, ordered as
+    /// [`LADDER_LEVEL_NAMES`].
+    pub fn served_snapshot(&self) -> [u64; 3] {
+        [self.served[0].get(), self.served[1].get(), self.served[2].get()]
+    }
+
+    /// Snapshots per-rung cost histograms, ordered as
+    /// [`LADDER_LEVEL_NAMES`].
+    pub fn cost_snapshot(&self) -> [HistogramSnapshot; 3] {
+        [
+            self.cost[0].snapshot(),
+            self.cost[1].snapshot(),
+            self.cost[2].snapshot(),
+        ]
+    }
+
+    /// Zeroes every rung's counter and histogram.
+    pub fn reset(&self) {
+        for c in &self.served {
+            c.reset();
+        }
+        for h in &self.cost {
+            h.reset();
+        }
+    }
+}
 
 /// The ingestion stages the serving layer times separately.
 pub const INGEST_STAGE_NAMES: [&str; 3] = ["add", "seal", "merge"];
@@ -348,10 +428,17 @@ pub struct ServeMetrics {
     pub seals: Counter,
     /// Merge operations (policy-driven during seals plus forced).
     pub merges: Counter,
+    /// Requests rejected by admission control (queue bound, rate limit,
+    /// queue-delay shedding, or budget exhaustion).
+    pub sheds: Counter,
+    /// Requests whose deadline expired at a stage boundary.
+    pub deadline_exceeded: Counter,
     /// Per-stage latency histograms.
     pub stages: StageHistograms,
     /// Ingestion-path latency histograms.
     pub ingest: IngestHistograms,
+    /// Degraded-mode ladder counters and cost histograms.
+    pub ladder: LadderMetrics,
 }
 
 impl ServeMetrics {
@@ -382,8 +469,11 @@ impl ServeMetrics {
         self.docs_ingested.reset();
         self.seals.reset();
         self.merges.reset();
+        self.sheds.reset();
+        self.deadline_exceeded.reset();
         self.stages.reset();
         self.ingest.reset();
+        self.ladder.reset();
     }
 
     /// Point-in-time copy of every metric (evictions are tracked by the
@@ -399,10 +489,14 @@ impl ServeMetrics {
             docs_ingested: self.docs_ingested.get(),
             seals: self.seals.get(),
             merges: self.merges.get(),
+            sheds: self.sheds.get(),
+            deadline_exceeded: self.deadline_exceeded.get(),
             epoch,
             cache_hit_rate: self.cache_hit_rate(),
             stages: self.stages.snapshot(),
             ingest: self.ingest.snapshot(),
+            ladder_served: self.ladder.served_snapshot(),
+            ladder_cost: self.ladder.cost_snapshot(),
         }
     }
 }
@@ -427,6 +521,10 @@ pub struct MetricsSnapshot {
     pub seals: u64,
     /// Merge operations (policy-driven plus forced).
     pub merges: u64,
+    /// Requests rejected by admission control.
+    pub sheds: u64,
+    /// Requests whose deadline expired at a stage boundary.
+    pub deadline_exceeded: u64,
     /// Segment-set epoch of the published searcher view.
     pub epoch: u64,
     /// hits / (hits + misses), 0 when no lookups.
@@ -435,6 +533,12 @@ pub struct MetricsSnapshot {
     pub stages: [HistogramSnapshot; 4],
     /// Ingest histograms, ordered as [`INGEST_STAGE_NAMES`].
     pub ingest: [HistogramSnapshot; 3],
+    /// Completions per degraded-mode rung, ordered as
+    /// [`LADDER_LEVEL_NAMES`].
+    pub ladder_served: [u64; 3],
+    /// Cost histograms per degraded-mode rung, ordered as
+    /// [`LADDER_LEVEL_NAMES`].
+    pub ladder_cost: [HistogramSnapshot; 3],
 }
 
 #[cfg(test)]
@@ -542,5 +646,63 @@ mod tests {
         for q in [0.01, 0.5, 0.99, 1.0] {
             assert_eq!(h.quantile_upper_nanos(q), 511);
         }
+    }
+
+    #[test]
+    fn p999_separates_from_p99_at_the_tail() {
+        let h = LatencyHistogram::new();
+        // 989 fast, 9 medium, 2 very slow: p99 (rank 990) lands in the
+        // medium bucket, p99.9 (rank 999) in the slow one.
+        for _ in 0..989 {
+            h.record(1_000);
+        }
+        for _ in 0..9 {
+            h.record(4_000);
+        }
+        h.record(1_000_000);
+        h.record(1_000_000);
+        assert_eq!(h.count(), 1_000);
+        assert_eq!(h.quantile_upper_nanos(0.99), 4_095);
+        assert_eq!(h.p999_nanos(), 1_048_575);
+        let s = h.snapshot();
+        assert_eq!(s.p999_nanos, 1_048_575);
+        assert!(s.p999_nanos >= s.p99_nanos);
+    }
+
+    #[test]
+    fn ladder_metrics_skip_zero_cost_observations() {
+        let l = LadderMetrics::default();
+        l.record_cost(0, 0);
+        assert_eq!(l.cost_snapshot()[0].count, 0, "zero-duration costs carry no signal");
+        l.record_cost(0, 10_000);
+        l.record_cost(1, 4_000);
+        l.record_cost(2, 1_000);
+        l.record_cost(9, 5_000); // out of range: ignored
+        let est = l.cost_estimates();
+        assert!(est[0] >= 10_000 && est[1] >= 4_000 && est[2] >= 1_000);
+        assert!(est[0] > est[1] && est[1] > est[2]);
+        l.served[1].inc();
+        assert_eq!(l.served_snapshot(), [0, 1, 0]);
+        l.reset();
+        assert_eq!(l.served_snapshot(), [0, 0, 0]);
+        assert_eq!(l.cost_estimates(), [0, 0, 0]);
+    }
+
+    #[test]
+    fn snapshot_carries_admission_counters() {
+        let m = ServeMetrics::new();
+        m.sheds.add(3);
+        m.deadline_exceeded.inc();
+        m.ladder.served[0].add(5);
+        m.ladder.record_cost(0, 2_000);
+        let s = m.snapshot(0, 0);
+        assert_eq!(s.sheds, 3);
+        assert_eq!(s.deadline_exceeded, 1);
+        assert_eq!(s.ladder_served, [5, 0, 0]);
+        assert_eq!(s.ladder_cost[0].count, 1);
+        m.reset();
+        let s = m.snapshot(0, 0);
+        assert_eq!(s.sheds, 0);
+        assert_eq!(s.ladder_served, [0, 0, 0]);
     }
 }

@@ -137,6 +137,14 @@ impl<'a> SqePipeline<'a> {
         self.rank(&q)
     }
 
+    /// [`SqePipeline::rank_user`] against a caller-owned scratch — the
+    /// sequential reference for the serving layer's unexpanded
+    /// degraded-mode rung.
+    pub fn rank_user_with_scratch(&self, text: &str, scratch: &mut SqeScratch) -> Vec<SearchHit> {
+        let q = expand::user_part(text, self.searcher.analyzer());
+        ql::rank_with_scratch(&self.searcher, &q, self.cfg.ql, self.cfg.depth, &mut scratch.ql)
+    }
+
     /// `QL_E`: the query-entity titles only, as a keyword bag (the
     /// baseline runs titles through plain query likelihood).
     pub fn rank_entities(&self, nodes: &[ArticleId]) -> Vec<SearchHit> {

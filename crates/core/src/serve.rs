@@ -33,6 +33,10 @@ use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard};
 use kbgraph::{ArticleId, KbGraph};
 use searchlite::ql::{self, SearchHit};
 use searchlite::{DocId, Index, IngestError, SealReport, Searcher, SegmentedIndex};
+use sqe_admission::{
+    select_level, AdmissionConfig, AdmissionController, Deadline, DegradeLevel, ServeOutcome,
+    ShedReason, Stage, Ticket,
+};
 
 use crate::cache::{CacheKey, CachedExpansions, ExpansionCache};
 use crate::combine;
@@ -115,6 +119,10 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Seeded capacity of the expansion cache (0 disables caching).
     pub cache_capacity: usize,
+    /// Admission policy for the deadline-aware `serve*` entry points
+    /// (the plain `rank_sqe*` paths bypass admission entirely). The
+    /// default is unlimited: every request is admitted.
+    pub admission: AdmissionConfig,
 }
 
 impl Default for ServeConfig {
@@ -122,8 +130,23 @@ impl Default for ServeConfig {
         ServeConfig {
             workers: 1,
             cache_capacity: 4096,
+            admission: AdmissionConfig::unlimited(),
         }
     }
+}
+
+/// One request to the admission-controlled batch entry point
+/// ([`QueryService::serve_batch`]): the query text, its linked KB
+/// nodes, and an absolute completion deadline (use [`Deadline::NONE`]
+/// for best-effort requests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeRequest {
+    /// The raw query text.
+    pub text: String,
+    /// KB nodes the entity linker resolved from the text.
+    pub nodes: Vec<ArticleId>,
+    /// Completion deadline on the service's injected clock.
+    pub deadline: Deadline,
 }
 
 /// The concurrent SQE query service: [`SqePipeline`](crate::pipeline::SqePipeline) semantics behind an
@@ -157,6 +180,11 @@ pub struct QueryService<'a> {
     cache: ExpansionCache,
     metrics: ServeMetrics,
     clock: Arc<dyn Clock>,
+    /// Gatekeeper for the deadline-aware `serve*` entry points. Holds no
+    /// clock of its own: every decision takes this service's clock
+    /// reading as a parameter, keeping the whole path deterministic
+    /// under a `ManualClock`.
+    admission: AdmissionController,
 }
 
 impl<'a> QueryService<'a> {
@@ -238,6 +266,7 @@ impl<'a> QueryService<'a> {
             cache: ExpansionCache::new(serve_cfg.cache_capacity),
             metrics: ServeMetrics::new(),
             clock,
+            admission: AdmissionController::new(serve_cfg.admission),
         }
     }
 
@@ -594,6 +623,240 @@ impl<'a> QueryService<'a> {
             |(text, nodes), scratch| self.rank_sqe_c_with_scratch(&searcher, text, nodes, scratch),
         )
     }
+
+    // ------------------------------------ admission & degraded serving --
+
+    /// The admission controller guarding the `serve*` entry points.
+    pub fn admission(&self) -> &AdmissionController {
+        &self.admission
+    }
+
+    /// Asks the admission controller for a ticket at the current clock
+    /// reading — the first thing that happens to a request, before any
+    /// work is enqueued. Rejections are counted in `sheds`.
+    pub fn admit(&self) -> Result<Ticket, ShedReason> {
+        let decision = self.admission.try_admit(self.clock.now_nanos());
+        if decision.is_err() {
+            self.metrics.sheds.inc();
+        }
+        decision
+    }
+
+    /// Feeds one cost observation into the degraded-mode ladder's
+    /// per-rung estimates — the same thing every served request does.
+    /// Benchmarks and tests use this to prime the selector before the
+    /// first real traffic arrives.
+    pub fn record_ladder_cost(&self, level: DegradeLevel, nanos: u64) {
+        self.metrics.ladder.record_cost(level.index(), nanos);
+    }
+
+    /// Admission-controlled, deadline-aware serve of one request:
+    /// admit, pick the highest ladder rung that fits the remaining
+    /// budget, execute it with deadline checks at stage boundaries.
+    pub fn serve(
+        &self,
+        text: &str,
+        nodes: &[ArticleId],
+        deadline: Deadline,
+    ) -> ServeOutcome<Vec<SearchHit>> {
+        match self.admit() {
+            Err(reason) => ServeOutcome::Shed(reason),
+            Ok(ticket) => self.serve_admitted(ticket, text, nodes, deadline),
+        }
+    }
+
+    /// Serves a request that already holds an admission ticket (the
+    /// open-loop bench admits at arrival time on its dispatcher thread,
+    /// then starts work on a pool thread).
+    pub fn serve_admitted(
+        &self,
+        ticket: Ticket,
+        text: &str,
+        nodes: &[ArticleId],
+        deadline: Deadline,
+    ) -> ServeOutcome<Vec<SearchHit>> {
+        let searcher = self.searcher();
+        self.serve_admitted_with_scratch(
+            &searcher,
+            ticket,
+            text,
+            nodes,
+            deadline,
+            &mut SqeScratch::new(),
+        )
+    }
+
+    fn serve_admitted_with_scratch(
+        &self,
+        searcher: &Searcher,
+        ticket: Ticket,
+        text: &str,
+        nodes: &[ArticleId],
+        deadline: Deadline,
+        scratch: &mut SqeScratch,
+    ) -> ServeOutcome<Vec<SearchHit>> {
+        let now = self.clock.now_nanos();
+        if let Err(reason) = self.admission.on_start(ticket, now) {
+            self.metrics.sheds.inc();
+            return ServeOutcome::Shed(reason);
+        }
+        let remaining = deadline.remaining(now);
+        if remaining == Some(0) {
+            self.metrics.deadline_exceeded.inc();
+            return ServeOutcome::DeadlineExceeded(Stage::Queue);
+        }
+        let Some(level) = select_level(remaining, self.metrics.ladder.cost_estimates()) else {
+            self.metrics.sheds.inc();
+            return ServeOutcome::Shed(ShedReason::BudgetExhausted);
+        };
+        self.run_level(searcher, level, text, nodes, deadline, scratch)
+    }
+
+    /// Runs one request at a forced ladder rung with no admission and no
+    /// deadline — the calibration entry benchmarks use to measure (and
+    /// prime, via the recorded cost histogram) per-rung costs.
+    pub fn serve_at_level(
+        &self,
+        level: DegradeLevel,
+        text: &str,
+        nodes: &[ArticleId],
+    ) -> Vec<SearchHit> {
+        let searcher = self.searcher();
+        self.run_level(&searcher, level, text, nodes, Deadline::NONE, &mut SqeScratch::new())
+            .into_value()
+            .unwrap_or_default()
+    }
+
+    /// Executes one ladder rung under `deadline`. The elapsed cost is
+    /// recorded into the rung's histogram even when the deadline blows
+    /// mid-run: a too-slow attempt is exactly the observation the
+    /// estimator needs to stop selecting that rung.
+    fn run_level(
+        &self,
+        searcher: &Searcher,
+        level: DegradeLevel,
+        text: &str,
+        nodes: &[ArticleId],
+        deadline: Deadline,
+        scratch: &mut SqeScratch,
+    ) -> ServeOutcome<Vec<SearchHit>> {
+        let t0 = self.clock.now_nanos();
+        let staged = match level {
+            DegradeLevel::Full => {
+                self.stage_run_deadline(searcher, text, nodes, true, true, deadline, scratch)
+            }
+            DegradeLevel::Triangular => {
+                self.stage_run_deadline(searcher, text, nodes, true, false, deadline, scratch)
+            }
+            DegradeLevel::Unexpanded => {
+                // No expansion: rank the user part of the query directly
+                // (the paper's unexpanded QL baseline).
+                let query = expand::user_part(text, searcher.analyzer());
+                let hits =
+                    ql::rank_with_scratch(searcher, &query, self.cfg.ql, self.cfg.depth, &mut scratch.ql);
+                let t1 = self.clock.now_nanos();
+                self.metrics.stages.rank.record(t1.saturating_sub(t0));
+                Ok(hits)
+            }
+        };
+        let t1 = self.clock.now_nanos();
+        let elapsed = t1.saturating_sub(t0);
+        self.metrics.ladder.record_cost(level.index(), elapsed);
+        self.metrics.stages.total.record(elapsed);
+        self.metrics.queries.inc();
+        let hits = match staged {
+            Ok(hits) => hits,
+            Err(stage) => {
+                self.metrics.deadline_exceeded.inc();
+                return ServeOutcome::DeadlineExceeded(stage);
+            }
+        };
+        if deadline.expired(t1) {
+            self.metrics.deadline_exceeded.inc();
+            return ServeOutcome::DeadlineExceeded(Stage::Rank);
+        }
+        if let Some(counter) = self.metrics.ladder.served.get(level.index()) {
+            counter.inc();
+        }
+        match level {
+            DegradeLevel::Full => ServeOutcome::Ok(hits),
+            degraded => ServeOutcome::Degraded(degraded, hits),
+        }
+    }
+
+    /// [`QueryService::stage_run`] with a deadline check between the
+    /// expand and rank stages: when expansion alone blows the deadline,
+    /// ranking is skipped entirely.
+    #[allow(clippy::too_many_arguments)]
+    fn stage_run_deadline(
+        &self,
+        searcher: &Searcher,
+        text: &str,
+        nodes: &[ArticleId],
+        triangular: bool,
+        square: bool,
+        deadline: Deadline,
+        scratch: &mut SqeScratch,
+    ) -> Result<Vec<SearchHit>, Stage> {
+        let cfg = &self.cfg;
+        let t0 = self.clock.now_nanos();
+        let expansions = self.expansions_for(nodes, triangular, square, scratch);
+        let t1 = self.clock.now_nanos();
+        self.metrics.stages.expand.record(t1.saturating_sub(t0));
+        if deadline.expired(t1) {
+            return Err(Stage::Expand);
+        }
+        let query = expand::build_query(
+            self.graph,
+            text,
+            nodes,
+            &expansions,
+            searcher.analyzer(),
+            &cfg.expand,
+        );
+        let hits = ql::rank_with_scratch(searcher, &query, cfg.ql, cfg.depth, &mut scratch.ql);
+        let t2 = self.clock.now_nanos();
+        self.metrics.stages.rank.record(t2.saturating_sub(t1));
+        Ok(hits)
+    }
+
+    /// Admission-controlled batch serving. Admission decisions are taken
+    /// in a **sequential pre-pass in input order on the caller's
+    /// thread**: queue-bound and token-bucket state evolve with arrival
+    /// order alone, never with worker scheduling, so for a fixed clock
+    /// schedule the outcome sequence is byte-identical at any worker
+    /// count (the determinism wall in `tests/serve_determinism.rs`
+    /// enforces this). Execution then fans out over the worker pool into
+    /// order-preserving slots, same as [`QueryService::run_batch`].
+    pub fn serve_batch(&self, requests: &[ServeRequest]) -> Vec<ServeOutcome<Vec<SearchHit>>> {
+        let searcher = self.searcher();
+        let plans: Vec<(usize, Result<Ticket, ShedReason>)> = requests
+            .iter()
+            .enumerate()
+            .map(|(i, _)| (i, self.admit()))
+            .collect();
+        run_indexed(
+            &plans,
+            self.serve_cfg.workers,
+            SqeScratch::new,
+            |(i, plan), scratch| {
+                let req = requests
+                    .get(*i)
+                    .expect("invariant: plans index requests one-to-one");
+                match plan {
+                    Err(reason) => ServeOutcome::Shed(*reason),
+                    Ok(ticket) => self.serve_admitted_with_scratch(
+                        &searcher,
+                        *ticket,
+                        &req.text,
+                        &req.nodes,
+                        req.deadline,
+                        scratch,
+                    ),
+                }
+            },
+        )
+    }
 }
 
 /// External ids of `hits` against one pinned searcher view.
@@ -759,6 +1022,7 @@ mod tests {
         let serve_cfg = ServeConfig {
             workers: 1,
             cache_capacity: 0,
+            ..ServeConfig::default()
         };
         let service = QueryService::new(&graph, &index, SqeConfig::default(), serve_cfg);
         for _ in 0..2 {
@@ -880,6 +1144,159 @@ mod tests {
         assert_eq!(snap.ingest[2].count, 1, "one merge recorded");
         assert!(!service.force_merge(), "single segment: no-op");
         assert_eq!(snap.epoch, service.epoch(), "no-op merge keeps the epoch");
+    }
+
+    #[test]
+    fn serve_unbounded_matches_rank_sqe_full() {
+        let (graph, index, cable) = world();
+        let service = QueryService::new(&graph, &index, SqeConfig::default(), ServeConfig::default());
+        let want = service.rank_sqe("cable car", &[cable], true, true);
+        match service.serve("cable car", &[cable], Deadline::NONE) {
+            ServeOutcome::Ok(hits) => assert_eq!(hits, want),
+            other => panic!("expected Ok, got {}", other.label()),
+        }
+        let snap = service.metrics_snapshot();
+        assert_eq!(snap.ladder_served, [1, 0, 0]);
+        assert_eq!(snap.sheds, 0);
+    }
+
+    #[test]
+    fn ladder_selection_degrades_with_budget() {
+        let (graph, index, cable) = world();
+        let clock = Arc::new(ManualClock::new());
+        let service = QueryService::with_clock(
+            &graph,
+            &index,
+            SqeConfig::default(),
+            ServeConfig::default(),
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
+        // Prime per-rung cost estimates: full 10µs, triangular 4µs,
+        // unexpanded 1µs. (The frozen clock records no real costs, so
+        // these stay authoritative.)
+        service.record_ladder_cost(DegradeLevel::Full, 10_000);
+        service.record_ladder_cost(DegradeLevel::Triangular, 4_000);
+        service.record_ladder_cost(DegradeLevel::Unexpanded, 1_000);
+        // Estimates are bucket upper bounds, so re-read them to pick
+        // budgets on either side of each rung.
+        let est = service.metrics_snapshot().ladder_cost.map(|h| h.p99_nanos);
+        let serve_with = |budget: u64| {
+            service
+                .serve("cable car", &[cable], Deadline::within(clock.now_nanos(), budget))
+                .label()
+        };
+        assert_eq!(serve_with(est[0] + 1), "ok");
+        assert_eq!(serve_with(est[0]), "ok", "exact fit still takes the rung");
+        assert_eq!(serve_with(est[1]), "degraded:triangular");
+        assert_eq!(serve_with(est[2]), "degraded:unexpanded");
+        assert_eq!(serve_with(est[2] - 1), "shed:budget_exhausted");
+        assert_eq!(serve_with(0), "deadline:queue", "zero budget is dead on arrival");
+        let snap = service.metrics_snapshot();
+        assert_eq!(snap.ladder_served, [2, 1, 1]);
+        assert_eq!(snap.sheds, 1);
+        assert_eq!(snap.deadline_exceeded, 1);
+    }
+
+    #[test]
+    fn queue_and_rate_sheds_are_deterministic() {
+        let (graph, index, cable) = world();
+        let clock = Arc::new(ManualClock::new());
+        let serve_cfg = ServeConfig {
+            admission: AdmissionConfig {
+                queue_capacity: 2,
+                rate_per_sec: 10,
+                burst: 2,
+                ..AdmissionConfig::unlimited()
+            },
+            ..ServeConfig::default()
+        };
+        let service = QueryService::with_clock(
+            &graph,
+            &index,
+            SqeConfig::default(),
+            serve_cfg,
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
+        // Two tokens, two queue slots: third admit sheds on the queue
+        // bound (checked first).
+        let a = service.admit().expect("invariant: first admit fits");
+        let _b = service.admit().expect("invariant: second admit fits");
+        assert_eq!(service.admit(), Err(ShedReason::QueueFull));
+        // Starting one frees its slot, but the bucket is empty now.
+        let out = service.serve_admitted(a, "cable car", &[cable], Deadline::NONE);
+        assert_eq!(out.label(), "ok");
+        assert_eq!(service.admit(), Err(ShedReason::RateLimited));
+        // 100ms at 10/s refills one token.
+        clock.advance(100_000_000);
+        assert!(service.admit().is_ok());
+        assert_eq!(service.metrics_snapshot().sheds, 2);
+    }
+
+    #[test]
+    fn deadline_blows_at_expand_boundary_with_ticking_clock() {
+        let (graph, index, cable) = world();
+        let clock = Arc::new(ManualClock::new());
+        struct Ticking(Arc<ManualClock>);
+        impl Clock for Ticking {
+            fn now_nanos(&self) -> u64 {
+                self.0.advance(100);
+                self.0.now_nanos()
+            }
+        }
+        let service = QueryService::with_clock(
+            &graph,
+            &index,
+            SqeConfig::default(),
+            ServeConfig::default(),
+            Arc::new(Ticking(Arc::clone(&clock))),
+        );
+        // Every clock read ticks 100ns. A 150ns budget survives the
+        // queue check but is expired by the post-expand read; a 10µs
+        // budget survives the whole pipeline.
+        let t = service.admit().expect("invariant: unlimited admission");
+        let out = service.serve_admitted(t, "cable car", &[cable], Deadline::within(clock.now_nanos(), 150));
+        assert_eq!(out.label(), "deadline:expand");
+        let t = service.admit().expect("invariant: unlimited admission");
+        let out = service.serve_admitted(t, "cable car", &[cable], Deadline::within(clock.now_nanos(), 10_000));
+        assert_eq!(out.label(), "ok");
+        let snap = service.metrics_snapshot();
+        assert_eq!(snap.deadline_exceeded, 1);
+        // The blown attempt still recorded a full-rung cost observation.
+        assert_eq!(snap.ladder_cost[0].count, 2);
+    }
+
+    #[test]
+    fn serve_batch_outcomes_identical_across_worker_counts() {
+        let (graph, index, cable) = world();
+        let requests: Vec<ServeRequest> = (0..12)
+            .map(|i| ServeRequest {
+                text: "cable car".to_owned(),
+                nodes: vec![cable],
+                deadline: if i % 3 == 2 { Deadline::at(0) } else { Deadline::NONE },
+            })
+            .collect();
+        let mut reference: Option<Vec<String>> = None;
+        for workers in [1, 2, 8] {
+            let serve_cfg = ServeConfig {
+                workers,
+                admission: AdmissionConfig {
+                    queue_capacity: 5,
+                    ..AdmissionConfig::unlimited()
+                },
+                ..ServeConfig::default()
+            };
+            let service = QueryService::new(&graph, &index, SqeConfig::default(), serve_cfg);
+            let labels: Vec<String> =
+                service.serve_batch(&requests).iter().map(|o| o.label()).collect();
+            // NullClock: every deadline of 0 at now=0 has remaining 0.
+            assert!(labels.iter().any(|l| l == "shed:queue_full"));
+            assert!(labels.iter().any(|l| l == "deadline:queue"));
+            assert!(labels.iter().any(|l| l == "ok"));
+            match &reference {
+                None => reference = Some(labels),
+                Some(want) => assert_eq!(&labels, want, "workers={workers}"),
+            }
+        }
     }
 
     #[test]

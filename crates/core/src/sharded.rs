@@ -41,6 +41,10 @@ use searchlite::shard::{
     ql_rank_shard, ql_resolve_shard, Bm25ShardResolve, QlShardResolve,
 };
 use searchlite::{Analyzer, DocId, IngestError, Query, SealReport, Searcher, SegmentedIndex, ShardRouter};
+use sqe_admission::{
+    select_level, AdmissionController, Deadline, DegradeLevel, ServeOutcome, ShedReason, Stage,
+    Ticket,
+};
 
 use crate::cache::{CacheKey, CachedExpansions, ExpansionCache};
 use crate::combine;
@@ -48,7 +52,7 @@ use crate::expand;
 use crate::metrics::{Clock, MetricsSnapshot, NullClock, ServeMetrics};
 use crate::pipeline::{SqeConfig, SqeScratch};
 use crate::query_graph::QueryGraphBuilder;
-use crate::serve::{run_indexed, ServeConfig};
+use crate::serve::{run_indexed, ServeConfig, ServeRequest};
 
 /// The mutable side of a shard set: per-shard corpora plus the global
 /// ordinal assignment. Lock order matches [`QueryService`](crate::serve::QueryService):
@@ -87,6 +91,9 @@ pub struct ShardedService<'a> {
     cache: ExpansionCache,
     metrics: ServeMetrics,
     clock: Arc<dyn Clock>,
+    /// Gatekeeper for the deadline-aware `serve*` entry points; same
+    /// clock-free, deterministic contract as the single-shard service.
+    admission: AdmissionController,
 }
 
 impl<'a> ShardedService<'a> {
@@ -198,6 +205,7 @@ impl<'a> ShardedService<'a> {
             cache: ExpansionCache::new(serve_cfg.cache_capacity),
             metrics: ServeMetrics::new(),
             clock,
+            admission: AdmissionController::new(serve_cfg.admission),
         }
     }
 
@@ -640,6 +648,222 @@ impl<'a> ShardedService<'a> {
             |(text, nodes), scratch| self.rank_sqe_c_with_scratch(&views, text, nodes, scratch),
         )
     }
+
+    // ------------------------------------ admission & degraded serving --
+
+    /// The admission controller guarding the `serve*` entry points.
+    pub fn admission(&self) -> &AdmissionController {
+        &self.admission
+    }
+
+    /// Asks the admission controller for a ticket at the current clock
+    /// reading; rejections are counted in `sheds`. Mirrors
+    /// [`QueryService::admit`](crate::serve::QueryService::admit).
+    pub fn admit(&self) -> Result<Ticket, ShedReason> {
+        let decision = self.admission.try_admit(self.clock.now_nanos());
+        if decision.is_err() {
+            self.metrics.sheds.inc();
+        }
+        decision
+    }
+
+    /// Feeds one cost observation into the degraded-mode ladder's
+    /// per-rung estimates (benchmarks prime the selector through this).
+    pub fn record_ladder_cost(&self, level: DegradeLevel, nanos: u64) {
+        self.metrics.ladder.record_cost(level.index(), nanos);
+    }
+
+    /// Admission-controlled, deadline-aware serve of one request across
+    /// all shards; hit ids are global ingest ordinals.
+    pub fn serve(
+        &self,
+        text: &str,
+        nodes: &[ArticleId],
+        deadline: Deadline,
+    ) -> ServeOutcome<Vec<SearchHit>> {
+        match self.admit() {
+            Err(reason) => ServeOutcome::Shed(reason),
+            Ok(ticket) => self.serve_admitted(ticket, text, nodes, deadline),
+        }
+    }
+
+    /// Serves a request that already holds an admission ticket.
+    pub fn serve_admitted(
+        &self,
+        ticket: Ticket,
+        text: &str,
+        nodes: &[ArticleId],
+        deadline: Deadline,
+    ) -> ServeOutcome<Vec<SearchHit>> {
+        let views = self.pinned_views();
+        self.serve_admitted_with_scratch(&views, ticket, text, nodes, deadline, &mut SqeScratch::new())
+    }
+
+    fn serve_admitted_with_scratch(
+        &self,
+        views: &[ShardView],
+        ticket: Ticket,
+        text: &str,
+        nodes: &[ArticleId],
+        deadline: Deadline,
+        scratch: &mut SqeScratch,
+    ) -> ServeOutcome<Vec<SearchHit>> {
+        let now = self.clock.now_nanos();
+        if let Err(reason) = self.admission.on_start(ticket, now) {
+            self.metrics.sheds.inc();
+            return ServeOutcome::Shed(reason);
+        }
+        let remaining = deadline.remaining(now);
+        if remaining == Some(0) {
+            self.metrics.deadline_exceeded.inc();
+            return ServeOutcome::DeadlineExceeded(Stage::Queue);
+        }
+        let Some(level) = select_level(remaining, self.metrics.ladder.cost_estimates()) else {
+            self.metrics.sheds.inc();
+            return ServeOutcome::Shed(ShedReason::BudgetExhausted);
+        };
+        self.run_level(views, level, text, nodes, deadline, scratch)
+    }
+
+    /// Runs one request at a forced ladder rung with no admission and no
+    /// deadline (the calibration entry; primes the cost estimates).
+    pub fn serve_at_level(
+        &self,
+        level: DegradeLevel,
+        text: &str,
+        nodes: &[ArticleId],
+    ) -> Vec<SearchHit> {
+        let views = self.pinned_views();
+        self.run_level(&views, level, text, nodes, Deadline::NONE, &mut SqeScratch::new())
+            .into_value()
+            .unwrap_or_default()
+    }
+
+    /// Executes one ladder rung under `deadline` against a pinned shard
+    /// set; same recording contract as the single-shard service (blown
+    /// attempts still record their cost).
+    fn run_level(
+        &self,
+        views: &[ShardView],
+        level: DegradeLevel,
+        text: &str,
+        nodes: &[ArticleId],
+        deadline: Deadline,
+        scratch: &mut SqeScratch,
+    ) -> ServeOutcome<Vec<SearchHit>> {
+        let t0 = self.clock.now_nanos();
+        let staged = match level {
+            DegradeLevel::Full => {
+                self.stage_run_deadline(views, text, nodes, true, true, deadline, scratch)
+            }
+            DegradeLevel::Triangular => {
+                self.stage_run_deadline(views, text, nodes, true, false, deadline, scratch)
+            }
+            DegradeLevel::Unexpanded => {
+                let analyzer = views
+                    .first()
+                    .map(|v| v.searcher.analyzer())
+                    .expect("invariant: a sharded service always has at least one shard");
+                let query = expand::user_part(text, analyzer);
+                let hits =
+                    scatter_ql(views, &query, self.cfg.ql, self.cfg.depth, scratch.ql.positional());
+                let t1 = self.clock.now_nanos();
+                self.metrics.stages.rank.record(t1.saturating_sub(t0));
+                Ok(hits)
+            }
+        };
+        let t1 = self.clock.now_nanos();
+        let elapsed = t1.saturating_sub(t0);
+        self.metrics.ladder.record_cost(level.index(), elapsed);
+        self.metrics.stages.total.record(elapsed);
+        self.metrics.queries.inc();
+        let hits = match staged {
+            Ok(hits) => hits,
+            Err(stage) => {
+                self.metrics.deadline_exceeded.inc();
+                return ServeOutcome::DeadlineExceeded(stage);
+            }
+        };
+        if deadline.expired(t1) {
+            self.metrics.deadline_exceeded.inc();
+            return ServeOutcome::DeadlineExceeded(Stage::Rank);
+        }
+        if let Some(counter) = self.metrics.ladder.served.get(level.index()) {
+            counter.inc();
+        }
+        match level {
+            DegradeLevel::Full => ServeOutcome::Ok(hits),
+            degraded => ServeOutcome::Degraded(degraded, hits),
+        }
+    }
+
+    /// [`ShardedService::stage_run`] with a deadline check between the
+    /// expand and scatter-gather rank stages.
+    #[allow(clippy::too_many_arguments)]
+    fn stage_run_deadline(
+        &self,
+        views: &[ShardView],
+        text: &str,
+        nodes: &[ArticleId],
+        triangular: bool,
+        square: bool,
+        deadline: Deadline,
+        scratch: &mut SqeScratch,
+    ) -> Result<Vec<SearchHit>, Stage> {
+        let cfg = &self.cfg;
+        let t0 = self.clock.now_nanos();
+        let expansions = self.expansions_for(nodes, triangular, square, scratch);
+        let t1 = self.clock.now_nanos();
+        self.metrics.stages.expand.record(t1.saturating_sub(t0));
+        if deadline.expired(t1) {
+            return Err(Stage::Expand);
+        }
+        let analyzer = views
+            .first()
+            .map(|v| v.searcher.analyzer())
+            .expect("invariant: a sharded service always has at least one shard");
+        let query = expand::build_query(self.graph, text, nodes, &expansions, analyzer, &cfg.expand);
+        let hits = scatter_ql(views, &query, cfg.ql, cfg.depth, scratch.ql.positional());
+        let t2 = self.clock.now_nanos();
+        self.metrics.stages.rank.record(t2.saturating_sub(t1));
+        Ok(hits)
+    }
+
+    /// Admission-controlled batch serving across shards. Admission
+    /// decisions run as a sequential pre-pass in input order on the
+    /// caller's thread — identical contract to
+    /// [`QueryService::serve_batch`](crate::serve::QueryService::serve_batch), so the outcome
+    /// sequence is byte-identical at any worker count and any shard
+    /// count for a fixed clock schedule.
+    pub fn serve_batch(&self, requests: &[ServeRequest]) -> Vec<ServeOutcome<Vec<SearchHit>>> {
+        let views = self.pinned_views();
+        let plans: Vec<(usize, Result<Ticket, ShedReason>)> = requests
+            .iter()
+            .enumerate()
+            .map(|(i, _)| (i, self.admit()))
+            .collect();
+        run_indexed(
+            &plans,
+            self.serve_cfg.workers,
+            SqeScratch::new,
+            |(i, plan), scratch| {
+                let req = requests
+                    .get(*i)
+                    .expect("invariant: plans index requests one-to-one");
+                match plan {
+                    Err(reason) => ServeOutcome::Shed(*reason),
+                    Ok(ticket) => self.serve_admitted_with_scratch(
+                        &views,
+                        *ticket,
+                        &req.text,
+                        &req.nodes,
+                        req.deadline,
+                        scratch,
+                    ),
+                }
+            },
+        )
+    }
 }
 
 /// Maps a shard-local doc id to its global ingest ordinal.
@@ -930,6 +1154,46 @@ mod tests {
         let top_before = want[0].first().map(|h| h.doc);
         let top_after = again[0].first().map(|h| h.doc);
         assert_eq!(top_before, top_after, "top hit survives the seal");
+    }
+
+    #[test]
+    fn sharded_serve_matches_mono_and_degrades_identically() {
+        let (graph, index, cable) = world();
+        let mono = QueryService::new(&graph, &index, SqeConfig::default(), ServeConfig::default());
+        for shards in [1usize, 2, 4] {
+            let service = sharded_service(&graph, shards, 0, 1);
+            // Unbounded deadline serves full quality, matching rank_sqe.
+            let want = service.rank_sqe("cable car", &[cable], true, true);
+            match service.serve("cable car", &[cable], Deadline::NONE) {
+                ServeOutcome::Ok(hits) => {
+                    assert_eq!(hits, want, "shards={shards}");
+                    assert_eq!(
+                        service.external_ids(&hits),
+                        mono.external_ids(&mono.rank_sqe("cable car", &[cable], true, true)),
+                        "shards={shards}"
+                    );
+                }
+                other => panic!("expected Ok, got {}", other.label()),
+            }
+            // Primed costs + tight budget degrade to the unexpanded rung,
+            // whose output matches the mono service's unexpanded rung.
+            service.record_ladder_cost(DegradeLevel::Full, 10_000);
+            service.record_ladder_cost(DegradeLevel::Triangular, 4_000);
+            service.record_ladder_cost(DegradeLevel::Unexpanded, 1_000);
+            match service.serve("cable car", &[cable], Deadline::within(0, 2_000)) {
+                ServeOutcome::Degraded(DegradeLevel::Unexpanded, hits) => {
+                    let mono_hits = mono.serve_at_level(DegradeLevel::Unexpanded, "cable car", &[cable]);
+                    assert_eq!(
+                        service.external_ids(&hits),
+                        mono.external_ids(&mono_hits),
+                        "shards={shards}: unexpanded rung must match mono"
+                    );
+                }
+                other => panic!("expected degraded:unexpanded, got {}", other.label()),
+            }
+            let snap = service.metrics_snapshot();
+            assert_eq!(snap.ladder_served, [1, 0, 1], "shards={shards}");
+        }
     }
 
     #[test]

@@ -43,4 +43,4 @@ pub mod spotter;
 pub use corpus::{annotate_corpus, AnchorStats};
 pub use dictionary::{Dictionary, Sense};
 pub use linker::{EntityLinker, LinkedEntity, LinkerConfig};
-pub use noise::NoiseModel;
+pub use noise::{perturb_query, NoiseModel, NoiseRng, PerturbationModel};

@@ -72,7 +72,10 @@ impl EntityLinker {
 
         let mentions = spotter::spot(&self.dict, &tokens);
         for m in &mentions {
-            let senses = self.dict.lookup(&m.surface).expect("spotted ⇒ present");
+            let senses = self
+                .dict
+                .lookup(&m.surface)
+                .expect("invariant: the spotter only emits surfaces present in the dictionary");
             self.resolve(&m.surface, senses, false, &mut rng, &mut out);
         }
         if out.is_empty() && self.cfg.fallback {

@@ -258,7 +258,7 @@ impl StreamedTestBed {
         self.datasets
             .iter()
             .find(|d| d.name == name)
-            .unwrap_or_else(|| panic!("unknown dataset {name}"))
+            .expect("invariant: callers only name the three generated datasets")
     }
 }
 
@@ -329,7 +329,7 @@ impl TestBed {
         self.datasets
             .iter()
             .find(|d| d.name == name)
-            .unwrap_or_else(|| panic!("unknown dataset {name}"))
+            .expect("invariant: callers only name the three generated datasets")
     }
 
     /// The collection a dataset runs over.

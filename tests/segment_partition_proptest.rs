@@ -172,6 +172,7 @@ fn sharded_service<'a>(w: &'a World, ds_idx: usize, shards: usize, salt: u64) ->
         ServeConfig {
             workers: 1,
             cache_capacity: 256,
+            ..ServeConfig::default()
         },
     );
     for d in &coll.docs {

@@ -7,11 +7,17 @@
 //! LRU caching + scratch reuse) adoptable at all: parallelism and caching
 //! are pure speed, never a ranking change.
 
+use std::sync::Arc;
+
+use entitylink::NoiseRng;
 use ireval::trec;
 use ireval::Run;
 use kbgraph::ArticleId;
 use searchlite::{Analyzer, Index, IndexBuilder, QlParams, SegmentedIndex, ShardRouter};
-use sqe::{QueryService, ServeConfig, ShardedService, SqeConfig, SqePipeline};
+use sqe::{
+    AdmissionConfig, Deadline, DegradeLevel, ManualClock, QueryService, ServeConfig,
+    ServeRequest, ShardedService, SqeConfig, SqePipeline,
+};
 use synthwiki::{Collection, Dataset, TestBed, TestBedConfig};
 
 const DATASETS: [&str; 3] = ["imageclef", "chic2012", "chic2013"];
@@ -421,6 +427,208 @@ fn mid_run_shard_seal_bumps_one_epoch_entry_and_invalidates_once() {
         inv0 + 1,
         "the replay itself must not invalidate again"
     );
+}
+
+/// Admission settings for the deadline/degraded wall: small enough that
+/// one 12-request batch overflows the pending queue, a refill slow
+/// enough that later batches run out of tokens before slots.
+fn wall_admission() -> AdmissionConfig {
+    AdmissionConfig {
+        queue_capacity: 5,
+        rate_per_sec: 60,
+        burst: 6,
+        codel_target_nanos: 0,
+        codel_interval_nanos: 0,
+        default_deadline_nanos: 0,
+    }
+}
+
+/// Primes the degraded-mode ladder with fixed per-rung costs. Under a
+/// frozen [`ManualClock`] every real execution records a zero-duration
+/// cost, which the histograms skip — so these stay the authoritative
+/// estimates for the whole replay.
+fn prime_wall_ladder(record: impl Fn(DegradeLevel, u64)) {
+    record(DegradeLevel::Full, 200_000);
+    record(DegradeLevel::Triangular, 80_000);
+    record(DegradeLevel::Unexpanded, 20_000);
+}
+
+/// Per-request deadline budgets spanning the whole ladder. Five residue
+/// classes are pinned to one rung each (with the primed costs, the p95
+/// estimates are the power-of-two bucket uppers 262143 / 131071 / 32767
+/// ns), so every outcome kind is guaranteed to occur among the admitted
+/// prefix of each batch; the rest draw from a seeded RNG.
+fn wall_budgets(n: usize) -> Vec<u64> {
+    let mut rng = NoiseRng::new(0xD15E_A5E0_0B57_AC1E);
+    (0..n)
+        .map(|i| {
+            let draw = (rng.next_f64() * 400_000.0) as u64;
+            match i % 7 {
+                0 => 300_000, // ≥ 262143 → full (ok)
+                1 => 150_000, // → degraded:triangular
+                2 => 50_000,  // → degraded:unexpanded
+                3 => 0,       // → deadline:queue
+                5 => 10_000,  // < 32767 → shed:budget_exhausted
+                _ => draw,
+            }
+        })
+        .collect()
+}
+
+/// Replays the batch through `serve_batch` under a scripted clock
+/// schedule (one 50 ms tick per 12-request batch, driving token-bucket
+/// refills) and serializes every outcome — including which requests
+/// shed, degraded, or blew their deadline — into one comparable blob.
+fn outcome_blob(
+    serve: impl Fn(&[ServeRequest]) -> Vec<(String, Vec<String>)>,
+    clock: &ManualClock,
+    batch: &[(String, Vec<ArticleId>)],
+    budgets: &[u64],
+) -> String {
+    let mut lines = String::new();
+    for (k, chunk) in batch.chunks(12).enumerate() {
+        let now = (k as u64 + 1) * 50_000_000;
+        clock.set(now);
+        let requests: Vec<ServeRequest> = chunk
+            .iter()
+            .enumerate()
+            .map(|(j, (text, nodes))| {
+                let i = k * 12 + j;
+                ServeRequest {
+                    text: text.clone(),
+                    nodes: nodes.clone(),
+                    deadline: Deadline::within(now, budgets.get(i).copied().unwrap_or(0)),
+                }
+            })
+            .collect();
+        for (j, (label, ids)) in serve(&requests).into_iter().enumerate() {
+            let i = k * 12 + j;
+            lines.push_str(&format!("{i}:{label}:{}\n", ids.join(",")));
+        }
+    }
+    lines
+}
+
+#[test]
+fn deadline_and_degraded_outcomes_are_byte_identical_across_workers_and_shards() {
+    // The wall extended to the admission layer: with the same seed and
+    // the same ManualClock schedule, the full outcome sequence — which
+    // requests shed (and why), which degrade (and to which rung), which
+    // blow their deadline, and every surviving ranking — is
+    // byte-identical at every worker count and every shard count.
+    let (bed, indexes) = build_world();
+    let dataset = bed.dataset("imageclef");
+    let index = &indexes[dataset.collection];
+    let coll = bed.collection_of(dataset);
+    // Repeat the query set so the replay spans several batches (several
+    // clock ticks, several token-bucket refills).
+    let mut batch = Vec::new();
+    for _ in 0..3 {
+        batch.extend(batch_of(&bed, dataset));
+    }
+    let budgets = wall_budgets(batch.len());
+
+    let mut blobs: Vec<(String, String)> = Vec::new();
+    for workers in WORKER_COUNTS {
+        let clock = Arc::new(ManualClock::new());
+        let service = QueryService::with_clock(
+            &bed.kb.graph,
+            index,
+            config(),
+            ServeConfig {
+                workers,
+                admission: wall_admission(),
+                ..ServeConfig::default()
+            },
+            clock.clone(),
+        );
+        prime_wall_ladder(|level, nanos| service.record_ladder_cost(level, nanos));
+        let blob = outcome_blob(
+            |reqs| {
+                service
+                    .serve_batch(reqs)
+                    .into_iter()
+                    .map(|o| {
+                        let label = o.label();
+                        let ids = o
+                            .into_value()
+                            .map(|hits| service.external_ids(&hits))
+                            .unwrap_or_default();
+                        (label, ids)
+                    })
+                    .collect()
+            },
+            &clock,
+            &batch,
+            &budgets,
+        );
+        blobs.push((format!("mono/{workers}w"), blob));
+    }
+    for shards in [1usize, 2, 4] {
+        let clock = Arc::new(ManualClock::new());
+        let service = ShardedService::with_clock(
+            &bed.kb.graph,
+            Analyzer::english(),
+            ShardRouter::new(shards),
+            config(),
+            ServeConfig {
+                workers: 2,
+                admission: wall_admission(),
+                ..ServeConfig::default()
+            },
+            clock.clone(),
+        );
+        for d in &coll.docs {
+            service
+                .add_document(&d.id, &d.text)
+                .expect("generated ids are unique");
+        }
+        service.seal_all();
+        prime_wall_ladder(|level, nanos| service.record_ladder_cost(level, nanos));
+        let blob = outcome_blob(
+            |reqs| {
+                service
+                    .serve_batch(reqs)
+                    .into_iter()
+                    .map(|o| {
+                        let label = o.label();
+                        let ids = o
+                            .into_value()
+                            .map(|hits| service.external_ids(&hits))
+                            .unwrap_or_default();
+                        (label, ids)
+                    })
+                    .collect()
+            },
+            &clock,
+            &batch,
+            &budgets,
+        );
+        blobs.push((format!("sharded/{shards}s"), blob));
+    }
+
+    let (ref_name, reference) = blobs.first().expect("at least one configuration ran");
+    // The schedule is not a no-op wall: every outcome kind occurs.
+    for kind in [
+        ":ok:",
+        ":degraded:triangular:",
+        ":degraded:unexpanded:",
+        ":shed:queue_full:",
+        ":shed:rate_limited:",
+        ":shed:budget_exhausted:",
+        ":deadline:queue:",
+    ] {
+        assert!(
+            reference.contains(kind),
+            "the wall schedule must produce a {kind} outcome; blob:\n{reference}"
+        );
+    }
+    for (name, blob) in &blobs {
+        assert_eq!(
+            blob, reference,
+            "{name} outcome sequence diverged from {ref_name}"
+        );
+    }
 }
 
 #[test]
