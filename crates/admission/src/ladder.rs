@@ -1,27 +1,25 @@
 //! The degraded-mode ladder selection rule.
 
-use crate::outcome::DegradeLevel;
-
 /// Pick the highest-quality ladder rung whose estimated cost fits the
 /// remaining deadline budget.
 ///
 /// * `remaining` — nanoseconds of budget left (`None` = unbounded, which
-///   always selects [`DegradeLevel::Full`]).
-/// * `costs` — per-rung cost estimates in nanoseconds, indexed by
-///   [`DegradeLevel::index`] (the service maintains these from its
-///   latency histograms; an unobserved rung estimates 0, which makes the
-///   selector optimistic until real costs arrive — the deadline checks
-///   at stage boundaries backstop that optimism).
+///   always selects rung 0, the full-quality rung).
+/// * `costs` — per-rung cost estimates in nanoseconds, ordered from most
+///   to least expensive, one entry per rung of the service's motif
+///   ladder (the service maintains these from its latency histograms; an
+///   unobserved rung estimates 0, which makes the selector optimistic
+///   until real costs arrive — the deadline checks at stage boundaries
+///   backstop that optimism).
 ///
-/// Returns `None` when even the cheapest rung does not fit — the caller
-/// sheds with `BudgetExhausted` rather than starting doomed work.
-pub fn select_level(remaining: Option<u64>, costs: [u64; 3]) -> Option<DegradeLevel> {
+/// Returns the selected rung index, or `None` when even the cheapest
+/// rung does not fit — the caller sheds with `BudgetExhausted` rather
+/// than starting doomed work.
+pub fn select_rung(remaining: Option<u64>, costs: &[u64]) -> Option<usize> {
     let Some(budget) = remaining else {
-        return Some(DegradeLevel::Full);
+        return Some(0);
     };
-    DegradeLevel::LADDER
-        .into_iter()
-        .find(|level| costs.get(level.index()).copied().unwrap_or(u64::MAX) <= budget)
+    costs.iter().position(|&cost| cost <= budget)
 }
 
 #[cfg(test)]
@@ -32,25 +30,32 @@ mod tests {
 
     #[test]
     fn unbounded_budget_selects_full() {
-        assert_eq!(select_level(None, COSTS), Some(DegradeLevel::Full));
+        assert_eq!(select_rung(None, &COSTS), Some(0));
     }
 
     #[test]
     fn budget_walks_the_ladder_downward() {
-        assert_eq!(select_level(Some(20_000), COSTS), Some(DegradeLevel::Full));
-        assert_eq!(select_level(Some(10_000), COSTS), Some(DegradeLevel::Full));
-        assert_eq!(select_level(Some(9_999), COSTS), Some(DegradeLevel::Triangular));
-        assert_eq!(select_level(Some(4_000), COSTS), Some(DegradeLevel::Triangular));
-        assert_eq!(select_level(Some(3_999), COSTS), Some(DegradeLevel::Unexpanded));
-        assert_eq!(select_level(Some(1_000), COSTS), Some(DegradeLevel::Unexpanded));
-        assert_eq!(select_level(Some(999), COSTS), None);
-        assert_eq!(select_level(Some(0), COSTS), None);
+        assert_eq!(select_rung(Some(20_000), &COSTS), Some(0));
+        assert_eq!(select_rung(Some(10_000), &COSTS), Some(0));
+        assert_eq!(select_rung(Some(9_999), &COSTS), Some(1));
+        assert_eq!(select_rung(Some(4_000), &COSTS), Some(1));
+        assert_eq!(select_rung(Some(3_999), &COSTS), Some(2));
+        assert_eq!(select_rung(Some(1_000), &COSTS), Some(2));
+        assert_eq!(select_rung(Some(999), &COSTS), None);
+        assert_eq!(select_rung(Some(0), &COSTS), None);
     }
 
     #[test]
     fn unobserved_costs_are_optimistic() {
         // No observations yet: every rung estimates 0, so even a tiny
-        // budget tries Full. Stage-boundary deadline checks backstop it.
-        assert_eq!(select_level(Some(1), [0, 0, 0]), Some(DegradeLevel::Full));
+        // budget tries rung 0. Stage-boundary deadline checks backstop it.
+        assert_eq!(select_rung(Some(1), &[0, 0, 0]), Some(0));
+    }
+
+    #[test]
+    fn ladders_of_any_length_work() {
+        assert_eq!(select_rung(Some(50), &[100, 80, 60, 40, 20]), Some(3));
+        assert_eq!(select_rung(Some(5), &[10]), None);
+        assert_eq!(select_rung(Some(5), &[]), None, "no rungs, nothing fits");
     }
 }

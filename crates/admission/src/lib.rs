@@ -18,12 +18,15 @@
 //!   and CoDel-style queue-delay shedding at dequeue time. All decisions
 //!   are pure functions of `(config, call order, supplied now)` — the
 //!   controller itself holds no clock and no entropy source.
-//! * [`select_level`] — the degraded-mode ladder rule: pick the highest
-//!   quality rung (`SQE_T&S` → `SQE_T` → unexpanded) whose estimated
-//!   cost fits the remaining deadline budget.
+//! * [`select_rung`] — the degraded-mode ladder rule: pick the highest
+//!   quality rung of the service's motif ladder (by default `SQE_T&S` →
+//!   `SQE_T` → unexpanded) whose estimated cost fits the remaining
+//!   deadline budget. The ladder is an ordered list of motif-set rungs
+//!   owned by the serving layer; admission sees only the per-rung cost
+//!   estimates and names the chosen rung with a [`RungId`].
 //!
 //! The service layer (`sqe::serve`, `sqe::sharded`) owns the clock, the
-//! per-level cost estimates (maintained from its latency histograms) and
+//! per-rung cost estimates (maintained from its latency histograms) and
 //! the metrics; this crate owns the decisions.
 
 pub mod controller;
@@ -33,5 +36,5 @@ pub mod outcome;
 
 pub use controller::{AdmissionConfig, AdmissionController, Ticket};
 pub use deadline::{Deadline, Stage};
-pub use ladder::select_level;
-pub use outcome::{DegradeLevel, ServeOutcome, ShedReason, LADDER_LEVEL_NAMES};
+pub use ladder::select_rung;
+pub use outcome::{RungId, ServeOutcome, ShedReason};

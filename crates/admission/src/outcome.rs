@@ -1,46 +1,36 @@
 //! The typed result of a deadline-aware serve call.
 
+use std::sync::Arc;
+
 use crate::deadline::Stage;
 
-/// Stable lower-case names of the degraded-mode ladder rungs, ordered
-/// from highest to lowest quality. Indexes match [`DegradeLevel::index`].
-pub const LADDER_LEVEL_NAMES: [&str; 3] = ["full", "triangular", "unexpanded"];
-
-/// A rung of the degraded-mode ladder, ordered from most to least
-/// expensive (and most to least effective, per the paper's ablations):
-/// SQE_T&S → SQE_T → unexpanded query-likelihood.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum DegradeLevel {
-    /// Full structural expansion: triangular + square motifs (SQE_T&S).
-    Full,
-    /// Triangular motifs only (SQE_T) — skips the square-motif scan.
-    Triangular,
-    /// No expansion at all: rank the user part of the query directly.
-    Unexpanded,
+/// Identifies the degraded-mode ladder rung that served a request: its
+/// index into the service's ladder (0 = full quality) plus the rung's
+/// stable name, shared via `Arc` so outcomes clone cheaply.
+///
+/// The ladder itself — which motif set each rung expands with — lives in
+/// the serving layer; admission only needs an ordered list of costs and a
+/// way to name the rung it picked.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RungId {
+    index: usize,
+    name: Arc<str>,
 }
 
-impl DegradeLevel {
-    /// All rungs, highest quality first — the order [`crate::select_level`]
-    /// walks when fitting a request into its remaining budget.
-    pub const LADDER: [DegradeLevel; 3] =
-        [DegradeLevel::Full, DegradeLevel::Triangular, DegradeLevel::Unexpanded];
-
-    /// Index into per-level metric arrays (0 = full, 2 = unexpanded).
-    pub fn index(self) -> usize {
-        match self {
-            DegradeLevel::Full => 0,
-            DegradeLevel::Triangular => 1,
-            DegradeLevel::Unexpanded => 2,
-        }
+impl RungId {
+    /// A rung identity from its ladder position and stable name.
+    pub fn new(index: usize, name: Arc<str>) -> Self {
+        RungId { index, name }
     }
 
-    /// Stable lower-case name (matches [`LADDER_LEVEL_NAMES`]).
-    pub fn name(self) -> &'static str {
-        match self {
-            DegradeLevel::Full => "full",
-            DegradeLevel::Triangular => "triangular",
-            DegradeLevel::Unexpanded => "unexpanded",
-        }
+    /// Position in the ladder (0 = highest quality).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The rung's stable lower-case name (used in outcome labels).
+    pub fn name(&self) -> &str {
+        &self.name
     }
 }
 
@@ -77,10 +67,10 @@ impl ShedReason {
 /// ranked hits).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServeOutcome<T> {
-    /// Served at full quality (SQE_T&S) within the deadline.
+    /// Served at full quality (ladder rung 0) within the deadline.
     Ok(T),
     /// Served within the deadline, but at a cheaper ladder rung.
-    Degraded(DegradeLevel, T),
+    Degraded(RungId, T),
     /// Rejected before ranking work ran; no payload.
     Shed(ShedReason),
     /// Work started but the deadline expired at the named stage
@@ -105,12 +95,12 @@ impl<T> ServeOutcome<T> {
         }
     }
 
-    /// The ladder rung that served the request (`Full` for `Ok`), or
+    /// The ladder rung index that served the request (`0` for `Ok`), or
     /// `None` when nothing was served.
-    pub fn level(&self) -> Option<DegradeLevel> {
+    pub fn rung(&self) -> Option<usize> {
         match self {
-            ServeOutcome::Ok(_) => Some(DegradeLevel::Full),
-            ServeOutcome::Degraded(level, _) => Some(*level),
+            ServeOutcome::Ok(_) => Some(0),
+            ServeOutcome::Degraded(rung, _) => Some(rung.index()),
             _ => None,
         }
     }
@@ -130,7 +120,7 @@ impl<T> ServeOutcome<T> {
     pub fn label(&self) -> String {
         match self {
             ServeOutcome::Ok(_) => "ok".to_owned(),
-            ServeOutcome::Degraded(level, _) => format!("degraded:{}", level.name()),
+            ServeOutcome::Degraded(rung, _) => format!("degraded:{}", rung.name()),
             ServeOutcome::Shed(reason) => format!("shed:{}", reason.name()),
             ServeOutcome::DeadlineExceeded(stage) => format!("deadline:{}", stage.name()),
         }
@@ -141,36 +131,41 @@ impl<T> ServeOutcome<T> {
 mod tests {
     use super::*;
 
+    fn rung(index: usize, name: &str) -> RungId {
+        RungId::new(index, Arc::from(name))
+    }
+
     #[test]
-    fn ladder_order_and_names_agree() {
-        for (slot, level) in DegradeLevel::LADDER.iter().enumerate() {
-            assert_eq!(level.index(), slot);
-            assert_eq!(LADDER_LEVEL_NAMES.get(slot).copied(), Some(level.name()));
-        }
+    fn rung_identity_carries_index_and_name() {
+        let r = rung(1, "triangular");
+        assert_eq!(r.index(), 1);
+        assert_eq!(r.name(), "triangular");
+        assert_eq!(r, rung(1, "triangular"));
+        assert_ne!(r, rung(2, "triangular"));
     }
 
     #[test]
     fn accessors_split_served_from_rejected() {
         let ok: ServeOutcome<u32> = ServeOutcome::Ok(7);
-        let deg: ServeOutcome<u32> = ServeOutcome::Degraded(DegradeLevel::Unexpanded, 9);
+        let deg: ServeOutcome<u32> = ServeOutcome::Degraded(rung(2, "unexpanded"), 9);
         let shed: ServeOutcome<u32> = ServeOutcome::Shed(ShedReason::QueueFull);
         let late: ServeOutcome<u32> = ServeOutcome::DeadlineExceeded(Stage::Expand);
 
         assert_eq!(ok.value(), Some(&7));
-        assert_eq!(ok.level(), Some(DegradeLevel::Full));
+        assert_eq!(ok.rung(), Some(0));
         assert_eq!(deg.clone().into_value(), Some(9));
-        assert_eq!(deg.level(), Some(DegradeLevel::Unexpanded));
+        assert_eq!(deg.rung(), Some(2));
         assert_eq!(shed.value(), None);
         assert!(shed.is_shed() && !shed.is_deadline_exceeded());
         assert!(late.is_deadline_exceeded() && !late.is_shed());
-        assert_eq!(late.level(), None);
+        assert_eq!(late.rung(), None);
     }
 
     #[test]
     fn labels_are_stable() {
         assert_eq!(ServeOutcome::Ok(0u8).label(), "ok");
         assert_eq!(
-            ServeOutcome::Degraded(DegradeLevel::Triangular, 0u8).label(),
+            ServeOutcome::Degraded(rung(1, "triangular"), 0u8).label(),
             "degraded:triangular"
         );
         let shed: ServeOutcome<u8> = ServeOutcome::Shed(ShedReason::RateLimited);

@@ -441,6 +441,7 @@ const HOT_FILES: &[&str] = &[
     "crates/searchlite/src/segment.rs",
     "crates/searchlite/src/shard.rs",
     "crates/core/src/motif.rs",
+    "crates/core/src/spec.rs",
     "crates/core/src/cache.rs",
     "crates/core/src/serve.rs",
     "crates/core/src/sharded.rs",
@@ -655,6 +656,7 @@ const ENTRY_FILES: &[&str] = &[
     "crates/searchlite/src/searcher.rs",
     "crates/searchlite/src/shard.rs",
     "crates/core/src/motif.rs",
+    "crates/core/src/spec.rs",
     "crates/core/src/cache.rs",
     "crates/core/src/serve.rs",
     "crates/core/src/sharded.rs",

@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use ireval::precision::mean_precision;
 use ireval::{Qrels, Run};
 use kbgraph::{ArticleId, KbGraph};
-use sqe::{Motif, MotifKind, QueryGraphBuilder};
+use sqe::{Motif, MotifKind, MotifSet, MotifSpec, QueryGraphBuilder};
 use sqe_bench::ExperimentContext;
 
 /// Square motif variant without the reciprocal-link requirement
@@ -67,9 +67,12 @@ fn eval_p10(ctx: &ExperimentContext, weighted: bool, one_way: bool) -> f64 {
     }
     let graph = &ctx.bed.kb.graph;
     let builder = if one_way {
-        QueryGraphBuilder::new(graph, vec![Box::new(sqe::Triangular), Box::new(OneWaySquare)])
+        QueryGraphBuilder::new(
+            graph,
+            vec![Box::new(MotifSpec::triangular()), Box::new(OneWaySquare)],
+        )
     } else {
-        QueryGraphBuilder::with_config(graph, true, true)
+        QueryGraphBuilder::from_set(graph, &MotifSet::t_and_s())
     };
     let mut run = Run::new("ablation");
     for q in &dataset.queries {
@@ -124,7 +127,7 @@ fn bench_ablations(c: &mut Criterion) {
         .iter()
         .map(|q| runner.manual_nodes(q))
         .collect();
-    let builder = QueryGraphBuilder::with_config(graph, true, true);
+    let builder = QueryGraphBuilder::from_set(graph, &MotifSet::t_and_s());
     let mut pg = c.benchmark_group("parallel_expansion");
     for threads in [1usize, 4] {
         pg.bench_function(format!("threads_{threads}"), |b| {

@@ -16,10 +16,10 @@ fn bench_motif_configs(c: &mut Criterion) {
             .iter()
             .map(|q| runner.manual_nodes(q))
             .collect();
-        for (name, tri, sq) in [
-            ("SQE_T", true, false),
-            ("SQE_T&S", true, true),
-            ("SQE_S", false, true),
+        for (name, motifs) in [
+            ("SQE_T", sqe::MotifSet::triangular()),
+            ("SQE_T&S", sqe::MotifSet::t_and_s()),
+            ("SQE_S", sqe::MotifSet::square()),
         ] {
             group.bench_with_input(
                 BenchmarkId::new(name, dataset),
@@ -29,7 +29,7 @@ fn bench_motif_configs(c: &mut Criterion) {
                         let mut total = 0usize;
                         for nodes in queries {
                             total += pipeline
-                                .build_query_graph(std::hint::black_box(nodes), tri, sq)
+                                .build_query_graph(std::hint::black_box(nodes), &motifs)
                                 .num_expansions();
                         }
                         total

@@ -31,7 +31,7 @@ fn bench_prf(c: &mut Criterion) {
 
     // The SQE→PRF combination (the paper's SQE_C/PRF row).
     let nodes = runner.manual_nodes(q);
-    let expanded = pipeline.expand(&q.text, &nodes, true, true);
+    let expanded = pipeline.expand(&q.text, &nodes, &sqe::MotifSet::t_and_s());
     let rm3 = PrfParams {
         orig_weight: 0.5,
         exclude_base_terms: false,

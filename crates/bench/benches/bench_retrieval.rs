@@ -18,10 +18,11 @@ fn bench_retrieval(c: &mut Criterion) {
     c.bench_function("rank/QL_E", |b| {
         b.iter(|| pipeline.rank_entities(std::hint::black_box(&nodes)).len())
     });
+    let motifs = sqe::MotifSet::t_and_s();
     c.bench_function("rank/SQE_T&S", |b| {
         b.iter(|| {
             pipeline
-                .rank_sqe(std::hint::black_box(&q.text), &nodes, true, true)
+                .rank_sqe(std::hint::black_box(&q.text), &nodes, &motifs)
                 .0
                 .len()
         })

@@ -5,14 +5,17 @@
 //! experiments [--small] [fig2|table1|fig5|table2|fig6|table3|table4|ablation|sensitivity|stats|export|query <text>|all]
 //! experiments serve-bench [--smoke] [--threads=1,2,8] [--shards=N] [--out=BENCH_serve.json]
 //! experiments load-bench [--smoke] [--rate=R1,R2] [--threads=N] [--shards=N] [--out=BENCH_load.json]
+//! experiments motif-search [--smoke] [--out=BENCH_motif.json]
 //! experiments ingest-bench [--smoke] [--out=BENCH_ingest.json]
 //! experiments ingest-bench --articles=N [--shards=M] [--smoke] [--out=BENCH_ingest.json]
 //! experiments snapshot write|verify|info [--small] [--file=world.snap]
 //! experiments store-bench [--smoke] [--out=BENCH_store.json]
 //! ```
 
+use sqe::MotifSet;
 use sqe_bench::{
-    figures, ingest_bench, load_bench, serve_bench, store_bench, tables, timing, ExperimentContext,
+    figures, ingest_bench, load_bench, motif_search, serve_bench, store_bench, tables, timing,
+    ExperimentContext,
 };
 
 fn print_stats(ctx: &ExperimentContext) {
@@ -51,7 +54,7 @@ fn debug_top(ctx: &ExperimentContext, dataset: &str, nqueries: usize) {
     for q in ds.queries.iter().take(nqueries) {
         let nodes = r.manual_nodes(q);
         println!("--- {}: '{}' targets={:?}", q.id, q.text, nodes);
-        let (hits, qg) = p.rank_sqe(&q.text, &nodes, true, true);
+        let (hits, qg) = p.rank_sqe(&q.text, &nodes, &MotifSet::t_and_s());
         println!("    expansions: {}", qg.num_expansions());
         let rel = &ds.relevant[&q.id];
         for h in hits.iter().take(10) {
@@ -90,12 +93,12 @@ fn adhoc_query(ctx: &ExperimentContext, text: &str) {
             if l.from_fallback { ", fallback" } else { "" }
         );
     }
-    let expanded = p.expand(text, &nodes, true, true);
+    let expanded = p.expand(text, &nodes, &MotifSet::t_and_s());
     println!("expansion features ({}):", expanded.query_graph.num_expansions());
     for &(a, m) in expanded.query_graph.expansions.iter().take(10) {
         println!("  {} (|m_a| = {m})", ctx.bed.kb.graph.article_title(a));
     }
-    let (hits, _) = p.rank_sqe(text, &nodes, true, true);
+    let (hits, _) = p.rank_sqe(text, &nodes, &MotifSet::t_and_s());
     println!("top documents:");
     for h in hits.iter().take(10) {
         println!("  {:>9.3}  {}", h.score, p.searcher().external_id(h.doc));
@@ -134,6 +137,30 @@ fn run_serve_bench_cli(ctx: &ExperimentContext, context_name: &str, args: &[Stri
     let report = serve_bench::run_serve_bench(ctx, context_name, &opts);
     print!("{}", serve_bench::format_report(&report));
     match serve_bench::write_report(&report, std::path::Path::new(out)) {
+        Ok(()) => eprintln!("wrote {out}"),
+        Err(e) => {
+            eprintln!("writing {out} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Enumerates the generalized motif space against the planted optimal
+/// query graphs and writes `BENCH_motif.json`.
+fn run_motif_search_cli(ctx: &ExperimentContext, context_name: &str, args: &[String]) {
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let opts = if smoke {
+        motif_search::MotifSearchOptions::smoke()
+    } else {
+        motif_search::MotifSearchOptions::default()
+    };
+    let out = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--out="))
+        .unwrap_or("BENCH_motif.json");
+    let report = motif_search::run_motif_search(ctx, context_name, &opts);
+    print!("{}", motif_search::format_report(&report));
+    match motif_search::write_report(&report, std::path::Path::new(out)) {
         Ok(()) => eprintln!("wrote {out}"),
         Err(e) => {
             eprintln!("writing {out} failed: {e}");
@@ -454,6 +481,9 @@ fn main() {
             "load-bench" => {
                 run_load_bench_cli(&ctx, if small { "small" } else { "full" }, &args)
             }
+            "motif-search" => {
+                run_motif_search_cli(&ctx, if small { "small" } else { "full" }, &args)
+            }
             "ingest-bench" => {
                 run_ingest_bench_cli(&ctx, if small { "small" } else { "full" }, &args)
             }
@@ -486,6 +516,7 @@ fn main() {
                 eprintln!("usage: experiments [--small] [fig2|table1|fig5|table2|fig6|table3|table4|ablation|sensitivity|stats|export|query <text>|all]");
                 eprintln!("       experiments serve-bench [--smoke] [--threads=1,2,8] [--shards=N] [--out=BENCH_serve.json]");
                 eprintln!("       experiments load-bench [--smoke] [--rate=R1,R2] [--threads=N] [--shards=N] [--out=BENCH_load.json]");
+                eprintln!("       experiments motif-search [--smoke] [--out=BENCH_motif.json]");
                 eprintln!("       experiments ingest-bench [--smoke] [--out=BENCH_ingest.json]");
                 eprintln!("       experiments ingest-bench --articles=N [--shards=M] [--smoke] [--out=BENCH_ingest.json]");
                 eprintln!("       experiments snapshot write|verify|info [--small] [--file=world.snap]");

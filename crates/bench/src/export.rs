@@ -30,9 +30,9 @@ pub fn export_dataset(
         runner.run_ql_qe(false),
         runner.run_ql_qe(true),
         runner.run_ql_x(),
-        runner.run_sqe(true, false, false),
-        runner.run_sqe(true, true, false),
-        runner.run_sqe(false, true, false),
+        runner.run_sqe(&sqe::MotifSet::triangular(), false),
+        runner.run_sqe(&sqe::MotifSet::t_and_s(), false),
+        runner.run_sqe(&sqe::MotifSet::square(), false),
         runner.run_sqe_c(false),
         runner.run_sqe_c(true),
         runner.run_prf(PrfBase::UserQuery),

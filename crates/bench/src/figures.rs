@@ -122,9 +122,9 @@ pub fn figure5(ctx: &ExperimentContext) -> String {
         PrecisionTable::evaluate(&r.run_ql_qe(false), &qrels),
     ];
     let configs = [
-        ("SQE_T", r.run_sqe(true, false, false)),
-        ("SQE_T&S", r.run_sqe(true, true, false)),
-        ("SQE_S", r.run_sqe(false, true, false)),
+        ("SQE_T", r.run_sqe(&sqe::MotifSet::triangular(), false)),
+        ("SQE_T&S", r.run_sqe(&sqe::MotifSet::t_and_s(), false)),
+        ("SQE_S", r.run_sqe(&sqe::MotifSet::square(), false)),
     ];
     let mut s = String::from("=== Figure 5: % improvement over best QL baseline (Image CLEF) ===\n");
     s.push_str(&format!("{:<10}", ""));

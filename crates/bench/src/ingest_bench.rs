@@ -428,7 +428,7 @@ pub fn run_streaming_ingest_bench(
                 Analyzer::english(),
                 ShardRouter::new(opts.shards.max(1)),
                 sqe_config,
-                serve_cfg,
+                serve_cfg.clone(),
                 Arc::new(MonotonicClock::new()),
             )
         })

@@ -28,6 +28,7 @@ pub mod context;
 pub mod export;
 pub mod ingest_bench;
 pub mod load_bench;
+pub mod motif_search;
 pub mod report;
 pub mod runs;
 pub mod serve_bench;

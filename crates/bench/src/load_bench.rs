@@ -34,8 +34,8 @@ use kbgraph::ArticleId;
 use searchlite::{Analyzer, SearchHit, ShardRouter};
 use serde::Serialize;
 use sqe::{
-    AdmissionConfig, Clock, Deadline, DegradeLevel, MetricsSnapshot, MonotonicClock, QueryService,
-    ServeConfig, ServeOutcome, ShardedService, ShedReason, Ticket,
+    AdmissionConfig, Clock, Deadline, MetricsSnapshot, MonotonicClock, QueryService, ServeConfig,
+    ServeOutcome, ShardedService, ShedReason, Ticket,
 };
 
 use crate::context::ExperimentContext;
@@ -114,8 +114,8 @@ pub struct LoadLevelReport {
     pub shed_by_reason: BTreeMap<String, u64>,
     /// Requests abandoned at a stage boundary after their deadline.
     pub deadline_exceeded: u64,
-    /// Completions per ladder rung, ordered as
-    /// [`sqe::LADDER_LEVEL_NAMES`].
+    /// Completions per ladder rung, ordered as the service's motif
+    /// ladder (full → triangular → unexpanded by default).
     pub degraded_mix: Vec<u64>,
     /// Completions per second of wall time.
     pub achieved_qps: f64,
@@ -191,22 +191,17 @@ impl BenchService<'_> {
         }
     }
 
-    fn serve_at_level(
-        &self,
-        level: DegradeLevel,
-        text: &str,
-        nodes: &[ArticleId],
-    ) -> Vec<SearchHit> {
+    fn serve_at_rung(&self, rung: usize, text: &str, nodes: &[ArticleId]) -> Vec<SearchHit> {
         match self {
-            BenchService::Mono(s) => s.serve_at_level(level, text, nodes),
-            BenchService::Sharded(s) => s.serve_at_level(level, text, nodes),
+            BenchService::Mono(s) => s.serve_at_rung(rung, text, nodes),
+            BenchService::Sharded(s) => s.serve_at_rung(rung, text, nodes),
         }
     }
 
-    fn record_ladder_cost(&self, level: DegradeLevel, nanos: u64) {
+    fn record_ladder_cost(&self, rung: usize, nanos: u64) {
         match self {
-            BenchService::Mono(s) => s.record_ladder_cost(level, nanos),
-            BenchService::Sharded(s) => s.record_ladder_cost(level, nanos),
+            BenchService::Mono(s) => s.record_ladder_cost(rung, nanos),
+            BenchService::Sharded(s) => s.record_ladder_cost(rung, nanos),
         }
     }
 
@@ -280,6 +275,7 @@ fn build_service<'a>(
         workers: opts.workers,
         cache_capacity: opts.cache_capacity,
         admission,
+        ..ServeConfig::default()
     };
     let ds = ctx.bed.dataset("imageclef");
     if opts.shards > 1 {
@@ -320,26 +316,23 @@ fn build_service<'a>(
 /// the per-rung cost distributions and warms the expansion cache. The
 /// service records each run into its ladder histograms, so afterwards
 /// the metrics snapshot *is* the calibration.
-fn calibrate(service: &BenchService<'_>, workload: &[(String, Vec<ArticleId>)]) -> [u64; 3] {
-    for level in DegradeLevel::LADDER {
+fn calibrate(service: &BenchService<'_>, workload: &[(String, Vec<ArticleId>)]) -> Vec<u64> {
+    let rungs = service.metrics_snapshot().ladder_cost.len();
+    for rung in 0..rungs {
         for (text, nodes) in workload {
-            let hits = service.serve_at_level(level, text, nodes);
+            let hits = service.serve_at_rung(rung, text, nodes);
             std::hint::black_box(hits.len());
         }
     }
     let snap = service.metrics_snapshot();
-    let mut costs = [0u64; 3];
-    for (slot, h) in costs.iter_mut().zip(snap.ladder_cost.iter()) {
-        *slot = h.p95_nanos;
-    }
-    costs
+    snap.ladder_cost.iter().map(|h| h.p95_nanos).collect()
 }
 
 /// Re-seeds the degraded-mode ladder after a metrics reset so the first
 /// protected request already selects rungs from calibrated costs.
-fn prime_ladder(service: &BenchService<'_>, costs: &[u64; 3]) {
-    for (level, &cost) in DegradeLevel::LADDER.iter().zip(costs.iter()) {
-        service.record_ladder_cost(*level, cost);
+fn prime_ladder(service: &BenchService<'_>, costs: &[u64]) {
+    for (rung, &cost) in costs.iter().enumerate() {
+        service.record_ladder_cost(rung, cost);
     }
 }
 
@@ -353,7 +346,7 @@ fn exact_percentile_ms(sorted: &[u64], q: f64) -> f64 {
     sorted.get(rank - 1).copied().unwrap_or(0) as f64 / 1e6
 }
 
-fn bump(mix: &mut [u64; 3], idx: usize) {
+fn bump(mix: &mut [u64], idx: usize) {
     if let Some(slot) = mix.get_mut(idx) {
         *slot += 1;
     }
@@ -399,10 +392,10 @@ fn run_one_level(
                                         std::hint::black_box(hits.len());
                                         Obs::Served { level: 0, arrival: job.arrival, done }
                                     }
-                                    ServeOutcome::Degraded(level, hits) => {
+                                    ServeOutcome::Degraded(rung, hits) => {
                                         std::hint::black_box(hits.len());
                                         Obs::Served {
-                                            level: level.index(),
+                                            level: rung.index(),
                                             arrival: job.arrival,
                                             done,
                                         }
@@ -416,8 +409,7 @@ fn run_one_level(
                                 });
                             }
                             None => {
-                                let hits =
-                                    service.serve_at_level(DegradeLevel::Full, text, nodes);
+                                let hits = service.serve_at_rung(0, text, nodes);
                                 std::hint::black_box(hits.len());
                                 let done = clock.now_nanos();
                                 local.push(Obs::Served {
@@ -498,7 +490,7 @@ fn summarize(
     let mut shed = 0u64;
     let mut shed_by_reason: BTreeMap<String, u64> = BTreeMap::new();
     let mut deadline_exceeded = 0u64;
-    let mut degraded_mix = [0u64; 3];
+    let mut degraded_mix = vec![0u64; snap.ladder_cost.len()];
     let mut latencies: Vec<u64> = Vec::with_capacity(observations.len());
     let mut last_done = run_start;
     for obs in observations {
@@ -538,7 +530,7 @@ fn summarize(
         shed,
         shed_by_reason,
         deadline_exceeded,
-        degraded_mix: degraded_mix.to_vec(),
+        degraded_mix,
         achieved_qps: completed as f64 / wall_secs,
         goodput_qps: good as f64 / wall_secs,
         shed_rate: shed as f64 / arrivals.max(1) as f64,

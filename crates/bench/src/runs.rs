@@ -5,7 +5,7 @@ use kbgraph::ArticleId;
 use searchlite::prf::{self, PrfParams};
 use searchlite::ql::SearchHit;
 use searchlite::{Index, Query, Searcher};
-use sqe::{combine, expand, SqePipeline};
+use sqe::{combine, expand, MotifSet, SqePipeline};
 use synthwiki::queries::QuerySpec;
 use synthwiki::Dataset;
 
@@ -120,29 +120,36 @@ impl<'a> DatasetRunner<'a> {
     /// manually selected nodes).
     pub fn run_ql_x(&self) -> Run {
         self.collect("QL_X", |q, p| {
-            let qg = p.build_query_graph(&self.manual_nodes(q), true, true);
+            let qg = p.build_query_graph(&self.manual_nodes(q), &MotifSet::t_and_s());
             self.ids(p, &p.rank_expansion_only(&qg))
         })
     }
 
     // -------------------------------------------------------------- SQE --
 
-    /// `SQE_T`, `SQE_S` or `SQE_T&S` by motif flags (manual/automatic
-    /// entity selection).
-    pub fn run_sqe(&self, triangular: bool, square: bool, auto: bool) -> Run {
-        let name = match (triangular, square) {
-            (true, false) => "SQE_T",
-            (false, true) => "SQE_S",
-            (true, true) => "SQE_T&S",
-            (false, false) => "SQE_none",
-        };
-        let name = if auto {
-            format!("{name} (A)")
+    /// The paper's display name for a motif set, falling back to the
+    /// set's own stable name for configurations outside the T/S family.
+    pub fn sqe_run_name(motifs: &MotifSet) -> String {
+        if *motifs == MotifSet::triangular() {
+            "SQE_T".to_owned()
+        } else if *motifs == MotifSet::square() {
+            "SQE_S".to_owned()
+        } else if *motifs == MotifSet::t_and_s() {
+            "SQE_T&S".to_owned()
+        } else if motifs.is_empty() {
+            "SQE_none".to_owned()
         } else {
-            name.to_owned()
-        };
+            format!("SQE[{}]", motifs.name())
+        }
+    }
+
+    /// An SQE run over any motif set — `SQE_T`, `SQE_S`, `SQE_T&S` or an
+    /// arbitrary configuration (manual/automatic entity selection).
+    pub fn run_sqe(&self, motifs: &MotifSet, auto: bool) -> Run {
+        let name = Self::sqe_run_name(motifs);
+        let name = if auto { format!("{name} (A)") } else { name };
         self.collect(&name, |q, p| {
-            let (hits, _) = p.rank_sqe(&q.text, &self.nodes(q, auto), triangular, square);
+            let (hits, _) = p.rank_sqe(&q.text, &self.nodes(q, auto), motifs);
             self.ids(p, &hits)
         })
     }
@@ -220,8 +227,8 @@ impl<'a> DatasetRunner<'a> {
         self.collect("SQE_C/PRF", |q, p| {
             let nodes = self.manual_nodes(q);
             let mut lists: Vec<Vec<String>> = Vec::with_capacity(3);
-            for (tri, sq) in [(true, false), (true, true), (false, true)] {
-                let eq = p.expand(&q.text, &nodes, tri, sq);
+            for motifs in [MotifSet::triangular(), MotifSet::t_and_s(), MotifSet::square()] {
+                let eq = p.expand(&q.text, &nodes, &motifs);
                 let hits = prf::rank_with_prf(&self.searcher, &eq.query, params, depth);
                 lists.push(self.ids(p, &hits));
             }
@@ -231,7 +238,7 @@ impl<'a> DatasetRunner<'a> {
 
     /// Mean number of expansion features per query for a motif config
     /// (the paper reports 0.76 / 20.96 / 20.48 for T / T&S / S).
-    pub fn avg_expansion_features(&self, triangular: bool, square: bool) -> f64 {
+    pub fn avg_expansion_features(&self, motifs: &MotifSet) -> f64 {
         let p = self.pipeline();
         if self.dataset.queries.is_empty() {
             return 0.0;
@@ -241,7 +248,7 @@ impl<'a> DatasetRunner<'a> {
             .queries
             .iter()
             .map(|q| {
-                p.build_query_graph(&self.manual_nodes(q), triangular, square)
+                p.build_query_graph(&self.manual_nodes(q), motifs)
                     .num_expansions()
             })
             .sum();
@@ -269,9 +276,9 @@ mod tests {
             r.run_ql_e(true),
             r.run_ql_qe(false),
             r.run_ql_x(),
-            r.run_sqe(true, false, false),
-            r.run_sqe(false, true, false),
-            r.run_sqe(true, true, false),
+            r.run_sqe(&MotifSet::triangular(), false),
+            r.run_sqe(&MotifSet::square(), false),
+            r.run_sqe(&MotifSet::t_and_s(), false),
             r.run_sqe_ub(),
             r.run_sqe_c(false),
             r.run_sqe_c(true),
@@ -286,7 +293,7 @@ mod tests {
         let r = ctx.runner("imageclef");
         let qrels = ctx.qrels("imageclef");
         let base = mean_precision(&r.run_ql_q(), &qrels, 10);
-        let sqe = mean_precision(&r.run_sqe(true, true, false), &qrels, 10);
+        let sqe = mean_precision(&r.run_sqe(&MotifSet::t_and_s(), false), &qrels, 10);
         assert!(
             sqe > base,
             "SQE_T&S P@10 {sqe} must beat QL_Q P@10 {base}"
@@ -307,9 +314,9 @@ mod tests {
     fn expansion_feature_counts_ordered() {
         let ctx = ctx();
         let r = ctx.runner("imageclef");
-        let t = r.avg_expansion_features(true, false);
-        let s = r.avg_expansion_features(false, true);
-        let ts = r.avg_expansion_features(true, true);
+        let t = r.avg_expansion_features(&MotifSet::triangular());
+        let s = r.avg_expansion_features(&MotifSet::square());
+        let ts = r.avg_expansion_features(&MotifSet::t_and_s());
         assert!(t < s, "triangular ({t}) must be rarer than square ({s})");
         assert!(ts >= s, "union at least as large as square");
     }

@@ -1,6 +1,7 @@
 //! Regeneration of the paper's Tables 1–3.
 
 use ireval::precision::{PrecisionTable, TREC_CUTOFFS};
+use sqe::MotifSet;
 
 use crate::context::ExperimentContext;
 use crate::report::{eval_row, fmt_pct, format_precision_table, pct_gain, EvalRow};
@@ -19,9 +20,9 @@ pub fn table1(ctx: &ExperimentContext) -> String {
         eval_row(&ql_q, &qrels, &[]),
         eval_row(&ql_e, &qrels, &[]),
         eval_row(&ql_qe, &qrels, &[]),
-        eval_row(&r.run_sqe(true, false, false), &qrels, &baselines),
-        eval_row(&r.run_sqe(true, true, false), &qrels, &baselines),
-        eval_row(&r.run_sqe(false, true, false), &qrels, &baselines),
+        eval_row(&r.run_sqe(&MotifSet::triangular(), false), &qrels, &baselines),
+        eval_row(&r.run_sqe(&MotifSet::t_and_s(), false), &qrels, &baselines),
+        eval_row(&r.run_sqe(&MotifSet::square(), false), &qrels, &baselines),
         eval_row(&r.run_sqe_ub(), &qrels, &[]),
     ];
     let mut out = format_precision_table("Table 1: Image CLEF configuration comparison", &rows);
@@ -45,9 +46,9 @@ pub fn table1(ctx: &ExperimentContext) -> String {
     }
     out.push_str(&format!(
         "avg expansion features/query: T={:.2} T&S={:.2} S={:.2} (paper: 0.76 / 20.96 / 20.48)\n",
-        r.avg_expansion_features(true, false),
-        r.avg_expansion_features(true, true),
-        r.avg_expansion_features(false, true),
+        r.avg_expansion_features(&MotifSet::triangular()),
+        r.avg_expansion_features(&MotifSet::t_and_s()),
+        r.avg_expansion_features(&MotifSet::square()),
     ));
     out
 }
@@ -145,9 +146,9 @@ pub fn table1_rows(ctx: &ExperimentContext) -> Vec<EvalRow> {
         eval_row(&ql_q, &qrels, &[]),
         eval_row(&ql_e, &qrels, &[]),
         eval_row(&ql_qe, &qrels, &[]),
-        eval_row(&r.run_sqe(true, false, false), &qrels, &baselines),
-        eval_row(&r.run_sqe(true, true, false), &qrels, &baselines),
-        eval_row(&r.run_sqe(false, true, false), &qrels, &baselines),
+        eval_row(&r.run_sqe(&MotifSet::triangular(), false), &qrels, &baselines),
+        eval_row(&r.run_sqe(&MotifSet::t_and_s(), false), &qrels, &baselines),
+        eval_row(&r.run_sqe(&MotifSet::square(), false), &qrels, &baselines),
         eval_row(&r.run_sqe_ub(), &qrels, &[]),
     ]
 }
@@ -172,14 +173,14 @@ pub fn ablation(ctx: &ExperimentContext) -> String {
             "full (T&S)",
             Box::new(|q: &synthwiki::QuerySpec| {
                 let nodes = r.manual_nodes(q);
-                pipeline.expand(&q.text, &nodes, true, true).query
+                pipeline.expand(&q.text, &nodes, &MotifSet::t_and_s()).query
             }),
         ),
         (
             "no |m_a| weighting",
             Box::new(|q: &synthwiki::QuerySpec| {
                 let nodes = r.manual_nodes(q);
-                let mut qg = pipeline.build_query_graph(&nodes, true, true);
+                let mut qg = pipeline.build_query_graph(&nodes, &MotifSet::t_and_s());
                 for e in &mut qg.expansions {
                     e.1 = 1;
                 }
@@ -225,7 +226,7 @@ pub fn ablation(ctx: &ExperimentContext) -> String {
             "no user part",
             Box::new(|q: &synthwiki::QuerySpec| {
                 let nodes = r.manual_nodes(q);
-                let qg = pipeline.build_query_graph(&nodes, true, true);
+                let qg = pipeline.build_query_graph(&nodes, &MotifSet::t_and_s());
                 let cfg = sqe::ExpandConfig {
                     w_user: 0.0,
                     ..ctx.sqe_config.expand
@@ -310,7 +311,7 @@ pub fn mu_sweep(ctx: &ExperimentContext) -> String {
         for q in &dataset.queries {
             let nodes = r.manual_nodes(q);
             base.set_ranking(&q.id, pipeline.external_ids(&pipeline.rank_user(&q.text)));
-            let (hits, _) = pipeline.rank_sqe(&q.text, &nodes, true, true);
+            let (hits, _) = pipeline.rank_sqe(&q.text, &nodes, &MotifSet::t_and_s());
             sqe_run.set_ranking(&q.id, pipeline.external_ids(&hits));
         }
         let b = mean_precision(&base, &qrels, 10);
@@ -343,7 +344,7 @@ pub fn sensitivity(ctx: &ExperimentContext) -> String {
         let user = sqe::expand::user_part(&q.text, pipeline.searcher().analyzer());
         let hits = bm25::rank(pipeline.searcher(), &user, params, 1000);
         base.set_ranking(&q.id, pipeline.external_ids(&hits));
-        let expanded = pipeline.expand(&q.text, &nodes, true, true);
+        let expanded = pipeline.expand(&q.text, &nodes, &MotifSet::t_and_s());
         let hits = bm25::rank(pipeline.searcher(), &expanded.query, params, 1000);
         sqe_run.set_ranking(&q.id, pipeline.external_ids(&hits));
     }

@@ -111,18 +111,18 @@ pub fn measure_dataset_with(
     let r = ctx.runner(dataset);
     let pipeline = r.pipeline();
     let queries = &r.dataset().queries;
-    let time_config = |tri: bool, sq: bool| -> f64 {
+    let time_config = |motifs: &sqe::MotifSet| -> f64 {
         measure_ms(protocol, || {
             for q in queries {
                 let nodes = r.manual_nodes(q);
-                let qg = pipeline.build_query_graph(&nodes, tri, sq);
+                let qg = pipeline.build_query_graph(&nodes, motifs);
                 std::hint::black_box(qg.num_expansions());
             }
         })
     };
-    let sqe_t_ms = time_config(true, false);
-    let sqe_ts_ms = time_config(true, true);
-    let sqe_s_ms = time_config(false, true);
+    let sqe_t_ms = time_config(&sqe::MotifSet::triangular());
+    let sqe_ts_ms = time_config(&sqe::MotifSet::t_and_s());
+    let sqe_s_ms = time_config(&sqe::MotifSet::square());
     let total_ms = measure_ms(protocol, || {
         for q in queries {
             let nodes = r.manual_nodes(q);

@@ -22,6 +22,8 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use kbgraph::ArticleId;
 use rustc_hash::FxHashMap;
 
+use crate::spec::MotifFingerprint;
+
 /// Sentinel for "no slot" in the intrusive list.
 const NIL: usize = usize::MAX;
 
@@ -223,30 +225,26 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
 }
 
 /// Cache key of one expansion computation: the sorted query-node id set
-/// plus the motif configuration flags.
+/// plus the canonical fingerprint of the motif set that expanded it —
+/// distinct motif sets over the same nodes can never collide.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CacheKey {
     /// Query-node ids, ascending (duplicates preserved so the cached
     /// result is exactly what a fresh build over the same slice returns —
     /// `QueryGraphBuilder::build` sums multiplicities per occurrence).
     nodes: Vec<ArticleId>,
-    /// Triangular motif enabled.
-    triangular: bool,
-    /// Square motif enabled.
-    square: bool,
+    /// Canonical fingerprint of the expanding motif set.
+    motifs: MotifFingerprint,
 }
 
 impl CacheKey {
     /// Builds the canonical key for a query-node slice: node order never
-    /// affects the expansion result, so the key sorts it away.
-    pub fn new(nodes: &[ArticleId], triangular: bool, square: bool) -> Self {
+    /// affects the expansion result, so the key sorts it away; the motif
+    /// set is already canonical through its fingerprint.
+    pub fn new(nodes: &[ArticleId], motifs: MotifFingerprint) -> Self {
         let mut nodes = nodes.to_vec();
         nodes.sort_unstable();
-        CacheKey {
-            nodes,
-            triangular,
-            square,
-        }
+        CacheKey { nodes, motifs }
     }
 }
 
@@ -411,18 +409,50 @@ mod tests {
 
     #[test]
     fn cache_key_canonicalizes_node_order() {
+        use crate::spec::MotifSet;
         let a = ArticleId::new(3);
         let b = ArticleId::new(7);
-        assert_eq!(CacheKey::new(&[a, b], true, false), CacheKey::new(&[b, a], true, false));
-        assert_ne!(CacheKey::new(&[a, b], true, false), CacheKey::new(&[a, b], false, true));
+        let t = MotifSet::triangular().fingerprint();
+        let s = MotifSet::square().fingerprint();
+        assert_eq!(CacheKey::new(&[a, b], t), CacheKey::new(&[b, a], t));
+        assert_ne!(CacheKey::new(&[a, b], t), CacheKey::new(&[a, b], s));
         // Duplicates are part of the key: they change multiplicities.
-        assert_ne!(CacheKey::new(&[a, a], true, false), CacheKey::new(&[a], true, false));
+        assert_ne!(CacheKey::new(&[a, a], t), CacheKey::new(&[a], t));
+    }
+
+    #[test]
+    fn distinct_motif_sets_occupy_distinct_entries() {
+        use crate::spec::{MotifSet, MotifSpec};
+        // Same query nodes, every enumerable singleton motif set: each
+        // must hold its own entry — no fingerprint collisions anywhere
+        // in the spec space.
+        let nodes = [ArticleId::new(1), ArticleId::new(2)];
+        let c = ExpansionCache::new(64);
+        let sets: Vec<MotifSet> = MotifSpec::all()
+            .into_iter()
+            .map(MotifSet::single)
+            .chain([MotifSet::t_and_s(), MotifSet::empty()])
+            .collect();
+        for (i, set) in sets.iter().enumerate() {
+            c.insert(
+                CacheKey::new(&nodes, set.fingerprint()),
+                Arc::new(vec![(ArticleId::new(100), i as u32)]),
+            );
+        }
+        for (i, set) in sets.iter().enumerate() {
+            let hit = c
+                .get(&CacheKey::new(&nodes, set.fingerprint()))
+                .expect("every set keeps its own entry");
+            assert_eq!(*hit, vec![(ArticleId::new(100), i as u32)], "{}", set.name());
+        }
+        assert_eq!(c.len(), sets.len());
     }
 
     #[test]
     fn expansion_cache_roundtrip_and_invalidate() {
+        use crate::spec::MotifSet;
         let c = ExpansionCache::new(8);
-        let key = CacheKey::new(&[ArticleId::new(1)], true, true);
+        let key = CacheKey::new(&[ArticleId::new(1)], MotifSet::t_and_s().fingerprint());
         assert!(c.get(&key).is_none());
         c.insert(key.clone(), Arc::new(vec![(ArticleId::new(9), 2)]));
         let hit = c.get(&key).expect("just inserted");

@@ -6,9 +6,11 @@
 //! 1. an offline **structural analysis** of the KB relates ground-truth
 //!    optimal query graphs to short mixed cycles (length 3–5) with ≈⅓
 //!    category nodes and high extra-edge density ([`analysis`]);
-//! 2. those characteristics are materialized as two **motifs** —
-//!    [`motif::Triangular`] and [`motif::Square`] — that, anchored at a
-//!    query node, enumerate expansion articles ([`motif`]);
+//! 2. those characteristics are materialized as **motifs** — points of
+//!    the generalized [`spec::MotifSpec`] space (the paper's triangular
+//!    and square are [`spec::MotifSpec::triangular`] and
+//!    [`spec::MotifSpec::square`]) — that, anchored at a query node,
+//!    enumerate expansion articles ([`motif`], [`spec`]);
 //! 3. the **query graph builder** unions motif hits over all query nodes,
 //!    counting for every article `a` the number of motifs `|m_a|` it
 //!    appears in ([`query_graph`]);
@@ -44,6 +46,7 @@ pub mod pipeline;
 pub mod query_graph;
 pub mod serve;
 pub mod sharded;
+pub mod spec;
 
 pub use cache::{CacheKey, ExpansionCache, LruCache};
 pub use combine::{combine_rankings, RankSegment};
@@ -51,18 +54,20 @@ pub use expand::{ExpandConfig, ExpandedQuery};
 pub use learn::{learn_motifs, Example, LearnedMotif, Objective};
 pub use metrics::{
     Clock, HistogramSnapshot, IngestHistograms, LadderMetrics, LatencyHistogram, ManualClock,
-    MetricsSnapshot, MonotonicClock, NullClock, ServeMetrics, INGEST_STAGE_NAMES,
-    LADDER_LEVEL_NAMES, STAGE_NAMES,
+    MetricsSnapshot, MonotonicClock, NullClock, ServeMetrics, INGEST_STAGE_NAMES, STAGE_NAMES,
 };
-pub use motif::{Motif, MotifKind, Square, Triangular};
+pub use motif::{Motif, MotifKind};
 pub use pattern::{CategoryCondition, LinkCondition, PatternMotif};
 pub use pipeline::{SqeConfig, SqePipeline, SqeScratch};
 pub use query_graph::{QueryGraph, QueryGraphBuilder, QueryGraphScratch};
 pub use serve::{run_indexed, QueryService, ServeConfig, ServeRequest};
 pub use sharded::ShardedService;
+pub use spec::{
+    CategoryScope, MotifFingerprint, MotifLadder, MotifRung, MotifSet, MotifSpec, WeightRule,
+};
 // The admission subsystem's vocabulary types, re-exported so serving
 // callers need only the `sqe` crate.
 pub use sqe_admission::{
-    select_level, AdmissionConfig, AdmissionController, Deadline, DegradeLevel, ServeOutcome,
-    ShedReason, Stage, Ticket,
+    select_rung, AdmissionConfig, AdmissionController, Deadline, RungId, ServeOutcome, ShedReason,
+    Stage, Ticket,
 };

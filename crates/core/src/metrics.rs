@@ -276,26 +276,36 @@ pub struct HistogramSnapshot {
 /// The pipeline stages the serving layer times separately.
 pub const STAGE_NAMES: [&str; 4] = ["expand", "rank", "combine", "total"];
 
-/// The degraded-mode ladder rungs the serving layer tracks separately,
-/// highest quality first (mirrors `sqe_admission::LADDER_LEVEL_NAMES`).
-pub const LADDER_LEVEL_NAMES: [&str; 3] = ["full", "triangular", "unexpanded"];
-
 /// Per-ladder-rung admission metrics: a completion counter and a cost
-/// histogram per rung, indexed by `DegradeLevel::index()`.
-#[derive(Debug, Default)]
+/// histogram per rung, indexed by ladder position (0 = full quality).
+/// Sized at construction from the service's `MotifLadder` length.
+#[derive(Debug)]
 pub struct LadderMetrics {
     /// Requests served to completion at each rung.
-    pub served: [Counter; 3],
+    pub served: Vec<Counter>,
     /// Observed service cost at each rung, recorded for every attempt
     /// (including deadline-exceeded ones — a blown attempt is still a
     /// cost observation). Zero-nanosecond observations are skipped: a
     /// `NullClock` or frozen `ManualClock` measures nothing, and feeding
     /// zeros here would collapse the cost estimates the degraded-mode
     /// ladder selects against.
-    pub cost: [LatencyHistogram; 3],
+    pub cost: Vec<LatencyHistogram>,
 }
 
 impl LadderMetrics {
+    /// Creates zeroed metrics for a ladder of `rungs` rungs.
+    pub fn new(rungs: usize) -> Self {
+        LadderMetrics {
+            served: (0..rungs).map(|_| Counter::new()).collect(),
+            cost: (0..rungs).map(|_| LatencyHistogram::new()).collect(),
+        }
+    }
+
+    /// Number of rungs these metrics cover.
+    pub fn rungs(&self) -> usize {
+        self.cost.len()
+    }
+
     /// Records one cost observation for rung `index` (no-op for zero
     /// durations and out-of-range indexes).
     pub fn record_cost(&self, index: usize, nanos: u64) {
@@ -310,28 +320,21 @@ impl LadderMetrics {
     /// Conservative per-rung cost estimates for ladder selection: the
     /// p95 upper bound of observed costs (0 for an unobserved rung,
     /// which keeps the selector optimistic until data arrives).
-    pub fn cost_estimates(&self) -> [u64; 3] {
-        [
-            self.cost[0].quantile_upper_nanos(0.95),
-            self.cost[1].quantile_upper_nanos(0.95),
-            self.cost[2].quantile_upper_nanos(0.95),
-        ]
+    pub fn cost_estimates(&self) -> Vec<u64> {
+        self.cost
+            .iter()
+            .map(|h| h.quantile_upper_nanos(0.95))
+            .collect()
     }
 
-    /// Snapshots per-rung completion counts, ordered as
-    /// [`LADDER_LEVEL_NAMES`].
-    pub fn served_snapshot(&self) -> [u64; 3] {
-        [self.served[0].get(), self.served[1].get(), self.served[2].get()]
+    /// Snapshots per-rung completion counts, in ladder order.
+    pub fn served_snapshot(&self) -> Vec<u64> {
+        self.served.iter().map(Counter::get).collect()
     }
 
-    /// Snapshots per-rung cost histograms, ordered as
-    /// [`LADDER_LEVEL_NAMES`].
-    pub fn cost_snapshot(&self) -> [HistogramSnapshot; 3] {
-        [
-            self.cost[0].snapshot(),
-            self.cost[1].snapshot(),
-            self.cost[2].snapshot(),
-        ]
+    /// Snapshots per-rung cost histograms, in ladder order.
+    pub fn cost_snapshot(&self) -> Vec<HistogramSnapshot> {
+        self.cost.iter().map(LatencyHistogram::snapshot).collect()
     }
 
     /// Zeroes every rung's counter and histogram.
@@ -412,7 +415,7 @@ impl StageHistograms {
 }
 
 /// All counters and histograms of one [`crate::serve::QueryService`].
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ServeMetrics {
     /// Queries fully served.
     pub queries: Counter,
@@ -442,9 +445,23 @@ pub struct ServeMetrics {
 }
 
 impl ServeMetrics {
-    /// Creates zeroed metrics.
-    pub fn new() -> Self {
-        Self::default()
+    /// Creates zeroed metrics for a service whose degraded-mode ladder
+    /// has `ladder_rungs` rungs.
+    pub fn new(ladder_rungs: usize) -> Self {
+        ServeMetrics {
+            queries: Counter::new(),
+            cache_hits: Counter::new(),
+            cache_misses: Counter::new(),
+            invalidations: Counter::new(),
+            docs_ingested: Counter::new(),
+            seals: Counter::new(),
+            merges: Counter::new(),
+            sheds: Counter::new(),
+            deadline_exceeded: Counter::new(),
+            stages: StageHistograms::default(),
+            ingest: IngestHistograms::default(),
+            ladder: LadderMetrics::new(ladder_rungs),
+        }
     }
 
     /// Fraction of cache lookups that hit (0 when no lookups yet).
@@ -502,8 +519,9 @@ impl ServeMetrics {
 }
 
 /// Immutable copy of a service's metrics, safe to move across threads and
-/// cheap to diff (all plain values).
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// cheap to diff (all plain values; the per-rung vectors are sized by the
+/// service's ladder).
+#[derive(Debug, Clone, PartialEq)]
 pub struct MetricsSnapshot {
     /// Queries fully served.
     pub queries: u64,
@@ -533,12 +551,10 @@ pub struct MetricsSnapshot {
     pub stages: [HistogramSnapshot; 4],
     /// Ingest histograms, ordered as [`INGEST_STAGE_NAMES`].
     pub ingest: [HistogramSnapshot; 3],
-    /// Completions per degraded-mode rung, ordered as
-    /// [`LADDER_LEVEL_NAMES`].
-    pub ladder_served: [u64; 3],
-    /// Cost histograms per degraded-mode rung, ordered as
-    /// [`LADDER_LEVEL_NAMES`].
-    pub ladder_cost: [HistogramSnapshot; 3],
+    /// Completions per degraded-mode rung, in ladder order.
+    pub ladder_served: Vec<u64>,
+    /// Cost histograms per degraded-mode rung, in ladder order.
+    pub ladder_cost: Vec<HistogramSnapshot>,
 }
 
 #[cfg(test)]
@@ -613,7 +629,7 @@ mod tests {
 
     #[test]
     fn hit_rate_and_snapshot() {
-        let m = ServeMetrics::new();
+        let m = ServeMetrics::new(3);
         m.cache_hits.add(3);
         m.cache_misses.inc();
         m.queries.add(4);
@@ -626,7 +642,7 @@ mod tests {
 
     #[test]
     fn reset_zeroes_counters_and_histograms() {
-        let m = ServeMetrics::new();
+        let m = ServeMetrics::new(3);
         m.queries.add(7);
         m.cache_hits.inc();
         m.stages.rank.record(1000);
@@ -671,7 +687,7 @@ mod tests {
 
     #[test]
     fn ladder_metrics_skip_zero_cost_observations() {
-        let l = LadderMetrics::default();
+        let l = LadderMetrics::new(3);
         l.record_cost(0, 0);
         assert_eq!(l.cost_snapshot()[0].count, 0, "zero-duration costs carry no signal");
         l.record_cost(0, 10_000);
@@ -690,7 +706,7 @@ mod tests {
 
     #[test]
     fn snapshot_carries_admission_counters() {
-        let m = ServeMetrics::new();
+        let m = ServeMetrics::new(3);
         m.sheds.add(3);
         m.deadline_exceeded.inc();
         m.ladder.served[0].add(5);

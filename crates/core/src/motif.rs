@@ -1,7 +1,6 @@
-//! The triangular and square expansion motifs.
+//! The [`Motif`] trait: structural expansion anchored at a query node.
 //!
-//! Both motifs are anchored at a **query node** (an article) and identify
-//! **expansion nodes** (other articles) through local structure only:
+//! The paper's two concrete motifs are:
 //!
 //! * **Triangular** (length-3 cycle, Figure 3a): the query node and the
 //!   expansion node are *doubly linked* (each hyperlinks the other) and
@@ -14,11 +13,15 @@
 //!   direct sub-category edge, in either direction). Every such category
 //!   pair closes one square.
 //!
-//! The paper deliberately avoids length-5 cycles for performance; the
-//! [`Motif`] trait keeps the design open for other knowledge bases (the
-//! paper's future work).
+//! Both are now points of the generalized spec space — see
+//! [`crate::spec::MotifSpec::triangular`] and
+//! [`crate::spec::MotifSpec::square`], which compile to the exact
+//! traversals the original hand-written implementations performed. The
+//! paper deliberately avoids length-5 cycles for performance; the spec
+//! space includes them ([`crate::spec::CategoryScope::Cousin`]) so that
+//! choice is an experiment rather than a code change.
 
-use kbgraph::{ArticleId, CategoryId, KbGraph};
+use kbgraph::{ArticleId, KbGraph};
 
 /// Identifies a motif implementation (for configs and display).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -67,131 +70,11 @@ pub trait Motif: Send + Sync {
     }
 }
 
-/// The triangular motif (Figure 3a).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct Triangular;
-
-impl Motif for Triangular {
-    fn kind(&self) -> MotifKind {
-        MotifKind::Triangular
-    }
-
-    fn expansions_into(
-        &self,
-        graph: &KbGraph,
-        query_node: ArticleId,
-        out: &mut Vec<(ArticleId, u32)>,
-    ) {
-        let query_cats = graph.categories_of(query_node);
-        if query_cats.is_empty() {
-            // No category evidence ⇒ no triangles.
-            return;
-        }
-        for cand in graph.mutual_links(query_node) {
-            if graph.categories_superset(query_node, cand) {
-                // cats(cand) ⊇ cats(query): each shared category (i.e.
-                // every category of the query node) closes one triangle.
-                out.push((cand, query_cats.len() as u32));
-            }
-        }
-    }
-}
-
-/// The square motif (Figure 3b).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct Square;
-
-impl Motif for Square {
-    fn kind(&self) -> MotifKind {
-        MotifKind::Square
-    }
-
-    fn expansions_into(
-        &self,
-        graph: &KbGraph,
-        query_node: ArticleId,
-        out: &mut Vec<(ArticleId, u32)>,
-    ) {
-        let query_cats = graph.categories_of(query_node);
-        if query_cats.is_empty() {
-            return;
-        }
-        for cand in graph.mutual_links(query_node) {
-            let cand_cats = graph.categories_of(cand);
-            if cand_cats.is_empty() {
-                continue;
-            }
-            let mut squares = 0u32;
-            for &cq in query_cats {
-                for &cc in cand_cats {
-                    if cq != cc
-                        && graph
-                            .category_adjacent(CategoryId::new(cq), CategoryId::new(cc))
-                    {
-                        squares += 1;
-                    }
-                }
-            }
-            if squares > 0 {
-                out.push((cand, squares));
-            }
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::MotifSpec;
     use kbgraph::GraphBuilder;
-
-    /// Paper's Figure 4a example: "cable car" ↔ "funicular", both in the
-    /// same categories ⇒ triangular expansion.
-    #[test]
-    fn triangular_fires_on_figure_4a() {
-        let mut b = GraphBuilder::new();
-        let cable = b.add_article("cable car");
-        let funi = b.add_article("funicular");
-        let rail = b.add_category("rail transport");
-        let mountain = b.add_category("mountain transport");
-        b.add_mutual_link(cable, funi);
-        b.add_membership(cable, rail);
-        b.add_membership(funi, rail);
-        b.add_membership(cable, mountain);
-        b.add_membership(funi, mountain);
-        let g = b.build();
-        let exp = Triangular.expansions(&g, cable);
-        assert_eq!(exp, vec![(funi, 2)], "two shared categories, two triangles");
-    }
-
-    #[test]
-    fn triangular_requires_double_link() {
-        let mut b = GraphBuilder::new();
-        let a = b.add_article("a");
-        let x = b.add_article("x");
-        let c = b.add_category("c");
-        b.add_article_link(a, x); // one-way only
-        b.add_membership(a, c);
-        b.add_membership(x, c);
-        let g = b.build();
-        assert!(Triangular.expansions(&g, a).is_empty());
-    }
-
-    #[test]
-    fn triangular_requires_category_superset() {
-        let mut b = GraphBuilder::new();
-        let a = b.add_article("a");
-        let x = b.add_article("x");
-        let c1 = b.add_category("c1");
-        let c2 = b.add_category("c2");
-        b.add_mutual_link(a, x);
-        b.add_membership(a, c1);
-        b.add_membership(a, c2);
-        b.add_membership(x, c1); // missing c2 ⇒ not a superset
-        let g = b.build();
-        assert!(Triangular.expansions(&g, a).is_empty());
-        // From x's perspective a IS a superset partner.
-        assert_eq!(Triangular.expansions(&g, x), vec![(a, 1)]);
-    }
 
     #[test]
     fn triangular_expansion_may_have_extra_categories() {
@@ -205,53 +88,24 @@ mod tests {
         b.add_membership(x, c1);
         b.add_membership(x, c2);
         let g = b.build();
-        assert_eq!(Triangular.expansions(&g, a), vec![(x, 1)]);
+        assert_eq!(MotifSpec::triangular().expansions(&g, a), vec![(x, 1)]);
     }
 
     #[test]
-    fn uncategorized_query_node_yields_nothing() {
-        let mut b = GraphBuilder::new();
-        let a = b.add_article("a");
-        let x = b.add_article("x");
-        b.add_mutual_link(a, x);
-        let g = b.build();
-        assert!(Triangular.expansions(&g, a).is_empty());
-        assert!(Square.expansions(&g, a).is_empty());
-    }
-
-    /// Paper's Figure 4b example: "graffiti" ↔ "Banksy": query node in
-    /// "street art", Banksy in "graffiti artists", and one category is
-    /// inside the other ⇒ square expansion.
-    #[test]
-    fn square_fires_on_figure_4b() {
-        let mut b = GraphBuilder::new();
-        let graffiti = b.add_article("graffiti");
-        let banksy = b.add_article("banksy");
-        let street_art = b.add_category("street art");
-        let artists = b.add_category("graffiti artists");
-        b.add_mutual_link(graffiti, banksy);
-        b.add_membership(graffiti, street_art);
-        b.add_membership(banksy, artists);
-        b.add_subcategory(artists, street_art);
-        let g = b.build();
-        assert_eq!(Square.expansions(&g, graffiti), vec![(banksy, 1)]);
-        // The motif is symmetric ("or vice versa").
-        assert_eq!(Square.expansions(&g, banksy), vec![(graffiti, 1)]);
-    }
-
-    #[test]
-    fn square_requires_double_link() {
+    fn triangular_superset_is_directional() {
         let mut b = GraphBuilder::new();
         let a = b.add_article("a");
         let x = b.add_article("x");
         let c1 = b.add_category("c1");
         let c2 = b.add_category("c2");
-        b.add_article_link(a, x);
+        b.add_mutual_link(a, x);
         b.add_membership(a, c1);
-        b.add_membership(x, c2);
-        b.add_subcategory(c2, c1);
+        b.add_membership(a, c2);
+        b.add_membership(x, c1); // missing c2 ⇒ not a superset
         let g = b.build();
-        assert!(Square.expansions(&g, a).is_empty());
+        assert!(MotifSpec::triangular().expansions(&g, a).is_empty());
+        // From x's perspective a IS a superset partner.
+        assert_eq!(MotifSpec::triangular().expansions(&g, x), vec![(a, 1)]);
     }
 
     #[test]
@@ -266,27 +120,7 @@ mod tests {
         b.add_membership(x, c2);
         // c1 and c2 unrelated ⇒ no square.
         let g = b.build();
-        assert!(Square.expansions(&g, a).is_empty());
-    }
-
-    #[test]
-    fn square_counts_each_category_pair() {
-        let mut b = GraphBuilder::new();
-        let a = b.add_article("a");
-        let x = b.add_article("x");
-        let c1 = b.add_category("c1");
-        let c2 = b.add_category("c2");
-        let d1 = b.add_category("d1");
-        let d2 = b.add_category("d2");
-        b.add_mutual_link(a, x);
-        b.add_membership(a, c1);
-        b.add_membership(a, d1);
-        b.add_membership(x, c2);
-        b.add_membership(x, d2);
-        b.add_subcategory(c2, c1);
-        b.add_subcategory(d1, d2);
-        let g = b.build();
-        assert_eq!(Square.expansions(&g, a), vec![(x, 2)]);
+        assert!(MotifSpec::square().expansions(&g, a).is_empty());
     }
 
     #[test]
@@ -301,14 +135,14 @@ mod tests {
         b.add_membership(a, c);
         b.add_membership(x, c);
         let g = b.build();
-        assert!(Square.expansions(&g, a).is_empty());
-        assert_eq!(Triangular.expansions(&g, a), vec![(x, 1)]);
+        assert!(MotifSpec::square().expansions(&g, a).is_empty());
+        assert_eq!(MotifSpec::triangular().expansions(&g, a), vec![(x, 1)]);
     }
 
     #[test]
     fn motif_kinds_and_names() {
-        assert_eq!(Triangular.kind().short_name(), "T");
-        assert_eq!(Square.kind().short_name(), "S");
+        assert_eq!(MotifSpec::triangular().kind().short_name(), "T");
+        assert_eq!(MotifSpec::square().kind().short_name(), "S");
     }
 
     #[test]
@@ -323,7 +157,7 @@ mod tests {
         let g = b.build();
         let sentinel = (ArticleId::new(99), 7);
         let mut out = vec![sentinel];
-        Triangular.expansions_into(&g, a, &mut out);
+        MotifSpec::triangular().expansions_into(&g, a, &mut out);
         assert_eq!(out, vec![sentinel, (x, 1)]);
     }
 }

@@ -110,72 +110,85 @@ impl PatternMotif {
         format!("{l}+{c}")
     }
 
-    /// Candidate articles satisfying the link condition.
-    fn link_candidates(&self, graph: &KbGraph, query_node: ArticleId) -> Vec<ArticleId> {
-        match self.link {
-            LinkCondition::Mutual => graph.mutual_links(query_node),
-            LinkCondition::OutLink => graph
+}
+
+/// Candidate articles satisfying the link condition — the shared CSR
+/// traversal behind both [`PatternMotif`] and [`crate::spec::MotifSpec`].
+pub(crate) fn link_candidates(
+    graph: &KbGraph,
+    link: LinkCondition,
+    query_node: ArticleId,
+) -> Vec<ArticleId> {
+    match link {
+        LinkCondition::Mutual => graph.mutual_links(query_node),
+        LinkCondition::OutLink => graph
+            .out_links(query_node)
+            .iter()
+            .map(|&x| ArticleId::new(x))
+            .collect(),
+        LinkCondition::AnyDirection => {
+            let mut v: Vec<u32> = graph
                 .out_links(query_node)
                 .iter()
-                .map(|&x| ArticleId::new(x))
-                .collect(),
-            LinkCondition::AnyDirection => {
-                let mut v: Vec<u32> = graph
-                    .out_links(query_node)
-                    .iter()
-                    .chain(graph.in_links(query_node).iter())
-                    .copied()
-                    .collect();
-                v.sort_unstable();
-                v.dedup();
-                v.into_iter().map(ArticleId::new).collect()
-            }
+                .chain(graph.in_links(query_node).iter())
+                .copied()
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            v.into_iter().map(ArticleId::new).collect()
         }
     }
+}
 
-    /// Number of motif instances the candidate closes (0 = no match).
-    fn instances(&self, graph: &KbGraph, query_node: ArticleId, cand: ArticleId) -> u32 {
-        let qc = graph.categories_of(query_node);
-        let cc = graph.categories_of(cand);
-        match self.category {
-            CategoryCondition::Superset => {
-                if !qc.is_empty() && graph.categories_superset(query_node, cand) {
-                    qc.len() as u32
-                } else {
-                    0
-                }
+/// Number of motif instances the candidate closes under a category
+/// condition (0 = no match) — shared by [`PatternMotif`] and
+/// [`crate::spec::MotifSpec`].
+pub(crate) fn category_instances(
+    graph: &KbGraph,
+    cond: CategoryCondition,
+    query_node: ArticleId,
+    cand: ArticleId,
+) -> u32 {
+    let qc = graph.categories_of(query_node);
+    let cc = graph.categories_of(cand);
+    match cond {
+        CategoryCondition::Superset => {
+            if !qc.is_empty() && graph.categories_superset(query_node, cand) {
+                qc.len() as u32
+            } else {
+                0
             }
-            CategoryCondition::SharedAny => {
-                // Sorted intersection size.
-                let (mut i, mut j, mut shared) = (0, 0, 0u32);
-                while i < qc.len() && j < cc.len() {
-                    match qc[i].cmp(&cc[j]) {
-                        std::cmp::Ordering::Less => i += 1,
-                        std::cmp::Ordering::Greater => j += 1,
-                        std::cmp::Ordering::Equal => {
-                            shared += 1;
-                            i += 1;
-                            j += 1;
-                        }
-                    }
-                }
-                shared
-            }
-            CategoryCondition::Adjacent => {
-                let mut squares = 0u32;
-                for &a in qc {
-                    for &b in cc {
-                        if a != b
-                            && graph.category_adjacent(CategoryId::new(a), CategoryId::new(b))
-                        {
-                            squares += 1;
-                        }
-                    }
-                }
-                squares
-            }
-            CategoryCondition::Unconstrained => 1,
         }
+        CategoryCondition::SharedAny => {
+            // Sorted intersection size.
+            let (mut i, mut j, mut shared) = (0, 0, 0u32);
+            while i < qc.len() && j < cc.len() {
+                match qc[i].cmp(&cc[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        shared += 1;
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            shared
+        }
+        CategoryCondition::Adjacent => {
+            let mut squares = 0u32;
+            for &a in qc {
+                for &b in cc {
+                    if a != b
+                        && graph.category_adjacent(CategoryId::new(a), CategoryId::new(b))
+                    {
+                        squares += 1;
+                    }
+                }
+            }
+            squares
+        }
+        CategoryCondition::Unconstrained => 1,
     }
 }
 
@@ -194,11 +207,11 @@ impl Motif for PatternMotif {
         query_node: ArticleId,
         out: &mut Vec<(ArticleId, u32)>,
     ) {
-        for cand in self.link_candidates(graph, query_node) {
+        for cand in link_candidates(graph, self.link, query_node) {
             if cand == query_node {
                 continue;
             }
-            let m = self.instances(graph, query_node, cand);
+            let m = category_instances(graph, self.category, query_node, cand);
             if m > 0 {
                 out.push((cand, m));
             }
@@ -209,7 +222,7 @@ impl Motif for PatternMotif {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::motif::{Square, Triangular};
+    use crate::spec::MotifSpec;
     use kbgraph::GraphBuilder;
 
     /// A graph exercising every condition: mutual pair with shared cats,
@@ -236,19 +249,21 @@ mod tests {
     #[test]
     fn pattern_reproduces_triangular() {
         let (g, q) = world();
-        assert_eq!(
-            PatternMotif::triangular().expansions(&g, q),
-            Triangular.expansions(&g, q)
-        );
+        let tri = g.find_article_by_title("tri").unwrap();
+        let got = PatternMotif::triangular().expansions(&g, q);
+        // "tri" shares q's single category; "sq" does not (only sub).
+        assert_eq!(got, vec![(tri, 1)]);
+        assert_eq!(got, MotifSpec::triangular().expansions(&g, q));
     }
 
     #[test]
     fn pattern_reproduces_square() {
         let (g, q) = world();
-        assert_eq!(
-            PatternMotif::square().expansions(&g, q),
-            Square.expansions(&g, q)
-        );
+        let sq = g.find_article_by_title("sq").unwrap();
+        let got = PatternMotif::square().expansions(&g, q);
+        // "sq" is in sub, which is directly inside q's category c.
+        assert_eq!(got, vec![(sq, 1)]);
+        assert_eq!(got, MotifSpec::square().expansions(&g, q));
     }
 
     #[test]

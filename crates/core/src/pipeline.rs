@@ -12,6 +12,7 @@ use searchlite::{Index, Query, Searcher};
 use crate::combine;
 use crate::expand::{self, ExpandConfig, ExpandedQuery};
 use crate::query_graph::{QueryGraph, QueryGraphBuilder, QueryGraphScratch};
+use crate::spec::MotifSet;
 
 /// Reusable per-worker buffers for batch SQE serving: motif-traversal
 /// scratch plus retrieval scratch. One instance per worker thread.
@@ -175,25 +176,14 @@ impl<'a> SqePipeline<'a> {
 
     // ------------------------------------------------------------ SQE --
 
-    /// Builds the query graph for the given motif configuration.
-    pub fn build_query_graph(
-        &self,
-        nodes: &[ArticleId],
-        triangular: bool,
-        square: bool,
-    ) -> QueryGraph {
-        QueryGraphBuilder::with_config(self.graph, triangular, square).build(nodes)
+    /// Builds the query graph for the given motif set.
+    pub fn build_query_graph(&self, nodes: &[ArticleId], motifs: &MotifSet) -> QueryGraph {
+        QueryGraphBuilder::from_set(self.graph, motifs).build(nodes)
     }
 
-    /// Expands a query with the given motif configuration.
-    pub fn expand(
-        &self,
-        text: &str,
-        nodes: &[ArticleId],
-        triangular: bool,
-        square: bool,
-    ) -> ExpandedQuery {
-        let qg = self.build_query_graph(nodes, triangular, square);
+    /// Expands a query with the given motif set.
+    pub fn expand(&self, text: &str, nodes: &[ArticleId], motifs: &MotifSet) -> ExpandedQuery {
+        let qg = self.build_query_graph(nodes, motifs);
         expand::build_expanded_query(
             self.graph,
             text,
@@ -203,15 +193,16 @@ impl<'a> SqePipeline<'a> {
         )
     }
 
-    /// `SQE_T` / `SQE_S` / `SQE_T&S` retrieval (per the flags).
+    /// `SQE` retrieval under any motif set — the paper's `SQE_T`,
+    /// `SQE_S` and `SQE_T&S` are [`MotifSet::triangular`],
+    /// [`MotifSet::square`] and [`MotifSet::t_and_s`].
     pub fn rank_sqe(
         &self,
         text: &str,
         nodes: &[ArticleId],
-        triangular: bool,
-        square: bool,
+        motifs: &MotifSet,
     ) -> (Vec<SearchHit>, QueryGraph) {
-        self.rank_sqe_with_scratch(text, nodes, triangular, square, &mut SqeScratch::new())
+        self.rank_sqe_with_scratch(text, nodes, motifs, &mut SqeScratch::new())
     }
 
     /// [`SqePipeline::rank_sqe`] with caller-owned scratch buffers;
@@ -220,11 +211,10 @@ impl<'a> SqePipeline<'a> {
         &self,
         text: &str,
         nodes: &[ArticleId],
-        triangular: bool,
-        square: bool,
+        motifs: &MotifSet,
         scratch: &mut SqeScratch,
     ) -> (Vec<SearchHit>, QueryGraph) {
-        let qg = QueryGraphBuilder::with_config(self.graph, triangular, square)
+        let qg = QueryGraphBuilder::from_set(self.graph, motifs)
             .build_with_scratch(nodes, &mut scratch.qg);
         let query = expand::build_query(
             self.graph,
@@ -269,12 +259,11 @@ impl<'a> SqePipeline<'a> {
     pub fn rank_sqe_many(
         &self,
         queries: &[(String, Vec<ArticleId>)],
-        triangular: bool,
-        square: bool,
+        motifs: &MotifSet,
         threads: usize,
     ) -> Vec<Vec<SearchHit>> {
         crate::serve::run_indexed(queries, threads, SqeScratch::new, |(text, nodes), scratch| {
-            self.rank_sqe_with_scratch(text, nodes, triangular, square, scratch).0
+            self.rank_sqe_with_scratch(text, nodes, motifs, scratch).0
         })
     }
 
@@ -282,9 +271,9 @@ impl<'a> SqePipeline<'a> {
     /// `SQE_T`, 6–200 from `SQE_T&S`, the rest from `SQE_S`. Returns
     /// external document ids (the form trec_eval consumes).
     pub fn rank_sqe_c(&self, text: &str, nodes: &[ArticleId]) -> Vec<String> {
-        let (t, _) = self.rank_sqe(text, nodes, true, false);
-        let (ts, _) = self.rank_sqe(text, nodes, true, true);
-        let (s, _) = self.rank_sqe(text, nodes, false, true);
+        let (t, _) = self.rank_sqe(text, nodes, &MotifSet::triangular());
+        let (ts, _) = self.rank_sqe(text, nodes, &MotifSet::t_and_s());
+        let (s, _) = self.rank_sqe(text, nodes, &MotifSet::square());
         combine::sqe_c(
             &self.external_ids(&t),
             &self.external_ids(&ts),
@@ -337,7 +326,7 @@ mod tests {
     fn sqe_t_reaches_funicular_documents() {
         let (graph, index, cable) = world();
         let p = SqePipeline::from_index(&graph, &index, SqeConfig::default());
-        let (hits, qg) = p.rank_sqe("cable car", &[cable], true, false);
+        let (hits, qg) = p.rank_sqe("cable car", &[cable], &MotifSet::triangular());
         assert_eq!(qg.num_expansions(), 1);
         let ids = p.external_ids(&hits);
         assert!(ids.contains(&"d-funi-0".to_owned()));
@@ -349,7 +338,7 @@ mod tests {
     fn square_motif_finds_nothing_here() {
         let (graph, index, cable) = world();
         let p = SqePipeline::from_index(&graph, &index, SqeConfig::default());
-        let qg = p.build_query_graph(&[cable], false, true);
+        let qg = p.build_query_graph(&[cable], &MotifSet::square());
         assert_eq!(qg.num_expansions(), 0, "shared category is not a square");
     }
 
@@ -357,7 +346,7 @@ mod tests {
     fn expansion_only_ranks_only_expansion_docs_on_top() {
         let (graph, index, cable) = world();
         let p = SqePipeline::from_index(&graph, &index, SqeConfig::default());
-        let qg = p.build_query_graph(&[cable], true, false);
+        let qg = p.build_query_graph(&[cable], &MotifSet::triangular());
         let hits = p.rank_expansion_only(&qg);
         let ids = p.external_ids(&hits);
         assert!(ids[0].starts_with("d-funi"));
@@ -392,8 +381,8 @@ mod tests {
             ("funicular station".into(), vec![cable]),
             ("market fruit".into(), vec![]),
         ];
-        let seq = p.rank_sqe_many(&queries, true, true, 1);
-        let par = p.rank_sqe_many(&queries, true, true, 4);
+        let seq = p.rank_sqe_many(&queries, &MotifSet::t_and_s(), 1);
+        let par = p.rank_sqe_many(&queries, &MotifSet::t_and_s(), 4);
         assert_eq!(seq.len(), par.len());
         for (a, b) in seq.iter().zip(par.iter()) {
             assert_eq!(a, b);
@@ -415,8 +404,8 @@ mod tests {
         let snap = sqe_store::Snapshot::from_bytes(&bytes).unwrap();
         let fresh = SqePipeline::from_index(&graph, &index, SqeConfig::default());
         let loaded = SqePipeline::from_snapshot(&snap, "world", SqeConfig::default()).unwrap();
-        let (h1, qg1) = fresh.rank_sqe("cable car", &[cable], true, false);
-        let (h2, qg2) = loaded.rank_sqe("cable car", &[cable], true, false);
+        let (h1, qg1) = fresh.rank_sqe("cable car", &[cable], &MotifSet::triangular());
+        let (h2, qg2) = loaded.rank_sqe("cable car", &[cable], &MotifSet::triangular());
         assert_eq!(h1, h2);
         assert_eq!(qg1.expansions, qg2.expansions);
         assert!(matches!(
@@ -444,8 +433,8 @@ mod tests {
         );
         let mono = SqePipeline::from_index(&graph, &index, SqeConfig::default());
         let segp = SqePipeline::new(&graph, searcher, SqeConfig::default());
-        let (h1, qg1) = mono.rank_sqe("cable car", &[cable], true, false);
-        let (h2, qg2) = segp.rank_sqe("cable car", &[cable], true, false);
+        let (h1, qg1) = mono.rank_sqe("cable car", &[cable], &MotifSet::triangular());
+        let (h2, qg2) = segp.rank_sqe("cable car", &[cable], &MotifSet::triangular());
         assert_eq!(qg1.expansions, qg2.expansions);
         assert_eq!(mono.external_ids(&h1), segp.external_ids(&h2));
         for (x, y) in h1.iter().zip(h2.iter()) {

@@ -11,6 +11,7 @@ use kbgraph::{ArticleId, KbGraph};
 use rustc_hash::FxHashMap;
 
 use crate::motif::Motif;
+use crate::spec::MotifSet;
 
 /// The query graph: query nodes plus weighted expansion nodes.
 #[derive(Debug, Clone, Default)]
@@ -95,17 +96,12 @@ impl<'g> QueryGraphBuilder<'g> {
         QueryGraphBuilder { graph, motifs }
     }
 
-    /// Convenience constructor for the paper's three configurations:
-    /// `SQE_T` (triangular only), `SQE_S` (square only), `SQE_T&S` (both).
-    pub fn with_config(graph: &'g KbGraph, triangular: bool, square: bool) -> Self {
-        let mut motifs: Vec<Box<dyn Motif>> = Vec::new();
-        if triangular {
-            motifs.push(Box::new(crate::motif::Triangular));
-        }
-        if square {
-            motifs.push(Box::new(crate::motif::Square));
-        }
-        QueryGraphBuilder::new(graph, motifs)
+    /// Builds from a canonical [`MotifSet`], compiling every spec to its
+    /// CSR traversal. The paper's configurations are
+    /// [`MotifSet::triangular`] (`SQE_T`), [`MotifSet::square`]
+    /// (`SQE_S`) and [`MotifSet::t_and_s`] (`SQE_T&S`).
+    pub fn from_set(graph: &'g KbGraph, motifs: &MotifSet) -> Self {
+        QueryGraphBuilder::new(graph, motifs.compile())
     }
 
     /// The underlying KB graph.
@@ -184,7 +180,7 @@ mod tests {
     #[test]
     fn multiplicity_sums_over_query_nodes() {
         let (g, qns, shared) = toy();
-        let builder = QueryGraphBuilder::with_config(&g, true, false);
+        let builder = QueryGraphBuilder::from_set(&g, &MotifSet::triangular());
         let qg = builder.build(&qns);
         assert_eq!(qg.num_expansions(), 1);
         // One triangle from q1 and one from q2.
@@ -201,7 +197,7 @@ mod tests {
         b.add_membership(q2, c);
         b.add_mutual_link(q1, q2);
         let g = b.build();
-        let builder = QueryGraphBuilder::with_config(&g, true, true);
+        let builder = QueryGraphBuilder::from_set(&g, &MotifSet::t_and_s());
         let qg = builder.build(&[q1, q2]);
         assert_eq!(
             qg.num_expansions(),
@@ -233,16 +229,16 @@ mod tests {
         b.add_subcategory(sub, c);
         b.add_mutual_link(q, x);
         let g = b.build();
-        let t = QueryGraphBuilder::with_config(&g, true, false).build(&[q]);
-        let s = QueryGraphBuilder::with_config(&g, false, true).build(&[q]);
-        let ts = QueryGraphBuilder::with_config(&g, true, true).build(&[q]);
+        let t = QueryGraphBuilder::from_set(&g, &MotifSet::triangular()).build(&[q]);
+        let s = QueryGraphBuilder::from_set(&g, &MotifSet::square()).build(&[q]);
+        let ts = QueryGraphBuilder::from_set(&g, &MotifSet::t_and_s()).build(&[q]);
         assert_eq!(ts.multiplicity(x), t.multiplicity(x) + s.multiplicity(x));
     }
 
     #[test]
     fn expansions_sorted_by_multiplicity() {
         let (g, qns, _) = toy();
-        let builder = QueryGraphBuilder::with_config(&g, true, true);
+        let builder = QueryGraphBuilder::from_set(&g, &MotifSet::t_and_s());
         let qg = builder.build(&qns);
         for w in qg.expansions.windows(2) {
             assert!(w[0].1 >= w[1].1);
@@ -267,7 +263,7 @@ mod tests {
     #[test]
     fn dot_rendering_includes_roles() {
         let (g, qns, shared) = toy();
-        let qg = QueryGraphBuilder::with_config(&g, true, false).build(&qns);
+        let qg = QueryGraphBuilder::from_set(&g, &MotifSet::triangular()).build(&qns);
         let dot = qg.to_dot(&g, "test");
         assert!(dot.contains("fillcolor=black"), "query nodes black");
         assert!(dot.contains("fillcolor=white"), "expansion nodes white");
@@ -278,7 +274,7 @@ mod tests {
     #[test]
     fn build_many_matches_sequential() {
         let (g, qns, _) = toy();
-        let builder = QueryGraphBuilder::with_config(&g, true, true);
+        let builder = QueryGraphBuilder::from_set(&g, &MotifSet::t_and_s());
         let queries: Vec<Vec<ArticleId>> = vec![qns.clone(), vec![qns[0]], vec![qns[1]]];
         let seq = builder.build_many(&queries, 1);
         let par = builder.build_many(&queries, 4);

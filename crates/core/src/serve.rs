@@ -12,9 +12,9 @@
 //!   written into their input slot, so output order — and therefore every
 //!   downstream run file — is independent of scheduling.
 //! * [`QueryService`] — the serving facade over [`SqePipeline`](crate::pipeline::SqePipeline): an LRU
-//!   [`ExpansionCache`] keyed by the sorted query-node set + motif config
-//!   (motif traversal is the dominant per-query cost and is a pure
-//!   function of exactly that key), per-worker reusable scratch buffers,
+//!   [`ExpansionCache`] keyed by the sorted query-node set + motif-set
+//!   fingerprint (motif traversal is the dominant per-query cost and is a
+//!   pure function of exactly that key), per-worker reusable scratch buffers,
 //!   and [`ServeMetrics`] recording cache traffic plus per-stage latency
 //!   through an injected [`Clock`] (no wall-clock reads in library code;
 //!   tests drive a `ManualClock`).
@@ -34,8 +34,8 @@ use kbgraph::{ArticleId, KbGraph};
 use searchlite::ql::{self, SearchHit};
 use searchlite::{DocId, Index, IngestError, SealReport, Searcher, SegmentedIndex};
 use sqe_admission::{
-    select_level, AdmissionConfig, AdmissionController, Deadline, DegradeLevel, ServeOutcome,
-    ShedReason, Stage, Ticket,
+    select_rung, AdmissionConfig, AdmissionController, Deadline, RungId, ServeOutcome, ShedReason,
+    Stage, Ticket,
 };
 
 use crate::cache::{CacheKey, CachedExpansions, ExpansionCache};
@@ -44,6 +44,7 @@ use crate::expand;
 use crate::metrics::{Clock, MetricsSnapshot, NullClock, ServeMetrics};
 use crate::pipeline::{SqeConfig, SqeScratch};
 use crate::query_graph::QueryGraphBuilder;
+use crate::spec::{MotifLadder, MotifSet};
 
 /// Runs `f` over every item on `workers` threads with work stealing:
 /// items are fed through an MPMC channel and idle workers pull the next
@@ -113,7 +114,7 @@ where
 }
 
 /// Configuration of a [`QueryService`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeConfig {
     /// Worker threads for batch entry points (1 = in-caller sequential).
     pub workers: usize,
@@ -123,6 +124,11 @@ pub struct ServeConfig {
     /// (the plain `rank_sqe*` paths bypass admission entirely). The
     /// default is unlimited: every request is admitted.
     pub admission: AdmissionConfig,
+    /// The degraded-mode ladder the deadline-aware `serve*` entry points
+    /// walk: rung 0 is full quality, later rungs expand with cheaper
+    /// motif sets (or not at all). The default is the paper's
+    /// `SQE_T&S` → `SQE_T` → unexpanded ladder.
+    pub ladder: MotifLadder,
 }
 
 impl Default for ServeConfig {
@@ -131,6 +137,7 @@ impl Default for ServeConfig {
             workers: 1,
             cache_capacity: 4096,
             admission: AdmissionConfig::unlimited(),
+            ladder: MotifLadder::default_sqe(),
         }
     }
 }
@@ -256,6 +263,9 @@ impl<'a> QueryService<'a> {
                 searchlite::audit::IndexAudit::run(seg.index()).assert_clean("QueryService");
             }
         }
+        let cache = ExpansionCache::new(serve_cfg.cache_capacity);
+        let metrics = ServeMetrics::new(serve_cfg.ladder.len());
+        let admission = AdmissionController::new(serve_cfg.admission);
         QueryService {
             graph,
             cfg,
@@ -263,10 +273,10 @@ impl<'a> QueryService<'a> {
             maint: Mutex::new(()),
             live: Mutex::new(live),
             view: RwLock::new(view),
-            cache: ExpansionCache::new(serve_cfg.cache_capacity),
-            metrics: ServeMetrics::new(),
+            cache,
+            metrics,
             clock,
-            admission: AdmissionController::new(serve_cfg.admission),
+            admission,
         }
     }
 
@@ -472,31 +482,30 @@ impl<'a> QueryService<'a> {
         self.metrics.reset();
     }
 
-    /// The expansion features for one query under one motif config:
+    /// The expansion features for one query under one motif set:
     /// cache hit, or a fresh motif traversal that seeds the cache. Two
     /// workers racing on the same cold key both compute the same value,
     /// so the outcome is order-independent.
     fn expansions_for(
         &self,
         nodes: &[ArticleId],
-        triangular: bool,
-        square: bool,
+        motifs: &MotifSet,
         scratch: &mut SqeScratch,
     ) -> CachedExpansions {
-        let key = CacheKey::new(nodes, triangular, square);
+        let key = CacheKey::new(nodes, motifs.fingerprint());
         if let Some(hit) = self.cache.get(&key) {
             self.metrics.cache_hits.inc();
             return hit;
         }
         self.metrics.cache_misses.inc();
-        let builder = QueryGraphBuilder::with_config(self.graph, triangular, square);
+        let builder = QueryGraphBuilder::from_set(self.graph, motifs);
         let qg = builder.build_with_scratch(nodes, &mut scratch.qg);
         let expansions: CachedExpansions = Arc::new(qg.expansions);
         self.cache.insert(key, Arc::clone(&expansions));
         expansions
     }
 
-    /// Expand + rank for one motif config, recording the two stage
+    /// Expand + rank for one motif set, recording the two stage
     /// histograms but not the per-query totals (SQE_C runs this three
     /// times per query). `searcher` is the view pinned at query entry,
     /// so a concurrent seal cannot change the corpus mid-query.
@@ -505,13 +514,12 @@ impl<'a> QueryService<'a> {
         searcher: &Searcher,
         text: &str,
         nodes: &[ArticleId],
-        triangular: bool,
-        square: bool,
+        motifs: &MotifSet,
         scratch: &mut SqeScratch,
     ) -> Vec<SearchHit> {
         let cfg = &self.cfg;
         let t0 = self.clock.now_nanos();
-        let expansions = self.expansions_for(nodes, triangular, square, scratch);
+        let expansions = self.expansions_for(nodes, motifs, scratch);
         let t1 = self.clock.now_nanos();
         let query = expand::build_query(
             self.graph,
@@ -528,17 +536,11 @@ impl<'a> QueryService<'a> {
         hits
     }
 
-    /// `SQE_T` / `SQE_S` / `SQE_T&S` retrieval through the cache;
+    /// Retrieval with an arbitrary [`MotifSet`] through the cache;
     /// identical output to [`crate::pipeline::SqePipeline::rank_sqe`].
-    pub fn rank_sqe(
-        &self,
-        text: &str,
-        nodes: &[ArticleId],
-        triangular: bool,
-        square: bool,
-    ) -> Vec<SearchHit> {
+    pub fn rank_sqe(&self, text: &str, nodes: &[ArticleId], motifs: &MotifSet) -> Vec<SearchHit> {
         let searcher = self.searcher();
-        self.rank_sqe_with_scratch(&searcher, text, nodes, triangular, square, &mut SqeScratch::new())
+        self.rank_sqe_with_scratch(&searcher, text, nodes, motifs, &mut SqeScratch::new())
     }
 
     fn rank_sqe_with_scratch(
@@ -546,12 +548,11 @@ impl<'a> QueryService<'a> {
         searcher: &Searcher,
         text: &str,
         nodes: &[ArticleId],
-        triangular: bool,
-        square: bool,
+        motifs: &MotifSet,
         scratch: &mut SqeScratch,
     ) -> Vec<SearchHit> {
         let t0 = self.clock.now_nanos();
-        let hits = self.stage_run(searcher, text, nodes, triangular, square, scratch);
+        let hits = self.stage_run(searcher, text, nodes, motifs, scratch);
         let t1 = self.clock.now_nanos();
         self.metrics.stages.total.record(t1.saturating_sub(t0));
         self.metrics.queries.inc();
@@ -573,9 +574,9 @@ impl<'a> QueryService<'a> {
         scratch: &mut SqeScratch,
     ) -> Vec<String> {
         let t0 = self.clock.now_nanos();
-        let t = self.stage_run(searcher, text, nodes, true, false, scratch);
-        let ts = self.stage_run(searcher, text, nodes, true, true, scratch);
-        let s = self.stage_run(searcher, text, nodes, false, true, scratch);
+        let t = self.stage_run(searcher, text, nodes, &MotifSet::triangular(), scratch);
+        let ts = self.stage_run(searcher, text, nodes, &MotifSet::t_and_s(), scratch);
+        let s = self.stage_run(searcher, text, nodes, &MotifSet::square(), scratch);
         let c0 = self.clock.now_nanos();
         let ids = combine::sqe_c(
             &ids_of(searcher, &t),
@@ -597,8 +598,7 @@ impl<'a> QueryService<'a> {
     pub fn run_batch(
         &self,
         queries: &[(String, Vec<ArticleId>)],
-        triangular: bool,
-        square: bool,
+        motifs: &MotifSet,
     ) -> Vec<Vec<SearchHit>> {
         let searcher = self.searcher();
         run_indexed(
@@ -606,7 +606,7 @@ impl<'a> QueryService<'a> {
             self.serve_cfg.workers,
             SqeScratch::new,
             |(text, nodes), scratch| {
-                self.rank_sqe_with_scratch(&searcher, text, nodes, triangular, square, scratch)
+                self.rank_sqe_with_scratch(&searcher, text, nodes, motifs, scratch)
             },
         )
     }
@@ -646,8 +646,8 @@ impl<'a> QueryService<'a> {
     /// per-rung estimates — the same thing every served request does.
     /// Benchmarks and tests use this to prime the selector before the
     /// first real traffic arrives.
-    pub fn record_ladder_cost(&self, level: DegradeLevel, nanos: u64) {
-        self.metrics.ladder.record_cost(level.index(), nanos);
+    pub fn record_ladder_cost(&self, rung: usize, nanos: u64) {
+        self.metrics.ladder.record_cost(rung, nanos);
     }
 
     /// Admission-controlled, deadline-aware serve of one request:
@@ -705,24 +705,19 @@ impl<'a> QueryService<'a> {
             self.metrics.deadline_exceeded.inc();
             return ServeOutcome::DeadlineExceeded(Stage::Queue);
         }
-        let Some(level) = select_level(remaining, self.metrics.ladder.cost_estimates()) else {
+        let Some(rung) = select_rung(remaining, &self.metrics.ladder.cost_estimates()) else {
             self.metrics.sheds.inc();
             return ServeOutcome::Shed(ShedReason::BudgetExhausted);
         };
-        self.run_level(searcher, level, text, nodes, deadline, scratch)
+        self.run_rung(searcher, rung, text, nodes, deadline, scratch)
     }
 
     /// Runs one request at a forced ladder rung with no admission and no
     /// deadline — the calibration entry benchmarks use to measure (and
     /// prime, via the recorded cost histogram) per-rung costs.
-    pub fn serve_at_level(
-        &self,
-        level: DegradeLevel,
-        text: &str,
-        nodes: &[ArticleId],
-    ) -> Vec<SearchHit> {
+    pub fn serve_at_rung(&self, rung: usize, text: &str, nodes: &[ArticleId]) -> Vec<SearchHit> {
         let searcher = self.searcher();
-        self.run_level(&searcher, level, text, nodes, Deadline::NONE, &mut SqeScratch::new())
+        self.run_rung(&searcher, rung, text, nodes, Deadline::NONE, &mut SqeScratch::new())
             .into_value()
             .unwrap_or_default()
     }
@@ -731,24 +726,26 @@ impl<'a> QueryService<'a> {
     /// recorded into the rung's histogram even when the deadline blows
     /// mid-run: a too-slow attempt is exactly the observation the
     /// estimator needs to stop selecting that rung.
-    fn run_level(
+    fn run_rung(
         &self,
         searcher: &Searcher,
-        level: DegradeLevel,
+        rung: usize,
         text: &str,
         nodes: &[ArticleId],
         deadline: Deadline,
         scratch: &mut SqeScratch,
     ) -> ServeOutcome<Vec<SearchHit>> {
+        let rung_def = self
+            .serve_cfg
+            .ladder
+            .rung(rung)
+            .expect("invariant: rung index is within the configured ladder");
         let t0 = self.clock.now_nanos();
-        let staged = match level {
-            DegradeLevel::Full => {
-                self.stage_run_deadline(searcher, text, nodes, true, true, deadline, scratch)
+        let staged = match rung_def.motifs() {
+            Some(motifs) => {
+                self.stage_run_deadline(searcher, text, nodes, motifs, deadline, scratch)
             }
-            DegradeLevel::Triangular => {
-                self.stage_run_deadline(searcher, text, nodes, true, false, deadline, scratch)
-            }
-            DegradeLevel::Unexpanded => {
+            None => {
                 // No expansion: rank the user part of the query directly
                 // (the paper's unexpanded QL baseline).
                 let query = expand::user_part(text, searcher.analyzer());
@@ -761,7 +758,7 @@ impl<'a> QueryService<'a> {
         };
         let t1 = self.clock.now_nanos();
         let elapsed = t1.saturating_sub(t0);
-        self.metrics.ladder.record_cost(level.index(), elapsed);
+        self.metrics.ladder.record_cost(rung, elapsed);
         self.metrics.stages.total.record(elapsed);
         self.metrics.queries.inc();
         let hits = match staged {
@@ -775,12 +772,13 @@ impl<'a> QueryService<'a> {
             self.metrics.deadline_exceeded.inc();
             return ServeOutcome::DeadlineExceeded(Stage::Rank);
         }
-        if let Some(counter) = self.metrics.ladder.served.get(level.index()) {
+        if let Some(counter) = self.metrics.ladder.served.get(rung) {
             counter.inc();
         }
-        match level {
-            DegradeLevel::Full => ServeOutcome::Ok(hits),
-            degraded => ServeOutcome::Degraded(degraded, hits),
+        if rung == 0 {
+            ServeOutcome::Ok(hits)
+        } else {
+            ServeOutcome::Degraded(RungId::new(rung, Arc::clone(rung_def.name())), hits)
         }
     }
 
@@ -793,14 +791,13 @@ impl<'a> QueryService<'a> {
         searcher: &Searcher,
         text: &str,
         nodes: &[ArticleId],
-        triangular: bool,
-        square: bool,
+        motifs: &MotifSet,
         deadline: Deadline,
         scratch: &mut SqeScratch,
     ) -> Result<Vec<SearchHit>, Stage> {
         let cfg = &self.cfg;
         let t0 = self.clock.now_nanos();
-        let expansions = self.expansions_for(nodes, triangular, square, scratch);
+        let expansions = self.expansions_for(nodes, motifs, scratch);
         let t1 = self.clock.now_nanos();
         self.metrics.stages.expand.record(t1.saturating_sub(t0));
         if deadline.expired(t1) {
@@ -941,12 +938,12 @@ mod tests {
         let (graph, index, cable) = world();
         let pipeline = SqePipeline::from_index(&graph, &index, SqeConfig::default());
         let service = QueryService::new(&graph, &index, SqeConfig::default(), ServeConfig::default());
-        for (tri, sq) in [(true, false), (false, true), (true, true)] {
+        for motifs in [MotifSet::triangular(), MotifSet::square(), MotifSet::t_and_s()] {
             for (text, nodes) in queries(cable) {
-                let want = pipeline.rank_sqe(&text, &nodes, tri, sq).0;
+                let want = pipeline.rank_sqe(&text, &nodes, &motifs).0;
                 // Twice: cold then warm cache.
-                assert_eq!(service.rank_sqe(&text, &nodes, tri, sq), want);
-                assert_eq!(service.rank_sqe(&text, &nodes, tri, sq), want);
+                assert_eq!(service.rank_sqe(&text, &nodes, &motifs), want);
+                assert_eq!(service.rank_sqe(&text, &nodes, &motifs), want);
             }
         }
     }
@@ -970,7 +967,7 @@ mod tests {
         let qs = queries(cable);
         let want: Vec<Vec<SearchHit>> = qs
             .iter()
-            .map(|(text, nodes)| pipeline.rank_sqe(text, nodes, true, true).0)
+            .map(|(text, nodes)| pipeline.rank_sqe(text, nodes, &MotifSet::t_and_s()).0)
             .collect();
         for workers in [1, 2, 8] {
             let serve_cfg = ServeConfig {
@@ -978,8 +975,8 @@ mod tests {
                 ..ServeConfig::default()
             };
             let service = QueryService::new(&graph, &index, SqeConfig::default(), serve_cfg);
-            assert_eq!(service.run_batch(&qs, true, true), want, "cold workers={workers}");
-            assert_eq!(service.run_batch(&qs, true, true), want, "warm workers={workers}");
+            assert_eq!(service.run_batch(&qs, &MotifSet::t_and_s()), want, "cold workers={workers}");
+            assert_eq!(service.run_batch(&qs, &MotifSet::t_and_s()), want, "warm workers={workers}");
         }
     }
 
@@ -988,7 +985,7 @@ mod tests {
         let (graph, index, cable) = world();
         let service = QueryService::new(&graph, &index, SqeConfig::default(), ServeConfig::default());
         let qs = queries(cable);
-        service.run_batch(&qs, true, false);
+        service.run_batch(&qs, &MotifSet::triangular());
         let snap = service.metrics_snapshot();
         // 4 queries but only 2 distinct keys: the key is the node set +
         // motif config, so the three `[cable]` queries share one entry
@@ -996,7 +993,7 @@ mod tests {
         assert_eq!(snap.queries, 4);
         assert_eq!(snap.cache_misses, 2);
         assert_eq!(snap.cache_hits, 2);
-        service.run_batch(&qs, true, false);
+        service.run_batch(&qs, &MotifSet::triangular());
         let snap = service.metrics_snapshot();
         assert_eq!(snap.cache_misses, 2, "second pass is fully warm");
         assert_eq!(snap.cache_hits, 6);
@@ -1007,9 +1004,9 @@ mod tests {
     fn invalidation_forces_recompute() {
         let (graph, index, cable) = world();
         let service = QueryService::new(&graph, &index, SqeConfig::default(), ServeConfig::default());
-        let hits = service.rank_sqe("cable car", &[cable], true, false);
+        let hits = service.rank_sqe("cable car", &[cable], &MotifSet::triangular());
         service.invalidate_cache();
-        assert_eq!(service.rank_sqe("cable car", &[cable], true, false), hits);
+        assert_eq!(service.rank_sqe("cable car", &[cable], &MotifSet::triangular()), hits);
         let snap = service.metrics_snapshot();
         assert_eq!(snap.cache_misses, 2, "post-invalidation lookup misses");
         assert_eq!(snap.invalidations, 1);
@@ -1027,8 +1024,8 @@ mod tests {
         let service = QueryService::new(&graph, &index, SqeConfig::default(), serve_cfg);
         for _ in 0..2 {
             assert_eq!(
-                service.rank_sqe("cable car", &[cable], true, true),
-                pipeline.rank_sqe("cable car", &[cable], true, true).0
+                service.rank_sqe("cable car", &[cable], &MotifSet::t_and_s()),
+                pipeline.rank_sqe("cable car", &[cable], &MotifSet::t_and_s()).0
             );
         }
         let snap = service.metrics_snapshot();
@@ -1057,7 +1054,7 @@ mod tests {
             ServeConfig::default(),
             Arc::new(Ticking(Arc::clone(&clock))),
         );
-        service.rank_sqe("cable car", &[cable], true, false);
+        service.rank_sqe("cable car", &[cable], &MotifSet::triangular());
         let snap = service.metrics_snapshot();
         let stage = |i: usize| snap.stages.get(i).copied().expect("four stages");
         assert_eq!(stage(0).count, 1); // expand
@@ -1075,14 +1072,14 @@ mod tests {
         assert_eq!(service.num_segments(), 1);
 
         // Warm the cache, then ingest: the buffered doc stays invisible.
-        let before = service.rank_sqe("funicular", &[cable], true, false);
+        let before = service.rank_sqe("funicular", &[cable], &MotifSet::triangular());
         service
             .add_document("d-funi-2", "a brand new funicular carriage")
             .expect("fresh external id");
         assert_eq!(service.num_buffered_docs(), 1);
         assert_eq!(service.searcher().num_docs(), 4);
         assert_eq!(
-            service.rank_sqe("funicular", &[cable], true, false),
+            service.rank_sqe("funicular", &[cable], &MotifSet::triangular()),
             before,
             "buffered documents must not affect results"
         );
@@ -1102,7 +1099,7 @@ mod tests {
         assert_eq!(snap.ingest[1].count, 1, "one seal recorded");
 
         // The post-seal query sees the new doc and recomputes expansions.
-        let after = service.rank_sqe("funicular", &[cable], true, false);
+        let after = service.rank_sqe("funicular", &[cable], &MotifSet::triangular());
         assert_eq!(after.len(), before.len() + 1);
         assert!(service.external_ids(&after).contains(&"d-funi-2".to_owned()));
 
@@ -1131,13 +1128,13 @@ mod tests {
             service.seal().expect("seals");
         }
         assert_eq!(service.num_segments(), 3);
-        let before = service.rank_sqe("cable car funicular", &[cable], true, false);
+        let before = service.rank_sqe("cable car funicular", &[cable], &MotifSet::triangular());
         let epoch_before = service.epoch();
 
         assert!(service.force_merge());
         assert_eq!(service.num_segments(), 1);
         assert_eq!(service.epoch(), epoch_before + 1);
-        let after = service.rank_sqe("cable car funicular", &[cable], true, false);
+        let after = service.rank_sqe("cable car funicular", &[cable], &MotifSet::triangular());
         assert_eq!(before, after, "merge must not change scores or order");
         let snap = service.metrics_snapshot();
         assert_eq!(snap.merges, 1);
@@ -1150,7 +1147,7 @@ mod tests {
     fn serve_unbounded_matches_rank_sqe_full() {
         let (graph, index, cable) = world();
         let service = QueryService::new(&graph, &index, SqeConfig::default(), ServeConfig::default());
-        let want = service.rank_sqe("cable car", &[cable], true, true);
+        let want = service.rank_sqe("cable car", &[cable], &MotifSet::t_and_s());
         match service.serve("cable car", &[cable], Deadline::NONE) {
             ServeOutcome::Ok(hits) => assert_eq!(hits, want),
             other => panic!("expected Ok, got {}", other.label()),
@@ -1174,12 +1171,17 @@ mod tests {
         // Prime per-rung cost estimates: full 10µs, triangular 4µs,
         // unexpanded 1µs. (The frozen clock records no real costs, so
         // these stay authoritative.)
-        service.record_ladder_cost(DegradeLevel::Full, 10_000);
-        service.record_ladder_cost(DegradeLevel::Triangular, 4_000);
-        service.record_ladder_cost(DegradeLevel::Unexpanded, 1_000);
+        service.record_ladder_cost(0, 10_000);
+        service.record_ladder_cost(1, 4_000);
+        service.record_ladder_cost(2, 1_000);
         // Estimates are bucket upper bounds, so re-read them to pick
         // budgets on either side of each rung.
-        let est = service.metrics_snapshot().ladder_cost.map(|h| h.p99_nanos);
+        let est: Vec<u64> = service
+            .metrics_snapshot()
+            .ladder_cost
+            .iter()
+            .map(|h| h.p99_nanos)
+            .collect();
         let serve_with = |budget: u64| {
             service
                 .serve("cable car", &[cable], Deadline::within(clock.now_nanos(), budget))
@@ -1306,14 +1308,14 @@ mod tests {
         let (graph, index, cable) = world();
         let service = QueryService::new(&graph, &index, SqeConfig::default(), ServeConfig::default());
         let qs = queries(cable);
-        let want = service.run_batch(&qs, true, false);
+        let want = service.run_batch(&qs, &MotifSet::triangular());
         service.add_document("d-late-0", "late funicular arrival").expect("fresh");
         // The searcher grabbed before the seal keeps serving the old corpus.
         let pinned = service.searcher();
         service.seal().expect("seals");
         assert_eq!(pinned.num_docs(), 4, "pinned view is immutable");
         assert_eq!(service.searcher().num_docs(), 5);
-        let again = service.run_batch(&qs, true, false);
+        let again = service.run_batch(&qs, &MotifSet::triangular());
         // Ranked lists may grow by the new doc but the old docs' relative
         // order is stable; spot-check the first query's top hit.
         let top_before = want[0].first().map(|h| h.doc);

@@ -42,8 +42,7 @@ use searchlite::shard::{
 };
 use searchlite::{Analyzer, DocId, IngestError, Query, SealReport, Searcher, SegmentedIndex, ShardRouter};
 use sqe_admission::{
-    select_level, AdmissionController, Deadline, DegradeLevel, ServeOutcome, ShedReason, Stage,
-    Ticket,
+    select_rung, AdmissionController, Deadline, RungId, ServeOutcome, ShedReason, Stage, Ticket,
 };
 
 use crate::cache::{CacheKey, CachedExpansions, ExpansionCache};
@@ -53,6 +52,7 @@ use crate::metrics::{Clock, MetricsSnapshot, NullClock, ServeMetrics};
 use crate::pipeline::{SqeConfig, SqeScratch};
 use crate::query_graph::QueryGraphBuilder;
 use crate::serve::{run_indexed, ServeConfig, ServeRequest};
+use crate::spec::MotifSet;
 
 /// The mutable side of a shard set: per-shard corpora plus the global
 /// ordinal assignment. Lock order matches [`QueryService`](crate::serve::QueryService):
@@ -190,6 +190,9 @@ impl<'a> ShardedService<'a> {
                 }
             }
         }
+        let cache = ExpansionCache::new(serve_cfg.cache_capacity);
+        let metrics = ServeMetrics::new(serve_cfg.ladder.len());
+        let admission = AdmissionController::new(serve_cfg.admission);
         ShardedService {
             graph,
             cfg,
@@ -202,10 +205,10 @@ impl<'a> ShardedService<'a> {
                 next_ordinal,
             }),
             views: RwLock::new(Arc::new(views)),
-            cache: ExpansionCache::new(serve_cfg.cache_capacity),
-            metrics: ServeMetrics::new(),
+            cache,
+            metrics,
             clock,
-            admission: AdmissionController::new(serve_cfg.admission),
+            admission,
         }
     }
 
@@ -503,43 +506,41 @@ impl<'a> ShardedService<'a> {
         ids_of_sharded(&views, hits)
     }
 
-    /// The expansion features for one query under one motif config —
+    /// The expansion features for one query under one motif set —
     /// shared LRU cache, same key and same exactly-once invalidation
     /// semantics as the single-shard service.
     fn expansions_for(
         &self,
         nodes: &[ArticleId],
-        triangular: bool,
-        square: bool,
+        motifs: &MotifSet,
         scratch: &mut SqeScratch,
     ) -> CachedExpansions {
-        let key = CacheKey::new(nodes, triangular, square);
+        let key = CacheKey::new(nodes, motifs.fingerprint());
         if let Some(hit) = self.cache.get(&key) {
             self.metrics.cache_hits.inc();
             return hit;
         }
         self.metrics.cache_misses.inc();
-        let builder = QueryGraphBuilder::with_config(self.graph, triangular, square);
+        let builder = QueryGraphBuilder::from_set(self.graph, motifs);
         let qg = builder.build_with_scratch(nodes, &mut scratch.qg);
         let expansions: CachedExpansions = Arc::new(qg.expansions);
         self.cache.insert(key, Arc::clone(&expansions));
         expansions
     }
 
-    /// Expand + scatter-gather rank for one motif config against a
+    /// Expand + scatter-gather rank for one motif set against a
     /// pinned shard set.
     fn stage_run(
         &self,
         views: &[ShardView],
         text: &str,
         nodes: &[ArticleId],
-        triangular: bool,
-        square: bool,
+        motifs: &MotifSet,
         scratch: &mut SqeScratch,
     ) -> Vec<SearchHit> {
         let cfg = &self.cfg;
         let t0 = self.clock.now_nanos();
-        let expansions = self.expansions_for(nodes, triangular, square, scratch);
+        let expansions = self.expansions_for(nodes, motifs, scratch);
         let t1 = self.clock.now_nanos();
         let analyzer = views
             .first()
@@ -553,18 +554,12 @@ impl<'a> ShardedService<'a> {
         hits
     }
 
-    /// `SQE_T` / `SQE_S` / `SQE_T&S` retrieval, scattered across shards;
+    /// Retrieval with an arbitrary [`MotifSet`], scattered across shards;
     /// byte-identical to the single-shard [`QueryService::rank_sqe`](crate::serve::QueryService::rank_sqe)
     /// modulo hit ids being global ordinals.
-    pub fn rank_sqe(
-        &self,
-        text: &str,
-        nodes: &[ArticleId],
-        triangular: bool,
-        square: bool,
-    ) -> Vec<SearchHit> {
+    pub fn rank_sqe(&self, text: &str, nodes: &[ArticleId], motifs: &MotifSet) -> Vec<SearchHit> {
         let views = self.pinned_views();
-        self.rank_sqe_with_scratch(&views, text, nodes, triangular, square, &mut SqeScratch::new())
+        self.rank_sqe_with_scratch(&views, text, nodes, motifs, &mut SqeScratch::new())
     }
 
     fn rank_sqe_with_scratch(
@@ -572,12 +567,11 @@ impl<'a> ShardedService<'a> {
         views: &[ShardView],
         text: &str,
         nodes: &[ArticleId],
-        triangular: bool,
-        square: bool,
+        motifs: &MotifSet,
         scratch: &mut SqeScratch,
     ) -> Vec<SearchHit> {
         let t0 = self.clock.now_nanos();
-        let hits = self.stage_run(views, text, nodes, triangular, square, scratch);
+        let hits = self.stage_run(views, text, nodes, motifs, scratch);
         let t1 = self.clock.now_nanos();
         self.metrics.stages.total.record(t1.saturating_sub(t0));
         self.metrics.queries.inc();
@@ -600,9 +594,9 @@ impl<'a> ShardedService<'a> {
         scratch: &mut SqeScratch,
     ) -> Vec<String> {
         let t0 = self.clock.now_nanos();
-        let t = self.stage_run(views, text, nodes, true, false, scratch);
-        let ts = self.stage_run(views, text, nodes, true, true, scratch);
-        let s = self.stage_run(views, text, nodes, false, true, scratch);
+        let t = self.stage_run(views, text, nodes, &MotifSet::triangular(), scratch);
+        let ts = self.stage_run(views, text, nodes, &MotifSet::t_and_s(), scratch);
+        let s = self.stage_run(views, text, nodes, &MotifSet::square(), scratch);
         let c0 = self.clock.now_nanos();
         let ids = combine::sqe_c(
             &ids_of_sharded(views, &t),
@@ -623,8 +617,7 @@ impl<'a> ShardedService<'a> {
     pub fn run_batch(
         &self,
         queries: &[(String, Vec<ArticleId>)],
-        triangular: bool,
-        square: bool,
+        motifs: &MotifSet,
     ) -> Vec<Vec<SearchHit>> {
         let views = self.pinned_views();
         run_indexed(
@@ -632,7 +625,7 @@ impl<'a> ShardedService<'a> {
             self.serve_cfg.workers,
             SqeScratch::new,
             |(text, nodes), scratch| {
-                self.rank_sqe_with_scratch(&views, text, nodes, triangular, square, scratch)
+                self.rank_sqe_with_scratch(&views, text, nodes, motifs, scratch)
             },
         )
     }
@@ -669,8 +662,8 @@ impl<'a> ShardedService<'a> {
 
     /// Feeds one cost observation into the degraded-mode ladder's
     /// per-rung estimates (benchmarks prime the selector through this).
-    pub fn record_ladder_cost(&self, level: DegradeLevel, nanos: u64) {
-        self.metrics.ladder.record_cost(level.index(), nanos);
+    pub fn record_ladder_cost(&self, rung: usize, nanos: u64) {
+        self.metrics.ladder.record_cost(rung, nanos);
     }
 
     /// Admission-controlled, deadline-aware serve of one request across
@@ -718,23 +711,18 @@ impl<'a> ShardedService<'a> {
             self.metrics.deadline_exceeded.inc();
             return ServeOutcome::DeadlineExceeded(Stage::Queue);
         }
-        let Some(level) = select_level(remaining, self.metrics.ladder.cost_estimates()) else {
+        let Some(rung) = select_rung(remaining, &self.metrics.ladder.cost_estimates()) else {
             self.metrics.sheds.inc();
             return ServeOutcome::Shed(ShedReason::BudgetExhausted);
         };
-        self.run_level(views, level, text, nodes, deadline, scratch)
+        self.run_rung(views, rung, text, nodes, deadline, scratch)
     }
 
     /// Runs one request at a forced ladder rung with no admission and no
     /// deadline (the calibration entry; primes the cost estimates).
-    pub fn serve_at_level(
-        &self,
-        level: DegradeLevel,
-        text: &str,
-        nodes: &[ArticleId],
-    ) -> Vec<SearchHit> {
+    pub fn serve_at_rung(&self, rung: usize, text: &str, nodes: &[ArticleId]) -> Vec<SearchHit> {
         let views = self.pinned_views();
-        self.run_level(&views, level, text, nodes, Deadline::NONE, &mut SqeScratch::new())
+        self.run_rung(&views, rung, text, nodes, Deadline::NONE, &mut SqeScratch::new())
             .into_value()
             .unwrap_or_default()
     }
@@ -742,24 +730,26 @@ impl<'a> ShardedService<'a> {
     /// Executes one ladder rung under `deadline` against a pinned shard
     /// set; same recording contract as the single-shard service (blown
     /// attempts still record their cost).
-    fn run_level(
+    fn run_rung(
         &self,
         views: &[ShardView],
-        level: DegradeLevel,
+        rung: usize,
         text: &str,
         nodes: &[ArticleId],
         deadline: Deadline,
         scratch: &mut SqeScratch,
     ) -> ServeOutcome<Vec<SearchHit>> {
+        let rung_def = self
+            .serve_cfg
+            .ladder
+            .rung(rung)
+            .expect("invariant: rung index is within the configured ladder");
         let t0 = self.clock.now_nanos();
-        let staged = match level {
-            DegradeLevel::Full => {
-                self.stage_run_deadline(views, text, nodes, true, true, deadline, scratch)
+        let staged = match rung_def.motifs() {
+            Some(motifs) => {
+                self.stage_run_deadline(views, text, nodes, motifs, deadline, scratch)
             }
-            DegradeLevel::Triangular => {
-                self.stage_run_deadline(views, text, nodes, true, false, deadline, scratch)
-            }
-            DegradeLevel::Unexpanded => {
+            None => {
                 let analyzer = views
                     .first()
                     .map(|v| v.searcher.analyzer())
@@ -774,7 +764,7 @@ impl<'a> ShardedService<'a> {
         };
         let t1 = self.clock.now_nanos();
         let elapsed = t1.saturating_sub(t0);
-        self.metrics.ladder.record_cost(level.index(), elapsed);
+        self.metrics.ladder.record_cost(rung, elapsed);
         self.metrics.stages.total.record(elapsed);
         self.metrics.queries.inc();
         let hits = match staged {
@@ -788,12 +778,13 @@ impl<'a> ShardedService<'a> {
             self.metrics.deadline_exceeded.inc();
             return ServeOutcome::DeadlineExceeded(Stage::Rank);
         }
-        if let Some(counter) = self.metrics.ladder.served.get(level.index()) {
+        if let Some(counter) = self.metrics.ladder.served.get(rung) {
             counter.inc();
         }
-        match level {
-            DegradeLevel::Full => ServeOutcome::Ok(hits),
-            degraded => ServeOutcome::Degraded(degraded, hits),
+        if rung == 0 {
+            ServeOutcome::Ok(hits)
+        } else {
+            ServeOutcome::Degraded(RungId::new(rung, Arc::clone(rung_def.name())), hits)
         }
     }
 
@@ -805,14 +796,13 @@ impl<'a> ShardedService<'a> {
         views: &[ShardView],
         text: &str,
         nodes: &[ArticleId],
-        triangular: bool,
-        square: bool,
+        motifs: &MotifSet,
         deadline: Deadline,
         scratch: &mut SqeScratch,
     ) -> Result<Vec<SearchHit>, Stage> {
         let cfg = &self.cfg;
         let t0 = self.clock.now_nanos();
-        let expansions = self.expansions_for(nodes, triangular, square, scratch);
+        let expansions = self.expansions_for(nodes, motifs, scratch);
         let t1 = self.clock.now_nanos();
         self.metrics.stages.expand.record(t1.saturating_sub(t0));
         if deadline.expired(t1) {
@@ -993,13 +983,13 @@ mod tests {
         let mono = QueryService::new(&graph, &index, SqeConfig::default(), ServeConfig::default());
         for shards in [1usize, 2, 3, 5] {
             let service = sharded_service(&graph, shards, 0, 1);
-            for (tri, sq) in [(true, false), (false, true), (true, true)] {
+            for motifs in [MotifSet::triangular(), MotifSet::square(), MotifSet::t_and_s()] {
                 for (text, nodes) in queries(cable) {
-                    let want = mono.rank_sqe(&text, &nodes, tri, sq);
+                    let want = mono.rank_sqe(&text, &nodes, &motifs);
                     let want_ids = mono.external_ids(&want);
-                    let got = service.rank_sqe(&text, &nodes, tri, sq);
+                    let got = service.rank_sqe(&text, &nodes, &motifs);
                     let got_ids = service.external_ids(&got);
-                    assert_eq!(got_ids, want_ids, "shards={shards} tri={tri} sq={sq}");
+                    assert_eq!(got_ids, want_ids, "shards={shards} motifs={}", motifs.name());
                     let want_scores: Vec<f64> = want.iter().map(|h| h.score).collect();
                     let got_scores: Vec<f64> = got.iter().map(|h| h.score).collect();
                     assert_eq!(got_scores, want_scores, "scores must be bit-identical");
@@ -1059,7 +1049,7 @@ mod tests {
         let (graph, _, cable) = world();
         let service = sharded_service(&graph, 3, 0, 1);
         let before = service.epoch_vector();
-        let warm = service.rank_sqe("funicular", &[cable], true, false);
+        let warm = service.rank_sqe("funicular", &[cable], &MotifSet::triangular());
 
         // Route a new doc, find its shard, seal only that shard.
         let id = "d-late-0";
@@ -1067,7 +1057,7 @@ mod tests {
         service.add_document(id, "a late funicular arrival").expect("fresh id");
         assert_eq!(service.num_buffered_docs(), 1);
         assert_eq!(
-            service.rank_sqe("funicular", &[cable], true, false),
+            service.rank_sqe("funicular", &[cable], &MotifSet::triangular()),
             warm,
             "buffered documents must stay invisible"
         );
@@ -1143,14 +1133,14 @@ mod tests {
         let (graph, _, cable) = world();
         let service = sharded_service(&graph, 2, 0, 2);
         let qs = queries(cable);
-        let want = service.run_batch(&qs, true, false);
+        let want = service.run_batch(&qs, &MotifSet::triangular());
         service.add_document("d-late-1", "late cable car news").expect("fresh id");
         let pinned = service.pinned_views();
         service.seal_all();
         let docs: usize = pinned.iter().map(|v| v.searcher.num_docs()).sum();
         assert_eq!(docs, DOCS.len(), "pinned views are immutable");
         assert_eq!(service.num_docs(), DOCS.len() + 1);
-        let again = service.run_batch(&qs, true, false);
+        let again = service.run_batch(&qs, &MotifSet::triangular());
         let top_before = want[0].first().map(|h| h.doc);
         let top_after = again[0].first().map(|h| h.doc);
         assert_eq!(top_before, top_after, "top hit survives the seal");
@@ -1163,13 +1153,13 @@ mod tests {
         for shards in [1usize, 2, 4] {
             let service = sharded_service(&graph, shards, 0, 1);
             // Unbounded deadline serves full quality, matching rank_sqe.
-            let want = service.rank_sqe("cable car", &[cable], true, true);
+            let want = service.rank_sqe("cable car", &[cable], &MotifSet::t_and_s());
             match service.serve("cable car", &[cable], Deadline::NONE) {
                 ServeOutcome::Ok(hits) => {
                     assert_eq!(hits, want, "shards={shards}");
                     assert_eq!(
                         service.external_ids(&hits),
-                        mono.external_ids(&mono.rank_sqe("cable car", &[cable], true, true)),
+                        mono.external_ids(&mono.rank_sqe("cable car", &[cable], &MotifSet::t_and_s())),
                         "shards={shards}"
                     );
                 }
@@ -1177,12 +1167,13 @@ mod tests {
             }
             // Primed costs + tight budget degrade to the unexpanded rung,
             // whose output matches the mono service's unexpanded rung.
-            service.record_ladder_cost(DegradeLevel::Full, 10_000);
-            service.record_ladder_cost(DegradeLevel::Triangular, 4_000);
-            service.record_ladder_cost(DegradeLevel::Unexpanded, 1_000);
+            service.record_ladder_cost(0, 10_000);
+            service.record_ladder_cost(1, 4_000);
+            service.record_ladder_cost(2, 1_000);
             match service.serve("cable car", &[cable], Deadline::within(0, 2_000)) {
-                ServeOutcome::Degraded(DegradeLevel::Unexpanded, hits) => {
-                    let mono_hits = mono.serve_at_level(DegradeLevel::Unexpanded, "cable car", &[cable]);
+                ServeOutcome::Degraded(rung, hits) => {
+                    assert_eq!(rung.name(), "unexpanded", "shards={shards}");
+                    let mono_hits = mono.serve_at_rung(2, "cable car", &[cable]);
                     assert_eq!(
                         service.external_ids(&hits),
                         mono.external_ids(&mono_hits),
@@ -1206,7 +1197,7 @@ mod tests {
             SqeConfig::default(),
             ServeConfig::default(),
         );
-        assert!(service.rank_sqe("cable car", &[cable], true, false).is_empty());
+        assert!(service.rank_sqe("cable car", &[cable], &MotifSet::triangular()).is_empty());
         assert!(service.rank_sqe_c("cable car", &[cable]).is_empty());
         assert_eq!(service.epoch_vector(), vec![0, 0, 0]);
     }

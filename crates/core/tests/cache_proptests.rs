@@ -13,6 +13,7 @@
 use kbgraph::ArticleId;
 use proptest::prelude::*;
 use sqe::cache::{CacheKey, LruCache};
+use sqe::{MotifSet, MotifSpec};
 
 /// The deterministic "expensive computation" the cache memoizes: a pure
 /// function of the key and the invalidation generation.
@@ -155,20 +156,26 @@ proptest! {
         tri_bit in 0u8..2,
         sq_bit in 0u8..2,
     ) {
+        let set_for = |tri: bool, sq: bool| {
+            let mut specs = Vec::new();
+            if tri {
+                specs.push(MotifSpec::triangular());
+            }
+            if sq {
+                specs.push(MotifSpec::square());
+            }
+            MotifSet::new(specs)
+        };
         let (tri, sq) = (tri_bit == 1, sq_bit == 1);
+        let fp = set_for(tri, sq).fingerprint();
+        let flipped = set_for(!tri, sq).fingerprint();
         let ids: Vec<ArticleId> = nodes.iter().map(|&n| ArticleId::new(n)).collect();
         let mut rotated = ids.clone();
         if !rotated.is_empty() {
             let r = rot % rotated.len();
             rotated.rotate_left(r);
         }
-        prop_assert_eq!(
-            CacheKey::new(&ids, tri, sq),
-            CacheKey::new(&rotated, tri, sq)
-        );
-        prop_assert_ne!(
-            CacheKey::new(&ids, tri, sq),
-            CacheKey::new(&ids, !tri, sq)
-        );
+        prop_assert_eq!(CacheKey::new(&ids, fp), CacheKey::new(&rotated, fp));
+        prop_assert_ne!(CacheKey::new(&ids, fp), CacheKey::new(&ids, flipped));
     }
 }

@@ -4,7 +4,7 @@
 use kbgraph::{ArticleId, CategoryId, GraphBuilder, KbGraph};
 use proptest::prelude::*;
 use sqe::combine::{combine_rankings, sqe_c, RankSegment};
-use sqe::{Motif, QueryGraphBuilder, Square, Triangular};
+use sqe::{Motif, MotifSet, MotifSpec, QueryGraphBuilder};
 
 /// A random small KB: articles, categories, directed links, memberships,
 /// subcategory edges.
@@ -54,7 +54,7 @@ proptest! {
     fn motif_postconditions(kb in random_kb(), anchor in 0usize..10) {
         let (g, arts) = build(&kb);
         let qn = arts[anchor];
-        for (a, m) in Triangular.expansions(&g, qn) {
+        for (a, m) in MotifSpec::triangular().expansions(&g, qn) {
             prop_assert!(m >= 1);
             prop_assert!(a != qn);
             prop_assert!(g.doubly_linked(qn, a));
@@ -62,7 +62,7 @@ proptest! {
             // The triangle count equals the anchor's category count.
             prop_assert_eq!(m as usize, g.categories_of(qn).len());
         }
-        for (a, m) in Square.expansions(&g, qn) {
+        for (a, m) in MotifSpec::square().expansions(&g, qn) {
             prop_assert!(m >= 1);
             prop_assert!(a != qn);
             prop_assert!(g.doubly_linked(qn, a));
@@ -86,9 +86,9 @@ proptest! {
     fn union_decomposes(kb in random_kb(), anchor in 0usize..10) {
         let (g, arts) = build(&kb);
         let qn = [arts[anchor]];
-        let t = QueryGraphBuilder::with_config(&g, true, false).build(&qn);
-        let s = QueryGraphBuilder::with_config(&g, false, true).build(&qn);
-        let ts = QueryGraphBuilder::with_config(&g, true, true).build(&qn);
+        let t = QueryGraphBuilder::from_set(&g, &MotifSet::triangular()).build(&qn);
+        let s = QueryGraphBuilder::from_set(&g, &MotifSet::square()).build(&qn);
+        let ts = QueryGraphBuilder::from_set(&g, &MotifSet::t_and_s()).build(&qn);
         let mut all: Vec<ArticleId> = t
             .expansions
             .iter()
@@ -110,7 +110,7 @@ proptest! {
     fn more_query_nodes_reach_no_fewer(kb in random_kb(), a1 in 0usize..10, a2 in 0usize..10) {
         prop_assume!(a1 != a2);
         let (g, arts) = build(&kb);
-        let builder = QueryGraphBuilder::with_config(&g, true, true);
+        let builder = QueryGraphBuilder::from_set(&g, &MotifSet::t_and_s());
         let single = builder.build(&[arts[a1]]);
         let both = builder.build(&[arts[a1], arts[a2]]);
         for &(a, m1) in &single.expansions {
@@ -176,5 +176,40 @@ proptest! {
         for i in 0..prefix_len {
             prop_assert_eq!(&combined[i], &rt[i], "rank {} must come from SQE_T", i);
         }
+    }
+
+    /// Every enumerable [`MotifSpec`] round-trips through its index, its
+    /// name, and the fingerprint of its singleton set.
+    #[test]
+    fn every_motif_spec_roundtrips_through_its_fingerprint(idx in 0usize..MotifSpec::COUNT) {
+        let spec = MotifSpec::from_index(idx).expect("index is in range");
+        prop_assert_eq!(spec.index(), idx);
+        prop_assert_eq!(MotifSpec::from_name(&spec.name()), Some(spec));
+        let set = MotifSet::single(spec);
+        let fp = set.fingerprint();
+        prop_assert_eq!(MotifSet::from_fingerprint(fp), set.clone());
+        let parsed = sqe::MotifFingerprint::parse(&fp.to_string())
+            .expect("fingerprint text form parses");
+        prop_assert_eq!(fp, parsed);
+        prop_assert_eq!(MotifSet::from_fingerprint(parsed), set);
+    }
+
+    /// Arbitrary motif sets (any subset of the spec space, in any input
+    /// order, with duplicates) canonicalize and round-trip through their
+    /// fingerprint and its textual form.
+    #[test]
+    fn motif_sets_roundtrip_through_fingerprints(
+        indices in prop::collection::vec(0usize..MotifSpec::COUNT, 0..12),
+    ) {
+        let specs: Vec<MotifSpec> = indices
+            .iter()
+            .map(|&i| MotifSpec::from_index(i).expect("index is in range"))
+            .collect();
+        let set = MotifSet::new(specs);
+        let fp = set.fingerprint();
+        prop_assert_eq!(MotifSet::from_fingerprint(fp), set.clone());
+        let parsed = sqe::MotifFingerprint::parse(&fp.to_string())
+            .expect("fingerprint text form parses");
+        prop_assert_eq!(MotifSet::from_fingerprint(parsed), set);
     }
 }

@@ -12,7 +12,7 @@ use ireval::precision::{mean_precision, PrecisionTable, TREC_CUTOFFS};
 use ireval::{paired_t_test, Qrels, Run};
 use ireval::precision::per_query_precision;
 use searchlite::{Analyzer, IndexBuilder, QlParams};
-use sqe::{ExpandConfig, SqeConfig, SqePipeline};
+use sqe::{ExpandConfig, MotifSet, SqeConfig, SqePipeline};
 use synthwiki::{TestBed, TestBedConfig};
 
 fn main() {
@@ -57,15 +57,15 @@ fn main() {
 
     // Build a run per configuration.
     let mut runs: Vec<Run> = Vec::new();
-    for (name, tri, sq) in [
-        ("SQE_T", true, false),
-        ("SQE_T&S", true, true),
-        ("SQE_S", false, true),
+    for (name, motifs) in [
+        ("SQE_T", MotifSet::triangular()),
+        ("SQE_T&S", MotifSet::t_and_s()),
+        ("SQE_S", MotifSet::square()),
     ] {
         let mut run = Run::new(name);
         for q in &dataset.queries {
             let nodes: Vec<_> = q.targets.iter().map(|&e| bed.kb.article_of[e]).collect();
-            let (hits, _) = pipeline.rank_sqe(&q.text, &nodes, tri, sq);
+            let (hits, _) = pipeline.rank_sqe(&q.text, &nodes, &motifs);
             run.set_ranking(&q.id, pipeline.external_ids(&hits));
         }
         runs.push(run);

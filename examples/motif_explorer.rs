@@ -8,7 +8,7 @@
 //! ```
 
 use kbgraph::{ArticleId, CycleFinder, CycleLimits, Node};
-use sqe::{Motif, Square, Triangular};
+use sqe::{Motif, MotifSet, MotifSpec};
 use synthwiki::{TestBed, TestBedConfig};
 
 fn main() {
@@ -34,8 +34,8 @@ fn main() {
     }
 
     for (name, expansions) in [
-        ("triangular", Triangular.expansions(graph, article)),
-        ("square", Square.expansions(graph, article)),
+        ("triangular", MotifSpec::triangular().expansions(graph, article)),
+        ("square", MotifSpec::square().expansions(graph, article)),
     ] {
         println!("\n{name} motif expansions ({}):", expansions.len());
         for (a, m) in expansions.iter().take(12) {
@@ -65,6 +65,6 @@ fn main() {
     );
 
     // Figure-3-style drawing of the query graph (pipe into `dot -Tsvg`).
-    let qg = sqe::QueryGraphBuilder::with_config(graph, true, true).build(&[article]);
+    let qg = sqe::QueryGraphBuilder::from_set(graph, &MotifSet::t_and_s()).build(&[article]);
     println!("\nGraphviz DOT of the query graph:\n{}", qg.to_dot(graph, "query graph"));
 }

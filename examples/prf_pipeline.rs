@@ -11,7 +11,7 @@ use ireval::precision::precision_at;
 use rustc_hash::FxHashSet;
 use searchlite::prf::{self, PrfParams};
 use searchlite::{Analyzer, IndexBuilder, QlParams};
-use sqe::{SqeConfig, SqePipeline};
+use sqe::{MotifSet, SqeConfig, SqePipeline};
 use synthwiki::{TestBed, TestBedConfig};
 
 fn main() {
@@ -68,12 +68,12 @@ fn main() {
     show("PRF alone", pipeline.external_ids(&hits));
 
     // 3. SQE (both motifs).
-    let (hits, qg) = pipeline.rank_sqe(&query.text, &nodes, true, true);
+    let (hits, qg) = pipeline.rank_sqe(&query.text, &nodes, &MotifSet::t_and_s());
     println!("    (SQE found {} expansion features)", qg.num_expansions());
     show("SQE", pipeline.external_ids(&hits));
 
     // 4. SQE then PRF: feedback over the SQE-expanded query (RM3).
-    let expanded = pipeline.expand(&query.text, &nodes, true, true);
+    let expanded = pipeline.expand(&query.text, &nodes, &MotifSet::t_and_s());
     let rm3 = PrfParams {
         orig_weight: 0.5,
         exclude_base_terms: false,

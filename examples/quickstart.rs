@@ -10,7 +10,7 @@
 //! triangular motif; query #73 "graffiti street art on walls" pulls in
 //! *Banksy* through the square motif.
 
-use sqe::{SqeConfig, SqePipeline};
+use sqe::{MotifSet, SqeConfig, SqePipeline};
 use sqe_repro::demo_world;
 
 fn main() {
@@ -26,7 +26,7 @@ fn main() {
         ),
     ] {
         println!("=== {label}: \"{query}\" ===");
-        let expanded = pipeline.expand(query, &nodes, true, true);
+        let expanded = pipeline.expand(query, &nodes, &MotifSet::t_and_s());
         println!("query graph expansions:");
         for &(article, m) in &expanded.query_graph.expansions {
             println!(
@@ -35,7 +35,7 @@ fn main() {
             );
         }
         println!("expanded query: {}", expanded.query.render());
-        let (hits, _) = pipeline.rank_sqe(query, &nodes, true, true);
+        let (hits, _) = pipeline.rank_sqe(query, &nodes, &MotifSet::t_and_s());
         println!("top results:");
         for hit in hits.iter().take(5) {
             println!(

@@ -4,7 +4,7 @@
 use ireval::precision::{mean_precision, per_query_precision};
 use ireval::{paired_t_test, Qrels, Run};
 use searchlite::{Analyzer, Index, IndexBuilder, QlParams};
-use sqe::{SqeConfig, SqePipeline};
+use sqe::{MotifSet, SqeConfig, SqePipeline};
 use synthwiki::{Dataset, TestBed, TestBedConfig};
 
 fn build_world() -> (TestBed, Vec<Index>) {
@@ -68,7 +68,7 @@ fn sqe_significantly_beats_unexpanded_queries() {
         p.external_ids(&p.rank_user(&q.text))
     });
     let sqe = run_config(&bed, dataset, index, "SQE_T&S", |p, q, nodes| {
-        let (hits, _) = p.rank_sqe(&q.text, nodes, true, true);
+        let (hits, _) = p.rank_sqe(&q.text, nodes, &MotifSet::t_and_s());
         p.external_ids(&hits)
     });
 
@@ -103,7 +103,7 @@ fn ground_truth_upper_bound_dominates_at_depth() {
         p.external_ids(&hits)
     });
     let sqe = run_config(&bed, dataset, index, "SQE", |p, q, nodes| {
-        let (hits, _) = p.rank_sqe(&q.text, nodes, true, true);
+        let (hits, _) = p.rank_sqe(&q.text, nodes, &MotifSet::t_and_s());
         p.external_ids(&hits)
     });
     for k in [100, 500, 1000] {
@@ -124,7 +124,7 @@ fn sqe_c_stitches_three_configurations() {
     let q = &dataset.queries[0];
     let nodes: Vec<_> = q.targets.iter().map(|&e| bed.kb.article_of[e]).collect();
     let combined = pipeline.rank_sqe_c(&q.text, &nodes);
-    let (t_hits, _) = pipeline.rank_sqe(&q.text, &nodes, true, false);
+    let (t_hits, _) = pipeline.rank_sqe(&q.text, &nodes, &MotifSet::triangular());
     let t_ids = pipeline.external_ids(&t_hits);
     // Prefix comes from SQE_T.
     for i in 0..combined.len().min(t_ids.len()).min(5) {
@@ -143,7 +143,7 @@ fn zero_relevant_queries_never_score() {
     let index = &indexes[dataset.collection];
     let qrels = qrels_of(dataset);
     let sqe = run_config(&bed, dataset, index, "SQE", |p, q, nodes| {
-        let (hits, _) = p.rank_sqe(&q.text, nodes, true, true);
+        let (hits, _) = p.rank_sqe(&q.text, nodes, &MotifSet::t_and_s());
         p.external_ids(&hits)
     });
     for q in dataset.queries.iter().filter(|q| q.zero_relevant) {
@@ -182,7 +182,7 @@ fn expansion_features_come_from_the_query_topic_neighborhood() {
     let mut total = 0usize;
     for q in &dataset.queries {
         let nodes: Vec<_> = q.targets.iter().map(|&e| bed.kb.article_of[e]).collect();
-        let qg = pipeline.build_query_graph(&nodes, true, true);
+        let qg = pipeline.build_query_graph(&nodes, &MotifSet::t_and_s());
         for &(a, _) in &qg.expansions {
             total += 1;
             if let Some(e) = bed.kb.entity_of_article(a) {

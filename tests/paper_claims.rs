@@ -5,7 +5,7 @@
 use ireval::precision::mean_precision;
 use ireval::{Qrels, Run};
 use searchlite::{Analyzer, Index, IndexBuilder, QlParams};
-use sqe::{SqeConfig, SqePipeline};
+use sqe::{MotifSet, SqeConfig, SqePipeline};
 use synthwiki::{Dataset, TestBed, TestBedConfig};
 
 struct World {
@@ -52,12 +52,12 @@ impl World {
         )
     }
 
-    fn run(&self, dataset: &Dataset, name: &str, tri: bool, sq: bool) -> Run {
+    fn run(&self, dataset: &Dataset, name: &str, motifs: &MotifSet) -> Run {
         let p = self.pipeline(dataset);
         let mut run = Run::new(name);
         for q in &dataset.queries {
             let nodes: Vec<_> = q.targets.iter().map(|&e| self.bed.kb.article_of[e]).collect();
-            let (hits, _) = p.rank_sqe(&q.text, &nodes, tri, sq);
+            let (hits, _) = p.rank_sqe(&q.text, &nodes, motifs);
             run.set_ranking(&q.id, p.external_ids(&hits));
         }
         run
@@ -72,8 +72,8 @@ fn square_motifs_win_at_depth() {
     let w = World::new();
     let ds = w.bed.dataset("imageclef");
     let qrels = w.qrels(ds);
-    let t = w.run(ds, "T", true, false);
-    let s = w.run(ds, "S", false, true);
+    let t = w.run(ds, "T", &MotifSet::triangular());
+    let s = w.run(ds, "S", &MotifSet::square());
     let deep_t = mean_precision(&t, &qrels, 1000);
     let deep_s = mean_precision(&s, &qrels, 1000);
     assert!(
@@ -92,8 +92,8 @@ fn triangular_features_are_scarce() {
     let (mut t_total, mut s_total) = (0usize, 0usize);
     for q in &ds.queries {
         let nodes: Vec<_> = q.targets.iter().map(|&e| w.bed.kb.article_of[e]).collect();
-        t_total += p.build_query_graph(&nodes, true, false).num_expansions();
-        s_total += p.build_query_graph(&nodes, false, true).num_expansions();
+        t_total += p.build_query_graph(&nodes, &MotifSet::triangular()).num_expansions();
+        s_total += p.build_query_graph(&nodes, &MotifSet::square()).num_expansions();
     }
     assert!(
         s_total >= t_total * 3,
@@ -147,7 +147,7 @@ fn expansion_is_subsecond() {
     let start = std::time::Instant::now();
     for q in &ds.queries {
         let nodes: Vec<_> = q.targets.iter().map(|&e| w.bed.kb.article_of[e]).collect();
-        let _ = p.build_query_graph(&nodes, true, true);
+        let _ = p.build_query_graph(&nodes, &MotifSet::t_and_s());
     }
     let elapsed = start.elapsed();
     assert!(
@@ -165,8 +165,8 @@ fn union_config_does_more_work() {
     let p = w.pipeline(ds);
     for q in ds.queries.iter().take(6) {
         let nodes: Vec<_> = q.targets.iter().map(|&e| w.bed.kb.article_of[e]).collect();
-        let t = p.build_query_graph(&nodes, true, false).num_expansions();
-        let ts = p.build_query_graph(&nodes, true, true).num_expansions();
+        let t = p.build_query_graph(&nodes, &MotifSet::triangular()).num_expansions();
+        let ts = p.build_query_graph(&nodes, &MotifSet::t_and_s()).num_expansions();
         assert!(ts >= t);
     }
 }

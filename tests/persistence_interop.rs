@@ -79,7 +79,7 @@ fn index_persistence_preserves_full_retrieval() {
 
 #[test]
 fn graph_persistence_preserves_motifs() {
-    use sqe::{Motif, Square, Triangular};
+    use sqe::{Motif, MotifSpec};
     let bed = TestBed::generate(&TestBedConfig::small());
     let g = &bed.kb.graph;
     let restored = kbgraph::KbGraph::from_json(&g.to_json().unwrap()).unwrap();
@@ -89,21 +89,20 @@ fn graph_persistence_preserves_motifs() {
     let bytes = snapshot_of(g, &[], &Dictionary::new());
     let snap = Snapshot::from_bytes(&bytes).unwrap();
 
+    let tri = MotifSpec::triangular();
+    let sq = MotifSpec::square();
     for e in bed.space.entities.iter().step_by(61).take(12) {
         let a = bed.kb.article_of[e.id];
+        assert_eq!(tri.expansions(g, a), tri.expansions(&restored, a));
+        assert_eq!(sq.expansions(g, a), sq.expansions(&restored, a));
         assert_eq!(
-            Triangular.expansions(g, a),
-            Triangular.expansions(&restored, a)
-        );
-        assert_eq!(Square.expansions(g, a), Square.expansions(&restored, a));
-        assert_eq!(
-            Triangular.expansions(g, a),
-            Triangular.expansions(snap.graph(), a),
+            tri.expansions(g, a),
+            tri.expansions(snap.graph(), a),
             "snapshot round-trip changed triangular expansions"
         );
         assert_eq!(
-            Square.expansions(g, a),
-            Square.expansions(snap.graph(), a),
+            sq.expansions(g, a),
+            sq.expansions(snap.graph(), a),
             "snapshot round-trip changed square expansions"
         );
     }
@@ -203,7 +202,7 @@ fn per_shard_snapshots_restore_an_identical_sharded_service() {
 #[test]
 fn snapshot_loaded_pipeline_reproduces_fresh_run_files() {
     use ireval::{trec, Run};
-    use sqe::{SqeConfig, SqePipeline};
+    use sqe::{MotifSet, SqeConfig, SqePipeline};
 
     let bed = TestBed::generate(&TestBedConfig::small());
     let indexes: Vec<Index> = bed
@@ -254,15 +253,15 @@ fn snapshot_loaded_pipeline_reproduces_fresh_run_files() {
             })
             .collect();
 
-        for (cfg_name, tri, sq) in [
-            ("SQE_T", true, false),
-            ("SQE_S", false, true),
-            ("SQE_TS", true, true),
+        for (cfg_name, motifs) in [
+            ("SQE_T", MotifSet::triangular()),
+            ("SQE_S", MotifSet::square()),
+            ("SQE_TS", MotifSet::t_and_s()),
         ] {
             let rank = |p: &SqePipeline| -> Vec<Vec<String>> {
                 batch
                     .iter()
-                    .map(|(text, nodes)| p.external_ids(&p.rank_sqe(text, nodes, tri, sq).0))
+                    .map(|(text, nodes)| p.external_ids(&p.rank_sqe(text, nodes, &motifs).0))
                     .collect()
             };
             assert_eq!(

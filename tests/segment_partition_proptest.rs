@@ -20,16 +20,23 @@ use std::sync::OnceLock;
 use kbgraph::ArticleId;
 use proptest::prelude::*;
 use searchlite::{Analyzer, Index, IndexBuilder, QlParams, Searcher, Segment, ShardRouter};
-use sqe::{ServeConfig, ShardedService, SqeConfig, SqePipeline};
+use sqe::{MotifSet, ServeConfig, ShardedService, SqeConfig, SqePipeline};
 use synthwiki::{TestBed, TestBedConfig};
 
 const DATASETS: [&str; 3] = ["imageclef", "chic2012", "chic2013"];
-const CONFIGS: [(&str, bool, bool); 4] = [
-    ("SQE_T", true, false),
-    ("SQE_S", false, true),
-    ("SQE_TS", true, true),
-    ("SQE_C", false, false), // tri/sq unused: rank_sqe_c fixes its own stages
-];
+const NUM_CONFIGS: usize = 4;
+
+/// The motif configuration under test: a named [`MotifSet`] for the
+/// plain SQE variants, or `None` for SQE_C (rank_sqe_c fixes its own
+/// stages).
+fn motif_config(cfg_idx: usize) -> (&'static str, Option<MotifSet>) {
+    match cfg_idx {
+        0 => ("SQE_T", Some(MotifSet::triangular())),
+        1 => ("SQE_S", Some(MotifSet::square())),
+        2 => ("SQE_TS", Some(MotifSet::t_and_s())),
+        _ => ("SQE_C", None),
+    }
+}
 
 fn config() -> SqeConfig {
     SqeConfig {
@@ -52,22 +59,19 @@ fn rank_ids(
     batch: &[(String, Vec<ArticleId>)],
     cfg_idx: usize,
 ) -> Vec<Vec<String>> {
-    let (name, tri, sq) = CONFIGS[cfg_idx];
+    let (_, motifs) = motif_config(cfg_idx);
     batch
         .iter()
-        .map(|(text, nodes)| {
-            if name == "SQE_C" {
-                pipeline.rank_sqe_c(text, nodes)
-            } else {
-                pipeline.external_ids(&pipeline.rank_sqe(text, nodes, tri, sq).0)
-            }
+        .map(|(text, nodes)| match &motifs {
+            None => pipeline.rank_sqe_c(text, nodes),
+            Some(motifs) => pipeline.external_ids(&pipeline.rank_sqe(text, nodes, motifs).0),
         })
         .collect()
 }
 
 fn run_file(bed: &TestBed, ds_idx: usize, cfg_idx: usize, rankings: &[Vec<String>]) -> String {
     let dataset = bed.dataset(DATASETS[ds_idx]);
-    let mut run = ireval::Run::new(CONFIGS[cfg_idx].0);
+    let mut run = ireval::Run::new(motif_config(cfg_idx).0);
     for (q, ids) in dataset.queries.iter().zip(rankings) {
         run.set_ranking(&q.id, ids.clone());
     }
@@ -113,7 +117,7 @@ fn world() -> &'static World {
                     &indexes[dataset.collection],
                     config(),
                 );
-                (0..CONFIGS.len())
+                (0..NUM_CONFIGS)
                     .map(|cfg_idx| {
                         let ids = rank_ids(&pipeline, &batches[ds_idx], cfg_idx);
                         run_file(&bed, ds_idx, cfg_idx, &ids)
@@ -189,15 +193,12 @@ fn rank_ids_sharded(
     batch: &[(String, Vec<ArticleId>)],
     cfg_idx: usize,
 ) -> Vec<Vec<String>> {
-    let (name, tri, sq) = CONFIGS[cfg_idx];
+    let (_, motifs) = motif_config(cfg_idx);
     batch
         .iter()
-        .map(|(text, nodes)| {
-            if name == "SQE_C" {
-                service.rank_sqe_c(text, nodes)
-            } else {
-                service.external_ids(&service.rank_sqe(text, nodes, tri, sq))
-            }
+        .map(|(text, nodes)| match &motifs {
+            None => service.rank_sqe_c(text, nodes),
+            Some(motifs) => service.external_ids(&service.rank_sqe(text, nodes, motifs)),
         })
         .collect()
 }
@@ -223,7 +224,7 @@ proptest! {
             "{} segments over {} diverged from the monolithic {} run",
             pipeline.searcher().num_segments(),
             DATASETS[ds_idx],
-            CONFIGS[cfg_idx].0
+            motif_config(cfg_idx).0
         );
     }
 }
@@ -251,7 +252,7 @@ proptest! {
             shards,
             salt,
             DATASETS[ds_idx],
-            CONFIGS[cfg_idx].0
+            motif_config(cfg_idx).0
         );
     }
 }

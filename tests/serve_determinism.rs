@@ -15,8 +15,8 @@ use ireval::Run;
 use kbgraph::ArticleId;
 use searchlite::{Analyzer, Index, IndexBuilder, QlParams, SegmentedIndex, ShardRouter};
 use sqe::{
-    AdmissionConfig, Deadline, DegradeLevel, ManualClock, QueryService, ServeConfig,
-    ServeRequest, ShardedService, SqeConfig, SqePipeline,
+    AdmissionConfig, Deadline, ManualClock, MotifSet, QueryService, ServeConfig, ServeRequest,
+    ShardedService, SqeConfig, SqePipeline,
 };
 use synthwiki::{Collection, Dataset, TestBed, TestBedConfig};
 
@@ -76,16 +76,16 @@ fn service_run_files_are_byte_identical_for_every_motif_config() {
         let index = &indexes[dataset.collection];
         let batch = batch_of(&bed, dataset);
         let pipeline = SqePipeline::from_index(&bed.kb.graph, index, config());
-        for (cfg_name, tri, sq) in [
-            ("SQE_T", true, false),
-            ("SQE_S", false, true),
-            ("SQE_TS", true, true),
+        for (cfg_name, motifs) in [
+            ("SQE_T", MotifSet::triangular()),
+            ("SQE_S", MotifSet::square()),
+            ("SQE_TS", MotifSet::t_and_s()),
         ] {
             // Reference: the sequential, uncached pipeline.
             let reference: Vec<Vec<String>> = batch
                 .iter()
                 .map(|(text, nodes)| {
-                    pipeline.external_ids(&pipeline.rank_sqe(text, nodes, tri, sq).0)
+                    pipeline.external_ids(&pipeline.rank_sqe(text, nodes, &motifs).0)
                 })
                 .collect();
             let want = run_file(cfg_name, dataset, &reference);
@@ -98,7 +98,7 @@ fn service_run_files_are_byte_identical_for_every_motif_config() {
                     QueryService::new(&bed.kb.graph, index, config(), serve_cfg);
                 for replay in ["cold", "warm"] {
                     let served: Vec<Vec<String>> = service
-                        .run_batch(&batch, tri, sq)
+                        .run_batch(&batch, &motifs)
                         .iter()
                         .map(|hits| service.external_ids(hits))
                         .collect();
@@ -447,10 +447,10 @@ fn wall_admission() -> AdmissionConfig {
 /// frozen [`ManualClock`] every real execution records a zero-duration
 /// cost, which the histograms skip — so these stay the authoritative
 /// estimates for the whole replay.
-fn prime_wall_ladder(record: impl Fn(DegradeLevel, u64)) {
-    record(DegradeLevel::Full, 200_000);
-    record(DegradeLevel::Triangular, 80_000);
-    record(DegradeLevel::Unexpanded, 20_000);
+fn prime_wall_ladder(record: impl Fn(usize, u64)) {
+    record(0, 200_000); // full (SQE_T&S)
+    record(1, 80_000); // triangular
+    record(2, 20_000); // unexpanded
 }
 
 /// Per-request deadline budgets spanning the whole ladder. Five residue
@@ -542,7 +542,7 @@ fn deadline_and_degraded_outcomes_are_byte_identical_across_workers_and_shards()
             },
             clock.clone(),
         );
-        prime_wall_ladder(|level, nanos| service.record_ladder_cost(level, nanos));
+        prime_wall_ladder(|rung, nanos| service.record_ladder_cost(rung, nanos));
         let blob = outcome_blob(
             |reqs| {
                 service
@@ -584,7 +584,7 @@ fn deadline_and_degraded_outcomes_are_byte_identical_across_workers_and_shards()
                 .expect("generated ids are unique");
         }
         service.seal_all();
-        prime_wall_ladder(|level, nanos| service.record_ladder_cost(level, nanos));
+        prime_wall_ladder(|rung, nanos| service.record_ladder_cost(rung, nanos));
         let blob = outcome_blob(
             |reqs| {
                 service
